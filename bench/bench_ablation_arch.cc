@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Architecture ablations beyond the paper's published sweeps:
+ *
+ *  A. PE-array scaling (4x4 / 8x8 / 16x16): cycles per step and the
+ *     compute-vs-memory crossover.
+ *  B. Grid-size scaling (32..256 per side): where each memory system
+ *     saturates.
+ *  C. Memory-channel sweep on a LUT-miss-heavy workload: the paper's
+ *     "16 channels maximize throughput" claim (Section 6.3).
+ */
+
+#include <cstdio>
+
+#include "arch/simulator.h"
+#include "models/benchmark_model.h"
+#include "util/table.h"
+
+namespace cenn {
+namespace {
+
+void
+AblationA()
+{
+  std::printf("-- A: PE array scaling (reaction_diffusion, 64x64, DDR3) --\n");
+  ModelConfig mc;
+  mc.rows = 64;
+  mc.cols = 64;
+  const auto model = MakeModel("reaction_diffusion", mc);
+  const SolverProgram program = MakeProgram(*model);
+
+  TextTable table({"PE array", "cycles/step", "compute", "mem-bound",
+                   "bottleneck"});
+  for (int side : {4, 8, 16}) {
+    ArchConfig config;
+    config.pe_rows = side;
+    config.pe_cols = side;
+    config.num_l2 = side * side >= 16 ? 16 : side * side;
+    ArchSimulator sim(program, RecommendedArchConfig(program, config));
+    sim.Run(20);
+    const SimReport& r = sim.Report();
+    const std::uint64_t per_step = r.total_cycles / r.steps;
+    const std::uint64_t compute =
+        (r.compute_cycles + r.stall_l2_cycles + r.stall_dram_cycles) /
+        r.steps;
+    const std::uint64_t mem = r.memory_cycles / r.steps;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%dx%d", side, side);
+    table.AddRow({label, TextTable::Int(static_cast<long long>(per_step)),
+                  TextTable::Int(static_cast<long long>(compute)),
+                  TextTable::Int(static_cast<long long>(mem)),
+                  compute >= mem ? "compute" : "memory"});
+  }
+  table.Print();
+  std::printf("takeaway: quadrupling the PE count cuts compute cycles "
+              "~4x until DDR3 streaming becomes the bottleneck.\n\n");
+}
+
+void
+AblationB()
+{
+  std::printf("-- B: grid-size scaling (heat, per-step time) --\n");
+  TextTable table({"grid", "DDR3 (us)", "HMC-INT (us)", "HMC-EXT (us)"});
+  for (std::size_t side : {32u, 64u, 128u, 256u}) {
+    ModelConfig mc;
+    mc.rows = side;
+    mc.cols = side;
+    const auto model = MakeModel("heat", mc);
+    const SolverProgram program = MakeProgram(*model);
+    std::vector<std::string> row;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zux%zu", side, side);
+    row.push_back(label);
+    for (MemoryType m :
+         {MemoryType::kDdr3, MemoryType::kHmcInt, MemoryType::kHmcExt}) {
+      ArchConfig config;
+      config.memory = MemoryParams::ForType(m);
+      config.pe_clock_hz = config.memory.pe_clock_hint_hz;
+      ArchSimulator sim(program, config);
+      sim.Run(10);
+      row.push_back(TextTable::Num(
+          sim.Report().Seconds(config.pe_clock_hz) / 10.0 * 1e6, "%.2f"));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("takeaway: per-step time scales with cell count; the "
+              "higher-bandwidth memories keep the PE array fed at larger "
+              "grids.\n\n");
+}
+
+void
+AblationC()
+{
+  std::printf("-- C: memory channels vs LUT-miss stalls "
+              "(navier_stokes, all-LUT mode) --\n");
+  ModelConfig mc;
+  mc.rows = 64;
+  mc.cols = 64;
+  const auto model = MakeModel("navier_stokes", mc);
+  const SolverProgram program = MakeProgram(*model);
+
+  TextTable table({"channels", "dram-stall cycles", "total cycles",
+                   "speedup vs 1ch"});
+  std::uint64_t base = 0;
+  for (int channels : {1, 2, 4, 8, 16}) {
+    ArchConfig config;
+    config.lut_for_polynomials = true;
+    config.memory = MemoryParams::HmcInt();
+    config.memory.channels = channels;
+    ArchSimulator sim(program, config);
+    sim.Run(15);
+    const std::uint64_t total = sim.Report().total_cycles;
+    if (base == 0) {
+      base = total;
+    }
+    table.AddRow({TextTable::Int(channels),
+                  TextTable::Int(static_cast<long long>(
+                      sim.Report().stall_dram_cycles)),
+                  TextTable::Int(static_cast<long long>(total)),
+                  TextTable::Num(static_cast<double>(base) /
+                                     static_cast<double>(total),
+                                 "%.2fx")});
+  }
+  table.Print();
+  std::printf("takeaway: concurrent channels shorten the per-miss queue "
+              "(the paper's Section 6.3 worst case is 8 L2s queued on one "
+              "DDR3 channel); gains flatten once each L2 has its own "
+              "channel.\n");
+}
+
+}  // namespace
+}  // namespace cenn
+
+int
+main()
+{
+  std::printf("== architecture ablation studies ==\n\n");
+  cenn::AblationA();
+  cenn::AblationB();
+  cenn::AblationC();
+  return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces the Section 5.1 dataflow comparison (Fig. 8 and eqs.
+ * 11-12): DRAM accesses caused by real-time weight updates under the
+ * NLR / WS / RS dataflows versus the output-stationary (OS) dataflow
+ * the paper selects. OS shares each broadcast weight across the whole
+ * PE array, dividing the update-driven DRAM traffic by #PEs.
+ *
+ * The first table replays the paper's analytic example; the second
+ * feeds *measured* miss rates (from the cycle simulator) into the same
+ * equations for the two representative nonlinear benchmarks.
+ *
+ * Flags: --rows/--cols (default 64), --steps (default 30), --seed.
+ */
+
+#include <cstdio>
+
+#include "arch/dataflow.h"
+#include "arch/simulator.h"
+#include "models/benchmark_model.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+  using namespace cenn;
+  CliFlags flags(argc, argv);
+  ModelConfig mc;
+  mc.rows = static_cast<std::size_t>(flags.GetInt("rows", 64));
+  mc.cols = static_cast<std::size_t>(flags.GetInt("cols", 64));
+  mc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int steps = static_cast<int>(flags.GetInt("steps", 30));
+  flags.Validate();
+
+  std::printf("== Fig. 8 / eq. 11-12: DRAM accesses per dataflow scheme ==\n\n");
+
+  // Part 1: the paper's worked example (Section 5.1): mr product 0.1,
+  // 1M-cell input, one template needing update, 64 PEs.
+  std::printf("-- paper example: mr_L1*mr_L2 = 0.1, 1024x1024 input, "
+              "N(U!=0) = 1, 64 PEs --\n");
+  {
+    TextTable table({"dataflow", "DRAM accesses / step", "vs OS"});
+    const std::uint64_t input = std::uint64_t{1} << 20;
+    const double os = DramAccessesPerStep(DataflowScheme::kOutputStationary,
+                                          0.1, 1.0, input, 1, 64);
+    for (DataflowScheme s :
+         {DataflowScheme::kNoLocalReuse, DataflowScheme::kWeightStationary,
+          DataflowScheme::kRowStationary,
+          DataflowScheme::kOutputStationary}) {
+      const double n = DramAccessesPerStep(s, 0.1, 1.0, input, 1, 64);
+      table.AddRow({DataflowSchemeName(s), TextTable::Num(n, "%.0f"),
+                    TextTable::Num(n / os, "%.0fx")});
+    }
+    table.Print();
+  }
+
+  // Part 2: measured miss rates driving the same equations.
+  std::printf("\n-- measured miss rates (cycle simulator, %zux%zu, %d "
+              "steps) --\n",
+              mc.rows, mc.cols, steps);
+  TextTable table({"benchmark", "mr_L1", "mr_L2", "N(U!=0)", "NLR/WS/RS",
+                   "OS", "reduction"});
+  for (const char* name : {"reaction_diffusion", "navier_stokes"}) {
+    const auto model = MakeModel(name, mc);
+    const SolverProgram program = MakeProgram(*model);
+    ArchConfig config;
+    config.lut_for_polynomials = true;
+    ArchSimulator sim(program, config);
+    sim.Run(static_cast<std::uint64_t>(steps));
+    const auto& act = sim.Report().activity;
+    const int n_upd = program.spec.CountTemplatesNeedingUpdate();
+    const std::uint64_t input = mc.rows * mc.cols;
+    const double non_os = DramAccessesPerStepNonOs(
+        act.L1MissRate(), act.L2MissRate(), input, n_upd);
+    const double os = DramAccessesPerStepOs(
+        act.L1MissRate(), act.L2MissRate(), input, n_upd,
+        config.NumPes());
+    table.AddRow({name, TextTable::Num(act.L1MissRate(), "%.3f"),
+                  TextTable::Num(act.L2MissRate(), "%.3f"),
+                  TextTable::Int(n_upd), TextTable::Num(non_os, "%.1f"),
+                  TextTable::Num(os, "%.2f"),
+                  TextTable::Num(non_os / os, "%.0fx")});
+  }
+  table.Print();
+
+  std::printf("\npaper: ~100K accesses for non-OS vs ~1.6K for OS in the "
+              "example (#PEs = 64x reduction); OS is chosen because the "
+              "advantage compounds as the CeNN state evolves.\n");
+  std::printf("expected shape: OS reduces update-driven DRAM accesses by "
+              "exactly #PEs for every workload.\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Reproduces Fig. 11 and the Section 6.1 error breakdown: solution
+ * accuracy of the 32-bit fixed-point, LUT-driven accelerator datapath
+ * against the floating-point reference on all six benchmarks.
+ *
+ * Four datapaths per benchmark:
+ *   reference: double + exact math        (stands in for GPU fp32)
+ *   lut-only:  double + LUT/Taylor        (isolates LUT error)
+ *   fixed-only: Fixed32 + exact math      (isolates fixed-point error)
+ *   solver:    Fixed32 + LUT/Taylor       (the accelerator)
+ *
+ * Flags: --rows/--cols (default 32), --steps (0 = model default), --seed.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/network.h"
+#include "lut/lut_evaluator.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace cenn {
+namespace {
+
+struct Row {
+  std::string label;
+  ErrorSummary solver;      // fixed + LUT vs reference
+  ErrorSummary lut_only;    // double + LUT vs reference
+  ErrorSummary fixed_only;  // fixed + exact vs reference
+};
+
+template <typename T>
+std::vector<std::vector<double>>
+RunEngine(const NetworkSpec& spec,
+          std::shared_ptr<FunctionEvaluator<T>> evaluator, int steps,
+          const std::vector<int>& layers)
+{
+  MultilayerCenn<T> engine(spec, std::move(evaluator));
+  engine.Run(static_cast<std::uint64_t>(steps));
+  std::vector<std::vector<double>> out;
+  out.reserve(layers.size());
+  for (int l : layers) {
+    out.push_back(engine.StateDoubles(l));
+  }
+  return out;
+}
+
+/** Counts spikes per cell over a run; `upward` selects the detector. */
+template <typename Engine>
+std::uint64_t
+CountSpikes(Engine& engine, int layer, int steps, bool upward,
+            double threshold)
+{
+  std::vector<double> prev = engine.StateDoubles(layer);
+  std::uint64_t spikes = 0;
+  for (int s = 0; s < steps; ++s) {
+    engine.Step();
+    std::vector<double> now = engine.StateDoubles(layer);
+    for (std::size_t i = 0; i < now.size(); ++i) {
+      if (upward) {
+        spikes += (prev[i] <= threshold && now[i] > threshold) ? 1 : 0;
+      } else {
+        // Reset detector: a fall from near-threshold to the reset value.
+        spikes += (prev[i] > threshold - 10.0 && now[i] < threshold - 50.0)
+                      ? 1
+                      : 0;
+      }
+    }
+    prev.swap(now);
+  }
+  return spikes;
+}
+
+/** Spike-count agreement between the reference and accelerator paths. */
+void
+SpikeAgreement()
+{
+  std::printf("\n-- spike agreement (the paper: \"spikes were "
+              "well-matched with the GPU simulation\") --\n");
+  TextTable table({"benchmark", "spikes (reference)", "spikes (solver)",
+                   "agreement"});
+  struct Case {
+    const char* model;
+    bool upward;
+    double threshold;
+    int steps;
+  };
+  for (const Case& c : {Case{"izhikevich", false, 30.0, 1000},
+                        Case{"hodgkin_huxley", true, 0.0, 2000}}) {
+    ModelConfig mc;
+    mc.rows = 16;
+    mc.cols = 16;
+    const auto model = MakeModel(c.model, mc);
+    MapperReport report;
+    const NetworkSpec spec = Mapper::MapWithReport(model->System(), &report);
+    auto bank = std::make_shared<const LutBank>(spec, model->Luts());
+
+    MultilayerCenn<double> ref(spec);
+    MultilayerCenn<Fixed32> solver(
+        spec, std::make_shared<LutEvaluatorFixed>(bank));
+    const std::uint64_t ref_spikes =
+        CountSpikes(ref, 0, c.steps, c.upward, c.threshold);
+    const std::uint64_t sol_spikes =
+        CountSpikes(solver, 0, c.steps, c.upward, c.threshold);
+    const double agreement =
+        ref_spikes == 0
+            ? 1.0
+            : 1.0 - std::abs(static_cast<double>(ref_spikes) -
+                             static_cast<double>(sol_spikes)) /
+                        static_cast<double>(ref_spikes);
+    table.AddRow({c.model,
+                  TextTable::Int(static_cast<long long>(ref_spikes)),
+                  TextTable::Int(static_cast<long long>(sol_spikes)),
+                  TextTable::Num(agreement * 100.0, "%.1f%%")});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace cenn
+
+int
+main(int argc, char** argv)
+{
+  using namespace cenn;
+  CliFlags flags(argc, argv);
+  ModelConfig mc;
+  mc.rows = static_cast<std::size_t>(flags.GetInt("rows", 32));
+  mc.cols = static_cast<std::size_t>(flags.GetInt("cols", 32));
+  mc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int steps_override = static_cast<int>(flags.GetInt("steps", 0));
+  flags.Validate();
+
+  std::printf("== Fig. 11: accuracy of the fixed-point LUT datapath ==\n");
+  std::printf("grid %zux%zu; reference = double precision (stands in for "
+              "the paper's GPU fp32)\n\n",
+              mc.rows, mc.cols);
+
+  TextTable table({"benchmark", "var", "|err| solver (avg/std/max)",
+                   "|err| LUT-only", "|err| fixed-only"});
+
+  for (const auto& name : PaperBenchmarkNames()) {
+    const auto model = MakeModel(name, mc);
+    const int steps =
+        steps_override > 0 ? steps_override : model->DefaultSteps();
+
+    MapperReport report;
+    const NetworkSpec spec = Mapper::MapWithReport(model->System(), &report);
+    auto bank =
+        std::make_shared<const LutBank>(spec, model->Luts());
+
+    std::vector<int> layers;
+    for (int var : model->ObservedVars()) {
+      layers.push_back(report.var_to_layer[static_cast<std::size_t>(var)]);
+    }
+
+    const auto reference = RunEngine<double>(
+        spec, std::make_shared<DirectEvaluator<double>>(), steps, layers);
+    const auto lut_only = RunEngine<double>(
+        spec, std::make_shared<LutEvaluatorDouble>(bank), steps, layers);
+    const auto fixed_only = RunEngine<Fixed32>(
+        spec, std::make_shared<DirectEvaluator<Fixed32>>(), steps, layers);
+    const auto solver = RunEngine<Fixed32>(
+        spec, std::make_shared<LutEvaluatorFixed>(bank), steps, layers);
+
+    const auto& observed = model->ObservedVars();
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      const ErrorSummary e_solver = CompareFields(solver[i], reference[i]);
+      const ErrorSummary e_lut = CompareFields(lut_only[i], reference[i]);
+      const ErrorSummary e_fixed = CompareFields(fixed_only[i], reference[i]);
+      char s1[64];
+      std::snprintf(s1, sizeof(s1), "%.2e/%.2e/%.2e", e_solver.mean_abs,
+                    e_solver.std_abs, e_solver.max_abs);
+      table.AddRow(
+          {i == 0 ? name : "",
+           spec.layers[static_cast<std::size_t>(layers[i])].name, s1,
+           TextTable::Num(e_lut.mean_abs, "%.2e"),
+           TextTable::Num(e_fixed.mean_abs, "%.2e")});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\npaper: errors of order 1e-2..1e-3 absolute on Navier-Stokes/HH/"
+      "Izhikevich state values; fixed-point error ~1.2e-7 (HH) while LUT "
+      "error spans 7.9e-8..5.4e-4 and dominates for transcendental "
+      "functions.\n");
+  std::printf("expected shape: errors are negligible for linear/"
+              "polynomial systems and bounded for the spiking models, "
+              "where Q16.16 rounding shifts spike phases slightly. (With "
+              "the robust delta-form TUM the LUT error stays below the "
+              "fixed-point error — see bench_ablation_lut for the "
+              "expanded-form comparison the paper's eq. 10 implies.)\n");
+
+  SpikeAgreement();
+  return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Fig. 12: on-chip LUT miss rates as a function of LUT size
+ * for the two representative nonlinear benchmarks (reaction-diffusion
+ * and Navier-Stokes). The paper reports ~0.7 L1 miss rate with 4
+ * blocks, dropping significantly (to 0.15-0.3 combined) with a larger
+ * shared L2, and selects 4 L1 blocks + 32 L2 entries.
+ *
+ * All WUI weights go through the LUT hierarchy here
+ * (lut_for_polynomials = true), matching the paper's Fig. 3 operation.
+ *
+ * Flags: --rows/--cols (default 64), --steps (default 30), --seed.
+ */
+
+#include <cstdio>
+
+#include "arch/simulator.h"
+#include "models/benchmark_model.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+  using namespace cenn;
+  CliFlags flags(argc, argv);
+  ModelConfig mc;
+  mc.rows = static_cast<std::size_t>(flags.GetInt("rows", 64));
+  mc.cols = static_cast<std::size_t>(flags.GetInt("cols", 64));
+  mc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int steps = static_cast<int>(flags.GetInt("steps", 30));
+  flags.Validate();
+
+  std::printf("== Fig. 12: LUT miss rate vs on-chip LUT size ==\n");
+  std::printf("grid %zux%zu, %d steps, all WUI weights LUT-resident\n\n",
+              mc.rows, mc.cols, steps);
+
+  const int kL1Sizes[] = {2, 4, 8, 16, 32};
+  const int kL2Sizes[] = {16, 32, 64};
+
+  for (const char* name : {"reaction_diffusion", "navier_stokes"}) {
+    const auto model = MakeModel(name, mc);
+    const SolverProgram program = MakeProgram(*model);
+
+    std::printf("-- %s --\n", name);
+    TextTable table({"L1 blocks", "L2 entries", "mr_L1", "mr_L2",
+                     "mr_L1*mr_L2", "DRAM fetches"});
+    for (int l1 : kL1Sizes) {
+      for (int l2 : kL2Sizes) {
+        ArchConfig config;
+        config.lut_for_polynomials = true;
+        config.l1_blocks = l1;
+        config.l2_entries = l2;
+        ArchSimulator sim(program, config);
+        sim.Run(static_cast<std::uint64_t>(steps));
+        const auto& act = sim.Report().activity;
+        table.AddRow({TextTable::Int(l1), TextTable::Int(l2),
+                      TextTable::Num(act.L1MissRate(), "%.3f"),
+                      TextTable::Num(act.L2MissRate(), "%.3f"),
+                      TextTable::Num(act.L1MissRate() * act.L2MissRate(),
+                                     "%.4f"),
+                      TextTable::Int(static_cast<long long>(
+                          act.lut_dram_fetches))});
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf("paper: mr_L1 ~0.7 at 4 blocks, dropping with capacity; a "
+              "larger L2 cuts the combined rate to 0.15-0.3; the paper "
+              "settles on L1=4, L2=32.\n");
+  std::printf("expected shape: miss rates fall monotonically with L1 and "
+              "L2 capacity; the L2 absorbs most L1 misses.\n");
+  return 0;
+}

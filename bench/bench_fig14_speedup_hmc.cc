@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Fig. 14: performance improvement from integrating the
+ * solver with high-bandwidth 3-D memory (HMC). The paper reports
+ * average speedups over the GPU of 23.67x with HMC-INT and 77.37x with
+ * HMC-EXT (vs 13.52x with DDR3), driven by the 16 concurrent channels
+ * each feeding its own L2 LUT.
+ *
+ * Flags: --rows/--cols (default 64), --steps (default 50), --seed.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+  using namespace cenn;
+  CliFlags flags(argc, argv);
+  BenchSetup base;
+  base.rows = static_cast<std::size_t>(flags.GetInt("rows", 64));
+  base.cols = static_cast<std::size_t>(flags.GetInt("cols", 64));
+  base.steps = static_cast<int>(flags.GetInt("steps", 50));
+  base.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  flags.Validate();
+
+  std::printf("== Fig. 14: speedup vs GPU with DDR3 / HMC-INT / HMC-EXT ==\n");
+  std::printf("grid %zux%zu, %d steps per benchmark\n\n", base.rows,
+              base.cols, base.steps);
+
+  const MemoryType kMems[] = {MemoryType::kDdr3, MemoryType::kHmcInt,
+                              MemoryType::kHmcExt};
+
+  TextTable table({"benchmark", "DDR3 (ms)", "HMC-INT (ms)", "HMC-EXT (ms)",
+                   "vsGPU DDR3", "vsGPU INT", "vsGPU EXT"});
+  std::vector<double> speedups[3];
+
+  for (const auto& name : PaperBenchmarkNames()) {
+    double cenn_ms[3] = {0, 0, 0};
+    double vs_gpu[3] = {0, 0, 0};
+    for (int m = 0; m < 3; ++m) {
+      BenchSetup setup = base;
+      setup.model = name;
+      setup.memory = kMems[m];
+      const BenchResult r = RunBenchmark(setup);
+      cenn_ms[m] = r.cenn_seconds * 1e3;
+      vs_gpu[m] = r.SpeedupVsGpu();
+      speedups[m].push_back(vs_gpu[m]);
+    }
+    table.AddRow({name, TextTable::Num(cenn_ms[0], "%.3f"),
+                  TextTable::Num(cenn_ms[1], "%.3f"),
+                  TextTable::Num(cenn_ms[2], "%.3f"),
+                  TextTable::Num(vs_gpu[0], "%.2f"),
+                  TextTable::Num(vs_gpu[1], "%.2f"),
+                  TextTable::Num(vs_gpu[2], "%.2f")});
+  }
+  table.Print();
+
+  std::printf("\naverage vs GPU (geomean): DDR3 %.2fx, HMC-INT %.2fx, "
+              "HMC-EXT %.2fx\n",
+              GeoMean(speedups[0]), GeoMean(speedups[1]),
+              GeoMean(speedups[2]));
+  std::printf("paper: 13.52x (DDR3), 23.67x (HMC-INT), 77.37x (HMC-EXT)\n");
+  std::printf("expected shape: DDR3 < HMC-INT <= HMC-EXT on every "
+              "benchmark\n");
+  return 0;
+}

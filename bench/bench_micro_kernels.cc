@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot kernels: the
+ * Q16.16 datapath, LUT evaluation, cache probes, functional engine
+ * steps and the cycle simulator itself. These track the simulator's
+ * own (host) performance, not the modeled accelerator's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "arch/simulator.h"
+#include "core/network.h"
+#include "lut/lut_evaluator.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "program/bitstream.h"
+#include "program/checkpoint.h"
+
+namespace cenn {
+namespace {
+
+void
+BM_Fixed32MulAdd(benchmark::State& state)
+{
+  Fixed32 a = Fixed32::FromDouble(1.2345);
+  const Fixed32 b = Fixed32::FromDouble(0.9997);
+  const Fixed32 c = Fixed32::FromDouble(1e-3);
+  for (auto _ : state) {
+    a = a * b + c;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fixed32MulAdd);
+
+void
+BM_LutEvaluateFixed(benchmark::State& state)
+{
+  auto fn = MakeFunction("bench_exp", [](double x) { return std::exp(-x); });
+  LutSpec spec;
+  spec.min_p = -8.0;
+  spec.max_p = 8.0;
+  spec.frac_index_bits = 4;
+  OffChipLut lut(fn, spec);
+  Fixed32 x = Fixed32::FromDouble(0.379);
+  const Fixed32 dx = Fixed32::FromDouble(1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut.EvaluateFixed(x));
+    x += dx;
+    if (x.ToDouble() > 7.0) {
+      x = Fixed32::FromDouble(-7.0);
+    }
+  }
+}
+BENCHMARK(BM_LutEvaluateFixed);
+
+void
+BM_L1LutProbe(benchmark::State& state)
+{
+  L1Lut l1(static_cast<int>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    if (!l1.Access(i & 15)) {
+      l1.Insert(i & 15);
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_L1LutProbe)->Arg(4)->Arg(16);
+
+void
+BM_EngineStepHeat(benchmark::State& state)
+{
+  ModelConfig mc;
+  mc.rows = static_cast<std::size_t>(state.range(0));
+  mc.cols = mc.rows;
+  const auto model = MakeModel("heat", mc);
+  const SolverProgram program = MakeProgram(*model);
+  MultilayerCenn<double> engine(program.spec);
+  for (auto _ : state) {
+    engine.Step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mc.rows * mc.cols));
+}
+BENCHMARK(BM_EngineStepHeat)->Arg(32)->Arg(64);
+
+void
+BM_EngineStepFixedLutRd(benchmark::State& state)
+{
+  ModelConfig mc;
+  mc.rows = 32;
+  mc.cols = 32;
+  const auto model = MakeModel("reaction_diffusion", mc);
+  const SolverProgram program = MakeProgram(*model);
+  auto bank =
+      std::make_shared<const LutBank>(program.spec, program.lut_config);
+  MultilayerCenn<Fixed32> engine(
+      program.spec, std::make_shared<LutEvaluatorFixed>(bank));
+  for (auto _ : state) {
+    engine.Step();
+  }
+}
+BENCHMARK(BM_EngineStepFixedLutRd);
+
+void
+BM_ArchSimStep(benchmark::State& state)
+{
+  ModelConfig mc;
+  mc.rows = 32;
+  mc.cols = 32;
+  const auto model = MakeModel("izhikevich", mc);
+  const SolverProgram program = MakeProgram(*model);
+  ArchSimulator sim(program, RecommendedArchConfig(program));
+  for (auto _ : state) {
+    sim.Step();
+  }
+}
+BENCHMARK(BM_ArchSimStep);
+
+void
+BM_MapperLowering(benchmark::State& state)
+{
+  ModelConfig mc;
+  mc.rows = 64;
+  mc.cols = 64;
+  const auto model = MakeModel("hodgkin_huxley", mc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mapper::Map(model->System()));
+  }
+}
+BENCHMARK(BM_MapperLowering);
+
+void
+BM_BitstreamRoundTrip(benchmark::State& state)
+{
+  ModelConfig mc;
+  mc.rows = 64;
+  mc.cols = 64;
+  const auto model = MakeModel("reaction_diffusion", mc);
+  const SolverProgram program = MakeProgram(*model);
+  FunctionRegistry registry;
+  registry.RegisterAll(program.spec);
+  for (auto _ : state) {
+    const auto bits = SerializeProgram(program);
+    benchmark::DoNotOptimize(DeserializeProgram(bits, registry));
+  }
+}
+BENCHMARK(BM_BitstreamRoundTrip);
+
+void
+BM_CheckpointCapture(benchmark::State& state)
+{
+  ModelConfig mc;
+  mc.rows = 64;
+  mc.cols = 64;
+  const auto model = MakeModel("izhikevich", mc);
+  MultilayerCenn<Fixed32> engine(Mapper::Map(model->System()));
+  engine.Run(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SerializeCheckpoint(CaptureCheckpoint(engine)));
+  }
+}
+BENCHMARK(BM_CheckpointCapture);
+
+void
+BM_LutHierarchyLookup(benchmark::State& state)
+{
+  LutHierarchyConfig config;
+  LutHierarchy hierarchy(config);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy.Lookup(i & 63, (i * 7) & 255));
+    ++i;
+  }
+}
+BENCHMARK(BM_LutHierarchyLookup);
+
+}  // namespace
+}  // namespace cenn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Table 1: power and area of the PE-array modules (TUM,
+ * ALU, the 64 PEs and the 64 L1 LUTs). The published 15 nm synthesis
+ * numbers are the model constants (see DESIGN.md substitutions); this
+ * harness prints them alongside the scaled values for alternative
+ * array sizes as an ablation.
+ */
+
+#include <cstdio>
+
+#include "power/power_model.h"
+#include "util/table.h"
+
+int
+main()
+{
+  using namespace cenn;
+
+  std::printf("== Table 1: PE array power/area (15 nm model constants) ==\n\n");
+  const PePowerTable t = DefaultPeTable();
+  TextTable table({"module", "power (mW)", "area (mm^2)"});
+  table.AddRow({"PE / TUM", TextTable::Num(t.tum.power_mw, "%.2f"),
+                TextTable::Num(t.tum.area_mm2, "%.5f")});
+  table.AddRow({"PE / ALU", TextTable::Num(t.alu.power_mw, "%.2f"),
+                TextTable::Num(t.alu.area_mm2, "%.5f")});
+  table.AddRow({"PE / TUM+ALU", TextTable::Num(t.pe.power_mw, "%.2f"),
+                TextTable::Num(t.pe.area_mm2, "%.5f")});
+  table.AddRow({"PEs (64)", TextTable::Num(t.pes.power_mw, "%.2f"),
+                TextTable::Num(t.pes.area_mm2, "%.3f")});
+  table.AddRow({"L1 LUTs (64)", TextTable::Num(t.l1_luts.power_mw, "%.2f"),
+                TextTable::Num(t.l1_luts.area_mm2, "%.4f")});
+  table.Print();
+
+  std::printf("\npaper: TUM 1.20 mW / ALU 1.12 mW per PE; PEs 148.48 mW "
+              "0.380 mm^2; L1 LUTs 51.20 mW 0.0698 mm^2.\n");
+
+  std::printf("\n-- ablation: PE array scaling --\n");
+  TextTable scaled({"PE array", "PE-array power (mW)", "area (mm^2)"});
+  for (int side : {4, 8, 16}) {
+    ArchConfig config;
+    config.pe_rows = side;
+    config.pe_cols = side;
+    config.num_l2 = side * side >= 16 ? 16 : side;
+    const SystemPowerTable sys = ScaledSystemTable(config);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%dx%d", side, side);
+    scaled.AddRow({label, TextTable::Num(sys.pe_array.power_mw, "%.2f"),
+                   TextTable::Num(sys.pe_array.area_mm2, "%.3f")});
+  }
+  scaled.Print();
+  return 0;
+}

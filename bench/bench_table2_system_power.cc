@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Table 2 and the Section 6.5 system-power analysis: on-chip
+ * component power/area, plus the external-memory power computed from
+ * energy-per-bit and the *measured* activity ratio of an Izhikevich run
+ * on HMC-INT. The paper reports an activity ratio of 0.22, ~1.04 W of
+ * memory power, a 1.56 W system total and a ~32x advantage over the
+ * 40-50 W GPU.
+ *
+ * Flags: --rows/--cols (default 64), --steps (default 100), --seed.
+ */
+
+#include <cstdio>
+
+#include "arch/simulator.h"
+#include "baseline/platform_model.h"
+#include "models/benchmark_model.h"
+#include "power/power_model.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+  using namespace cenn;
+  CliFlags flags(argc, argv);
+  ModelConfig mc;
+  mc.rows = static_cast<std::size_t>(flags.GetInt("rows", 64));
+  mc.cols = static_cast<std::size_t>(flags.GetInt("cols", 64));
+  mc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int steps = static_cast<int>(flags.GetInt("steps", 100));
+  flags.Validate();
+
+  std::printf("== Table 2: system power/area (on-chip, 15 nm model) ==\n\n");
+  const SystemPowerTable sys = DefaultSystemTable();
+  TextTable table({"system", "power (mW)", "area (mm^2)"});
+  table.AddRow({"PE array", TextTable::Num(sys.pe_array.power_mw, "%.2f"),
+                TextTable::Num(sys.pe_array.area_mm2, "%.3f")});
+  table.AddRow({"L2 LUT", TextTable::Num(sys.l2_lut.power_mw, "%.2f"),
+                TextTable::Num(sys.l2_lut.area_mm2, "%.5f")});
+  table.AddRow({"Global buffer",
+                TextTable::Num(sys.global_buffer.power_mw, "%.2f"),
+                TextTable::Num(sys.global_buffer.area_mm2, "%.3f")});
+  table.AddRow({"Total", TextTable::Num(sys.total.power_mw, "%.2f"),
+                TextTable::Num(sys.total.area_mm2, "%.3f")});
+  table.Print();
+  std::printf("\npaper: 199.68 / 63.61 / 260.16 -> 523.45 mW, 1.082 mm^2\n");
+
+  // Section 6.5: memory power from a measured Izhikevich run on HMC-INT.
+  ModelConfig izh_mc = mc;
+  const auto model = MakeModel("izhikevich", izh_mc);
+  const SolverProgram program = MakeProgram(*model);
+  ArchConfig config;
+  config.memory = MemoryParams::HmcInt();
+  config = RecommendedArchConfig(program, config);
+  ArchSimulator sim(program, config);
+  sim.Run(static_cast<std::uint64_t>(steps));
+  const EnergyReport energy = ComputeEnergy(sim.Report(), config);
+
+  std::printf("\n-- system power with HMC-INT, measured Izhikevich run "
+              "(%zux%zu, %d steps) --\n",
+              mc.rows, mc.cols, steps);
+  std::printf("activity ratio          : %.3f   (paper: 0.22)\n",
+              energy.activity_ratio);
+  std::printf("memory power            : %.3f W (paper: ~1.04 W at "
+              "3.7 pJ/bit)\n",
+              energy.memory_power_w);
+  std::printf("on-chip power           : %.3f W (paper: 0.523 W)\n",
+              energy.onchip_power_w);
+  std::printf("total system power      : %.3f W (paper: 1.56 W)\n",
+              energy.total_power_w);
+
+  const double gpu_power = PlatformModel::Gtx850().power_w;
+  std::printf("GPU power               : %.1f W  (paper: 40-50 W)\n",
+              gpu_power);
+  std::printf("power advantage vs GPU  : %.1fx (paper: ~32x)\n",
+              gpu_power / energy.total_power_w);
+  std::printf("solver GOPS / GOPS/W    : %.2f / %.2f (paper: ~54 peak GOPS, "
+              "~103 GOPS/W)\n",
+              energy.gops, energy.gops_per_watt);
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "bench/bench_util.h"
+
+#include <cmath>
+
+#include "baseline/workload.h"
+
+namespace cenn {
+
+BenchResult
+RunBenchmark(const BenchSetup& setup)
+{
+  ModelConfig mc;
+  mc.rows = setup.rows;
+  mc.cols = setup.cols;
+  mc.seed = setup.seed;
+  const auto model = MakeModel(setup.model, mc);
+  const SolverProgram program = MakeProgram(*model);
+
+  ArchConfig config;
+  config.memory = MemoryParams::ForType(setup.memory);
+  // The PE array runs at 1/4 of the memory I/O clock (Section 6.3).
+  config.pe_clock_hz = config.memory.pe_clock_hint_hz;
+  config = RecommendedArchConfig(program, config);
+
+  ArchSimulator sim(program, config);
+  sim.Run(static_cast<std::uint64_t>(setup.steps));
+
+  BenchResult result;
+  result.setup = setup;
+  result.report = sim.Report();
+  result.energy = ComputeEnergy(sim.Report(), config);
+  result.cenn_seconds = sim.Report().Seconds(config.pe_clock_hz);
+
+  const WorkloadProfile workload = WorkloadProfile::FromSpec(program.spec);
+  result.cpu_seconds = PlatformModel::DesktopCpu().RunTime(
+      workload, static_cast<std::uint64_t>(setup.steps));
+  result.gpu_seconds = PlatformModel::Gtx850().RunTime(
+      workload, static_cast<std::uint64_t>(setup.steps));
+  return result;
+}
+
+double
+GeoMean(const std::vector<double>& values)
+{
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace cenn

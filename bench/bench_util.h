@@ -1,0 +1,51 @@
+#ifndef CENN_BENCH_BENCH_UTIL_H_
+#define CENN_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared driver for the paper-reproduction benchmark binaries: runs a
+ * benchmark model on the cycle-level simulator and evaluates the
+ * CPU/GPU roofline baselines on the same workload.
+ */
+
+#include <string>
+
+#include "arch/simulator.h"
+#include "baseline/platform_model.h"
+#include "models/benchmark_model.h"
+#include "power/power_model.h"
+
+namespace cenn {
+
+/** Inputs of one benchmark run. */
+struct BenchSetup {
+  std::string model;
+  std::size_t rows = 64;
+  std::size_t cols = 64;
+  std::uint64_t seed = 42;
+  int steps = 50;
+  MemoryType memory = MemoryType::kDdr3;
+};
+
+/** Outputs of one benchmark run. */
+struct BenchResult {
+  BenchSetup setup;
+  SimReport report;        ///< accelerator timing
+  EnergyReport energy;     ///< accelerator power/energy
+  double cenn_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double gpu_seconds = 0.0;
+
+  double SpeedupVsCpu() const { return cpu_seconds / cenn_seconds; }
+  double SpeedupVsGpu() const { return gpu_seconds / cenn_seconds; }
+};
+
+/** Runs the accelerator simulation plus both baselines. */
+BenchResult RunBenchmark(const BenchSetup& setup);
+
+/** Geometric mean of a positive series. */
+double GeoMean(const std::vector<double>& values);
+
+}  // namespace cenn
+
+#endif  // CENN_BENCH_BENCH_UTIL_H_

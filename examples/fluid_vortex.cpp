@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scientific-simulation workload: decay of a Taylor-Green-like vortex
+ * pair under the 2-D Navier-Stokes momentum equations, solved with
+ * space/time-variant nonlinear templates (the velocity field steers
+ * its own advection template every step). Tracks kinetic energy decay
+ * against the viscous-dissipation trend.
+ *
+ *   ./fluid_vortex [--rows=64] [--cols=64] [--steps=240]
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/network.h"
+#include "mapping/mapper.h"
+#include "models/navier_stokes.h"
+#include "util/cli.h"
+#include "util/io.h"
+
+namespace {
+
+double
+KineticEnergy(const std::vector<double>& u, const std::vector<double>& v)
+{
+  double e = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    e += 0.5 * (u[i] * u[i] + v[i] * v[i]);
+  }
+  return e;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+  using namespace cenn;
+  CliFlags flags(argc, argv);
+  ModelConfig config;
+  config.rows = static_cast<std::size_t>(flags.GetInt("rows", 64));
+  config.cols = static_cast<std::size_t>(flags.GetInt("cols", 64));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int steps = static_cast<int>(flags.GetInt("steps", 240));
+  flags.Validate();
+
+  NavierStokesModel model(config);
+  const NetworkSpec spec = Mapper::Map(model.System());
+  MultilayerCenn<double> engine(spec);
+
+  std::printf("Navier-Stokes (momentum form) on %zux%zu, nu = %.2f\n\n",
+              config.rows, config.cols, model.Params().viscosity);
+
+  std::printf("%-8s %-14s %-12s\n", "step", "kinetic energy", "E/E0");
+  const double e0 = KineticEnergy(engine.StateDoubles(0),
+                                  engine.StateDoubles(1));
+  std::printf("%-8d %-14.4f %-12.4f\n", 0, e0, 1.0);
+
+  const int chunk = steps / 8 > 0 ? steps / 8 : 1;
+  for (int s = 0; s < steps; s += chunk) {
+    engine.Run(static_cast<std::uint64_t>(chunk));
+    const double e = KineticEnergy(engine.StateDoubles(0),
+                                   engine.StateDoubles(1));
+    std::printf("%-8llu %-14.4f %-12.4f\n",
+                static_cast<unsigned long long>(engine.Steps()), e, e / e0);
+  }
+
+  // Speed magnitude snapshot.
+  const std::vector<double> u = engine.StateDoubles(0);
+  const std::vector<double> v = engine.StateDoubles(1);
+  std::vector<double> speed(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    speed[i] = std::sqrt(u[i] * u[i] + v[i] * v[i]);
+  }
+  std::printf("\nspeed magnitude after %d steps:\n", steps);
+  std::printf("%s",
+              AsciiHeatmap(speed, config.rows, config.cols, 40).c_str());
+  std::printf("\nkinetic energy decays monotonically under viscous "
+              "dissipation — the vortex pair spreads and slows.\n");
+  return 0;
+}

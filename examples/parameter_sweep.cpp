@@ -1,0 +1,115 @@
+/**
+ * @file
+ * "Massive simulations with different conditions in parallel": the
+ * paper motivates fleets of energy-efficient DE solvers exploring a
+ * parameter space (Section 6.1). This example sweeps the Izhikevich
+ * (a, d) plane with one solver instance per point, measures firing
+ * rates, and prints the resulting phase map plus the projected energy
+ * cost of the whole sweep on the accelerator versus the GPU.
+ *
+ *   ./parameter_sweep [--rows=8] [--cols=8] [--steps=800] [--points=5]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "arch/simulator.h"
+#include "baseline/platform_model.h"
+#include "baseline/workload.h"
+#include "mapping/mapper.h"
+#include "models/izhikevich.h"
+#include "power/power_model.h"
+#include "util/cli.h"
+
+namespace {
+
+/** Spikes per neuron per second across the grid. */
+double
+MeanRate(cenn::MultilayerCenn<cenn::Fixed32>& engine, int steps, double dt_ms,
+         double threshold)
+{
+  using namespace cenn;
+  std::vector<double> prev = engine.StateDoubles(0);
+  std::uint64_t spikes = 0;
+  for (int s = 0; s < steps; ++s) {
+    engine.Step();
+    std::vector<double> now = engine.StateDoubles(0);
+    for (std::size_t i = 0; i < now.size(); ++i) {
+      if (prev[i] > threshold - 10.0 && now[i] < threshold - 50.0) {
+        ++spikes;
+      }
+    }
+    prev.swap(now);
+  }
+  const double cells = static_cast<double>(prev.size());
+  const double seconds = static_cast<double>(steps) * dt_ms / 1e3;
+  return static_cast<double>(spikes) / cells / seconds;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+  using namespace cenn;
+  CliFlags flags(argc, argv);
+  ModelConfig config;
+  config.rows = static_cast<std::size_t>(flags.GetInt("rows", 8));
+  config.cols = static_cast<std::size_t>(flags.GetInt("cols", 8));
+  const int steps = static_cast<int>(flags.GetInt("steps", 800));
+  const int points = static_cast<int>(flags.GetInt("points", 5));
+  flags.Validate();
+
+  std::printf("Izhikevich (a, d) sweep: %dx%d solver instances, %zux%zu "
+              "neurons each, %d steps\n\n",
+              points, points, config.rows, config.cols, steps);
+
+  // Phase map: recovery rate a vs reset increment d.
+  std::printf("mean firing rate (Hz); rows: a, cols: d\n        ");
+  for (int j = 0; j < points; ++j) {
+    std::printf("d=%-5.1f ", 2.0 + 2.0 * j);
+  }
+  std::printf("\n");
+  int runs = 0;
+  for (int i = 0; i < points; ++i) {
+    IzhikevichParams params;
+    params.a = 0.02 + 0.02 * i;
+    std::printf("a=%.2f  ", params.a);
+    for (int j = 0; j < points; ++j) {
+      params.d = 2.0 + 2.0 * j;
+      IzhikevichModel model(config, params);
+      MultilayerCenn<Fixed32> engine(Mapper::Map(model.System()));
+      const double rate =
+          MeanRate(engine, steps, params.dt, params.spike_threshold);
+      std::printf("%-7.1f ", rate);
+      ++runs;
+    }
+    std::printf("\n");
+  }
+
+  // Energy projection for the sweep: one accelerator run per point vs
+  // the GPU baseline (the paper's energy-efficiency pitch).
+  IzhikevichModel model(config);
+  const SolverProgram program = MakeProgram(model);
+  ArchConfig arch;
+  arch.memory = MemoryParams::HmcInt();
+  arch = RecommendedArchConfig(program, arch);
+  ArchSimulator sim(program, arch);
+  sim.Run(static_cast<std::uint64_t>(steps));
+  const EnergyReport energy = ComputeEnergy(sim.Report(), arch);
+
+  const WorkloadProfile workload = WorkloadProfile::FromSpec(program.spec);
+  const PlatformModel gpu = PlatformModel::Gtx850();
+  const double gpu_energy =
+      gpu.RunTime(workload, static_cast<std::uint64_t>(steps)) * gpu.power_w;
+
+  std::printf("\nper-point energy: solver %.3f mJ vs GPU %.3f mJ "
+              "(%.0fx less)\n",
+              energy.energy_j * 1e3, gpu_energy * 1e3,
+              gpu_energy / energy.energy_j);
+  std::printf("whole %d-point sweep on one solver: %.1f mJ, %.2f ms "
+              "compute\n",
+              runs, energy.energy_j * 1e3 * runs,
+              energy.runtime_s * 1e3 * runs);
+  return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Neuromorphic workload: a grid of Izhikevich neurons with
+ * heterogeneous drive, simulated on the fixed-point datapath with the
+ * thresholded spike-reset rule. Prints a spike raster (rows of the
+ * center neuron column over time) and per-neuron firing rates —
+ * the paper's "spiking models as candidates for neuromorphic engines"
+ * use case.
+ *
+ *   ./spiking_network [--rows=16] [--cols=16] [--steps=2000]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/network.h"
+#include "mapping/mapper.h"
+#include "models/izhikevich.h"
+#include "util/cli.h"
+
+int
+main(int argc, char** argv)
+{
+  using namespace cenn;
+  CliFlags flags(argc, argv);
+  ModelConfig config;
+  config.rows = static_cast<std::size_t>(flags.GetInt("rows", 16));
+  config.cols = static_cast<std::size_t>(flags.GetInt("cols", 16));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  const int steps = static_cast<int>(flags.GetInt("steps", 2000));
+  flags.Validate();
+
+  IzhikevichModel model(config);
+  const NetworkSpec spec = Mapper::Map(model.System());
+  MultilayerCenn<Fixed32> engine(spec);
+
+  const double dt = model.Params().dt;
+  const double threshold = model.Params().spike_threshold;
+  const std::size_t raster_col = config.cols / 2;
+
+  std::printf("Izhikevich grid %zux%zu, dt = %.2f ms, %d steps "
+              "(%.0f ms simulated)\n\n",
+              config.rows, config.cols, dt, steps,
+              dt * static_cast<double>(steps));
+
+  // Spike raster of the center column: one text row per 25 ms bucket.
+  std::vector<std::uint64_t> spike_count(config.rows * config.cols, 0);
+  std::vector<double> prev_v = engine.StateDoubles(0);
+  const int bucket = static_cast<int>(25.0 / dt);
+  std::string raster_line(config.rows, '.');
+
+  std::printf("raster (center column, '|' = spike in 25 ms window):\n");
+  for (int s = 1; s <= steps; ++s) {
+    engine.Step();
+    const std::vector<double> v = engine.StateDoubles(0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      // A reset just fired if v fell from above threshold-ish to c.
+      if (prev_v[i] > threshold - 10.0 && v[i] < threshold - 50.0) {
+        ++spike_count[i];
+        const std::size_t r = i / config.cols;
+        const std::size_t c = i % config.cols;
+        if (c == raster_col) {
+          raster_line[r] = '|';
+        }
+      }
+    }
+    prev_v = v;
+    if (s % bucket == 0) {
+      std::printf("t=%6.0f ms  %s\n", dt * static_cast<double>(s),
+                  raster_line.c_str());
+      raster_line.assign(config.rows, '.');
+    }
+  }
+
+  // Firing-rate summary.
+  const double sim_seconds = dt * static_cast<double>(steps) / 1e3;
+  double total_rate = 0.0;
+  std::uint64_t silent = 0;
+  for (std::uint64_t n : spike_count) {
+    total_rate += static_cast<double>(n) / sim_seconds;
+    silent += (n == 0) ? 1 : 0;
+  }
+  std::printf("\nmean firing rate: %.1f Hz, silent neurons: %llu / %zu\n",
+              total_rate / static_cast<double>(spike_count.size()),
+              static_cast<unsigned long long>(silent), spike_count.size());
+  std::printf("(stronger-driven neurons fire faster — regular-spiking "
+              "Izhikevich dynamics)\n");
+  return 0;
+}

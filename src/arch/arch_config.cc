@@ -1,0 +1,133 @@
+#include "arch/arch_config.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+const char*
+MemoryTypeName(MemoryType type)
+{
+  switch (type) {
+    case MemoryType::kDdr3:
+      return "DDR3";
+    case MemoryType::kHmcExt:
+      return "HMC-EXT";
+    case MemoryType::kHmcInt:
+      return "HMC-INT";
+  }
+  return "?";
+}
+
+double
+MemoryParams::PeakBandwidth() const
+{
+  return static_cast<double>(channels) * transfer_rate_hz *
+         (static_cast<double>(bus_width_bits) / 8.0);
+}
+
+double
+MemoryParams::EffectiveBandwidth() const
+{
+  const double duty =
+      static_cast<double>(burst_length) /
+      static_cast<double>(burst_length + t_ccd_transfers);
+  return PeakBandwidth() * duty;
+}
+
+MemoryParams
+MemoryParams::Ddr3()
+{
+  MemoryParams m;
+  m.type = MemoryType::kDdr3;
+  m.channels = 2;
+  m.transfer_rate_hz = 1.6e9;  // DDR3-1600
+  m.bus_width_bits = 64;
+  m.burst_length = 8;
+  m.t_ccd_transfers = 4;
+  m.access_latency_ns = 50.0;
+  m.energy_pj_per_bit = 20.0;
+  m.pe_clock_hint_hz = 600e6;
+  return m;
+}
+
+MemoryParams
+MemoryParams::HmcExt()
+{
+  MemoryParams m;
+  m.type = MemoryType::kHmcExt;
+  m.channels = 16;
+  m.transfer_rate_hz = 10.0e9;  // 10 GHz serial links (Section 6.4)
+  m.bus_width_bits = 16;
+  m.burst_length = 8;
+  m.t_ccd_transfers = 1;
+  m.access_latency_ns = 45.0;
+  m.energy_pj_per_bit = 8.0;
+  m.pe_clock_hint_hz = 2.5e9;  // 10 GHz I/O clock / 4
+  return m;
+}
+
+MemoryParams
+MemoryParams::HmcInt()
+{
+  MemoryParams m;
+  m.type = MemoryType::kHmcInt;
+  m.channels = 16;
+  m.transfer_rate_hz = 2.5e9;  // vault-internal clock (Section 6.4)
+  m.bus_width_bits = 32;
+  m.burst_length = 8;
+  m.t_ccd_transfers = 1;
+  m.access_latency_ns = 40.0;
+  m.energy_pj_per_bit = 3.7;  // Jeddeloh & Keeth, as used by the paper
+  m.pe_clock_hint_hz = 625e6;  // 2.5 GHz vault clock / 4
+  return m;
+}
+
+MemoryParams
+MemoryParams::ForType(MemoryType type)
+{
+  switch (type) {
+    case MemoryType::kDdr3:
+      return Ddr3();
+    case MemoryType::kHmcExt:
+      return HmcExt();
+    case MemoryType::kHmcInt:
+      return HmcInt();
+  }
+  CENN_PANIC("unhandled memory type");
+}
+
+void
+ArchConfig::Validate() const
+{
+  if (pe_rows < 1 || pe_cols < 1) {
+    CENN_FATAL("PE array must be at least 1x1");
+  }
+  if (pe_clock_hz <= 0.0) {
+    CENN_FATAL("PE clock must be positive");
+  }
+  if (NumPes() % num_l2 != 0) {
+    CENN_FATAL("num_l2 (", num_l2, ") must divide the PE count (", NumPes(),
+               ")");
+  }
+  if (l2_entries < 1 || (l2_entries & (l2_entries - 1)) != 0) {
+    CENN_FATAL("l2_entries must be a power of two");
+  }
+  if (memory.channels < 1 || memory.burst_length < 1) {
+    CENN_FATAL("bad memory parameters");
+  }
+}
+
+std::string
+ArchConfig::Summary() const
+{
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%dx%d PEs @ %.0f MHz, L1=%d blocks, %d x L2=%d entries, %s",
+                pe_rows, pe_cols, pe_clock_hz / 1e6, l1_blocks, num_l2,
+                l2_entries, MemoryTypeName(memory.type));
+  return buf;
+}
+
+}  // namespace cenn

@@ -1,0 +1,115 @@
+#ifndef CENN_ARCH_ARCH_CONFIG_H_
+#define CENN_ARCH_ARCH_CONFIG_H_
+
+/**
+ * @file
+ * Configuration of the modeled accelerator (Fig. 4): PE array geometry,
+ * clocks, on-chip LUT sizes, global-buffer banking and the external
+ * memory system (DDR3 / HMC-EXT / HMC-INT, Section 6.3-6.4).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace cenn {
+
+/** External memory technology options evaluated in the paper. */
+enum class MemoryType : std::uint8_t {
+  kDdr3 = 0,    ///< 2-channel DDR3 (Fig. 13 configuration)
+  kHmcExt = 1,  ///< Hybrid Memory Cube, external 10 GHz links (Fig. 14)
+  kHmcInt = 2,  ///< HMC internal / processor-in-memory, 2.5 GHz vaults
+};
+
+/** Returns "DDR3" / "HMC-EXT" / "HMC-INT". */
+const char* MemoryTypeName(MemoryType type);
+
+/** Timing/energy description of one external memory configuration. */
+struct MemoryParams {
+  MemoryType type = MemoryType::kDdr3;
+
+  /** Independent channels (DDR3: 2) or vaults/links (HMC: 16). */
+  int channels = 2;
+
+  /** Data transfers per second per channel (DDR: 2x io clock). */
+  double transfer_rate_hz = 1.6e9;
+
+  /** Data bits moved per transfer per channel. */
+  int bus_width_bits = 64;
+
+  /** Consecutive transfers per burst (the paper assumes BL = 8). */
+  int burst_length = 8;
+
+  /** Idle transfers between bursts on a channel (t_CCD gap). */
+  int t_ccd_transfers = 4;
+
+  /** Random-access latency for a LUT fetch, in nanoseconds. */
+  double access_latency_ns = 50.0;
+
+  /** DRAM access energy (the paper uses 3.7 pJ/bit for HMC-INT). */
+  double energy_pj_per_bit = 15.0;
+
+  /**
+   * PE clock this memory supports: the paper runs the PE array at 1/4
+   * of the DRAM / L2-LUT clock (Section 6.3), which is how HMC-EXT's
+   * 10 GHz links translate into higher solver throughput (Fig. 14).
+   */
+  double pe_clock_hint_hz = 600e6;
+
+  /** Peak bandwidth in bytes/s over all channels. */
+  double PeakBandwidth() const;
+
+  /** Effective streaming bandwidth including the burst/t_CCD duty. */
+  double EffectiveBandwidth() const;
+
+  /** Preset: 2-channel DDR3-1600. */
+  static MemoryParams Ddr3();
+
+  /** Preset: HMC with external 10 GHz serial links. */
+  static MemoryParams HmcExt();
+
+  /** Preset: HMC internal vault access (processor-in-memory). */
+  static MemoryParams HmcInt();
+
+  /** Preset by type. */
+  static MemoryParams ForType(MemoryType type);
+};
+
+/** Full accelerator configuration. */
+struct ArchConfig {
+  int pe_rows = 8;                ///< PE array height (nPE_y)
+  int pe_cols = 8;                ///< PE array width (nPE_x)
+  double pe_clock_hz = 600e6;     ///< synthesized PE clock (Section 6.5)
+
+  int l1_blocks = 4;              ///< per-PE L1 LUT blocks (Fig. 12 choice)
+  int l2_entries = 32;            ///< per-instance shared L2 entries
+  int num_l2 = 16;                ///< shared L2 instances
+
+  int state_banks = 16;           ///< global-buffer banks for states
+  int input_banks = 16;           ///< global-buffer banks for inputs
+  std::size_t global_buffer_bytes = 2u << 20;  ///< ~2 MB total (Table 2)
+
+  /**
+   * When true, weights whose nonlinearity is a polynomial of degree
+   * <= 3 also go through the LUT hierarchy (every WUI weight pays
+   * lookup traffic). When false (default), their state-independent
+   * c0..c3 live in the template data and the TUM evaluates them with
+   * no lookup — the pre-programmed case of eq. (10). Fig. 12 style
+   * miss-rate studies set this to true.
+   */
+  bool lut_for_polynomials = false;
+
+  MemoryParams memory = MemoryParams::Ddr3();
+
+  /** Number of PEs (= L1 LUT instances). */
+  int NumPes() const { return pe_rows * pe_cols; }
+
+  /** Fatal on inconsistent values. */
+  void Validate() const;
+
+  /** Short description for reports. */
+  std::string Summary() const;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_ARCH_ARCH_CONFIG_H_

@@ -1,0 +1,146 @@
+#include "arch/buffers.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+GlobalBufferModel::GlobalBufferModel(int banks_per_group, int pe_rows,
+                                     std::size_t capacity_bytes)
+    : half_banks_(banks_per_group / 2),
+      pe_rows_(pe_rows),
+      capacity_bytes_(capacity_bytes)
+{
+  if (banks_per_group < 2 || banks_per_group % 2 != 0) {
+    CENN_FATAL("global buffer needs an even bank count, got ",
+               banks_per_group);
+  }
+  if (pe_rows < 1) {
+    CENN_FATAL("pe_rows must be positive");
+  }
+  primary_reads_.assign(static_cast<std::size_t>(half_banks_), 0);
+  support_reads_.assign(static_cast<std::size_t>(half_banks_), 0);
+}
+
+int
+GlobalBufferModel::PrimaryBankForRow(std::size_t grid_row) const
+{
+  // Bank (k-1) has data for the k-th row in each sub-block (Fig. 9).
+  return static_cast<int>(grid_row %
+                          static_cast<std::size_t>(half_banks_));
+}
+
+int
+GlobalBufferModel::SupportBankForCol(std::size_t grid_col) const
+{
+  // The support group is interleaved by column so consecutive boundary
+  // columns land in different banks.
+  return static_cast<int>(grid_col %
+                          static_cast<std::size_t>(half_banks_));
+}
+
+void
+GlobalBufferModel::RecordSubBlockLoad(std::size_t rows, std::size_t cols)
+{
+  for (std::size_t r = 0; r < rows; ++r) {
+    primary_reads_[static_cast<std::size_t>(PrimaryBankForRow(r))] += cols;
+  }
+}
+
+void
+GlobalBufferModel::RecordBoundaryColumn(std::size_t rows, std::size_t col)
+{
+  support_reads_[static_cast<std::size_t>(SupportBankForCol(col))] += rows;
+}
+
+void
+GlobalBufferModel::RecordBoundaryRow(std::size_t row, std::size_t cols)
+{
+  primary_reads_[static_cast<std::size_t>(PrimaryBankForRow(row))] += cols;
+}
+
+void
+GlobalBufferModel::RecordWriteBack(std::size_t rows, std::size_t cols)
+{
+  writes_ += rows * cols;
+}
+
+std::size_t
+GlobalBufferModel::BytesNeeded(const NetworkSpec& spec)
+{
+  const std::size_t cells = spec.rows * spec.cols;
+  std::size_t input_layers = 0;
+  for (const auto& layer : spec.layers) {
+    for (const auto& c : layer.couplings) {
+      if (c.kind == CouplingKind::kInput) {
+        ++input_layers;
+        break;
+      }
+    }
+  }
+  return cells * 4 *
+         (static_cast<std::size_t>(spec.NumLayers()) + input_layers);
+}
+
+bool
+GlobalBufferModel::Fits(const NetworkSpec& spec) const
+{
+  return BytesNeeded(spec) <= capacity_bytes_;
+}
+
+double
+GlobalBufferModel::PrimaryImbalance() const
+{
+  const auto [lo, hi] =
+      std::minmax_element(primary_reads_.begin(), primary_reads_.end());
+  if (*hi == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(*hi) /
+         static_cast<double>(std::max<std::uint64_t>(1, *lo));
+}
+
+TemplateBufferFsm::TemplateBufferFsm(int num_layers, int kernel_side)
+    : num_layers_(num_layers), kernel_side_(kernel_side)
+{
+  if (num_layers < 1 || kernel_side < 1 || kernel_side % 2 == 0) {
+    CENN_FATAL("bad template buffer geometry (", num_layers, " layers, ",
+               kernel_side, " kernel)");
+  }
+}
+
+TemplateStep
+TemplateBufferFsm::Current() const
+{
+  TemplateStep s;
+  s.dst_layer = pair_ / num_layers_;
+  s.src_layer = pair_ % num_layers_;
+  s.conv_id = conv_;
+  return s;
+}
+
+bool
+TemplateBufferFsm::Advance()
+{
+  ++conv_;
+  if (conv_ < kernel_side_ * kernel_side_) {
+    return false;
+  }
+  conv_ = 0;
+  ++pair_;
+  if (pair_ < num_layers_ * num_layers_) {
+    return false;
+  }
+  pair_ = 0;
+  ++sweeps_;
+  return true;
+}
+
+int
+TemplateBufferFsm::StepsPerSweep() const
+{
+  return num_layers_ * num_layers_ * kernel_side_ * kernel_side_;
+}
+
+}  // namespace cenn

@@ -1,0 +1,144 @@
+#ifndef CENN_ARCH_BUFFERS_H_
+#define CENN_ARCH_BUFFERS_H_
+
+/**
+ * @file
+ * On-chip buffer models: the banked global buffer of Fig. 9 and the
+ * shared template buffer's FSM addressing (Section 4.2/4.3).
+ *
+ * Global buffer: 16 state banks + 16 input banks, each group split
+ * into a *primary* half (bank k holds row k of every 8x8 sub-block, so
+ * a full sub-block loads one row per bank in parallel) and a *support*
+ * half (column-interleaved, servicing the boundary columns/rows the
+ * dataflow modes 1-3 shift in).
+ *
+ * Template buffer: holds up to N_layer^2 feedback templates plus the
+ * programmed feedforward templates; a two-counter FSM (layer-pair
+ * counter + convolution counter) broadcasts one weight per cycle.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network_spec.h"
+
+namespace cenn {
+
+/** Banked global buffer (Fig. 9) with per-bank access accounting. */
+class GlobalBufferModel
+{
+  public:
+    /**
+     * @param banks_per_group banks per data type (16 in the paper:
+     *        8 primary + 8 support).
+     * @param pe_rows PE array height (rows per sub-block).
+     * @param capacity_bytes total global-buffer capacity (~2 MB).
+     */
+    GlobalBufferModel(int banks_per_group, int pe_rows,
+                      std::size_t capacity_bytes);
+
+    /** Primary bank holding row `grid_row` of its sub-block. */
+    int PrimaryBankForRow(std::size_t grid_row) const;
+
+    /** Support bank for a boundary word (column-interleaved). */
+    int SupportBankForCol(std::size_t grid_col) const;
+
+    /** Records a full sub-block load: one row per primary bank. */
+    void RecordSubBlockLoad(std::size_t rows, std::size_t cols);
+
+    /** Records a boundary-column fetch from the support group. */
+    void RecordBoundaryColumn(std::size_t rows, std::size_t col);
+
+    /** Records a boundary-row fetch from the primary group. */
+    void RecordBoundaryRow(std::size_t row, std::size_t cols);
+
+    /** Records a sub-block write-back (primary banks). */
+    void RecordWriteBack(std::size_t rows, std::size_t cols);
+
+    /**
+     * Bytes needed to hold every state and input map on chip at once;
+     * when this exceeds the capacity the solver streams per step.
+     */
+    static std::size_t BytesNeeded(const NetworkSpec& spec);
+
+    /** True when the whole working set fits on chip. */
+    bool Fits(const NetworkSpec& spec) const;
+
+    /** Per-bank word counters: primary group. */
+    const std::vector<std::uint64_t>& PrimaryReads() const
+    {
+        return primary_reads_;
+    }
+
+    /** Per-bank word counters: support group. */
+    const std::vector<std::uint64_t>& SupportReads() const
+    {
+        return support_reads_;
+    }
+
+    /** Total words written back. */
+    std::uint64_t Writes() const { return writes_; }
+
+    /** Largest/smallest primary-bank load ratio (balance check). */
+    double PrimaryImbalance() const;
+
+    std::size_t CapacityBytes() const { return capacity_bytes_; }
+
+  private:
+    int half_banks_;  // banks per half-group (primary or support)
+    int pe_rows_;
+    std::size_t capacity_bytes_;
+    std::vector<std::uint64_t> primary_reads_;
+    std::vector<std::uint64_t> support_reads_;
+    std::uint64_t writes_ = 0;
+};
+
+/** One step of the template-buffer broadcast sequence. */
+struct TemplateStep {
+  int dst_layer = 0;
+  int src_layer = 0;
+  int conv_id = 0;
+  bool operator==(const TemplateStep&) const = default;
+};
+
+/**
+ * The template buffer's two-counter FSM: iterates conv_id within each
+ * (dst, src) pair, then advances the pair counter (Section 4.3's
+ * "one counter for layer indexing and the other for convolution
+ * indexing").
+ */
+class TemplateBufferFsm
+{
+  public:
+    /**
+     * @param num_layers  N_layer.
+     * @param kernel_side l_kernel.
+     */
+    TemplateBufferFsm(int num_layers, int kernel_side);
+
+    /** Current broadcast step. */
+    TemplateStep Current() const;
+
+    /** Advances one cycle; returns true when a full sweep completed. */
+    bool Advance();
+
+    /** Steps in one full sweep: N_layer^2 * l_kernel^2. */
+    int StepsPerSweep() const;
+
+    /** Words of template storage required (per template type). */
+    int StorageWords() const { return StepsPerSweep(); }
+
+    /** Completed sweeps (one per sub-block computation). */
+    std::uint64_t Sweeps() const { return sweeps_; }
+
+  private:
+    int num_layers_;
+    int kernel_side_;
+    int pair_ = 0;
+    int conv_ = 0;
+    std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_ARCH_BUFFERS_H_

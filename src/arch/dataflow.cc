@@ -1,0 +1,88 @@
+#include "arch/dataflow.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+const char*
+DataflowSchemeName(DataflowScheme scheme)
+{
+  switch (scheme) {
+    case DataflowScheme::kNoLocalReuse:
+      return "NLR";
+    case DataflowScheme::kWeightStationary:
+      return "WS";
+    case DataflowScheme::kRowStationary:
+      return "RS";
+    case DataflowScheme::kOutputStationary:
+      return "OS";
+  }
+  return "?";
+}
+
+int
+DataflowMode(int conv_id, int l_kernel)
+{
+  CENN_ASSERT(l_kernel >= 1 && conv_id >= 0 &&
+                  conv_id < l_kernel * l_kernel,
+              "bad conv_id ", conv_id, " for kernel ", l_kernel);
+  if (conv_id == 0) {
+    return 0;
+  }
+  if (conv_id < l_kernel) {
+    return 1;
+  }
+  if (conv_id % l_kernel == 0) {
+    return 2;
+  }
+  return 3;
+}
+
+int
+BankReadsForMode(int mode, int pe_rows, int pe_cols)
+{
+  switch (mode) {
+    case 0:
+      return pe_rows * pe_cols;  // full sub-block load
+    case 1:
+    case 3:
+      return pe_rows;  // one new boundary column, horizontal shift
+    case 2:
+      return pe_cols;  // one new boundary row on kernel-row change
+    default:
+      CENN_PANIC("bad dataflow mode ", mode);
+  }
+}
+
+double
+DramAccessesPerStepNonOs(double mr_l1, double mr_l2, std::uint64_t input_size,
+                         int templates_needing_update)
+{
+  return mr_l1 * mr_l2 * static_cast<double>(input_size) *
+         static_cast<double>(templates_needing_update);
+}
+
+double
+DramAccessesPerStepOs(double mr_l1, double mr_l2, std::uint64_t input_size,
+                      int templates_needing_update, int num_pes)
+{
+  CENN_ASSERT(num_pes > 0, "num_pes must be positive");
+  return DramAccessesPerStepNonOs(mr_l1, mr_l2, input_size,
+                                  templates_needing_update) /
+         static_cast<double>(num_pes);
+}
+
+double
+DramAccessesPerStep(DataflowScheme scheme, double mr_l1, double mr_l2,
+                    std::uint64_t input_size, int templates_needing_update,
+                    int num_pes)
+{
+  if (scheme == DataflowScheme::kOutputStationary) {
+    return DramAccessesPerStepOs(mr_l1, mr_l2, input_size,
+                                 templates_needing_update, num_pes);
+  }
+  return DramAccessesPerStepNonOs(mr_l1, mr_l2, input_size,
+                                  templates_needing_update);
+}
+
+}  // namespace cenn

@@ -1,0 +1,69 @@
+#ifndef CENN_ARCH_DATAFLOW_H_
+#define CENN_ARCH_DATAFLOW_H_
+
+/**
+ * @file
+ * Dataflow analysis (Section 5).
+ *
+ * DataflowMode implements the paper's mode-selection rules for the OS
+ * dataflow's intra-PE data movement (Fig. 10): mode 0 loads the full
+ * sub-block, modes 1/3 shift left fetching a boundary column, mode 2
+ * uses the backup registers on a kernel-row change.
+ *
+ * The DramAccess* functions implement the analytic comparison of
+ * eq. (11) and (12): for non-output-stationary dataflows every
+ * LUT-miss-prone weight update hits DRAM once per cell, while OS
+ * shares the broadcast weight so the whole PE array amortizes one
+ * access — the #PEs reduction that motivates choosing OS.
+ */
+
+#include <cstdint>
+
+namespace cenn {
+
+/** Dataflow schemes compared in Fig. 8 (taxonomy of Chen et al.). */
+enum class DataflowScheme : std::uint8_t {
+  kNoLocalReuse = 0,    ///< NLR
+  kWeightStationary = 1,///< WS
+  kRowStationary = 2,   ///< RS
+  kOutputStationary = 3,///< OS (the paper's choice)
+};
+
+/** Returns "NLR" / "WS" / "RS" / "OS". */
+const char* DataflowSchemeName(DataflowScheme scheme);
+
+/**
+ * OS dataflow mode for convolution step `conv_id` of an
+ * l_kernel x l_kernel template (the four rules of Section 5.2).
+ */
+int DataflowMode(int conv_id, int l_kernel);
+
+/**
+ * Global-buffer words read by the PE array for one convolution step in
+ * OS dataflow: a full sub-block on mode 0, one boundary row/column
+ * otherwise (intra-PE transfer supplies the rest).
+ */
+int BankReadsForMode(int mode, int pe_rows, int pe_cols);
+
+/**
+ * Expected DRAM accesses per time step for real-time weight update
+ * under a non-OS dataflow — eq. (11):
+ * (mr_l1 * mr_l2) * input_size * templates_needing_update.
+ */
+double DramAccessesPerStepNonOs(double mr_l1, double mr_l2,
+                                std::uint64_t input_size,
+                                int templates_needing_update);
+
+/** Eq. (12): the OS dataflow divides eq. (11) by the PE count. */
+double DramAccessesPerStepOs(double mr_l1, double mr_l2,
+                             std::uint64_t input_size,
+                             int templates_needing_update, int num_pes);
+
+/** Dispatches to eq. (11) or (12) by scheme. */
+double DramAccessesPerStep(DataflowScheme scheme, double mr_l1, double mr_l2,
+                           std::uint64_t input_size,
+                           int templates_needing_update, int num_pes);
+
+}  // namespace cenn
+
+#endif  // CENN_ARCH_DATAFLOW_H_

@@ -1,0 +1,47 @@
+#include "arch/dram_channel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+DramChannelModel::DramChannelModel(int channels,
+                                   std::uint64_t service_cycles,
+                                   std::uint64_t latency_cycles)
+    : service_cycles_(std::max<std::uint64_t>(1, service_cycles)),
+      latency_cycles_(latency_cycles)
+{
+  if (channels < 1) {
+    CENN_FATAL("DramChannelModel needs at least one channel");
+  }
+  free_at_.assign(static_cast<std::size_t>(channels), 0);
+  fetches_.assign(static_cast<std::size_t>(channels), 0);
+  busy_cycles_.assign(static_cast<std::size_t>(channels), 0);
+}
+
+std::uint64_t
+DramChannelModel::Issue(int channel, std::uint64_t now)
+{
+  CENN_ASSERT(channel >= 0 && channel < NumChannels(), "bad channel ",
+              channel);
+  const auto c = static_cast<std::size_t>(channel);
+  const std::uint64_t start = std::max(now, free_at_[c]);
+  free_at_[c] = start + service_cycles_;
+  busy_cycles_[c] += service_cycles_;
+  ++fetches_[c];
+  return start + latency_cycles_ + service_cycles_;
+}
+
+double
+DramChannelModel::PeakUtilization(std::uint64_t now) const
+{
+  if (now == 0) {
+    return 0.0;
+  }
+  const std::uint64_t peak =
+      *std::max_element(busy_cycles_.begin(), busy_cycles_.end());
+  return std::min(1.0, static_cast<double>(peak) / static_cast<double>(now));
+}
+
+}  // namespace cenn

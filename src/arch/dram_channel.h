@@ -1,0 +1,67 @@
+#ifndef CENN_ARCH_DRAM_CHANNEL_H_
+#define CENN_ARCH_DRAM_CHANNEL_H_
+
+/**
+ * @file
+ * Event-based DRAM channel timing for LUT block fetches.
+ *
+ * Each channel tracks the cycle until which it is busy. A fetch issued
+ * at cycle `now` starts when the channel frees up, occupies it for the
+ * block service time, and completes one access latency after it
+ * starts. This replaces a per-round max-queue heuristic with proper
+ * busy-interval bookkeeping: back-to-back misses to one channel
+ * serialize across *rounds* too (the paper's "long request queue" on
+ * 2-channel DDR3), while idle gaps are not double-charged.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace cenn {
+
+/** Busy-interval model of the external memory channels. */
+class DramChannelModel
+{
+  public:
+    /**
+     * @param channels          number of independent channels.
+     * @param service_cycles    channel occupancy per block fetch.
+     * @param latency_cycles    request-to-data latency per fetch.
+     */
+    DramChannelModel(int channels, std::uint64_t service_cycles,
+                     std::uint64_t latency_cycles);
+
+    /**
+     * Issues one block fetch on `channel` at time `now` (PE cycles).
+     *
+     * @return the completion cycle (>= now + latency).
+     */
+    std::uint64_t Issue(int channel, std::uint64_t now);
+
+    /** Number of fetches issued per channel. */
+    const std::vector<std::uint64_t>& Fetches() const { return fetches_; }
+
+    /** Total cycles each channel spent busy. */
+    const std::vector<std::uint64_t>& BusyCycles() const
+    {
+        return busy_cycles_;
+    }
+
+    /** Utilization of the busiest channel over [0, now]. */
+    double PeakUtilization(std::uint64_t now) const;
+
+    int NumChannels() const { return static_cast<int>(free_at_.size()); }
+    std::uint64_t ServiceCycles() const { return service_cycles_; }
+    std::uint64_t LatencyCycles() const { return latency_cycles_; }
+
+  private:
+    std::uint64_t service_cycles_;
+    std::uint64_t latency_cycles_;
+    std::vector<std::uint64_t> free_at_;
+    std::vector<std::uint64_t> fetches_;
+    std::vector<std::uint64_t> busy_cycles_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_ARCH_DRAM_CHANNEL_H_

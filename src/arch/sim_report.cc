@@ -1,0 +1,108 @@
+#include "arch/sim_report.h"
+
+#include <cstdio>
+
+namespace cenn {
+
+double
+ActivityCounters::L1MissRate() const
+{
+  return l1_accesses == 0 ? 0.0
+                          : static_cast<double>(l1_misses) /
+                                static_cast<double>(l1_accesses);
+}
+
+double
+ActivityCounters::L2MissRate() const
+{
+  return l2_accesses == 0 ? 0.0
+                          : static_cast<double>(l2_misses) /
+                                static_cast<double>(l2_accesses);
+}
+
+double
+SimReport::Seconds(double pe_clock_hz) const
+{
+  return static_cast<double>(total_cycles) / pe_clock_hz;
+}
+
+std::uint64_t
+SimReport::TotalOps() const
+{
+  // Each MAC is two ops; each TUM evaluation is the cubic-alpha
+  // datapath (3 MACs = 6 ops, Fig. 6).
+  return 2 * activity.mac_ops + 6 * activity.tum_evals +
+         activity.reset_ops;
+}
+
+double
+SimReport::Gops(double pe_clock_hz) const
+{
+  const double s = Seconds(pe_clock_hz);
+  return s <= 0.0 ? 0.0 : static_cast<double>(TotalOps()) / s / 1e9;
+}
+
+std::string
+SimReport::ToString(double pe_clock_hz) const
+{
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "steps=%llu cycles=%llu (compute=%llu, l2-stall=%llu, dram-stall=%llu, "
+      "mem-bound=%llu) time=%.3f ms  mrL1=%.3f mrL2=%.3f  GOPS=%.2f",
+      static_cast<unsigned long long>(steps),
+      static_cast<unsigned long long>(total_cycles),
+      static_cast<unsigned long long>(compute_cycles),
+      static_cast<unsigned long long>(stall_l2_cycles),
+      static_cast<unsigned long long>(stall_dram_cycles),
+      static_cast<unsigned long long>(memory_cycles),
+      Seconds(pe_clock_hz) * 1e3, activity.L1MissRate(),
+      activity.L2MissRate(), Gops(pe_clock_hz));
+  return buf;
+}
+
+std::string
+SimReport::ToStatsLines(double pe_clock_hz) const
+{
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "sim.steps %llu\n"
+      "sim.total_cycles %llu\n"
+      "sim.compute_cycles %llu\n"
+      "sim.stall_l2_cycles %llu\n"
+      "sim.stall_dram_cycles %llu\n"
+      "sim.memory_cycles %llu\n"
+      "sim.seconds %.9g\n"
+      "sim.gops %.6g\n"
+      "pe.mac_ops %llu\n"
+      "pe.tum_evals %llu\n"
+      "lut.l1_accesses %llu\n"
+      "lut.l1_misses %llu\n"
+      "lut.l2_accesses %llu\n"
+      "lut.l2_misses %llu\n"
+      "lut.dram_fetches %llu\n"
+      "buf.bank_reads %llu\n"
+      "buf.bank_writes %llu\n"
+      "dram.data_words %llu\n",
+      static_cast<unsigned long long>(steps),
+      static_cast<unsigned long long>(total_cycles),
+      static_cast<unsigned long long>(compute_cycles),
+      static_cast<unsigned long long>(stall_l2_cycles),
+      static_cast<unsigned long long>(stall_dram_cycles),
+      static_cast<unsigned long long>(memory_cycles),
+      Seconds(pe_clock_hz), Gops(pe_clock_hz),
+      static_cast<unsigned long long>(activity.mac_ops),
+      static_cast<unsigned long long>(activity.tum_evals),
+      static_cast<unsigned long long>(activity.l1_accesses),
+      static_cast<unsigned long long>(activity.l1_misses),
+      static_cast<unsigned long long>(activity.l2_accesses),
+      static_cast<unsigned long long>(activity.l2_misses),
+      static_cast<unsigned long long>(activity.lut_dram_fetches),
+      static_cast<unsigned long long>(activity.bank_reads),
+      static_cast<unsigned long long>(activity.bank_writes),
+      static_cast<unsigned long long>(activity.dram_data_words));
+  return buf;
+}
+
+}  // namespace cenn

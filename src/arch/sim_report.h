@@ -1,0 +1,92 @@
+#ifndef CENN_ARCH_SIM_REPORT_H_
+#define CENN_ARCH_SIM_REPORT_H_
+
+/**
+ * @file
+ * Cycle and activity accounting produced by the architecture simulator.
+ * The power model (src/power) converts these raw counts into energy and
+ * the benchmark harnesses into the paper's speedup/miss-rate numbers.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace cenn {
+
+/** Raw event counts accumulated over a simulation. */
+struct ActivityCounters {
+  std::uint64_t mac_ops = 0;          ///< PE multiply-accumulates
+  std::uint64_t tum_evals = 0;        ///< TUM alpha evaluations
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t lut_dram_fetches = 0; ///< 8-entry LUT block fetches
+  std::uint64_t bank_reads = 0;       ///< global-buffer words read
+  std::uint64_t bank_writes = 0;      ///< global-buffer words written
+  std::uint64_t dram_data_words = 0;  ///< streamed state/input words
+  std::uint64_t reset_ops = 0;        ///< threshold comparator operations
+
+  /** L1 miss rate over the whole run. */
+  double L1MissRate() const;
+
+  /** L2 miss rate over the whole run. */
+  double L2MissRate() const;
+};
+
+/** Timing summary of a simulated run. */
+struct SimReport {
+  std::uint64_t steps = 0;
+
+  /** Convolution broadcast cycles (PE clock). */
+  std::uint64_t compute_cycles = 0;
+
+  /** Extra cycles waiting on shared L2 LUTs. */
+  std::uint64_t stall_l2_cycles = 0;
+
+  /** Extra cycles waiting on DRAM LUT fetches (incl. queueing). */
+  std::uint64_t stall_dram_cycles = 0;
+
+  /** Per-step streaming (prefetch + write-back) demand, accumulated. */
+  std::uint64_t memory_cycles = 0;
+
+  /**
+   * End-to-end cycles: per step, max(compute + stalls, streaming) —
+   * prefetch of the next sub-block overlaps compute (double-buffered
+   * banks), so the slower of the two pipelines dominates.
+   */
+  std::uint64_t total_cycles = 0;
+
+  ActivityCounters activity;
+
+  /** Wall-clock seconds at the given PE clock. */
+  double Seconds(double pe_clock_hz) const;
+
+  /** Arithmetic operations performed (2 per MAC + TUM polynomial). */
+  std::uint64_t TotalOps() const;
+
+  /** Achieved GOPS at the given PE clock. */
+  double Gops(double pe_clock_hz) const;
+
+  /** Multi-line human-readable summary. */
+  std::string ToString(double pe_clock_hz) const;
+
+  /**
+   * gem5-style machine-readable stats dump: one "name value" pair per
+   * line, suitable for diffing runs and feeding plotting scripts.
+   */
+  std::string ToStatsLines(double pe_clock_hz) const;
+};
+
+/** Per-step timing sample recorded when tracing is enabled. */
+struct StepTrace {
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t stall_l2_cycles = 0;
+  std::uint64_t stall_dram_cycles = 0;
+  std::uint64_t memory_cycles = 0;
+  std::uint64_t total_cycles = 0;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_ARCH_SIM_REPORT_H_

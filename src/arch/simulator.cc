@@ -1,0 +1,406 @@
+#include "arch/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/dataflow.h"
+#include "lut/lut_evaluator.h"
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+/** Bits in one LUT DRAM fetch: 8 entries x 5 words x 32 bits (Fig. 5). */
+constexpr double kLutFetchBits = 8.0 * 5.0 * 32.0;
+
+}  // namespace
+
+ArchConfig
+RecommendedArchConfig(const SolverProgram& program, ArchConfig base)
+{
+  int lut_fns = 0;
+  for (const NonlinearFunction* fn : program.spec.Functions()) {
+    if (base.lut_for_polynomials || !fn->LutFree()) {
+      ++lut_fns;
+    }
+  }
+  if (lut_fns == 0) {
+    return base;
+  }
+  while (base.l1_blocks < 2 * lut_fns) {
+    base.l1_blocks *= 2;
+  }
+  while (base.l2_entries < 8 * lut_fns) {
+    base.l2_entries *= 2;
+  }
+  return base;
+}
+
+ArchSimulator::ArchSimulator(const SolverProgram& program,
+                             const ArchConfig& config)
+    : program_(program), config_(config)
+{
+  config_.Validate();
+  program_.spec.Validate();
+
+  lut_bank_ =
+      std::make_shared<const LutBank>(program_.spec, program_.lut_config);
+
+  LutHierarchyConfig hier;
+  hier.num_pes = config_.NumPes();
+  hier.l1_blocks = config_.l1_blocks;
+  hier.num_l2 = config_.num_l2;
+  hier.l2_entries = config_.l2_entries;
+  hier.dram_fetch_block = OffChipLut::kBlockFetchSize;
+  hierarchy_ = std::make_unique<LutHierarchy>(hier);
+
+  buffer_ = std::make_unique<GlobalBufferModel>(
+      config_.state_banks, config_.pe_rows, config_.global_buffer_bytes);
+
+  engine_ = std::make_unique<MultilayerCenn<Fixed32>>(
+      program_.spec, std::make_shared<LutEvaluatorFixed>(lut_bank_));
+
+  BuildSchedule();
+
+  // Derived timing constants.
+  const MemoryParams& mem = config_.memory;
+  dram_latency_cycles_ = static_cast<std::uint64_t>(std::ceil(
+      mem.access_latency_ns * 1e-9 * config_.pe_clock_hz));
+  const double channel_bits_per_s =
+      mem.transfer_rate_hz * static_cast<double>(mem.bus_width_bits);
+  lut_fetch_service_cycles_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(
+             kLutFetchBits / channel_bits_per_s * config_.pe_clock_hz)));
+
+  // Streaming demand per step: every state map is read with a halo and
+  // written back; referenced input maps are re-read each step.
+  const NetworkSpec& spec = program_.spec;
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(spec.rows) * spec.cols;
+  const int radius = (spec.MaxKernelSide() - 1) / 2;
+  const double halo =
+      static_cast<double>((config_.pe_rows + 2 * radius) *
+                          (config_.pe_cols + 2 * radius)) /
+      static_cast<double>(config_.pe_rows * config_.pe_cols);
+  std::uint64_t input_layers = 0;
+  for (const auto& layer : spec.layers) {
+    for (const auto& c : layer.couplings) {
+      if (c.kind == CouplingKind::kInput) {
+        ++input_layers;
+        break;
+      }
+    }
+  }
+  const double read_words =
+      static_cast<double>(cells) *
+      (static_cast<double>(spec.NumLayers()) * halo +
+       static_cast<double>(input_layers) * halo);
+  const double write_words =
+      static_cast<double>(cells) * static_cast<double>(spec.NumLayers());
+  stream_words_per_step_ =
+      static_cast<std::uint64_t>(std::llround(read_words + write_words));
+  const double stream_seconds =
+      static_cast<double>(stream_words_per_step_) * 32.0 /
+      (mem.EffectiveBandwidth() * 8.0);
+  stream_cycles_per_step_ = static_cast<std::uint64_t>(
+      std::ceil(stream_seconds * config_.pe_clock_hz));
+
+  dram_ = std::make_unique<DramChannelModel>(
+      mem.channels, lut_fetch_service_cycles_, dram_latency_cycles_);
+}
+
+void
+ArchSimulator::BuildSchedule()
+{
+  const NetworkSpec& spec = program_.spec;
+  const int n = spec.NumLayers();
+  const int side = spec.MaxKernelSide();
+
+  // One merged hardware template per *programmed* (dst, src, kind)
+  // triple. The template buffer holds up to N_layer^2 state templates
+  // (Section 4.3); the FSM sequencer skips pairs that were never
+  // programmed, so all-zero pairs cost no broadcast cycles.
+  schedule_.clear();
+  auto merged = [&](int dst, int src, CouplingKind kind) -> HwTemplate* {
+    for (auto& t : schedule_) {
+      if (t.dst == dst && t.src == src && t.kind == kind) {
+        return &t;
+      }
+    }
+    return nullptr;
+  };
+
+  for (int dst = 0; dst < n; ++dst) {
+    const LayerSpec& layer = spec.layers[static_cast<std::size_t>(dst)];
+    for (const auto& c : layer.couplings) {
+      HwTemplate* t = merged(dst, c.src_layer, c.kind);
+      if (t == nullptr) {
+        HwTemplate fresh;
+        fresh.dst = dst;
+        fresh.src = c.src_layer;
+        fresh.kind = c.kind;
+        fresh.side = side;
+        fresh.entries.assign(static_cast<std::size_t>(side) * side, {});
+        schedule_.push_back(std::move(fresh));
+        t = &schedule_.back();
+      }
+      // Fold the coupling's kernel into the merged hardware template,
+      // centering smaller kernels inside the common side.
+      const int r_off = (t->side - c.kernel.Side()) / 2;
+      for (int kr = 0; kr < c.kernel.Side(); ++kr) {
+        for (int kc = 0; kc < c.kernel.Side(); ++kc) {
+          const TemplateWeight& w =
+              c.kernel.Entries()[static_cast<std::size_t>(kr) *
+                                     c.kernel.Side() +
+                                 kc];
+          if (!w.NeedsUpdate()) {
+            continue;  // constants cost no TUM work
+          }
+          HwEntry& e =
+              t->entries[static_cast<std::size_t>(kr + r_off) * t->side +
+                         (kc + r_off)];
+          e.nonlinear.push_back({&w.factors});
+        }
+      }
+    }
+  }
+
+  offsets_by_layer_.assign(static_cast<std::size_t>(n), {});
+  for (int dst = 0; dst < n; ++dst) {
+    const LayerSpec& layer = spec.layers[static_cast<std::size_t>(dst)];
+    for (const auto& term : layer.offset_terms) {
+      offsets_by_layer_[static_cast<std::size_t>(dst)].push_back(&term);
+    }
+  }
+}
+
+int
+ArchSimulator::ChannelForL2(int l2) const
+{
+  return l2 * config_.memory.channels / config_.num_l2;
+}
+
+std::uint64_t
+ArchSimulator::LookupRound(const WeightFactor& factor, std::size_t r0,
+                           std::size_t r1, std::size_t c0, std::size_t c1,
+                           int dr, int dc)
+{
+  const Grid2D<Fixed32>& ctrl_grid = engine_->State(factor.ctrl_layer);
+  const Boundary& bc = program_.spec.boundary;
+
+  bool any_l2 = false;
+  std::uint64_t round_complete = current_cycle_;
+
+  for (std::size_t r = r0; r < r1; ++r) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      const int pe =
+          static_cast<int>((r % static_cast<std::size_t>(config_.pe_rows)) *
+                               static_cast<std::size_t>(config_.pe_cols) +
+                           (c % static_cast<std::size_t>(config_.pe_cols)));
+      std::ptrdiff_t cr = static_cast<std::ptrdiff_t>(r);
+      std::ptrdiff_t cc = static_cast<std::ptrdiff_t>(c);
+      if (factor.at_source) {
+        cr += dr;
+        cc += dc;
+      }
+      const Fixed32 x = ctrl_grid.Neighbor(cr, cc, bc);
+      const int index = lut_bank_->GlobalIndex(*factor.fn, x);
+      const LutLevel level = hierarchy_->Lookup(pe, index);
+      ++report_.activity.tum_evals;
+      switch (level) {
+        case LutLevel::kL1:
+          break;
+        case LutLevel::kL2:
+          any_l2 = true;
+          break;
+        case LutLevel::kDram: {
+          // Busy-interval scheduling on the L2's memory channel: the
+          // fetch starts when the channel frees up, and the PE array
+          // resumes one cycle after the slowest fetch completes.
+          const std::uint64_t done = dram_->Issue(
+              ChannelForL2(hierarchy_->L2For(pe)), current_cycle_);
+          round_complete = std::max(round_complete, done + 1);
+          ++report_.activity.lut_dram_fetches;
+          break;
+        }
+      }
+    }
+  }
+
+  if (round_complete > current_cycle_) {
+    return round_complete - current_cycle_;
+  }
+  if (any_l2) {
+    // The shared L2 runs at 4x the PE clock with 4 PEs per instance
+    // (Section 6.3), so concurrent hit-after-L1-miss fills cost one
+    // extra PE-visible cycle.
+    return 1;
+  }
+  return 0;
+}
+
+void
+ArchSimulator::SimulateSubBlock(std::size_t r0, std::size_t r1,
+                                std::size_t c0, std::size_t c1)
+{
+  const std::uint64_t active =
+      static_cast<std::uint64_t>(r1 - r0) * (c1 - c0);
+
+  for (const HwTemplate& t : schedule_) {
+    const int side = t.side;
+    const int radius = (side - 1) / 2;
+    for (int conv_id = 0; conv_id < side * side; ++conv_id) {
+      const int mode = DataflowMode(conv_id, side);
+      report_.activity.bank_reads += static_cast<std::uint64_t>(
+          BankReadsForMode(mode, config_.pe_rows, config_.pe_cols));
+      switch (mode) {
+        case 0:
+          buffer_->RecordSubBlockLoad(r1 - r0, c1 - c0);
+          break;
+        case 1:
+        case 3:
+          buffer_->RecordBoundaryColumn(r1 - r0, c1);
+          break;
+        case 2:
+          buffer_->RecordBoundaryRow(r1, c1 - c0);
+          break;
+        default:
+          break;
+      }
+      ++step_compute_;
+      ++current_cycle_;
+      report_.activity.mac_ops += active;
+
+      const HwEntry& entry =
+          t.entries[static_cast<std::size_t>(conv_id)];
+      if (entry.nonlinear.empty()) {
+        continue;
+      }
+      const int dr = conv_id / side - radius;
+      const int dc = conv_id % side - radius;
+      for (const Contribution& contrib : entry.nonlinear) {
+        for (const WeightFactor& factor : *contrib.factors) {
+          if (factor.fn->LutFree() && !config_.lut_for_polynomials) {
+            // Degree-<=3 polynomial: c0..c3 are template-resident
+            // constants; the TUM evaluates alpha with no lookup.
+            report_.activity.tum_evals += active;
+            continue;
+          }
+          const std::uint64_t stall =
+              LookupRound(factor, r0, r1, c0, c1, dr, dc);
+          current_cycle_ += stall;
+          if (stall > 1) {
+            step_stall_dram_ += stall;
+          } else {
+            step_stall_l2_ += stall;
+          }
+        }
+      }
+    }
+  }
+
+  // State-dependent offset (z) updates: one broadcast cycle per term,
+  // plus TUM rounds for each factor.
+  for (std::size_t l = 0; l < offsets_by_layer_.size(); ++l) {
+    for (const OffsetTerm* term : offsets_by_layer_[l]) {
+      ++step_compute_;
+      ++current_cycle_;
+      report_.activity.mac_ops += active;
+      for (const WeightFactor& factor : term->factors) {
+        if (factor.fn->LutFree() && !config_.lut_for_polynomials) {
+          report_.activity.tum_evals += active;
+          continue;
+        }
+        const std::uint64_t stall = LookupRound(factor, r0, r1, c0, c1, 0, 0);
+        current_cycle_ += stall;
+        if (stall > 1) {
+          step_stall_dram_ += stall;
+        } else {
+          step_stall_l2_ += stall;
+        }
+      }
+    }
+  }
+
+  // Write-back of every layer's updated sub-block.
+  report_.activity.bank_writes +=
+      active * static_cast<std::uint64_t>(program_.spec.NumLayers());
+  for (int l = 0; l < program_.spec.NumLayers(); ++l) {
+    buffer_->RecordWriteBack(r1 - r0, c1 - c0);
+  }
+
+  // Reset-rule comparators.
+  report_.activity.reset_ops +=
+      active * static_cast<std::uint64_t>(program_.spec.resets.size());
+}
+
+void
+ArchSimulator::Step()
+{
+  step_compute_ = 0;
+  step_stall_l2_ = 0;
+  step_stall_dram_ = 0;
+
+  const NetworkSpec& spec = program_.spec;
+  const auto pe_rows = static_cast<std::size_t>(config_.pe_rows);
+  const auto pe_cols = static_cast<std::size_t>(config_.pe_cols);
+  for (std::size_t r0 = 0; r0 < spec.rows; r0 += pe_rows) {
+    const std::size_t r1 = std::min(spec.rows, r0 + pe_rows);
+    for (std::size_t c0 = 0; c0 < spec.cols; c0 += pe_cols) {
+      const std::size_t c1 = std::min(spec.cols, c0 + pe_cols);
+      SimulateSubBlock(r0, r1, c0, c1);
+    }
+  }
+
+  const std::uint64_t step_pipeline =
+      step_compute_ + step_stall_l2_ + step_stall_dram_;
+  if (trace_enabled_) {
+    trace_.push_back({step_compute_, step_stall_l2_, step_stall_dram_,
+                      stream_cycles_per_step_,
+                      std::max(step_pipeline, stream_cycles_per_step_)});
+  }
+  report_.compute_cycles += step_compute_;
+  report_.stall_l2_cycles += step_stall_l2_;
+  report_.stall_dram_cycles += step_stall_dram_;
+  report_.memory_cycles += stream_cycles_per_step_;
+  report_.total_cycles += std::max(step_pipeline, stream_cycles_per_step_);
+  // Re-anchor the pipeline cursor at the end-of-step boundary (the
+  // streaming pipeline may have been the bottleneck).
+  current_cycle_ = report_.total_cycles;
+  report_.activity.dram_data_words += stream_words_per_step_;
+  ++report_.steps;
+
+  // Functional update through the identical LUT/fixed-point datapath.
+  engine_->Step();
+
+  // Fold the hierarchy's counters into the activity report.
+  const LutCacheStats l1 = hierarchy_->AggregateL1();
+  const LutCacheStats l2 = hierarchy_->AggregateL2();
+  report_.activity.l1_accesses = l1.accesses;
+  report_.activity.l1_misses = l1.misses;
+  report_.activity.l2_accesses = l2.accesses;
+  report_.activity.l2_misses = l2.misses;
+}
+
+void
+ArchSimulator::EnableTrace()
+{
+  trace_enabled_ = true;
+  trace_.clear();
+}
+
+void
+ArchSimulator::Run(std::uint64_t n)
+{
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Step();
+  }
+}
+
+std::vector<double>
+ArchSimulator::StateDoubles(int layer) const
+{
+  return engine_->StateDoubles(layer);
+}
+
+}  // namespace cenn

@@ -1,0 +1,68 @@
+#include "baseline/platform_model.h"
+
+#include <algorithm>
+
+namespace cenn {
+
+double
+PlatformModel::StepTime(const WorkloadProfile& w) const
+{
+  const double flops =
+      static_cast<double>(2 * w.macs_per_step + w.simple_ops_per_step) +
+      static_cast<double>(w.nonlinear_evals_per_step) * nonlinear_flop_cost;
+  const double compute_s = flops / (peak_flops * compute_efficiency);
+  const double memory_s =
+      static_cast<double>(w.bytes_per_step) /
+      (mem_bandwidth * mem_efficiency);
+  return std::max(compute_s, memory_s) + per_step_overhead_s +
+         per_kernel_overhead_s * static_cast<double>(w.layers);
+}
+
+double
+PlatformModel::RunTime(const WorkloadProfile& w, std::uint64_t steps) const
+{
+  return StepTime(w) * static_cast<double>(steps);
+}
+
+PlatformModel
+PlatformModel::DesktopCpu()
+{
+  PlatformModel m;
+  m.name = "CPU (4-core desktop)";
+  // 4 cores x 3.2 GHz x 8 sp-FLOPs (AVX, no FMA credit on stencil code).
+  m.peak_flops = 102.4e9;
+  // The baseline runs the CeNN computation itself (per-cell template
+  // update + convolution) — irregular, branchy code far from peak.
+  m.compute_efficiency = 0.03;
+  m.mem_bandwidth = 25.6e9;  // dual-channel DDR3-1600
+  m.mem_efficiency = 0.5;
+  m.per_step_overhead_s = 2e-6;   // loop/thread dispatch
+  m.per_kernel_overhead_s = 1e-6;
+  // libm exp/div-heavy rate evaluation ~ tens of FLOPs each.
+  m.nonlinear_flop_cost = 50.0;
+  m.power_w = 65.0;
+  return m;
+}
+
+PlatformModel
+PlatformModel::Gtx850()
+{
+  PlatformModel m;
+  m.name = "GPU (GTX 850)";
+  // 640 CUDA cores x 0.936 GHz x 2 FLOP.
+  m.peak_flops = 1198.0e9;
+  // The CeNN computation on a GPU is a gather-heavy, divergent kernel
+  // (per-cell weight recomputation + small convolutions); achieved
+  // throughput is a small fraction of peak.
+  m.compute_efficiency = 0.035;
+  m.mem_bandwidth = 32.0e9;  // DDR3 board variant (the paper's class)
+  m.mem_efficiency = 0.4;
+  m.per_step_overhead_s = 14e-6;   // per-step device sync + readback
+  m.per_kernel_overhead_s = 5e-6;  // one kernel per layer per step
+  // SFU-accelerated transcendentals.
+  m.nonlinear_flop_cost = 15.0;
+  m.power_w = 45.0;  // the paper quotes 40-50 W
+  return m;
+}
+
+}  // namespace cenn

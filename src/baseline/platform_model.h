@@ -1,0 +1,61 @@
+#ifndef CENN_BASELINE_PLATFORM_MODEL_H_
+#define CENN_BASELINE_PLATFORM_MODEL_H_
+
+/**
+ * @file
+ * Analytic roofline models of the paper's comparison platforms.
+ *
+ * SUBSTITUTION (see DESIGN.md): the paper measured a real CPU and a
+ * GTX 850 GPU; we model both with a roofline — per-step time is the
+ * maximum of compute time (ops / effective FLOPS) and memory time
+ * (bytes / effective bandwidth) plus a fixed per-step overhead (kernel
+ * launch / loop dispatch). Constants are calibrated to the published
+ * class of hardware, not fitted to the paper's results; only the
+ * resulting speedup *shape* is compared against the paper.
+ */
+
+#include <string>
+
+#include "baseline/workload.h"
+
+namespace cenn {
+
+/** Roofline description of a software platform. */
+struct PlatformModel {
+  std::string name;
+
+  double peak_flops = 0.0;        ///< FLOP/s, single precision
+  double compute_efficiency = 1.0;///< achieved fraction of peak on stencils
+  double mem_bandwidth = 0.0;     ///< bytes/s
+  double mem_efficiency = 1.0;    ///< achieved fraction on streaming
+  double per_step_overhead_s = 0.0;  ///< sync/dispatch per time step
+  double per_kernel_overhead_s = 0.0;  ///< per-layer kernel launch cost
+
+  /** Extra FLOPs charged per nonlinear (transcendental) evaluation. */
+  double nonlinear_flop_cost = 1.0;
+
+  /** Typical board/package power while running (W), for Table 2. */
+  double power_w = 0.0;
+
+  /** Roofline time for one solver step of the given workload. */
+  double StepTime(const WorkloadProfile& w) const;
+
+  /** Total runtime for `steps` steps. */
+  double RunTime(const WorkloadProfile& w, std::uint64_t steps) const;
+
+  /**
+   * Desktop-class 4-core CPU (~3 GHz, AVX2) running a scalar-friendly
+   * stencil loop. Paper-era commodity part.
+   */
+  static PlatformModel DesktopCpu();
+
+  /**
+   * GTX 850-class GPU: 640 CUDA cores @ ~0.9 GHz, DDR3 board memory.
+   * The paper's GPU comparison point.
+   */
+  static PlatformModel Gtx850();
+};
+
+}  // namespace cenn
+
+#endif  // CENN_BASELINE_PLATFORM_MODEL_H_

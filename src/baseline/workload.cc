@@ -1,0 +1,63 @@
+#include "baseline/workload.h"
+
+namespace cenn {
+
+WorkloadProfile
+WorkloadProfile::FromSpec(const NetworkSpec& spec)
+{
+  WorkloadProfile p;
+  p.cells = static_cast<std::uint64_t>(spec.rows) * spec.cols;
+  p.layers = spec.NumLayers();
+
+  std::uint64_t macs_per_cell = 0;
+  std::uint64_t evals_per_cell = 0;
+  std::uint64_t simple_per_cell = 0;
+  std::uint64_t input_layers = 0;
+
+  for (const auto& layer : spec.layers) {
+    bool reads_input = false;
+    for (const auto& c : layer.couplings) {
+      for (const auto& w : c.kernel.Entries()) {
+        if (!w.NeedsUpdate() && w.constant == 0.0) {
+          continue;
+        }
+        ++macs_per_cell;
+        evals_per_cell += w.factors.size();
+        // Each extra factor is one more multiply into the weight.
+        if (w.factors.size() > 1) {
+          simple_per_cell += w.factors.size() - 1;
+        }
+      }
+      if (c.kind == CouplingKind::kInput) {
+        reads_input = true;
+      }
+    }
+    for (const auto& term : layer.offset_terms) {
+      evals_per_cell += term.factors.size();
+      simple_per_cell += term.factors.size() + 1;
+    }
+    // Integration update: x + dt * acc, plus the -x leak and +z.
+    simple_per_cell += 4;
+    if (reads_input) {
+      ++input_layers;
+    }
+  }
+  for (const auto& rule : spec.resets) {
+    // Comparator plus conditional writes.
+    simple_per_cell += 1 + rule.actions.size();
+  }
+
+  p.macs_per_step = macs_per_cell * p.cells;
+  p.nonlinear_evals_per_step = evals_per_cell * p.cells;
+  p.simple_ops_per_step = simple_per_cell * p.cells;
+
+  // Traffic: read + write every state map once per step (stencil
+  // neighbors are cache/shared-memory reuse on any sane platform) plus
+  // the input maps actually referenced. 4 bytes per value.
+  const std::uint64_t words =
+      p.cells * (2 * static_cast<std::uint64_t>(p.layers) + input_layers);
+  p.bytes_per_step = words * 4;
+  return p;
+}
+
+}  // namespace cenn

@@ -1,0 +1,47 @@
+#ifndef CENN_BASELINE_WORKLOAD_H_
+#define CENN_BASELINE_WORKLOAD_H_
+
+/**
+ * @file
+ * Platform-independent workload characterization of one solver time
+ * step, extracted from a network program. The CPU/GPU roofline models
+ * (Fig. 13/14 baselines) consume this to estimate per-step runtimes.
+ */
+
+#include <cstdint>
+
+#include "core/network_spec.h"
+
+namespace cenn {
+
+/** Operation and traffic counts for one full-grid Euler step. */
+struct WorkloadProfile {
+  std::uint64_t cells = 0;        ///< rows * cols
+  int layers = 0;
+
+  /** Multiply-accumulates from template convolutions, per step. */
+  std::uint64_t macs_per_step = 0;
+
+  /** Nonlinear function evaluations (transcendental work), per step. */
+  std::uint64_t nonlinear_evals_per_step = 0;
+
+  /** Other per-cell arithmetic (integration update, offsets, resets). */
+  std::uint64_t simple_ops_per_step = 0;
+
+  /** Bytes moved to/from memory per step (32-bit states). */
+  std::uint64_t bytes_per_step = 0;
+
+  /** Total arithmetic operations per step (2 ops per MAC). */
+  std::uint64_t OpsPerStep() const
+  {
+      return 2 * macs_per_step + nonlinear_evals_per_step +
+             simple_ops_per_step;
+  }
+
+  /** Builds the profile for one step of `spec`. */
+  static WorkloadProfile FromSpec(const NetworkSpec& spec);
+};
+
+}  // namespace cenn
+
+#endif  // CENN_BASELINE_WORKLOAD_H_

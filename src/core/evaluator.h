@@ -1,0 +1,45 @@
+#ifndef CENN_CORE_EVALUATOR_H_
+#define CENN_CORE_EVALUATOR_H_
+
+/**
+ * @file
+ * Strategy interface for evaluating nonlinear template functions.
+ *
+ * The functional CeNN engine asks an evaluator for l(x) whenever a
+ * template weight carries the WUI bit. Implementations:
+ *  - DirectEvaluator: ideal math in double precision (reference).
+ *  - LutEvaluator (src/lut): the paper's LUT + Taylor-series path,
+ *    reproducing the accelerator's approximation error.
+ */
+
+#include "core/nonlinear.h"
+#include "core/num_traits.h"
+
+namespace cenn {
+
+/** Evaluates l(x) for CeNN scalars of type T. */
+template <typename T>
+class FunctionEvaluator
+{
+  public:
+    virtual ~FunctionEvaluator() = default;
+
+    /** Returns l(x) in the engine's arithmetic. */
+    virtual T Evaluate(const NonlinearFunction& fn, T x) = 0;
+};
+
+/** Ideal evaluator: computes l in double and converts to T. */
+template <typename T>
+class DirectEvaluator final : public FunctionEvaluator<T>
+{
+  public:
+    T
+    Evaluate(const NonlinearFunction& fn, T x) override
+    {
+        return NumTraits<T>::FromDouble(fn.Value(NumTraits<T>::ToDouble(x)));
+    }
+};
+
+}  // namespace cenn
+
+#endif  // CENN_CORE_EVALUATOR_H_

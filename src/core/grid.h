@@ -1,0 +1,173 @@
+#ifndef CENN_CORE_GRID_H_
+#define CENN_CORE_GRID_H_
+
+/**
+ * @file
+ * 2-D state/input maps and boundary handling for the CeNN processing
+ * array (Fig. 2 of the paper): a regular grid of cells, each locally
+ * coupled to neighbors within the template radius.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/num_traits.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+/**
+ * How neighbor accesses past the array edge are resolved.
+ *
+ * kZeroFlux clamps indices to the edge (homogeneous Neumann, the usual
+ * choice for diffusion problems), kDirichlet reads a fixed boundary
+ * value, and kPeriodic wraps around (torus).
+ */
+enum class BoundaryKind : std::uint8_t {
+  kZeroFlux = 0,
+  kDirichlet = 1,
+  kPeriodic = 2,
+};
+
+/** Boundary condition: a kind plus the Dirichlet value when applicable. */
+struct Boundary {
+  BoundaryKind kind = BoundaryKind::kZeroFlux;
+  double value = 0.0;
+
+  bool operator==(const Boundary&) const = default;
+};
+
+/** Returns a human-readable name ("zero-flux", "dirichlet", "periodic"). */
+const char* BoundaryKindName(BoundaryKind kind);
+
+/**
+ * Row-major 2-D array of CeNN scalars.
+ *
+ * @tparam T double or Fixed32.
+ */
+template <typename T>
+class Grid2D
+{
+  public:
+    /** Empty 0x0 grid. */
+    Grid2D() = default;
+
+    /** rows x cols grid filled with `fill`. */
+    Grid2D(std::size_t rows, std::size_t cols, T fill = NumTraits<T>::Zero())
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    std::size_t Rows() const { return rows_; }
+    std::size_t Cols() const { return cols_; }
+    std::size_t Size() const { return data_.size(); }
+
+    /** Unchecked element access (hot path). */
+    T& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    const T& At(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Bounds-checked access; panics when out of range. */
+    T&
+    AtChecked(std::size_t r, std::size_t c)
+    {
+        CENN_ASSERT(r < rows_ && c < cols_, "Grid2D index (", r, ",", c,
+                    ") out of ", rows_, "x", cols_);
+        return At(r, c);
+    }
+
+    /**
+     * Reads cell (r + dr, c + dc) applying the boundary condition for
+     * out-of-range neighbor offsets.
+     */
+    T
+    Neighbor(std::ptrdiff_t r, std::ptrdiff_t c, const Boundary& bc) const
+    {
+        if (r >= 0 && c >= 0 && r < static_cast<std::ptrdiff_t>(rows_) &&
+            c < static_cast<std::ptrdiff_t>(cols_)) {
+          return data_[static_cast<std::size_t>(r) * cols_ +
+                       static_cast<std::size_t>(c)];
+        }
+        switch (bc.kind) {
+          case BoundaryKind::kDirichlet:
+            return NumTraits<T>::FromDouble(bc.value);
+          case BoundaryKind::kPeriodic: {
+            const auto rr = Wrap(r, rows_);
+            const auto cc = Wrap(c, cols_);
+            return data_[rr * cols_ + cc];
+          }
+          case BoundaryKind::kZeroFlux:
+          default: {
+            const auto rr = ClampIndex(r, rows_);
+            const auto cc = ClampIndex(c, cols_);
+            return data_[rr * cols_ + cc];
+          }
+        }
+    }
+
+    /** Fills every cell with `v`. */
+    void Fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+    /** Raw storage (row-major). */
+    std::span<const T> Data() const { return data_; }
+    std::span<T> MutableData() { return data_; }
+
+    /** Copy of the field converted to double (for analysis / output). */
+    std::vector<double>
+    ToDoubles() const
+    {
+        std::vector<double> out(data_.size());
+        for (std::size_t i = 0; i < data_.size(); ++i) {
+          out[i] = NumTraits<T>::ToDouble(data_[i]);
+        }
+        return out;
+    }
+
+    /** Builds a grid from a double field (row-major). */
+    static Grid2D<T>
+    FromDoubles(std::size_t rows, std::size_t cols,
+                std::span<const double> values)
+    {
+        CENN_ASSERT(values.size() == rows * cols, "FromDoubles size mismatch");
+        Grid2D<T> g(rows, cols);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          g.data_[i] = NumTraits<T>::FromDouble(values[i]);
+        }
+        return g;
+    }
+
+  private:
+    static std::size_t
+    ClampIndex(std::ptrdiff_t i, std::size_t n)
+    {
+        if (i < 0) {
+          return 0;
+        }
+        if (i >= static_cast<std::ptrdiff_t>(n)) {
+          return n - 1;
+        }
+        return static_cast<std::size_t>(i);
+    }
+
+    static std::size_t
+    Wrap(std::ptrdiff_t i, std::size_t n)
+    {
+        const auto sn = static_cast<std::ptrdiff_t>(n);
+        std::ptrdiff_t m = i % sn;
+        if (m < 0) {
+          m += sn;
+        }
+        return static_cast<std::size_t>(m);
+    }
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_CORE_GRID_H_

@@ -1,0 +1,128 @@
+#ifndef CENN_CORE_NETWORK_H_
+#define CENN_CORE_NETWORK_H_
+
+/**
+ * @file
+ * The functional multilayer CeNN engine.
+ *
+ * MultilayerCenn integrates the cell dynamics of eq. (1)-(2) with
+ * explicit Euler steps on a synchronous (double-buffered) grid. It is
+ * templated on the scalar type: MultilayerCenn<double> models the
+ * floating-point reference, MultilayerCenn<Fixed32> models the
+ * accelerator's 32-bit fixed-point datapath. Nonlinear template weights
+ * are resolved through a FunctionEvaluator, so the same engine runs with
+ * ideal math or with the LUT + Taylor approximation path.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/grid.h"
+#include "core/network_spec.h"
+
+namespace cenn {
+
+/** Functional CeNN simulator over scalar type T (double or Fixed32). */
+template <typename T>
+class MultilayerCenn
+{
+  public:
+    /**
+     * Builds the engine from a validated spec.
+     *
+     * @param spec      the network program; copied.
+     * @param evaluator strategy for nonlinear functions; when null a
+     *                  DirectEvaluator (ideal math) is used.
+     */
+    explicit MultilayerCenn(
+        const NetworkSpec& spec,
+        std::shared_ptr<FunctionEvaluator<T>> evaluator = nullptr);
+
+    /** Advances the network by one Euler step (all layers, then resets). */
+    void Step();
+
+    /** Advances by `n` steps. */
+    void Run(std::uint64_t n);
+
+    /** Simulated time = steps * dt. */
+    double Time() const { return static_cast<double>(steps_) * spec_.dt; }
+
+    /** Number of steps taken so far. */
+    std::uint64_t Steps() const { return steps_; }
+
+    /** Overrides the step counter (checkpoint restore only). */
+    void SetSteps(std::uint64_t steps) { steps_ = steps; }
+
+    /** The immutable program. */
+    const NetworkSpec& Spec() const { return spec_; }
+
+    /** State map of a layer. */
+    const Grid2D<T>& State(int layer) const;
+
+    /** Mutable state map (for injecting perturbations mid-run). */
+    Grid2D<T>& MutableState(int layer);
+
+    /** Input map u of a layer. */
+    const Grid2D<T>& Input(int layer) const;
+
+    /** Replaces the input map of a layer (sizes must match). */
+    void SetInput(int layer, const Grid2D<T>& input);
+
+    /** State of a layer converted to doubles (row-major). */
+    std::vector<double> StateDoubles(int layer) const;
+
+  private:
+    /** One explicit Euler step (the hardware path). */
+    void StepEuler();
+
+    /** One Heun predictor-corrector step (validation path). */
+    void StepHeun();
+
+    /** Recomputes y = f(x) for layers referenced by output couplings. */
+    void RefreshOutputs();
+
+    /** State buffers derivatives are evaluated against. */
+    const std::vector<Grid2D<T>>& SrcState() const
+    {
+        return deriv_src_ != nullptr ? *deriv_src_ : state_;
+    }
+
+    /** Derivative accumulation for one cell of one layer. */
+    T CellDerivative(int layer_idx, std::size_t r, std::size_t c) const;
+
+    /** Evaluates a template weight's value at cell (r, c). */
+    T WeightValue(const TemplateWeight& w, std::size_t r, std::size_t c,
+                  std::ptrdiff_t sr, std::ptrdiff_t sc) const;
+
+    /** Evaluates the product of nonlinear factors at a fixed cell. */
+    T FactorProduct(const std::vector<WeightFactor>& factors, std::size_t r,
+                    std::size_t c, std::ptrdiff_t sr, std::ptrdiff_t sc) const;
+
+    /** Reads a control state with boundary resolution. */
+    T ControlState(int layer, std::ptrdiff_t r, std::ptrdiff_t c) const;
+
+    /** Applies all reset rules to the current state. */
+    void ApplyResets();
+
+    NetworkSpec spec_;
+    std::shared_ptr<FunctionEvaluator<T>> evaluator_;
+    std::vector<Grid2D<T>> state_;
+    std::vector<Grid2D<T>> next_state_;
+    std::vector<Grid2D<T>> k1_;          // Heun only
+    std::vector<Grid2D<T>> heun_final_;  // Heun only
+    const std::vector<Grid2D<T>>* deriv_src_ = nullptr;
+    std::vector<Grid2D<T>> input_;
+    std::vector<Grid2D<T>> output_;       // y = f(x), built when needed
+    std::vector<bool> needs_output_;      // per layer: referenced by A coupling
+    T dt_{};
+    std::uint64_t steps_ = 0;
+};
+
+extern template class MultilayerCenn<double>;
+extern template class MultilayerCenn<Fixed32>;
+
+}  // namespace cenn
+
+#endif  // CENN_CORE_NETWORK_H_

@@ -1,0 +1,171 @@
+#include "core/network_spec.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+const char*
+CouplingKindName(CouplingKind kind)
+{
+  switch (kind) {
+    case CouplingKind::kState:
+      return "state";
+    case CouplingKind::kOutput:
+      return "output";
+    case CouplingKind::kInput:
+      return "input";
+  }
+  return "?";
+}
+
+const char*
+IntegratorName(Integrator integrator)
+{
+  switch (integrator) {
+    case Integrator::kEuler:
+      return "euler";
+    case Integrator::kHeun:
+      return "heun";
+  }
+  return "?";
+}
+
+const char*
+BoundaryKindName(BoundaryKind kind)
+{
+  switch (kind) {
+    case BoundaryKind::kZeroFlux:
+      return "zero-flux";
+    case BoundaryKind::kDirichlet:
+      return "dirichlet";
+    case BoundaryKind::kPeriodic:
+      return "periodic";
+  }
+  return "?";
+}
+
+int
+NetworkSpec::MaxKernelSide() const
+{
+  int side = 1;
+  for (const auto& layer : layers) {
+    for (const auto& c : layer.couplings) {
+      side = std::max(side, c.kernel.Side());
+    }
+  }
+  return side;
+}
+
+int
+NetworkSpec::CountTemplatesNeedingUpdate() const
+{
+  int n = 0;
+  for (const auto& layer : layers) {
+    for (const auto& c : layer.couplings) {
+      n += c.kernel.CountNonlinear() > 0 ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+int
+NetworkSpec::CountNonlinearWeights() const
+{
+  int n = 0;
+  for (const auto& layer : layers) {
+    for (const auto& c : layer.couplings) {
+      n += c.kernel.CountNonlinear();
+    }
+  }
+  return n;
+}
+
+std::set<const NonlinearFunction*>
+NetworkSpec::Functions() const
+{
+  std::set<const NonlinearFunction*> fns;
+  auto add_factors = [&fns](const std::vector<WeightFactor>& factors) {
+    for (const auto& f : factors) {
+      if (f.fn != nullptr) {
+        fns.insert(f.fn.get());
+      }
+    }
+  };
+  for (const auto& layer : layers) {
+    for (const auto& c : layer.couplings) {
+      for (const auto& w : c.kernel.Entries()) {
+        add_factors(w.factors);
+      }
+    }
+    for (const auto& term : layer.offset_terms) {
+      add_factors(term.factors);
+    }
+  }
+  return fns;
+}
+
+void
+NetworkSpec::Validate() const
+{
+  if (rows == 0 || cols == 0) {
+    CENN_FATAL("network '", name, "': grid is ", rows, "x", cols);
+  }
+  if (layers.empty()) {
+    CENN_FATAL("network '", name, "': no layers");
+  }
+  if (dt <= 0.0) {
+    CENN_FATAL("network '", name, "': dt must be positive, got ", dt);
+  }
+  const int n_layers = NumLayers();
+  auto check_layer_index = [&](int idx, const char* what) {
+    if (idx < 0 || idx >= n_layers) {
+      CENN_FATAL("network '", name, "': ", what, " layer index ", idx,
+                 " out of range [0,", n_layers, ")");
+    }
+  };
+  auto check_factors = [&](const std::vector<WeightFactor>& factors,
+                           const char* where) {
+    for (const auto& f : factors) {
+      check_layer_index(f.ctrl_layer, "factor control");
+      if (f.fn == nullptr) {
+        CENN_FATAL("network '", name, "': null nonlinear function in ", where);
+      }
+    }
+  };
+
+  const std::size_t cells = rows * cols;
+  for (const auto& layer : layers) {
+    for (const auto& c : layer.couplings) {
+      check_layer_index(c.src_layer, "coupling source");
+      if (c.kernel.Side() % 2 == 0 || c.kernel.Side() < 1) {
+        CENN_FATAL("network '", name, "': even/invalid kernel side ",
+                   c.kernel.Side());
+      }
+      for (const auto& w : c.kernel.Entries()) {
+        check_factors(w.factors, "template weight");
+      }
+    }
+    for (const auto& term : layer.offset_terms) {
+      check_factors(term.factors, "offset term");
+    }
+    if (!layer.initial_state.empty() && layer.initial_state.size() != cells) {
+      CENN_FATAL("network '", name, "': layer '", layer.name,
+                 "' initial state has ", layer.initial_state.size(),
+                 " cells, expected ", cells);
+    }
+    if (!layer.input.empty() && layer.input.size() != cells) {
+      CENN_FATAL("network '", name, "': layer '", layer.name, "' input has ",
+                 layer.input.size(), " cells, expected ", cells);
+    }
+  }
+  for (const auto& rule : resets) {
+    check_layer_index(rule.trigger_layer, "reset trigger");
+    for (const auto& a : rule.actions) {
+      check_layer_index(a.layer, "reset action");
+    }
+  }
+}
+
+}  // namespace cenn

@@ -1,0 +1,152 @@
+#ifndef CENN_CORE_NETWORK_SPEC_H_
+#define CENN_CORE_NETWORK_SPEC_H_
+
+/**
+ * @file
+ * Declarative description of a multilayer CeNN — the intermediate
+ * representation shared by the equation mapper, the functional engine,
+ * the bitstream programmer and the architecture simulator.
+ *
+ * A NetworkSpec is what Section 3 of the paper calls "a program for the
+ * DE solver": grid geometry, number of layers, template kernels with
+ * WUI flags, offsets and post-step (reset) rules.
+ */
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/grid.h"
+#include "core/template_kernel.h"
+
+namespace cenn {
+
+/** Which operand a coupling convolves over (the three templates of eq. 1). */
+enum class CouplingKind : std::uint8_t {
+  kState = 0,   ///< feedback template A-hat on states x
+  kOutput = 1,  ///< output template A on y = f(x)
+  kInput = 2,   ///< feedforward template B on inputs u
+};
+
+/** Returns "state" / "output" / "input". */
+const char* CouplingKindName(CouplingKind kind);
+
+/** One convolutional coupling from a source layer into a layer's dynamics. */
+struct Coupling {
+  CouplingKind kind = CouplingKind::kState;
+  int src_layer = 0;
+  TemplateKernel kernel;
+};
+
+/**
+ * A state-dependent additive term in a layer's dynamics:
+ * constant * prod_i l_i(x_{ctrl_i}), evaluated at the cell itself.
+ * This generalizes the offset z the same way eq. (10) folds c3 into z.
+ */
+struct OffsetTerm {
+  double constant = 1.0;
+  std::vector<WeightFactor> factors;
+};
+
+/** One action of a reset rule: set or add to a layer's state. */
+struct ResetAction {
+  int layer = 0;
+  bool is_set = true;  ///< true: x = value, false: x += value
+  double value = 0.0;
+};
+
+/**
+ * A thresholded post-step rule (e.g. the Izhikevich spike reset):
+ * wherever x_trigger >= threshold after the step, apply the actions.
+ */
+struct ResetRule {
+  int trigger_layer = 0;
+  double threshold = 0.0;
+  std::vector<ResetAction> actions;
+};
+
+/** One CeNN layer = one first-order equation discretized in space. */
+struct LayerSpec {
+  std::string name;
+
+  /** Convolutional couplings; the feedback/output/feedforward templates. */
+  std::vector<Coupling> couplings;
+
+  /** Constant offset z of eq. (1). */
+  double z = 0.0;
+
+  /** State-dependent offset terms (see OffsetTerm). */
+  std::vector<OffsetTerm> offset_terms;
+
+  /**
+   * Whether the intrinsic -x leak term of eq. (1) is present. The
+   * equation mapper keeps it and compensates in the center weight.
+   */
+  bool has_self_decay = true;
+
+  /** Row-major initial state (size rows*cols) or empty for zeros. */
+  std::vector<double> initial_state;
+
+  /** Row-major static input u (size rows*cols) or empty for zeros. */
+  std::vector<double> input;
+};
+
+/**
+ * Time integrator of the functional engine. The hardware implements
+ * explicit Euler (one convolution pass per step); Heun's second-order
+ * predictor-corrector is a validation-grade option for studying how
+ * much of a benchmark's error is time-discretization rather than
+ * datapath (two derivative evaluations per step).
+ */
+enum class Integrator : std::uint8_t {
+  kEuler = 0,
+  kHeun = 1,
+};
+
+/** Returns "euler" / "heun". */
+const char* IntegratorName(Integrator integrator);
+
+/** Complete multilayer CeNN program. */
+struct NetworkSpec {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  Boundary boundary;
+
+  /** Euler step size (the cell ODE integration step). */
+  double dt = 1e-3;
+
+  /** Time-integration scheme (hardware: kEuler). */
+  Integrator integrator = Integrator::kEuler;
+
+  std::vector<LayerSpec> layers;
+  std::vector<ResetRule> resets;
+
+  /** Human-readable label for reports ("heat", "izhikevich", ...). */
+  std::string name;
+
+  /** Number of layers N_layer. */
+  int NumLayers() const { return static_cast<int>(layers.size()); }
+
+  /** Largest kernel side over all couplings (>= 1). */
+  int MaxKernelSide() const;
+
+  /**
+   * Number of (layer, coupling) kernels that contain at least one
+   * WUI-flagged weight — the N(U != 0) of eq. (11).
+   */
+  int CountTemplatesNeedingUpdate() const;
+
+  /** Total WUI-flagged weights across all kernels. */
+  int CountNonlinearWeights() const;
+
+  /** Distinct nonlinear functions referenced anywhere in the spec. */
+  std::set<const NonlinearFunction*> Functions() const;
+
+  /** Fatal on any structural inconsistency (indices, sizes, nulls). */
+  void Validate() const;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_CORE_NETWORK_SPEC_H_

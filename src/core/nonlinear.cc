@@ -1,0 +1,142 @@
+#include "core/nonlinear.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+double
+TaylorTuple::Evaluate(double x) const
+{
+  return c3 + Alpha(x) * x;
+}
+
+double
+TaylorTuple::EvaluateAroundP(double x) const
+{
+  const double d = x - p;
+  return l_p + d * (a1 + d * (a2 + d * a3));
+}
+
+double
+TaylorTuple::Alpha(double x) const
+{
+  return c0 + (c1 + c2 * x) * x;
+}
+
+NonlinearFunction::NonlinearFunction(std::string name, Fn fn, double fd_step)
+    : name_(std::move(name)), fn_(std::move(fn)), fd_step_(fd_step)
+{
+  CENN_ASSERT(fn_ != nullptr, "NonlinearFunction '", name_, "' without body");
+  CENN_ASSERT(fd_step_ > 0.0, "fd_step must be positive");
+}
+
+NonlinearFunction::NonlinearFunction(std::string name, Fn fn,
+                                     std::array<Fn, 3> derivs)
+    : name_(std::move(name)), fn_(std::move(fn)), derivs_(std::move(derivs))
+{
+  CENN_ASSERT(fn_ != nullptr, "NonlinearFunction '", name_, "' without body");
+  for (const auto& d : derivs_) {
+    CENN_ASSERT(d != nullptr, "analytic derivative missing for '", name_, "'");
+  }
+}
+
+std::shared_ptr<const NonlinearFunction>
+NonlinearFunction::Polynomial(std::string name, std::vector<double> coeffs)
+{
+  auto eval = [](const std::vector<double>& c, double x) {
+    double acc = 0.0;
+    for (std::size_t k = c.size(); k-- > 0;) {
+      acc = acc * x + c[k];
+    }
+    return acc;
+  };
+  auto derive = [](std::vector<double> c) {
+    // d/dx sum c_k x^k = sum k*c_k x^{k-1}
+    if (c.empty()) {
+      return c;
+    }
+    std::vector<double> d(c.size() > 1 ? c.size() - 1 : 1, 0.0);
+    for (std::size_t k = 1; k < c.size(); ++k) {
+      d[k - 1] = static_cast<double>(k) * c[k];
+    }
+    return d;
+  };
+
+  const std::vector<double> d1 = derive(coeffs);
+  const std::vector<double> d2 = derive(d1);
+  const std::vector<double> d3 = derive(d2);
+
+  std::array<Fn, 3> derivs = {
+      [d1, eval](double x) { return eval(d1, x); },
+      [d2, eval](double x) { return eval(d2, x); },
+      [d3, eval](double x) { return eval(d3, x); },
+  };
+  int degree = static_cast<int>(coeffs.size()) - 1;
+  while (degree > 0 && coeffs[static_cast<std::size_t>(degree)] == 0.0) {
+    --degree;
+  }
+  Fn body = [c = std::move(coeffs), eval](double x) { return eval(c, x); };
+  auto fn = std::make_shared<NonlinearFunction>(std::move(name),
+                                                std::move(body), derivs);
+  fn->poly_degree_ = degree;
+  return fn;
+}
+
+double
+NonlinearFunction::Derivative(int order, double x) const
+{
+  CENN_ASSERT(order >= 1 && order <= 3, "derivative order ", order,
+              " out of range");
+  if (derivs_[static_cast<std::size_t>(order - 1)]) {
+    return derivs_[static_cast<std::size_t>(order - 1)](x);
+  }
+  // Central finite differences of increasing order.
+  const double h = fd_step_;
+  switch (order) {
+    case 1:
+      return (fn_(x + h) - fn_(x - h)) / (2.0 * h);
+    case 2:
+      return (fn_(x + h) - 2.0 * fn_(x) + fn_(x - h)) / (h * h);
+    case 3:
+    default:
+      return (fn_(x + 2.0 * h) - 2.0 * fn_(x + h) + 2.0 * fn_(x - h) -
+              fn_(x - 2.0 * h)) /
+             (2.0 * h * h * h);
+  }
+}
+
+TaylorTuple
+NonlinearFunction::TaylorAt(double p) const
+{
+  // Taylor with factorials: l(x) = l(p) + a1 d + a2 d^2 + a3 d^3,
+  // d = x - p, a2 = l''(p)/2, a3 = l'''(p)/6. Re-collect in powers of x.
+  const double lp = fn_(p);
+  const double a1 = Derivative(1, p);
+  const double a2 = Derivative(2, p) / 2.0;
+  const double a3 = Derivative(3, p) / 6.0;
+
+  TaylorTuple t;
+  t.p = p;
+  t.l_p = lp;
+  t.a1 = a1;
+  t.a2 = a2;
+  t.a3 = a3;
+  t.c0 = a1 - 2.0 * p * a2 + 3.0 * p * p * a3;
+  t.c1 = a2 - 3.0 * p * a3;
+  t.c2 = a3;
+  t.c3 = lp - p * a1 + p * p * a2 - p * p * p * a3;
+  return t;
+}
+
+NonlinearFnPtr
+MakeFunction(std::string name, NonlinearFunction::Fn fn, double fd_step)
+{
+  return std::make_shared<const NonlinearFunction>(std::move(name),
+                                                   std::move(fn), fd_step);
+}
+
+}  // namespace cenn

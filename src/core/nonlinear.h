@@ -1,0 +1,140 @@
+#ifndef CENN_CORE_NONLINEAR_H_
+#define CENN_CORE_NONLINEAR_H_
+
+/**
+ * @file
+ * Nonlinear scalar functions and their Taylor-series data, the basis of
+ * the paper's real-time template weight update (Section 2.2).
+ *
+ * A NonlinearFunction wraps a univariate l(x) together with derivative
+ * information. TaylorAt() produces the tuple the off-chip LUT stores for
+ * each sample point p (Fig. 5): the exact value l(p) plus polynomial
+ * coefficients c0..c3 such that
+ *
+ *     l(x) ~ c3 + (c0 + c1*x + c2*x^2) * x = c3 + alpha(x) * x
+ *
+ * which is eq. (10)'s decomposition: alpha becomes the state-dependent
+ * template weight and c3 folds into the offset z.
+ *
+ * Note: eq. (9) of the paper omits the 1/2! and 1/3! factorial divisors
+ * of the Taylor expansion; we include them (a3 = l'''(p)/6 etc.) so the
+ * approximation actually converges to l.
+ */
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+/**
+ * Per-sample-point LUT payload: exact value and rearranged Taylor
+ * coefficients (eq. 10, factorials corrected).
+ */
+struct TaylorTuple {
+  double p = 0.0;    ///< expansion point
+  double l_p = 0.0;  ///< exact l(p)
+  double c0 = 0.0;   ///< coefficient of x in alpha
+  double c1 = 0.0;   ///< coefficient of x^2 in alpha
+  double c2 = 0.0;   ///< coefficient of x^3 in alpha
+  double c3 = 0.0;   ///< constant term (folded into offset z)
+
+  // Delta-form coefficients: l(x) = l_p + a1 d + a2 d^2 + a3 d^3 with
+  // d = x - p. Mathematically identical to c0..c3 but numerically well
+  // conditioned (|d| < sample spacing).
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+
+  /** Evaluates the cubic approximation c3 + (c0 + c1 x + c2 x^2) x. */
+  double Evaluate(double x) const;
+
+  /** Delta-form evaluation l_p + d(a1 + d(a2 + d a3)), d = x - p. */
+  double EvaluateAroundP(double x) const;
+
+  /** The state-dependent template weight alpha(x) = c0 + c1 x + c2 x^2. */
+  double Alpha(double x) const;
+};
+
+/**
+ * A continuous univariate function with derivatives, identified by name.
+ *
+ * Instances are immutable and shared (shared_ptr) between the equation
+ * IR, the functional evaluators and the LUT builders; pointer identity
+ * keys the per-function LUTs.
+ */
+class NonlinearFunction
+{
+  public:
+    using Fn = std::function<double(double)>;
+
+    /**
+     * Builds from a callable; derivatives are computed by central
+     * finite differences with step `fd_step`.
+     *
+     * @param name     identifier used in programs and diagnostics.
+     * @param fn       the function l(x).
+     * @param fd_step  finite-difference step for numeric derivatives.
+     */
+    NonlinearFunction(std::string name, Fn fn, double fd_step = 1e-4);
+
+    /**
+     * Builds with analytic derivatives: derivs[k] is the (k+1)-th
+     * derivative l^{(k+1)}.
+     */
+    NonlinearFunction(std::string name, Fn fn, std::array<Fn, 3> derivs);
+
+    /** Creates a polynomial sum(coeffs[k] * x^k) with exact derivatives. */
+    static std::shared_ptr<const NonlinearFunction>
+    Polynomial(std::string name, std::vector<double> coeffs);
+
+    /** Identifier. */
+    const std::string& Name() const { return name_; }
+
+    /**
+     * Polynomial degree when the function is a known polynomial,
+     * -1 otherwise. Set by the Polynomial() factory.
+     */
+    int PolyDegree() const { return poly_degree_; }
+
+    /**
+     * True when the degree-3 Taylor form is globally exact, i.e. the
+     * function is a polynomial of degree <= 3. For such weights the
+     * c0..c3 coefficients are state-independent, so the hardware TUM
+     * evaluates them from template-resident constants with no LUT
+     * lookup at all (the pre-programmed case of eq. 10).
+     */
+    bool LutFree() const { return poly_degree_ >= 0 && poly_degree_ <= 3; }
+
+    /** Evaluates l(x). */
+    double Value(double x) const { return fn_(x); }
+
+    /** Evaluates the order-th derivative (order in 1..3). */
+    double Derivative(int order, double x) const;
+
+    /** Builds the LUT tuple for expansion point p (eq. 10, degree 3). */
+    TaylorTuple TaylorAt(double p) const;
+
+    NonlinearFunction(const NonlinearFunction&) = delete;
+    NonlinearFunction& operator=(const NonlinearFunction&) = delete;
+
+  private:
+    std::string name_;
+    Fn fn_;
+    std::array<Fn, 3> derivs_;  // empty functions => numeric
+    double fd_step_ = 1e-4;
+    int poly_degree_ = -1;
+};
+
+/** Shared handle used throughout the IR. */
+using NonlinearFnPtr = std::shared_ptr<const NonlinearFunction>;
+
+/** Convenience: wraps a lambda with numeric derivatives. */
+NonlinearFnPtr MakeFunction(std::string name, NonlinearFunction::Fn fn,
+                            double fd_step = 1e-4);
+
+}  // namespace cenn
+
+#endif  // CENN_CORE_NONLINEAR_H_

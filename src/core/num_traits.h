@@ -1,0 +1,37 @@
+#ifndef CENN_CORE_NUM_TRAITS_H_
+#define CENN_CORE_NUM_TRAITS_H_
+
+/**
+ * @file
+ * Numeric glue that lets the CeNN engine run on either IEEE double
+ * (the "GPU floating-point" reference arithmetic) or Fixed32 (the
+ * accelerator's Q16.16 arithmetic) from a single code path.
+ */
+
+#include "fixed/fixed32.h"
+
+namespace cenn {
+
+/** Conversion and constant helpers for a CeNN scalar type. */
+template <typename T>
+struct NumTraits;
+
+template <>
+struct NumTraits<double> {
+  static double FromDouble(double v) { return v; }
+  static double ToDouble(double v) { return v; }
+  static constexpr double Zero() { return 0.0; }
+  static constexpr const char* Name() { return "double"; }
+};
+
+template <>
+struct NumTraits<Fixed32> {
+  static Fixed32 FromDouble(double v) { return Fixed32::FromDouble(v); }
+  static double ToDouble(Fixed32 v) { return v.ToDouble(); }
+  static constexpr Fixed32 Zero() { return Fixed32(); }
+  static constexpr const char* Name() { return "fixed32"; }
+};
+
+}  // namespace cenn
+
+#endif  // CENN_CORE_NUM_TRAITS_H_

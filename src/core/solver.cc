@@ -1,0 +1,158 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+const char*
+PrecisionName(Precision p)
+{
+  switch (p) {
+    case Precision::kDouble:
+      return "double";
+    case Precision::kFixed32:
+      return "fixed32";
+  }
+  return "?";
+}
+
+DeSolver::DeSolver(const NetworkSpec& spec, SolverOptions options)
+    : precision_(options.precision)
+{
+  if (precision_ == Precision::kDouble) {
+    engine_ = std::make_unique<MultilayerCenn<double>>(
+        spec, options.double_evaluator);
+  } else {
+    engine_ = std::make_unique<MultilayerCenn<Fixed32>>(
+        spec, options.fixed_evaluator);
+  }
+}
+
+void
+DeSolver::Step()
+{
+  std::visit([](auto& e) { e->Step(); }, engine_);
+}
+
+void
+DeSolver::Run(std::uint64_t n)
+{
+  std::visit([n](auto& e) { e->Run(n); }, engine_);
+}
+
+DeSolver::SteadyResult
+DeSolver::RunUntilSteady(double tolerance, std::uint64_t max_steps,
+                         std::uint64_t check_every)
+{
+  if (tolerance <= 0.0 || check_every == 0) {
+    CENN_FATAL("RunUntilSteady: tolerance and check_every must be positive");
+  }
+  SteadyResult result;
+  const int n_layers = Spec().NumLayers();
+  std::vector<std::vector<double>> prev;
+  prev.reserve(static_cast<std::size_t>(n_layers));
+  for (int l = 0; l < n_layers; ++l) {
+    prev.push_back(StateDoubles(l));
+  }
+  while (result.steps_taken < max_steps) {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(check_every, max_steps - result.steps_taken);
+    Run(chunk);
+    result.steps_taken += chunk;
+    double delta = 0.0;
+    for (int l = 0; l < n_layers; ++l) {
+      std::vector<double> now = StateDoubles(l);
+      for (std::size_t i = 0; i < now.size(); ++i) {
+        delta = std::max(delta,
+                         std::abs(now[i] -
+                                  prev[static_cast<std::size_t>(l)][i]));
+      }
+      prev[static_cast<std::size_t>(l)] = std::move(now);
+    }
+    result.final_delta = delta;
+    if (delta < tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+double
+DeSolver::Time() const
+{
+  return std::visit([](const auto& e) { return e->Time(); }, engine_);
+}
+
+std::uint64_t
+DeSolver::Steps() const
+{
+  return std::visit([](const auto& e) { return e->Steps(); }, engine_);
+}
+
+const NetworkSpec&
+DeSolver::Spec() const
+{
+  return std::visit(
+      [](const auto& e) -> const NetworkSpec& { return e->Spec(); }, engine_);
+}
+
+std::vector<double>
+DeSolver::StateDoubles(int layer) const
+{
+  return std::visit(
+      [layer](const auto& e) { return e->StateDoubles(layer); }, engine_);
+}
+
+void
+DeSolver::SetState(int layer, std::size_t r, std::size_t c, double value)
+{
+  std::visit(
+      [&](auto& e) {
+        using Engine = std::remove_reference_t<decltype(*e)>;
+        using Scalar = std::remove_cvref_t<
+            decltype(e->State(0).At(0, 0))>;
+        static_cast<void>(sizeof(Engine));
+        e->MutableState(layer).AtChecked(r, c) =
+            NumTraits<Scalar>::FromDouble(value);
+      },
+      engine_);
+}
+
+double
+DeSolver::GetState(int layer, std::size_t r, std::size_t c) const
+{
+  return std::visit(
+      [&](const auto& e) {
+        using Scalar =
+            std::remove_cvref_t<decltype(e->State(0).At(0, 0))>;
+        // AtChecked is non-const; clone the read through State().
+        CENN_ASSERT(r < e->Spec().rows && c < e->Spec().cols,
+                    "GetState out of range");
+        return NumTraits<Scalar>::ToDouble(e->State(layer).At(r, c));
+      },
+      engine_);
+}
+
+MultilayerCenn<double>&
+DeSolver::DoubleEngine()
+{
+  if (precision_ != Precision::kDouble) {
+    CENN_FATAL("DoubleEngine() on a fixed-point solver");
+  }
+  return *std::get<std::unique_ptr<MultilayerCenn<double>>>(engine_);
+}
+
+MultilayerCenn<Fixed32>&
+DeSolver::FixedEngine()
+{
+  if (precision_ != Precision::kFixed32) {
+    CENN_FATAL("FixedEngine() on a double solver");
+  }
+  return *std::get<std::unique_ptr<MultilayerCenn<Fixed32>>>(engine_);
+}
+
+}  // namespace cenn

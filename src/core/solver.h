@@ -1,0 +1,115 @@
+#ifndef CENN_CORE_SOLVER_H_
+#define CENN_CORE_SOLVER_H_
+
+/**
+ * @file
+ * DeSolver — the user-facing API of the CeNN differential-equation
+ * solver. It owns a functional CeNN engine in the selected arithmetic
+ * (double = floating-point reference, Fixed32 = accelerator datapath)
+ * and exposes a precision-agnostic interface for stepping and state
+ * inspection, mirroring the paper's program-then-run flow (Section 3).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "core/network.h"
+
+namespace cenn {
+
+/** Arithmetic used by the functional engine. */
+enum class Precision : std::uint8_t {
+  kDouble = 0,   ///< IEEE double (reference, stands in for GPU fp32)
+  kFixed32 = 1,  ///< Q16.16 fixed point (the accelerator's datapath)
+};
+
+/** Returns "double" / "fixed32". */
+const char* PrecisionName(Precision p);
+
+/** Construction options for DeSolver. */
+struct SolverOptions {
+  Precision precision = Precision::kDouble;
+
+  /** Evaluator for nonlinear weights when precision is kDouble. */
+  std::shared_ptr<FunctionEvaluator<double>> double_evaluator;
+
+  /** Evaluator for nonlinear weights when precision is kFixed32. */
+  std::shared_ptr<FunctionEvaluator<Fixed32>> fixed_evaluator;
+};
+
+/**
+ * Precision-agnostic facade over MultilayerCenn.
+ *
+ * Typical use:
+ * @code
+ *   NetworkSpec spec = HeatModel({...}).BuildSpec(...);
+ *   DeSolver solver(spec, {.precision = Precision::kFixed32});
+ *   solver.Run(1000);
+ *   std::vector<double> field = solver.StateDoubles(0);
+ * @endcode
+ */
+class DeSolver
+{
+  public:
+    /** Builds a solver; the spec is validated (fatal on bad programs). */
+    explicit DeSolver(const NetworkSpec& spec, SolverOptions options = {});
+
+    /** One Euler step of every layer plus post-step rules. */
+    void Step();
+
+    /** Runs n steps. */
+    void Run(std::uint64_t n);
+
+    /** Result of RunUntilSteady. */
+    struct SteadyResult {
+      bool converged = false;
+      std::uint64_t steps_taken = 0;
+      double final_delta = 0.0;  ///< max |x_new - x_old| at the last check
+    };
+
+    /**
+     * Runs until the state stops changing (elliptic relaxation,
+     * steady-state searches): stops when the max absolute per-cell
+     * change over `check_every` steps falls below `tolerance`, or when
+     * `max_steps` is exhausted.
+     */
+    SteadyResult RunUntilSteady(double tolerance, std::uint64_t max_steps,
+                                std::uint64_t check_every = 16);
+
+    /** Simulated time (steps * dt). */
+    double Time() const;
+
+    /** Steps taken. */
+    std::uint64_t Steps() const;
+
+    /** The program being executed. */
+    const NetworkSpec& Spec() const;
+
+    /** Layer state as doubles, row-major. */
+    std::vector<double> StateDoubles(int layer) const;
+
+    /** Sets a single cell's state (e.g. stimulus injection). */
+    void SetState(int layer, std::size_t r, std::size_t c, double value);
+
+    /** Reads a single cell's state. */
+    double GetState(int layer, std::size_t r, std::size_t c) const;
+
+    /** Arithmetic in use. */
+    Precision GetPrecision() const { return precision_; }
+
+    /** Typed engine access (fatal if precision differs). */
+    MultilayerCenn<double>& DoubleEngine();
+    MultilayerCenn<Fixed32>& FixedEngine();
+
+  private:
+    Precision precision_;
+    std::variant<std::unique_ptr<MultilayerCenn<double>>,
+                 std::unique_ptr<MultilayerCenn<Fixed32>>>
+        engine_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_CORE_SOLVER_H_

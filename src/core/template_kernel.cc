@@ -1,0 +1,73 @@
+#include "core/template_kernel.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+TemplateKernel::TemplateKernel(int side) : side_(side)
+{
+  if (side < 1 || side % 2 == 0) {
+    CENN_FATAL("template kernel side must be odd and positive, got ", side);
+  }
+  entries_.resize(static_cast<std::size_t>(side) * side);
+}
+
+TemplateKernel
+TemplateKernel::FromConstants(int side, const std::vector<double>& values)
+{
+  TemplateKernel k(side);
+  if (values.size() != k.entries_.size()) {
+    CENN_FATAL("FromConstants: expected ", k.entries_.size(), " values, got ",
+               values.size());
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    k.entries_[i] = TemplateWeight::Constant(values[i]);
+  }
+  return k;
+}
+
+TemplateKernel
+TemplateKernel::Center(TemplateWeight w)
+{
+  TemplateKernel k(1);
+  k.entries_[0] = std::move(w);
+  return k;
+}
+
+TemplateWeight&
+TemplateKernel::At(int dr, int dc)
+{
+  const int r = Radius();
+  CENN_ASSERT(dr >= -r && dr <= r && dc >= -r && dc <= r,
+              "kernel offset out of range");
+  return entries_[static_cast<std::size_t>(dr + r) * side_ + (dc + r)];
+}
+
+const TemplateWeight&
+TemplateKernel::At(int dr, int dc) const
+{
+  return const_cast<TemplateKernel*>(this)->At(dr, dc);
+}
+
+int
+TemplateKernel::CountNonlinear() const
+{
+  int n = 0;
+  for (const auto& w : entries_) {
+    n += w.NeedsUpdate() ? 1 : 0;
+  }
+  return n;
+}
+
+bool
+TemplateKernel::IsZero() const
+{
+  for (const auto& w : entries_) {
+    if (w.NeedsUpdate() || w.constant != 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cenn

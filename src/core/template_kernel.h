@@ -1,0 +1,134 @@
+#ifndef CENN_CORE_TEMPLATE_KERNEL_H_
+#define CENN_CORE_TEMPLATE_KERNEL_H_
+
+/**
+ * @file
+ * CeNN template kernels ("the program of the DE solver", Section 3).
+ *
+ * A TemplateKernel is an l x l matrix of TemplateWeights. A weight is
+ * either a plain constant (space/time-invariant, WUI = 0) or carries
+ * nonlinear factors that must be re-evaluated from the current cell
+ * states every cycle (WUI = 1, serviced by the LUT hierarchy + TUM).
+ *
+ * Generalization over the paper (documented in DESIGN.md): a weight may
+ * be the product of a constant and up to two univariate LUT-backed
+ * factors, each controlled by any layer's state at the source cell.
+ * With zero or one factor this reduces exactly to eq. (10).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/nonlinear.h"
+
+namespace cenn {
+
+/** One univariate nonlinear factor l(x_ctrl) inside a template weight. */
+struct WeightFactor {
+  /** Index of the layer whose state feeds l(.). */
+  int ctrl_layer = 0;
+
+  /** The function; never null in a valid spec. */
+  NonlinearFnPtr fn;
+
+  /**
+   * Where the controlling state is read: false (default) at the cell
+   * being updated (x_ij in eq. 1), true at the neighbor the weight
+   * multiplies (x_kl) — both forms appear in the CeNN literature.
+   */
+  bool at_source = false;
+};
+
+/**
+ * A single template entry: value = constant * prod_i l_i(x_{ctrl_i}).
+ *
+ * `NeedsUpdate()` is the paper's WUI (weight update indicator) bit.
+ */
+struct TemplateWeight {
+  double constant = 0.0;
+  std::vector<WeightFactor> factors;
+
+  /** True when this weight is state-dependent (WUI bit set). */
+  bool NeedsUpdate() const { return !factors.empty(); }
+
+  /** A constant (linear, space-invariant) weight. */
+  static TemplateWeight
+  Constant(double c)
+  {
+    TemplateWeight w;
+    w.constant = c;
+    return w;
+  }
+
+  /** constant * fn(x_ctrl). */
+  static TemplateWeight
+  Nonlinear(double c, int ctrl_layer, NonlinearFnPtr fn)
+  {
+    TemplateWeight w;
+    w.constant = c;
+    w.factors.push_back({ctrl_layer, std::move(fn)});
+    return w;
+  }
+
+  /** constant * fn_a(x_a) * fn_b(x_b). */
+  static TemplateWeight
+  NonlinearProduct(double c, int ctrl_a, NonlinearFnPtr fa, int ctrl_b,
+                   NonlinearFnPtr fb)
+  {
+    TemplateWeight w;
+    w.constant = c;
+    w.factors.push_back({ctrl_a, std::move(fa)});
+    w.factors.push_back({ctrl_b, std::move(fb)});
+    return w;
+  }
+};
+
+/**
+ * An odd-sided square template kernel (3x3 by default in the paper's
+ * examples; radius r neighborhoods in general).
+ */
+class TemplateKernel
+{
+  public:
+    /** A side x side kernel of zero constants. side must be odd, >= 1. */
+    explicit TemplateKernel(int side = 3);
+
+    /** Builds a linear kernel from row-major constants (size side^2). */
+    static TemplateKernel FromConstants(int side,
+                                        const std::vector<double>& values);
+
+    /** A 1x1 kernel holding the given weight (cross-layer coupling). */
+    static TemplateKernel Center(TemplateWeight w);
+
+    /** Side length l_kernel. */
+    int Side() const { return side_; }
+
+    /** Neighborhood radius r = (side - 1) / 2. */
+    int Radius() const { return (side_ - 1) / 2; }
+
+    /** Entry at kernel offset (dr, dc), each in [-radius, radius]. */
+    TemplateWeight& At(int dr, int dc);
+    const TemplateWeight& At(int dr, int dc) const;
+
+    /** Row-major entries (size side^2). */
+    const std::vector<TemplateWeight>& Entries() const { return entries_; }
+    std::vector<TemplateWeight>& MutableEntries() { return entries_; }
+
+    /** Number of entries with the WUI bit set. */
+    int CountNonlinear() const;
+
+    /** True when every entry is a plain constant. */
+    bool IsLinear() const { return CountNonlinear() == 0; }
+
+    /** True when all constants are zero and no entry is nonlinear. */
+    bool IsZero() const;
+
+  private:
+    int side_ = 3;
+    std::vector<TemplateWeight> entries_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_CORE_TEMPLATE_KERNEL_H_

@@ -1,0 +1,126 @@
+#include "fixed/fixed32.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+/** Clamps a 64-bit intermediate into the 32-bit raw range. */
+std::int32_t
+SaturateRaw(std::int64_t v)
+{
+  if (v > INT32_MAX) {
+    return INT32_MAX;
+  }
+  if (v < INT32_MIN) {
+    return INT32_MIN;
+  }
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+Fixed32
+Fixed32::FromDouble(double v)
+{
+  if (std::isnan(v)) {
+    CENN_PANIC("Fixed32::FromDouble(NaN)");
+  }
+  const double scaled = v * static_cast<double>(kOne);
+  if (scaled >= static_cast<double>(INT32_MAX)) {
+    return Max();
+  }
+  if (scaled <= static_cast<double>(INT32_MIN)) {
+    return Min();
+  }
+  return FromRaw(static_cast<std::int32_t>(std::llround(scaled)));
+}
+
+Fixed32
+Fixed32::FromInt(std::int32_t v)
+{
+  return FromRaw(SaturateRaw(static_cast<std::int64_t>(v) * kOne));
+}
+
+double
+Fixed32::ToDouble() const
+{
+  return static_cast<double>(raw_) / static_cast<double>(kOne);
+}
+
+Fixed32
+Fixed32::operator+(Fixed32 o) const
+{
+  return FromRaw(SaturateRaw(static_cast<std::int64_t>(raw_) + o.raw_));
+}
+
+Fixed32
+Fixed32::operator-(Fixed32 o) const
+{
+  return FromRaw(SaturateRaw(static_cast<std::int64_t>(raw_) - o.raw_));
+}
+
+Fixed32
+Fixed32::operator*(Fixed32 o) const
+{
+  // 32x32 -> 64-bit product; shift back by 16 with round-to-nearest
+  // (add half an LSB before the arithmetic shift).
+  std::int64_t p = static_cast<std::int64_t>(raw_) * o.raw_;
+  p += (p >= 0) ? (kOne >> 1) : -(kOne >> 1);
+  return FromRaw(SaturateRaw(p / kOne));
+}
+
+Fixed32
+Fixed32::operator/(Fixed32 o) const
+{
+  if (o.raw_ == 0) {
+    CENN_FATAL("Fixed32 division by zero");
+  }
+  const std::int64_t num = static_cast<std::int64_t>(raw_) * kOne;
+  return FromRaw(SaturateRaw(num / o.raw_));
+}
+
+Fixed32
+Fixed32::operator-() const
+{
+  return FromRaw(SaturateRaw(-static_cast<std::int64_t>(raw_)));
+}
+
+std::string
+Fixed32::ToString() const
+{
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", ToDouble());
+  return buf;
+}
+
+Fixed32
+Abs(Fixed32 v)
+{
+  return v.raw() < 0 ? -v : v;
+}
+
+Fixed32
+Clamp(Fixed32 v, Fixed32 lo, Fixed32 hi)
+{
+  CENN_ASSERT(lo <= hi, "Clamp with inverted bounds");
+  if (v < lo) {
+    return lo;
+  }
+  if (v > hi) {
+    return hi;
+  }
+  return v;
+}
+
+Fixed32
+StandardOutput(Fixed32 x)
+{
+  const Fixed32 one = Fixed32::FromInt(1);
+  return Clamp(x, -one, one);
+}
+
+}  // namespace cenn

@@ -1,0 +1,144 @@
+#ifndef CENN_FIXED_FIXED32_H_
+#define CENN_FIXED_FIXED32_H_
+
+/**
+ * @file
+ * Q16.16 saturating fixed-point arithmetic.
+ *
+ * The paper's DE solver computes with a 32-bit fixed-point state whose
+ * upper 16 bits are the (signed) integer part and lower 16 bits the
+ * fraction (Section 4.1). The upper half doubles as the LUT look-up
+ * index for real-time template updates. Fixed32 reproduces that format
+ * exactly: value = raw / 2^16, raw is a signed 32-bit integer, and all
+ * arithmetic saturates instead of wrapping (a hardware multiplier with
+ * clamping, not UB-prone int overflow).
+ */
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace cenn {
+
+/** Signed Q16.16 fixed-point number with saturating arithmetic. */
+class Fixed32
+{
+  public:
+    /** Number of fractional bits in the representation. */
+    static constexpr int kFracBits = 16;
+
+    /** Scale factor 2^16. */
+    static constexpr std::int64_t kOne = std::int64_t{1} << kFracBits;
+
+    /** Smallest representable increment (2^-16 ~ 1.53e-5). */
+    static double Epsilon() { return 1.0 / static_cast<double>(kOne); }
+
+    /** Zero-initialized. */
+    constexpr Fixed32() = default;
+
+    /** Builds from a raw Q16.16 bit pattern. */
+    static constexpr Fixed32
+    FromRaw(std::int32_t raw)
+    {
+      Fixed32 f;
+      f.raw_ = raw;
+      return f;
+    }
+
+    /** Converts from double with round-to-nearest and saturation. */
+    static Fixed32 FromDouble(double v);
+
+    /** Converts from a small integer with saturation. */
+    static Fixed32 FromInt(std::int32_t v);
+
+    /** Maximum representable value (32767.99998...). */
+    static constexpr Fixed32
+    Max()
+    {
+      return FromRaw(INT32_MAX);
+    }
+
+    /** Minimum representable value (-32768). */
+    static constexpr Fixed32
+    Min()
+    {
+      return FromRaw(INT32_MIN);
+    }
+
+    /** Raw Q16.16 bit pattern. */
+    constexpr std::int32_t raw() const { return raw_; }
+
+    /** Value as a double. */
+    double ToDouble() const;
+
+    /**
+     * Upper 16 bits of the state word, as used for LUT index matching
+     * (the paper XNORs these against the L1 LUT tags).
+     */
+    std::uint16_t UpperBits() const
+    {
+        return static_cast<std::uint16_t>(
+            (static_cast<std::uint32_t>(raw_) >> 16) & 0xffffu);
+    }
+
+    /** Lower 16 bits (fractional part); non-zero means "approximate". */
+    std::uint16_t LowerBits() const
+    {
+        return static_cast<std::uint16_t>(static_cast<std::uint32_t>(raw_) &
+                                          0xffffu);
+    }
+
+    /** Floor of the value as an integer (arithmetic shift). */
+    std::int32_t FloorInt() const { return raw_ >> kFracBits; }
+
+    /** Saturating addition. */
+    Fixed32 operator+(Fixed32 o) const;
+
+    /** Saturating subtraction. */
+    Fixed32 operator-(Fixed32 o) const;
+
+    /** Saturating Q16.16 multiplication with round-to-nearest. */
+    Fixed32 operator*(Fixed32 o) const;
+
+    /** Saturating division; fatal on division by zero. */
+    Fixed32 operator/(Fixed32 o) const;
+
+    /** Saturating negation (-Min() saturates to Max()). */
+    Fixed32 operator-() const;
+
+    Fixed32& operator+=(Fixed32 o) { return *this = *this + o; }
+    Fixed32& operator-=(Fixed32 o) { return *this = *this - o; }
+    Fixed32& operator*=(Fixed32 o) { return *this = *this * o; }
+    Fixed32& operator/=(Fixed32 o) { return *this = *this / o; }
+
+    constexpr auto operator<=>(const Fixed32&) const = default;
+
+    /** Decimal rendering, e.g. "1.5" (for debugging and tests). */
+    std::string ToString() const;
+
+  private:
+    std::int32_t raw_ = 0;
+};
+
+/** Absolute value, saturating at Max() for Min(). */
+Fixed32 Abs(Fixed32 v);
+
+/** Clamps v into [lo, hi]. */
+Fixed32 Clamp(Fixed32 v, Fixed32 lo, Fixed32 hi);
+
+/**
+ * The standard CeNN output nonlinearity f(x) = 0.5(|x+1| - |x-1|)
+ * (eq. 2 of the paper): identity in [-1, 1], clipped outside.
+ */
+Fixed32 StandardOutput(Fixed32 x);
+
+/** Fixed32 literal-ish helper: MakeFixed(1.5). */
+inline Fixed32
+MakeFixed(double v)
+{
+  return Fixed32::FromDouble(v);
+}
+
+}  // namespace cenn
+
+#endif  // CENN_FIXED_FIXED32_H_

@@ -1,0 +1,75 @@
+#include "lut/lut_bank.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+const LutSpec&
+LutConfig::SpecFor(const std::string& name) const
+{
+  const auto it = per_function.find(name);
+  return it == per_function.end() ? default_spec : it->second;
+}
+
+LutBank::LutBank(const NetworkSpec& spec, const LutConfig& config)
+    : config_(config)
+{
+  int base = 0;
+  for (const NonlinearFunction* fn : spec.Functions()) {
+    const LutSpec& lut_spec = config_.SpecFor(fn->Name());
+    // Re-wrap the raw pointer in a non-owning shared_ptr: the spec's
+    // shared_ptr keeps the function alive for the bank's lifetime.
+    NonlinearFnPtr handle(std::shared_ptr<const NonlinearFunction>(),
+                          fn);
+    Table t;
+    t.lut = std::make_unique<OffChipLut>(handle, lut_spec);
+    t.base = base;
+    // Keep DRAM fetch blocks of different tables disjoint.
+    const int aligned = (t.lut->NumEntries() + OffChipLut::kBlockFetchSize -
+                         1) /
+                        OffChipLut::kBlockFetchSize *
+                        OffChipLut::kBlockFetchSize;
+    base += aligned;
+    total_entries_ += t.lut->NumEntries();
+    tables_.emplace(fn, std::move(t));
+  }
+}
+
+const OffChipLut*
+LutBank::Find(const NonlinearFunction* fn) const
+{
+  const auto it = tables_.find(fn);
+  return it == tables_.end() ? nullptr : it->second.lut.get();
+}
+
+const LutBank::Table&
+LutBank::GetTable(const NonlinearFunction& fn) const
+{
+  const auto it = tables_.find(&fn);
+  if (it == tables_.end()) {
+    CENN_FATAL("LutBank: no table for function '", fn.Name(), "'");
+  }
+  return it->second;
+}
+
+const OffChipLut&
+LutBank::Get(const NonlinearFunction& fn) const
+{
+  return *GetTable(fn).lut;
+}
+
+int
+LutBank::GlobalIndex(const NonlinearFunction& fn, Fixed32 x) const
+{
+  const Table& t = GetTable(fn);
+  return t.base + t.lut->IndexOf(x);
+}
+
+int
+LutBank::GlobalIndex(const NonlinearFunction& fn, double x) const
+{
+  const Table& t = GetTable(fn);
+  return t.base + t.lut->IndexOf(x);
+}
+
+}  // namespace cenn

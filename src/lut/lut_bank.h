@@ -1,0 +1,79 @@
+#ifndef CENN_LUT_LUT_BANK_H_
+#define CENN_LUT_LUT_BANK_H_
+
+/**
+ * @file
+ * LutBank materializes one OffChipLut per distinct nonlinear function
+ * of a network program and assigns each table a base offset in a single
+ * global index space, so the (shared) L1/L2 cache models can tell the
+ * same sample index of different functions apart.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/network_spec.h"
+#include "lut/off_chip_lut.h"
+
+namespace cenn {
+
+/** Per-program LUT sampling configuration. */
+struct LutConfig {
+  /** Used for functions without a dedicated entry. */
+  LutSpec default_spec;
+
+  /** Overrides keyed by NonlinearFunction::Name(). */
+  std::map<std::string, LutSpec> per_function;
+
+  /** Spec for a function name (override or default). */
+  const LutSpec& SpecFor(const std::string& name) const;
+};
+
+/** All off-chip LUTs for one network program. */
+class LutBank
+{
+  public:
+    /** Builds tables for every function referenced by `spec`. */
+    LutBank(const NetworkSpec& spec, const LutConfig& config);
+
+    /** Table for `fn`, or nullptr when the program never uses it. */
+    const OffChipLut* Find(const NonlinearFunction* fn) const;
+
+    /** Table for `fn`; fatal when absent. */
+    const OffChipLut& Get(const NonlinearFunction& fn) const;
+
+    /** Number of materialized tables. */
+    std::size_t NumTables() const { return tables_.size(); }
+
+    /** Total entries across tables (the off-chip LUT footprint). */
+    int TotalEntries() const { return total_entries_; }
+
+    /**
+     * Index of (fn, x) in the global space shared by all tables:
+     * the per-table base plus the local sample index.
+     */
+    int GlobalIndex(const NonlinearFunction& fn, Fixed32 x) const;
+
+    /** Global index for a double-valued state. */
+    int GlobalIndex(const NonlinearFunction& fn, double x) const;
+
+    /** The LutConfig the bank was built with. */
+    const LutConfig& Config() const { return config_; }
+
+  private:
+    struct Table {
+      std::unique_ptr<OffChipLut> lut;
+      int base = 0;
+    };
+
+    const Table& GetTable(const NonlinearFunction& fn) const;
+
+    LutConfig config_;
+    std::map<const NonlinearFunction*, Table> tables_;
+    int total_entries_ = 0;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_LUT_LUT_BANK_H_

@@ -1,0 +1,86 @@
+#include "lut/lut_cache.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+L1Lut::L1Lut(int num_blocks)
+{
+  if (num_blocks < 1) {
+    CENN_FATAL("L1Lut needs at least one block, got ", num_blocks);
+  }
+  tags_.assign(static_cast<std::size_t>(num_blocks), -1);
+}
+
+bool
+L1Lut::Access(int index)
+{
+  ++stats_.accesses;
+  for (const std::int64_t tag : tags_) {
+    if (tag == index) {
+      return true;
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void
+L1Lut::Insert(int index)
+{
+  tags_[static_cast<std::size_t>(write_ptr_)] = index;
+  write_ptr_ = (write_ptr_ + 1) % static_cast<int>(tags_.size());
+}
+
+void
+L1Lut::Reset(bool keep_stats)
+{
+  std::fill(tags_.begin(), tags_.end(), -1);
+  write_ptr_ = 0;
+  if (!keep_stats) {
+    stats_.Reset();
+  }
+}
+
+L2Lut::L2Lut(int num_entries)
+{
+  if (num_entries < 1 || (num_entries & (num_entries - 1)) != 0) {
+    CENN_FATAL("L2Lut capacity must be a power of two, got ", num_entries);
+  }
+  tags_.assign(static_cast<std::size_t>(num_entries), -1);
+  mask_ = num_entries - 1;
+}
+
+bool
+L2Lut::Access(int index)
+{
+  ++stats_.accesses;
+  if (tags_[static_cast<std::size_t>(Slot(index))] == index) {
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void
+L2Lut::InsertBlock(int base_index, int block_size)
+{
+  for (int i = 0; i < block_size; ++i) {
+    const int idx = base_index + i;
+    if (idx < 0) {
+      continue;
+    }
+    tags_[static_cast<std::size_t>(Slot(idx))] = idx;
+  }
+}
+
+void
+L2Lut::Reset(bool keep_stats)
+{
+  std::fill(tags_.begin(), tags_.end(), -1);
+  if (!keep_stats) {
+    stats_.Reset();
+  }
+}
+
+}  // namespace cenn

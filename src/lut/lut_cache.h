@@ -1,0 +1,109 @@
+#ifndef CENN_LUT_LUT_CACHE_H_
+#define CENN_LUT_LUT_CACHE_H_
+
+/**
+ * @file
+ * On-chip LUT cache models (Section 4.1).
+ *
+ * L1Lut: one per PE. A handful of blocks (4 by default) whose tags are
+ * direct-matched against the state's index bits (the paper's multi-bit
+ * XNOR compare). Replacement is a cyclic write pointer (FIFO).
+ *
+ * L2Lut: one per memory channel, shared by the PEs on that channel.
+ * Direct-mapped with a modulo-by-power-of-2 hash of the index. A miss
+ * costs a DRAM access that returns OffChipLut::kBlockFetchSize
+ * consecutive entries, all inserted with the same hash.
+ *
+ * Both are *tag-only* models: functional data always comes from the
+ * OffChipLut; the caches exist to produce hit/miss behaviour for the
+ * timing, energy and Fig. 12 miss-rate experiments.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace cenn {
+
+/** Hit/miss counters for one cache instance. */
+struct LutCacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+
+  /** misses / accesses; 0 when never accessed. */
+  double MissRate() const
+  {
+      return accesses == 0
+                 ? 0.0
+                 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+
+  void
+  Reset()
+  {
+      accesses = 0;
+      misses = 0;
+  }
+};
+
+/** Per-PE L1 LUT: small fully-associative tag array with FIFO fill. */
+class L1Lut
+{
+  public:
+    /** @param num_blocks tag capacity (paper default: 4). */
+    explicit L1Lut(int num_blocks = 4);
+
+    /**
+     * Tag probe for a sample index. Updates statistics.
+     * @return true on hit.
+     */
+    bool Access(int index);
+
+    /** Fills the next block (cyclic write pointer) with `index`. */
+    void Insert(int index);
+
+    /** Invalidates all blocks and (optionally kept) statistics. */
+    void Reset(bool keep_stats = false);
+
+    int NumBlocks() const { return static_cast<int>(tags_.size()); }
+    const LutCacheStats& Stats() const { return stats_; }
+
+  private:
+    std::vector<std::int64_t> tags_;  // -1 = invalid
+    int write_ptr_ = 0;
+    LutCacheStats stats_;
+};
+
+/** Shared L2 LUT: direct-mapped, modulo-power-of-2 hash, block fill. */
+class L2Lut
+{
+  public:
+    /** @param num_entries capacity; must be a power of two (default 32). */
+    explicit L2Lut(int num_entries = 32);
+
+    /** Tag probe. Updates statistics. @return true on hit. */
+    bool Access(int index);
+
+    /**
+     * Models the DRAM block fetch after a miss: inserts
+     * `block_size` consecutive indices starting at `base_index`,
+     * each at its own hashed slot.
+     */
+    void InsertBlock(int base_index, int block_size);
+
+    /** Invalidates all entries. */
+    void Reset(bool keep_stats = false);
+
+    int NumEntries() const { return static_cast<int>(tags_.size()); }
+    const LutCacheStats& Stats() const { return stats_; }
+
+  private:
+    int Slot(int index) const { return index & mask_; }
+
+    std::vector<std::int64_t> tags_;  // -1 = invalid
+    int mask_ = 0;
+    LutCacheStats stats_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_LUT_LUT_CACHE_H_

@@ -1,0 +1,105 @@
+#include "lut/lut_hierarchy.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+LutHierarchy::LutHierarchy(const LutHierarchyConfig& config) : config_(config)
+{
+  if (config_.num_pes < 1 || config_.num_l2 < 1) {
+    CENN_FATAL("LutHierarchy: need at least one PE and one L2");
+  }
+  if (config_.num_pes % config_.num_l2 != 0) {
+    CENN_FATAL("LutHierarchy: num_pes (", config_.num_pes,
+               ") must be a multiple of num_l2 (", config_.num_l2, ")");
+  }
+  l1_.reserve(static_cast<std::size_t>(config_.num_pes));
+  for (int i = 0; i < config_.num_pes; ++i) {
+    l1_.emplace_back(config_.l1_blocks);
+  }
+  l2_.reserve(static_cast<std::size_t>(config_.num_l2));
+  for (int i = 0; i < config_.num_l2; ++i) {
+    l2_.emplace_back(config_.l2_entries);
+  }
+}
+
+int
+LutHierarchy::L2For(int pe) const
+{
+  CENN_ASSERT(pe >= 0 && pe < config_.num_pes, "bad PE id ", pe);
+  return pe * config_.num_l2 / config_.num_pes;
+}
+
+LutLevel
+LutHierarchy::Lookup(int pe, int index)
+{
+  L1Lut& l1 = l1_[static_cast<std::size_t>(pe)];
+  if (l1.Access(index)) {
+    return LutLevel::kL1;
+  }
+  L2Lut& l2 = l2_[static_cast<std::size_t>(L2For(pe))];
+  if (l2.Access(index)) {
+    // Copy into L1 (fetched to the PE at the same time, Section 4.1).
+    l1.Insert(index);
+    return LutLevel::kL2;
+  }
+  // DRAM fetch: an aligned block fills L2; the missing entry fills L1.
+  const int base = index / config_.dram_fetch_block *
+                   config_.dram_fetch_block;
+  l2.InsertBlock(base, config_.dram_fetch_block);
+  l1.Insert(index);
+  ++dram_fetches_;
+  return LutLevel::kDram;
+}
+
+void
+LutHierarchy::Reset(bool keep_stats)
+{
+  for (auto& l1 : l1_) {
+    l1.Reset(keep_stats);
+  }
+  for (auto& l2 : l2_) {
+    l2.Reset(keep_stats);
+  }
+  if (!keep_stats) {
+    dram_fetches_ = 0;
+  }
+}
+
+LutCacheStats
+LutHierarchy::AggregateL1() const
+{
+  LutCacheStats agg;
+  for (const auto& l1 : l1_) {
+    agg.accesses += l1.Stats().accesses;
+    agg.misses += l1.Stats().misses;
+  }
+  return agg;
+}
+
+LutCacheStats
+LutHierarchy::AggregateL2() const
+{
+  LutCacheStats agg;
+  for (const auto& l2 : l2_) {
+    agg.accesses += l2.Stats().accesses;
+    agg.misses += l2.Stats().misses;
+  }
+  return agg;
+}
+
+const L1Lut&
+LutHierarchy::L1(int pe) const
+{
+  CENN_ASSERT(pe >= 0 && pe < config_.num_pes, "bad PE id ", pe);
+  return l1_[static_cast<std::size_t>(pe)];
+}
+
+const L2Lut&
+LutHierarchy::L2(int l2) const
+{
+  CENN_ASSERT(l2 >= 0 && l2 < config_.num_l2, "bad L2 id ", l2);
+  return l2_[static_cast<std::size_t>(l2)];
+}
+
+}  // namespace cenn

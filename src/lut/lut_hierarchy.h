@@ -1,0 +1,79 @@
+#ifndef CENN_LUT_LUT_HIERARCHY_H_
+#define CENN_LUT_LUT_HIERARCHY_H_
+
+/**
+ * @file
+ * The two-level LUT cache hierarchy of Section 4.1: one private L1 LUT
+ * per PE and one shared L2 LUT per group of PEs (per memory channel).
+ * LutHierarchy replays a stream of (pe, global index) lookups through
+ * the tag models and reports where each was serviced, producing the
+ * miss rates of Fig. 12 and the stall/DRAM events the cycle simulator
+ * charges for.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "lut/lut_cache.h"
+
+namespace cenn {
+
+/** Where a LUT lookup was serviced. */
+enum class LutLevel : std::uint8_t {
+  kL1 = 0,    ///< private L1 hit: no extra cycles
+  kL2 = 1,    ///< L1 miss, shared L2 hit: one extra PE-visible cycle
+  kDram = 2,  ///< both missed: DRAM access, 8-entry block fill
+};
+
+/** Geometry of the on-chip LUT hierarchy. */
+struct LutHierarchyConfig {
+  int num_pes = 64;          ///< one L1 per PE
+  int l1_blocks = 4;         ///< blocks per L1 (paper's chosen point)
+  int num_l2 = 16;           ///< shared L2 instances (one per channel)
+  int l2_entries = 32;       ///< entries per L2 (power of two)
+  int dram_fetch_block = 8;  ///< entries per DRAM fetch
+};
+
+/** Tag-model replay engine for the L1/L2 LUT hierarchy. */
+class LutHierarchy
+{
+  public:
+    explicit LutHierarchy(const LutHierarchyConfig& config);
+
+    /**
+     * One lookup by PE `pe` for global sample index `index`.
+     * Updates the tag state and statistics of the touched levels.
+     */
+    LutLevel Lookup(int pe, int index);
+
+    /** L2 instance serving a PE (pe * num_l2 / num_pes). */
+    int L2For(int pe) const;
+
+    /** Invalidates every level. */
+    void Reset(bool keep_stats = false);
+
+    /** Aggregate L1 statistics over all PEs. */
+    LutCacheStats AggregateL1() const;
+
+    /** Aggregate L2 statistics over all instances. */
+    LutCacheStats AggregateL2() const;
+
+    /** Total DRAM fetch events (== aggregate L2 misses). */
+    std::uint64_t DramFetches() const { return dram_fetches_; }
+
+    const LutHierarchyConfig& Config() const { return config_; }
+
+    /** Per-instance access (tests). */
+    const L1Lut& L1(int pe) const;
+    const L2Lut& L2(int l2) const;
+
+  private:
+    LutHierarchyConfig config_;
+    std::vector<L1Lut> l1_;
+    std::vector<L2Lut> l2_;
+    std::uint64_t dram_fetches_ = 0;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_LUT_LUT_HIERARCHY_H_

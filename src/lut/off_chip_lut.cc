@@ -1,0 +1,137 @@
+#include "lut/off_chip_lut.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+double
+LutSpec::Spacing() const
+{
+  return std::ldexp(1.0, -frac_index_bits);
+}
+
+int
+LutSpec::NumPoints() const
+{
+  return static_cast<int>(std::floor((max_p - min_p) / Spacing())) + 1;
+}
+
+void
+LutSpec::Validate() const
+{
+  if (min_p >= max_p) {
+    CENN_FATAL("LutSpec: min_p ", min_p, " >= max_p ", max_p);
+  }
+  if (frac_index_bits < 0 || frac_index_bits > Fixed32::kFracBits) {
+    CENN_FATAL("LutSpec: frac_index_bits ", frac_index_bits,
+               " out of [0,16]");
+  }
+  if (NumPoints() > (1 << 22)) {
+    CENN_FATAL("LutSpec: table too large (", NumPoints(), " points)");
+  }
+}
+
+OffChipLut::OffChipLut(NonlinearFnPtr fn, LutSpec spec)
+    : fn_(std::move(fn)), spec_(spec)
+{
+  CENN_ASSERT(fn_ != nullptr, "OffChipLut with null function");
+  spec_.Validate();
+  const int n = spec_.NumPoints();
+  entries_.reserve(static_cast<std::size_t>(n));
+  fixed_entries_.reserve(static_cast<std::size_t>(n));
+  const double spacing = spec_.Spacing();
+  for (int i = 0; i < n; ++i) {
+    const double p = spec_.min_p + static_cast<double>(i) * spacing;
+    const TaylorTuple t = fn_->TaylorAt(p);
+    entries_.push_back(t);
+    fixed_entries_.push_back({Fixed32::FromDouble(t.l_p),
+                              Fixed32::FromDouble(t.p),
+                              Fixed32::FromDouble(t.a1),
+                              Fixed32::FromDouble(t.a2),
+                              Fixed32::FromDouble(t.a3),
+                              Fixed32::FromDouble(t.c0),
+                              Fixed32::FromDouble(t.c1),
+                              Fixed32::FromDouble(t.c2),
+                              Fixed32::FromDouble(t.c3)});
+  }
+}
+
+int
+OffChipLut::IndexOf(double x) const
+{
+  const double rel = (x - spec_.min_p) / spec_.Spacing();
+  int idx = static_cast<int>(std::floor(rel));
+  if (idx < 0) {
+    idx = 0;
+  }
+  if (idx >= NumEntries()) {
+    idx = NumEntries() - 1;
+  }
+  return idx;
+}
+
+const TaylorTuple&
+OffChipLut::Entry(int index) const
+{
+  CENN_ASSERT(index >= 0 && index < NumEntries(), "LUT index ", index,
+              " out of range");
+  return entries_[static_cast<std::size_t>(index)];
+}
+
+bool
+OffChipLut::IsExactSample(Fixed32 x) const
+{
+  // Sample spacing is 2^-k, so x is exact iff the low (16 - k) raw bits
+  // are zero and x is inside the sampled range.
+  const double v = x.ToDouble();
+  if (v < spec_.min_p || v > spec_.max_p) {
+    return false;
+  }
+  const int low_bits = Fixed32::kFracBits - spec_.frac_index_bits;
+  const std::uint32_t mask = (low_bits >= 32)
+                                 ? 0xffffffffu
+                                 : ((1u << low_bits) - 1u);
+  return (static_cast<std::uint32_t>(x.raw()) & mask) == 0;
+}
+
+double
+OffChipLut::EvaluateDouble(double x) const
+{
+  const TaylorTuple& t = LookupTuple(x);
+  if (x == t.p) {
+    return t.l_p;
+  }
+  return t.EvaluateAroundP(x);
+}
+
+Fixed32
+OffChipLut::EvaluateFixed(Fixed32 x) const
+{
+  const int idx = IndexOf(x);
+  const FixedTuple& ft = fixed_entries_[static_cast<std::size_t>(idx)];
+  if (IsExactSample(x)) {
+    return ft.l_p;
+  }
+  // Delta-form TUM datapath: d = x - p is exact in fixed point and
+  // |d| < spacing, so quantized a1..a3 contribute only O(eps) error.
+  const Fixed32 d = x - ft.p;
+  return ft.l_p + d * (ft.a1 + d * (ft.a2 + d * ft.a3));
+}
+
+Fixed32
+OffChipLut::EvaluateFixedExpanded(Fixed32 x) const
+{
+  const int idx = IndexOf(x);
+  const FixedTuple& ft = fixed_entries_[static_cast<std::size_t>(idx)];
+  if (IsExactSample(x)) {
+    return ft.l_p;
+  }
+  // The paper's literal eq. (10): alpha = c0 + (c1 + c2 x) x, value =
+  // c3 + alpha x. Quantization error in c1/c2 is amplified by x^2/x^3.
+  const Fixed32 alpha = ft.c0 + (ft.c1 + ft.c2 * x) * x;
+  return ft.c3 + alpha * x;
+}
+
+}  // namespace cenn

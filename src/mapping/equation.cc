@@ -1,0 +1,116 @@
+#include "mapping/equation.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+Term
+Term::Linear(double coeff, SpatialOp op, int var)
+{
+  Term t;
+  t.coeff = coeff;
+  t.op = op;
+  t.var = var;
+  return t;
+}
+
+Term
+Term::Source(double coeff)
+{
+  Term t;
+  t.coeff = coeff;
+  t.var = -1;
+  return t;
+}
+
+Term
+Term::NonlinearSource(double coeff, int ctrl_var, NonlinearFnPtr fn)
+{
+  Term t;
+  t.coeff = coeff;
+  t.var = -1;
+  t.factors.push_back({ctrl_var, std::move(fn)});
+  return t;
+}
+
+Term
+Term::Nonlinear(double coeff, int ctrl_var, NonlinearFnPtr fn, SpatialOp op,
+                int var)
+{
+  Term t;
+  t.coeff = coeff;
+  t.op = op;
+  t.var = var;
+  t.factors.push_back({ctrl_var, std::move(fn)});
+  return t;
+}
+
+int
+EquationSystem::VarIndex(const std::string& var_name) const
+{
+  for (std::size_t i = 0; i < equations.size(); ++i) {
+    if (equations[i].var_name == var_name) {
+      return static_cast<int>(i);
+    }
+  }
+  CENN_FATAL("system '", name, "': unknown variable '", var_name, "'");
+}
+
+void
+EquationSystem::Validate() const
+{
+  if (rows == 0 || cols == 0) {
+    CENN_FATAL("system '", name, "': empty grid");
+  }
+  if (h <= 0.0 || dt <= 0.0) {
+    CENN_FATAL("system '", name, "': h and dt must be positive");
+  }
+  if (equations.empty()) {
+    CENN_FATAL("system '", name, "': no equations");
+  }
+  const int n_vars = static_cast<int>(equations.size());
+  const std::size_t cells = rows * cols;
+  auto check_var = [&](int v, const char* what) {
+    if (v < 0 || v >= n_vars) {
+      CENN_FATAL("system '", name, "': ", what, " variable index ", v,
+                 " out of range");
+    }
+  };
+  for (const auto& eq : equations) {
+    if (eq.time_order < 1 || eq.time_order > 2) {
+      CENN_FATAL("system '", name, "': equation '", eq.var_name,
+                 "' has unsupported time order ", eq.time_order);
+    }
+    for (const auto& term : eq.terms) {
+      if (term.var >= 0) {
+        check_var(term.var, "term");
+      } else if (term.op != SpatialOp::kIdentity) {
+        CENN_FATAL("system '", name, "': source term with spatial operator");
+      }
+      for (const auto& f : term.factors) {
+        check_var(f.ctrl_var, "factor control");
+        if (f.fn == nullptr) {
+          CENN_FATAL("system '", name, "': null factor function");
+        }
+      }
+    }
+    auto check_field = [&](const std::vector<double>& field,
+                           const char* what) {
+      if (!field.empty() && field.size() != cells) {
+        CENN_FATAL("system '", name, "': equation '", eq.var_name, "' ",
+                   what, " has ", field.size(), " cells, expected ", cells);
+      }
+    };
+    check_field(eq.initial, "initial");
+    check_field(eq.initial_velocity, "initial velocity");
+    check_field(eq.input, "input");
+  }
+  for (const auto& rule : resets) {
+    check_var(rule.trigger_var, "reset trigger");
+    for (const auto& a : rule.actions) {
+      check_var(a.var, "reset action");
+    }
+  }
+}
+
+}  // namespace cenn

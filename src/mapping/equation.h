@@ -1,0 +1,120 @@
+#ifndef CENN_MAPPING_EQUATION_H_
+#define CENN_MAPPING_EQUATION_H_
+
+/**
+ * @file
+ * Equation-level intermediate representation.
+ *
+ * Users (and the bundled benchmark models) describe a dynamical system
+ * as coupled differential equations over named variables; the Mapper
+ * lowers this to a multilayer CeNN NetworkSpec following Section 2 of
+ * the paper: one layer per first-order equation (higher time orders are
+ * rewritten as chains, eq. 3 -> eq. 4), finite differences for spatial
+ * operators (linear templates), and Taylor/LUT-backed factors for
+ * nonlinear interactions (nonlinear templates with WUI set).
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/grid.h"
+#include "core/nonlinear.h"
+
+namespace cenn {
+
+/** Spatial operator applied to a variable inside a term. */
+enum class SpatialOp : std::uint8_t {
+  kIdentity = 0,   ///< the variable itself
+  kLaplacian = 1,  ///< 5-point Laplacian
+  kLaplacian9 = 2, ///< 9-point compact Laplacian
+  kLaplacian4th = 6, ///< 5x5 fourth-order Laplacian (radius-2 kernel)
+  kDx = 3,         ///< central d/dx
+  kDy = 4,         ///< central d/dy
+  kInput = 5,      ///< the variable's static input field u
+};
+
+/** A multiplicative nonlinear factor fn(x_ctrl) in a term. */
+struct FactorSpec {
+  int ctrl_var = 0;    ///< index of the controlling variable
+  NonlinearFnPtr fn;   ///< the univariate function
+};
+
+/**
+ * One additive term of a right-hand side:
+ *   coeff * prod_i fn_i(ctrl_i) * Op(var)
+ * With var < 0 the term is a pure source: coeff * prod_i fn_i(ctrl_i).
+ */
+struct Term {
+  double coeff = 1.0;
+  SpatialOp op = SpatialOp::kIdentity;
+  int var = -1;
+  std::vector<FactorSpec> factors;
+
+  /** coeff * Op(var). */
+  static Term Linear(double coeff, SpatialOp op, int var);
+
+  /** coeff (a constant source / offset). */
+  static Term Source(double coeff);
+
+  /** coeff * fn(ctrl) — a pure state-dependent source. */
+  static Term NonlinearSource(double coeff, int ctrl_var, NonlinearFnPtr fn);
+
+  /** coeff * fn(ctrl) * Op(var). */
+  static Term Nonlinear(double coeff, int ctrl_var, NonlinearFnPtr fn,
+                        SpatialOp op, int var);
+};
+
+/**
+ * d^k(var)/dt^k = sum(terms); k = time_order (1 or 2).
+ *
+ * For k = 2 the mapper introduces an auxiliary chain variable
+ * (eq. 4 of the paper) whose initial condition is `initial_velocity`.
+ */
+struct EquationDef {
+  std::string var_name;
+  int time_order = 1;
+  std::vector<Term> terms;
+
+  /** Row-major initial condition (empty = zeros). */
+  std::vector<double> initial;
+
+  /** Initial d(var)/dt for second-order equations (empty = zeros). */
+  std::vector<double> initial_velocity;
+
+  /** Static input field u for kInput terms (empty = zeros). */
+  std::vector<double> input;
+};
+
+/** Reset/discontinuity rule expressed on variables (not layers). */
+struct VarResetRule {
+  int trigger_var = 0;
+  double threshold = 0.0;
+  struct Action {
+    int var = 0;
+    bool is_set = true;
+    double value = 0.0;
+  };
+  std::vector<Action> actions;
+};
+
+/** A complete coupled system plus discretization parameters. */
+struct EquationSystem {
+  std::string name;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  double h = 1.0;   ///< spatial step
+  double dt = 1e-3; ///< time step
+  Boundary boundary;
+  std::vector<EquationDef> equations;
+  std::vector<VarResetRule> resets;
+
+  /** Index of a variable by name; fatal when absent. */
+  int VarIndex(const std::string& name) const;
+
+  /** Fatal on structural problems (indices, sizes, orders). */
+  void Validate() const;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MAPPING_EQUATION_H_

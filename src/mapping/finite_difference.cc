@@ -1,0 +1,95 @@
+#include "mapping/finite_difference.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+void
+CheckStep(double h)
+{
+  if (h <= 0.0) {
+    CENN_FATAL("finite-difference step h must be positive, got ", h);
+  }
+}
+
+}  // namespace
+
+std::vector<double>
+Laplacian5(double coeff, double h)
+{
+  CheckStep(h);
+  const double s = coeff / (h * h);
+  return {0.0, s,        0.0,  //
+          s,   -4.0 * s, s,    //
+          0.0, s,        0.0};
+}
+
+std::vector<double>
+Laplacian9(double coeff, double h)
+{
+  CheckStep(h);
+  // The standard 9-point compact stencil: (4*cross + diagonals - 20C)/6h^2.
+  const double s = coeff / (6.0 * h * h);
+  return {s,       4.0 * s, s,        //
+          4.0 * s, -20.0 * s, 4.0 * s,  //
+          s,       4.0 * s, s};
+}
+
+std::vector<double>
+Laplacian4th(double coeff, double h)
+{
+  CheckStep(h);
+  const double s = coeff / (12.0 * h * h);
+  std::vector<double> k(25, 0.0);
+  // 1-D fourth-order second derivative along rows and columns.
+  const double taps[5] = {-1.0, 16.0, -30.0, 16.0, -1.0};
+  for (int i = 0; i < 5; ++i) {
+    k[static_cast<std::size_t>(2 * 5 + i)] += taps[i] * s;  // row
+    k[static_cast<std::size_t>(i * 5 + 2)] += taps[i] * s;  // column
+  }
+  return k;
+}
+
+std::vector<double>
+CentralDx(double coeff, double h)
+{
+  CheckStep(h);
+  const double s = coeff / (2.0 * h);
+  return {0.0, 0.0, 0.0,  //
+          -s,  0.0, s,    //
+          0.0, 0.0, 0.0};
+}
+
+std::vector<double>
+CentralDy(double coeff, double h)
+{
+  CheckStep(h);
+  const double s = coeff / (2.0 * h);
+  return {0.0, -s,  0.0,  //
+          0.0, 0.0, 0.0,  //
+          0.0, s,   0.0};
+}
+
+std::vector<double>
+CenterOnly3(double coeff)
+{
+  return {0.0, 0.0, 0.0,  //
+          0.0, coeff, 0.0,  //
+          0.0, 0.0, 0.0};
+}
+
+std::vector<double>
+AddStencils(const std::vector<double>& a, const std::vector<double>& b)
+{
+  if (a.size() != b.size()) {
+    CENN_FATAL("AddStencils: size mismatch ", a.size(), " vs ", b.size());
+  }
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] + b[i];
+  }
+  return out;
+}
+
+}  // namespace cenn

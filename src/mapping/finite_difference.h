@@ -1,0 +1,47 @@
+#ifndef CENN_MAPPING_FINITE_DIFFERENCE_H_
+#define CENN_MAPPING_FINITE_DIFFERENCE_H_
+
+/**
+ * @file
+ * Finite-difference stencil builders (Section 2.1): space discretization
+ * of PDE operators decides the linear part of the state template A-hat.
+ * All stencils are returned as row-major constant vectors ready for
+ * TemplateKernel::FromConstants.
+ */
+
+#include <vector>
+
+namespace cenn {
+
+/**
+ * 5-point Laplacian: coeff * (N + S + E + W - 4C) / h^2 — eq. (6)/(7)
+ * without the self-decay compensation (the mapper adds that).
+ */
+std::vector<double> Laplacian5(double coeff, double h);
+
+/** 9-point Laplacian (compact cross+diagonal stencil). */
+std::vector<double> Laplacian9(double coeff, double h);
+
+/**
+ * Fourth-order-accurate 5x5 cross Laplacian: the 1-D operator
+ * [-1, 16, -30, 16, -1] / (12 h^2) applied along both axes. Exercises
+ * the programmable kernel size (Size_kernel = 5, radius-2 neighborhood).
+ */
+std::vector<double> Laplacian4th(double coeff, double h);
+
+/** Central first derivative in x (columns): coeff * (E - W) / (2h). */
+std::vector<double> CentralDx(double coeff, double h);
+
+/** Central first derivative in y (rows): coeff * (S - N) / (2h). */
+std::vector<double> CentralDy(double coeff, double h);
+
+/** 3x3 kernel with only the center set to coeff. */
+std::vector<double> CenterOnly3(double coeff);
+
+/** Sum of two same-size stencils. */
+std::vector<double> AddStencils(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace cenn
+
+#endif  // CENN_MAPPING_FINITE_DIFFERENCE_H_

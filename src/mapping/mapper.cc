@@ -1,0 +1,242 @@
+#include "mapping/mapper.h"
+
+#include <cmath>
+#include <utility>
+
+#include "mapping/finite_difference.h"
+#include "mapping/stability.h"
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+/** Builds the row-major stencil for a spatial operator. */
+std::vector<double>
+StencilFor(SpatialOp op, double coeff, double h)
+{
+  switch (op) {
+    case SpatialOp::kIdentity:
+    case SpatialOp::kInput:
+      return CenterOnly3(coeff);
+    case SpatialOp::kLaplacian:
+      return Laplacian5(coeff, h);
+    case SpatialOp::kLaplacian9:
+      return Laplacian9(coeff, h);
+    case SpatialOp::kLaplacian4th:
+      return Laplacian4th(coeff, h);
+    case SpatialOp::kDx:
+      return CentralDx(coeff, h);
+    case SpatialOp::kDy:
+      return CentralDy(coeff, h);
+  }
+  CENN_PANIC("unhandled spatial op");
+}
+
+/** Kernel side of a row-major square stencil. */
+int
+StencilSide(const std::vector<double>& stencil)
+{
+  const int side = static_cast<int>(std::lround(
+      std::sqrt(static_cast<double>(stencil.size()))));
+  CENN_ASSERT(static_cast<std::size_t>(side) * side == stencil.size(),
+              "stencil is not square");
+  return side;
+}
+
+/** Finds or creates the linear accumulation kernel for (kind, src). */
+TemplateKernel*
+LinearKernel(LayerSpec* layer, CouplingKind kind, int src, int side = 3)
+{
+  for (auto& c : layer->couplings) {
+    if (c.kind == kind && c.src_layer == src && c.kernel.IsLinear() &&
+        c.kernel.Side() == side) {
+      return &c.kernel;
+    }
+  }
+  Coupling c;
+  c.kind = kind;
+  c.src_layer = src;
+  c.kernel = TemplateKernel(side);
+  layer->couplings.push_back(std::move(c));
+  return &layer->couplings.back().kernel;
+}
+
+/** Adds a row-major stencil into a same-size kernel's constants. */
+void
+AccumulateStencil(TemplateKernel* kernel, const std::vector<double>& stencil)
+{
+  CENN_ASSERT(static_cast<std::size_t>(kernel->Side()) * kernel->Side() ==
+                  stencil.size(),
+              "stencil/kernel size mismatch");
+  for (std::size_t i = 0; i < stencil.size(); ++i) {
+    kernel->MutableEntries()[i].constant += stencil[i];
+  }
+}
+
+/** Translates factor specs from variable indices to layer indices. */
+std::vector<WeightFactor>
+MapFactors(const std::vector<FactorSpec>& factors,
+           const std::vector<int>& var_to_layer)
+{
+  std::vector<WeightFactor> out;
+  out.reserve(factors.size());
+  for (const auto& f : factors) {
+    WeightFactor wf;
+    wf.ctrl_layer = var_to_layer[static_cast<std::size_t>(f.ctrl_var)];
+    wf.fn = f.fn;
+    out.push_back(std::move(wf));
+  }
+  return out;
+}
+
+}  // namespace
+
+NetworkSpec
+Mapper::Map(const EquationSystem& system)
+{
+  MapperReport report;
+  return MapWithReport(system, &report);
+}
+
+NetworkSpec
+Mapper::MapWithReport(const EquationSystem& system, MapperReport* report)
+{
+  CENN_ASSERT(report != nullptr, "MapWithReport needs a report sink");
+  system.Validate();
+
+  NetworkSpec spec;
+  spec.name = system.name;
+  spec.rows = system.rows;
+  spec.cols = system.cols;
+  spec.boundary = system.boundary;
+  spec.dt = system.dt;
+
+  // Step 1 (Section 2): the number of layers follows from the number of
+  // variables and the highest time-derivative order of each.
+  const std::size_t n_vars = system.equations.size();
+  std::vector<int> var_to_layer(n_vars, -1);
+  std::vector<int> chain_layer(n_vars, -1);
+  int next_layer = 0;
+  for (std::size_t v = 0; v < n_vars; ++v) {
+    var_to_layer[v] = next_layer++;
+    if (system.equations[v].time_order == 2) {
+      chain_layer[v] = next_layer++;
+    }
+  }
+  spec.layers.resize(static_cast<std::size_t>(next_layer));
+
+  for (std::size_t v = 0; v < n_vars; ++v) {
+    const EquationDef& eq = system.equations[v];
+    const int primary = var_to_layer[v];
+    LayerSpec& primary_layer =
+        spec.layers[static_cast<std::size_t>(primary)];
+    primary_layer.name = eq.var_name;
+    primary_layer.initial_state = eq.initial;
+    primary_layer.input = eq.input;
+
+    // Step 2: rewrite d^2 w/dt^2 = f as dw/dt = chi, dchi/dt = f (eq. 4).
+    LayerSpec* rhs_layer = &primary_layer;
+    if (eq.time_order == 2) {
+      LayerSpec& chain =
+          spec.layers[static_cast<std::size_t>(chain_layer[v])];
+      chain.name = eq.var_name + "_dot";
+      chain.initial_state = eq.initial_velocity;
+      // dw/dt = chi: unit center weight on the chain layer.
+      TemplateKernel* k =
+          LinearKernel(&primary_layer, CouplingKind::kState, chain_layer[v]);
+      k->At(0, 0).constant += 1.0;
+      rhs_layer = &chain;
+    }
+
+    // Step 3: lower every RHS term into templates / offsets.
+    const int rhs_index =
+        eq.time_order == 2 ? chain_layer[v] : primary;
+    static_cast<void>(rhs_index);
+    for (const Term& term : eq.terms) {
+      if (term.var < 0) {
+        // Pure source: constant -> z, nonlinear -> offset term.
+        if (term.factors.empty()) {
+          rhs_layer->z += term.coeff;
+        } else {
+          OffsetTerm ot;
+          ot.constant = term.coeff;
+          ot.factors = MapFactors(term.factors, var_to_layer);
+          rhs_layer->offset_terms.push_back(std::move(ot));
+        }
+        continue;
+      }
+
+      const int src = var_to_layer[static_cast<std::size_t>(term.var)];
+      const CouplingKind kind = term.op == SpatialOp::kInput
+                                    ? CouplingKind::kInput
+                                    : CouplingKind::kState;
+      const std::vector<double> stencil =
+          StencilFor(term.op, term.coeff, system.h);
+
+      const int side = StencilSide(stencil);
+      if (term.factors.empty()) {
+        AccumulateStencil(LinearKernel(rhs_layer, kind, src, side),
+                          stencil);
+        continue;
+      }
+
+      // Nonlinear term: dedicated coupling whose non-zero entries carry
+      // the WUI-flagged factors (space/time-variant template).
+      Coupling c;
+      c.kind = kind;
+      c.src_layer = src;
+      c.kernel = TemplateKernel(side);
+      const std::vector<WeightFactor> factors =
+          MapFactors(term.factors, var_to_layer);
+      for (std::size_t i = 0; i < stencil.size(); ++i) {
+        const double w = stencil[i];
+        if (w == 0.0) {
+          continue;
+        }
+        TemplateWeight& entry = c.kernel.MutableEntries()[i];
+        entry.constant = w;
+        entry.factors = factors;
+      }
+      rhs_layer->couplings.push_back(std::move(c));
+    }
+  }
+
+  // Step 4: cancel the intrinsic -x leak of eq. (1) with +1 on each
+  // layer's linear self-feedback center (the paper's "-4/h^2 + 1").
+  for (int l = 0; l < static_cast<int>(spec.layers.size()); ++l) {
+    LayerSpec& layer = spec.layers[static_cast<std::size_t>(l)];
+    layer.has_self_decay = true;
+    LinearKernel(&layer, CouplingKind::kState, l)->At(0, 0).constant += 1.0;
+  }
+
+  // Resets: variable indices -> layer indices.
+  for (const auto& rule : system.resets) {
+    ResetRule r;
+    r.trigger_layer =
+        var_to_layer[static_cast<std::size_t>(rule.trigger_var)];
+    r.threshold = rule.threshold;
+    for (const auto& a : rule.actions) {
+      r.actions.push_back({var_to_layer[static_cast<std::size_t>(a.var)],
+                           a.is_set, a.value});
+    }
+    spec.resets.push_back(std::move(r));
+  }
+
+  spec.Validate();
+
+  report->layer_names.clear();
+  for (const auto& layer : spec.layers) {
+    report->layer_names.push_back(layer.name);
+  }
+  report->var_to_layer = var_to_layer;
+  report->num_layers = spec.NumLayers();
+  report->templates_needing_update = spec.CountTemplatesNeedingUpdate();
+  report->nonlinear_weights = spec.CountNonlinearWeights();
+  report->warnings = CheckStability(system);
+  for (const auto& w : report->warnings) {
+    CENN_WARN("mapper[", system.name, "]: ", w);
+  }
+  return spec;
+}
+
+}  // namespace cenn

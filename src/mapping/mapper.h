@@ -1,0 +1,58 @@
+#ifndef CENN_MAPPING_MAPPER_H_
+#define CENN_MAPPING_MAPPER_H_
+
+/**
+ * @file
+ * The equation-to-CeNN mapper (the paper's Section 2 contribution).
+ *
+ * Lowering rules:
+ *  1. Every first-order equation becomes one CeNN layer; second-order
+ *     equations are split into a variable layer plus a velocity-chain
+ *     layer (eq. 3 -> eq. 4).
+ *  2. Spatial operators become finite-difference stencils in the state
+ *     (feedback) template A-hat — the linear, space-invariant part.
+ *  3. Nonlinear multiplicative factors become LUT-backed template
+ *     weights with the WUI bit set (eq. 10); pure nonlinear sources
+ *     become state-dependent offset terms (the c3/z path).
+ *  4. The intrinsic -x leak of eq. (1) is compensated by adding +1 to
+ *     the center of each layer's linear self-feedback kernel, which is
+ *     where the paper's "-4/h^2 + 1" center weight comes from.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/network_spec.h"
+#include "mapping/equation.h"
+
+namespace cenn {
+
+/** Summary of a lowering run (for reports and tests). */
+struct MapperReport {
+  /** layer index -> descriptive name ("u", "u_dot", ...). */
+  std::vector<std::string> layer_names;
+
+  /** variable index -> its (primary) layer index. */
+  std::vector<int> var_to_layer;
+
+  int num_layers = 0;
+  int templates_needing_update = 0;  ///< N(U != 0) of eq. (11)
+  int nonlinear_weights = 0;
+  std::vector<std::string> warnings;  ///< e.g. stability violations
+};
+
+/** Lowers equation systems to CeNN network programs. */
+class Mapper
+{
+  public:
+    /** Maps `system` to a validated NetworkSpec; fatal on bad input. */
+    static NetworkSpec Map(const EquationSystem& system);
+
+    /** Maps and also returns the lowering report. */
+    static NetworkSpec MapWithReport(const EquationSystem& system,
+                                     MapperReport* report);
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MAPPING_MAPPER_H_

@@ -1,0 +1,57 @@
+#include "mapping/stability.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace cenn {
+
+double
+MaxStableDtDiffusion(double diffusivity, double h)
+{
+  const double d = std::abs(diffusivity);
+  if (d == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return h * h / (4.0 * d);
+}
+
+std::vector<std::string>
+CheckStability(const EquationSystem& system)
+{
+  std::vector<std::string> warnings;
+  char buf[256];
+  for (const auto& eq : system.equations) {
+    for (const auto& term : eq.terms) {
+      if (term.op == SpatialOp::kLaplacian ||
+          term.op == SpatialOp::kLaplacian9 ||
+          term.op == SpatialOp::kLaplacian4th) {
+        // Nonlinear factors can scale the effective diffusivity, so the
+        // check on the constant part is necessary but not sufficient.
+        const double limit = MaxStableDtDiffusion(term.coeff, system.h);
+        if (system.dt > limit) {
+          std::snprintf(buf, sizeof(buf),
+                        "equation '%s': dt=%.3g exceeds diffusion limit "
+                        "%.3g (D=%.3g, h=%.3g)",
+                        eq.var_name.c_str(), system.dt, limit, term.coeff,
+                        system.h);
+          warnings.emplace_back(buf);
+        }
+      }
+      if ((term.op == SpatialOp::kDx || term.op == SpatialOp::kDy) &&
+          term.factors.empty()) {
+        // Linear advection CFL: |a| dt / h <= 1.
+        const double cfl = std::abs(term.coeff) * system.dt / system.h;
+        if (cfl > 1.0) {
+          std::snprintf(buf, sizeof(buf),
+                        "equation '%s': advection CFL %.3g > 1",
+                        eq.var_name.c_str(), cfl);
+          warnings.emplace_back(buf);
+        }
+      }
+    }
+  }
+  return warnings;
+}
+
+}  // namespace cenn

@@ -1,0 +1,33 @@
+#ifndef CENN_MAPPING_STABILITY_H_
+#define CENN_MAPPING_STABILITY_H_
+
+/**
+ * @file
+ * Explicit-Euler stability heuristics for mapped systems: diffusion
+ * (dt <= h^2 / 4D) and advection CFL checks. The mapper surfaces these
+ * as warnings so that an unstable program fails loudly at map time
+ * instead of silently blowing up mid-run.
+ */
+
+#include <string>
+#include <vector>
+
+#include "mapping/equation.h"
+
+namespace cenn {
+
+/**
+ * Returns human-readable warnings for stability-violating parameter
+ * choices in `system` (empty when everything looks safe).
+ */
+std::vector<std::string> CheckStability(const EquationSystem& system);
+
+/**
+ * Largest Euler step that satisfies the diffusion limit for the given
+ * diffusivity and spatial step (h^2 / (4 |d|)); +inf when d == 0.
+ */
+double MaxStableDtDiffusion(double diffusivity, double h);
+
+}  // namespace cenn
+
+#endif  // CENN_MAPPING_STABILITY_H_

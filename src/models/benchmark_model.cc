@@ -1,0 +1,125 @@
+#include "models/benchmark_model.h"
+
+#include "mapping/mapper.h"
+#include "models/brusselator.h"
+#include "models/fisher.h"
+#include "models/heat.h"
+#include "models/hodgkin_huxley.h"
+#include "models/izhikevich.h"
+#include "models/navier_stokes.h"
+#include "models/poisson.h"
+#include "models/reaction_diffusion.h"
+#include "models/wave.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+std::vector<int>
+BenchmarkModel::ObservedVars() const
+{
+  std::vector<int> vars;
+  for (int i = 0; i < static_cast<int>(system_.equations.size()); ++i) {
+    vars.push_back(i);
+  }
+  return vars;
+}
+
+SolverProgram
+MakeProgram(const BenchmarkModel& model)
+{
+  SolverProgram program;
+  program.spec = Mapper::Map(model.System());
+  program.lut_config = model.Luts();
+  program.description = "benchmark model '" + model.Name() + "'";
+  return program;
+}
+
+const std::vector<std::string>&
+PaperBenchmarkNames()
+{
+  static const std::vector<std::string> kNames = {
+      "heat",          "navier_stokes",  "fisher",
+      "reaction_diffusion", "hodgkin_huxley", "izhikevich"};
+  return kNames;
+}
+
+const std::vector<std::string>&
+AllModelNames()
+{
+  static const std::vector<std::string> kNames = {
+      "heat",          "navier_stokes",  "fisher",
+      "reaction_diffusion", "hodgkin_huxley", "izhikevich",
+      "gray_scott",    "wave",           "poisson",
+      "brusselator"};
+  return kNames;
+}
+
+std::unique_ptr<BenchmarkModel>
+MakeModel(const std::string& name, const ModelConfig& config)
+{
+  if (name == "heat") {
+    return std::make_unique<HeatModel>(config);
+  }
+  if (name == "navier_stokes") {
+    return std::make_unique<NavierStokesModel>(config);
+  }
+  if (name == "fisher") {
+    return std::make_unique<FisherModel>(config);
+  }
+  if (name == "reaction_diffusion") {
+    return std::make_unique<ReactionDiffusionModel>(config);
+  }
+  if (name == "gray_scott") {
+    return std::make_unique<GrayScottModel>(config);
+  }
+  if (name == "hodgkin_huxley") {
+    return std::make_unique<HodgkinHuxleyModel>(config);
+  }
+  if (name == "izhikevich") {
+    return std::make_unique<IzhikevichModel>(config);
+  }
+  if (name == "wave") {
+    return std::make_unique<WaveModel>(config);
+  }
+  if (name == "poisson") {
+    return std::make_unique<PoissonModel>(config);
+  }
+  if (name == "brusselator") {
+    return std::make_unique<BrusselatorModel>(config);
+  }
+  CENN_FATAL("unknown benchmark model '", name, "'");
+}
+
+NonlinearFnPtr
+IdentityFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(
+      NonlinearFunction::Polynomial("identity", {0.0, 1.0}));
+  return fn;
+}
+
+NonlinearFnPtr
+SquareFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(
+      NonlinearFunction::Polynomial("square", {0.0, 0.0, 1.0}));
+  return fn;
+}
+
+NonlinearFnPtr
+CubeFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(
+      NonlinearFunction::Polynomial("cube", {0.0, 0.0, 0.0, 1.0}));
+  return fn;
+}
+
+NonlinearFnPtr
+QuarticFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(
+      NonlinearFunction::Polynomial("quartic", {0.0, 0.0, 0.0, 0.0, 1.0}));
+  return fn;
+}
+
+}  // namespace cenn

@@ -1,0 +1,96 @@
+#ifndef CENN_MODELS_BENCHMARK_MODEL_H_
+#define CENN_MODELS_BENCHMARK_MODEL_H_
+
+/**
+ * @file
+ * Common interface of the paper's six benchmark dynamical systems
+ * (Section 6.1): heat diffusion, Navier-Stokes (momentum/Burgers form),
+ * Fisher-KPP, reaction-diffusion (FitzHugh-Nagumo), Hodgkin-Huxley and
+ * Izhikevich — plus a Gray-Scott extension.
+ *
+ * Each model provides (a) the EquationSystem for the CeNN mapper,
+ * (b) LUT sampling ranges for its nonlinear functions, and (c) an
+ * independent hand-coded double-precision reference integrator that
+ * stands in for the paper's GPU floating-point run. Initial conditions
+ * are generated once (seeded) so the CeNN and reference paths integrate
+ * the identical problem.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lut/lut_bank.h"
+#include "mapping/equation.h"
+#include "program/solver_program.h"
+
+namespace cenn {
+
+/** Grid size and seed shared by all benchmark models. */
+struct ModelConfig {
+  std::size_t rows = 64;
+  std::size_t cols = 64;
+  std::uint64_t seed = 42;
+};
+
+/** One benchmark dynamical system. */
+class BenchmarkModel
+{
+  public:
+    virtual ~BenchmarkModel() = default;
+
+    /** Stable identifier ("heat", "izhikevich", ...). */
+    const std::string& Name() const { return system_.name; }
+
+    /** The equation system (inputs/initial conditions included). */
+    const EquationSystem& System() const { return system_; }
+
+    /** LUT sampling ranges for every nonlinear function used. */
+    virtual LutConfig Luts() const = 0;
+
+    /** Canonical run length for the paper-style experiments. */
+    virtual int DefaultSteps() const = 0;
+
+    /** Variables compared in accuracy experiments (default: all). */
+    virtual std::vector<int> ObservedVars() const;
+
+    /**
+     * Independent double-precision reference integration (plain FDM
+     * loops, no CeNN machinery) from the same initial conditions.
+     *
+     * @return one field per variable of the system, after `steps`.
+     */
+    virtual std::vector<std::vector<double>> ReferenceRun(int steps) const = 0;
+
+    BenchmarkModel(const BenchmarkModel&) = delete;
+    BenchmarkModel& operator=(const BenchmarkModel&) = delete;
+
+  protected:
+    BenchmarkModel() = default;
+
+    /** Subclass constructors populate this and call Validate(). */
+    EquationSystem system_;
+};
+
+/** Builds the SolverProgram (mapped spec + LUT config) for a model. */
+SolverProgram MakeProgram(const BenchmarkModel& model);
+
+/** Names of the paper's six benchmarks, in the paper's order. */
+const std::vector<std::string>& PaperBenchmarkNames();
+
+/** All model names including extensions (gray_scott). */
+const std::vector<std::string>& AllModelNames();
+
+/** Factory; fatal on unknown names. */
+std::unique_ptr<BenchmarkModel> MakeModel(const std::string& name,
+                                          const ModelConfig& config = {});
+
+/** Shared polynomial helper functions (identity, square, cube, x^4). */
+NonlinearFnPtr IdentityFn();
+NonlinearFnPtr SquareFn();
+NonlinearFnPtr CubeFn();
+NonlinearFnPtr QuarticFn();
+
+}  // namespace cenn
+
+#endif  // CENN_MODELS_BENCHMARK_MODEL_H_

@@ -1,0 +1,97 @@
+#include "models/brusselator.h"
+
+#include "models/ref_util.h"
+#include "util/rng.h"
+
+namespace cenn {
+
+BrusselatorModel::BrusselatorModel(const ModelConfig& config,
+                                   const BrusselatorParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "brusselator";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  // Perturbed homogeneous steady state (A, B/A).
+  Rng rng(config.seed);
+  const std::size_t cells = config.rows * config.cols;
+  std::vector<double> u0(cells);
+  std::vector<double> v0(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    u0[i] = params.a + rng.Uniform(-0.1, 0.1);
+    v0[i] = params.b / params.a + rng.Uniform(-0.1, 0.1);
+  }
+
+  // Variables: u = 0, v = 1.
+  EquationDef u;
+  u.var_name = "u";
+  u.terms.push_back(Term::Source(params.a));
+  u.terms.push_back(
+      Term::Linear(-(params.b + 1.0), SpatialOp::kIdentity, 0));
+  // +u^2 v: square(u)-controlled weight on the v coupling.
+  u.terms.push_back(
+      Term::Nonlinear(1.0, 0, SquareFn(), SpatialOp::kIdentity, 1));
+  u.terms.push_back(Term::Linear(params.diff_u, SpatialOp::kLaplacian, 0));
+  u.initial = std::move(u0);
+  system_.equations.push_back(std::move(u));
+
+  EquationDef v;
+  v.var_name = "v";
+  v.terms.push_back(Term::Linear(params.b, SpatialOp::kIdentity, 0));
+  v.terms.push_back(
+      Term::Nonlinear(-1.0, 0, SquareFn(), SpatialOp::kIdentity, 1));
+  v.terms.push_back(Term::Linear(params.diff_v, SpatialOp::kLaplacian, 1));
+  v.initial = std::move(v0);
+  system_.equations.push_back(std::move(v));
+
+  system_.Validate();
+}
+
+LutConfig
+BrusselatorModel::Luts() const
+{
+  LutConfig lc;
+  LutSpec s;
+  // u orbits roughly [0.3, 4] on the default limit cycle.
+  s.min_p = -1.0;
+  s.max_p = 8.0;
+  s.frac_index_bits = 7;
+  lc.per_function["square"] = s;
+  lc.default_spec = s;
+  return lc;
+}
+
+std::vector<std::vector<double>>
+BrusselatorModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  std::vector<double> u = system_.equations[0].initial;
+  std::vector<double> v = system_.equations[1].initial;
+  std::vector<double> nu(u.size());
+  std::vector<double> nv(v.size());
+  const BrusselatorParams& p = params_;
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        const double uc = u[i];
+        const double vc = v[i];
+        const double uuv = uc * uc * vc;
+        const double lap_u = refutil::Lap5(u, r, c, rows, cols, p.h);
+        const double lap_v = refutil::Lap5(v, r, c, rows, cols, p.h);
+        nu[i] = uc + p.dt * (p.a - (p.b + 1.0) * uc + uuv +
+                             p.diff_u * lap_u);
+        nv[i] = vc + p.dt * (p.b * uc - uuv + p.diff_v * lap_v);
+      }
+    }
+    u.swap(nu);
+    v.swap(nv);
+  }
+  return {u, v};
+}
+
+}  // namespace cenn

@@ -1,0 +1,52 @@
+#ifndef CENN_MODELS_BRUSSELATOR_H_
+#define CENN_MODELS_BRUSSELATOR_H_
+
+/**
+ * @file
+ * Brusselator reaction-diffusion oscillator (extension benchmark):
+ *
+ *   du/dt = A - (B + 1) u + u^2 v + Du * Lap(u)
+ *   dv/dt = B u - u^2 v + Dv * Lap(v)
+ *
+ * For B > 1 + A^2 the homogeneous state (u, v) = (A, B/A) is unstable
+ * and every cell orbits a limit cycle; with diffusion the medium forms
+ * phase waves. The u^2 v terms map to square(u)-controlled weights on
+ * the v coupling — nonlinear cross-layer templates, the hardest
+ * template class short of HH's two-factor products.
+ */
+
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+/** Brusselator parameters (oscillatory regime by default). */
+struct BrusselatorParams {
+  double a = 1.0;      ///< A
+  double b = 2.5;      ///< B (> 1 + A^2 = 2 -> limit cycle)
+  double diff_u = 0.5;
+  double diff_v = 0.25;
+  double h = 1.0;
+  double dt = 0.02;
+};
+
+/** Brusselator benchmark model. */
+class BrusselatorModel final : public BenchmarkModel
+{
+  public:
+    explicit BrusselatorModel(const ModelConfig& config = {},
+                              const BrusselatorParams& params = {});
+
+    LutConfig Luts() const override;
+    int DefaultSteps() const override { return 1500; }
+    std::vector<std::vector<double>> ReferenceRun(int steps) const override;
+
+    const BrusselatorParams& Params() const { return params_; }
+
+  private:
+    ModelConfig config_;
+    BrusselatorParams params_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MODELS_BRUSSELATOR_H_

@@ -1,0 +1,92 @@
+#include "models/fisher.h"
+
+#include <cmath>
+
+#include "models/ref_util.h"
+#include "util/rng.h"
+
+namespace cenn {
+namespace {
+
+/** Population seeded in a corner disc so a front can propagate. */
+std::vector<double>
+InitialPopulation(const ModelConfig& config)
+{
+  Rng rng(config.seed);
+  std::vector<double> field(config.rows * config.cols, 0.0);
+  const double cr = 0.25 * static_cast<double>(config.rows);
+  const double cc = 0.25 * static_cast<double>(config.cols);
+  const double radius = 0.12 * static_cast<double>(config.rows);
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      const double dr = static_cast<double>(r) - cr;
+      const double dc = static_cast<double>(c) - cc;
+      if (std::sqrt(dr * dr + dc * dc) < radius) {
+        field[r * config.cols + c] = rng.Uniform(0.6, 1.0);
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace
+
+FisherModel::FisherModel(const ModelConfig& config, const FisherParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "fisher";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  EquationDef u;
+  u.var_name = "u";
+  u.terms.push_back(
+      Term::Linear(params.diffusivity, SpatialOp::kLaplacian, 0));
+  u.terms.push_back(Term::Linear(params.growth, SpatialOp::kIdentity, 0));
+  // -r * u^2 as a nonlinear template weight (-r * identity(u)) * u.
+  u.terms.push_back(Term::Nonlinear(-params.growth, 0, IdentityFn(),
+                                    SpatialOp::kIdentity, 0));
+  u.initial = InitialPopulation(config);
+  system_.equations.push_back(std::move(u));
+  system_.Validate();
+}
+
+LutConfig
+FisherModel::Luts() const
+{
+  LutConfig lc;
+  // u stays in [0, 1]; sample identity(u) finely across a safe margin.
+  LutSpec s;
+  s.min_p = -2.0;
+  s.max_p = 2.0;
+  s.frac_index_bits = 8;
+  lc.per_function["identity"] = s;
+  lc.default_spec = s;
+  return lc;
+}
+
+std::vector<std::vector<double>>
+FisherModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  std::vector<double> u = system_.equations[0].initial;
+  std::vector<double> next(u.size());
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double uc = u[r * cols + c];
+        const double lap = refutil::Lap5(u, r, c, rows, cols, params_.h);
+        const double rhs = params_.diffusivity * lap +
+                           params_.growth * uc * (1.0 - uc);
+        next[r * cols + c] = uc + params_.dt * rhs;
+      }
+    }
+    u.swap(next);
+  }
+  return {u};
+}
+
+}  // namespace cenn

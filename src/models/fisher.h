@@ -1,0 +1,45 @@
+#ifndef CENN_MODELS_FISHER_H_
+#define CENN_MODELS_FISHER_H_
+
+/**
+ * @file
+ * Fisher-KPP equation: du/dt = D * Laplacian(u) + r * u * (1 - u),
+ * the paper's travelling-front benchmark. The logistic reaction splits
+ * into a linear +r*u part and a nonlinear -r*u^2 part; the latter is
+ * realized as a WUI-flagged self-feedback weight -r*identity(u) acting
+ * on u, exercising the real-time template update path.
+ */
+
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+/** Parameters of the Fisher-KPP benchmark. */
+struct FisherParams {
+  double diffusivity = 1.0;  ///< D
+  double growth = 1.0;       ///< r
+  double h = 1.0;
+  double dt = 0.05;
+};
+
+/** Fisher-KPP benchmark model. */
+class FisherModel final : public BenchmarkModel
+{
+  public:
+    explicit FisherModel(const ModelConfig& config = {},
+                         const FisherParams& params = {});
+
+    LutConfig Luts() const override;
+    int DefaultSteps() const override { return 400; }
+    std::vector<std::vector<double>> ReferenceRun(int steps) const override;
+
+    const FisherParams& Params() const { return params_; }
+
+  private:
+    ModelConfig config_;
+    FisherParams params_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MODELS_FISHER_H_

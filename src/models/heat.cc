@@ -1,0 +1,82 @@
+#include "models/heat.h"
+
+#include <cmath>
+
+#include "models/ref_util.h"
+#include "util/rng.h"
+
+namespace cenn {
+namespace {
+
+/** Seeded initial temperature: a few Gaussian hot spots on a cold plate. */
+std::vector<double>
+InitialTemperature(const ModelConfig& config, int hot_spots)
+{
+  Rng rng(config.seed);
+  std::vector<double> field(config.rows * config.cols, 0.0);
+  for (int s = 0; s < hot_spots; ++s) {
+    const double cr = rng.Uniform(0.2, 0.8) * static_cast<double>(config.rows);
+    const double cc = rng.Uniform(0.2, 0.8) * static_cast<double>(config.cols);
+    const double amp = rng.Uniform(0.5, 1.0);
+    const double sigma =
+        rng.Uniform(0.03, 0.08) * static_cast<double>(config.rows);
+    for (std::size_t r = 0; r < config.rows; ++r) {
+      for (std::size_t c = 0; c < config.cols; ++c) {
+        const double dr = (static_cast<double>(r) - cr) / sigma;
+        const double dc = (static_cast<double>(c) - cc) / sigma;
+        field[r * config.cols + c] +=
+            amp * std::exp(-0.5 * (dr * dr + dc * dc));
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace
+
+HeatModel::HeatModel(const ModelConfig& config, const HeatParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "heat";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  EquationDef phi;
+  phi.var_name = "phi";
+  phi.terms.push_back(Term::Linear(params.kappa, SpatialOp::kLaplacian, 0));
+  phi.initial = InitialTemperature(config, params.hot_spots);
+  system_.equations.push_back(std::move(phi));
+  system_.Validate();
+}
+
+LutConfig
+HeatModel::Luts() const
+{
+  // Purely linear: no nonlinear functions, defaults suffice.
+  return LutConfig{};
+}
+
+std::vector<std::vector<double>>
+HeatModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  std::vector<double> phi = system_.equations[0].initial;
+  std::vector<double> next(phi.size());
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double lap =
+            refutil::Lap5(phi, r, c, rows, cols, params_.h);
+        next[r * cols + c] =
+            phi[r * cols + c] + params_.dt * params_.kappa * lap;
+      }
+    }
+    phi.swap(next);
+  }
+  return {phi};
+}
+
+}  // namespace cenn

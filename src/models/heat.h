@@ -1,0 +1,45 @@
+#ifndef CENN_MODELS_HEAT_H_
+#define CENN_MODELS_HEAT_H_
+
+/**
+ * @file
+ * Heat diffusion, the paper's simplest benchmark (Section 2.1, eq. 5):
+ * a single linear PDE, d(phi)/dt = kappa * Laplacian(phi), mapped to a
+ * one-layer CeNN with the purely linear template of eq. (7).
+ */
+
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+/** Physical and discretization parameters of the heat benchmark. */
+struct HeatParams {
+  double kappa = 1.0;  ///< thermal diffusivity
+  double h = 1.0;      ///< spatial step
+  double dt = 0.1;     ///< time step (stability: dt <= h^2 / 4 kappa)
+
+  /** Number of seeded Gaussian hot spots in the initial condition. */
+  int hot_spots = 3;
+};
+
+/** Heat-diffusion benchmark model. */
+class HeatModel final : public BenchmarkModel
+{
+  public:
+    explicit HeatModel(const ModelConfig& config = {},
+                       const HeatParams& params = {});
+
+    LutConfig Luts() const override;
+    int DefaultSteps() const override { return 200; }
+    std::vector<std::vector<double>> ReferenceRun(int steps) const override;
+
+    const HeatParams& Params() const { return params_; }
+
+  private:
+    ModelConfig config_;
+    HeatParams params_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MODELS_HEAT_H_

@@ -1,0 +1,293 @@
+#include "models/hodgkin_huxley.h"
+
+#include <cmath>
+
+#include "models/ref_util.h"
+#include "util/rng.h"
+
+namespace cenn {
+namespace {
+
+/** x / (1 - exp(-x / scale)) with the removable singularity handled. */
+double
+VTrap(double x, double scale)
+{
+  const double r = x / scale;
+  if (std::abs(r) < 1e-6) {
+    return scale * (1.0 + r / 2.0);
+  }
+  return x / (-std::expm1(-r));
+}
+
+NonlinearFnPtr
+MakeRate(const std::string& name, NonlinearFunction::Fn fn)
+{
+  // Numeric derivatives with a moderate step: the rates are smooth and
+  // the degree-3 Taylor only needs ~1e-4 relative derivative accuracy.
+  return MakeFunction(name, std::move(fn), 5e-3);
+}
+
+NonlinearFnPtr
+AlphaMFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(MakeRate(
+      "hh_alpha_m", [](double v) { return HodgkinHuxleyModel::AlphaM(v); }));
+  return fn;
+}
+
+NonlinearFnPtr
+SumMFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(MakeRate(
+      "hh_sum_m",
+      [](double v) {
+        return HodgkinHuxleyModel::AlphaM(v) + HodgkinHuxleyModel::BetaM(v);
+      }));
+  return fn;
+}
+
+NonlinearFnPtr
+AlphaHFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(MakeRate(
+      "hh_alpha_h", [](double v) { return HodgkinHuxleyModel::AlphaH(v); }));
+  return fn;
+}
+
+NonlinearFnPtr
+SumHFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(MakeRate(
+      "hh_sum_h",
+      [](double v) {
+        return HodgkinHuxleyModel::AlphaH(v) + HodgkinHuxleyModel::BetaH(v);
+      }));
+  return fn;
+}
+
+NonlinearFnPtr
+AlphaNFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(MakeRate(
+      "hh_alpha_n", [](double v) { return HodgkinHuxleyModel::AlphaN(v); }));
+  return fn;
+}
+
+NonlinearFnPtr
+SumNFn()
+{
+  static const auto& fn = *new NonlinearFnPtr(MakeRate(
+      "hh_sum_n",
+      [](double v) {
+        return HodgkinHuxleyModel::AlphaN(v) + HodgkinHuxleyModel::BetaN(v);
+      }));
+  return fn;
+}
+
+/** Gating steady state x_inf = alpha / (alpha + beta). */
+double
+SteadyState(double alpha, double beta)
+{
+  return alpha / (alpha + beta);
+}
+
+}  // namespace
+
+double
+HodgkinHuxleyModel::AlphaM(double v)
+{
+  return 0.1 * VTrap(v + 40.0, 10.0);
+}
+
+double
+HodgkinHuxleyModel::BetaM(double v)
+{
+  return 4.0 * std::exp(-(v + 65.0) / 18.0);
+}
+
+double
+HodgkinHuxleyModel::AlphaH(double v)
+{
+  return 0.07 * std::exp(-(v + 65.0) / 20.0);
+}
+
+double
+HodgkinHuxleyModel::BetaH(double v)
+{
+  return 1.0 / (1.0 + std::exp(-(v + 35.0) / 10.0));
+}
+
+double
+HodgkinHuxleyModel::AlphaN(double v)
+{
+  return 0.01 * VTrap(v + 55.0, 10.0);
+}
+
+double
+HodgkinHuxleyModel::BetaN(double v)
+{
+  return 0.125 * std::exp(-(v + 65.0) / 80.0);
+}
+
+HodgkinHuxleyModel::HodgkinHuxleyModel(const ModelConfig& config,
+                                       const HodgkinHuxleyParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "hodgkin_huxley";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  const std::size_t cells = config.rows * config.cols;
+  const double v0 = params.rest_v;
+  const double m0 = SteadyState(AlphaM(v0), BetaM(v0));
+  const double h0 = SteadyState(AlphaH(v0), BetaH(v0));
+  const double n0 = SteadyState(AlphaN(v0), BetaN(v0));
+
+  // Stimulated disc of injected current in the grid center.
+  std::vector<double> i_ext(cells, 0.0);
+  const double cr = static_cast<double>(config.rows) / 2.0;
+  const double cc = static_cast<double>(config.cols) / 2.0;
+  const double radius = static_cast<double>(config.rows) / 6.0;
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      const double dr = static_cast<double>(r) - cr;
+      const double dc = static_cast<double>(c) - cc;
+      if (std::sqrt(dr * dr + dc * dc) < radius) {
+        i_ext[r * config.cols + c] = params.stimulus;
+      }
+    }
+  }
+
+  const double inv_c = 1.0 / params.capacitance;
+
+  // Variable indices: V=0, m=1, h=2, n=3.
+  EquationDef v_eq;
+  v_eq.var_name = "V";
+  v_eq.terms.push_back(
+      Term::Linear(params.coupling * inv_c, SpatialOp::kLaplacian, 0));
+  v_eq.terms.push_back(Term::Linear(inv_c, SpatialOp::kInput, 0));
+  {
+    // -gNa/C * m^3 * h * V (two-factor nonlinear weight on V).
+    Term t;
+    t.coeff = -params.g_na * inv_c;
+    t.op = SpatialOp::kIdentity;
+    t.var = 0;
+    t.factors.push_back({1, CubeFn()});
+    t.factors.push_back({2, IdentityFn()});
+    v_eq.terms.push_back(std::move(t));
+  }
+  {
+    // +gNa*ENa/C * m^3 * h (two-factor source).
+    Term t;
+    t.coeff = params.g_na * params.e_na * inv_c;
+    t.var = -1;
+    t.factors.push_back({1, CubeFn()});
+    t.factors.push_back({2, IdentityFn()});
+    v_eq.terms.push_back(std::move(t));
+  }
+  v_eq.terms.push_back(Term::Nonlinear(-params.g_k * inv_c, 3, QuarticFn(),
+                                       SpatialOp::kIdentity, 0));
+  v_eq.terms.push_back(
+      Term::NonlinearSource(params.g_k * params.e_k * inv_c, 3, QuarticFn()));
+  v_eq.terms.push_back(
+      Term::Linear(-params.g_l * inv_c, SpatialOp::kIdentity, 0));
+  v_eq.terms.push_back(Term::Source(params.g_l * params.e_l * inv_c));
+  v_eq.initial.assign(cells, v0);
+  v_eq.input = std::move(i_ext);
+  system_.equations.push_back(std::move(v_eq));
+
+  // Gating: dx/dt = alpha_x(V) - (alpha_x + beta_x)(V) * x.
+  auto gating = [&](const std::string& var_name, NonlinearFnPtr alpha,
+                    NonlinearFnPtr sum, int self, double init) {
+    EquationDef eq;
+    eq.var_name = var_name;
+    eq.terms.push_back(Term::NonlinearSource(1.0, 0, std::move(alpha)));
+    eq.terms.push_back(Term::Nonlinear(-1.0, 0, std::move(sum),
+                                       SpatialOp::kIdentity, self));
+    eq.initial.assign(cells, init);
+    return eq;
+  };
+  system_.equations.push_back(gating("m", AlphaMFn(), SumMFn(), 1, m0));
+  system_.equations.push_back(gating("h", AlphaHFn(), SumHFn(), 2, h0));
+  system_.equations.push_back(gating("n", AlphaNFn(), SumNFn(), 3, n0));
+
+  system_.Validate();
+}
+
+LutConfig
+HodgkinHuxleyModel::Luts() const
+{
+  LutConfig lc;
+  // Rate functions of V: sample the physiological range at 1/16 mV.
+  LutSpec v_spec;
+  v_spec.min_p = -100.0;
+  v_spec.max_p = 60.0;
+  v_spec.frac_index_bits = 4;
+  lc.per_function["hh_alpha_m"] = v_spec;
+  lc.per_function["hh_sum_m"] = v_spec;
+  lc.per_function["hh_alpha_h"] = v_spec;
+  lc.per_function["hh_sum_h"] = v_spec;
+  lc.per_function["hh_alpha_n"] = v_spec;
+  lc.per_function["hh_sum_n"] = v_spec;
+  // Gating polynomials: [0, 1] with fine spacing (degree <= 4 so the
+  // cubic Taylor is essentially exact).
+  LutSpec g_spec;
+  g_spec.min_p = -0.25;
+  g_spec.max_p = 1.25;
+  g_spec.frac_index_bits = 10;
+  lc.per_function["cube"] = g_spec;
+  lc.per_function["quartic"] = g_spec;
+  lc.per_function["identity"] = g_spec;
+  lc.default_spec = v_spec;
+  return lc;
+}
+
+std::vector<std::vector<double>>
+HodgkinHuxleyModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  const std::size_t cells = rows * cols;
+  const HodgkinHuxleyParams& p = params_;
+
+  std::vector<double> v = system_.equations[0].initial;
+  std::vector<double> m = system_.equations[1].initial;
+  std::vector<double> hh = system_.equations[2].initial;
+  std::vector<double> n = system_.equations[3].initial;
+  const std::vector<double>& i_ext = system_.equations[0].input;
+
+  std::vector<double> nv(cells);
+  std::vector<double> nm(cells);
+  std::vector<double> nh(cells);
+  std::vector<double> nn(cells);
+
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        const double vc = v[i];
+        const double lap = refutil::Lap5(v, r, c, rows, cols, p.h);
+        const double i_na =
+            p.g_na * m[i] * m[i] * m[i] * hh[i] * (vc - p.e_na);
+        const double i_k = p.g_k * n[i] * n[i] * n[i] * n[i] * (vc - p.e_k);
+        const double i_l = p.g_l * (vc - p.e_l);
+        nv[i] = vc + p.dt *
+                         (p.coupling * lap + i_ext[i] - i_na - i_k - i_l) /
+                         p.capacitance;
+        nm[i] = m[i] + p.dt * (AlphaM(vc) * (1.0 - m[i]) - BetaM(vc) * m[i]);
+        nh[i] =
+            hh[i] + p.dt * (AlphaH(vc) * (1.0 - hh[i]) - BetaH(vc) * hh[i]);
+        nn[i] = n[i] + p.dt * (AlphaN(vc) * (1.0 - n[i]) - BetaN(vc) * n[i]);
+      }
+    }
+    v.swap(nv);
+    m.swap(nm);
+    hh.swap(nh);
+    n.swap(nn);
+  }
+  return {v, m, hh, n};
+}
+
+}  // namespace cenn

@@ -1,0 +1,69 @@
+#ifndef CENN_MODELS_HODGKIN_HUXLEY_H_
+#define CENN_MODELS_HODGKIN_HUXLEY_H_
+
+/**
+ * @file
+ * Hodgkin-Huxley membrane model on a 2-D grid of neurons with weak
+ * gap-junction (diffusive) coupling of the membrane potential:
+ *
+ *   C dV/dt = D*Lap(V) + I_ext - gNa m^3 h (V - ENa)
+ *             - gK n^4 (V - EK) - gL (V - EL)
+ *   dm/dt   = alpha_m(V) (1 - m) - beta_m(V) m     (same for h, n)
+ *
+ * This is the paper's four-variable coupled-ODE benchmark. The ionic
+ * currents map to two-factor nonlinear template weights (m^3 * h etc.)
+ * and the gating kinetics to LUT-backed rate functions of V — the
+ * "scientific functions (exp, ...)" whose LUT error dominates in the
+ * paper's Section 6.1 breakdown.
+ */
+
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+/** Standard squid-axon HH parameters (units: mV, ms, mS/cm^2). */
+struct HodgkinHuxleyParams {
+  double g_na = 120.0;
+  double g_k = 36.0;
+  double g_l = 0.3;
+  double e_na = 50.0;
+  double e_k = -77.0;
+  double e_l = -54.387;
+  double capacitance = 1.0;
+  double coupling = 0.1;       ///< gap-junction diffusivity D
+  double stimulus = 10.0;      ///< injected current in the stimulated disc
+  double rest_v = -65.0;       ///< initial membrane potential
+  double h = 1.0;
+  double dt = 0.01;            ///< ms
+};
+
+/** Hodgkin-Huxley benchmark model. */
+class HodgkinHuxleyModel final : public BenchmarkModel
+{
+  public:
+    explicit HodgkinHuxleyModel(const ModelConfig& config = {},
+                                const HodgkinHuxleyParams& params = {});
+
+    LutConfig Luts() const override;
+    int DefaultSteps() const override { return 2000; }
+    std::vector<int> ObservedVars() const override { return {0}; }
+    std::vector<std::vector<double>> ReferenceRun(int steps) const override;
+
+    const HodgkinHuxleyParams& Params() const { return params_; }
+
+    /** Rate functions (exposed for tests): order m, h, n. */
+    static double AlphaM(double v);
+    static double BetaM(double v);
+    static double AlphaH(double v);
+    static double BetaH(double v);
+    static double AlphaN(double v);
+    static double BetaN(double v);
+
+  private:
+    ModelConfig config_;
+    HodgkinHuxleyParams params_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MODELS_HODGKIN_HUXLEY_H_

@@ -1,0 +1,96 @@
+#include "models/izhikevich.h"
+
+#include "util/rng.h"
+
+namespace cenn {
+
+IzhikevichModel::IzhikevichModel(const ModelConfig& config,
+                                 const IzhikevichParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "izhikevich";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  const std::size_t cells = config.rows * config.cols;
+  Rng rng(config.seed);
+  std::vector<double> i_ext(cells);
+  for (auto& i : i_ext) {
+    i = rng.Uniform(params.i_min, params.i_max);
+  }
+
+  // Variable indices: v=0, u=1.
+  EquationDef v;
+  v.var_name = "v";
+  // 0.04 v^2 as a real-time-updated self weight (0.04 * identity(v)) * v.
+  v.terms.push_back(
+      Term::Nonlinear(0.04, 0, IdentityFn(), SpatialOp::kIdentity, 0));
+  v.terms.push_back(Term::Linear(5.0, SpatialOp::kIdentity, 0));
+  v.terms.push_back(Term::Source(140.0));
+  v.terms.push_back(Term::Linear(-1.0, SpatialOp::kIdentity, 1));
+  v.terms.push_back(Term::Linear(1.0, SpatialOp::kInput, 0));
+  v.initial.assign(cells, params.rest_v);
+  v.input = std::move(i_ext);
+  system_.equations.push_back(std::move(v));
+
+  EquationDef u;
+  u.var_name = "u";
+  u.terms.push_back(
+      Term::Linear(params.a * params.b, SpatialOp::kIdentity, 0));
+  u.terms.push_back(Term::Linear(-params.a, SpatialOp::kIdentity, 1));
+  u.initial.assign(cells, params.b * params.rest_v);
+  system_.equations.push_back(std::move(u));
+
+  VarResetRule reset;
+  reset.trigger_var = 0;
+  reset.threshold = params.spike_threshold;
+  reset.actions.push_back({0, /*is_set=*/true, params.c});
+  reset.actions.push_back({1, /*is_set=*/false, params.d});
+  system_.resets.push_back(std::move(reset));
+
+  system_.Validate();
+}
+
+LutConfig
+IzhikevichModel::Luts() const
+{
+  LutConfig lc;
+  LutSpec s;
+  // v ranges roughly [-90, +40] before reset (plus Euler overshoot).
+  s.min_p = -128.0;
+  s.max_p = 256.0;
+  s.frac_index_bits = 2;
+  lc.per_function["identity"] = s;
+  lc.default_spec = s;
+  return lc;
+}
+
+std::vector<std::vector<double>>
+IzhikevichModel::ReferenceRun(int steps) const
+{
+  const std::size_t cells = config_.rows * config_.cols;
+  const IzhikevichParams& p = params_;
+  std::vector<double> v = system_.equations[0].initial;
+  std::vector<double> u = system_.equations[1].initial;
+  const std::vector<double>& i_ext = system_.equations[0].input;
+
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < cells; ++i) {
+      const double vc = v[i];
+      const double uc = u[i];
+      const double dv = 0.04 * vc * vc + 5.0 * vc + 140.0 - uc + i_ext[i];
+      const double du = p.a * (p.b * vc - uc);
+      v[i] = vc + p.dt * dv;
+      u[i] = uc + p.dt * du;
+      if (v[i] >= p.spike_threshold) {
+        v[i] = p.c;
+        u[i] += p.d;
+      }
+    }
+  }
+  return {v, u};
+}
+
+}  // namespace cenn

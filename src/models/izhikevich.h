@@ -1,0 +1,57 @@
+#ifndef CENN_MODELS_IZHIKEVICH_H_
+#define CENN_MODELS_IZHIKEVICH_H_
+
+/**
+ * @file
+ * Izhikevich spiking-neuron benchmark (Izhikevich 2003):
+ *
+ *   dv/dt = 0.04 v^2 + 5 v + 140 - u + I
+ *   du/dt = a (b v - u)
+ *   if v >= 30: v <- c, u <- u + d        (spike reset)
+ *
+ * A grid of uncoupled neurons with a seeded heterogeneous input current
+ * field. The quadratic term maps to a WUI-flagged self-feedback weight
+ * (0.04 * identity(v)) * v, and the spike discontinuity exercises the
+ * thresholded post-step reset path of both engines.
+ */
+
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+/** Regular-spiking Izhikevich parameters. */
+struct IzhikevichParams {
+  double a = 0.02;
+  double b = 0.2;
+  double c = -65.0;
+  double d = 8.0;
+  double spike_threshold = 30.0;
+  double i_min = 4.0;    ///< weakest per-cell drive
+  double i_max = 12.0;   ///< strongest per-cell drive
+  double rest_v = -65.0;
+  double h = 1.0;
+  double dt = 0.5;       ///< ms
+};
+
+/** Izhikevich benchmark model. */
+class IzhikevichModel final : public BenchmarkModel
+{
+  public:
+    explicit IzhikevichModel(const ModelConfig& config = {},
+                             const IzhikevichParams& params = {});
+
+    LutConfig Luts() const override;
+    int DefaultSteps() const override { return 1000; }
+    std::vector<int> ObservedVars() const override { return {0, 1}; }
+    std::vector<std::vector<double>> ReferenceRun(int steps) const override;
+
+    const IzhikevichParams& Params() const { return params_; }
+
+  private:
+    ModelConfig config_;
+    IzhikevichParams params_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MODELS_IZHIKEVICH_H_

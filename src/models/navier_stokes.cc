@@ -1,0 +1,124 @@
+#include "models/navier_stokes.h"
+
+#include <cmath>
+
+#include "models/ref_util.h"
+#include "util/rng.h"
+
+namespace cenn {
+namespace {
+
+/** Taylor-Green-like vortex pair plus small seeded noise. */
+void
+VortexInitial(const ModelConfig& config, double amplitude,
+              std::vector<double>* u, std::vector<double>* v)
+{
+  Rng rng(config.seed);
+  const std::size_t rows = config.rows;
+  const std::size_t cols = config.cols;
+  u->assign(rows * cols, 0.0);
+  v->assign(rows * cols, 0.0);
+  const double ky = 2.0 * M_PI / static_cast<double>(rows);
+  const double kx = 2.0 * M_PI / static_cast<double>(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x = kx * static_cast<double>(c);
+      const double y = ky * static_cast<double>(r);
+      const std::size_t i = r * cols + c;
+      (*u)[i] = amplitude * std::sin(x) * std::cos(y) +
+                rng.Uniform(-0.01, 0.01);
+      (*v)[i] = -amplitude * std::cos(x) * std::sin(y) +
+                rng.Uniform(-0.01, 0.01);
+    }
+  }
+}
+
+}  // namespace
+
+NavierStokesModel::NavierStokesModel(const ModelConfig& config,
+                                     const NavierStokesParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "navier_stokes";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  std::vector<double> u0;
+  std::vector<double> v0;
+  VortexInitial(config, params.amplitude, &u0, &v0);
+
+  // du/dt = -identity(u)*Dx(u) - identity(v)*Dy(u) + nu*Lap(u)
+  EquationDef u;
+  u.var_name = "u";
+  u.terms.push_back(
+      Term::Nonlinear(-1.0, 0, IdentityFn(), SpatialOp::kDx, 0));
+  u.terms.push_back(
+      Term::Nonlinear(-1.0, 1, IdentityFn(), SpatialOp::kDy, 0));
+  u.terms.push_back(
+      Term::Linear(params.viscosity, SpatialOp::kLaplacian, 0));
+  u.initial = std::move(u0);
+  system_.equations.push_back(std::move(u));
+
+  EquationDef v;
+  v.var_name = "v";
+  v.terms.push_back(
+      Term::Nonlinear(-1.0, 0, IdentityFn(), SpatialOp::kDx, 1));
+  v.terms.push_back(
+      Term::Nonlinear(-1.0, 1, IdentityFn(), SpatialOp::kDy, 1));
+  v.terms.push_back(
+      Term::Linear(params.viscosity, SpatialOp::kLaplacian, 1));
+  v.initial = std::move(v0);
+  system_.equations.push_back(std::move(v));
+
+  system_.Validate();
+}
+
+LutConfig
+NavierStokesModel::Luts() const
+{
+  LutConfig lc;
+  LutSpec s;
+  // Velocities stay within |amplitude| + noise.
+  s.min_p = -2.0;
+  s.max_p = 2.0;
+  s.frac_index_bits = 8;
+  lc.per_function["identity"] = s;
+  lc.default_spec = s;
+  return lc;
+}
+
+std::vector<std::vector<double>>
+NavierStokesModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  std::vector<double> u = system_.equations[0].initial;
+  std::vector<double> v = system_.equations[1].initial;
+  std::vector<double> nu_f(u.size());
+  std::vector<double> nv_f(v.size());
+  const NavierStokesParams& p = params_;
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        const double uc = u[i];
+        const double vc = v[i];
+        const double dudx = refutil::Dx(u, r, c, rows, cols, p.h);
+        const double dudy = refutil::Dy(u, r, c, rows, cols, p.h);
+        const double dvdx = refutil::Dx(v, r, c, rows, cols, p.h);
+        const double dvdy = refutil::Dy(v, r, c, rows, cols, p.h);
+        const double lap_u = refutil::Lap5(u, r, c, rows, cols, p.h);
+        const double lap_v = refutil::Lap5(v, r, c, rows, cols, p.h);
+        nu_f[i] = uc + p.dt * (-uc * dudx - vc * dudy + p.viscosity * lap_u);
+        nv_f[i] = vc + p.dt * (-uc * dvdx - vc * dvdy + p.viscosity * lap_v);
+      }
+    }
+    u.swap(nu_f);
+    v.swap(nv_f);
+  }
+  return {u, v};
+}
+
+}  // namespace cenn

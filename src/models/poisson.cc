@@ -1,0 +1,95 @@
+#include "models/poisson.h"
+
+#include <cmath>
+
+#include "models/ref_util.h"
+#include "util/rng.h"
+
+namespace cenn {
+namespace {
+
+/** Balanced point-charge pairs so the Neumann problem is compatible. */
+std::vector<double>
+ChargeDensity(const ModelConfig& config, int pairs)
+{
+  Rng rng(config.seed);
+  std::vector<double> rho(config.rows * config.cols, 0.0);
+  for (int i = 0; i < pairs; ++i) {
+    const auto pick = [&]() {
+      const std::size_t r = 2 + rng.NextBelow(config.rows - 4);
+      const std::size_t c = 2 + rng.NextBelow(config.cols - 4);
+      return r * config.cols + c;
+    };
+    const double q = rng.Uniform(0.5, 1.0);
+    rho[pick()] += q;
+    rho[pick()] -= q;
+  }
+  return rho;
+}
+
+}  // namespace
+
+PoissonModel::PoissonModel(const ModelConfig& config,
+                           const PoissonParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "poisson";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  EquationDef phi;
+  phi.var_name = "phi";
+  phi.terms.push_back(Term::Linear(1.0, SpatialOp::kLaplacian, 0));
+  phi.terms.push_back(Term::Linear(1.0, SpatialOp::kInput, 0));
+  phi.input = ChargeDensity(config, params.charge_pairs);
+  system_.equations.push_back(std::move(phi));
+  system_.Validate();
+}
+
+LutConfig
+PoissonModel::Luts() const
+{
+  return LutConfig{};  // fully linear
+}
+
+std::vector<std::vector<double>>
+PoissonModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  std::vector<double> phi(rows * cols, 0.0);
+  std::vector<double> next(phi.size());
+  const std::vector<double>& rho = system_.equations[0].input;
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        const double lap = refutil::Lap5(phi, r, c, rows, cols, params_.h);
+        next[i] = phi[i] + params_.dt * (lap + rho[i]);
+      }
+    }
+    phi.swap(next);
+  }
+  return {phi};
+}
+
+double
+PoissonModel::Residual(const std::vector<double>& phi) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  const std::vector<double>& rho = system_.equations[0].input;
+  double max_res = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t i = r * cols + c;
+      const double lap = refutil::Lap5(phi, r, c, rows, cols, params_.h);
+      max_res = std::max(max_res, std::abs(lap + rho[i]));
+    }
+  }
+  return max_res;
+}
+
+}  // namespace cenn

@@ -1,0 +1,56 @@
+#ifndef CENN_MODELS_POISSON_H_
+#define CENN_MODELS_POISSON_H_
+
+/**
+ * @file
+ * Poisson solver by CeNN relaxation (extension benchmark): the elliptic
+ * problem Lap(phi) = -rho is solved by running the parabolic flow
+ *
+ *   d(phi)/dt = Lap(phi) + rho
+ *
+ * to steady state — the classic CNN approach to elliptic PDEs. The
+ * charge density rho enters through the feedforward (B) template as a
+ * static input field, exercising the input datapath end to end.
+ */
+
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+/** Poisson-relaxation parameters. */
+struct PoissonParams {
+  double h = 1.0;
+  double dt = 0.2;  ///< relaxation step (stability: dt <= h^2/4)
+
+  /** Number of seeded point-charge pairs (net charge is zero). */
+  int charge_pairs = 2;
+};
+
+/** Poisson-by-relaxation benchmark. */
+class PoissonModel final : public BenchmarkModel
+{
+  public:
+    explicit PoissonModel(const ModelConfig& config = {},
+                          const PoissonParams& params = {});
+
+    LutConfig Luts() const override;
+    int DefaultSteps() const override { return 2000; }
+    std::vector<std::vector<double>> ReferenceRun(int steps) const override;
+
+    const PoissonParams& Params() const { return params_; }
+
+    /**
+     * Residual max |Lap(phi) + rho| of a candidate solution, using the
+     * same discrete operator the solver relaxes with. Near zero once
+     * the relaxation has converged.
+     */
+    double Residual(const std::vector<double>& phi) const;
+
+  private:
+    ModelConfig config_;
+    PoissonParams params_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MODELS_POISSON_H_

@@ -1,0 +1,226 @@
+#include "models/reaction_diffusion.h"
+
+#include <cmath>
+
+#include "models/ref_util.h"
+#include "util/rng.h"
+
+namespace cenn {
+namespace {
+
+/** FHN initial condition: noise plus crossed excited/refractory strips
+ *  so a spiral wave can form. */
+void
+FhnInitial(const ModelConfig& config, std::vector<double>* u,
+           std::vector<double>* v)
+{
+  Rng rng(config.seed);
+  const std::size_t rows = config.rows;
+  const std::size_t cols = config.cols;
+  u->assign(rows * cols, 0.0);
+  v->assign(rows * cols, 0.0);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    (*u)[i] = rng.Uniform(-0.1, 0.1);
+  }
+  // Excited vertical strip on the left half, refractory strip above it.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c > cols / 4 && c < cols / 4 + 4 && r > rows / 2) {
+        (*u)[r * cols + c] = 1.0;
+      }
+      if (r > rows / 2 - 4 && r <= rows / 2 && c > cols / 4 - 6 &&
+          c < cols / 2) {
+        (*v)[r * cols + c] = 1.0;
+      }
+    }
+  }
+}
+
+/** Gray-Scott initial condition: u = 1, v = 0 with a perturbed seed
+ *  square in the middle. */
+void
+GrayScottInitial(const ModelConfig& config, std::vector<double>* u,
+                 std::vector<double>* v)
+{
+  Rng rng(config.seed);
+  const std::size_t rows = config.rows;
+  const std::size_t cols = config.cols;
+  u->assign(rows * cols, 1.0);
+  v->assign(rows * cols, 0.0);
+  const std::size_t r0 = rows / 2 - rows / 8;
+  const std::size_t r1 = rows / 2 + rows / 8;
+  const std::size_t c0 = cols / 2 - cols / 8;
+  const std::size_t c1 = cols / 2 + cols / 8;
+  for (std::size_t r = r0; r < r1; ++r) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      (*u)[r * cols + c] = 0.50 + rng.Uniform(-0.05, 0.05);
+      (*v)[r * cols + c] = 0.25 + rng.Uniform(-0.05, 0.05);
+    }
+  }
+}
+
+}  // namespace
+
+ReactionDiffusionModel::ReactionDiffusionModel(const ModelConfig& config,
+                                               const FhnParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "reaction_diffusion";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  std::vector<double> u0;
+  std::vector<double> v0;
+  FhnInitial(config, &u0, &v0);
+
+  EquationDef u;
+  u.var_name = "u";
+  u.terms.push_back(Term::Linear(params.diff_u, SpatialOp::kLaplacian, 0));
+  u.terms.push_back(Term::Linear(1.0, SpatialOp::kIdentity, 0));
+  // -u^3/3 = (-1/3 * square(u)) * u: the activator's nonlinear template.
+  u.terms.push_back(
+      Term::Nonlinear(-1.0 / 3.0, 0, SquareFn(), SpatialOp::kIdentity, 0));
+  u.terms.push_back(Term::Linear(-1.0, SpatialOp::kIdentity, 1));
+  u.terms.push_back(Term::Source(params.current));
+  u.initial = std::move(u0);
+  system_.equations.push_back(std::move(u));
+
+  EquationDef v;
+  v.var_name = "v";
+  v.terms.push_back(Term::Linear(params.eps, SpatialOp::kIdentity, 0));
+  v.terms.push_back(
+      Term::Linear(-params.eps * params.gamma, SpatialOp::kIdentity, 1));
+  v.terms.push_back(Term::Source(params.eps * params.beta));
+  v.initial = std::move(v0);
+  system_.equations.push_back(std::move(v));
+
+  system_.Validate();
+}
+
+LutConfig
+ReactionDiffusionModel::Luts() const
+{
+  LutConfig lc;
+  LutSpec s;
+  s.min_p = -4.0;
+  s.max_p = 4.0;
+  s.frac_index_bits = 6;  // 1/64 spacing over the activator's range
+  lc.per_function["square"] = s;
+  lc.default_spec = s;
+  return lc;
+}
+
+std::vector<std::vector<double>>
+ReactionDiffusionModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  std::vector<double> u = system_.equations[0].initial;
+  std::vector<double> v = system_.equations[1].initial;
+  std::vector<double> nu(u.size());
+  std::vector<double> nv(v.size());
+  const FhnParams& p = params_;
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        const double uc = u[i];
+        const double vc = v[i];
+        const double lap = refutil::Lap5(u, r, c, rows, cols, p.h);
+        nu[i] = uc + p.dt * (p.diff_u * lap + uc - uc * uc * uc / 3.0 - vc +
+                             p.current);
+        nv[i] = vc + p.dt * (p.eps * (uc + p.beta - p.gamma * vc));
+      }
+    }
+    u.swap(nu);
+    v.swap(nv);
+  }
+  return {u, v};
+}
+
+GrayScottModel::GrayScottModel(const ModelConfig& config,
+                               const GrayScottParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "gray_scott";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  std::vector<double> u0;
+  std::vector<double> v0;
+  GrayScottInitial(config, &u0, &v0);
+
+  EquationDef u;
+  u.var_name = "u";
+  u.terms.push_back(Term::Linear(params.diff_u, SpatialOp::kLaplacian, 0));
+  // -u v^2 = (-square(v)) * u
+  u.terms.push_back(
+      Term::Nonlinear(-1.0, 1, SquareFn(), SpatialOp::kIdentity, 0));
+  u.terms.push_back(Term::Linear(-params.feed, SpatialOp::kIdentity, 0));
+  u.terms.push_back(Term::Source(params.feed));
+  u.initial = std::move(u0);
+  system_.equations.push_back(std::move(u));
+
+  EquationDef v;
+  v.var_name = "v";
+  v.terms.push_back(Term::Linear(params.diff_v, SpatialOp::kLaplacian, 1));
+  // +u v^2 = (square(v)) * u
+  v.terms.push_back(
+      Term::Nonlinear(1.0, 1, SquareFn(), SpatialOp::kIdentity, 0));
+  v.terms.push_back(Term::Linear(-(params.feed + params.kill),
+                                 SpatialOp::kIdentity, 1));
+  v.initial = std::move(v0);
+  system_.equations.push_back(std::move(v));
+
+  system_.Validate();
+}
+
+LutConfig
+GrayScottModel::Luts() const
+{
+  LutConfig lc;
+  LutSpec s;
+  // v stays within [0, ~0.6]; fine sampling keeps v^2 accurate.
+  s.min_p = -1.0;
+  s.max_p = 1.5;
+  s.frac_index_bits = 8;
+  lc.per_function["square"] = s;
+  lc.default_spec = s;
+  return lc;
+}
+
+std::vector<std::vector<double>>
+GrayScottModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  std::vector<double> u = system_.equations[0].initial;
+  std::vector<double> v = system_.equations[1].initial;
+  std::vector<double> nu(u.size());
+  std::vector<double> nv(v.size());
+  const GrayScottParams& p = params_;
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        const double uc = u[i];
+        const double vc = v[i];
+        const double lap_u = refutil::Lap5(u, r, c, rows, cols, p.h);
+        const double lap_v = refutil::Lap5(v, r, c, rows, cols, p.h);
+        const double uvv = uc * vc * vc;
+        nu[i] = uc + p.dt * (p.diff_u * lap_u - uvv + p.feed * (1.0 - uc));
+        nv[i] = vc +
+                p.dt * (p.diff_v * lap_v + uvv - (p.feed + p.kill) * vc);
+      }
+    }
+    u.swap(nu);
+    v.swap(nv);
+  }
+  return {u, v};
+}
+
+}  // namespace cenn

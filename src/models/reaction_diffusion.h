@@ -1,0 +1,82 @@
+#ifndef CENN_MODELS_REACTION_DIFFUSION_H_
+#define CENN_MODELS_REACTION_DIFFUSION_H_
+
+/**
+ * @file
+ * Coupled reaction-diffusion benchmarks (Fig. 3 of the paper): a
+ * two-layer CeNN with an activator u (nonlinear template, WUI set) and
+ * an inhibitor v (linear template).
+ *
+ * ReactionDiffusionModel — FitzHugh-Nagumo:
+ *   du/dt = Du * Lap(u) + u - u^3/3 - v + I
+ *   dv/dt = eps * (u + beta - gamma * v)
+ *
+ * GrayScottModel (extension) — Gray-Scott:
+ *   du/dt = Du * Lap(u) - u v^2 + F (1 - u)
+ *   dv/dt = Dv * Lap(v) + u v^2 - (F + k) v
+ */
+
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+/** FitzHugh-Nagumo parameters (excitable-medium regime). */
+struct FhnParams {
+  double diff_u = 1.0;   ///< activator diffusivity
+  double eps = 0.08;     ///< inhibitor time-scale separation
+  double beta = 0.7;
+  double gamma = 0.8;
+  double current = 0.5;  ///< constant drive I
+  double h = 1.0;
+  double dt = 0.05;
+};
+
+/** FitzHugh-Nagumo reaction-diffusion benchmark. */
+class ReactionDiffusionModel final : public BenchmarkModel
+{
+  public:
+    explicit ReactionDiffusionModel(const ModelConfig& config = {},
+                                    const FhnParams& params = {});
+
+    LutConfig Luts() const override;
+    int DefaultSteps() const override { return 600; }
+    std::vector<std::vector<double>> ReferenceRun(int steps) const override;
+
+    const FhnParams& Params() const { return params_; }
+
+  private:
+    ModelConfig config_;
+    FhnParams params_;
+};
+
+/** Gray-Scott parameters (spot/maze-forming regime). */
+struct GrayScottParams {
+  double diff_u = 0.16;
+  double diff_v = 0.08;
+  double feed = 0.030;   ///< F
+  double kill = 0.062;   ///< k
+  double h = 1.0;
+  double dt = 1.0;
+};
+
+/** Gray-Scott pattern-formation model (extension benchmark). */
+class GrayScottModel final : public BenchmarkModel
+{
+  public:
+    explicit GrayScottModel(const ModelConfig& config = {},
+                            const GrayScottParams& params = {});
+
+    LutConfig Luts() const override;
+    int DefaultSteps() const override { return 1500; }
+    std::vector<std::vector<double>> ReferenceRun(int steps) const override;
+
+    const GrayScottParams& Params() const { return params_; }
+
+  private:
+    ModelConfig config_;
+    GrayScottParams params_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_MODELS_REACTION_DIFFUSION_H_

@@ -1,0 +1,79 @@
+#ifndef CENN_MODELS_REF_UTIL_H_
+#define CENN_MODELS_REF_UTIL_H_
+
+/**
+ * @file
+ * Small stencil helpers shared by the hand-coded reference integrators.
+ * These intentionally do not use any CeNN machinery so the reference
+ * path stays an independent implementation.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace cenn {
+namespace refutil {
+
+/** Zero-flux (clamped) sample of a row-major field. */
+inline double
+Sample(const std::vector<double>& f, std::ptrdiff_t r, std::ptrdiff_t c,
+       std::size_t rows, std::size_t cols)
+{
+  if (r < 0) {
+    r = 0;
+  }
+  if (c < 0) {
+    c = 0;
+  }
+  if (r >= static_cast<std::ptrdiff_t>(rows)) {
+    r = static_cast<std::ptrdiff_t>(rows) - 1;
+  }
+  if (c >= static_cast<std::ptrdiff_t>(cols)) {
+    c = static_cast<std::ptrdiff_t>(cols) - 1;
+  }
+  return f[static_cast<std::size_t>(r) * cols + static_cast<std::size_t>(c)];
+}
+
+/** 5-point Laplacian with zero-flux boundaries. */
+inline double
+Lap5(const std::vector<double>& f, std::size_t r, std::size_t c,
+     std::size_t rows, std::size_t cols, double h)
+{
+  const auto sr = static_cast<std::ptrdiff_t>(r);
+  const auto sc = static_cast<std::ptrdiff_t>(c);
+  const double center = f[r * cols + c];
+  return (Sample(f, sr - 1, sc, rows, cols) +
+          Sample(f, sr + 1, sc, rows, cols) +
+          Sample(f, sr, sc - 1, rows, cols) +
+          Sample(f, sr, sc + 1, rows, cols) - 4.0 * center) /
+         (h * h);
+}
+
+/** Central d/dx (columns) with zero-flux boundaries. */
+inline double
+Dx(const std::vector<double>& f, std::size_t r, std::size_t c,
+   std::size_t rows, std::size_t cols, double h)
+{
+  const auto sr = static_cast<std::ptrdiff_t>(r);
+  const auto sc = static_cast<std::ptrdiff_t>(c);
+  return (Sample(f, sr, sc + 1, rows, cols) -
+          Sample(f, sr, sc - 1, rows, cols)) /
+         (2.0 * h);
+}
+
+/** Central d/dy (rows) with zero-flux boundaries. */
+inline double
+Dy(const std::vector<double>& f, std::size_t r, std::size_t c,
+   std::size_t rows, std::size_t cols, double h)
+{
+  const auto sr = static_cast<std::ptrdiff_t>(r);
+  const auto sc = static_cast<std::ptrdiff_t>(c);
+  return (Sample(f, sr + 1, sc, rows, cols) -
+          Sample(f, sr - 1, sc, rows, cols)) /
+         (2.0 * h);
+}
+
+}  // namespace refutil
+}  // namespace cenn
+
+#endif  // CENN_MODELS_REF_UTIL_H_

@@ -1,0 +1,95 @@
+#include "models/wave.h"
+
+#include <cmath>
+
+#include "models/ref_util.h"
+#include "util/rng.h"
+
+namespace cenn {
+namespace {
+
+/** A Gaussian displacement pulse off-center in the box. */
+std::vector<double>
+PulseInitial(const ModelConfig& config)
+{
+  Rng rng(config.seed);
+  std::vector<double> w(config.rows * config.cols, 0.0);
+  const double cr = rng.Uniform(0.3, 0.7) * static_cast<double>(config.rows);
+  const double cc = rng.Uniform(0.3, 0.7) * static_cast<double>(config.cols);
+  const double sigma = 0.06 * static_cast<double>(config.rows);
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      const double dr = (static_cast<double>(r) - cr) / sigma;
+      const double dc = (static_cast<double>(c) - cc) / sigma;
+      w[r * config.cols + c] = std::exp(-0.5 * (dr * dr + dc * dc));
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+WaveModel::WaveModel(const ModelConfig& config, const WaveParams& params)
+    : config_(config), params_(params)
+{
+  system_.name = "wave";
+  system_.rows = config.rows;
+  system_.cols = config.cols;
+  system_.h = params.h;
+  system_.dt = params.dt;
+
+  // Variables: w = 0, s = 1.
+  EquationDef w;
+  w.var_name = "w";
+  w.terms.push_back(Term::Linear(1.0, SpatialOp::kIdentity, 1));
+  w.initial = PulseInitial(config);
+  system_.equations.push_back(std::move(w));
+
+  EquationDef s;
+  s.var_name = "s";
+  s.terms.push_back(Term::Linear(params.speed * params.speed,
+                                 SpatialOp::kLaplacian, 0));
+  s.terms.push_back(
+      Term::Linear(-params.damping, SpatialOp::kIdentity, 1));
+  s.terms.push_back(
+      Term::Linear(params.viscosity, SpatialOp::kLaplacian, 1));
+  system_.equations.push_back(std::move(s));
+
+  system_.Validate();
+}
+
+LutConfig
+WaveModel::Luts() const
+{
+  return LutConfig{};  // fully linear
+}
+
+std::vector<std::vector<double>>
+WaveModel::ReferenceRun(int steps) const
+{
+  const std::size_t rows = config_.rows;
+  const std::size_t cols = config_.cols;
+  std::vector<double> w = system_.equations[0].initial;
+  std::vector<double> s(w.size(), 0.0);
+  std::vector<double> nw(w.size());
+  std::vector<double> ns(s.size());
+  const WaveParams& p = params_;
+  const double c2 = p.speed * p.speed;
+  for (int step = 0; step < steps; ++step) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        const double lap_w = refutil::Lap5(w, r, c, rows, cols, p.h);
+        const double lap_s = refutil::Lap5(s, r, c, rows, cols, p.h);
+        nw[i] = w[i] + p.dt * s[i];
+        ns[i] = s[i] + p.dt * (c2 * lap_w - p.damping * s[i] +
+                               p.viscosity * lap_s);
+      }
+    }
+    w.swap(nw);
+    s.swap(ns);
+  }
+  return {w, s};
+}
+
+}  // namespace cenn

@@ -1,0 +1,144 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+
+namespace cenn {
+namespace {
+
+/** Reference configuration the published tables correspond to. */
+constexpr int kRefPes = 64;
+constexpr int kRefL1Blocks = 4;
+constexpr int kRefL2Instances = 16;
+constexpr int kRefL2Entries = 32;
+constexpr int kRefBanks = 32;
+
+}  // namespace
+
+PePowerTable
+DefaultPeTable()
+{
+  PePowerTable t;
+  t.tum = {1.20, 0.00308};
+  t.alu = {1.12, 0.00287};
+  t.pe = {2.32, 0.00594};
+  t.pes = {148.48, 0.380};
+  t.l1_luts = {51.20, 0.0698};
+  return t;
+}
+
+SystemPowerTable
+DefaultSystemTable()
+{
+  SystemPowerTable t;
+  t.pe_array = {199.68, 0.450};
+  t.l2_lut = {63.61, 0.00627};
+  t.global_buffer = {260.16, 0.625};
+  t.total = {523.45, 1.082};
+  return t;
+}
+
+SystemPowerTable
+ScaledSystemTable(const ArchConfig& config)
+{
+  const SystemPowerTable ref = DefaultSystemTable();
+  const PePowerTable pe_ref = DefaultPeTable();
+
+  const double pe_scale =
+      static_cast<double>(config.NumPes()) / kRefPes;
+  const double l1_scale =
+      pe_scale * static_cast<double>(config.l1_blocks) / kRefL1Blocks;
+  const double l2_scale =
+      (static_cast<double>(config.num_l2) / kRefL2Instances) *
+      (static_cast<double>(config.l2_entries) / kRefL2Entries);
+  const double bank_scale =
+      static_cast<double>(config.state_banks + config.input_banks) /
+      kRefBanks;
+
+  SystemPowerTable t;
+  t.pe_array.power_mw =
+      pe_ref.pes.power_mw * pe_scale + pe_ref.l1_luts.power_mw * l1_scale;
+  t.pe_array.area_mm2 =
+      pe_ref.pes.area_mm2 * pe_scale + pe_ref.l1_luts.area_mm2 * l1_scale;
+  t.l2_lut.power_mw = ref.l2_lut.power_mw * l2_scale;
+  t.l2_lut.area_mm2 = ref.l2_lut.area_mm2 * l2_scale;
+  t.global_buffer.power_mw = ref.global_buffer.power_mw * bank_scale;
+  t.global_buffer.area_mm2 = ref.global_buffer.area_mm2 * bank_scale;
+  t.total.power_mw =
+      t.pe_array.power_mw + t.l2_lut.power_mw + t.global_buffer.power_mw;
+  t.total.area_mm2 =
+      t.pe_array.area_mm2 + t.l2_lut.area_mm2 + t.global_buffer.area_mm2;
+  return t;
+}
+
+EnergyReport
+ComputeEnergy(const SimReport& report, const ArchConfig& config)
+{
+  EnergyReport e;
+  e.runtime_s = report.Seconds(config.pe_clock_hz);
+
+  // On-chip power scales with the PE clock relative to the 600 MHz
+  // synthesis point (the paper notes HMC-EXT "naturally leads to higher
+  // power consumption in ... the processing array").
+  const SystemPowerTable sys = ScaledSystemTable(config);
+  e.onchip_power_w =
+      sys.total.power_mw * 1e-3 * (config.pe_clock_hz / 600e6);
+
+  // DRAM traffic: streamed data words plus LUT block fetches.
+  const double data_bits =
+      static_cast<double>(report.activity.dram_data_words) * 32.0;
+  const double lut_bits =
+      static_cast<double>(report.activity.lut_dram_fetches) *
+      (8.0 * 5.0 * 32.0);
+  const double total_bits = data_bits + lut_bits;
+
+  const double peak_bits_per_s = config.memory.PeakBandwidth() * 8.0;
+  e.activity_ratio =
+      e.runtime_s <= 0.0
+          ? 0.0
+          : std::min(1.0, total_bits / (peak_bits_per_s * e.runtime_s));
+  e.memory_power_w = peak_bits_per_s * e.activity_ratio *
+                     config.memory.energy_pj_per_bit * 1e-12;
+
+  e.total_power_w = e.onchip_power_w + e.memory_power_w;
+  e.energy_j = e.total_power_w * e.runtime_s;
+  e.gops = report.Gops(config.pe_clock_hz);
+  e.gops_per_watt = e.total_power_w <= 0.0 ? 0.0 : e.gops / e.total_power_w;
+  return e;
+}
+
+std::vector<PlatformRow>
+PriorPlatformRows()
+{
+  // Published numbers from Table 3 of the paper.
+  return {
+      {"ACE16k", "Analog/mixed-signal", "0.35um", 16560, 4.0, 92.0, 330.0,
+       82.50, false},
+      {"Q-Eye", "Analog/mixed-signal", "0.18um", 25344, 0.1, 25.0, 0.1, 0.1,
+       false},
+      {"GAPU", "FPGA", "0.15um", 1024, 10.0, 0.0, 1.3, 0.13, false},
+      {"VAE", "Digital", "0.13um", 120, 0.084, 4.5, 22.0, 261.90, false},
+  };
+}
+
+PlatformRow
+ThisWorkRow(const ArchConfig& config)
+{
+  PlatformRow row;
+  row.name = "This work (model)";
+  row.type = "Digital";
+  row.technology = "15nm";
+  row.num_pes = config.NumPes();
+  const SystemPowerTable sys = ScaledSystemTable(config);
+  row.power_w = sys.total.power_mw * 1e-3;
+  row.area_mm2 = sys.total.area_mm2;
+  // Each PE sustains one MAC per cycle during convolution; the paper
+  // quotes 54 peak GOPS for 64 PEs at 600 MHz (~70% of the 2-op bound,
+  // the template-buffer refill overhead).
+  row.peak_gops = static_cast<double>(config.NumPes()) * 2.0 *
+                  config.pe_clock_hz / 1e9 * 0.703;
+  row.gops_per_w = row.power_w <= 0.0 ? 0.0 : row.peak_gops / row.power_w;
+  row.nonlinear_weight_update = true;
+  return row;
+}
+
+}  // namespace cenn

@@ -1,0 +1,92 @@
+#ifndef CENN_POWER_POWER_MODEL_H_
+#define CENN_POWER_POWER_MODEL_H_
+
+/**
+ * @file
+ * Power, area and energy model of the DE solver (Section 6.5).
+ *
+ * SUBSTITUTION (see DESIGN.md): the paper synthesized the PE array in
+ * the 15 nm FreePDK technology and ran PCACTI for the memories; the
+ * published per-module numbers (Tables 1 and 2) are taken here as model
+ * constants, linearly scaled for non-default configurations. External
+ * memory power follows the paper's energy-per-bit times activity-ratio
+ * method (3.7 pJ/bit HMC-INT, Section 6.5).
+ */
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_config.h"
+#include "arch/sim_report.h"
+
+namespace cenn {
+
+/** Power/area of one module. */
+struct ComponentPower {
+  double power_mw = 0.0;
+  double area_mm2 = 0.0;
+};
+
+/** Table 1: PE-array module breakdown (64 PE + 64 L1 configuration). */
+struct PePowerTable {
+  ComponentPower tum;      ///< template update module, per PE
+  ComponentPower alu;      ///< MACs + adder + control, per PE
+  ComponentPower pe;       ///< TUM + ALU, per PE
+  ComponentPower pes;      ///< all PEs
+  ComponentPower l1_luts;  ///< all L1 LUTs
+};
+
+/** Table 2: system-level breakdown. */
+struct SystemPowerTable {
+  ComponentPower pe_array;       ///< PEs + L1 LUTs
+  ComponentPower l2_lut;         ///< all shared L2 LUTs
+  ComponentPower global_buffer;  ///< data banks + template buffer
+  ComponentPower total;
+};
+
+/** The paper's synthesized 15 nm numbers (64 PEs, 16 L2s). */
+PePowerTable DefaultPeTable();
+
+/** The paper's Table 2 for the default configuration. */
+SystemPowerTable DefaultSystemTable();
+
+/** Table 2 linearly rescaled to a non-default configuration. */
+SystemPowerTable ScaledSystemTable(const ArchConfig& config);
+
+/** Energy/efficiency summary of one simulated run. */
+struct EnergyReport {
+  double runtime_s = 0.0;
+  double onchip_power_w = 0.0;   ///< PE array + L2 + global buffer
+  double memory_power_w = 0.0;   ///< activity-scaled DRAM power
+  double total_power_w = 0.0;
+  double energy_j = 0.0;
+  double activity_ratio = 0.0;   ///< DRAM traffic / (peak BW * runtime)
+  double gops = 0.0;
+  double gops_per_watt = 0.0;
+};
+
+/** Computes power/energy for a finished simulation. */
+EnergyReport ComputeEnergy(const SimReport& report, const ArchConfig& config);
+
+/** One row of the Table 3 platform comparison. */
+struct PlatformRow {
+  std::string name;
+  std::string type;
+  std::string technology;
+  int num_pes = 0;
+  double power_w = 0.0;
+  double area_mm2 = 0.0;
+  double peak_gops = 0.0;
+  double gops_per_w = 0.0;
+  bool nonlinear_weight_update = false;
+};
+
+/** Published rows for prior CeNN platforms (Table 3). */
+std::vector<PlatformRow> PriorPlatformRows();
+
+/** "This work" row computed from a configuration. */
+PlatformRow ThisWorkRow(const ArchConfig& config);
+
+}  // namespace cenn
+
+#endif  // CENN_POWER_POWER_MODEL_H_

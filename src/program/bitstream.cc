@@ -1,0 +1,456 @@
+#include "program/bitstream.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+/** Little-endian byte sink. */
+class ByteWriter
+{
+  public:
+    void
+    U8(std::uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    U16(std::uint16_t v)
+    {
+        U8(static_cast<std::uint8_t>(v & 0xff));
+        U8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    U32(std::uint32_t v)
+    {
+        U16(static_cast<std::uint16_t>(v & 0xffff));
+        U16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    I32(std::int32_t v)
+    {
+        U32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    F64(double v)
+    {
+        std::uint64_t u = 0;
+        std::memcpy(&u, &v, sizeof(u));
+        U32(static_cast<std::uint32_t>(u & 0xffffffffu));
+        U32(static_cast<std::uint32_t>(u >> 32));
+    }
+
+    void
+    Str(const std::string& s)
+    {
+        CENN_ASSERT(s.size() <= 0xffff, "string too long for bitstream");
+        U16(static_cast<std::uint16_t>(s.size()));
+        for (char c : s) {
+          U8(static_cast<std::uint8_t>(c));
+        }
+    }
+
+    std::vector<std::uint8_t>
+    Finish()
+    {
+        // Trailing additive checksum over everything before it.
+        std::uint32_t sum = 0;
+        for (std::uint8_t b : bytes_) {
+          sum += b;
+        }
+        U32(sum);
+        return std::move(bytes_);
+    }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Little-endian byte source; fatal on overruns. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+    std::uint8_t
+    U8()
+    {
+        if (pos_ >= bytes_.size()) {
+          CENN_FATAL("bitstream truncated at byte ", pos_);
+        }
+        return bytes_[pos_++];
+    }
+
+    std::uint16_t
+    U16()
+    {
+        const std::uint16_t lo = U8();
+        return static_cast<std::uint16_t>(lo | (U8() << 8));
+    }
+
+    std::uint32_t
+    U32()
+    {
+        const std::uint32_t lo = U16();
+        return lo | (static_cast<std::uint32_t>(U16()) << 16);
+    }
+
+    std::int32_t
+    I32()
+    {
+        return static_cast<std::int32_t>(U32());
+    }
+
+    double
+    F64()
+    {
+        const std::uint64_t lo = U32();
+        const std::uint64_t hi = U32();
+        const std::uint64_t u = lo | (hi << 32);
+        double v = 0.0;
+        std::memcpy(&v, &u, sizeof(v));
+        return v;
+    }
+
+    std::string
+    Str()
+    {
+        const std::uint16_t n = U16();
+        std::string s;
+        s.reserve(n);
+        for (std::uint16_t i = 0; i < n; ++i) {
+          s.push_back(static_cast<char>(U8()));
+        }
+        return s;
+    }
+
+    std::size_t Pos() const { return pos_; }
+
+  private:
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+};
+
+/** Q16.16 quantization used for every hardware-resident constant. */
+std::int32_t
+ToWord(double v)
+{
+  return Fixed32::FromDouble(v).raw();
+}
+
+double
+FromWord(std::int32_t raw)
+{
+  return Fixed32::FromRaw(raw).ToDouble();
+}
+
+void
+WriteFactors(ByteWriter* w, const std::vector<WeightFactor>& factors)
+{
+  CENN_ASSERT(factors.size() <= 0xff, "too many weight factors");
+  w->U8(static_cast<std::uint8_t>(factors.size()));
+  for (const auto& f : factors) {
+    w->U8(static_cast<std::uint8_t>(f.ctrl_layer));
+    w->U8(f.at_source ? 1 : 0);
+    w->Str(f.fn->Name());
+  }
+}
+
+std::vector<WeightFactor>
+ReadFactors(ByteReader* r, const FunctionRegistry& registry)
+{
+  const int n = r->U8();
+  std::vector<WeightFactor> factors;
+  factors.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    WeightFactor f;
+    f.ctrl_layer = r->U8();
+    f.at_source = r->U8() != 0;
+    f.fn = registry.Get(r->Str());
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+std::uint8_t
+Log2Side(std::size_t side, const char* what)
+{
+  if (side == 0 || !std::has_single_bit(side)) {
+    CENN_FATAL("bitstream requires power-of-two ", what, ", got ", side);
+  }
+  return static_cast<std::uint8_t>(std::countr_zero(side));
+}
+
+}  // namespace
+
+double
+QuantizeWeight(double v)
+{
+  return FromWord(ToWord(v));
+}
+
+std::vector<std::uint8_t>
+SerializeProgram(const SolverProgram& program)
+{
+  const NetworkSpec& spec = program.spec;
+  spec.Validate();
+  if (spec.NumLayers() > 8) {
+    CENN_FATAL("bitstream N_layer field is 3 bits; program has ",
+               spec.NumLayers(), " layers");
+  }
+  if (spec.MaxKernelSide() > 15) {
+    CENN_FATAL("kernel side ", spec.MaxKernelSide(), " exceeds field width");
+  }
+
+  ByteWriter w;
+  w.U32(kBitstreamMagic);
+  w.U16(kBitstreamVersion);
+  w.Str(spec.name);
+  w.Str(program.description);
+
+  // Geometry: exponent-coded sides (the paper's 1010b -> 1024 format).
+  w.U8(Log2Side(spec.rows, "rows"));
+  w.U8(Log2Side(spec.cols, "cols"));
+  w.U8(static_cast<std::uint8_t>(spec.MaxKernelSide()));
+  w.U8(static_cast<std::uint8_t>(spec.NumLayers()));
+  w.U8(static_cast<std::uint8_t>(spec.boundary.kind));
+  w.I32(ToWord(spec.boundary.value));
+  w.F64(spec.dt);
+
+  for (const auto& layer : spec.layers) {
+    w.Str(layer.name);
+    w.I32(ToWord(layer.z));
+    w.U8(layer.has_self_decay ? 1 : 0);
+
+    CENN_ASSERT(layer.couplings.size() <= 0xffff, "too many couplings");
+    w.U16(static_cast<std::uint16_t>(layer.couplings.size()));
+    for (const auto& c : layer.couplings) {
+      w.U8(static_cast<std::uint8_t>(c.kind));
+      w.U8(static_cast<std::uint8_t>(c.src_layer));
+      w.U8(static_cast<std::uint8_t>(c.kernel.Side()));
+      const auto& entries = c.kernel.Entries();
+      // Weight words.
+      for (const auto& e : entries) {
+        w.I32(ToWord(e.constant));
+      }
+      // WUI bitmask, one bit per entry.
+      std::uint8_t acc = 0;
+      int bit = 0;
+      for (const auto& e : entries) {
+        if (e.NeedsUpdate()) {
+          acc |= static_cast<std::uint8_t>(1u << bit);
+        }
+        if (++bit == 8) {
+          w.U8(acc);
+          acc = 0;
+          bit = 0;
+        }
+      }
+      if (bit != 0) {
+        w.U8(acc);
+      }
+      // Factor directory for WUI-flagged entries, in order.
+      for (const auto& e : entries) {
+        if (e.NeedsUpdate()) {
+          WriteFactors(&w, e.factors);
+        }
+      }
+    }
+
+    CENN_ASSERT(layer.offset_terms.size() <= 0xffff, "too many offset terms");
+    w.U16(static_cast<std::uint16_t>(layer.offset_terms.size()));
+    for (const auto& term : layer.offset_terms) {
+      w.I32(ToWord(term.constant));
+      WriteFactors(&w, term.factors);
+    }
+  }
+
+  CENN_ASSERT(spec.resets.size() <= 0xffff, "too many reset rules");
+  w.U16(static_cast<std::uint16_t>(spec.resets.size()));
+  for (const auto& rule : spec.resets) {
+    w.U8(static_cast<std::uint8_t>(rule.trigger_layer));
+    w.I32(ToWord(rule.threshold));
+    CENN_ASSERT(rule.actions.size() <= 0xffff, "too many reset actions");
+    w.U16(static_cast<std::uint16_t>(rule.actions.size()));
+    for (const auto& a : rule.actions) {
+      w.U8(static_cast<std::uint8_t>(a.layer));
+      w.U8(a.is_set ? 1 : 0);
+      w.I32(ToWord(a.value));
+    }
+  }
+
+  // LUT sampling configuration.
+  const LutConfig& lc = program.lut_config;
+  w.F64(lc.default_spec.min_p);
+  w.F64(lc.default_spec.max_p);
+  w.U8(static_cast<std::uint8_t>(lc.default_spec.frac_index_bits));
+  CENN_ASSERT(lc.per_function.size() <= 0xffff, "too many LUT overrides");
+  w.U16(static_cast<std::uint16_t>(lc.per_function.size()));
+  for (const auto& [fn_name, lut_spec] : lc.per_function) {
+    w.Str(fn_name);
+    w.F64(lut_spec.min_p);
+    w.F64(lut_spec.max_p);
+    w.U8(static_cast<std::uint8_t>(lut_spec.frac_index_bits));
+  }
+
+  return w.Finish();
+}
+
+SolverProgram
+DeserializeProgram(std::span<const std::uint8_t> bytes,
+                   const FunctionRegistry& registry)
+{
+  if (bytes.size() < 10) {
+    CENN_FATAL("bitstream too short (", bytes.size(), " bytes)");
+  }
+  // Verify the trailing checksum before parsing.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 4 < bytes.size(); ++i) {
+    sum += bytes[i];
+  }
+  const std::size_t tail = bytes.size() - 4;
+  const std::uint32_t stored = static_cast<std::uint32_t>(bytes[tail]) |
+                               (static_cast<std::uint32_t>(bytes[tail + 1])
+                                << 8) |
+                               (static_cast<std::uint32_t>(bytes[tail + 2])
+                                << 16) |
+                               (static_cast<std::uint32_t>(bytes[tail + 3])
+                                << 24);
+  if (sum != stored) {
+    CENN_FATAL("bitstream checksum mismatch");
+  }
+
+  ByteReader r(bytes);
+  if (r.U32() != kBitstreamMagic) {
+    CENN_FATAL("bad bitstream magic");
+  }
+  const std::uint16_t version = r.U16();
+  if (version != kBitstreamVersion) {
+    CENN_FATAL("unsupported bitstream version ", version);
+  }
+
+  SolverProgram program;
+  NetworkSpec& spec = program.spec;
+  spec.name = r.Str();
+  program.description = r.Str();
+
+  spec.rows = std::size_t{1} << r.U8();
+  spec.cols = std::size_t{1} << r.U8();
+  r.U8();  // kernel side: derivable, kept for the hardware decoder
+  const int n_layers = r.U8();
+  spec.boundary.kind = static_cast<BoundaryKind>(r.U8());
+  spec.boundary.value = FromWord(r.I32());
+  spec.dt = r.F64();
+
+  spec.layers.resize(static_cast<std::size_t>(n_layers));
+  for (auto& layer : spec.layers) {
+    layer.name = r.Str();
+    layer.z = FromWord(r.I32());
+    layer.has_self_decay = r.U8() != 0;
+
+    const int n_couplings = r.U16();
+    layer.couplings.reserve(static_cast<std::size_t>(n_couplings));
+    for (int ci = 0; ci < n_couplings; ++ci) {
+      Coupling c;
+      c.kind = static_cast<CouplingKind>(r.U8());
+      c.src_layer = r.U8();
+      const int side = r.U8();
+      c.kernel = TemplateKernel(side);
+      auto& entries = c.kernel.MutableEntries();
+      for (auto& e : entries) {
+        e.constant = FromWord(r.I32());
+      }
+      // WUI bitmask.
+      std::vector<bool> wui(entries.size(), false);
+      for (std::size_t base = 0; base < entries.size(); base += 8) {
+        const std::uint8_t acc = r.U8();
+        for (std::size_t bit = 0; bit < 8 && base + bit < entries.size();
+             ++bit) {
+          wui[base + bit] = (acc >> bit) & 1u;
+        }
+      }
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (wui[i]) {
+          entries[i].factors = ReadFactors(&r, registry);
+        }
+      }
+      layer.couplings.push_back(std::move(c));
+    }
+
+    const int n_offsets = r.U16();
+    layer.offset_terms.reserve(static_cast<std::size_t>(n_offsets));
+    for (int oi = 0; oi < n_offsets; ++oi) {
+      OffsetTerm term;
+      term.constant = FromWord(r.I32());
+      term.factors = ReadFactors(&r, registry);
+      layer.offset_terms.push_back(std::move(term));
+    }
+  }
+
+  const int n_resets = r.U16();
+  spec.resets.reserve(static_cast<std::size_t>(n_resets));
+  for (int ri = 0; ri < n_resets; ++ri) {
+    ResetRule rule;
+    rule.trigger_layer = r.U8();
+    rule.threshold = FromWord(r.I32());
+    const int n_actions = r.U16();
+    for (int ai = 0; ai < n_actions; ++ai) {
+      ResetAction a;
+      a.layer = r.U8();
+      a.is_set = r.U8() != 0;
+      a.value = FromWord(r.I32());
+      rule.actions.push_back(a);
+    }
+    spec.resets.push_back(std::move(rule));
+  }
+
+  LutConfig& lc = program.lut_config;
+  lc.default_spec.min_p = r.F64();
+  lc.default_spec.max_p = r.F64();
+  lc.default_spec.frac_index_bits = r.U8();
+  const int n_overrides = r.U16();
+  for (int i = 0; i < n_overrides; ++i) {
+    const std::string fn_name = r.Str();
+    LutSpec s;
+    s.min_p = r.F64();
+    s.max_p = r.F64();
+    s.frac_index_bits = r.U8();
+    lc.per_function[fn_name] = s;
+  }
+
+  spec.Validate();
+  return program;
+}
+
+std::vector<std::uint8_t>
+SerializeField(std::span<const double> field)
+{
+  ByteWriter w;
+  w.U32(static_cast<std::uint32_t>(field.size()));
+  for (double v : field) {
+    w.I32(ToWord(v));
+  }
+  return w.Finish();
+}
+
+std::vector<double>
+DeserializeField(std::span<const std::uint8_t> bytes)
+{
+  ByteReader r(bytes);
+  const std::uint32_t n = r.U32();
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(FromWord(r.I32()));
+  }
+  return out;
+}
+
+}  // namespace cenn

@@ -1,0 +1,71 @@
+#ifndef CENN_PROGRAM_BITSTREAM_H_
+#define CENN_PROGRAM_BITSTREAM_H_
+
+/**
+ * @file
+ * Bitstream programming of the DE solver (Section 3).
+ *
+ * The paper programs the accelerator with a binary stream carrying the
+ * input size (exponent-coded, side must be a power of two), kernel
+ * size, number of layers (3 bits -> at most 8), the linear template
+ * weights, the WUI indicator matrices, and the trailing feedforward
+ * template / offset block. This module implements a concrete,
+ * round-trippable encoding of that stream:
+ *
+ *  - template weights, offsets and thresholds are carried as Q16.16
+ *    words (quantization is part of the contract — it is what the
+ *    hardware stores);
+ *  - WUI matrices are packed bitmasks, one bit per kernel entry;
+ *  - nonlinear functions are referenced by name and resolved against a
+ *    FunctionRegistry at load time (the function body itself lives in
+ *    the off-chip LUT, shipped separately);
+ *  - a trailing checksum detects truncation/corruption.
+ *
+ * State and input fields are data, not program: they are pushed through
+ * the data banks, modeled by SerializeField / DeserializeField.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "program/solver_program.h"
+
+namespace cenn {
+
+/** Current bitstream format version. */
+inline constexpr std::uint16_t kBitstreamVersion = 1;
+
+/** Magic word at the start of every program bitstream. */
+inline constexpr std::uint32_t kBitstreamMagic = 0x43654e4e;  // "CeNN"
+
+/**
+ * Serializes a program to its bitstream.
+ *
+ * Fatal when the program violates hardware limits: non-power-of-two
+ * grid sides, more than 8 layers, kernel side above 15.
+ */
+std::vector<std::uint8_t> SerializeProgram(const SolverProgram& program);
+
+/**
+ * Parses a bitstream back into a SolverProgram.
+ *
+ * @param bytes     the serialized program.
+ * @param registry  resolves nonlinear function names.
+ * @return the program; fatal on malformed input or unknown functions.
+ */
+SolverProgram DeserializeProgram(std::span<const std::uint8_t> bytes,
+                                 const FunctionRegistry& registry);
+
+/** Serializes a double field as consecutive Q16.16 words. */
+std::vector<std::uint8_t> SerializeField(std::span<const double> field);
+
+/** Parses a Q16.16 field stream back to doubles. */
+std::vector<double> DeserializeField(std::span<const std::uint8_t> bytes);
+
+/** Quantizes a double to the value a Q16.16 weight word carries. */
+double QuantizeWeight(double v);
+
+}  // namespace cenn
+
+#endif  // CENN_PROGRAM_BITSTREAM_H_

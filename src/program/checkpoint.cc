@@ -1,0 +1,171 @@
+#include "program/checkpoint.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x43655350;  // "CeSP"
+
+void
+PutU32(std::vector<std::uint8_t>* out, std::uint32_t v)
+{
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void
+PutU64(std::vector<std::uint8_t>* out, std::uint64_t v)
+{
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void
+PutF64(std::vector<std::uint8_t>* out, double v)
+{
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  PutU64(out, u);
+}
+
+class Reader
+{
+  public:
+    explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+    std::uint8_t
+    U8()
+    {
+        if (pos_ >= bytes_.size()) {
+          CENN_FATAL("checkpoint truncated at byte ", pos_);
+        }
+        return bytes_[pos_++];
+    }
+
+    std::uint32_t
+    U32()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+          v |= static_cast<std::uint32_t>(U8()) << (8 * i);
+        }
+        return v;
+    }
+
+    std::uint64_t
+    U64()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+          v |= static_cast<std::uint64_t>(U8()) << (8 * i);
+        }
+        return v;
+    }
+
+    double
+    F64()
+    {
+        const std::uint64_t u = U64();
+        double v = 0.0;
+        std::memcpy(&v, &u, sizeof(v));
+        return v;
+    }
+
+  private:
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Checkpoint
+CaptureCheckpoint(const DeSolver& solver)
+{
+  Checkpoint cp;
+  cp.network_name = solver.Spec().name;
+  cp.rows = solver.Spec().rows;
+  cp.cols = solver.Spec().cols;
+  cp.steps = solver.Steps();
+  for (int l = 0; l < solver.Spec().NumLayers(); ++l) {
+    cp.layer_states.push_back(solver.StateDoubles(l));
+  }
+  return cp;
+}
+
+std::vector<std::uint8_t>
+SerializeCheckpoint(const Checkpoint& cp)
+{
+  std::vector<std::uint8_t> out;
+  PutU32(&out, kCheckpointMagic);
+  PutU32(&out, static_cast<std::uint32_t>(cp.network_name.size()));
+  for (char c : cp.network_name) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  PutU64(&out, cp.rows);
+  PutU64(&out, cp.cols);
+  PutU64(&out, cp.steps);
+  PutU32(&out, static_cast<std::uint32_t>(cp.layer_states.size()));
+  for (const auto& field : cp.layer_states) {
+    PutU64(&out, field.size());
+    for (double v : field) {
+      PutF64(&out, v);
+    }
+  }
+  std::uint32_t sum = 0;
+  for (std::uint8_t b : out) {
+    sum += b;
+  }
+  PutU32(&out, sum);
+  return out;
+}
+
+Checkpoint
+DeserializeCheckpoint(std::span<const std::uint8_t> bytes)
+{
+  if (bytes.size() < 8) {
+    CENN_FATAL("checkpoint too short");
+  }
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 4 < bytes.size(); ++i) {
+    sum += bytes[i];
+  }
+  const std::size_t tail = bytes.size() - 4;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[tail + i]) << (8 * i);
+  }
+  if (sum != stored) {
+    CENN_FATAL("checkpoint checksum mismatch");
+  }
+
+  Reader r(bytes);
+  if (r.U32() != kCheckpointMagic) {
+    CENN_FATAL("bad checkpoint magic");
+  }
+  Checkpoint cp;
+  const std::uint32_t name_len = r.U32();
+  for (std::uint32_t i = 0; i < name_len; ++i) {
+    cp.network_name.push_back(static_cast<char>(r.U8()));
+  }
+  cp.rows = r.U64();
+  cp.cols = r.U64();
+  cp.steps = r.U64();
+  const std::uint32_t n_layers = r.U32();
+  for (std::uint32_t l = 0; l < n_layers; ++l) {
+    const std::uint64_t n = r.U64();
+    std::vector<double> field;
+    field.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      field.push_back(r.F64());
+    }
+    cp.layer_states.push_back(std::move(field));
+  }
+  return cp;
+}
+
+}  // namespace cenn

@@ -1,0 +1,83 @@
+#ifndef CENN_PROGRAM_CHECKPOINT_H_
+#define CENN_PROGRAM_CHECKPOINT_H_
+
+/**
+ * @file
+ * Solver checkpointing: snapshot and restore the full dynamic state of
+ * a running solver (all layer state maps plus the step counter), so
+ * long simulations can be split across runs and mid-run states can be
+ * archived or diffed. States are stored losslessly (f64), independent
+ * of the engine precision; spec geometry is embedded and verified on
+ * restore.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/network.h"
+#include "core/solver.h"
+
+namespace cenn {
+
+/** A snapshot of a solver's dynamic state. */
+struct Checkpoint {
+  std::string network_name;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::uint64_t steps = 0;
+  std::vector<std::vector<double>> layer_states;
+};
+
+/** Captures a checkpoint from a precision-agnostic solver. */
+Checkpoint CaptureCheckpoint(const DeSolver& solver);
+
+/** Captures a checkpoint from a typed engine. */
+template <typename T>
+Checkpoint
+CaptureCheckpoint(const MultilayerCenn<T>& engine)
+{
+  Checkpoint cp;
+  cp.network_name = engine.Spec().name;
+  cp.rows = engine.Spec().rows;
+  cp.cols = engine.Spec().cols;
+  cp.steps = engine.Steps();
+  for (int l = 0; l < engine.Spec().NumLayers(); ++l) {
+    cp.layer_states.push_back(engine.StateDoubles(l));
+  }
+  return cp;
+}
+
+/**
+ * Restores a checkpoint into a typed engine (states and step counter).
+ * Fatal when the geometry or layer count disagrees.
+ */
+template <typename T>
+void
+RestoreCheckpoint(const Checkpoint& cp, MultilayerCenn<T>* engine)
+{
+  const NetworkSpec& spec = engine->Spec();
+  if (cp.rows != spec.rows || cp.cols != spec.cols ||
+      cp.layer_states.size() !=
+          static_cast<std::size_t>(spec.NumLayers())) {
+    CENN_FATAL("checkpoint geometry mismatch: ", cp.rows, "x", cp.cols, "/",
+               cp.layer_states.size(), " layers vs ", spec.rows, "x",
+               spec.cols, "/", spec.NumLayers());
+  }
+  for (int l = 0; l < spec.NumLayers(); ++l) {
+    engine->MutableState(l) = Grid2D<T>::FromDoubles(
+        spec.rows, spec.cols,
+        cp.layer_states[static_cast<std::size_t>(l)]);
+  }
+  engine->SetSteps(cp.steps);
+}
+
+/** Serializes a checkpoint to bytes (magic + checksum protected). */
+std::vector<std::uint8_t> SerializeCheckpoint(const Checkpoint& cp);
+
+/** Parses a serialized checkpoint; fatal on corruption. */
+Checkpoint DeserializeCheckpoint(std::span<const std::uint8_t> bytes);
+
+}  // namespace cenn
+
+#endif  // CENN_PROGRAM_CHECKPOINT_H_

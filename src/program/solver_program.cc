@@ -1,0 +1,56 @@
+#include "program/solver_program.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+void
+FunctionRegistry::Register(const NonlinearFnPtr& fn)
+{
+  CENN_ASSERT(fn != nullptr, "registering null function");
+  const auto [it, inserted] = by_name_.emplace(fn->Name(), fn);
+  if (!inserted && it->second.get() != fn.get()) {
+    CENN_FATAL("FunctionRegistry: name collision for '", fn->Name(), "'");
+  }
+}
+
+NonlinearFnPtr
+FunctionRegistry::Find(const std::string& name) const
+{
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+NonlinearFnPtr
+FunctionRegistry::Get(const std::string& name) const
+{
+  NonlinearFnPtr fn = Find(name);
+  if (fn == nullptr) {
+    CENN_FATAL("FunctionRegistry: unknown function '", name, "'");
+  }
+  return fn;
+}
+
+void
+FunctionRegistry::RegisterAll(const NetworkSpec& spec)
+{
+  auto add_factors = [this](const std::vector<WeightFactor>& factors) {
+    for (const auto& f : factors) {
+      Register(f.fn);
+    }
+  };
+  for (const auto& layer : spec.layers) {
+    for (const auto& c : layer.couplings) {
+      for (const auto& w : c.kernel.Entries()) {
+        if (w.NeedsUpdate()) {
+          add_factors(w.factors);
+        }
+      }
+    }
+    for (const auto& term : layer.offset_terms) {
+      add_factors(term.factors);
+    }
+  }
+}
+
+}  // namespace cenn

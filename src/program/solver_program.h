@@ -1,0 +1,61 @@
+#ifndef CENN_PROGRAM_SOLVER_PROGRAM_H_
+#define CENN_PROGRAM_SOLVER_PROGRAM_H_
+
+/**
+ * @file
+ * SolverProgram — everything needed to program the DE solver for one
+ * dynamical system (Section 3: "a set of templates can be considered
+ * as a program for the DE solver"): the network spec (templates, WUI
+ * matrices, offsets, resets) plus the LUT sampling configuration.
+ */
+
+#include <string>
+
+#include "core/network_spec.h"
+#include "lut/lut_bank.h"
+
+namespace cenn {
+
+/** A complete program for the CeNN-based DE solver. */
+struct SolverProgram {
+  /** The multilayer CeNN network (templates + WUI + geometry). */
+  NetworkSpec spec;
+
+  /** Off-chip LUT sampling ranges per nonlinear function. */
+  LutConfig lut_config;
+
+  /** Free-form description shown in reports. */
+  std::string description;
+};
+
+/**
+ * Registry resolving function names to NonlinearFunction instances when
+ * loading a program bitstream (function bodies are host-side objects;
+ * the bitstream references them by name, like the paper's LUT ids).
+ */
+class FunctionRegistry
+{
+  public:
+    /** Registers a function under its Name(); re-registering the same
+     *  pointer is a no-op, a different body under the same name is
+     *  fatal. */
+    void Register(const NonlinearFnPtr& fn);
+
+    /** Finds by name; nullptr when absent. */
+    NonlinearFnPtr Find(const std::string& name) const;
+
+    /** Finds by name; fatal when absent. */
+    NonlinearFnPtr Get(const std::string& name) const;
+
+    /** Registers every function referenced by a network spec. */
+    void RegisterAll(const NetworkSpec& spec);
+
+    std::size_t Size() const { return by_name_.size(); }
+
+  private:
+    std::map<std::string, NonlinearFnPtr> by_name_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_PROGRAM_SOLVER_PROGRAM_H_

@@ -1,0 +1,97 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+CliFlags::CliFlags(int argc, char** argv)
+{
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string
+CliFlags::GetString(const std::string& name, const std::string& def)
+{
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+CliFlags::GetInt(const std::string& name, std::int64_t def)
+{
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    CENN_FATAL("flag --", name, " expects an integer, got '", it->second, "'");
+  }
+  return v;
+}
+
+double
+CliFlags::GetDouble(const std::string& name, double def)
+{
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    CENN_FATAL("flag --", name, " expects a number, got '", it->second, "'");
+  }
+  return v;
+}
+
+bool
+CliFlags::GetBool(const std::string& name, bool def)
+{
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no") {
+    return false;
+  }
+  CENN_FATAL("flag --", name, " expects a boolean, got '", v, "'");
+}
+
+void
+CliFlags::Validate() const
+{
+  for (const auto& [name, value] : values_) {
+    if (!queried_.contains(name)) {
+      CENN_FATAL("unknown flag --", name);
+    }
+  }
+}
+
+}  // namespace cenn

@@ -1,0 +1,57 @@
+#ifndef CENN_UTIL_CLI_H_
+#define CENN_UTIL_CLI_H_
+
+/**
+ * @file
+ * Minimal command-line flag parser for the example and bench programs.
+ *
+ * Accepts flags of the form `--name=value` or `--name value`, plus bare
+ * `--name` for booleans. Unknown flags are fatal so that typos in
+ * experiment scripts fail loudly.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+/** Parsed command-line flags with typed accessors and defaults. */
+class CliFlags
+{
+  public:
+    /**
+     * Parses argv. Flags must be registered (via the Get* default calls
+     * in `allowed`) before Validate() is called; positional arguments
+     * are collected in order.
+     */
+    CliFlags(int argc, char** argv);
+
+    /** Returns the string flag value or `def` when absent. */
+    std::string GetString(const std::string& name, const std::string& def);
+
+    /** Returns the integer flag value or `def`; fatal on parse failure. */
+    std::int64_t GetInt(const std::string& name, std::int64_t def);
+
+    /** Returns the double flag value or `def`; fatal on parse failure. */
+    double GetDouble(const std::string& name, double def);
+
+    /** Returns the boolean flag (bare `--flag` means true) or `def`. */
+    bool GetBool(const std::string& name, bool def);
+
+    /** Positional (non-flag) arguments in order of appearance. */
+    const std::vector<std::string>& Positional() const { return positional_; }
+
+    /** Fatal if any provided flag was never queried (catches typos). */
+    void Validate() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::map<std::string, bool> queried_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_UTIL_CLI_H_

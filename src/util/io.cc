@@ -1,0 +1,127 @@
+#include "util/io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+/** Returns (min, max) over the field, ignoring non-finite values. */
+std::pair<double, double>
+DataRange(std::span<const double> field)
+{
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : field) {
+    if (!std::isfinite(v)) {
+      continue;
+    }
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo > hi) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (hi == lo) {
+    hi = lo + 1.0;
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+bool
+WritePgm(const std::string& path, std::span<const double> field,
+         std::size_t rows, std::size_t cols, double lo, double hi)
+{
+  if (field.size() != rows * cols) {
+    CENN_FATAL("WritePgm: field size ", field.size(), " != ", rows, "x", cols);
+  }
+  if (lo >= hi) {
+    std::tie(lo, hi) = DataRange(field);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    CENN_WARN("WritePgm: cannot open ", path);
+    return false;
+  }
+  std::fprintf(f, "P5\n%zu %zu\n255\n", cols, rows);
+  std::vector<unsigned char> line(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      double v = field[r * cols + c];
+      if (!std::isfinite(v)) {
+        v = lo;
+      }
+      const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+      line[c] = static_cast<unsigned char>(std::lround(t * 255.0));
+    }
+    std::fwrite(line.data(), 1, cols, f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool
+WriteCsv(const std::string& path, const std::vector<std::string>& header,
+         const std::vector<std::vector<double>>& rows)
+{
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    CENN_WARN("WriteCsv: cannot open ", path);
+    return false;
+  }
+  if (!header.empty()) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      std::fprintf(f, "%s%s", header[i].c_str(),
+                   i + 1 < header.size() ? "," : "\n");
+    }
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(f, "%.17g%s", row[i], i + 1 < row.size() ? "," : "\n");
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::string
+AsciiHeatmap(std::span<const double> field, std::size_t rows, std::size_t cols,
+             std::size_t max_side)
+{
+  if (field.size() != rows * cols || rows == 0 || cols == 0) {
+    return "";
+  }
+  static const char kRamp[] = " .:-=+*#%@";
+  const std::size_t n_ramp = sizeof(kRamp) - 2;
+
+  const auto [lo, hi] = DataRange(field);
+  const std::size_t out_rows = std::min(rows, max_side);
+  const std::size_t out_cols = std::min(cols, max_side);
+
+  std::string out;
+  out.reserve(out_rows * (out_cols + 1));
+  for (std::size_t r = 0; r < out_rows; ++r) {
+    const std::size_t rr = r * rows / out_rows;
+    for (std::size_t c = 0; c < out_cols; ++c) {
+      const std::size_t cc = c * cols / out_cols;
+      double v = field[rr * cols + cc];
+      if (!std::isfinite(v)) {
+        v = lo;
+      }
+      const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+      out += kRamp[static_cast<std::size_t>(t * static_cast<double>(n_ramp))];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cenn

@@ -1,0 +1,46 @@
+#ifndef CENN_UTIL_IO_H_
+#define CENN_UTIL_IO_H_
+
+/**
+ * @file
+ * Output helpers for example programs: PGM images of 2-D fields,
+ * CSV dumps of time series, and a coarse ASCII heatmap renderer.
+ */
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+/**
+ * Writes a 2-D field (row-major, `rows x cols`) as an 8-bit binary PGM.
+ *
+ * Values are linearly rescaled from [lo, hi] to [0, 255]; when lo >= hi
+ * the range is taken from the data itself.
+ *
+ * @return true on success, false on I/O failure (a warning is logged).
+ */
+bool WritePgm(const std::string& path, std::span<const double> field,
+              std::size_t rows, std::size_t cols, double lo = 0.0,
+              double hi = -1.0);
+
+/**
+ * Writes rows of doubles to a CSV file with an optional header line.
+ *
+ * @return true on success.
+ */
+bool WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<double>>& rows);
+
+/**
+ * Renders a 2-D field as an ASCII heatmap (downsampled to at most
+ * `max_side` characters per side) using a luminance ramp.
+ */
+std::string AsciiHeatmap(std::span<const double> field, std::size_t rows,
+                         std::size_t cols, std::size_t max_side = 48);
+
+}  // namespace cenn
+
+#endif  // CENN_UTIL_IO_H_

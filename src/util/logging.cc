@@ -1,0 +1,67 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cenn {
+namespace {
+
+LogLevel g_log_level = LogLevel::kWarn;
+
+}  // namespace
+
+LogLevel
+GetLogLevel()
+{
+  return g_log_level;
+}
+
+void
+SetLogLevel(LogLevel level)
+{
+  g_log_level = level;
+}
+
+namespace internal {
+
+[[noreturn]] void
+FatalImpl(const char* file, int line, const std::string& msg)
+{
+  std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+  std::fflush(stderr);
+  std::exit(1);
+}
+
+[[noreturn]] void
+PanicImpl(const char* file, int line, const std::string& msg)
+{
+  std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void
+LogImpl(LogLevel level, const std::string& msg)
+{
+  if (level > g_log_level) {
+    return;
+  }
+  const char* tag = "info";
+  switch (level) {
+    case LogLevel::kWarn:
+      tag = "warn";
+      break;
+    case LogLevel::kInform:
+      tag = "info";
+      break;
+    case LogLevel::kDebug:
+      tag = "debug";
+      break;
+    default:
+      break;
+  }
+  std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace cenn

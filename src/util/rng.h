@@ -1,0 +1,55 @@
+#ifndef CENN_UTIL_RNG_H_
+#define CENN_UTIL_RNG_H_
+
+/**
+ * @file
+ * Deterministic, seedable random number generation.
+ *
+ * All stochastic choices in the library (initial conditions, noise
+ * injection, synthetic workloads) go through Rng so that every experiment
+ * is reproducible from its seed. The engine is xoshiro256**, which is
+ * fast, has a 256-bit state, and is identical across platforms (unlike
+ * std::normal_distribution, whose output is implementation-defined).
+ */
+
+#include <cstdint>
+
+namespace cenn {
+
+/** Deterministic xoshiro256** engine with convenience distributions. */
+class Rng
+{
+  public:
+    /** Constructs an engine from a 64-bit seed via SplitMix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Returns the next raw 64-bit value. */
+    std::uint64_t NextU64();
+
+    /** Returns a double uniformly distributed in [0, 1). */
+    double NextDouble();
+
+    /** Returns a double uniformly distributed in [lo, hi). */
+    double Uniform(double lo, double hi);
+
+    /** Returns a standard-normal variate (Box-Muller, deterministic). */
+    double Gaussian();
+
+    /** Returns a normal variate with the given mean and stddev. */
+    double Gaussian(double mean, double stddev);
+
+    /** Returns an integer uniformly distributed in [0, n). Requires n > 0. */
+    std::uint64_t NextBelow(std::uint64_t n);
+
+    /** Returns true with probability p (clamped to [0, 1]). */
+    bool Bernoulli(double p);
+
+  private:
+    std::uint64_t state_[4];
+    bool has_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_UTIL_RNG_H_

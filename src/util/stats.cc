@@ -1,0 +1,96 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+void
+RunningStat::Add(double x)
+{
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void
+RunningStat::Merge(const RunningStat& other)
+{
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::Reset()
+{
+  *this = RunningStat();
+}
+
+double
+RunningStat::Variance() const
+{
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::Stddev() const
+{
+  return std::sqrt(Variance());
+}
+
+ErrorSummary
+CompareFields(std::span<const double> a, std::span<const double> b)
+{
+  if (a.size() != b.size()) {
+    CENN_FATAL("CompareFields: size mismatch (", a.size(), " vs ", b.size(),
+               ")");
+  }
+  RunningStat abs_stat;
+  double sq_sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    abs_stat.Add(std::abs(d));
+    sq_sum += d * d;
+  }
+  ErrorSummary out;
+  out.count = a.size();
+  out.mean_abs = abs_stat.Mean();
+  out.std_abs = abs_stat.Stddev();
+  out.max_abs = a.empty() ? 0.0 : abs_stat.Max();
+  out.rms = a.empty() ? 0.0 : std::sqrt(sq_sum / static_cast<double>(a.size()));
+  return out;
+}
+
+std::string
+FormatError(const ErrorSummary& e)
+{
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "avg=%.3e std=%.3e max=%.3e", e.mean_abs,
+                e.std_abs, e.max_abs);
+  return buf;
+}
+
+}  // namespace cenn

@@ -1,0 +1,86 @@
+#ifndef CENN_UTIL_STATS_H_
+#define CENN_UTIL_STATS_H_
+
+/**
+ * @file
+ * Streaming statistics accumulators used by the accuracy experiments
+ * (Fig. 11 error tables) and by the architecture simulator's counters.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+namespace cenn {
+
+/**
+ * Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+ *
+ * Numerically stable for long runs; O(1) memory.
+ */
+class RunningStat
+{
+  public:
+    /** Adds one sample. */
+    void Add(double x);
+
+    /** Merges another accumulator into this one. */
+    void Merge(const RunningStat& other);
+
+    /** Resets to the empty state. */
+    void Reset();
+
+    /** Number of samples added. */
+    std::size_t Count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+    /** Population variance; 0 when fewer than 2 samples. */
+    double Variance() const;
+
+    /** Population standard deviation. */
+    double Stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double Min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double Max() const { return max_; }
+
+    /** Sum of all samples. */
+    double Sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Summary of the absolute element-wise error between two fields. */
+struct ErrorSummary {
+  double mean_abs = 0.0;    ///< mean |a_i - b_i|
+  double std_abs = 0.0;     ///< stddev of |a_i - b_i|
+  double max_abs = 0.0;     ///< max |a_i - b_i|
+  double rms = 0.0;         ///< sqrt(mean (a_i - b_i)^2)
+  std::size_t count = 0;    ///< number of compared elements
+};
+
+/**
+ * Compares two equal-length spans element-wise.
+ *
+ * @return the absolute-error summary; fatal if lengths differ.
+ */
+ErrorSummary CompareFields(std::span<const double> a,
+                           std::span<const double> b);
+
+/** Formats an ErrorSummary as "avg=… std=… max=…" for table rows. */
+std::string FormatError(const ErrorSummary& e);
+
+}  // namespace cenn
+
+#endif  // CENN_UTIL_STATS_H_

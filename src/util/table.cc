@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::AddRow(std::vector<std::string> cells)
+{
+  if (cells.size() > headers_.size()) {
+    CENN_FATAL("TextTable row has ", cells.size(), " cells but only ",
+               headers_.size(), " columns");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::Num(double v)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string
+TextTable::Num(double v, const char* fmt)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string
+TextTable::Int(long long v)
+{
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string
+TextTable::ToString() const
+{
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) {
+        line += "  ";
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    sep.append(widths[c], '-');
+    if (c + 1 < widths.size()) {
+      sep += "  ";
+    }
+  }
+  out += sep + '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void
+TextTable::Print() const
+{
+  std::fputs(ToString().c_str(), stdout);
+}
+
+}  // namespace cenn

@@ -1,0 +1,48 @@
+#ifndef CENN_UTIL_TABLE_H_
+#define CENN_UTIL_TABLE_H_
+
+/**
+ * @file
+ * Column-aligned ASCII table printer used by the benchmark harnesses to
+ * render the paper's tables and figure series on stdout.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends a row; missing cells render empty, extras are fatal. */
+    void AddRow(std::vector<std::string> cells);
+
+    /** Convenience: formats a double with %.4g. */
+    static std::string Num(double v);
+
+    /** Convenience: formats a double with the given printf format. */
+    static std::string Num(double v, const char* fmt);
+
+    /** Convenience: formats an integer. */
+    static std::string Int(long long v);
+
+    /** Renders the table (header, separator, rows) to a string. */
+    std::string ToString() const;
+
+    /** Prints the table to stdout. */
+    void Print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_UTIL_TABLE_H_

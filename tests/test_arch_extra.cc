@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Additional architecture-simulator tests: partial sub-blocks on
+ * non-multiple-of-8 grids, functional invariance across memory types,
+ * the paper's RD cycle count (36 cycles per sub-block), recommended
+ * configuration scaling and report consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/simulator.h"
+#include "lut/lut_evaluator.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "models/heat.h"
+#include "program/bitstream.h"
+
+namespace cenn {
+namespace {
+
+TEST(ArchExtraTest, ReactionDiffusionMatchesPaperTemplateCount)
+{
+  // Fig. 3's RD example: 2 layers, 3x3 kernels, all four layer pairs
+  // programmed -> 36 broadcast cycles per sub-block per step.
+  ModelConfig mc;
+  mc.rows = 8;
+  mc.cols = 8;  // exactly one sub-block
+  const auto model = MakeModel("reaction_diffusion", mc);
+  ArchSimulator sim(MakeProgram(*model), ArchConfig{});
+  sim.Run(1);
+  // 36 template-broadcast cycles plus one per offset (z) term.
+  const SolverProgram program = MakeProgram(*model);
+  std::uint64_t offsets = 0;
+  for (const auto& layer : program.spec.layers) {
+    offsets += layer.offset_terms.size();
+  }
+  EXPECT_EQ(sim.Report().compute_cycles, 36u + offsets);
+}
+
+TEST(ArchExtraTest, PartialSubBlocksHandleOddGrids)
+{
+  // 20x12 is not a multiple of 8: 3x2 sub-block tiles with ragged
+  // edges. The simulator must still be bit-exact with the engine.
+  ModelConfig mc;
+  mc.rows = 20;
+  mc.cols = 12;
+  const auto model = MakeModel("fisher", mc);
+  const SolverProgram program = MakeProgram(*model);
+  ArchSimulator sim(program, ArchConfig{});
+  sim.Run(10);
+
+  auto bank =
+      std::make_shared<const LutBank>(program.spec, program.lut_config);
+  MultilayerCenn<Fixed32> engine(
+      program.spec, std::make_shared<LutEvaluatorFixed>(bank));
+  engine.Run(10);
+  const auto& a = sim.Engine().State(0);
+  const auto& b = engine.State(0);
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    ASSERT_EQ(a.Data()[i].raw(), b.Data()[i].raw());
+  }
+  // 6 tiles x 9 cycles x (1 pair) per step for one layer... fisher has
+  // 1 layer with 2 couplings merged into 1 state pair -> 9 cycles/tile.
+  EXPECT_EQ(sim.Report().compute_cycles, 10u * 6u * 9u);
+}
+
+TEST(ArchExtraTest, MacCountScalesWithActiveCells)
+{
+  // A ragged grid has fewer active PEs in edge tiles; MAC counts must
+  // track cells, not tile capacity.
+  ModelConfig mc;
+  mc.rows = 8;
+  mc.cols = 8;
+  const auto model8 = MakeModel("heat", mc);
+  ArchSimulator sim8(MakeProgram(*model8), ArchConfig{});
+  sim8.Run(1);
+
+  mc.rows = 4;
+  mc.cols = 4;
+  const auto model4 = MakeModel("heat", mc);
+  ArchSimulator sim4(MakeProgram(*model4), ArchConfig{});
+  sim4.Run(1);
+
+  EXPECT_EQ(sim8.Report().activity.mac_ops, 9u * 64u);
+  EXPECT_EQ(sim4.Report().activity.mac_ops, 9u * 16u);
+}
+
+TEST(ArchExtraTest, FunctionalResultIndependentOfMemoryType)
+{
+  // Memory configuration changes timing only; the computed states must
+  // be identical bit for bit.
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  const auto model = MakeModel("izhikevich", mc);
+  const SolverProgram program = MakeProgram(*model);
+
+  std::vector<std::vector<double>> results;
+  for (MemoryType m :
+       {MemoryType::kDdr3, MemoryType::kHmcInt, MemoryType::kHmcExt}) {
+    ArchConfig config;
+    config.memory = MemoryParams::ForType(m);
+    ArchSimulator sim(program, config);
+    sim.Run(50);
+    results.push_back(sim.StateDoubles(0));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ArchExtraTest, RecommendedConfigKeepsDefaultsForPolynomialPrograms)
+{
+  ModelConfig mc;
+  mc.rows = 8;
+  mc.cols = 8;
+  // NS uses only identity (poly, LUT-free by default) -> no scaling.
+  const SolverProgram ns = MakeProgram(*MakeModel("navier_stokes", mc));
+  const ArchConfig cfg = RecommendedArchConfig(ns);
+  EXPECT_EQ(cfg.l1_blocks, ArchConfig{}.l1_blocks);
+  EXPECT_EQ(cfg.l2_entries, ArchConfig{}.l2_entries);
+}
+
+TEST(ArchExtraTest, RecommendedConfigScalesForManyLutFunctions)
+{
+  ModelConfig mc;
+  mc.rows = 8;
+  mc.cols = 8;
+  // HH has 7 LUT-resident functions (6 rates + quartic).
+  const SolverProgram hh = MakeProgram(*MakeModel("hodgkin_huxley", mc));
+  const ArchConfig cfg = RecommendedArchConfig(hh);
+  EXPECT_GE(cfg.l1_blocks, 14);
+  EXPECT_GE(cfg.l2_entries, 56);
+  // Power of two preserved for the L2 hash.
+  EXPECT_EQ(cfg.l2_entries & (cfg.l2_entries - 1), 0);
+}
+
+TEST(ArchExtraTest, StreamWordsAccountForLayersAndInputs)
+{
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  // heat: 1 layer, no input. izhikevich: 2 layers + 1 input map.
+  const SolverProgram heat = MakeProgram(*MakeModel("heat", mc));
+  const SolverProgram izh = MakeProgram(*MakeModel("izhikevich", mc));
+  ArchSimulator s1(heat, ArchConfig{});
+  ArchSimulator s2(izh, ArchConfig{});
+  EXPECT_GT(s2.StreamWordsPerStep(), 2 * s1.StreamWordsPerStep());
+}
+
+TEST(ArchExtraTest, ReportStringContainsKeyFields)
+{
+  ModelConfig mc;
+  mc.rows = 8;
+  mc.cols = 8;
+  ArchSimulator sim(MakeProgram(*MakeModel("heat", mc)), ArchConfig{});
+  sim.Run(2);
+  const std::string s = sim.Report().ToString(600e6);
+  EXPECT_NE(s.find("steps=2"), std::string::npos);
+  EXPECT_NE(s.find("GOPS"), std::string::npos);
+  EXPECT_NE(s.find("mrL1"), std::string::npos);
+}
+
+TEST(ArchExtraTest, CyclesAccumulateLinearlyForStationaryWorkload)
+{
+  // Heat's timing has no data-dependent stalls: cycles per step are
+  // constant, so 20 steps cost exactly twice 10 steps.
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  const SolverProgram program = MakeProgram(*MakeModel("heat", mc));
+  ArchSimulator a(program, ArchConfig{});
+  ArchSimulator b(program, ArchConfig{});
+  a.Run(10);
+  b.Run(20);
+  EXPECT_EQ(2 * a.Report().total_cycles, b.Report().total_cycles);
+}
+
+TEST(ArchExtraTest, HmcExtClockHintRaisesPeClock)
+{
+  ArchConfig config;
+  config.memory = MemoryParams::HmcExt();
+  config.pe_clock_hz = config.memory.pe_clock_hint_hz;
+  EXPECT_DOUBLE_EQ(config.pe_clock_hz, 2.5e9);
+  ModelConfig mc;
+  mc.rows = 8;
+  mc.cols = 8;
+  ArchSimulator sim(MakeProgram(*MakeModel("heat", mc)), config);
+  sim.Run(4);
+  // Same cycle count as at 600 MHz, but ~4.2x less wall time.
+  ArchSimulator slow(MakeProgram(*MakeModel("heat", mc)), ArchConfig{});
+  slow.Run(4);
+  EXPECT_LT(sim.Report().Seconds(config.pe_clock_hz),
+            slow.Report().Seconds(600e6));
+}
+
+TEST(ArchExtraTest, FiveByFiveKernelThroughWholeStack)
+{
+  // 4th-order heat: mapper emits a 5x5 kernel; the merged hardware
+  // template becomes 5x5 (25 broadcast cycles per pair), the bitstream
+  // carries side-5 kernels, and the simulator stays bit-exact.
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  HeatModel model(mc);
+  EquationSystem sys = model.System();
+  sys.equations[0].terms[0].op = SpatialOp::kLaplacian4th;
+  sys.dt = 0.05;
+
+  SolverProgram program;
+  program.spec = Mapper::Map(sys);
+  EXPECT_EQ(program.spec.MaxKernelSide(), 5);
+
+  // Bitstream round trip with a 5x5 kernel.
+  FunctionRegistry registry;
+  const auto bits = SerializeProgram(program);
+  const SolverProgram loaded = DeserializeProgram(bits, registry);
+  EXPECT_EQ(loaded.spec.MaxKernelSide(), 5);
+
+  // Cycle accounting: one layer, one merged state pair of side 5 ->
+  // 25 cycles per sub-block; 4 sub-blocks.
+  ArchSimulator sim(program, ArchConfig{});
+  sim.Run(2);
+  EXPECT_EQ(sim.Report().compute_cycles, 2u * 4u * 25u);
+
+  // Functional equivalence with the plain engine.
+  MultilayerCenn<Fixed32> engine(program.spec);
+  engine.Run(2);
+  const auto& a = sim.Engine().State(0);
+  const auto& b = engine.State(0);
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    ASSERT_EQ(a.Data()[i].raw(), b.Data()[i].raw());
+  }
+}
+
+TEST(ArchExtraTest, SaturatingStatesDoNotCrashTheSolver)
+{
+  // A runaway system pushes Q16.16 states into saturation; the solver
+  // must clamp gracefully (no UB, states stuck at the rails).
+  NetworkSpec spec;
+  spec.name = "runaway";
+  spec.rows = 8;
+  spec.cols = 8;
+  spec.dt = 1.0;
+  LayerSpec layer;
+  layer.has_self_decay = false;
+  Coupling c;
+  c.kind = CouplingKind::kState;
+  c.src_layer = 0;
+  c.kernel = TemplateKernel::Center(TemplateWeight::Constant(3.0));
+  layer.couplings.push_back(c);
+  layer.initial_state.assign(64, 100.0);
+  spec.layers.push_back(layer);
+
+  MultilayerCenn<Fixed32> net(spec);
+  net.Run(20);  // 100 * 3^20 would overflow wildly
+  for (double v : net.StateDoubles(0)) {
+    EXPECT_LE(v, Fixed32::Max().ToDouble());
+    EXPECT_DOUBLE_EQ(v, Fixed32::Max().ToDouble());
+  }
+}
+
+TEST(DramChannelTest, BackToBackFetchesSerializeOnOneChannel)
+{
+  DramChannelModel dram(2, /*service=*/4, /*latency=*/30);
+  // Two fetches at the same instant on channel 0: second waits.
+  EXPECT_EQ(dram.Issue(0, 100), 100u + 30u + 4u);
+  EXPECT_EQ(dram.Issue(0, 100), 104u + 30u + 4u);
+  // Channel 1 is independent.
+  EXPECT_EQ(dram.Issue(1, 100), 100u + 30u + 4u);
+  EXPECT_EQ(dram.Fetches()[0], 2u);
+  EXPECT_EQ(dram.Fetches()[1], 1u);
+}
+
+TEST(DramChannelTest, IdleGapsAreNotCharged)
+{
+  DramChannelModel dram(1, 4, 30);
+  dram.Issue(0, 0);
+  // Much later request: channel long free, no queueing.
+  EXPECT_EQ(dram.Issue(0, 1000), 1000u + 34u);
+  EXPECT_EQ(dram.BusyCycles()[0], 8u);
+  EXPECT_NEAR(dram.PeakUtilization(1034), 8.0 / 1034.0, 1e-12);
+}
+
+TEST(DramChannelTest, MoreChannelsSpreadLoad)
+{
+  // The simulator exposes the model: a LUT-miss-heavy run on one
+  // channel must accumulate more DRAM stall than on sixteen.
+  ModelConfig mc;
+  mc.rows = 32;
+  mc.cols = 32;
+  const auto model = MakeModel("navier_stokes", mc);
+  const SolverProgram program = MakeProgram(*model);
+  ArchConfig one;
+  one.lut_for_polynomials = true;
+  one.memory = MemoryParams::HmcInt();
+  one.memory.channels = 1;
+  ArchConfig sixteen = one;
+  sixteen.memory.channels = 16;
+  ArchSimulator s1(program, one);
+  ArchSimulator s16(program, sixteen);
+  s1.Run(10);
+  s16.Run(10);
+  EXPECT_GT(s1.Report().stall_dram_cycles,
+            s16.Report().stall_dram_cycles);
+  EXPECT_EQ(s1.DramChannels().NumChannels(), 1);
+  EXPECT_EQ(s16.DramChannels().NumChannels(), 16);
+}
+
+TEST(DramChannelTest, BadChannelCountDies)
+{
+  EXPECT_DEATH(DramChannelModel(0, 1, 1), "at least one channel");
+}
+
+}  // namespace
+}  // namespace cenn

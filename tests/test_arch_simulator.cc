@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Architecture-simulator tests: functional equivalence with the
+ * fixed-point engine, cycle-accounting sanity, dataflow mode selection,
+ * memory-type orderings and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/dataflow.h"
+#include "arch/simulator.h"
+#include "lut/lut_evaluator.h"
+#include "models/benchmark_model.h"
+
+namespace cenn {
+namespace {
+
+ModelConfig
+SmallConfig()
+{
+  ModelConfig c;
+  c.rows = 16;
+  c.cols = 16;
+  c.seed = 3;
+  return c;
+}
+
+TEST(ArchSimulatorTest, FunctionalOutputMatchesFixedEngineBitExact)
+{
+  for (const char* name : {"heat", "izhikevich", "navier_stokes"}) {
+    const auto model = MakeModel(name, SmallConfig());
+    const SolverProgram program = MakeProgram(*model);
+
+    ArchSimulator sim(program, ArchConfig{});
+
+    auto bank = std::make_shared<const LutBank>(program.spec,
+                                                program.lut_config);
+    MultilayerCenn<Fixed32> engine(
+        program.spec, std::make_shared<LutEvaluatorFixed>(bank));
+
+    sim.Run(20);
+    engine.Run(20);
+
+    for (int l = 0; l < program.spec.NumLayers(); ++l) {
+      const auto& a = sim.Engine().State(l);
+      const auto& b = engine.State(l);
+      for (std::size_t i = 0; i < a.Size(); ++i) {
+        ASSERT_EQ(a.Data()[i].raw(), b.Data()[i].raw())
+            << name << " layer " << l << " cell " << i;
+      }
+    }
+  }
+}
+
+TEST(ArchSimulatorTest, PolynomialWeightsAreLutFreeByDefault)
+{
+  // identity/square/cube are degree-<=3 polynomials: with the default
+  // template-resident-coefficient TUM path they cost no LUT traffic.
+  const auto model = MakeModel("navier_stokes", SmallConfig());
+  ArchSimulator sim(MakeProgram(*model), ArchConfig{});
+  sim.Run(5);
+  EXPECT_EQ(sim.Report().activity.l1_accesses, 0u);
+  EXPECT_GT(sim.Report().activity.tum_evals, 0u);
+}
+
+TEST(ArchSimulatorTest, LinearModelHasNoLutTraffic)
+{
+  const auto model = MakeModel("heat", SmallConfig());
+  ArchSimulator sim(MakeProgram(*model), ArchConfig{});
+  sim.Run(5);
+  const SimReport& r = sim.Report();
+  EXPECT_EQ(r.activity.l1_accesses, 0u);
+  EXPECT_EQ(r.activity.lut_dram_fetches, 0u);
+  EXPECT_EQ(r.stall_l2_cycles, 0u);
+  EXPECT_EQ(r.stall_dram_cycles, 0u);
+  EXPECT_GT(r.compute_cycles, 0u);
+  EXPECT_GT(r.total_cycles, 0u);
+}
+
+TEST(ArchSimulatorTest, HeatComputeCyclesMatchPaperFormula)
+{
+  // 16x16 grid = 4 sub-blocks; 1 layer => N^2 = 1 state template of
+  // 3x3 => 9 cycles per sub-block per step (Section 5.2).
+  const auto model = MakeModel("heat", SmallConfig());
+  ArchSimulator sim(MakeProgram(*model), ArchConfig{});
+  sim.Run(10);
+  EXPECT_EQ(sim.Report().compute_cycles, 10u * 4u * 9u);
+}
+
+TEST(ArchSimulatorTest, NonlinearModelProducesLutTraffic)
+{
+  const auto model = MakeModel("navier_stokes", SmallConfig());
+  ArchConfig config;
+  config.lut_for_polynomials = true;  // Fig. 12 style LUT accounting
+  ArchSimulator sim(MakeProgram(*model), config);
+  sim.Run(5);
+  const SimReport& r = sim.Report();
+  EXPECT_GT(r.activity.l1_accesses, 0u);
+  EXPECT_GT(r.activity.tum_evals, 0u);
+}
+
+TEST(ArchSimulatorTest, TotalCyclesAtLeastMaxOfPipelines)
+{
+  const auto model = MakeModel("reaction_diffusion", SmallConfig());
+  ArchSimulator sim(MakeProgram(*model), ArchConfig{});
+  sim.Run(3);
+  const SimReport& r = sim.Report();
+  EXPECT_GE(r.total_cycles, r.memory_cycles);
+  EXPECT_GE(r.total_cycles, r.compute_cycles);
+}
+
+TEST(ArchSimulatorTest, HmcIsFasterThanDdr3OnMissHeavyWorkload)
+{
+  const auto model = MakeModel("navier_stokes", SmallConfig());
+  const SolverProgram program = MakeProgram(*model);
+
+  ArchConfig ddr3;
+  ddr3.lut_for_polynomials = true;
+  ddr3.memory = MemoryParams::Ddr3();
+  ArchConfig hmc_int = ddr3;
+  hmc_int.memory = MemoryParams::HmcInt();
+  ArchConfig hmc_ext = ddr3;
+  hmc_ext.memory = MemoryParams::HmcExt();
+
+  ArchSimulator s1(program, ddr3);
+  ArchSimulator s2(program, hmc_int);
+  ArchSimulator s3(program, hmc_ext);
+  s1.Run(10);
+  s2.Run(10);
+  s3.Run(10);
+
+  EXPECT_LT(s2.Report().total_cycles, s1.Report().total_cycles);
+  EXPECT_LE(s3.Report().total_cycles, s2.Report().total_cycles);
+}
+
+TEST(ArchSimulatorTest, BiggerL1ReducesMissRate)
+{
+  const auto model = MakeModel("navier_stokes", SmallConfig());
+  const SolverProgram program = MakeProgram(*model);
+
+  ArchConfig small;
+  small.lut_for_polynomials = true;
+  small.l1_blocks = 2;
+  ArchConfig big;
+  big.lut_for_polynomials = true;
+  big.l1_blocks = 32;
+
+  ArchSimulator s1(program, small);
+  ArchSimulator s2(program, big);
+  s1.Run(10);
+  s2.Run(10);
+  EXPECT_GT(s1.Report().activity.L1MissRate(),
+            s2.Report().activity.L2MissRate() * 0.0);  // defined
+  EXPECT_LE(s2.Report().activity.L1MissRate(),
+            s1.Report().activity.L1MissRate());
+}
+
+TEST(DataflowTest, ModeSelectionMatchesPaperRules)
+{
+  // 3x3 kernel: conv ids 0..8 -> modes 0,1,1,2,3,3,2,3,3 (Fig. 10).
+  const int expected[] = {0, 1, 1, 2, 3, 3, 2, 3, 3};
+  for (int id = 0; id < 9; ++id) {
+    EXPECT_EQ(DataflowMode(id, 3), expected[id]) << "conv_id " << id;
+  }
+  EXPECT_EQ(DataflowMode(0, 5), 0);
+  EXPECT_EQ(DataflowMode(4, 5), 1);
+  EXPECT_EQ(DataflowMode(5, 5), 2);
+  EXPECT_EQ(DataflowMode(7, 5), 3);
+}
+
+TEST(DataflowTest, OsReducesDramAccessesByPeCount)
+{
+  const double non_os = DramAccessesPerStepNonOs(0.5, 0.2, 1 << 20, 1);
+  const double os = DramAccessesPerStepOs(0.5, 0.2, 1 << 20, 1, 64);
+  EXPECT_DOUBLE_EQ(non_os / os, 64.0);
+}
+
+TEST(DataflowTest, PaperExampleNumbers)
+{
+  // Section 5.1: mr product 0.1, 1M inputs, one updating template ->
+  // ~100K accesses non-OS, ~1.6K with 64 PEs.
+  const double non_os = DramAccessesPerStepNonOs(0.1, 1.0, 1 << 20, 1);
+  EXPECT_NEAR(non_os, 104857.6, 1.0);
+  const double os = DramAccessesPerStepOs(0.1, 1.0, 1 << 20, 1, 64);
+  EXPECT_NEAR(os, 1638.4, 0.1);
+}
+
+TEST(ArchConfigTest, ValidateCatchesBadConfigs)
+{
+  ArchConfig bad;
+  bad.num_l2 = 7;  // does not divide 64
+  EXPECT_DEATH(bad.Validate(), "must divide");
+
+  ArchConfig bad2;
+  bad2.l2_entries = 33;
+  EXPECT_DEATH(bad2.Validate(), "power of two");
+}
+
+TEST(ArchConfigTest, MemoryPresetsHaveExpectedShape)
+{
+  const auto ddr3 = MemoryParams::Ddr3();
+  const auto hmc_int = MemoryParams::HmcInt();
+  const auto hmc_ext = MemoryParams::HmcExt();
+  EXPECT_EQ(ddr3.channels, 2);
+  EXPECT_EQ(hmc_int.channels, 16);
+  EXPECT_EQ(hmc_ext.channels, 16);
+  EXPECT_GT(hmc_int.PeakBandwidth(), ddr3.PeakBandwidth());
+  EXPECT_GT(hmc_ext.PeakBandwidth(), hmc_int.PeakBandwidth());
+  EXPECT_LT(hmc_int.energy_pj_per_bit, ddr3.energy_pj_per_bit);
+}
+
+}  // namespace
+}  // namespace cenn

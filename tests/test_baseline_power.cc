@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the CPU/GPU roofline baselines (workload extraction,
+ * roofline arithmetic, monotonicity) and the power/energy model
+ * (Tables 1-2 constants, scaling, activity-ratio energy accounting,
+ * Table 3 rows).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/simulator.h"
+#include "baseline/platform_model.h"
+#include "baseline/workload.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "power/power_model.h"
+
+namespace cenn {
+namespace {
+
+NetworkSpec
+TinySpec(const char* model)
+{
+  ModelConfig config;
+  config.rows = 16;
+  config.cols = 16;
+  return MakeProgram(*MakeModel(model, config)).spec;
+}
+
+// ---- WorkloadProfile ----------------------------------------------------
+
+TEST(WorkloadTest, HeatProfileCountsMatchHand)
+{
+  const WorkloadProfile w = WorkloadProfile::FromSpec(TinySpec("heat"));
+  EXPECT_EQ(w.cells, 256u);
+  EXPECT_EQ(w.layers, 1);
+  // 5 nonzero stencil weights + center compensation merge into one
+  // kernel: 5 nonzero entries.
+  EXPECT_EQ(w.macs_per_step, 256u * 5u);
+  EXPECT_EQ(w.nonlinear_evals_per_step, 0u);
+  // read + write one layer, no inputs: 2 * cells * 4 bytes.
+  EXPECT_EQ(w.bytes_per_step, 256u * 2u * 4u);
+}
+
+TEST(WorkloadTest, NonlinearModelCountsEvals)
+{
+  const WorkloadProfile w =
+      WorkloadProfile::FromSpec(TinySpec("izhikevich"));
+  EXPECT_EQ(w.layers, 2);
+  EXPECT_GT(w.nonlinear_evals_per_step, 0u);
+  // Izhikevich reads an input field: 2 reads + 2 writes + 1 input.
+  EXPECT_EQ(w.bytes_per_step, 256u * 5u * 4u);
+}
+
+TEST(WorkloadTest, OpsPerStepComposition)
+{
+  WorkloadProfile w;
+  w.macs_per_step = 10;
+  w.nonlinear_evals_per_step = 3;
+  w.simple_ops_per_step = 4;
+  EXPECT_EQ(w.OpsPerStep(), 2u * 10u + 3u + 4u);
+}
+
+// ---- PlatformModel -------------------------------------------------------
+
+TEST(PlatformModelTest, RooflineTakesMaxOfComputeAndMemory)
+{
+  PlatformModel m;
+  m.peak_flops = 1e9;
+  m.compute_efficiency = 1.0;
+  m.mem_bandwidth = 1e9;
+  m.mem_efficiency = 1.0;
+  m.nonlinear_flop_cost = 1.0;
+
+  WorkloadProfile compute_heavy;
+  compute_heavy.macs_per_step = 1000000;  // 2 MFLOP -> 2 ms
+  compute_heavy.bytes_per_step = 1000;    // 1 us
+  EXPECT_NEAR(m.StepTime(compute_heavy), 2e-3, 1e-9);
+
+  WorkloadProfile mem_heavy;
+  mem_heavy.macs_per_step = 10;
+  mem_heavy.bytes_per_step = 1000000;  // 1 ms
+  EXPECT_NEAR(m.StepTime(mem_heavy), 1e-3, 1e-9);
+}
+
+TEST(PlatformModelTest, OverheadScalesWithLayers)
+{
+  PlatformModel m;
+  m.peak_flops = 1e12;
+  m.mem_bandwidth = 1e12;
+  m.per_step_overhead_s = 1e-6;
+  m.per_kernel_overhead_s = 2e-6;
+  WorkloadProfile w;
+  w.layers = 3;
+  w.macs_per_step = 1;
+  w.bytes_per_step = 1;
+  EXPECT_NEAR(m.StepTime(w), 1e-6 + 3 * 2e-6, 1e-10);
+}
+
+TEST(PlatformModelTest, RunTimeLinearInSteps)
+{
+  const PlatformModel m = PlatformModel::DesktopCpu();
+  const WorkloadProfile w = WorkloadProfile::FromSpec(TinySpec("fisher"));
+  EXPECT_NEAR(m.RunTime(w, 100), 100.0 * m.StepTime(w), 1e-12);
+}
+
+TEST(PlatformModelTest, GpuFasterThanCpuOnLargeComputeBoundWork)
+{
+  ModelConfig config;
+  config.rows = 256;
+  config.cols = 256;
+  const auto model = MakeModel("hodgkin_huxley", config);
+  const WorkloadProfile w =
+      WorkloadProfile::FromSpec(Mapper::Map(model->System()));
+  EXPECT_LT(PlatformModel::Gtx850().StepTime(w),
+            PlatformModel::DesktopCpu().StepTime(w));
+}
+
+TEST(PlatformModelTest, PresetsPlausible)
+{
+  const auto cpu = PlatformModel::DesktopCpu();
+  const auto gpu = PlatformModel::Gtx850();
+  EXPECT_GT(gpu.peak_flops, cpu.peak_flops);
+  EXPECT_GT(gpu.power_w, 0.0);
+  EXPECT_GE(gpu.power_w, 40.0);
+  EXPECT_LE(gpu.power_w, 50.0);  // the paper's quoted range
+}
+
+// ---- Power model ----------------------------------------------------------
+
+TEST(PowerModelTest, Table1ConstantsMatchPaper)
+{
+  const PePowerTable t = DefaultPeTable();
+  EXPECT_DOUBLE_EQ(t.tum.power_mw, 1.20);
+  EXPECT_DOUBLE_EQ(t.alu.power_mw, 1.12);
+  EXPECT_DOUBLE_EQ(t.pe.power_mw, 2.32);
+  EXPECT_DOUBLE_EQ(t.pes.power_mw, 148.48);
+  EXPECT_DOUBLE_EQ(t.l1_luts.power_mw, 51.20);
+  EXPECT_DOUBLE_EQ(t.pes.area_mm2, 0.380);
+}
+
+TEST(PowerModelTest, Table2ConstantsMatchPaper)
+{
+  const SystemPowerTable t = DefaultSystemTable();
+  EXPECT_DOUBLE_EQ(t.pe_array.power_mw, 199.68);
+  EXPECT_DOUBLE_EQ(t.l2_lut.power_mw, 63.61);
+  EXPECT_DOUBLE_EQ(t.global_buffer.power_mw, 260.16);
+  EXPECT_DOUBLE_EQ(t.total.power_mw, 523.45);
+  EXPECT_DOUBLE_EQ(t.total.area_mm2, 1.082);
+}
+
+TEST(PowerModelTest, ScaledTableMatchesDefaultAtReference)
+{
+  const SystemPowerTable scaled = ScaledSystemTable(ArchConfig{});
+  const SystemPowerTable ref = DefaultSystemTable();
+  EXPECT_NEAR(scaled.pe_array.power_mw, ref.pe_array.power_mw, 1e-9);
+  EXPECT_NEAR(scaled.total.power_mw, ref.total.power_mw, 1e-6);
+}
+
+TEST(PowerModelTest, ScalingIsLinearInPes)
+{
+  ArchConfig half;
+  half.pe_rows = 8;
+  half.pe_cols = 4;
+  half.num_l2 = 16;
+  const SystemPowerTable t = ScaledSystemTable(half);
+  const PePowerTable ref = DefaultPeTable();
+  EXPECT_NEAR(t.pe_array.power_mw,
+              (ref.pes.power_mw + ref.l1_luts.power_mw) / 2.0, 1e-9);
+}
+
+TEST(PowerModelTest, EnergyReportConsistency)
+{
+  ModelConfig config;
+  config.rows = 16;
+  config.cols = 16;
+  const auto model = MakeModel("heat", config);
+  const SolverProgram program = MakeProgram(*model);
+  ArchConfig arch;
+  ArchSimulator sim(program, arch);
+  sim.Run(20);
+  const EnergyReport e = ComputeEnergy(sim.Report(), arch);
+  EXPECT_GT(e.runtime_s, 0.0);
+  EXPECT_NEAR(e.onchip_power_w, 0.52345, 1e-4);
+  EXPECT_GE(e.activity_ratio, 0.0);
+  EXPECT_LE(e.activity_ratio, 1.0);
+  EXPECT_NEAR(e.energy_j, e.total_power_w * e.runtime_s, 1e-12);
+  EXPECT_GT(e.gops, 0.0);
+  EXPECT_NEAR(e.gops_per_watt, e.gops / e.total_power_w, 1e-9);
+}
+
+TEST(PowerModelTest, HigherClockCostsMorePower)
+{
+  ModelConfig config;
+  config.rows = 16;
+  config.cols = 16;
+  const SolverProgram program = MakeProgram(*MakeModel("heat", config));
+  ArchConfig fast;
+  fast.memory = MemoryParams::HmcExt();
+  fast.pe_clock_hz = fast.memory.pe_clock_hint_hz;  // 2.5 GHz
+  ArchSimulator sim(program, fast);
+  sim.Run(5);
+  const EnergyReport e = ComputeEnergy(sim.Report(), fast);
+  EXPECT_GT(e.onchip_power_w, 2.0);  // ~0.523 W * 2500/600
+}
+
+TEST(PowerModelTest, Table3RowsPlausible)
+{
+  const auto rows = PriorPlatformRows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "ACE16k");
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.nonlinear_weight_update);
+  }
+  const PlatformRow us = ThisWorkRow(ArchConfig{});
+  EXPECT_TRUE(us.nonlinear_weight_update);
+  EXPECT_NEAR(us.peak_gops, 54.0, 0.5);       // the paper's 54 GOPS
+  EXPECT_NEAR(us.gops_per_w, 103.26, 2.0);    // the paper's 103.26
+  EXPECT_NEAR(us.power_w, 0.523, 0.01);
+}
+
+}  // namespace
+}  // namespace cenn

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Checkpoint tests: capture/restore fidelity on both precisions,
+ * bit-exact continuation for the fixed-point engine, serialization
+ * round trips and corruption detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "program/checkpoint.h"
+
+namespace cenn {
+namespace {
+
+NetworkSpec
+RdSpec()
+{
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  return Mapper::Map(MakeModel("reaction_diffusion", mc)->System());
+}
+
+TEST(CheckpointTest, FixedEngineContinuationIsBitExact)
+{
+  const NetworkSpec spec = RdSpec();
+  MultilayerCenn<Fixed32> uninterrupted(spec);
+  uninterrupted.Run(60);
+
+  MultilayerCenn<Fixed32> first(spec);
+  first.Run(25);
+  const Checkpoint cp = CaptureCheckpoint(first);
+  EXPECT_EQ(cp.steps, 25u);
+
+  MultilayerCenn<Fixed32> resumed(spec);
+  RestoreCheckpoint(cp, &resumed);
+  resumed.Run(35);
+
+  for (int l = 0; l < spec.NumLayers(); ++l) {
+    const auto& a = uninterrupted.State(l);
+    const auto& b = resumed.State(l);
+    for (std::size_t i = 0; i < a.Size(); ++i) {
+      ASSERT_EQ(a.Data()[i].raw(), b.Data()[i].raw()) << "layer " << l;
+    }
+  }
+}
+
+TEST(CheckpointTest, DoubleEngineContinuationMatches)
+{
+  const NetworkSpec spec = RdSpec();
+  MultilayerCenn<double> uninterrupted(spec);
+  uninterrupted.Run(40);
+
+  MultilayerCenn<double> first(spec);
+  first.Run(20);
+  const Checkpoint cp = CaptureCheckpoint(first);
+  MultilayerCenn<double> resumed(spec);
+  RestoreCheckpoint(cp, &resumed);
+  resumed.Run(20);
+
+  const auto a = uninterrupted.StateDoubles(0);
+  const auto b = resumed.StateDoubles(0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(CheckpointTest, SerializationRoundTrip)
+{
+  const NetworkSpec spec = RdSpec();
+  MultilayerCenn<double> engine(spec);
+  engine.Run(10);
+  const Checkpoint cp = CaptureCheckpoint(engine);
+  const auto bytes = SerializeCheckpoint(cp);
+  const Checkpoint back = DeserializeCheckpoint(bytes);
+  EXPECT_EQ(back.network_name, cp.network_name);
+  EXPECT_EQ(back.rows, cp.rows);
+  EXPECT_EQ(back.cols, cp.cols);
+  EXPECT_EQ(back.steps, cp.steps);
+  ASSERT_EQ(back.layer_states.size(), cp.layer_states.size());
+  for (std::size_t l = 0; l < cp.layer_states.size(); ++l) {
+    ASSERT_EQ(back.layer_states[l], cp.layer_states[l]);
+  }
+}
+
+TEST(CheckpointTest, CorruptionDetected)
+{
+  const NetworkSpec spec = RdSpec();
+  MultilayerCenn<double> engine(spec);
+  auto bytes = SerializeCheckpoint(CaptureCheckpoint(engine));
+  bytes[bytes.size() / 3] ^= 0x5a;
+  EXPECT_DEATH(DeserializeCheckpoint(bytes), "checksum");
+}
+
+TEST(CheckpointTest, GeometryMismatchDies)
+{
+  const NetworkSpec spec = RdSpec();
+  MultilayerCenn<double> engine(spec);
+  Checkpoint cp = CaptureCheckpoint(engine);
+  cp.rows = 8;
+  EXPECT_DEATH(RestoreCheckpoint(cp, &engine), "geometry mismatch");
+}
+
+TEST(CheckpointTest, CaptureFromDeSolverFacade)
+{
+  const NetworkSpec spec = RdSpec();
+  SolverOptions options;
+  options.precision = Precision::kFixed32;
+  DeSolver solver(spec, options);
+  solver.Run(5);
+  const Checkpoint cp = CaptureCheckpoint(solver);
+  EXPECT_EQ(cp.steps, 5u);
+  EXPECT_EQ(cp.layer_states.size(),
+            static_cast<std::size_t>(spec.NumLayers()));
+}
+
+}  // namespace
+}  // namespace cenn

@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Core CeNN engine tests: grid boundary semantics, template kernels,
+ * Taylor tuples, spec validation, the cell dynamics of eq. (1)-(2),
+ * reset rules and the DeSolver facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/network.h"
+#include "core/solver.h"
+
+namespace cenn {
+namespace {
+
+// ---- Grid & boundary -------------------------------------------------
+
+TEST(GridTest, ZeroFluxClampsIndices)
+{
+  Grid2D<double> g(2, 2);
+  g.At(0, 0) = 1.0;
+  g.At(0, 1) = 2.0;
+  g.At(1, 0) = 3.0;
+  g.At(1, 1) = 4.0;
+  const Boundary bc{BoundaryKind::kZeroFlux, 0.0};
+  EXPECT_EQ(g.Neighbor(-1, 0, bc), 1.0);
+  EXPECT_EQ(g.Neighbor(0, -5, bc), 1.0);
+  EXPECT_EQ(g.Neighbor(2, 1, bc), 4.0);
+  EXPECT_EQ(g.Neighbor(5, 5, bc), 4.0);
+}
+
+TEST(GridTest, DirichletReturnsBoundaryValue)
+{
+  Grid2D<double> g(2, 2, 9.0);
+  const Boundary bc{BoundaryKind::kDirichlet, -1.5};
+  EXPECT_EQ(g.Neighbor(-1, 0, bc), -1.5);
+  EXPECT_EQ(g.Neighbor(0, 0, bc), 9.0);
+}
+
+TEST(GridTest, PeriodicWrapsBothWays)
+{
+  Grid2D<double> g(3, 3);
+  g.At(0, 0) = 1.0;
+  g.At(2, 2) = 8.0;
+  const Boundary bc{BoundaryKind::kPeriodic, 0.0};
+  EXPECT_EQ(g.Neighbor(-1, -1, bc), 8.0);
+  EXPECT_EQ(g.Neighbor(3, 3, bc), 1.0);
+  EXPECT_EQ(g.Neighbor(-3, 0, bc), 1.0);
+}
+
+TEST(GridTest, FixedPointGridConversion)
+{
+  const std::vector<double> values = {0.5, -1.25, 3.0, 0.0};
+  auto g = Grid2D<Fixed32>::FromDoubles(2, 2, values);
+  const auto back = g.ToDoubles();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(back[i], values[i], Fixed32::Epsilon());
+  }
+}
+
+TEST(GridTest, CheckedAccessDiesOutOfRange)
+{
+  Grid2D<double> g(2, 2);
+  EXPECT_DEATH(g.AtChecked(2, 0), "out of");
+}
+
+// ---- Template kernels ------------------------------------------------
+
+TEST(TemplateKernelTest, EvenSideDies)
+{
+  EXPECT_DEATH(TemplateKernel(2), "odd");
+}
+
+TEST(TemplateKernelTest, OffsetsIndexRowMajor)
+{
+  TemplateKernel k = TemplateKernel::FromConstants(
+      3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(k.At(-1, -1).constant, 1.0);
+  EXPECT_EQ(k.At(0, 0).constant, 5.0);
+  EXPECT_EQ(k.At(1, 1).constant, 9.0);
+  EXPECT_EQ(k.At(-1, 1).constant, 3.0);
+  EXPECT_EQ(k.Radius(), 1);
+}
+
+TEST(TemplateKernelTest, WuiCounting)
+{
+  TemplateKernel k(3);
+  EXPECT_TRUE(k.IsLinear());
+  EXPECT_TRUE(k.IsZero());
+  k.At(0, 0) = TemplateWeight::Nonlinear(
+      1.0, 0, NonlinearFunction::Polynomial("sq", {0, 0, 1}));
+  EXPECT_EQ(k.CountNonlinear(), 1);
+  EXPECT_FALSE(k.IsLinear());
+  EXPECT_FALSE(k.IsZero());
+}
+
+TEST(TemplateKernelTest, CenterMakes1x1)
+{
+  const TemplateKernel k =
+      TemplateKernel::Center(TemplateWeight::Constant(2.5));
+  EXPECT_EQ(k.Side(), 1);
+  EXPECT_EQ(k.At(0, 0).constant, 2.5);
+}
+
+// ---- Nonlinear functions & Taylor tuples ------------------------------
+
+TEST(NonlinearTest, PolynomialExactDerivatives)
+{
+  // f = 1 + 2x + 3x^2 + 4x^3
+  const auto fn = NonlinearFunction::Polynomial("p", {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(fn->Value(2.0), 1 + 4 + 12 + 32);
+  EXPECT_DOUBLE_EQ(fn->Derivative(1, 2.0), 2 + 6 * 2.0 + 12 * 4.0);
+  EXPECT_DOUBLE_EQ(fn->Derivative(2, 2.0), 6 + 24 * 2.0);
+  EXPECT_DOUBLE_EQ(fn->Derivative(3, 2.0), 24.0);
+  EXPECT_EQ(fn->PolyDegree(), 3);
+  EXPECT_TRUE(fn->LutFree());
+}
+
+TEST(NonlinearTest, TrailingZeroCoefficientsReduceDegree)
+{
+  const auto fn = NonlinearFunction::Polynomial("p", {1, 2, 0, 0, 0});
+  EXPECT_EQ(fn->PolyDegree(), 1);
+  EXPECT_TRUE(fn->LutFree());
+}
+
+TEST(NonlinearTest, QuarticIsNotLutFree)
+{
+  const auto fn = NonlinearFunction::Polynomial("q", {0, 0, 0, 0, 1});
+  EXPECT_EQ(fn->PolyDegree(), 4);
+  EXPECT_FALSE(fn->LutFree());
+}
+
+TEST(NonlinearTest, LambdaFunctionsAreNotLutFree)
+{
+  const auto fn = MakeFunction("exp", [](double x) { return std::exp(x); });
+  EXPECT_FALSE(fn->LutFree());
+}
+
+TEST(NonlinearTest, TaylorTupleExactForCubicPolynomials)
+{
+  const auto fn = NonlinearFunction::Polynomial("p", {1, -2, 0.5, 0.25});
+  for (double p : {-3.0, 0.0, 2.0}) {
+    const TaylorTuple t = fn->TaylorAt(p);
+    for (double x : {-4.0, -1.0, 0.3, 2.7}) {
+      EXPECT_NEAR(t.Evaluate(x), fn->Value(x), 1e-9) << "p=" << p;
+      EXPECT_NEAR(t.EvaluateAroundP(x), fn->Value(x), 1e-9) << "p=" << p;
+    }
+  }
+}
+
+TEST(NonlinearTest, TaylorApproximatesTranscendentalNearP)
+{
+  const auto fn = MakeFunction("sin", [](double x) { return std::sin(x); },
+                               1e-3);
+  const TaylorTuple t = fn->TaylorAt(1.0);
+  EXPECT_NEAR(t.l_p, std::sin(1.0), 1e-12);
+  // Within |x - p| <= 0.1, a cubic Taylor of sin is ~1e-6 accurate.
+  for (double x : {0.9, 0.95, 1.05, 1.1}) {
+    EXPECT_NEAR(t.EvaluateAroundP(x), std::sin(x), 1e-5);
+  }
+}
+
+TEST(NonlinearTest, AlphaDecompositionConsistent)
+{
+  // value = c3 + alpha(x) * x must match the direct cubic everywhere.
+  const auto fn = MakeFunction("e", [](double x) { return std::exp(x); },
+                               1e-3);
+  const TaylorTuple t = fn->TaylorAt(0.5);
+  for (double x : {0.3, 0.5, 0.7}) {
+    EXPECT_NEAR(t.c3 + t.Alpha(x) * x, t.EvaluateAroundP(x), 1e-9);
+  }
+}
+
+// ---- Cell dynamics ----------------------------------------------------
+
+/** 1x1 network with pure self-decay: dx/dt = -x -> exponential decay. */
+TEST(NetworkTest, SelfDecayApproximatesExponential)
+{
+  NetworkSpec spec;
+  spec.name = "decay";
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.dt = 1e-3;
+  LayerSpec layer;
+  layer.name = "x";
+  layer.initial_state = {1.0};
+  spec.layers.push_back(layer);
+
+  MultilayerCenn<double> net(spec);
+  net.Run(1000);  // t = 1
+  EXPECT_NEAR(net.StateDoubles(0)[0], std::exp(-1.0), 1e-3);
+}
+
+/** Offset z drives the state toward z (dx/dt = -x + z). */
+TEST(NetworkTest, OffsetSetsFixedPoint)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.dt = 1e-2;
+  LayerSpec layer;
+  layer.z = 2.0;
+  spec.layers.push_back(layer);
+
+  MultilayerCenn<double> net(spec);
+  net.Run(2000);
+  EXPECT_NEAR(net.StateDoubles(0)[0], 2.0, 1e-6);
+}
+
+/** Input coupling B: dx/dt = -x + B*u has fixed point B*u. */
+TEST(NetworkTest, FeedforwardInputCoupling)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.dt = 1e-2;
+  LayerSpec layer;
+  Coupling b;
+  b.kind = CouplingKind::kInput;
+  b.src_layer = 0;
+  b.kernel = TemplateKernel::Center(TemplateWeight::Constant(3.0));
+  layer.couplings.push_back(b);
+  layer.input = {0.5};
+  spec.layers.push_back(layer);
+
+  MultilayerCenn<double> net(spec);
+  net.Run(2000);
+  EXPECT_NEAR(net.StateDoubles(0)[0], 1.5, 1e-6);
+}
+
+/** Output coupling A applies the saturated y = f(x). */
+TEST(NetworkTest, OutputCouplingUsesSaturatedOutput)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.dt = 1e-2;
+  // Layer 0: pinned at 5.0 (self template cancels decay, no drive).
+  LayerSpec pinned;
+  Coupling self;
+  self.kind = CouplingKind::kState;
+  self.src_layer = 0;
+  self.kernel = TemplateKernel::Center(TemplateWeight::Constant(1.0));
+  pinned.couplings.push_back(self);
+  pinned.initial_state = {5.0};
+  spec.layers.push_back(pinned);
+  // Layer 1: dx/dt = -x + 2*f(x0); f saturates at 1 -> fixed point 2.
+  LayerSpec reader;
+  Coupling a;
+  a.kind = CouplingKind::kOutput;
+  a.src_layer = 0;
+  a.kernel = TemplateKernel::Center(TemplateWeight::Constant(2.0));
+  reader.couplings.push_back(a);
+  spec.layers.push_back(reader);
+
+  MultilayerCenn<double> net(spec);
+  net.Run(2000);
+  EXPECT_NEAR(net.StateDoubles(0)[0], 5.0, 1e-9);
+  EXPECT_NEAR(net.StateDoubles(1)[0], 2.0, 1e-6);
+}
+
+/** Nonlinear weight with control at the source cell (x_kl form). */
+TEST(NetworkTest, FactorAtSourceReadsNeighborState)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 2;
+  spec.dt = 1e-2;
+  LayerSpec layer;
+  layer.has_self_decay = false;
+  // dx/dt = w(x_src) * x_src with w = square(x_src) at offset +1:
+  // cell 0 sees cube of cell 1.
+  Coupling c;
+  c.kind = CouplingKind::kState;
+  c.src_layer = 0;
+  c.kernel = TemplateKernel(3);
+  TemplateWeight w = TemplateWeight::Nonlinear(
+      1.0, 0, NonlinearFunction::Polynomial("sq", {0, 0, 1}));
+  w.factors[0].at_source = true;
+  c.kernel.At(0, 1) = w;
+  layer.couplings.push_back(c);
+  layer.initial_state = {0.0, 2.0};
+  spec.layers.push_back(layer);
+
+  MultilayerCenn<double> net(spec);
+  net.Step();
+  // dx0/dt = square(x1) * x1 = 8; one Euler step of 1e-2 -> 0.08.
+  EXPECT_NEAR(net.StateDoubles(0)[0], 0.08, 1e-12);
+}
+
+TEST(NetworkTest, ResetRuleSetAndAdd)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 2;
+  spec.dt = 1e-3;
+  LayerSpec v;
+  v.name = "v";
+  v.has_self_decay = false;
+  v.z = 1000.0;  // fast ramp
+  v.initial_state = {0.0, -500.0};
+  spec.layers.push_back(v);
+  LayerSpec u;
+  u.name = "u";
+  u.has_self_decay = false;
+  u.initial_state = {0.0, 0.0};
+  spec.layers.push_back(u);
+  ResetRule rule;
+  rule.trigger_layer = 0;
+  rule.threshold = 0.5;
+  rule.actions.push_back({0, true, -1.0});
+  rule.actions.push_back({1, false, 2.0});
+  spec.resets.push_back(rule);
+
+  MultilayerCenn<double> net(spec);
+  net.Step();  // cell 0 reaches 1.0 -> reset fires there only
+  EXPECT_NEAR(net.StateDoubles(0)[0], -1.0, 1e-12);
+  EXPECT_NEAR(net.StateDoubles(1)[0], 2.0, 1e-12);
+  EXPECT_NEAR(net.StateDoubles(0)[1], -499.0, 1e-12);
+  EXPECT_NEAR(net.StateDoubles(1)[1], 0.0, 1e-12);
+}
+
+TEST(NetworkTest, TimeAdvancesByDt)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.dt = 0.25;
+  spec.layers.emplace_back();
+  MultilayerCenn<double> net(spec);
+  net.Run(8);
+  EXPECT_DOUBLE_EQ(net.Time(), 2.0);
+  EXPECT_EQ(net.Steps(), 8u);
+}
+
+// ---- Spec validation ---------------------------------------------------
+
+TEST(NetworkSpecTest, ValidationCatchesBadLayerIndex)
+{
+  NetworkSpec spec;
+  spec.rows = 2;
+  spec.cols = 2;
+  LayerSpec layer;
+  Coupling c;
+  c.src_layer = 3;
+  layer.couplings.push_back(c);
+  spec.layers.push_back(layer);
+  EXPECT_DEATH(spec.Validate(), "out of range");
+}
+
+TEST(NetworkSpecTest, ValidationCatchesBadFieldSize)
+{
+  NetworkSpec spec;
+  spec.rows = 2;
+  spec.cols = 2;
+  LayerSpec layer;
+  layer.initial_state = {1.0};  // needs 4
+  spec.layers.push_back(layer);
+  EXPECT_DEATH(spec.Validate(), "initial state");
+}
+
+TEST(NetworkSpecTest, CountersWork)
+{
+  NetworkSpec spec;
+  spec.rows = 2;
+  spec.cols = 2;
+  LayerSpec layer;
+  Coupling c;
+  c.kind = CouplingKind::kState;
+  c.src_layer = 0;
+  c.kernel = TemplateKernel(3);
+  c.kernel.At(0, 0) = TemplateWeight::Nonlinear(
+      1.0, 0, NonlinearFunction::Polynomial("sq", {0, 0, 1}));
+  layer.couplings.push_back(c);
+  spec.layers.push_back(layer);
+  EXPECT_EQ(spec.CountTemplatesNeedingUpdate(), 1);
+  EXPECT_EQ(spec.CountNonlinearWeights(), 1);
+  EXPECT_EQ(spec.MaxKernelSide(), 3);
+  EXPECT_EQ(spec.Functions().size(), 1u);
+}
+
+// ---- DeSolver facade ---------------------------------------------------
+
+TEST(DeSolverTest, PrecisionSelectionAndStateAccess)
+{
+  NetworkSpec spec;
+  spec.rows = 2;
+  spec.cols = 2;
+  spec.dt = 1e-2;
+  spec.layers.emplace_back();
+
+  SolverOptions dopt;
+  dopt.precision = Precision::kDouble;
+  DeSolver d(spec, dopt);
+  EXPECT_EQ(d.GetPrecision(), Precision::kDouble);
+  d.SetState(0, 1, 1, 3.5);
+  EXPECT_DOUBLE_EQ(d.GetState(0, 1, 1), 3.5);
+  d.Run(10);
+  EXPECT_EQ(d.Steps(), 10u);
+  EXPECT_LT(d.GetState(0, 1, 1), 3.5);  // decays
+
+  SolverOptions fopt;
+  fopt.precision = Precision::kFixed32;
+  DeSolver f(spec, fopt);
+  EXPECT_EQ(f.GetPrecision(), Precision::kFixed32);
+  f.SetState(0, 0, 0, 1.0);
+  EXPECT_NEAR(f.GetState(0, 0, 0), 1.0, Fixed32::Epsilon());
+  EXPECT_DEATH(f.DoubleEngine(), "fixed-point");
+}
+
+TEST(DeSolverTest, RunUntilSteadyConvergesOnRelaxation)
+{
+  // dx/dt = -x + 2: converges to 2 from 0.
+  NetworkSpec spec;
+  spec.rows = 4;
+  spec.cols = 4;
+  spec.dt = 0.05;
+  LayerSpec layer;
+  layer.z = 2.0;
+  spec.layers.push_back(layer);
+
+  SolverOptions options;
+  options.precision = Precision::kDouble;
+  DeSolver solver(spec, options);
+  const auto result = solver.RunUntilSteady(1e-9, 100000, 32);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.final_delta, 1e-9);
+  EXPECT_NEAR(solver.GetState(0, 0, 0), 2.0, 1e-6);
+  EXPECT_EQ(result.steps_taken, solver.Steps());
+}
+
+TEST(DeSolverTest, RunUntilSteadyGivesUpOnOscillator)
+{
+  // An undamped rotation never settles: must report non-convergence.
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.dt = 0.05;
+  LayerSpec a;
+  a.name = "a";
+  a.initial_state = {1.0};
+  Coupling a_self;
+  a_self.kind = CouplingKind::kState;
+  a_self.src_layer = 0;
+  a_self.kernel = TemplateKernel::Center(TemplateWeight::Constant(1.0));
+  a.couplings.push_back(a_self);
+  Coupling ab;
+  ab.kind = CouplingKind::kState;
+  ab.src_layer = 1;
+  ab.kernel = TemplateKernel::Center(TemplateWeight::Constant(-1.0));
+  a.couplings.push_back(ab);
+  spec.layers.push_back(a);
+  LayerSpec b;
+  b.name = "b";
+  Coupling b_self;
+  b_self.kind = CouplingKind::kState;
+  b_self.src_layer = 1;
+  b_self.kernel = TemplateKernel::Center(TemplateWeight::Constant(1.0));
+  b.couplings.push_back(b_self);
+  Coupling ba;
+  ba.kind = CouplingKind::kState;
+  ba.src_layer = 0;
+  ba.kernel = TemplateKernel::Center(TemplateWeight::Constant(1.0));
+  b.couplings.push_back(ba);
+  spec.layers.push_back(b);
+
+  SolverOptions options;
+  options.precision = Precision::kDouble;
+  DeSolver solver(spec, options);
+  const auto result = solver.RunUntilSteady(1e-6, 500, 16);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.steps_taken, 500u);
+}
+
+TEST(DeSolverTest, RunUntilSteadyRejectsBadArgs)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.layers.emplace_back();
+  DeSolver solver(spec, {});
+  EXPECT_DEATH(solver.RunUntilSteady(0.0, 10), "positive");
+}
+
+TEST(DeSolverTest, WrongEngineAccessorDies)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.layers.emplace_back();
+  SolverOptions dopt;
+  dopt.precision = Precision::kDouble;
+  DeSolver d(spec, dopt);
+  EXPECT_DEATH(d.FixedEngine(), "double");
+}
+
+}  // namespace
+}  // namespace cenn

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit and property tests for the Q16.16 saturating fixed-point type —
+ * the accelerator's 32-bit state format (upper 16 integer bits double
+ * as the LUT index).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fixed/fixed32.h"
+
+namespace cenn {
+namespace {
+
+TEST(Fixed32Test, ZeroByDefault)
+{
+  EXPECT_EQ(Fixed32().raw(), 0);
+  EXPECT_EQ(Fixed32().ToDouble(), 0.0);
+}
+
+TEST(Fixed32Test, FromIntExactForSmallIntegers)
+{
+  for (int v : {-32768, -100, -1, 0, 1, 7, 100, 32767}) {
+    EXPECT_EQ(Fixed32::FromInt(v).ToDouble(), static_cast<double>(v));
+  }
+}
+
+TEST(Fixed32Test, FromDoubleRoundsToNearest)
+{
+  // One LSB is 2^-16; values within half an LSB round to the same raw.
+  const double eps = Fixed32::Epsilon();
+  EXPECT_EQ(Fixed32::FromDouble(1.0 + 0.4 * eps).raw(),
+            Fixed32::FromInt(1).raw());
+  EXPECT_EQ(Fixed32::FromDouble(1.0 + 0.6 * eps).raw(),
+            Fixed32::FromInt(1).raw() + 1);
+}
+
+TEST(Fixed32Test, RoundTripErrorBounded)
+{
+  for (double v = -100.0; v <= 100.0; v += 0.7137) {
+    const double rt = Fixed32::FromDouble(v).ToDouble();
+    EXPECT_NEAR(rt, v, Fixed32::Epsilon() / 2.0 + 1e-12) << v;
+  }
+}
+
+TEST(Fixed32Test, UpperBitsAreIntegerPart)
+{
+  EXPECT_EQ(Fixed32::FromDouble(3.5).UpperBits(), 3u);
+  EXPECT_EQ(Fixed32::FromDouble(1024.25).UpperBits(), 1024u);
+  // Negative values: two's complement upper half.
+  EXPECT_EQ(Fixed32::FromDouble(-1.0).UpperBits(), 0xffffu);
+}
+
+TEST(Fixed32Test, LowerBitsZeroExactlyOnIntegers)
+{
+  EXPECT_EQ(Fixed32::FromInt(5).LowerBits(), 0u);
+  EXPECT_NE(Fixed32::FromDouble(5.5).LowerBits(), 0u);
+  EXPECT_EQ(Fixed32::FromDouble(-3.0).LowerBits(), 0u);
+}
+
+TEST(Fixed32Test, FloorInt)
+{
+  EXPECT_EQ(Fixed32::FromDouble(2.75).FloorInt(), 2);
+  EXPECT_EQ(Fixed32::FromDouble(-2.25).FloorInt(), -3);
+  EXPECT_EQ(Fixed32::FromInt(-2).FloorInt(), -2);
+}
+
+TEST(Fixed32Test, AdditionSaturates)
+{
+  const Fixed32 big = Fixed32::FromDouble(30000.0);
+  EXPECT_EQ((big + big).raw(), INT32_MAX);
+  EXPECT_EQ(((-big) + (-big)).raw(), INT32_MIN);
+}
+
+TEST(Fixed32Test, MultiplicationSaturates)
+{
+  const Fixed32 big = Fixed32::FromDouble(1000.0);
+  EXPECT_EQ((big * big).raw(), INT32_MAX);
+  EXPECT_EQ((big * (-big)).raw(), INT32_MIN);
+}
+
+TEST(Fixed32Test, NegationOfMinSaturates)
+{
+  EXPECT_EQ((-Fixed32::Min()).raw(), INT32_MAX);
+}
+
+TEST(Fixed32Test, DivisionBasics)
+{
+  const Fixed32 a = Fixed32::FromDouble(7.5);
+  const Fixed32 b = Fixed32::FromDouble(2.5);
+  EXPECT_NEAR((a / b).ToDouble(), 3.0, Fixed32::Epsilon());
+}
+
+TEST(Fixed32Test, DivisionByZeroDies)
+{
+  EXPECT_DEATH(Fixed32::FromInt(1) / Fixed32(), "division by zero");
+}
+
+TEST(Fixed32Test, FromDoubleNanPanics)
+{
+  EXPECT_DEATH(Fixed32::FromDouble(std::nan("")), "NaN");
+}
+
+TEST(Fixed32Test, ComparisonOperators)
+{
+  const Fixed32 a = Fixed32::FromDouble(1.5);
+  const Fixed32 b = Fixed32::FromDouble(2.5);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, Fixed32::FromDouble(1.5));
+  EXPECT_NE(a, b);
+}
+
+TEST(Fixed32Test, AbsAndClamp)
+{
+  EXPECT_EQ(Abs(Fixed32::FromDouble(-3.25)).ToDouble(), 3.25);
+  EXPECT_EQ(Abs(Fixed32::FromDouble(3.25)).ToDouble(), 3.25);
+  const Fixed32 lo = Fixed32::FromInt(-1);
+  const Fixed32 hi = Fixed32::FromInt(1);
+  EXPECT_EQ(Clamp(Fixed32::FromInt(5), lo, hi), hi);
+  EXPECT_EQ(Clamp(Fixed32::FromInt(-5), lo, hi), lo);
+  EXPECT_EQ(Clamp(Fixed32::FromDouble(0.5), lo, hi).ToDouble(), 0.5);
+}
+
+TEST(Fixed32Test, StandardOutputNonlinearity)
+{
+  // Eq. (2): identity inside [-1, 1], clipped outside.
+  EXPECT_EQ(StandardOutput(Fixed32::FromDouble(0.75)).ToDouble(), 0.75);
+  EXPECT_EQ(StandardOutput(Fixed32::FromDouble(2.0)).ToDouble(), 1.0);
+  EXPECT_EQ(StandardOutput(Fixed32::FromDouble(-9.0)).ToDouble(), -1.0);
+  EXPECT_EQ(StandardOutput(Fixed32::FromInt(1)).ToDouble(), 1.0);
+}
+
+TEST(Fixed32Test, ToStringRendersDecimal)
+{
+  EXPECT_EQ(Fixed32::FromDouble(1.5).ToString(), "1.500000");
+}
+
+// ---- Property sweeps -------------------------------------------------
+
+class Fixed32PropertyTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(Fixed32PropertyTest, ArithmeticMatchesDoubleWithinTolerance)
+{
+  const auto [x, y] = GetParam();
+  const Fixed32 fx = Fixed32::FromDouble(x);
+  const Fixed32 fy = Fixed32::FromDouble(y);
+  const double tol = Fixed32::Epsilon();
+
+  EXPECT_NEAR((fx + fy).ToDouble(), x + y, 2.0 * tol);
+  EXPECT_NEAR((fx - fy).ToDouble(), x - y, 2.0 * tol);
+  // Multiplication error grows with operand magnitude.
+  const double mul_tol =
+      tol * (2.0 + std::abs(x) + std::abs(y));
+  EXPECT_NEAR((fx * fy).ToDouble(), x * y, mul_tol);
+}
+
+TEST_P(Fixed32PropertyTest, CommutativityAndIdentity)
+{
+  const auto [x, y] = GetParam();
+  const Fixed32 fx = Fixed32::FromDouble(x);
+  const Fixed32 fy = Fixed32::FromDouble(y);
+  EXPECT_EQ((fx + fy).raw(), (fy + fx).raw());
+  EXPECT_EQ((fx * fy).raw(), (fy * fx).raw());
+  EXPECT_EQ((fx + Fixed32()).raw(), fx.raw());
+  EXPECT_EQ((fx * Fixed32::FromInt(1)).raw(), fx.raw());
+}
+
+TEST_P(Fixed32PropertyTest, NegationIsInvolutionAwayFromMin)
+{
+  const auto [x, y] = GetParam();
+  static_cast<void>(y);
+  const Fixed32 fx = Fixed32::FromDouble(x);
+  EXPECT_EQ((-(-fx)).raw(), fx.raw());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperandSweep, Fixed32PropertyTest,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{1.0, -1.0},
+                      std::pair{3.14159, 2.71828},
+                      std::pair{-65.43, 0.001}, std::pair{120.0, -77.0},
+                      std::pair{0.015625, 0.015625},
+                      std::pair{-0.5, 170.25}, std::pair{30.0, -0.04},
+                      std::pair{150.0, -150.0},
+                      std::pair{1e-4, 1e-4}));
+
+}  // namespace
+}  // namespace cenn

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * LUT subsystem tests: off-chip table construction and evaluation
+ * accuracy, exact-sample detection, the delta vs expanded fixed-point
+ * datapaths, L1/L2 cache behaviour (FIFO fill, hashed block fill) and
+ * the two-level hierarchy's replay semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lut/lut_bank.h"
+#include "lut/lut_cache.h"
+#include "lut/lut_evaluator.h"
+#include "lut/lut_hierarchy.h"
+#include "lut/off_chip_lut.h"
+
+namespace cenn {
+namespace {
+
+LutSpec
+UnitSpec(double lo, double hi, int frac_bits)
+{
+  LutSpec s;
+  s.min_p = lo;
+  s.max_p = hi;
+  s.frac_index_bits = frac_bits;
+  return s;
+}
+
+// ---- LutSpec -----------------------------------------------------------
+
+TEST(LutSpecTest, SpacingAndPointCount)
+{
+  EXPECT_DOUBLE_EQ(UnitSpec(0, 8, 0).Spacing(), 1.0);
+  EXPECT_DOUBLE_EQ(UnitSpec(0, 8, 2).Spacing(), 0.25);
+  EXPECT_EQ(UnitSpec(0, 8, 0).NumPoints(), 9);
+  EXPECT_EQ(UnitSpec(0, 1, 2).NumPoints(), 5);
+}
+
+TEST(LutSpecTest, ValidationCatchesBadRanges)
+{
+  EXPECT_DEATH(UnitSpec(1, -1, 0).Validate(), "min_p");
+  EXPECT_DEATH(UnitSpec(0, 1, 17).Validate(), "frac_index_bits");
+}
+
+// ---- OffChipLut ---------------------------------------------------------
+
+TEST(OffChipLutTest, IndexOfClampsAndFloors)
+{
+  const auto fn = MakeFunction("id", [](double x) { return x; });
+  OffChipLut lut(fn, UnitSpec(0.0, 7.0, 0));
+  EXPECT_EQ(lut.NumEntries(), 8);
+  EXPECT_EQ(lut.IndexOf(3.7), 3);
+  EXPECT_EQ(lut.IndexOf(-5.0), 0);
+  EXPECT_EQ(lut.IndexOf(99.0), 7);
+  EXPECT_EQ(lut.IndexOf(0.0), 0);
+}
+
+TEST(OffChipLutTest, BlockBaseAlignsToEight)
+{
+  const auto fn = MakeFunction("id", [](double x) { return x; });
+  OffChipLut lut(fn, UnitSpec(0.0, 31.0, 0));
+  // The paper's example: a miss on p = 3.0 fetches p = 0..7.
+  EXPECT_EQ(lut.BlockBase(3), 0);
+  EXPECT_EQ(lut.BlockBase(7), 0);
+  EXPECT_EQ(lut.BlockBase(8), 8);
+  EXPECT_EQ(lut.BlockBase(12), 8);
+}
+
+TEST(OffChipLutTest, ExactSampleDetection)
+{
+  const auto fn = MakeFunction("id", [](double x) { return x; });
+  OffChipLut lut(fn, UnitSpec(-4.0, 4.0, 2));  // spacing 0.25
+  EXPECT_TRUE(lut.IsExactSample(Fixed32::FromDouble(1.25)));
+  EXPECT_TRUE(lut.IsExactSample(Fixed32::FromDouble(-2.0)));
+  EXPECT_FALSE(lut.IsExactSample(Fixed32::FromDouble(1.3)));
+  // Outside the sampled range nothing is exact.
+  EXPECT_FALSE(lut.IsExactSample(Fixed32::FromDouble(9.0)));
+}
+
+TEST(OffChipLutTest, ExactSampleReturnsStoredValue)
+{
+  const auto fn = MakeFunction("e", [](double x) { return std::exp(x); },
+                               1e-3);
+  OffChipLut lut(fn, UnitSpec(-2.0, 2.0, 0));
+  const Fixed32 x = Fixed32::FromInt(1);
+  EXPECT_NEAR(lut.EvaluateFixed(x).ToDouble(), std::exp(1.0),
+              Fixed32::Epsilon());
+}
+
+TEST(OffChipLutTest, DoubleEvaluationAccuracyImprovesWithSpacing)
+{
+  const auto fn = MakeFunction("tanh", [](double x) { return std::tanh(x); },
+                               1e-3);
+  double prev_err = 1e9;
+  for (int bits : {0, 2, 4, 6}) {
+    OffChipLut lut(fn, UnitSpec(-4.0, 4.0, bits));
+    double max_err = 0.0;
+    for (double x = -3.9; x < 3.9; x += 0.0137) {
+      max_err = std::max(max_err,
+                         std::abs(lut.EvaluateDouble(x) - std::tanh(x)));
+    }
+    EXPECT_LT(max_err, prev_err);
+    prev_err = max_err;
+  }
+  EXPECT_LT(prev_err, 5e-8);
+}
+
+TEST(OffChipLutTest, DeltaFormBeatsExpandedFormAtLargeStates)
+{
+  // The paper's literal eq. (10) multiplies quantized c1/c2 by x and
+  // x^2; around x = -65 (a membrane potential) that destroys accuracy,
+  // while the delta form stays at quantization level. This is the
+  // numerical-conditioning ablation of DESIGN.md.
+  const auto fn = MakeFunction(
+      "rate", [](double x) { return 0.1 * std::exp(-(x + 65.0) / 18.0); },
+      1e-3);
+  OffChipLut lut(fn, UnitSpec(-80.0, -50.0, 2));
+  double delta_err = 0.0;
+  double expanded_err = 0.0;
+  for (double x = -79.0; x < -51.0; x += 0.0917) {
+    const Fixed32 fx = Fixed32::FromDouble(x);
+    const double want = fn->Value(x);
+    delta_err = std::max(delta_err,
+                         std::abs(lut.EvaluateFixed(fx).ToDouble() - want));
+    expanded_err = std::max(
+        expanded_err,
+        std::abs(lut.EvaluateFixedExpanded(fx).ToDouble() - want));
+  }
+  EXPECT_LT(delta_err, 1e-3);
+  EXPECT_GT(expanded_err, 10.0 * delta_err);
+}
+
+TEST(OffChipLutTest, FixedEvaluationExactForCubicPolynomials)
+{
+  const auto fn = NonlinearFunction::Polynomial("cube", {0, 0, 0, 1});
+  OffChipLut lut(fn, UnitSpec(-2.0, 2.0, 6));
+  for (double x = -1.9; x < 1.9; x += 0.0731) {
+    const Fixed32 fx = Fixed32::FromDouble(x);
+    const double got = lut.EvaluateFixed(fx).ToDouble();
+    EXPECT_NEAR(got, x * x * x, 1e-4) << x;
+  }
+}
+
+// ---- L1 cache -----------------------------------------------------------
+
+TEST(L1LutTest, MissThenHit)
+{
+  L1Lut l1(4);
+  EXPECT_FALSE(l1.Access(10));
+  l1.Insert(10);
+  EXPECT_TRUE(l1.Access(10));
+  EXPECT_EQ(l1.Stats().accesses, 2u);
+  EXPECT_EQ(l1.Stats().misses, 1u);
+}
+
+TEST(L1LutTest, CyclicWritePointerEvictsOldest)
+{
+  L1Lut l1(2);
+  l1.Insert(1);
+  l1.Insert(2);
+  EXPECT_TRUE(l1.Access(1));
+  EXPECT_TRUE(l1.Access(2));
+  l1.Insert(3);  // evicts 1 (FIFO)
+  EXPECT_FALSE(l1.Access(1));
+  EXPECT_TRUE(l1.Access(2));
+  EXPECT_TRUE(l1.Access(3));
+}
+
+TEST(L1LutTest, ResetInvalidates)
+{
+  L1Lut l1(4);
+  l1.Insert(5);
+  l1.Reset();
+  EXPECT_FALSE(l1.Access(5));
+  EXPECT_EQ(l1.Stats().accesses, 1u);  // reset cleared stats too
+}
+
+TEST(L1LutTest, ZeroBlocksDies)
+{
+  EXPECT_DEATH(L1Lut(0), "at least one block");
+}
+
+// ---- L2 cache -----------------------------------------------------------
+
+TEST(L2LutTest, PowerOfTwoRequired)
+{
+  EXPECT_DEATH(L2Lut(10), "power of two");
+}
+
+TEST(L2LutTest, HashedDirectMapping)
+{
+  L2Lut l2(8);
+  l2.InsertBlock(0, 8);  // fills indices 0..7
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(l2.Access(i));
+  }
+  // Index 8 hashes to slot 0 and conflicts with index 0.
+  EXPECT_FALSE(l2.Access(8));
+  l2.InsertBlock(8, 8);
+  EXPECT_TRUE(l2.Access(8));
+  EXPECT_FALSE(l2.Access(0));  // evicted by the conflicting fill
+}
+
+TEST(L2LutTest, StatsAccumulate)
+{
+  L2Lut l2(16);
+  l2.Access(1);
+  l2.InsertBlock(0, 8);
+  l2.Access(1);
+  EXPECT_EQ(l2.Stats().accesses, 2u);
+  EXPECT_EQ(l2.Stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(l2.Stats().MissRate(), 0.5);
+}
+
+// ---- Hierarchy ------------------------------------------------------------
+
+LutHierarchyConfig
+SmallHierarchy()
+{
+  LutHierarchyConfig c;
+  c.num_pes = 4;
+  c.l1_blocks = 2;
+  c.num_l2 = 2;
+  c.l2_entries = 16;
+  c.dram_fetch_block = 8;
+  return c;
+}
+
+TEST(LutHierarchyTest, ColdMissGoesToDramThenWarms)
+{
+  LutHierarchy h(SmallHierarchy());
+  EXPECT_EQ(h.Lookup(0, 5), LutLevel::kDram);
+  // Same PE, same index: now in its L1.
+  EXPECT_EQ(h.Lookup(0, 5), LutLevel::kL1);
+  // Different PE on the same L2: L1 miss, L2 hit (block was filled).
+  EXPECT_EQ(h.Lookup(1, 5), LutLevel::kL2);
+  // PE on the other L2 instance: DRAM again.
+  EXPECT_EQ(h.Lookup(2, 5), LutLevel::kDram);
+  EXPECT_EQ(h.DramFetches(), 2u);
+}
+
+TEST(LutHierarchyTest, BlockFillServesNeighborsInL2)
+{
+  LutHierarchy h(SmallHierarchy());
+  EXPECT_EQ(h.Lookup(0, 3), LutLevel::kDram);  // fills 0..7
+  for (int idx : {0, 1, 2, 4, 7}) {
+    EXPECT_EQ(h.Lookup(0, idx), LutLevel::kL2) << idx;
+  }
+}
+
+TEST(LutHierarchyTest, L2AssignmentByPeGroup)
+{
+  LutHierarchy h(SmallHierarchy());
+  EXPECT_EQ(h.L2For(0), 0);
+  EXPECT_EQ(h.L2For(1), 0);
+  EXPECT_EQ(h.L2For(2), 1);
+  EXPECT_EQ(h.L2For(3), 1);
+}
+
+TEST(LutHierarchyTest, AggregateStatsSumInstances)
+{
+  LutHierarchy h(SmallHierarchy());
+  h.Lookup(0, 1);
+  h.Lookup(3, 2);
+  const LutCacheStats l1 = h.AggregateL1();
+  EXPECT_EQ(l1.accesses, 2u);
+  EXPECT_EQ(l1.misses, 2u);
+}
+
+TEST(LutHierarchyTest, BadGeometryDies)
+{
+  LutHierarchyConfig c = SmallHierarchy();
+  c.num_l2 = 3;  // does not divide 4
+  EXPECT_DEATH(LutHierarchy h(c), "multiple");
+}
+
+// ---- LutBank + evaluators --------------------------------------------------
+
+TEST(LutBankTest, GlobalIndicesDisjointAcrossFunctions)
+{
+  NetworkSpec spec;
+  spec.rows = 2;
+  spec.cols = 2;
+  LayerSpec layer;
+  const auto f1 = MakeFunction("f1", [](double x) { return std::sin(x); });
+  const auto f2 = MakeFunction("f2", [](double x) { return std::cos(x); });
+  Coupling c;
+  c.kind = CouplingKind::kState;
+  c.src_layer = 0;
+  c.kernel = TemplateKernel(3);
+  c.kernel.At(0, 0) = TemplateWeight::Nonlinear(1.0, 0, f1);
+  c.kernel.At(0, 1) = TemplateWeight::Nonlinear(1.0, 0, f2);
+  layer.couplings.push_back(c);
+  spec.layers.push_back(layer);
+
+  LutConfig config;
+  config.default_spec = UnitSpec(-4.0, 4.0, 0);
+  LutBank bank(spec, config);
+  EXPECT_EQ(bank.NumTables(), 2u);
+  // Same state, different functions -> different global index.
+  EXPECT_NE(bank.GlobalIndex(*f1, 1.0), bank.GlobalIndex(*f2, 1.0));
+}
+
+TEST(LutBankTest, UnknownFunctionDies)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  spec.layers.emplace_back();
+  LutBank bank(spec, LutConfig{});
+  const auto stranger = MakeFunction("s", [](double x) { return x; });
+  EXPECT_DEATH(bank.Get(*stranger), "no table");
+}
+
+TEST(LutEvaluatorTest, FixedAndDoubleVariantsApproximateFunction)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  LayerSpec layer;
+  const auto fn = MakeFunction("exp", [](double x) { return std::exp(x); },
+                               1e-3);
+  layer.offset_terms.push_back({1.0, {{0, fn, false}}});
+  spec.layers.push_back(layer);
+
+  LutConfig config;
+  config.default_spec = UnitSpec(-4.0, 4.0, 4);
+  auto bank = std::make_shared<const LutBank>(spec, config);
+
+  LutEvaluatorDouble d(bank);
+  LutEvaluatorFixed f(bank);
+  for (double x : {-1.7, 0.33, 2.9}) {
+    EXPECT_NEAR(d.Evaluate(*fn, x), std::exp(x), 1e-5);
+    EXPECT_NEAR(f.Evaluate(*fn, Fixed32::FromDouble(x)).ToDouble(),
+                std::exp(x), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace cenn

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Mapper tests: finite-difference stencils, layer assignment (incl.
+ * second-order chains, eq. 4), self-decay compensation (the paper's
+ * "-4/h^2 + 1" center), nonlinear term lowering into WUI templates,
+ * reset translation and stability warnings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/network.h"
+#include "mapping/finite_difference.h"
+#include "mapping/mapper.h"
+#include "mapping/stability.h"
+
+namespace cenn {
+namespace {
+
+// ---- Finite differences -------------------------------------------------
+
+TEST(FiniteDifferenceTest, Laplacian5MatchesPaperEq7)
+{
+  // kappa/h^2 cross, -4 kappa/h^2 center (eq. 7's linear part).
+  const auto s = Laplacian5(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(s[1], 8.0);
+  EXPECT_DOUBLE_EQ(s[3], 8.0);
+  EXPECT_DOUBLE_EQ(s[4], -32.0);
+  EXPECT_DOUBLE_EQ(s[5], 8.0);
+  EXPECT_DOUBLE_EQ(s[7], 8.0);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+}
+
+TEST(FiniteDifferenceTest, StencilsSumToZero)
+{
+  // Derivative stencils must annihilate constants.
+  for (const auto& s :
+       {Laplacian5(1.3, 0.7), Laplacian9(0.8, 1.1), CentralDx(2.0, 0.4),
+        CentralDy(-1.0, 2.0)}) {
+    double sum = 0.0;
+    for (double v : s) {
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(FiniteDifferenceTest, CentralDerivativesAntisymmetric)
+{
+  const auto dx = CentralDx(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(dx[3], -0.5);
+  EXPECT_DOUBLE_EQ(dx[5], 0.5);
+  const auto dy = CentralDy(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(dy[1], -0.5);
+  EXPECT_DOUBLE_EQ(dy[7], 0.5);
+}
+
+TEST(FiniteDifferenceTest, BadStepDies)
+{
+  EXPECT_DEATH(Laplacian5(1.0, 0.0), "positive");
+}
+
+TEST(FiniteDifferenceTest, AddStencilsElementwise)
+{
+  const auto sum = AddStencils(CenterOnly3(2.0), CenterOnly3(3.0));
+  EXPECT_DOUBLE_EQ(sum[4], 5.0);
+}
+
+// ---- Mapper: linear systems -----------------------------------------------
+
+EquationSystem
+HeatSystem(double kappa, double h, double dt)
+{
+  EquationSystem sys;
+  sys.name = "heat-test";
+  sys.rows = 4;
+  sys.cols = 4;
+  sys.h = h;
+  sys.dt = dt;
+  EquationDef eq;
+  eq.var_name = "phi";
+  eq.terms.push_back(Term::Linear(kappa, SpatialOp::kLaplacian, 0));
+  sys.equations.push_back(eq);
+  return sys;
+}
+
+TEST(MapperTest, HeatCenterWeightIsMinus4OverH2Plus1)
+{
+  // The paper's eq. (7) center: -4 kappa/h^2 + 1 (the +1 cancels the
+  // intrinsic -x of eq. 1; our mapper applies it for any kappa).
+  const NetworkSpec spec = Mapper::Map(HeatSystem(2.0, 0.5, 0.01));
+  ASSERT_EQ(spec.NumLayers(), 1);
+  ASSERT_EQ(spec.layers[0].couplings.size(), 1u);
+  const TemplateKernel& k = spec.layers[0].couplings[0].kernel;
+  EXPECT_DOUBLE_EQ(k.At(0, 0).constant, -4.0 * 2.0 / 0.25 + 1.0);
+  EXPECT_DOUBLE_EQ(k.At(0, 1).constant, 2.0 / 0.25);
+  EXPECT_TRUE(k.IsLinear());
+}
+
+TEST(MapperTest, PureSourceBecomesOffsetZ)
+{
+  EquationSystem sys = HeatSystem(1.0, 1.0, 0.01);
+  sys.equations[0].terms.push_back(Term::Source(3.5));
+  const NetworkSpec spec = Mapper::Map(sys);
+  EXPECT_DOUBLE_EQ(spec.layers[0].z, 3.5);
+}
+
+TEST(MapperTest, SecondOrderEquationGetsChainLayer)
+{
+  // Wave-like: d^2 w/dt^2 = Lap(w): expect layers w and w_dot (eq. 4).
+  EquationSystem sys;
+  sys.name = "wave";
+  sys.rows = 4;
+  sys.cols = 4;
+  sys.h = 1.0;
+  sys.dt = 0.01;
+  EquationDef eq;
+  eq.var_name = "w";
+  eq.time_order = 2;
+  eq.terms.push_back(Term::Linear(1.0, SpatialOp::kLaplacian, 0));
+  sys.equations.push_back(eq);
+
+  MapperReport report;
+  const NetworkSpec spec = Mapper::MapWithReport(sys, &report);
+  ASSERT_EQ(spec.NumLayers(), 2);
+  EXPECT_EQ(spec.layers[0].name, "w");
+  EXPECT_EQ(spec.layers[1].name, "w_dot");
+  EXPECT_EQ(report.var_to_layer[0], 0);
+
+  // Layer w: dx/dt = -x + (chain + self-compensation): the chain
+  // coupling has center 1 toward layer 1 plus +1 self center.
+  bool found_chain = false;
+  for (const auto& c : spec.layers[0].couplings) {
+    if (c.src_layer == 1) {
+      EXPECT_DOUBLE_EQ(c.kernel.At(0, 0).constant, 1.0);
+      found_chain = true;
+    }
+  }
+  EXPECT_TRUE(found_chain);
+  // The Laplacian lands on the chain layer's RHS, from layer w.
+  bool found_lap = false;
+  for (const auto& c : spec.layers[1].couplings) {
+    if (c.src_layer == 0 && c.kernel.At(0, 1).constant == 1.0) {
+      found_lap = true;
+    }
+  }
+  EXPECT_TRUE(found_lap);
+}
+
+TEST(MapperTest, WaveEquationOscillates)
+{
+  // Functional check of the second-order chain: a standing wave's
+  // energy stays bounded and the center cell oscillates in sign.
+  EquationSystem sys;
+  sys.name = "wave";
+  sys.rows = 16;
+  sys.cols = 16;
+  sys.h = 1.0;
+  sys.dt = 0.05;
+  EquationDef eq;
+  eq.var_name = "w";
+  eq.time_order = 2;
+  eq.terms.push_back(Term::Linear(1.0, SpatialOp::kLaplacian, 0));
+  eq.initial.assign(16 * 16, 0.0);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      eq.initial[r * 16 + c] =
+          std::sin(M_PI * static_cast<double>(r) / 15.0) *
+          std::sin(M_PI * static_cast<double>(c) / 15.0);
+    }
+  }
+  sys.equations.push_back(eq);
+
+  MultilayerCenn<double> net(Mapper::Map(sys));
+  const double x0 = net.StateDoubles(0)[8 * 16 + 8];
+  EXPECT_GT(x0, 0.9);
+  bool went_negative = false;
+  for (int i = 0; i < 1000; ++i) {
+    net.Step();
+    const double x = net.StateDoubles(0)[8 * 16 + 8];
+    EXPECT_LT(std::abs(x), 2.0);  // bounded
+    went_negative |= x < -0.3;
+  }
+  EXPECT_TRUE(went_negative);  // oscillated through zero
+}
+
+// ---- Mapper: nonlinear systems ----------------------------------------------
+
+TEST(MapperTest, NonlinearTermGetsWuiFlaggedKernel)
+{
+  EquationSystem sys = HeatSystem(1.0, 1.0, 0.01);
+  const auto sq = NonlinearFunction::Polynomial("sq", {0, 0, 1});
+  sys.equations[0].terms.push_back(
+      Term::Nonlinear(-0.5, 0, sq, SpatialOp::kIdentity, 0));
+  MapperReport report;
+  const NetworkSpec spec = Mapper::MapWithReport(sys, &report);
+  EXPECT_EQ(report.templates_needing_update, 1);
+  EXPECT_EQ(report.nonlinear_weights, 1);
+  // The nonlinear coupling is separate from the linear accumulator.
+  ASSERT_EQ(spec.layers[0].couplings.size(), 2u);
+  const TemplateKernel& nk = spec.layers[0].couplings[1].kernel;
+  EXPECT_DOUBLE_EQ(nk.At(0, 0).constant, -0.5);
+  EXPECT_TRUE(nk.At(0, 0).NeedsUpdate());
+}
+
+TEST(MapperTest, NonlinearSourceBecomesOffsetTerm)
+{
+  EquationSystem sys = HeatSystem(1.0, 1.0, 0.01);
+  const auto sq = NonlinearFunction::Polynomial("sq", {0, 0, 1});
+  sys.equations[0].terms.push_back(Term::NonlinearSource(2.0, 0, sq));
+  const NetworkSpec spec = Mapper::Map(sys);
+  ASSERT_EQ(spec.layers[0].offset_terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.layers[0].offset_terms[0].constant, 2.0);
+  EXPECT_EQ(spec.layers[0].offset_terms[0].factors.size(), 1u);
+}
+
+TEST(MapperTest, InputTermBecomesFeedforwardTemplate)
+{
+  EquationSystem sys = HeatSystem(1.0, 1.0, 0.01);
+  sys.equations[0].terms.push_back(
+      Term::Linear(2.0, SpatialOp::kInput, 0));
+  sys.equations[0].input.assign(16, 1.0);
+  const NetworkSpec spec = Mapper::Map(sys);
+  bool found = false;
+  for (const auto& c : spec.layers[0].couplings) {
+    if (c.kind == CouplingKind::kInput) {
+      EXPECT_DOUBLE_EQ(c.kernel.At(0, 0).constant, 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MapperTest, ResetRulesTranslateVarIndices)
+{
+  EquationSystem sys;
+  sys.name = "resets";
+  sys.rows = 2;
+  sys.cols = 2;
+  sys.dt = 0.1;
+  EquationDef a;
+  a.var_name = "a";
+  a.time_order = 2;  // occupies layers 0 and 1
+  sys.equations.push_back(a);
+  EquationDef b;
+  b.var_name = "b";
+  sys.equations.push_back(b);  // layer 2
+
+  VarResetRule rule;
+  rule.trigger_var = 1;  // variable b
+  rule.threshold = 1.0;
+  rule.actions.push_back({1, true, 0.0});
+  sys.resets.push_back(rule);
+
+  const NetworkSpec spec = Mapper::Map(sys);
+  ASSERT_EQ(spec.resets.size(), 1u);
+  EXPECT_EQ(spec.resets[0].trigger_layer, 2);
+  EXPECT_EQ(spec.resets[0].actions[0].layer, 2);
+}
+
+// ---- Radius-2 (5x5) templates ---------------------------------------------
+
+TEST(MapperTest, FourthOrderLaplacianProducesFiveByFiveKernel)
+{
+  EquationSystem sys = HeatSystem(1.0, 1.0, 0.01);
+  sys.equations[0].terms[0].op = SpatialOp::kLaplacian4th;
+  const NetworkSpec spec = Mapper::Map(sys);
+  EXPECT_EQ(spec.MaxKernelSide(), 5);
+  // The 5x5 linear kernel carries the stencil; the +1 self-decay
+  // compensation lands in a separate 3x3 kernel.
+  bool found5 = false;
+  for (const auto& c : spec.layers[0].couplings) {
+    if (c.kernel.Side() == 5) {
+      EXPECT_DOUBLE_EQ(c.kernel.At(0, 0).constant, -60.0 / 12.0);
+      EXPECT_DOUBLE_EQ(c.kernel.At(0, 1).constant, 16.0 / 12.0);
+      EXPECT_DOUBLE_EQ(c.kernel.At(0, 2).constant, -1.0 / 12.0);
+      EXPECT_DOUBLE_EQ(c.kernel.At(1, 1).constant, 0.0);
+      found5 = true;
+    }
+  }
+  EXPECT_TRUE(found5);
+}
+
+TEST(FiniteDifferenceTest, Laplacian4thAnnihilatesQuadratics)
+{
+  // Exact for polynomials up to degree 5: check on x^2 + y^2 the
+  // stencil returns 4 (= Lap of x^2 + y^2) away from boundaries.
+  const auto k = Laplacian4th(1.0, 1.0);
+  double acc = 0.0;
+  for (int dr = -2; dr <= 2; ++dr) {
+    for (int dc = -2; dc <= 2; ++dc) {
+      const double val = static_cast<double>(dr * dr + dc * dc);
+      acc += k[static_cast<std::size_t>((dr + 2) * 5 + (dc + 2))] * val;
+    }
+  }
+  EXPECT_NEAR(acc, 4.0, 1e-12);
+}
+
+TEST(MapperTest, FourthOrderIsMoreAccurateOnSmoothModes)
+{
+  // One-step eigenvalue measurement on a *periodic* grid, where the
+  // Fourier mode is an exact eigenvector of both stencils: the
+  // measured lambda must track the continuum -2k^2 far more closely
+  // for the 4th-order operator (O(k^6) vs O(k^4) truncation).
+  const std::size_t n = 32;
+  const double k = 2.0 * M_PI * 2.0 / static_cast<double>(n);
+  const double dt = 0.01;
+  auto measured_lambda = [&](SpatialOp op) {
+    EquationSystem sys;
+    sys.name = "mode";
+    sys.rows = n;
+    sys.cols = n;
+    sys.h = 1.0;
+    sys.dt = dt;
+    sys.boundary = {BoundaryKind::kPeriodic, 0.0};
+    EquationDef eq;
+    eq.var_name = "phi";
+    eq.terms.push_back(Term::Linear(1.0, op, 0));
+    eq.initial.resize(n * n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        eq.initial[r * n + c] = std::cos(k * static_cast<double>(r)) *
+                                std::cos(k * static_cast<double>(c));
+      }
+    }
+    sys.equations.push_back(eq);
+    MultilayerCenn<double> net(Mapper::Map(sys));
+    const double a0 = net.StateDoubles(0)[0];
+    net.Step();
+    const double a1 = net.StateDoubles(0)[0];
+    return (a1 / a0 - 1.0) / dt;
+  };
+  const double continuum = -2.0 * k * k;
+  const double err2 =
+      std::abs(measured_lambda(SpatialOp::kLaplacian) - continuum);
+  const double err4 =
+      std::abs(measured_lambda(SpatialOp::kLaplacian4th) - continuum);
+  EXPECT_LT(err4, err2 / 10.0);
+}
+
+// ---- Stability ---------------------------------------------------------------
+
+TEST(StabilityTest, DiffusionLimit)
+{
+  EXPECT_DOUBLE_EQ(MaxStableDtDiffusion(1.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(MaxStableDtDiffusion(-2.0, 1.0), 0.125);
+  EXPECT_TRUE(std::isinf(MaxStableDtDiffusion(0.0, 1.0)));
+}
+
+TEST(StabilityTest, WarnsOnUnstableDiffusion)
+{
+  const auto warnings = CheckStability(HeatSystem(1.0, 1.0, 0.3));
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("diffusion limit"), std::string::npos);
+}
+
+TEST(StabilityTest, SilentOnStableSystem)
+{
+  EXPECT_TRUE(CheckStability(HeatSystem(1.0, 1.0, 0.2)).empty());
+}
+
+TEST(StabilityTest, WarnsOnAdvectionCfl)
+{
+  EquationSystem sys = HeatSystem(0.0, 1.0, 2.0);
+  sys.equations[0].terms.push_back(Term::Linear(1.0, SpatialOp::kDx, 0));
+  const auto warnings = CheckStability(sys);
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings.back().find("CFL"), std::string::npos);
+}
+
+// ---- EquationSystem validation -------------------------------------------------
+
+TEST(EquationSystemTest, VarIndexByName)
+{
+  EquationSystem sys = HeatSystem(1.0, 1.0, 0.01);
+  EXPECT_EQ(sys.VarIndex("phi"), 0);
+  EXPECT_DEATH(sys.VarIndex("nope"), "unknown variable");
+}
+
+TEST(EquationSystemTest, ValidateCatchesBadTimeOrder)
+{
+  EquationSystem sys = HeatSystem(1.0, 1.0, 0.01);
+  sys.equations[0].time_order = 3;
+  EXPECT_DEATH(sys.Validate(), "time order");
+}
+
+TEST(EquationSystemTest, ValidateCatchesSourceWithOperator)
+{
+  EquationSystem sys = HeatSystem(1.0, 1.0, 0.01);
+  Term bad;
+  bad.var = -1;
+  bad.op = SpatialOp::kLaplacian;
+  sys.equations[0].terms.push_back(bad);
+  EXPECT_DEATH(sys.Validate(), "source term");
+}
+
+}  // namespace
+}  // namespace cenn

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Programming-model tests: bitstream round trips (geometry, templates,
+ * WUI matrices, factors, offsets, resets, LUT config), quantization
+ * contract, hardware-limit enforcement, corruption detection, field
+ * data streams and the function registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "program/bitstream.h"
+
+namespace cenn {
+namespace {
+
+/** Structural + quantized-value equality of two specs. */
+void
+ExpectSpecsEquivalent(const NetworkSpec& a, const NetworkSpec& b)
+{
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+  EXPECT_EQ(a.boundary.kind, b.boundary.kind);
+  EXPECT_DOUBLE_EQ(a.dt, b.dt);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    const LayerSpec& la = a.layers[l];
+    const LayerSpec& lb = b.layers[l];
+    EXPECT_EQ(la.name, lb.name);
+    EXPECT_EQ(la.has_self_decay, lb.has_self_decay);
+    EXPECT_DOUBLE_EQ(QuantizeWeight(la.z), lb.z);
+    ASSERT_EQ(la.couplings.size(), lb.couplings.size());
+    for (std::size_t c = 0; c < la.couplings.size(); ++c) {
+      const Coupling& ca = la.couplings[c];
+      const Coupling& cb = lb.couplings[c];
+      EXPECT_EQ(ca.kind, cb.kind);
+      EXPECT_EQ(ca.src_layer, cb.src_layer);
+      ASSERT_EQ(ca.kernel.Side(), cb.kernel.Side());
+      const auto& ea = ca.kernel.Entries();
+      const auto& eb = cb.kernel.Entries();
+      for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_DOUBLE_EQ(QuantizeWeight(ea[i].constant), eb[i].constant)
+            << "layer " << l << " coupling " << c << " entry " << i;
+        ASSERT_EQ(ea[i].factors.size(), eb[i].factors.size());
+        for (std::size_t f = 0; f < ea[i].factors.size(); ++f) {
+          EXPECT_EQ(ea[i].factors[f].ctrl_layer,
+                    eb[i].factors[f].ctrl_layer);
+          EXPECT_EQ(ea[i].factors[f].at_source, eb[i].factors[f].at_source);
+          EXPECT_EQ(ea[i].factors[f].fn->Name(),
+                    eb[i].factors[f].fn->Name());
+        }
+      }
+    }
+    ASSERT_EQ(la.offset_terms.size(), lb.offset_terms.size());
+  }
+  ASSERT_EQ(a.resets.size(), b.resets.size());
+  for (std::size_t r = 0; r < a.resets.size(); ++r) {
+    EXPECT_EQ(a.resets[r].trigger_layer, b.resets[r].trigger_layer);
+    EXPECT_DOUBLE_EQ(QuantizeWeight(a.resets[r].threshold),
+                     b.resets[r].threshold);
+    ASSERT_EQ(a.resets[r].actions.size(), b.resets[r].actions.size());
+  }
+}
+
+class BitstreamRoundTripTest : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(BitstreamRoundTripTest, ModelProgramSurvivesRoundTrip)
+{
+  ModelConfig config;
+  config.rows = 32;
+  config.cols = 32;
+  const auto model = MakeModel(GetParam(), config);
+  const SolverProgram program = MakeProgram(*model);
+
+  const std::vector<std::uint8_t> bits = SerializeProgram(program);
+  FunctionRegistry registry;
+  registry.RegisterAll(program.spec);
+  const SolverProgram loaded = DeserializeProgram(bits, registry);
+
+  ExpectSpecsEquivalent(program.spec, loaded.spec);
+  EXPECT_EQ(program.lut_config.per_function.size(),
+            loaded.lut_config.per_function.size());
+  for (const auto& [name, spec] : program.lut_config.per_function) {
+    const auto it = loaded.lut_config.per_function.find(name);
+    ASSERT_NE(it, loaded.lut_config.per_function.end()) << name;
+    EXPECT_DOUBLE_EQ(spec.min_p, it->second.min_p);
+    EXPECT_DOUBLE_EQ(spec.max_p, it->second.max_p);
+    EXPECT_EQ(spec.frac_index_bits, it->second.frac_index_bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BitstreamRoundTripTest,
+                         ::testing::Values("heat", "navier_stokes", "fisher",
+                                           "reaction_diffusion",
+                                           "hodgkin_huxley", "izhikevich",
+                                           "gray_scott"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(BitstreamTest, DoubleSerializationIsIdempotent)
+{
+  ModelConfig config;
+  config.rows = 16;
+  config.cols = 16;
+  const auto model = MakeModel("izhikevich", config);
+  const SolverProgram program = MakeProgram(*model);
+  FunctionRegistry registry;
+  registry.RegisterAll(program.spec);
+
+  const auto bits1 = SerializeProgram(program);
+  const SolverProgram once = DeserializeProgram(bits1, registry);
+  const auto bits2 = SerializeProgram(once);
+  // After one quantizing round trip the stream is a fixed point.
+  EXPECT_EQ(bits1.size(), bits2.size());
+  const SolverProgram twice = DeserializeProgram(bits2, registry);
+  ExpectSpecsEquivalent(once.spec, twice.spec);
+}
+
+TEST(BitstreamTest, NonPowerOfTwoGridDies)
+{
+  SolverProgram program;
+  program.spec.rows = 24;
+  program.spec.cols = 32;
+  program.spec.layers.emplace_back();
+  EXPECT_DEATH(SerializeProgram(program), "power-of-two");
+}
+
+TEST(BitstreamTest, TooManyLayersDies)
+{
+  SolverProgram program;
+  program.spec.rows = 8;
+  program.spec.cols = 8;
+  program.spec.layers.resize(9);  // 3-bit N_layer field
+  EXPECT_DEATH(SerializeProgram(program), "3 bits");
+}
+
+TEST(BitstreamTest, CorruptionDetected)
+{
+  ModelConfig config;
+  config.rows = 8;
+  config.cols = 8;
+  const auto model = MakeModel("heat", config);
+  const SolverProgram program = MakeProgram(*model);
+  auto bits = SerializeProgram(program);
+  FunctionRegistry registry;
+  bits[bits.size() / 2] ^= 0xff;
+  EXPECT_DEATH(DeserializeProgram(bits, registry), "checksum");
+}
+
+TEST(BitstreamTest, TruncationDetected)
+{
+  ModelConfig config;
+  config.rows = 8;
+  config.cols = 8;
+  const auto model = MakeModel("heat", config);
+  auto bits = SerializeProgram(MakeProgram(*model));
+  bits.resize(bits.size() / 2);
+  FunctionRegistry registry;
+  EXPECT_DEATH(DeserializeProgram(bits, registry), "checksum|truncated");
+}
+
+TEST(BitstreamTest, RandomCorruptionAlwaysDetectedOrParsed)
+{
+  // Flip one byte at several positions: every mutation must be caught
+  // by the checksum (clean death), never silently mis-parsed into a
+  // different valid program.
+  ModelConfig config;
+  config.rows = 8;
+  config.cols = 8;
+  const auto model = MakeModel("izhikevich", config);
+  const auto bits = SerializeProgram(MakeProgram(*model));
+  FunctionRegistry registry;
+  registry.RegisterAll(MakeProgram(*model).spec);
+  for (std::size_t pos : {std::size_t{6}, bits.size() / 4, bits.size() / 2,
+                          bits.size() * 3 / 4, bits.size() - 6}) {
+    auto mutated = bits;
+    mutated[pos] ^= 0x40;
+    EXPECT_DEATH(DeserializeProgram(mutated, registry), "checksum|magic")
+        << "at byte " << pos;
+  }
+}
+
+TEST(BitstreamTest, BadMagicDies)
+{
+  std::vector<std::uint8_t> bits(16, 0);
+  // Fix the checksum so we reach the magic check.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 4 < bits.size(); ++i) {
+    sum += bits[i];
+  }
+  bits[12] = static_cast<std::uint8_t>(sum);
+  FunctionRegistry registry;
+  EXPECT_DEATH(DeserializeProgram(bits, registry), "magic");
+}
+
+TEST(BitstreamTest, UnknownFunctionNameDies)
+{
+  ModelConfig config;
+  config.rows = 8;
+  config.cols = 8;
+  const auto model = MakeModel("fisher", config);
+  const auto bits = SerializeProgram(MakeProgram(*model));
+  FunctionRegistry empty;
+  EXPECT_DEATH(DeserializeProgram(bits, empty), "unknown function");
+}
+
+TEST(BitstreamTest, QuantizeWeightMatchesFixed32)
+{
+  EXPECT_DOUBLE_EQ(QuantizeWeight(1.5), 1.5);
+  const double v = 0.1;  // not representable in Q16.16
+  EXPECT_NE(QuantizeWeight(v), v);
+  EXPECT_NEAR(QuantizeWeight(v), v, Fixed32::Epsilon());
+}
+
+TEST(BitstreamTest, FieldRoundTripQuantized)
+{
+  const std::vector<double> field = {0.0, 1.5, -2.25, 100.125, -0.1};
+  const auto bytes = SerializeField(field);
+  const auto back = DeserializeField(bytes);
+  ASSERT_EQ(back.size(), field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_NEAR(back[i], field[i], Fixed32::Epsilon());
+    EXPECT_DOUBLE_EQ(back[i], QuantizeWeight(field[i]));
+  }
+}
+
+TEST(FunctionRegistryTest, RegisterFindGet)
+{
+  FunctionRegistry registry;
+  const auto fn = NonlinearFunction::Polynomial("sq", {0, 0, 1});
+  registry.Register(fn);
+  registry.Register(fn);  // same pointer: fine
+  EXPECT_EQ(registry.Size(), 1u);
+  EXPECT_EQ(registry.Find("sq").get(), fn.get());
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+  EXPECT_DEATH(registry.Get("missing"), "unknown function");
+}
+
+TEST(FunctionRegistryTest, NameCollisionDies)
+{
+  FunctionRegistry registry;
+  registry.Register(NonlinearFunction::Polynomial("f", {0, 1}));
+  EXPECT_DEATH(registry.Register(NonlinearFunction::Polynomial("f", {1})),
+               "collision");
+}
+
+TEST(FunctionRegistryTest, RegisterAllFindsEveryFunction)
+{
+  ModelConfig config;
+  config.rows = 8;
+  config.cols = 8;
+  const auto model = MakeModel("hodgkin_huxley", config);
+  FunctionRegistry registry;
+  registry.RegisterAll(model->System().equations.empty()
+                           ? NetworkSpec{}
+                           : Mapper::Map(model->System()));
+  // HH uses cube, identity, quartic and six rate functions.
+  EXPECT_EQ(registry.Size(), 9u);
+}
+
+}  // namespace
+}  // namespace cenn

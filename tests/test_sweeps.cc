@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Parameterized property sweeps across the library: dt-refinement
+ * convergence per benchmark, fixed-point error scaling, boundary-
+ * condition behaviour, trace/stats plumbing, and determinism across
+ * repeated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/simulator.h"
+#include "core/network.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "models/heat.h"
+
+namespace cenn {
+namespace {
+
+double
+MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b)
+{
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+// ---- dt-refinement convergence ---------------------------------------------
+
+class DtConvergenceTest : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(DtConvergenceTest, HalvingDtRoughlyHalvesEulerError)
+{
+  // Run the mapped system to a fixed simulated time T with dt and
+  // dt/2; the distance to a dt/4 "truth" must shrink consistently with
+  // first-order convergence.
+  ModelConfig mc;
+  mc.rows = 12;
+  mc.cols = 12;
+  mc.seed = 11;
+  const auto model = MakeModel(GetParam(), mc);
+  NetworkSpec spec = Mapper::Map(model->System());
+
+  const double t_final = spec.dt * 32.0;
+  auto run_with = [&](double dt) {
+    NetworkSpec s = spec;
+    s.dt = dt;
+    MultilayerCenn<double> net(s);
+    net.Run(static_cast<std::uint64_t>(std::llround(t_final / dt)));
+    return net.StateDoubles(0);
+  };
+  const auto coarse = run_with(spec.dt);
+  const auto fine = run_with(spec.dt / 2.0);
+  const auto truth = run_with(spec.dt / 4.0);
+
+  const double e_coarse = MaxAbsDiff(coarse, truth);
+  const double e_fine = MaxAbsDiff(fine, truth);
+  // First-order: e(dt)/e(dt/2) ~ (dt vs dt/2 against dt/4 truth) ~ 3.
+  EXPECT_LT(e_fine, e_coarse * 0.6);
+  EXPECT_GT(e_coarse, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmoothModels, DtConvergenceTest,
+                         ::testing::Values("heat", "fisher",
+                                           "navier_stokes",
+                                           "reaction_diffusion", "wave"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---- fixed-point error scaling ----------------------------------------------
+
+TEST(FixedErrorTest, GrowsSubLinearlyWithSteps)
+{
+  // Heat is contractive: fixed-point rounding noise must not blow up.
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  HeatModel model(mc);
+  const NetworkSpec spec = Mapper::Map(model.System());
+
+  auto error_after = [&](int steps) {
+    MultilayerCenn<double> d(spec);
+    MultilayerCenn<Fixed32> f(spec);
+    d.Run(static_cast<std::uint64_t>(steps));
+    f.Run(static_cast<std::uint64_t>(steps));
+    return MaxAbsDiff(d.StateDoubles(0), f.StateDoubles(0));
+  };
+  const double e50 = error_after(50);
+  const double e400 = error_after(400);
+  EXPECT_LT(e400, 8.0 * e50 + 1e-4);
+  EXPECT_LT(e400, 1e-2);
+}
+
+// ---- boundary conditions ------------------------------------------------------
+
+class BoundaryTest : public ::testing::TestWithParam<BoundaryKind>
+{
+};
+
+TEST_P(BoundaryTest, DiffusionStableUnderAllBoundaries)
+{
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  HeatModel model(mc);
+  NetworkSpec spec = Mapper::Map(model.System());
+  spec.boundary.kind = GetParam();
+  spec.boundary.value = 0.0;
+
+  MultilayerCenn<double> net(spec);
+  const std::vector<double> initial = net.StateDoubles(0);
+  const double max0 = *std::max_element(initial.begin(), initial.end());
+  net.Run(300);
+  const auto field = net.StateDoubles(0);
+  for (double v : field) {
+    EXPECT_GE(v, -1e-9);
+    EXPECT_LE(v, max0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BoundaryTest,
+                         ::testing::Values(BoundaryKind::kZeroFlux,
+                                           BoundaryKind::kDirichlet,
+                                           BoundaryKind::kPeriodic),
+                         [](const auto& info) {
+                           std::string name = BoundaryKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(BoundaryTest, DirichletDrainsHeatZeroFluxKeepsIt)
+{
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  HeatModel model(mc);
+  NetworkSpec spec = Mapper::Map(model.System());
+
+  auto total_after = [&](BoundaryKind kind) {
+    NetworkSpec s = spec;
+    s.boundary = {kind, 0.0};
+    MultilayerCenn<double> net(s);
+    net.Run(400);
+    double sum = 0.0;
+    for (double v : net.StateDoubles(0)) {
+      sum += v;
+    }
+    return sum;
+  };
+  const double kept = total_after(BoundaryKind::kZeroFlux);
+  const double drained = total_after(BoundaryKind::kDirichlet);
+  EXPECT_LT(drained, 0.7 * kept);
+}
+
+// ---- trace & stats plumbing -----------------------------------------------------
+
+TEST(TraceTest, OneSamplePerStepAndConsistentWithReport)
+{
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  const auto model = MakeModel("reaction_diffusion", mc);
+  ArchSimulator sim(MakeProgram(*model), ArchConfig{});
+  sim.EnableTrace();
+  sim.Run(7);
+  ASSERT_EQ(sim.Trace().size(), 7u);
+  std::uint64_t total = 0;
+  std::uint64_t compute = 0;
+  for (const StepTrace& t : sim.Trace()) {
+    EXPECT_GE(t.total_cycles, t.compute_cycles);
+    EXPECT_GE(t.total_cycles, t.memory_cycles);
+    total += t.total_cycles;
+    compute += t.compute_cycles;
+  }
+  EXPECT_EQ(total, sim.Report().total_cycles);
+  EXPECT_EQ(compute, sim.Report().compute_cycles);
+}
+
+TEST(TraceTest, StatsLinesContainEveryCounter)
+{
+  ModelConfig mc;
+  mc.rows = 8;
+  mc.cols = 8;
+  const auto model = MakeModel("izhikevich", mc);
+  ArchSimulator sim(MakeProgram(*model), ArchConfig{});
+  sim.Run(3);
+  const std::string stats = sim.Report().ToStatsLines(600e6);
+  for (const char* key :
+       {"sim.steps 3", "sim.total_cycles", "pe.mac_ops", "lut.l1_accesses",
+        "buf.bank_reads", "dram.data_words"}) {
+    EXPECT_NE(stats.find(key), std::string::npos) << key;
+  }
+}
+
+// ---- determinism ------------------------------------------------------------------
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults)
+{
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  mc.seed = 1234;
+  for (const char* name : {"izhikevich", "gray_scott"}) {
+    const auto m1 = MakeModel(name, mc);
+    const auto m2 = MakeModel(name, mc);
+    const SolverProgram p1 = MakeProgram(*m1);
+    const SolverProgram p2 = MakeProgram(*m2);
+    ArchSimulator s1(p1, ArchConfig{});
+    ArchSimulator s2(p2, ArchConfig{});
+    s1.Run(40);
+    s2.Run(40);
+    EXPECT_EQ(s1.Report().total_cycles, s2.Report().total_cycles) << name;
+    EXPECT_EQ(s1.StateDoubles(0), s2.StateDoubles(0)) << name;
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDifferentInitialConditions)
+{
+  ModelConfig a;
+  a.rows = 16;
+  a.cols = 16;
+  a.seed = 1;
+  ModelConfig b = a;
+  b.seed = 2;
+  const auto ma = MakeModel("heat", a);
+  const auto mb = MakeModel("heat", b);
+  EXPECT_NE(ma->System().equations[0].initial,
+            mb->System().equations[0].initial);
+}
+
+}  // namespace
+}  // namespace cenn

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the utility layer: RNG determinism and distribution
+ * sanity, streaming statistics, table rendering, CSV/PGM output and
+ * CLI flag parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <filesystem>
+#include <fstream>
+
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/io.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace cenn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextU64() == b.NextU64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds)
+{
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard)
+{
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(rng.Gaussian());
+  }
+  EXPECT_NEAR(stat.Mean(), 0.0, 0.02);
+  EXPECT_NEAR(stat.Stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NextBelowIsUnbiasedish)
+{
+  Rng rng(13);
+  int counts[5] = {0};
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[rng.NextBelow(5)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases)
+{
+  Rng rng(17);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(RunningStatTest, BasicMoments)
+{
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.Count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 1.25);  // population variance
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential)
+{
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    all.Add(v);
+    (i < 400 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), all.Count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-9);
+  EXPECT_EQ(left.Min(), all.Min());
+  EXPECT_EQ(left.Max(), all.Max());
+}
+
+TEST(RunningStatTest, EmptyIsSane)
+{
+  RunningStat s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(CompareFieldsTest, ComputesErrorSummary)
+{
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.5, 2.0};
+  const ErrorSummary e = CompareFields(a, b);
+  EXPECT_EQ(e.count, 3u);
+  EXPECT_DOUBLE_EQ(e.max_abs, 1.0);
+  EXPECT_NEAR(e.mean_abs, 0.5, 1e-12);
+  EXPECT_NEAR(e.rms, std::sqrt((0.0 + 0.25 + 1.0) / 3.0), 1e-12);
+}
+
+TEST(CompareFieldsTest, SizeMismatchDies)
+{
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_DEATH(CompareFields(a, b), "size mismatch");
+}
+
+TEST(TextTableTest, AlignsColumns)
+{
+  TextTable t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "2.5"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name         value"), std::string::npos);
+  EXPECT_NE(s.find("longer-name  2.5"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded)
+{
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_NE(t.ToString().find("1"), std::string::npos);
+}
+
+TEST(TextTableTest, TooManyCellsDies)
+{
+  TextTable t({"a"});
+  EXPECT_DEATH(t.AddRow({"1", "2"}), "cells");
+}
+
+TEST(IoTest, PgmRoundTripHeader)
+{
+  const std::string path = "/tmp/cenn_test_io.pgm";
+  std::vector<double> field = {0.0, 0.5, 1.0, 0.25};
+  ASSERT_TRUE(WritePgm(path, field, 2, 2, 0.0, 1.0));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::size_t w = 0;
+  std::size_t h = 0;
+  int maxval = 0;
+  in >> w >> h >> maxval;
+  EXPECT_EQ(w, 2u);
+  EXPECT_EQ(h, 2u);
+  EXPECT_EQ(maxval, 255);
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, CsvWritesHeaderAndRows)
+{
+  const std::string path = "/tmp/cenn_test_io.csv";
+  ASSERT_TRUE(WriteCsv(path, {"a", "b"}, {{1.0, 2.0}, {3.0, 4.0}}));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, AsciiHeatmapShapes)
+{
+  std::vector<double> field(16, 0.0);
+  field[5] = 1.0;
+  const std::string s = AsciiHeatmap(field, 4, 4, 4);
+  // Four lines of four characters.
+  EXPECT_EQ(s.size(), 4u * 5u);
+  EXPECT_NE(s.find('@'), std::string::npos);
+}
+
+TEST(CliTest, ParsesFlagsAndPositional)
+{
+  const char* argv[] = {"prog", "--alpha=1.5", "--name", "foo",
+                        "positional", "--flag"};
+  CliFlags flags(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.GetString("name", ""), "foo");
+  EXPECT_TRUE(flags.GetBool("flag", false));
+  ASSERT_EQ(flags.Positional().size(), 1u);
+  EXPECT_EQ(flags.Positional()[0], "positional");
+  flags.Validate();
+}
+
+TEST(CliTest, DefaultsWhenAbsent)
+{
+  const char* argv[] = {"prog"};
+  CliFlags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_EQ(flags.GetString("missing2", "d"), "d");
+  EXPECT_FALSE(flags.GetBool("missing3", false));
+}
+
+TEST(CliTest, BadIntegerDies)
+{
+  const char* argv[] = {"prog", "--n=abc"};
+  CliFlags flags(2, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetInt("n", 0), "expects an integer");
+}
+
+TEST(CliTest, UnqueriedFlagDiesOnValidate)
+{
+  const char* argv[] = {"prog", "--typo=1"};
+  CliFlags flags(2, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.Validate(), "unknown flag");
+}
+
+TEST(LoggingTest, LogLevelRoundTrips)
+{
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kSilent);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kSilent);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, FormatConcatenatesStreamably)
+{
+  EXPECT_EQ(internal::Format("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(internal::Format(), "");
+}
+
+TEST(LoggingTest, FatalExitsWithCodeOne)
+{
+  EXPECT_EXIT(CENN_FATAL("user error ", 42),
+              ::testing::ExitedWithCode(1), "user error 42");
+}
+
+TEST(LoggingTest, PanicAborts)
+{
+  EXPECT_DEATH(CENN_PANIC("bug"), "panic: bug");
+}
+
+TEST(LoggingTest, AssertPassesAndFails)
+{
+  CENN_ASSERT(1 + 1 == 2, "fine");
+  EXPECT_DEATH(CENN_ASSERT(false, "ctx ", 7), "assertion failed");
+}
+
+TEST(IoTest, PgmHandlesNonFiniteValues)
+{
+  const std::string path = "/tmp/cenn_test_nan.pgm";
+  std::vector<double> field = {0.0, std::nan(""), 1.0,
+                               std::numeric_limits<double>::infinity()};
+  ASSERT_TRUE(WritePgm(path, field, 2, 2));
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, PgmSizeMismatchDies)
+{
+  std::vector<double> field = {0.0};
+  EXPECT_DEATH(WritePgm("/tmp/x.pgm", field, 2, 2), "field size");
+}
+
+TEST(IoTest, AsciiHeatmapEmptyAndDegenerate)
+{
+  EXPECT_EQ(AsciiHeatmap({}, 0, 0), "");
+  std::vector<double> flat(9, 5.0);  // constant field: no div-by-zero
+  const std::string s = AsciiHeatmap(flat, 3, 3, 3);
+  EXPECT_EQ(s.size(), 3u * 4u);
+}
+
+TEST(IoTest, AsciiHeatmapDownsamples)
+{
+  std::vector<double> field(64 * 64, 0.0);
+  const std::string s = AsciiHeatmap(field, 64, 64, 8);
+  EXPECT_EQ(s.size(), 8u * 9u);  // 8 rows of 8 chars + newlines
+}
+
+TEST(TextTableTest, NumFormats)
+{
+  EXPECT_EQ(TextTable::Num(3.14159), "3.142");
+  EXPECT_EQ(TextTable::Num(3.14159, "%.1f"), "3.1");
+  EXPECT_EQ(TextTable::Int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace cenn

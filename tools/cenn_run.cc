@@ -1,0 +1,223 @@
+/**
+ * @file
+ * cenn_run — the production command-line driver for the CeNN DE solver.
+ *
+ * Runs any bundled benchmark model with a chosen engine and prints a
+ * full report: solution snapshot, accuracy against the reference
+ * integrator, cycle/stall statistics, power, and optional artifacts
+ * (PGM snapshot, stats file, checkpoint).
+ *
+ * Engines (--engine):
+ *   double   functional engine, IEEE double (reference arithmetic)
+ *   fixed    functional engine, Q16.16 + LUT datapath
+ *   arch     cycle-level accelerator simulation (fixed datapath + timing)
+ *
+ * Examples:
+ *   cenn_run --model=reaction_diffusion --steps=500 --engine=arch
+ *   cenn_run --model=heat --engine=fixed --heun --rows=128 --cols=128
+ *   cenn_run --model=poisson --steady --tolerance=1e-6
+ *   cenn_run --model=gray_scott --steps=3000 --pgm=pattern.pgm
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "arch/simulator.h"
+#include "core/solver.h"
+#include "lut/lut_evaluator.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "power/power_model.h"
+#include "program/checkpoint.h"
+#include "util/cli.h"
+#include "util/io.h"
+#include "util/stats.h"
+
+namespace cenn {
+namespace {
+
+void
+PrintUsage()
+{
+  std::printf("usage: cenn_run --model=<name> [options]\n\nmodels:");
+  for (const auto& name : AllModelNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf(
+      "\n\noptions:\n"
+      "  --engine=double|fixed|arch   execution engine (default fixed)\n"
+      "  --rows/--cols=N              grid size (default 64)\n"
+      "  --steps=N                    steps (default: model default)\n"
+      "  --seed=N                     RNG seed for initial conditions\n"
+      "  --memory=ddr3|hmc-int|hmc-ext  arch engine memory system\n"
+      "  --heun                       Heun integrator (double/fixed only)\n"
+      "  --steady                     run until steady state\n"
+      "  --tolerance=X                steady-state tolerance (1e-6)\n"
+      "  --compare                    compare against the reference run\n"
+      "  --pgm=FILE                   write layer-0 snapshot as PGM\n"
+      "  --stats=FILE                 write gem5-style stats (arch only)\n"
+      "  --checkpoint=FILE            write a checkpoint at the end\n"
+      "  --ascii                      print an ASCII heatmap of layer 0\n");
+}
+
+int
+RunMain(int argc, char** argv)
+{
+  CliFlags flags(argc, argv);
+  const std::string model_name = flags.GetString("model", "");
+  const bool help = flags.GetBool("help", false);
+  if (help || model_name.empty()) {
+    PrintUsage();
+    return model_name.empty() && !help ? 1 : 0;
+  }
+
+  ModelConfig mc;
+  mc.rows = static_cast<std::size_t>(flags.GetInt("rows", 64));
+  mc.cols = static_cast<std::size_t>(flags.GetInt("cols", 64));
+  mc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const auto model = MakeModel(model_name, mc);
+  const int steps =
+      static_cast<int>(flags.GetInt("steps", model->DefaultSteps()));
+
+  const std::string engine = flags.GetString("engine", "fixed");
+  const std::string memory = flags.GetString("memory", "ddr3");
+  const bool heun = flags.GetBool("heun", false);
+  const bool steady = flags.GetBool("steady", false);
+  const double tolerance = flags.GetDouble("tolerance", 1e-6);
+  const bool compare = flags.GetBool("compare", false);
+  const std::string pgm = flags.GetString("pgm", "");
+  const std::string stats = flags.GetString("stats", "");
+  const std::string checkpoint = flags.GetString("checkpoint", "");
+  const bool ascii = flags.GetBool("ascii", false);
+  flags.Validate();
+
+  MapperReport map_report;
+  SolverProgram program;
+  program.spec = Mapper::MapWithReport(model->System(), &map_report);
+  program.lut_config = model->Luts();
+  if (heun) {
+    if (engine == "arch") {
+      CENN_FATAL("--heun applies to the functional engines only "
+                 "(the hardware integrates with explicit Euler)");
+    }
+    program.spec.integrator = Integrator::kHeun;
+  }
+
+  std::printf("model %s: %zux%zu, %d layers (%s), %d templates with "
+              "real-time update\n",
+              model_name.c_str(), mc.rows, mc.cols, map_report.num_layers,
+              IntegratorName(program.spec.integrator),
+              map_report.templates_needing_update);
+
+  std::vector<double> layer0;
+  std::uint64_t steps_taken = 0;
+
+  if (engine == "arch") {
+    ArchConfig arch;
+    if (memory == "hmc-int") {
+      arch.memory = MemoryParams::HmcInt();
+    } else if (memory == "hmc-ext") {
+      arch.memory = MemoryParams::HmcExt();
+    } else if (memory != "ddr3") {
+      CENN_FATAL("unknown --memory '", memory, "'");
+    }
+    arch.pe_clock_hz = arch.memory.pe_clock_hint_hz;
+    arch = RecommendedArchConfig(program, arch);
+    ArchSimulator sim(program, arch);
+    sim.Run(static_cast<std::uint64_t>(steps));
+    steps_taken = sim.Report().steps;
+    layer0 = sim.StateDoubles(0);
+
+    std::printf("\n%s\n%s\n", arch.Summary().c_str(),
+                sim.Report().ToString(arch.pe_clock_hz).c_str());
+    const EnergyReport energy = ComputeEnergy(sim.Report(), arch);
+    std::printf("power %.3f W (on-chip %.3f + memory %.3f), energy "
+                "%.3f mJ, %.2f GOPS/W\n",
+                energy.total_power_w, energy.onchip_power_w,
+                energy.memory_power_w, energy.energy_j * 1e3,
+                energy.gops_per_watt);
+    if (!stats.empty()) {
+      std::ofstream out(stats);
+      out << sim.Report().ToStatsLines(arch.pe_clock_hz);
+      std::printf("wrote stats to %s\n", stats.c_str());
+    }
+    if (!checkpoint.empty()) {
+      Checkpoint cp = CaptureCheckpoint(sim.Engine());
+      const auto bytes = SerializeCheckpoint(cp);
+      std::ofstream out(checkpoint, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      std::printf("wrote checkpoint to %s (%zu bytes)\n",
+                  checkpoint.c_str(), bytes.size());
+    }
+  } else {
+    SolverOptions options;
+    if (engine == "double") {
+      options.precision = Precision::kDouble;
+    } else if (engine == "fixed") {
+      options.precision = Precision::kFixed32;
+      auto bank = std::make_shared<const LutBank>(program.spec,
+                                                  program.lut_config);
+      options.fixed_evaluator = std::make_shared<LutEvaluatorFixed>(bank);
+    } else {
+      CENN_FATAL("unknown --engine '", engine, "'");
+    }
+    DeSolver solver(program.spec, options);
+    if (steady) {
+      const auto result = solver.RunUntilSteady(
+          tolerance, static_cast<std::uint64_t>(steps));
+      std::printf("\nsteady-state search: %s after %llu steps "
+                  "(delta %.3e, tolerance %.1e)\n",
+                  result.converged ? "converged" : "NOT converged",
+                  static_cast<unsigned long long>(result.steps_taken),
+                  result.final_delta, tolerance);
+    } else {
+      solver.Run(static_cast<std::uint64_t>(steps));
+    }
+    steps_taken = solver.Steps();
+    layer0 = solver.StateDoubles(0);
+    std::printf("\nengine %s: %llu steps, t = %.4f\n",
+                PrecisionName(solver.GetPrecision()),
+                static_cast<unsigned long long>(steps_taken),
+                solver.Time());
+    if (!checkpoint.empty()) {
+      const auto bytes =
+          SerializeCheckpoint(CaptureCheckpoint(solver));
+      std::ofstream out(checkpoint, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      std::printf("wrote checkpoint to %s (%zu bytes)\n",
+                  checkpoint.c_str(), bytes.size());
+    }
+    if (!stats.empty()) {
+      CENN_WARN("--stats is only produced by --engine=arch");
+    }
+  }
+
+  if (compare) {
+    const auto reference =
+        model->ReferenceRun(static_cast<int>(steps_taken));
+    const ErrorSummary err = CompareFields(layer0, reference[0]);
+    std::printf("accuracy vs reference integrator (layer 0): %s\n",
+                FormatError(err).c_str());
+  }
+  if (!pgm.empty() &&
+      WritePgm(pgm, layer0, mc.rows, mc.cols)) {
+    std::printf("wrote %s\n", pgm.c_str());
+  }
+  if (ascii) {
+    std::printf("\n%s", AsciiHeatmap(layer0, mc.rows, mc.cols, 48).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cenn
+
+int
+main(int argc, char** argv)
+{
+  return cenn::RunMain(argc, argv);
+}
