@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/util")
+subdirs("src/fixed")
+subdirs("src/core")
+subdirs("src/lut")
+subdirs("src/mapping")
+subdirs("src/program")
+subdirs("src/models")
+subdirs("src/baseline")
+subdirs("src/arch")
+subdirs("src/power")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")
+subdirs("tools")

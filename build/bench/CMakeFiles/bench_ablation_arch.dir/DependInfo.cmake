@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_arch.cc" "bench/CMakeFiles/bench_ablation_arch.dir/bench_ablation_arch.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_arch.dir/bench_ablation_arch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cenn_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cenn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cenn_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/cenn_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cenn_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cenn_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cenn_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/cenn_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cenn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/cenn_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cenn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

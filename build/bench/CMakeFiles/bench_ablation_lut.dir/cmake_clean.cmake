@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lut.dir/bench_ablation_lut.cc.o"
+  "CMakeFiles/bench_ablation_lut.dir/bench_ablation_lut.cc.o.d"
+  "bench_ablation_lut"
+  "bench_ablation_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

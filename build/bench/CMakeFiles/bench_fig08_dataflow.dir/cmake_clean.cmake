@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_dataflow.dir/bench_fig08_dataflow.cc.o"
+  "CMakeFiles/bench_fig08_dataflow.dir/bench_fig08_dataflow.cc.o.d"
+  "bench_fig08_dataflow"
+  "bench_fig08_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

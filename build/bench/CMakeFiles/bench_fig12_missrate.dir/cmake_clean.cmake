@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_missrate.dir/bench_fig12_missrate.cc.o"
+  "CMakeFiles/bench_fig12_missrate.dir/bench_fig12_missrate.cc.o.d"
+  "bench_fig12_missrate"
+  "bench_fig12_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

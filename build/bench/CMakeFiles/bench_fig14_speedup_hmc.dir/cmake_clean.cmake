@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_speedup_hmc.dir/bench_fig14_speedup_hmc.cc.o"
+  "CMakeFiles/bench_fig14_speedup_hmc.dir/bench_fig14_speedup_hmc.cc.o.d"
+  "bench_fig14_speedup_hmc"
+  "bench_fig14_speedup_hmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_speedup_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libcenn_benchutil.a"
+  "../lib/libcenn_benchutil.pdb"
+  "CMakeFiles/cenn_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/cenn_benchutil.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_vortex.dir/fluid_vortex.cpp.o"
+  "CMakeFiles/fluid_vortex.dir/fluid_vortex.cpp.o.d"
+  "fluid_vortex"
+  "fluid_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

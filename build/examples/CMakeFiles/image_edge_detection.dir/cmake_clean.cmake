@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_edge_detection.dir/image_edge_detection.cpp.o"
+  "CMakeFiles/image_edge_detection.dir/image_edge_detection.cpp.o.d"
+  "image_edge_detection"
+  "image_edge_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_edge_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

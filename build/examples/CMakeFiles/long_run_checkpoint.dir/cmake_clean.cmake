@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_run_checkpoint.dir/long_run_checkpoint.cpp.o"
+  "CMakeFiles/long_run_checkpoint.dir/long_run_checkpoint.cpp.o.d"
+  "long_run_checkpoint"
+  "long_run_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_run_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/programmable_solver.cpp" "examples/CMakeFiles/programmable_solver.dir/programmable_solver.cpp.o" "gcc" "examples/CMakeFiles/programmable_solver.dir/programmable_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/cenn_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cenn_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cenn_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cenn_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/cenn_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/cenn_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cenn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/cenn_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cenn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

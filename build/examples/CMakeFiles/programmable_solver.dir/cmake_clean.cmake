@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programmable_solver.dir/programmable_solver.cpp.o"
+  "CMakeFiles/programmable_solver.dir/programmable_solver.cpp.o.d"
+  "programmable_solver"
+  "programmable_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programmable_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

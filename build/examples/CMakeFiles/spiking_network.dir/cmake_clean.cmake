@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spiking_network.dir/spiking_network.cpp.o"
+  "CMakeFiles/spiking_network.dir/spiking_network.cpp.o.d"
+  "spiking_network"
+  "spiking_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spiking_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

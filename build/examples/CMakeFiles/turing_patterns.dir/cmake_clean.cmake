@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turing_patterns.dir/turing_patterns.cpp.o"
+  "CMakeFiles/turing_patterns.dir/turing_patterns.cpp.o.d"
+  "turing_patterns"
+  "turing_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turing_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--rows=16" "--cols=16" "--steps=20")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_quickstart_fixed]=] "/root/repo/build/examples/quickstart" "--rows=16" "--cols=16" "--steps=20" "--fixed")
+set_tests_properties([=[example_quickstart_fixed]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_turing_patterns]=] "/root/repo/build/examples/turing_patterns" "--rows=24" "--cols=24" "--steps=100" "--snapshots=1" "--out=/tmp/cenn_example_gs")
+set_tests_properties([=[example_turing_patterns]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_spiking_network]=] "/root/repo/build/examples/spiking_network" "--rows=8" "--cols=8" "--steps=200")
+set_tests_properties([=[example_spiking_network]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_fluid_vortex]=] "/root/repo/build/examples/fluid_vortex" "--rows=16" "--cols=16" "--steps=40")
+set_tests_properties([=[example_fluid_vortex]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_programmable_solver]=] "/root/repo/build/examples/programmable_solver" "--model=izhikevich" "--steps=10")
+set_tests_properties([=[example_programmable_solver]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_programmable_solver_hmc]=] "/root/repo/build/examples/programmable_solver" "--model=heat" "--steps=10" "--memory=hmc-int")
+set_tests_properties([=[example_programmable_solver_hmc]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_long_run_checkpoint]=] "/root/repo/build/examples/long_run_checkpoint" "--rows=16" "--cols=16" "--segment=50" "--segments=2" "--file=/tmp/cenn_example_cp.bin")
+set_tests_properties([=[example_long_run_checkpoint]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_parameter_sweep]=] "/root/repo/build/examples/parameter_sweep" "--rows=4" "--cols=4" "--steps=200" "--points=3")
+set_tests_properties([=[example_parameter_sweep]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_image_edge_detection]=] "/root/repo/build/examples/image_edge_detection" "--rows=24" "--cols=32" "--steps=50")
+set_tests_properties([=[example_image_edge_detection]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")

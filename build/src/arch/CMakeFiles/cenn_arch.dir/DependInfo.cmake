@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch_config.cc" "src/arch/CMakeFiles/cenn_arch.dir/arch_config.cc.o" "gcc" "src/arch/CMakeFiles/cenn_arch.dir/arch_config.cc.o.d"
+  "/root/repo/src/arch/buffers.cc" "src/arch/CMakeFiles/cenn_arch.dir/buffers.cc.o" "gcc" "src/arch/CMakeFiles/cenn_arch.dir/buffers.cc.o.d"
+  "/root/repo/src/arch/dataflow.cc" "src/arch/CMakeFiles/cenn_arch.dir/dataflow.cc.o" "gcc" "src/arch/CMakeFiles/cenn_arch.dir/dataflow.cc.o.d"
+  "/root/repo/src/arch/dram_channel.cc" "src/arch/CMakeFiles/cenn_arch.dir/dram_channel.cc.o" "gcc" "src/arch/CMakeFiles/cenn_arch.dir/dram_channel.cc.o.d"
+  "/root/repo/src/arch/sim_report.cc" "src/arch/CMakeFiles/cenn_arch.dir/sim_report.cc.o" "gcc" "src/arch/CMakeFiles/cenn_arch.dir/sim_report.cc.o.d"
+  "/root/repo/src/arch/simulator.cc" "src/arch/CMakeFiles/cenn_arch.dir/simulator.cc.o" "gcc" "src/arch/CMakeFiles/cenn_arch.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cenn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/cenn_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cenn_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/cenn_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cenn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

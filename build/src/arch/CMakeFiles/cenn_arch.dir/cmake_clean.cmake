@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_arch.dir/arch_config.cc.o"
+  "CMakeFiles/cenn_arch.dir/arch_config.cc.o.d"
+  "CMakeFiles/cenn_arch.dir/buffers.cc.o"
+  "CMakeFiles/cenn_arch.dir/buffers.cc.o.d"
+  "CMakeFiles/cenn_arch.dir/dataflow.cc.o"
+  "CMakeFiles/cenn_arch.dir/dataflow.cc.o.d"
+  "CMakeFiles/cenn_arch.dir/dram_channel.cc.o"
+  "CMakeFiles/cenn_arch.dir/dram_channel.cc.o.d"
+  "CMakeFiles/cenn_arch.dir/sim_report.cc.o"
+  "CMakeFiles/cenn_arch.dir/sim_report.cc.o.d"
+  "CMakeFiles/cenn_arch.dir/simulator.cc.o"
+  "CMakeFiles/cenn_arch.dir/simulator.cc.o.d"
+  "libcenn_arch.a"
+  "libcenn_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

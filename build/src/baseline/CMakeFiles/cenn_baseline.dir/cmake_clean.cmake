@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_baseline.dir/platform_model.cc.o"
+  "CMakeFiles/cenn_baseline.dir/platform_model.cc.o.d"
+  "CMakeFiles/cenn_baseline.dir/workload.cc.o"
+  "CMakeFiles/cenn_baseline.dir/workload.cc.o.d"
+  "libcenn_baseline.a"
+  "libcenn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/network.cc" "src/core/CMakeFiles/cenn_core.dir/network.cc.o" "gcc" "src/core/CMakeFiles/cenn_core.dir/network.cc.o.d"
+  "/root/repo/src/core/network_spec.cc" "src/core/CMakeFiles/cenn_core.dir/network_spec.cc.o" "gcc" "src/core/CMakeFiles/cenn_core.dir/network_spec.cc.o.d"
+  "/root/repo/src/core/nonlinear.cc" "src/core/CMakeFiles/cenn_core.dir/nonlinear.cc.o" "gcc" "src/core/CMakeFiles/cenn_core.dir/nonlinear.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/core/CMakeFiles/cenn_core.dir/solver.cc.o" "gcc" "src/core/CMakeFiles/cenn_core.dir/solver.cc.o.d"
+  "/root/repo/src/core/template_kernel.cc" "src/core/CMakeFiles/cenn_core.dir/template_kernel.cc.o" "gcc" "src/core/CMakeFiles/cenn_core.dir/template_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixed/CMakeFiles/cenn_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cenn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

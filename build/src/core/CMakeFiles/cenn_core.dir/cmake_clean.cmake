@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_core.dir/network.cc.o"
+  "CMakeFiles/cenn_core.dir/network.cc.o.d"
+  "CMakeFiles/cenn_core.dir/network_spec.cc.o"
+  "CMakeFiles/cenn_core.dir/network_spec.cc.o.d"
+  "CMakeFiles/cenn_core.dir/nonlinear.cc.o"
+  "CMakeFiles/cenn_core.dir/nonlinear.cc.o.d"
+  "CMakeFiles/cenn_core.dir/solver.cc.o"
+  "CMakeFiles/cenn_core.dir/solver.cc.o.d"
+  "CMakeFiles/cenn_core.dir/template_kernel.cc.o"
+  "CMakeFiles/cenn_core.dir/template_kernel.cc.o.d"
+  "libcenn_core.a"
+  "libcenn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

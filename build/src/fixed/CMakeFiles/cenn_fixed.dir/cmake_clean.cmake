@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_fixed.dir/fixed32.cc.o"
+  "CMakeFiles/cenn_fixed.dir/fixed32.cc.o.d"
+  "libcenn_fixed.a"
+  "libcenn_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

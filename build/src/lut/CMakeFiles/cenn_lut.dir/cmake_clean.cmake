@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_lut.dir/lut_bank.cc.o"
+  "CMakeFiles/cenn_lut.dir/lut_bank.cc.o.d"
+  "CMakeFiles/cenn_lut.dir/lut_cache.cc.o"
+  "CMakeFiles/cenn_lut.dir/lut_cache.cc.o.d"
+  "CMakeFiles/cenn_lut.dir/lut_hierarchy.cc.o"
+  "CMakeFiles/cenn_lut.dir/lut_hierarchy.cc.o.d"
+  "CMakeFiles/cenn_lut.dir/off_chip_lut.cc.o"
+  "CMakeFiles/cenn_lut.dir/off_chip_lut.cc.o.d"
+  "libcenn_lut.a"
+  "libcenn_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/equation.cc" "src/mapping/CMakeFiles/cenn_mapping.dir/equation.cc.o" "gcc" "src/mapping/CMakeFiles/cenn_mapping.dir/equation.cc.o.d"
+  "/root/repo/src/mapping/finite_difference.cc" "src/mapping/CMakeFiles/cenn_mapping.dir/finite_difference.cc.o" "gcc" "src/mapping/CMakeFiles/cenn_mapping.dir/finite_difference.cc.o.d"
+  "/root/repo/src/mapping/mapper.cc" "src/mapping/CMakeFiles/cenn_mapping.dir/mapper.cc.o" "gcc" "src/mapping/CMakeFiles/cenn_mapping.dir/mapper.cc.o.d"
+  "/root/repo/src/mapping/stability.cc" "src/mapping/CMakeFiles/cenn_mapping.dir/stability.cc.o" "gcc" "src/mapping/CMakeFiles/cenn_mapping.dir/stability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cenn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/cenn_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cenn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_mapping.dir/equation.cc.o"
+  "CMakeFiles/cenn_mapping.dir/equation.cc.o.d"
+  "CMakeFiles/cenn_mapping.dir/finite_difference.cc.o"
+  "CMakeFiles/cenn_mapping.dir/finite_difference.cc.o.d"
+  "CMakeFiles/cenn_mapping.dir/mapper.cc.o"
+  "CMakeFiles/cenn_mapping.dir/mapper.cc.o.d"
+  "CMakeFiles/cenn_mapping.dir/stability.cc.o"
+  "CMakeFiles/cenn_mapping.dir/stability.cc.o.d"
+  "libcenn_mapping.a"
+  "libcenn_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

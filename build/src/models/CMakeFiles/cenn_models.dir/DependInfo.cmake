@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/benchmark_model.cc" "src/models/CMakeFiles/cenn_models.dir/benchmark_model.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/benchmark_model.cc.o.d"
+  "/root/repo/src/models/brusselator.cc" "src/models/CMakeFiles/cenn_models.dir/brusselator.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/brusselator.cc.o.d"
+  "/root/repo/src/models/fisher.cc" "src/models/CMakeFiles/cenn_models.dir/fisher.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/fisher.cc.o.d"
+  "/root/repo/src/models/heat.cc" "src/models/CMakeFiles/cenn_models.dir/heat.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/heat.cc.o.d"
+  "/root/repo/src/models/hodgkin_huxley.cc" "src/models/CMakeFiles/cenn_models.dir/hodgkin_huxley.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/hodgkin_huxley.cc.o.d"
+  "/root/repo/src/models/izhikevich.cc" "src/models/CMakeFiles/cenn_models.dir/izhikevich.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/izhikevich.cc.o.d"
+  "/root/repo/src/models/navier_stokes.cc" "src/models/CMakeFiles/cenn_models.dir/navier_stokes.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/navier_stokes.cc.o.d"
+  "/root/repo/src/models/poisson.cc" "src/models/CMakeFiles/cenn_models.dir/poisson.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/poisson.cc.o.d"
+  "/root/repo/src/models/reaction_diffusion.cc" "src/models/CMakeFiles/cenn_models.dir/reaction_diffusion.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/reaction_diffusion.cc.o.d"
+  "/root/repo/src/models/wave.cc" "src/models/CMakeFiles/cenn_models.dir/wave.cc.o" "gcc" "src/models/CMakeFiles/cenn_models.dir/wave.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/cenn_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cenn_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/cenn_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cenn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/cenn_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cenn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_models.dir/benchmark_model.cc.o"
+  "CMakeFiles/cenn_models.dir/benchmark_model.cc.o.d"
+  "CMakeFiles/cenn_models.dir/brusselator.cc.o"
+  "CMakeFiles/cenn_models.dir/brusselator.cc.o.d"
+  "CMakeFiles/cenn_models.dir/fisher.cc.o"
+  "CMakeFiles/cenn_models.dir/fisher.cc.o.d"
+  "CMakeFiles/cenn_models.dir/heat.cc.o"
+  "CMakeFiles/cenn_models.dir/heat.cc.o.d"
+  "CMakeFiles/cenn_models.dir/hodgkin_huxley.cc.o"
+  "CMakeFiles/cenn_models.dir/hodgkin_huxley.cc.o.d"
+  "CMakeFiles/cenn_models.dir/izhikevich.cc.o"
+  "CMakeFiles/cenn_models.dir/izhikevich.cc.o.d"
+  "CMakeFiles/cenn_models.dir/navier_stokes.cc.o"
+  "CMakeFiles/cenn_models.dir/navier_stokes.cc.o.d"
+  "CMakeFiles/cenn_models.dir/poisson.cc.o"
+  "CMakeFiles/cenn_models.dir/poisson.cc.o.d"
+  "CMakeFiles/cenn_models.dir/reaction_diffusion.cc.o"
+  "CMakeFiles/cenn_models.dir/reaction_diffusion.cc.o.d"
+  "CMakeFiles/cenn_models.dir/wave.cc.o"
+  "CMakeFiles/cenn_models.dir/wave.cc.o.d"
+  "libcenn_models.a"
+  "libcenn_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

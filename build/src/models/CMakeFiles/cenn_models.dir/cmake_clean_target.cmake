@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcenn_models.a"
+)

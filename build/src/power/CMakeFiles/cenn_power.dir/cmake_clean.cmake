@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_power.dir/power_model.cc.o"
+  "CMakeFiles/cenn_power.dir/power_model.cc.o.d"
+  "libcenn_power.a"
+  "libcenn_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

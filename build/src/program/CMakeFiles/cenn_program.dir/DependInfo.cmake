@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/bitstream.cc" "src/program/CMakeFiles/cenn_program.dir/bitstream.cc.o" "gcc" "src/program/CMakeFiles/cenn_program.dir/bitstream.cc.o.d"
+  "/root/repo/src/program/checkpoint.cc" "src/program/CMakeFiles/cenn_program.dir/checkpoint.cc.o" "gcc" "src/program/CMakeFiles/cenn_program.dir/checkpoint.cc.o.d"
+  "/root/repo/src/program/solver_program.cc" "src/program/CMakeFiles/cenn_program.dir/solver_program.cc.o" "gcc" "src/program/CMakeFiles/cenn_program.dir/solver_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cenn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/cenn_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/cenn_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cenn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_program.dir/bitstream.cc.o"
+  "CMakeFiles/cenn_program.dir/bitstream.cc.o.d"
+  "CMakeFiles/cenn_program.dir/checkpoint.cc.o"
+  "CMakeFiles/cenn_program.dir/checkpoint.cc.o.d"
+  "CMakeFiles/cenn_program.dir/solver_program.cc.o"
+  "CMakeFiles/cenn_program.dir/solver_program.cc.o.d"
+  "libcenn_program.a"
+  "libcenn_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

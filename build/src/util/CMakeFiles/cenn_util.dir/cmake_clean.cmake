@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_util.dir/cli.cc.o"
+  "CMakeFiles/cenn_util.dir/cli.cc.o.d"
+  "CMakeFiles/cenn_util.dir/io.cc.o"
+  "CMakeFiles/cenn_util.dir/io.cc.o.d"
+  "CMakeFiles/cenn_util.dir/logging.cc.o"
+  "CMakeFiles/cenn_util.dir/logging.cc.o.d"
+  "CMakeFiles/cenn_util.dir/rng.cc.o"
+  "CMakeFiles/cenn_util.dir/rng.cc.o.d"
+  "CMakeFiles/cenn_util.dir/stats.cc.o"
+  "CMakeFiles/cenn_util.dir/stats.cc.o.d"
+  "CMakeFiles/cenn_util.dir/table.cc.o"
+  "CMakeFiles/cenn_util.dir/table.cc.o.d"
+  "libcenn_util.a"
+  "libcenn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

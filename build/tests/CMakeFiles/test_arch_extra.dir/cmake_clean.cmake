@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_extra.dir/test_arch_extra.cc.o"
+  "CMakeFiles/test_arch_extra.dir/test_arch_extra.cc.o.d"
+  "test_arch_extra"
+  "test_arch_extra.pdb"
+  "test_arch_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

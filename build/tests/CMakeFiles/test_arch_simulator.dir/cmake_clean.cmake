@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_simulator.dir/test_arch_simulator.cc.o"
+  "CMakeFiles/test_arch_simulator.dir/test_arch_simulator.cc.o.d"
+  "test_arch_simulator"
+  "test_arch_simulator.pdb"
+  "test_arch_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

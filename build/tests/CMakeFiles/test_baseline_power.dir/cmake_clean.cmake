@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_power.dir/test_baseline_power.cc.o"
+  "CMakeFiles/test_baseline_power.dir/test_baseline_power.cc.o.d"
+  "test_baseline_power"
+  "test_baseline_power.pdb"
+  "test_baseline_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed32.dir/test_fixed32.cc.o"
+  "CMakeFiles/test_fixed32.dir/test_fixed32.cc.o.d"
+  "test_fixed32"
+  "test_fixed32.pdb"
+  "test_fixed32[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lut.dir/test_lut.cc.o"
+  "CMakeFiles/test_lut.dir/test_lut.cc.o.d"
+  "test_lut"
+  "test_lut.pdb"
+  "test_lut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_integration.dir/test_models_integration.cc.o"
+  "CMakeFiles/test_models_integration.dir/test_models_integration.cc.o.d"
+  "test_models_integration"
+  "test_models_integration.pdb"
+  "test_models_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_physics.dir/test_models_physics.cc.o"
+  "CMakeFiles/test_models_physics.dir/test_models_physics.cc.o.d"
+  "test_models_physics"
+  "test_models_physics.pdb"
+  "test_models_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_arch_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_arch_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_buffers[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_power[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_fixed32[1]_include.cmake")
+include("/root/repo/build/tests/test_integrators[1]_include.cmake")
+include("/root/repo/build/tests/test_lut[1]_include.cmake")
+include("/root/repo/build/tests/test_mapping[1]_include.cmake")
+include("/root/repo/build/tests/test_models_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_models_physics[1]_include.cmake")
+include("/root/repo/build/tests/test_program[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")

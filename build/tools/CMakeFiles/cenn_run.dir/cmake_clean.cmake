@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cenn_run.dir/cenn_run.cc.o"
+  "CMakeFiles/cenn_run.dir/cenn_run.cc.o.d"
+  "cenn_run"
+  "cenn_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cenn_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

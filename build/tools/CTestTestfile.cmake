@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[tool_cenn_run_fixed]=] "/root/repo/build/tools/cenn_run" "--model=heat" "--rows=16" "--cols=16" "--steps=30" "--compare" "--ascii")
+set_tests_properties([=[tool_cenn_run_fixed]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool_cenn_run_arch]=] "/root/repo/build/tools/cenn_run" "--model=izhikevich" "--rows=16" "--cols=16" "--steps=20" "--engine=arch" "--memory=hmc-int" "--stats=/tmp/cenn_stats.txt")
+set_tests_properties([=[tool_cenn_run_arch]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool_cenn_run_steady]=] "/root/repo/build/tools/cenn_run" "--model=poisson" "--rows=16" "--cols=16" "--steps=4000" "--engine=double" "--steady" "--tolerance=1e-7")
+set_tests_properties([=[tool_cenn_run_steady]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool_cenn_run_heun]=] "/root/repo/build/tools/cenn_run" "--model=fisher" "--rows=16" "--cols=16" "--steps=50" "--engine=double" "--heun" "--compare")
+set_tests_properties([=[tool_cenn_run_heun]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
