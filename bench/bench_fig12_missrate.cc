@@ -16,6 +16,7 @@
 
 #include "arch/simulator.h"
 #include "models/benchmark_model.h"
+#include "obs/stat_registry.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -53,14 +54,20 @@ main(int argc, char** argv)
         config.l2_entries = l2;
         ArchSimulator sim(program, config);
         sim.Run(static_cast<std::uint64_t>(steps));
-        const auto& act = sim.Report().activity;
+        // Read everything through the stat registry rather than the
+        // raw ActivityCounters fields: this is the named-stat surface
+        // plotting scripts consume, and exercising it here proves the
+        // registry view stays consistent with the report.
+        StatRegistry reg;
+        sim.RegisterStats(&reg);
+        const double mr_l1 = reg.Value("lut.l1.miss_rate");
+        const double mr_l2 = reg.Value("lut.l2.miss_rate");
         table.AddRow({TextTable::Int(l1), TextTable::Int(l2),
-                      TextTable::Num(act.L1MissRate(), "%.3f"),
-                      TextTable::Num(act.L2MissRate(), "%.3f"),
-                      TextTable::Num(act.L1MissRate() * act.L2MissRate(),
-                                     "%.4f"),
+                      TextTable::Num(mr_l1, "%.3f"),
+                      TextTable::Num(mr_l2, "%.3f"),
+                      TextTable::Num(mr_l1 * mr_l2, "%.4f"),
                       TextTable::Int(static_cast<long long>(
-                          act.lut_dram_fetches))});
+                          reg.Value("lut.dram_fetches")))});
       }
     }
     table.Print();

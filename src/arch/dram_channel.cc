@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/profile.h"
+#include "obs/stat_registry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -23,6 +26,7 @@ DramChannelModel::DramChannelModel(int channels,
 std::uint64_t
 DramChannelModel::Issue(int channel, std::uint64_t now)
 {
+  CENN_PROF("dram.issue");
   CENN_ASSERT(channel >= 0 && channel < NumChannels(), "bad channel ",
               channel);
   const auto c = static_cast<std::size_t>(channel);
@@ -30,7 +34,41 @@ DramChannelModel::Issue(int channel, std::uint64_t now)
   free_at_[c] = start + service_cycles_;
   busy_cycles_[c] += service_cycles_;
   ++fetches_[c];
+  if (trace_ != nullptr) {
+    trace_->Complete(TraceCategory::kDram, "dram.fetch", start,
+                     service_cycles_, static_cast<std::uint32_t>(channel));
+  }
   return start + latency_cycles_ + service_cycles_;
+}
+
+void
+DramChannelModel::AttachTrace(TraceSession* trace)
+{
+  trace_ = (trace != nullptr && trace->Enabled(TraceCategory::kDram))
+               ? trace
+               : nullptr;
+}
+
+void
+DramChannelModel::BindStats(StatRegistry* registry,
+                            const std::string& prefix) const
+{
+  StatRegistry& reg = *registry;
+  reg.BindDerived(prefix + "fetches", "LUT block fetches (all channels)",
+                  [this] {
+                    double total = 0.0;
+                    for (const std::uint64_t f : fetches_) {
+                      total += static_cast<double>(f);
+                    }
+                    return total;
+                  });
+  for (std::size_t i = 0; i < fetches_.size(); ++i) {
+    const std::string ch = prefix + "ch" + std::to_string(i);
+    reg.BindCounter(ch + ".fetches", "block fetches on this channel",
+                    &fetches_[i]);
+    reg.BindCounter(ch + ".busy_cycles", "cycles this channel was busy",
+                    &busy_cycles_[i]);
+  }
 }
 
 double

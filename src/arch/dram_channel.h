@@ -15,9 +15,13 @@
  */
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cenn {
+
+class StatRegistry;
+class TraceSession;
 
 /** Busy-interval model of the external memory channels. */
 class DramChannelModel
@@ -54,12 +58,28 @@ class DramChannelModel
     std::uint64_t ServiceCycles() const { return service_cycles_; }
     std::uint64_t LatencyCycles() const { return latency_cycles_; }
 
+    /**
+     * Starts emitting one complete event (category kDram) per fetch
+     * into `trace`, spanning the channel's busy interval with the
+     * channel id as the lane. Pass null to detach.
+     */
+    void AttachTrace(TraceSession* trace);
+
+    /**
+     * Binds per-channel fetch/busy counters and a peak-utilization
+     * gauge under `prefix` (e.g. "dram."): `<prefix>ch<i>.fetches`,
+     * `<prefix>ch<i>.busy_cycles`, `<prefix>fetches`. The model must
+     * outlive the registry's dumps.
+     */
+    void BindStats(StatRegistry* registry, const std::string& prefix) const;
+
   private:
     std::uint64_t service_cycles_;
     std::uint64_t latency_cycles_;
     std::vector<std::uint64_t> free_at_;
     std::vector<std::uint64_t> fetches_;
     std::vector<std::uint64_t> busy_cycles_;
+    TraceSession* trace_ = nullptr;
 };
 
 }  // namespace cenn

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/stat_registry.h"
+
 namespace cenn {
 
 double
@@ -61,48 +63,74 @@ SimReport::ToString(double pe_clock_hz) const
   return buf;
 }
 
+void
+ActivityCounters::BindStats(StatRegistry* registry) const
+{
+  StatRegistry& reg = *registry;
+  reg.BindCounter("pe.mac_ops", "PE multiply-accumulates", &mac_ops);
+  reg.BindCounter("pe.tum_evals", "TUM alpha evaluations", &tum_evals);
+  reg.BindCounter("pe.reset_ops", "threshold comparator operations",
+                  &reset_ops);
+  reg.BindCounter("lut.l1_accesses", "private L1 LUT probes", &l1_accesses);
+  reg.BindCounter("lut.l1_misses", "private L1 LUT misses", &l1_misses);
+  reg.BindCounter("lut.l2_accesses", "shared L2 LUT probes", &l2_accesses);
+  reg.BindCounter("lut.l2_misses", "shared L2 LUT misses", &l2_misses);
+  reg.BindCounter("lut.dram_fetches", "8-entry LUT block fetches from DRAM",
+                  &lut_dram_fetches);
+  reg.BindDerived("lut.l1.miss_rate", "L1 misses / L1 accesses",
+                  [this] { return L1MissRate(); });
+  reg.BindDerived("lut.l2.miss_rate", "L2 misses / L2 accesses",
+                  [this] { return L2MissRate(); });
+  reg.BindCounter("buf.bank_reads", "global-buffer words read", &bank_reads);
+  reg.BindCounter("buf.bank_writes", "global-buffer words written",
+                  &bank_writes);
+  reg.BindCounter("dram.data_words", "streamed state/input words",
+                  &dram_data_words);
+}
+
+void
+SimReport::BindStats(StatRegistry* registry, double pe_clock_hz) const
+{
+  StatRegistry& reg = *registry;
+  reg.BindCounter("sim.steps", "solver time steps executed", &steps);
+  reg.BindCounter("sim.total_cycles", "end-to-end PE cycles",
+                  &total_cycles);
+  reg.BindCounter("sim.compute_cycles", "convolution broadcast cycles",
+                  &compute_cycles);
+  reg.BindCounter("sim.stall_l2_cycles", "cycles stalled on shared L2 LUTs",
+                  &stall_l2_cycles);
+  reg.BindCounter("sim.stall_dram_cycles",
+                  "cycles stalled on DRAM LUT fetches", &stall_dram_cycles);
+  reg.BindCounter("sim.memory_cycles", "streaming (prefetch+writeback) "
+                  "cycle demand", &memory_cycles);
+  reg.BindDerived("sim.seconds", "wall-clock seconds at the PE clock",
+                  [this, pe_clock_hz] { return Seconds(pe_clock_hz); });
+  reg.BindDerived("sim.gops", "achieved GOPS at the PE clock",
+                  [this, pe_clock_hz] { return Gops(pe_clock_hz); });
+  reg.BindDerived("sim.total_ops", "arithmetic operations performed",
+                  [this] { return static_cast<double>(TotalOps()); });
+  reg.BindDerived("sim.cycles_per_step", "total cycles / steps", [this] {
+    return steps == 0 ? 0.0
+                      : static_cast<double>(total_cycles) /
+                            static_cast<double>(steps);
+  });
+  reg.BindDerived("sim.stall_frac",
+                  "stall cycles / total cycles", [this] {
+                    return total_cycles == 0
+                               ? 0.0
+                               : static_cast<double>(stall_l2_cycles +
+                                                     stall_dram_cycles) /
+                                     static_cast<double>(total_cycles);
+                  });
+  activity.BindStats(registry);
+}
+
 std::string
 SimReport::ToStatsLines(double pe_clock_hz) const
 {
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof(buf),
-      "sim.steps %llu\n"
-      "sim.total_cycles %llu\n"
-      "sim.compute_cycles %llu\n"
-      "sim.stall_l2_cycles %llu\n"
-      "sim.stall_dram_cycles %llu\n"
-      "sim.memory_cycles %llu\n"
-      "sim.seconds %.9g\n"
-      "sim.gops %.6g\n"
-      "pe.mac_ops %llu\n"
-      "pe.tum_evals %llu\n"
-      "lut.l1_accesses %llu\n"
-      "lut.l1_misses %llu\n"
-      "lut.l2_accesses %llu\n"
-      "lut.l2_misses %llu\n"
-      "lut.dram_fetches %llu\n"
-      "buf.bank_reads %llu\n"
-      "buf.bank_writes %llu\n"
-      "dram.data_words %llu\n",
-      static_cast<unsigned long long>(steps),
-      static_cast<unsigned long long>(total_cycles),
-      static_cast<unsigned long long>(compute_cycles),
-      static_cast<unsigned long long>(stall_l2_cycles),
-      static_cast<unsigned long long>(stall_dram_cycles),
-      static_cast<unsigned long long>(memory_cycles),
-      Seconds(pe_clock_hz), Gops(pe_clock_hz),
-      static_cast<unsigned long long>(activity.mac_ops),
-      static_cast<unsigned long long>(activity.tum_evals),
-      static_cast<unsigned long long>(activity.l1_accesses),
-      static_cast<unsigned long long>(activity.l1_misses),
-      static_cast<unsigned long long>(activity.l2_accesses),
-      static_cast<unsigned long long>(activity.l2_misses),
-      static_cast<unsigned long long>(activity.lut_dram_fetches),
-      static_cast<unsigned long long>(activity.bank_reads),
-      static_cast<unsigned long long>(activity.bank_writes),
-      static_cast<unsigned long long>(activity.dram_data_words));
-  return buf;
+  StatRegistry reg;
+  BindStats(&reg, pe_clock_hz);
+  return reg.DumpText();
 }
 
 }  // namespace cenn

@@ -6,12 +6,21 @@
  * Cycle and activity accounting produced by the architecture simulator.
  * The power model (src/power) converts these raw counts into energy and
  * the benchmark harnesses into the paper's speedup/miss-rate numbers.
+ *
+ * Both structs keep their plain public fields — subsystems increment
+ * them directly on the hot path — but are *views over the stat
+ * registry*: BindStats() registers every field (plus derived rates)
+ * under the canonical `sim.* / pe.* / lut.* / buf.* / dram.*` names,
+ * and the text dump (ToStatsLines) is produced by the registry, so
+ * report fields and named stats can never drift apart.
  */
 
 #include <cstdint>
 #include <string>
 
 namespace cenn {
+
+class StatRegistry;
 
 /** Raw event counts accumulated over a simulation. */
 struct ActivityCounters {
@@ -32,6 +41,13 @@ struct ActivityCounters {
 
   /** L2 miss rate over the whole run. */
   double L2MissRate() const;
+
+  /**
+   * Binds every counter (and the derived miss rates) into `registry`
+   * under the canonical `pe.* / lut.* / buf.* / dram.*` names. The
+   * struct must outlive the registry's dumps; values are read live.
+   */
+  void BindStats(StatRegistry* registry) const;
 };
 
 /** Timing summary of a simulated run. */
@@ -72,8 +88,18 @@ struct SimReport {
   std::string ToString(double pe_clock_hz) const;
 
   /**
+   * Binds the timing totals, derived rates (seconds, GOPS,
+   * cycles/step) and the embedded ActivityCounters into `registry`
+   * under `sim.*` and the activity prefixes. The report must outlive
+   * the registry's dumps; values are read live, so one registry bound
+   * to a running simulation dumps fresh numbers every time.
+   */
+  void BindStats(StatRegistry* registry, double pe_clock_hz) const;
+
+  /**
    * gem5-style machine-readable stats dump: one "name value" pair per
    * line, suitable for diffing runs and feeding plotting scripts.
+   * Implemented as a StatRegistry dump of BindStats().
    */
   std::string ToStatsLines(double pe_clock_hz) const;
 };

@@ -5,6 +5,9 @@
 
 #include "arch/dataflow.h"
 #include "lut/lut_evaluator.h"
+#include "obs/profile.h"
+#include "obs/stat_registry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -243,6 +246,8 @@ void
 ArchSimulator::SimulateSubBlock(std::size_t r0, std::size_t r1,
                                 std::size_t c0, std::size_t c1)
 {
+  CENN_PROF("arch.subblock");
+  const std::uint64_t sub_block_start = current_cycle_;
   const std::uint64_t active =
       static_cast<std::uint64_t>(r1 - r0) * (c1 - c0);
 
@@ -332,11 +337,19 @@ ArchSimulator::SimulateSubBlock(std::size_t r0, std::size_t r1,
   // Reset-rule comparators.
   report_.activity.reset_ops +=
       active * static_cast<std::uint64_t>(program_.spec.resets.size());
+
+  if (trace_session_ != nullptr) {
+    trace_session_->Complete(TraceCategory::kConv, "subblock",
+                             sub_block_start,
+                             current_cycle_ - sub_block_start);
+  }
 }
 
 void
 ArchSimulator::Step()
 {
+  CENN_PROF("arch.step");
+  const std::uint64_t step_start_cycle = report_.total_cycles;
   step_compute_ = 0;
   step_stall_l2_ = 0;
   step_stall_dram_ = 0;
@@ -370,8 +383,24 @@ ArchSimulator::Step()
   report_.activity.dram_data_words += stream_words_per_step_;
   ++report_.steps;
 
+  if (trace_session_ != nullptr) {
+    trace_session_->Complete(TraceCategory::kStep, "step", step_start_cycle,
+                             report_.total_cycles - step_start_cycle);
+    trace_session_->CounterSample(TraceCategory::kCounter,
+                                  "stall_l2_cycles_per_step",
+                                  report_.total_cycles,
+                                  static_cast<double>(step_stall_l2_));
+    trace_session_->CounterSample(TraceCategory::kCounter,
+                                  "stall_dram_cycles_per_step",
+                                  report_.total_cycles,
+                                  static_cast<double>(step_stall_dram_));
+  }
+
   // Functional update through the identical LUT/fixed-point datapath.
-  engine_->Step();
+  {
+    CENN_PROF("arch.engine_step");
+    engine_->Step();
+  }
 
   // Fold the hierarchy's counters into the activity report.
   const LutCacheStats l1 = hierarchy_->AggregateL1();
@@ -387,6 +416,47 @@ ArchSimulator::EnableTrace()
 {
   trace_enabled_ = true;
   trace_.clear();
+}
+
+void
+ArchSimulator::AttachTrace(TraceSession* session)
+{
+  // Keep the hot-path pointer null unless some arch-side category can
+  // ever fire, so fully masked sessions cost exactly one branch.
+  const std::uint32_t arch_mask =
+      static_cast<std::uint32_t>(TraceCategory::kStep) |
+      static_cast<std::uint32_t>(TraceCategory::kConv) |
+      static_cast<std::uint32_t>(TraceCategory::kCounter);
+  trace_session_ =
+      (session != nullptr && (session->CategoryMask() & arch_mask) != 0)
+          ? session
+          : nullptr;
+  hierarchy_->AttachTrace(session, &current_cycle_);
+  dram_->AttachTrace(session);
+}
+
+void
+ArchSimulator::RegisterStats(StatRegistry* registry) const
+{
+  report_.BindStats(registry, config_.pe_clock_hz);
+  hierarchy_->BindStats(registry, "lut.hier.");
+  dram_->BindStats(registry, "dram.");
+  registry->BindDerived("dram.peak_utilization",
+                        "busiest channel busy fraction over the run",
+                        [this] {
+                          return dram_->PeakUtilization(
+                              report_.total_cycles);
+                        });
+  registry->BindDerived("buf.primary_imbalance",
+                        "max/min primary-bank load ratio",
+                        [this] { return buffer_->PrimaryImbalance(); });
+  registry->BindDerived("buf.write_words", "words written back to banks",
+                        [this] {
+                          return static_cast<double>(buffer_->Writes());
+                        });
+  registry->BindCounter("sim.stream_words_per_step",
+                        "streaming words per solver step",
+                        &stream_words_per_step_);
 }
 
 void

@@ -38,6 +38,9 @@
 
 namespace cenn {
 
+class StatRegistry;
+class TraceSession;
+
 /**
  * Returns `base` with the on-chip LUT sizes scaled up when the program
  * uses more distinct LUT-backed functions than the paper's default
@@ -98,6 +101,26 @@ class ArchSimulator
 
     /** Recorded per-step samples (empty unless EnableTrace was called). */
     const std::vector<StepTrace>& Trace() const { return trace_; }
+
+    /**
+     * Attaches a timeline trace session: step and sub-block spans,
+     * per-step stall counter tracks, LUT miss instants and DRAM fetch
+     * busy intervals are recorded (subject to the session's category
+     * mask) with PE-cycle timestamps. Pass null to detach. Tracing
+     * does not perturb the simulation: a traced run produces an
+     * identical SimReport to an untraced one.
+     */
+    void AttachTrace(TraceSession* session);
+
+    /**
+     * Binds every stat of this simulation into `registry`: the
+     * SimReport/ActivityCounters view (`sim.* / pe.* / lut.* / buf.*
+     * / dram.*`), per-DRAM-channel counters (`dram.ch<i>.*`),
+     * per-L2-instance counters (`lut.hier.*`) and buffer balance
+     * gauges. The simulator must outlive the registry's dumps; values
+     * are live, so dumping mid-run yields current numbers.
+     */
+    void RegisterStats(StatRegistry* registry) const;
 
   private:
     /** One nonlinear contribution inside a merged hardware weight. */
@@ -167,6 +190,9 @@ class ArchSimulator
 
     bool trace_enabled_ = false;
     std::vector<StepTrace> trace_;
+
+    /** Timeline trace sink (null when timeline tracing is off). */
+    TraceSession* trace_session_ = nullptr;
 };
 
 }  // namespace cenn

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profile.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -34,12 +35,14 @@ DeSolver::DeSolver(const NetworkSpec& spec, SolverOptions options)
 void
 DeSolver::Step()
 {
+  CENN_PROF("solver.step");
   std::visit([](auto& e) { e->Step(); }, engine_);
 }
 
 void
 DeSolver::Run(std::uint64_t n)
 {
+  CENN_PROF("solver.run");
   std::visit([n](auto& e) { e->Run(n); }, engine_);
 }
 
@@ -50,6 +53,7 @@ DeSolver::RunUntilSteady(double tolerance, std::uint64_t max_steps,
   if (tolerance <= 0.0 || check_every == 0) {
     CENN_FATAL("RunUntilSteady: tolerance and check_every must be positive");
   }
+  CENN_PROF("solver.run_until_steady");
   SteadyResult result;
   const int n_layers = Spec().NumLayers();
   std::vector<std::vector<double>> prev;

@@ -1,5 +1,8 @@
 #include "lut/lut_hierarchy.h"
 
+#include "obs/profile.h"
+#include "obs/stat_registry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -33,6 +36,7 @@ LutHierarchy::L2For(int pe) const
 LutLevel
 LutHierarchy::Lookup(int pe, int index)
 {
+  CENN_PROF("lut.lookup");
   L1Lut& l1 = l1_[static_cast<std::size_t>(pe)];
   if (l1.Access(index)) {
     return LutLevel::kL1;
@@ -41,6 +45,10 @@ LutHierarchy::Lookup(int pe, int index)
   if (l2.Access(index)) {
     // Copy into L1 (fetched to the PE at the same time, Section 4.1).
     l1.Insert(index);
+    if (trace_ != nullptr) {
+      trace_->Instant(TraceCategory::kLut, "lut.miss.l1", *trace_clock_,
+                      static_cast<std::uint32_t>(pe));
+    }
     return LutLevel::kL2;
   }
   // DRAM fetch: an aligned block fills L2; the missing entry fills L1.
@@ -49,6 +57,10 @@ LutHierarchy::Lookup(int pe, int index)
   l2.InsertBlock(base, config_.dram_fetch_block);
   l1.Insert(index);
   ++dram_fetches_;
+  if (trace_ != nullptr) {
+    trace_->Instant(TraceCategory::kLut, "lut.miss.l2", *trace_clock_,
+                    static_cast<std::uint32_t>(pe));
+  }
   return LutLevel::kDram;
 }
 
@@ -100,6 +112,43 @@ LutHierarchy::L2(int l2) const
 {
   CENN_ASSERT(l2 >= 0 && l2 < config_.num_l2, "bad L2 id ", l2);
   return l2_[static_cast<std::size_t>(l2)];
+}
+
+void
+LutHierarchy::AttachTrace(TraceSession* trace, const std::uint64_t* clock)
+{
+  if (trace != nullptr && clock == nullptr) {
+    CENN_FATAL("LutHierarchy::AttachTrace: tracing needs a clock source");
+  }
+  // Only keep the session when its mask can ever record our events;
+  // this makes a masked-out category truly one branch (trace_ stays
+  // null).
+  trace_ = (trace != nullptr && trace->Enabled(TraceCategory::kLut))
+               ? trace
+               : nullptr;
+  trace_clock_ = trace_ != nullptr ? clock : nullptr;
+}
+
+void
+LutHierarchy::BindStats(StatRegistry* registry,
+                        const std::string& prefix) const
+{
+  StatRegistry& reg = *registry;
+  reg.BindDerived(prefix + "l1.miss_rate",
+                  "aggregate L1 miss rate (all PEs)",
+                  [this] { return AggregateL1().MissRate(); });
+  reg.BindDerived(prefix + "l2.miss_rate",
+                  "aggregate L2 miss rate (all instances)",
+                  [this] { return AggregateL2().MissRate(); });
+  reg.BindCounter(prefix + "dram_fetches", "block fetches from DRAM",
+                  &dram_fetches_);
+  for (std::size_t i = 0; i < l2_.size(); ++i) {
+    const std::string inst = prefix + "l2_" + std::to_string(i);
+    reg.BindCounter(inst + ".accesses", "probes of this L2 instance",
+                    &l2_[i].Stats().accesses);
+    reg.BindCounter(inst + ".misses", "misses of this L2 instance",
+                    &l2_[i].Stats().misses);
+  }
 }
 
 }  // namespace cenn

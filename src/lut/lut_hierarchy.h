@@ -12,11 +12,15 @@
  */
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "lut/lut_cache.h"
 
 namespace cenn {
+
+class StatRegistry;
+class TraceSession;
 
 /** Where a LUT lookup was serviced. */
 enum class LutLevel : std::uint8_t {
@@ -67,11 +71,28 @@ class LutHierarchy
     const L1Lut& L1(int pe) const;
     const L2Lut& L2(int l2) const;
 
+    /**
+     * Starts emitting per-miss instant events (category kLut) into
+     * `trace`, timestamped by reading `*clock` (the cycle simulator's
+     * pipeline cursor). Pass nulls to detach. Off costs one branch.
+     */
+    void AttachTrace(TraceSession* trace, const std::uint64_t* clock);
+
+    /**
+     * Binds per-level aggregates and per-L2-instance counters under
+     * `prefix` (e.g. "lut.hier."): miss rates plus
+     * `<prefix>l2_<i>.accesses/misses`. The hierarchy must outlive
+     * the registry's dumps.
+     */
+    void BindStats(StatRegistry* registry, const std::string& prefix) const;
+
   private:
     LutHierarchyConfig config_;
     std::vector<L1Lut> l1_;
     std::vector<L2Lut> l2_;
     std::uint64_t dram_fetches_ = 0;
+    TraceSession* trace_ = nullptr;
+    const std::uint64_t* trace_clock_ = nullptr;
 };
 
 }  // namespace cenn

@@ -1,0 +1,116 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace cenn {
+
+Profiler&
+Profiler::Instance()
+{
+  static Profiler instance;
+  return instance;
+}
+
+void
+Profiler::Enable(bool on)
+{
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+int
+Profiler::RegisterZone(const char* name)
+{
+  CENN_ASSERT(name != nullptr, "profiling zone needs a name");
+  const int id = num_zones_.fetch_add(1, std::memory_order_relaxed);
+  if (id >= kMaxZones) {
+    CENN_FATAL("Profiler: more than ", kMaxZones, " zones registered");
+  }
+  zones_[id].name = name;
+  return id;
+}
+
+void
+Profiler::Record(int zone_id, std::uint64_t ns)
+{
+  CENN_ASSERT(zone_id >= 0 && zone_id < NumZones(), "bad zone id ", zone_id);
+  zones_[zone_id].calls.fetch_add(1, std::memory_order_relaxed);
+  zones_[zone_id].total_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+int
+Profiler::NumZones() const
+{
+  return std::min(kMaxZones, num_zones_.load(std::memory_order_relaxed));
+}
+
+std::uint64_t
+Profiler::Calls(int zone_id) const
+{
+  CENN_ASSERT(zone_id >= 0 && zone_id < NumZones(), "bad zone id ", zone_id);
+  return zones_[zone_id].calls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Profiler::TotalNs(int zone_id) const
+{
+  CENN_ASSERT(zone_id >= 0 && zone_id < NumZones(), "bad zone id ", zone_id);
+  return zones_[zone_id].total_ns.load(std::memory_order_relaxed);
+}
+
+void
+Profiler::Reset()
+{
+  for (int i = 0; i < NumZones(); ++i) {
+    zones_[i].calls.store(0, std::memory_order_relaxed);
+    zones_[i].total_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string
+Profiler::Report() const
+{
+  struct Row {
+    const char* name;
+    std::uint64_t calls;
+    std::uint64_t ns;
+  };
+  std::vector<Row> rows;
+  std::uint64_t peak_ns = 0;
+  for (int i = 0; i < NumZones(); ++i) {
+    const std::uint64_t calls = Calls(i);
+    if (calls == 0) {
+      continue;
+    }
+    rows.push_back({zones_[i].name, calls, TotalNs(i)});
+    peak_ns = std::max(peak_ns, rows.back().ns);
+  }
+  if (rows.empty()) {
+    return "self-profile: no zones recorded (profiling disabled?)\n";
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.ns > b.ns; });
+
+  std::string out =
+      "self-profile (inclusive wall time; zones nest, so children are "
+      "counted inside parents):\n";
+  TextTable table({"zone", "calls", "total ms", "ns/call", "% of top"});
+  for (const Row& r : rows) {
+    table.AddRow(
+        {r.name, TextTable::Int(static_cast<long long>(r.calls)),
+         TextTable::Num(static_cast<double>(r.ns) / 1e6, "%.3f"),
+         TextTable::Num(static_cast<double>(r.ns) /
+                            static_cast<double>(r.calls),
+                        "%.1f"),
+         TextTable::Num(100.0 * static_cast<double>(r.ns) /
+                            static_cast<double>(peak_ns),
+                        "%.1f")});
+  }
+  out += table.ToString();
+  return out;
+}
+
+}  // namespace cenn

@@ -1,0 +1,136 @@
+#ifndef CENN_OBS_PROFILE_H_
+#define CENN_OBS_PROFILE_H_
+
+/**
+ * @file
+ * Lightweight self-profiling: wall-clock zones for the simulator's
+ * own (host) performance, answering "where does cenn_run spend its
+ * time" without an external profiler.
+ *
+ * Usage: drop `CENN_PROF("arch.step");` at the top of a scope. Each
+ * call site registers its zone once (function-local static) and then
+ * costs a single relaxed atomic load per execution while profiling is
+ * disabled — cheap enough for per-step and per-lookup scopes. When
+ * `Profiler::Enable(true)` has been called, the scope is timed with
+ * steady_clock and accumulated into the zone's call/ns totals.
+ *
+ * Zones nest; reported times are *inclusive* (a parent zone includes
+ * its children), which the report header states. Totals are atomics,
+ * so zones may be entered from several threads concurrently.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace cenn {
+
+/** Process-wide zone table (singleton; see CENN_PROF). */
+class Profiler
+{
+  public:
+    static Profiler& Instance();
+
+    /** Turns timing on/off; zones cost one branch while off. */
+    void Enable(bool on);
+
+    bool IsEnabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Registers a zone; called once per CENN_PROF site via a static
+     * initializer. `name` must be a string literal (stored by
+     * pointer). Returns the zone id. Thread-safe.
+     */
+    int RegisterZone(const char* name);
+
+    /** Accumulates one timed execution of `zone_id`. */
+    void Record(int zone_id, std::uint64_t ns);
+
+    /** Registered zone count. */
+    int NumZones() const;
+
+    /** Calls recorded for a zone (0 when never entered). */
+    std::uint64_t Calls(int zone_id) const;
+
+    /** Total inclusive nanoseconds recorded for a zone. */
+    std::uint64_t TotalNs(int zone_id) const;
+
+    /** Zeroes every zone's totals (registrations are kept). */
+    void Reset();
+
+    /**
+     * Self-profile table sorted by total time: zone, calls, total ms,
+     * ns/call and share of the largest zone. Empty-ish message when
+     * nothing was recorded.
+     */
+    std::string Report() const;
+
+  private:
+    Profiler() = default;
+
+    struct Zone {
+      const char* name = nullptr;
+      std::atomic<std::uint64_t> calls{0};
+      std::atomic<std::uint64_t> total_ns{0};
+    };
+
+    static constexpr int kMaxZones = 256;
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<int> num_zones_{0};
+    Zone zones_[kMaxZones];
+};
+
+/** RAII timer for one profiling zone (see CENN_PROF). */
+class ProfScope
+{
+  public:
+    explicit ProfScope(int zone_id)
+    {
+        if (Profiler::Instance().IsEnabled()) {
+          zone_id_ = zone_id;
+          start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~ProfScope()
+    {
+        if (zone_id_ >= 0) {
+          const auto ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+          Profiler::Instance().Record(zone_id_,
+                                      static_cast<std::uint64_t>(ns));
+        }
+    }
+
+    ProfScope(const ProfScope&) = delete;
+    ProfScope& operator=(const ProfScope&) = delete;
+
+  private:
+    int zone_id_ = -1;  ///< -1: profiling was off at entry
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cenn
+
+#define CENN_PROF_CONCAT2(a, b) a##b
+#define CENN_PROF_CONCAT(a, b) CENN_PROF_CONCAT2(a, b)
+
+/**
+ * Declares a wall-clock profiling zone covering the rest of the
+ * enclosing scope. `name` must be a string literal, conventionally
+ * dot-hierarchical ("arch.step", "lut.lookup").
+ */
+#define CENN_PROF(name) \
+  static const int CENN_PROF_CONCAT(cenn_prof_id_, __LINE__) = \
+      ::cenn::Profiler::Instance().RegisterZone(name); \
+  ::cenn::ProfScope CENN_PROF_CONCAT(cenn_prof_scope_, __LINE__)( \
+      CENN_PROF_CONCAT(cenn_prof_id_, __LINE__))
+
+#endif  // CENN_OBS_PROFILE_H_

@@ -1,0 +1,314 @@
+#include "obs/stat_registry.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+/** [a-z0-9_] groups separated by single dots, e.g. "dram.ch0.fetches". */
+bool
+ValidStatName(const std::string& name)
+{
+  if (name.empty() || name.front() == '.' || name.back() == '.') {
+    return false;
+  }
+  bool prev_dot = false;
+  for (const char ch : name) {
+    if (ch == '.') {
+      if (prev_dot) {
+        return false;
+      }
+      prev_dot = true;
+      continue;
+    }
+    prev_dot = false;
+    if (!(std::islower(static_cast<unsigned char>(ch)) != 0 ||
+          std::isdigit(static_cast<unsigned char>(ch)) != 0 || ch == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/** Shortest round-trippable formatting for dump values. */
+std::string
+FormatValue(double v)
+{
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::llround(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+StatRegistry::Entry&
+StatRegistry::NewEntry(const std::string& name, const std::string& desc,
+                       StatKind kind)
+{
+  if (!ValidStatName(name)) {
+    CENN_FATAL("StatRegistry: malformed stat name '", name,
+               "' (want lowercase [a-z0-9_] groups separated by dots)");
+  }
+  if (index_.contains(name)) {
+    CENN_FATAL("StatRegistry: duplicate stat name '", name, "'");
+  }
+  index_.emplace(name, entries_.size());
+  Entry& e = entries_.emplace_back();
+  e.name = name;
+  e.desc = desc;
+  e.kind = kind;
+  return e;
+}
+
+StatCounter*
+StatRegistry::AddCounter(const std::string& name, const std::string& desc)
+{
+  Entry& e = NewEntry(name, desc, StatKind::kCounter);
+  e.counter = &counters_.emplace_back();
+  return e.counter;
+}
+
+StatGauge*
+StatRegistry::AddGauge(const std::string& name, const std::string& desc)
+{
+  Entry& e = NewEntry(name, desc, StatKind::kGauge);
+  e.gauge = &gauges_.emplace_back();
+  return e.gauge;
+}
+
+Histogram*
+StatRegistry::AddHistogram(const std::string& name, const std::string& desc,
+                           double lo, double hi, int num_bins)
+{
+  Entry& e = NewEntry(name, desc, StatKind::kHistogram);
+  e.histogram = &histograms_.emplace_back(lo, hi, num_bins);
+  return e.histogram;
+}
+
+void
+StatRegistry::BindCounter(const std::string& name, const std::string& desc,
+                          const std::uint64_t* source)
+{
+  CENN_ASSERT(source != nullptr, "BindCounter('", name, "'): null source");
+  Entry& e = NewEntry(name, desc, StatKind::kCounter);
+  e.bound = source;
+}
+
+void
+StatRegistry::BindDerived(const std::string& name, const std::string& desc,
+                          std::function<double()> fn)
+{
+  CENN_ASSERT(fn != nullptr, "BindDerived('", name, "'): null callback");
+  Entry& e = NewEntry(name, desc, StatKind::kDerived);
+  e.derived = std::move(fn);
+}
+
+bool
+StatRegistry::Has(const std::string& name) const
+{
+  return index_.contains(name);
+}
+
+double
+StatRegistry::ScalarValue(const Entry& e) const
+{
+  switch (e.kind) {
+    case StatKind::kCounter:
+      return static_cast<double>(e.bound != nullptr ? *e.bound
+                                                    : e.counter->Value());
+    case StatKind::kGauge:
+      return e.gauge->Value();
+    case StatKind::kDerived:
+      return e.derived();
+    case StatKind::kHistogram:
+      break;
+  }
+  CENN_PANIC("ScalarValue on histogram stat '", e.name, "'");
+}
+
+double
+StatRegistry::Value(const std::string& name) const
+{
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    CENN_FATAL("StatRegistry: unknown stat '", name, "'");
+  }
+  const Entry& e = entries_[it->second];
+  if (e.kind == StatKind::kHistogram) {
+    CENN_FATAL("StatRegistry: '", name,
+               "' is a histogram; query its .mean/.count sub-stats "
+               "through Snapshot()");
+  }
+  return ScalarValue(e);
+}
+
+std::vector<std::string>
+StatRegistry::Names() const
+{
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [name, slot] : index_) {
+    static_cast<void>(slot);
+    out.push_back(name);
+  }
+  return out;  // std::map iterates sorted
+}
+
+std::vector<std::string>
+StatRegistry::Group(const std::string& prefix) const
+{
+  std::vector<std::string> out;
+  for (const auto& [name, slot] : index_) {
+    static_cast<void>(slot);
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+void
+StatRegistry::AppendFlat(const Entry& e,
+                         std::map<std::string, double>* out) const
+{
+  if (e.kind != StatKind::kHistogram) {
+    out->emplace(e.name, ScalarValue(e));
+    return;
+  }
+  const Histogram& h = *e.histogram;
+  out->emplace(e.name + ".count", static_cast<double>(h.Count()));
+  out->emplace(e.name + ".mean", h.Moments().Mean());
+  out->emplace(e.name + ".min", h.Count() > 0 ? h.Moments().Min() : 0.0);
+  out->emplace(e.name + ".max", h.Count() > 0 ? h.Moments().Max() : 0.0);
+  out->emplace(e.name + ".p50", h.Percentile(0.5));
+  out->emplace(e.name + ".p99", h.Percentile(0.99));
+}
+
+std::map<std::string, double>
+StatRegistry::Snapshot() const
+{
+  std::map<std::string, double> out;
+  for (const Entry& e : entries_) {
+    AppendFlat(e, &out);
+  }
+  return out;
+}
+
+std::string
+StatRegistry::DumpText(bool with_desc) const
+{
+  // Walk names sorted, expanding histograms; attach descriptions to
+  // the first line of each stat only.
+  std::string out;
+  for (const auto& [name, slot] : index_) {
+    const Entry& e = entries_[slot];
+    std::map<std::string, double> flat;
+    AppendFlat(e, &flat);
+    bool first = true;
+    for (const auto& [n, v] : flat) {
+      out += n;
+      out += ' ';
+      out += FormatValue(v);
+      if (with_desc && first && !e.desc.empty()) {
+        out += "  # ";
+        out += e.desc;
+      }
+      out += '\n';
+      first = false;
+    }
+    static_cast<void>(name);
+  }
+  return out;
+}
+
+std::string
+StatRegistry::DumpCsv() const
+{
+  std::string out = "name,value\n";
+  for (const auto& [n, v] : Snapshot()) {
+    out += n;
+    out += ',';
+    out += FormatValue(v);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string
+StatRegistry::DumpJson() const
+{
+  std::string out = "{\n";
+  const auto snap = Snapshot();
+  std::size_t i = 0;
+  for (const auto& [n, v] : snap) {
+    out += "  \"";
+    out += n;  // stat names never need escaping (ValidStatName)
+    out += "\": ";
+    out += std::isfinite(v) ? FormatValue(v) : std::string("null");
+    out += ++i < snap.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::map<std::string, double>
+StatRegistry::ParseDump(const std::string& text)
+{
+  std::map<std::string, double> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    std::string name;
+    double value = 0.0;
+    if (fields >> name >> value) {
+      out[name] = value;
+    }
+  }
+  return out;
+}
+
+std::string
+StatRegistry::DiffSnapshots(const std::map<std::string, double>& before,
+                            const std::map<std::string, double>& after)
+{
+  std::string out;
+  char buf[256];
+  for (const auto& [name, b] : before) {
+    const auto it = after.find(name);
+    if (it == after.end()) {
+      out += name + " only in first run\n";
+      continue;
+    }
+    const double a = it->second;
+    if (a != b) {
+      std::snprintf(buf, sizeof(buf), "%s %s -> %s (%+.9g)\n", name.c_str(),
+                    FormatValue(b).c_str(), FormatValue(a).c_str(), a - b);
+      out += buf;
+    }
+  }
+  for (const auto& [name, a] : after) {
+    static_cast<void>(a);
+    if (!before.contains(name)) {
+      out += name + " only in second run\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cenn

@@ -1,0 +1,186 @@
+#ifndef CENN_OBS_STAT_REGISTRY_H_
+#define CENN_OBS_STAT_REGISTRY_H_
+
+/**
+ * @file
+ * Hierarchical named-statistics registry (gem5 stats style).
+ *
+ * Every quantity the simulator can report — counters, gauges, derived
+ * formulas, histograms — is registered once under a dot-separated name
+ * (`sim.total_cycles`, `lut.l1.miss_rate`, `dram.ch0.fetches`) and
+ * dumped uniformly as text, CSV or JSON. Two registration styles keep
+ * the hot path free:
+ *
+ *  - *Owned* stats: the registry allocates the storage and hands back
+ *    a stable `Counter*` / `Gauge*` handle whose increment is a plain
+ *    integer add (O(1), no lookup, no branch).
+ *  - *Bound* stats: subsystems that already keep raw `uint64_t`
+ *    fields (ActivityCounters, DramChannelModel, …) register a
+ *    pointer to them; the registry reads the live value only at dump
+ *    time, so instrumenting an existing struct costs nothing at all
+ *    on the increment path.
+ *
+ * Derived stats are arbitrary `double()` callbacks (miss rates, GOPS)
+ * evaluated lazily at dump time. Dumps are sorted by name, which makes
+ * the dot hierarchy read as a tree and makes `Diff` line up runs.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace cenn {
+
+/** Registry-owned monotonic counter with O(1) increment. */
+class StatCounter
+{
+  public:
+    void Inc() { ++value_; }
+    void Add(std::uint64_t n) { value_ += n; }
+    void Set(std::uint64_t v) { value_ = v; }
+    std::uint64_t Value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Registry-owned point-in-time value (queue depth, utilization…). */
+class StatGauge
+{
+  public:
+    void Set(double v) { value_ = v; }
+    double Value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** What a registry entry measures (drives dump formatting). */
+enum class StatKind : std::uint8_t {
+  kCounter = 0,    ///< monotonic integer count
+  kGauge = 1,      ///< point-in-time double
+  kDerived = 2,    ///< computed at dump time from other stats
+  kHistogram = 3,  ///< distribution; dumps as several sub-lines
+};
+
+/**
+ * The registry. Stat handles returned by Add* stay valid for the
+ * registry's lifetime (storage is deque-backed, never reallocated).
+ * Registration is not thread-safe; increments through owned handles
+ * and bound fields are as thread-safe as the underlying storage.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry&) = delete;
+    StatRegistry& operator=(const StatRegistry&) = delete;
+
+    /**
+     * Registers an owned counter. Fatal on duplicate or malformed
+     * names (allowed: [a-z0-9_] groups separated by single dots).
+     */
+    StatCounter* AddCounter(const std::string& name,
+                            const std::string& desc);
+
+    /** Registers an owned gauge. */
+    StatGauge* AddGauge(const std::string& name, const std::string& desc);
+
+    /** Registers an owned fixed-bucket histogram. */
+    Histogram* AddHistogram(const std::string& name, const std::string& desc,
+                            double lo, double hi, int num_bins);
+
+    /**
+     * Binds an existing integer field as a counter stat. The pointee
+     * must outlive the registry (or the registry must be dumped
+     * before the pointee dies); the value is read at dump time.
+     */
+    void BindCounter(const std::string& name, const std::string& desc,
+                     const std::uint64_t* source);
+
+    /** Binds a dump-time callback as a derived (double) stat. */
+    void BindDerived(const std::string& name, const std::string& desc,
+                     std::function<double()> fn);
+
+    /** True when `name` is registered. */
+    bool Has(const std::string& name) const;
+
+    /** Number of registered stats (histograms count once). */
+    std::size_t Size() const { return entries_.size(); }
+
+    /** Current scalar value; fatal on unknown names or histograms. */
+    double Value(const std::string& name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> Names() const;
+
+    /** Sorted names sharing a dot-prefix group (e.g. "lut."). */
+    std::vector<std::string> Group(const std::string& prefix) const;
+
+    /**
+     * gem5-style text dump: one "name value" line per scalar stat,
+     * sorted by name; histograms expand into .count/.mean/.min/.max/
+     * .p50/.p99 sub-lines. With `with_desc`, a `# desc` column is
+     * appended.
+     */
+    std::string DumpText(bool with_desc = false) const;
+
+    /** "name,value" CSV with a header row. */
+    std::string DumpCsv() const;
+
+    /** Flat JSON object {"name": value, ...}, sorted by name. */
+    std::string DumpJson() const;
+
+    /**
+     * Flattened scalar view (histograms expanded as in DumpText).
+     * This is the canonical representation Diff operates on.
+     */
+    std::map<std::string, double> Snapshot() const;
+
+    /** Parses a DumpText()-format dump back into a snapshot. */
+    static std::map<std::string, double> ParseDump(const std::string& text);
+
+    /**
+     * Diff of two snapshots (e.g. two runs): one line per stat that
+     * differs — "name before -> after (delta)" — plus "only in"
+     * lines for names present on one side. Empty string when equal.
+     */
+    static std::string DiffSnapshots(
+        const std::map<std::string, double>& before,
+        const std::map<std::string, double>& after);
+
+  private:
+    struct Entry {
+      std::string name;
+      std::string desc;
+      StatKind kind = StatKind::kCounter;
+      StatCounter* counter = nullptr;        // owned (kCounter)
+      const std::uint64_t* bound = nullptr;  // bound (kCounter)
+      StatGauge* gauge = nullptr;            // owned (kGauge)
+      std::function<double()> derived;       // kDerived
+      Histogram* histogram = nullptr;        // owned (kHistogram)
+    };
+
+    /** Validates the name and claims it; fatal on problems. */
+    Entry& NewEntry(const std::string& name, const std::string& desc,
+                    StatKind kind);
+
+    double ScalarValue(const Entry& e) const;
+    void AppendFlat(const Entry& e,
+                    std::map<std::string, double>* out) const;
+
+    std::map<std::string, std::size_t> index_;  // name -> entries_ slot
+    std::deque<Entry> entries_;
+    std::deque<StatCounter> counters_;
+    std::deque<StatGauge> gauges_;
+    std::deque<Histogram> histograms_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_OBS_STAT_REGISTRY_H_

@@ -1,0 +1,214 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+const char*
+TraceCategoryName(TraceCategory cat)
+{
+  switch (cat) {
+    case TraceCategory::kStep:
+      return "step";
+    case TraceCategory::kConv:
+      return "conv";
+    case TraceCategory::kLut:
+      return "lut";
+    case TraceCategory::kDram:
+      return "dram";
+    case TraceCategory::kCheckpoint:
+      return "checkpoint";
+    case TraceCategory::kSolver:
+      return "solver";
+    case TraceCategory::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+std::uint32_t
+ParseTraceCategories(const std::string& csv)
+{
+  if (csv == "all" || csv.empty()) {
+    return kTraceAllCategories;
+  }
+  if (csv == "none") {
+    return 0;
+  }
+  constexpr TraceCategory kAll[] = {
+      TraceCategory::kStep, TraceCategory::kConv,       TraceCategory::kLut,
+      TraceCategory::kDram, TraceCategory::kCheckpoint, TraceCategory::kSolver,
+      TraceCategory::kCounter};
+  std::uint32_t mask = 0;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    bool found = false;
+    for (const TraceCategory cat : kAll) {
+      if (item == TraceCategoryName(cat)) {
+        mask |= static_cast<std::uint32_t>(cat);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      CENN_FATAL("unknown trace category '", item,
+                 "' (known: step, conv, lut, dram, checkpoint, solver, "
+                 "counter, all, none)");
+    }
+  }
+  return mask;
+}
+
+TraceSession::TraceSession(std::uint32_t category_mask, std::size_t capacity)
+    : mask_(category_mask), capacity_(capacity)
+{
+  if (capacity_ == 0) {
+    CENN_FATAL("TraceSession: capacity must be positive");
+  }
+  ring_.reserve(capacity_);
+}
+
+void
+TraceSession::Push(const TraceEvent& e)
+{
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  ring_[next_] = e;
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+void
+TraceSession::Complete(TraceCategory cat, const char* name, std::uint64_t ts,
+                       std::uint64_t dur, std::uint32_t lane)
+{
+  if (!Enabled(cat)) {
+    return;
+  }
+  Push({name, ts, dur, 0.0, cat, 'X', lane});
+}
+
+void
+TraceSession::Instant(TraceCategory cat, const char* name, std::uint64_t ts,
+                      std::uint32_t lane)
+{
+  if (!Enabled(cat)) {
+    return;
+  }
+  Push({name, ts, 0, 0.0, cat, 'i', lane});
+}
+
+void
+TraceSession::CounterSample(TraceCategory cat, const char* name,
+                            std::uint64_t ts, double value)
+{
+  if (!Enabled(cat)) {
+    return;
+  }
+  Push({name, ts, 0, value, cat, 'C', 0});
+}
+
+std::size_t
+TraceSession::Size() const
+{
+  return ring_.size();
+}
+
+std::vector<TraceEvent>
+TraceSession::Events() const
+{
+  if (!wrapped_) {
+    return ring_;
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+void
+TraceSession::Clear()
+{
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::string
+TraceSession::ToChromeJson(double ticks_per_us) const
+{
+  CENN_ASSERT(ticks_per_us > 0.0, "ticks_per_us must be positive");
+  std::string out;
+  out.reserve(Size() * 96 + 256);
+  out += "{\"traceEvents\":[\n";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : Events()) {
+    const double ts_us = static_cast<double>(e.ts) / ticks_per_us;
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    switch (e.phase) {
+      case 'X': {
+        const double dur_us = static_cast<double>(e.dur) / ticks_per_us;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+                      e.name, TraceCategoryName(e.cat), ts_us, dur_us,
+                      e.lane);
+        break;
+      }
+      case 'i':
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%u}",
+                      e.name, TraceCategoryName(e.cat), ts_us, e.lane);
+        break;
+      case 'C':
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\","
+                      "\"ts\":%.3f,\"pid\":0,\"args\":{\"value\":%.9g}}",
+                      e.name, TraceCategoryName(e.cat), ts_us,
+                      std::isfinite(e.value) ? e.value : 0.0);
+        break;
+      default:
+        CENN_PANIC("unknown trace phase '", e.phase, "'");
+    }
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\n],\"displayTimeUnit\":\"ms\","
+                "\"otherData\":{\"dropped_events\":%llu}}\n",
+                static_cast<unsigned long long>(dropped_));
+  out += buf;
+  return out;
+}
+
+bool
+TraceSession::WriteChromeJson(const std::string& path,
+                              double ticks_per_us) const
+{
+  std::ofstream out(path);
+  if (!out) {
+    CENN_WARN("cannot open trace output file '", path, "'");
+    return false;
+  }
+  out << ToChromeJson(ticks_per_us);
+  return out.good();
+}
+
+}  // namespace cenn

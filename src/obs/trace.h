@@ -1,0 +1,135 @@
+#ifndef CENN_OBS_TRACE_H_
+#define CENN_OBS_TRACE_H_
+
+/**
+ * @file
+ * Timeline tracing: typed simulation events recorded into a ring
+ * buffer and exported as Chrome trace_event JSON (loadable in
+ * Perfetto / chrome://tracing).
+ *
+ * Subsystems hold a raw `TraceSession*` (null when tracing is off)
+ * and call `Enabled(cat)` before building an event, so a disabled
+ * category — or no session at all — costs exactly one branch on the
+ * hot path. Timestamps are caller-supplied ticks (the cycle simulator
+ * passes PE cycles; functional engines pass nanoseconds); the export
+ * step scales them to the microseconds Chrome expects.
+ *
+ * The ring buffer keeps the *last* `capacity` events: on long runs the
+ * interesting window is usually the end (steady-state behavior after
+ * cache warm-up), and dropped-event counts are reported in the JSON
+ * metadata so truncation is never silent.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+/** Event categories; bits compose into an enable mask. */
+enum class TraceCategory : std::uint32_t {
+  kStep = 1u << 0,        ///< solver time steps (begin/end)
+  kConv = 1u << 1,        ///< per-sub-block convolution sweeps
+  kLut = 1u << 2,         ///< LUT hierarchy misses (L2 fill, DRAM)
+  kDram = 1u << 3,        ///< DRAM channel fetch busy intervals
+  kCheckpoint = 1u << 4,  ///< checkpoint capture/serialize
+  kSolver = 1u << 5,      ///< functional-engine steps
+  kCounter = 1u << 6,     ///< sampled counter tracks (stalls, queues)
+};
+
+/** Mask with every category enabled. */
+inline constexpr std::uint32_t kTraceAllCategories = 0x7f;
+
+/** Short stable name used in the JSON "cat" field and CLI masks. */
+const char* TraceCategoryName(TraceCategory cat);
+
+/**
+ * Parses a comma-separated category list ("step,lut,dram"), "all", or
+ * "none" into a mask. Fatal on unknown names.
+ */
+std::uint32_t ParseTraceCategories(const std::string& csv);
+
+/**
+ * One recorded event. `name` must point at storage outliving the
+ * session (string literals in practice); events are 40 bytes so a
+ * million-event ring is ~40 MB.
+ */
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts = 0;   ///< start, in session ticks
+  std::uint64_t dur = 0;  ///< duration in ticks ('X' events)
+  double value = 0.0;     ///< sample value ('C' events)
+  TraceCategory cat = TraceCategory::kStep;
+  char phase = 'X';       ///< 'X' complete, 'i' instant, 'C' counter
+  std::uint32_t lane = 0; ///< Chrome "tid": PE, channel or L2 id
+};
+
+/** Ring-buffered event recorder with per-category enable mask. */
+class TraceSession
+{
+  public:
+    /**
+     * @param category_mask OR of TraceCategory bits to record.
+     * @param capacity      ring size in events (>= 1).
+     */
+    explicit TraceSession(std::uint32_t category_mask = kTraceAllCategories,
+                          std::size_t capacity = 1u << 20);
+
+    /** One-branch hot-path gate. */
+    bool Enabled(TraceCategory cat) const
+    {
+        return (mask_ & static_cast<std::uint32_t>(cat)) != 0;
+    }
+
+    std::uint32_t CategoryMask() const { return mask_; }
+
+    /** Records a complete ('X') event spanning [ts, ts+dur). */
+    void Complete(TraceCategory cat, const char* name, std::uint64_t ts,
+                  std::uint64_t dur, std::uint32_t lane = 0);
+
+    /** Records an instant ('i') event at ts. */
+    void Instant(TraceCategory cat, const char* name, std::uint64_t ts,
+                 std::uint32_t lane = 0);
+
+    /** Records a counter ('C') sample: a value-over-time track. */
+    void CounterSample(TraceCategory cat, const char* name, std::uint64_t ts,
+                       double value);
+
+    /** Events currently held (<= capacity). */
+    std::size_t Size() const;
+
+    /** Events overwritten after the ring filled. */
+    std::uint64_t Dropped() const { return dropped_; }
+
+    /** Held events, oldest first. */
+    std::vector<TraceEvent> Events() const;
+
+    /** Discards all events (mask and capacity are kept). */
+    void Clear();
+
+    /**
+     * Chrome trace_event JSON (object form with "traceEvents" plus
+     * metadata). @param ticks_per_us scale from session ticks to
+     * microseconds — pass pe_clock_hz / 1e6 for cycle timestamps or
+     * 1e3 for nanosecond timestamps.
+     */
+    std::string ToChromeJson(double ticks_per_us = 1.0) const;
+
+    /** Writes ToChromeJson to a file; false on I/O failure. */
+    bool WriteChromeJson(const std::string& path,
+                         double ticks_per_us = 1.0) const;
+
+  private:
+    void Push(const TraceEvent& e);
+
+    std::uint32_t mask_;
+    std::size_t capacity_;
+    std::size_t next_ = 0;   ///< ring write cursor
+    bool wrapped_ = false;
+    std::uint64_t dropped_ = 0;
+    std::vector<TraceEvent> ring_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_OBS_TRACE_H_

@@ -3,23 +3,25 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <atomic>
+
 namespace cenn {
 namespace {
 
-LogLevel g_log_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
 
 }  // namespace
 
 LogLevel
 GetLogLevel()
 {
-  return g_log_level;
+  return g_log_level.load(std::memory_order_relaxed);
 }
 
 void
 SetLogLevel(LogLevel level)
 {
-  g_log_level = level;
+  g_log_level.store(level, std::memory_order_relaxed);
 }
 
 namespace internal {
@@ -43,7 +45,7 @@ PanicImpl(const char* file, int line, const std::string& msg)
 void
 LogImpl(LogLevel level, const std::string& msg)
 {
-  if (level > g_log_level) {
+  if (level > g_log_level.load(std::memory_order_relaxed)) {
     return;
   }
   const char* tag = "info";

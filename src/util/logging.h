@@ -13,6 +13,7 @@
  *  - CENN_WARN / CENN_INFORM: non-terminating status messages.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -30,7 +31,7 @@ enum class LogLevel : std::uint8_t {
 /** Global log verbosity; messages above this level are suppressed. */
 LogLevel GetLogLevel();
 
-/** Sets the global log verbosity. Thread-compatible (not thread-safe). */
+/** Sets the global log verbosity. Thread-safe (atomic). */
 void SetLogLevel(LogLevel level);
 
 namespace internal {
@@ -87,5 +88,51 @@ Format(Args&&... args)
 #define CENN_INFORM(...) \
   ::cenn::internal::LogImpl(::cenn::LogLevel::kInform, \
                             ::cenn::internal::Format(__VA_ARGS__))
+
+/**
+ * Rate-limited logging for hot loops (per-step warnings on
+ * million-step runs must not flood stderr). Each macro expansion is
+ * one independent call site with its own atomic occurrence counter.
+ *
+ * CENN_LOG_EVERY_N(level, n, ...): logs occurrences 1, n+1, 2n+1, …
+ * of this site; suppressed messages are counted and the emitted line
+ * is suffixed with "(logged 1/n)" so readers know sampling happened.
+ */
+#define CENN_LOG_EVERY_N(level, n, ...) \
+  do { \
+    static ::std::atomic<::std::uint64_t> cenn_log_count_{0}; \
+    const ::std::uint64_t cenn_log_seen_ = \
+        cenn_log_count_.fetch_add(1, ::std::memory_order_relaxed); \
+    if (cenn_log_seen_ % static_cast<::std::uint64_t>(n) == 0) { \
+      ::cenn::internal::LogImpl( \
+          level, ::cenn::internal::Format( \
+                     __VA_ARGS__, \
+                     (n) > 1 ? " (logged 1/" #n ")" : "")); \
+    } \
+  } while (false)
+
+/** Warns the first time this site executes; silent afterwards. */
+#define CENN_WARN_ONCE(...) \
+  do { \
+    static ::std::atomic<bool> cenn_log_fired_{false}; \
+    if (!cenn_log_fired_.exchange(true, ::std::memory_order_relaxed)) { \
+      ::cenn::internal::LogImpl(::cenn::LogLevel::kWarn, \
+                                ::cenn::internal::Format(__VA_ARGS__)); \
+    } \
+  } while (false)
+
+/** Warning logged on the 1st, (n+1)th, (2n+1)th, … hit of this site. */
+#define CENN_WARN_EVERY_N(n, ...) \
+  CENN_LOG_EVERY_N(::cenn::LogLevel::kWarn, n, __VA_ARGS__)
+
+/** Debug message logged once per call site (CENN_DEBUG_ONCE style). */
+#define CENN_DEBUG_ONCE(...) \
+  do { \
+    static ::std::atomic<bool> cenn_log_fired_{false}; \
+    if (!cenn_log_fired_.exchange(true, ::std::memory_order_relaxed)) { \
+      ::cenn::internal::LogImpl(::cenn::LogLevel::kDebug, \
+                                ::cenn::internal::Format(__VA_ARGS__)); \
+    } \
+  } while (false)
 
 #endif  // CENN_UTIL_LOGGING_H_

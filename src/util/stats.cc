@@ -61,6 +61,143 @@ RunningStat::Stddev() const
   return std::sqrt(Variance());
 }
 
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi)
+{
+  if (!(hi > lo)) {
+    CENN_FATAL("Histogram: hi (", hi, ") must exceed lo (", lo, ")");
+  }
+  if (num_bins < 1) {
+    CENN_FATAL("Histogram: need at least one bin, got ", num_bins);
+  }
+  bins_.assign(static_cast<std::size_t>(num_bins), 0);
+  width_ = (hi_ - lo_) / static_cast<double>(num_bins);
+}
+
+void
+Histogram::Add(double x)
+{
+  moments_.Add(x);
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  // Guard against floating rounding landing exactly on hi_.
+  bin = std::min(bin, bins_.size() - 1);
+  ++bins_[bin];
+}
+
+void
+Histogram::AddN(double x, std::uint64_t n)
+{
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Add(x);
+  }
+}
+
+void
+Histogram::Merge(const Histogram& other)
+{
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.bins_.size() != bins_.size()) {
+    CENN_FATAL("Histogram::Merge: geometry mismatch ([", lo_, ",", hi_, ")x",
+               bins_.size(), " vs [", other.lo_, ",", other.hi_, ")x",
+               other.bins_.size(), ")");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  moments_.Merge(other.moments_);
+}
+
+void
+Histogram::Reset()
+{
+  std::fill(bins_.begin(), bins_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  moments_.Reset();
+}
+
+std::uint64_t
+Histogram::BinCount(int bin) const
+{
+  CENN_ASSERT(bin >= 0 && bin < NumBins(), "bad bin ", bin);
+  return bins_[static_cast<std::size_t>(bin)];
+}
+
+double
+Histogram::BinLow(int bin) const
+{
+  CENN_ASSERT(bin >= 0 && bin < NumBins(), "bad bin ", bin);
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double
+Histogram::Percentile(double p) const
+{
+  CENN_ASSERT(p >= 0.0 && p <= 1.0, "percentile p out of range: ", p);
+  const std::uint64_t total = Count();
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = p * static_cast<double>(total);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto in_bin = static_cast<double>(bins_[i]);
+    if (seen + in_bin >= target && in_bin > 0.0) {
+      const double frac = (target - seen) / in_bin;
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    seen += in_bin;
+  }
+  return hi_;
+}
+
+std::string
+Histogram::ToString(int max_bar_width) const
+{
+  std::uint64_t peak = 1;
+  for (const std::uint64_t c : bins_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char buf[160];
+  if (underflow_ > 0) {
+    std::snprintf(buf, sizeof(buf), "%12s < %-8.4g %10llu\n", "", lo_,
+                  static_cast<unsigned long long>(underflow_));
+    out += buf;
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const int bar = std::min(
+        80, static_cast<int>(static_cast<double>(bins_[i]) /
+                             static_cast<double>(peak) * max_bar_width));
+    std::snprintf(buf, sizeof(buf), "[%8.4g, %8.4g) %10llu %.*s\n",
+                  BinLow(static_cast<int>(i)),
+                  BinLow(static_cast<int>(i)) + width_,
+                  static_cast<unsigned long long>(bins_[i]), bar,
+                  "########################################"
+                  "########################################");
+    out += buf;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(buf, sizeof(buf), "%11s >= %-8.4g %10llu\n", "", hi_,
+                  static_cast<unsigned long long>(overflow_));
+    out += buf;
+  }
+  return out;
+}
+
 ErrorSummary
 CompareFields(std::span<const double> a, std::span<const double> b)
 {

@@ -12,6 +12,7 @@
 #include <limits>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace cenn {
 
@@ -26,7 +27,11 @@ class RunningStat
     /** Adds one sample. */
     void Add(double x);
 
-    /** Merges another accumulator into this one. */
+    /**
+     * Merges another accumulator into this one (Chan et al. parallel
+     * update). Merging an empty accumulator is a no-op; merging into
+     * an empty one copies `other` verbatim.
+     */
     void Merge(const RunningStat& other);
 
     /** Resets to the empty state. */
@@ -38,7 +43,11 @@ class RunningStat
     /** Sample mean; 0 when empty. */
     double Mean() const { return count_ > 0 ? mean_ : 0.0; }
 
-    /** Population variance; 0 when fewer than 2 samples. */
+    /**
+     * *Population* variance (sum of squared deviations divided by n,
+     * not n-1); 0 when fewer than 2 samples. Callers needing the
+     * unbiased sample variance must rescale by n/(n-1) themselves.
+     */
     double Variance() const;
 
     /** Population standard deviation. */
@@ -59,6 +68,82 @@ class RunningStat
     double m2_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bucket histogram accumulator over [lo, hi).
+ *
+ * `num_bins` equal-width buckets plus dedicated underflow/overflow
+ * counters; O(1) insertion. Carries a RunningStat alongside so exact
+ * moments survive bucketing. Used by the observability layer's
+ * histogram stats (src/obs) and directly by experiments that need
+ * latency/occupancy distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo       inclusive lower edge of the first bucket.
+     * @param hi       exclusive upper edge of the last bucket (> lo).
+     * @param num_bins bucket count (>= 1).
+     */
+    Histogram(double lo, double hi, int num_bins);
+
+    /** Adds one sample (moments always; a bucket or under/overflow). */
+    void Add(double x);
+
+    /** Adds `n` identical samples. */
+    void AddN(double x, std::uint64_t n);
+
+    /** Merges a histogram with identical geometry (fatal otherwise). */
+    void Merge(const Histogram& other);
+
+    /** Clears all counts and moments; geometry is kept. */
+    void Reset();
+
+    /** Total samples including under/overflow. */
+    std::uint64_t Count() const { return moments_.Count(); }
+
+    /** Count in bucket `bin` (0-based). */
+    std::uint64_t BinCount(int bin) const;
+
+    /** Samples below `lo`. */
+    std::uint64_t Underflow() const { return underflow_; }
+
+    /** Samples at or above `hi`. */
+    std::uint64_t Overflow() const { return overflow_; }
+
+    /** Inclusive lower edge of bucket `bin`. */
+    double BinLow(int bin) const;
+
+    /** Bucket width (hi - lo) / num_bins. */
+    double BinWidth() const { return width_; }
+
+    int NumBins() const { return static_cast<int>(bins_.size()); }
+    double Lo() const { return lo_; }
+    double Hi() const { return hi_; }
+
+    /** Exact streaming moments of every sample added. */
+    const RunningStat& Moments() const { return moments_; }
+
+    /**
+     * Approximate p-quantile (p in [0, 1]) by linear interpolation
+     * within the containing bucket; under/overflow samples clamp to
+     * the range edges. 0 when empty.
+     */
+    double Percentile(double p) const;
+
+    /** Multi-line ASCII rendering: one `[edge, edge) count bar` row. */
+    std::string ToString(int max_bar_width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    RunningStat moments_;
 };
 
 /** Summary of the absolute element-wise error between two fields. */

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Unit tests for the observability layer (src/obs): stat registry
+ * naming/dump/diff semantics, trace ring buffer + category masking +
+ * Chrome JSON well-formedness (validated with a real JSON parser),
+ * profiler zones, and the non-perturbation guarantee — a traced arch
+ * simulation reports exactly the same numbers as an untraced one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "arch/simulator.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "obs/profile.h"
+#include "obs/stat_registry.h"
+#include "obs/trace.h"
+
+namespace cenn {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser: validates syntax only. Good
+// enough to assert the emitted trace/stat files are real JSON rather
+// than JSON-shaped text.
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string& text) : text_(text) {}
+
+    bool Valid()
+    {
+        pos_ = 0;
+        SkipWs();
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool Value()
+    {
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        switch (text_[pos_]) {
+          case '{':
+            return Object();
+          case '[':
+            return Array();
+          case '"':
+            return String();
+          case 't':
+            return Literal("true");
+          case 'f':
+            return Literal("false");
+          case 'n':
+            return Literal("null");
+          default:
+            return Number();
+        }
+    }
+
+    bool Object()
+    {
+        ++pos_;  // '{'
+        SkipWs();
+        if (Peek() == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          SkipWs();
+          if (!String()) {
+            return false;
+          }
+          SkipWs();
+          if (Peek() != ':') {
+            return false;
+          }
+          ++pos_;
+          SkipWs();
+          if (!Value()) {
+            return false;
+          }
+          SkipWs();
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (Peek() == '}') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+    }
+
+    bool Array()
+    {
+        ++pos_;  // '['
+        SkipWs();
+        if (Peek() == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          SkipWs();
+          if (!Value()) {
+            return false;
+          }
+          SkipWs();
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (Peek() == ']') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+    }
+
+    bool String()
+    {
+        if (Peek() != '"') {
+          return false;
+        }
+        ++pos_;
+        while (pos_ < text_.size()) {
+          const char ch = text_[pos_];
+          if (ch == '\\') {
+            pos_ += 2;
+            continue;
+          }
+          if (ch == '"') {
+            ++pos_;
+            return true;
+          }
+          ++pos_;
+        }
+        return false;
+    }
+
+    bool Number()
+    {
+        const std::size_t start = pos_;
+        if (Peek() == '-') {
+          ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) !=
+                    0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+          ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool Literal(const char* word)
+    {
+        const std::string w(word);
+        if (text_.compare(pos_, w.size(), w) != 0) {
+          return false;
+        }
+        pos_ += w.size();
+        return true;
+    }
+
+    char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void SkipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+          ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- stats
+
+TEST(StatRegistryTest, OwnedCountersIncrementAndDump)
+{
+  StatRegistry reg;
+  StatCounter* c = reg.AddCounter("sim.widgets", "widgets made");
+  c->Inc();
+  c->Add(4);
+  EXPECT_EQ(c->Value(), 5u);
+  EXPECT_EQ(reg.Value("sim.widgets"), 5.0);
+  EXPECT_NE(reg.DumpText().find("sim.widgets 5"), std::string::npos);
+}
+
+TEST(StatRegistryTest, BoundCounterReadsLiveValue)
+{
+  std::uint64_t field = 0;
+  StatRegistry reg;
+  reg.BindCounter("a.b", "external field", &field);
+  EXPECT_EQ(reg.Value("a.b"), 0.0);
+  field = 42;
+  EXPECT_EQ(reg.Value("a.b"), 42.0);
+}
+
+TEST(StatRegistryTest, DerivedEvaluatesAtDumpTime)
+{
+  StatRegistry reg;
+  double x = 1.0;
+  reg.BindDerived("rate", "live ratio", [&x] { return x; });
+  EXPECT_EQ(reg.Value("rate"), 1.0);
+  x = 0.5;
+  EXPECT_EQ(reg.Value("rate"), 0.5);
+}
+
+TEST(StatRegistryTest, GaugeHoldsPointInTimeValue)
+{
+  StatRegistry reg;
+  StatGauge* g = reg.AddGauge("queue.depth", "current depth");
+  g->Set(7.5);
+  EXPECT_EQ(reg.Value("queue.depth"), 7.5);
+}
+
+TEST(StatRegistryTest, DuplicateNameDies)
+{
+  StatRegistry reg;
+  reg.AddCounter("x.y", "");
+  EXPECT_DEATH(reg.AddCounter("x.y", ""), "duplicate");
+}
+
+TEST(StatRegistryTest, MalformedNamesDie)
+{
+  StatRegistry reg;
+  EXPECT_DEATH(reg.AddCounter("Bad.Name", ""), "malformed");
+  EXPECT_DEATH(reg.AddCounter(".leading", ""), "malformed");
+  EXPECT_DEATH(reg.AddCounter("trailing.", ""), "malformed");
+  EXPECT_DEATH(reg.AddCounter("two..dots", ""), "malformed");
+  EXPECT_DEATH(reg.AddCounter("spa ce", ""), "malformed");
+}
+
+TEST(StatRegistryTest, UnknownNameDies)
+{
+  StatRegistry reg;
+  EXPECT_DEATH(reg.Value("nope"), "unknown stat");
+}
+
+TEST(StatRegistryTest, NamesAreSortedAndGrouped)
+{
+  StatRegistry reg;
+  reg.AddCounter("lut.b", "");
+  reg.AddCounter("sim.a", "");
+  reg.AddCounter("lut.a", "");
+  const auto names = reg.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "lut.a");
+  EXPECT_EQ(names[1], "lut.b");
+  EXPECT_EQ(names[2], "sim.a");
+  EXPECT_EQ(reg.Group("lut.").size(), 2u);
+  EXPECT_EQ(reg.Group("sim.").size(), 1u);
+  EXPECT_TRUE(reg.Group("dram.").empty());
+}
+
+TEST(StatRegistryTest, HistogramStatExpandsInSnapshot)
+{
+  StatRegistry reg;
+  Histogram* h = reg.AddHistogram("lat", "latency", 0.0, 10.0, 10);
+  h->Add(1.0);
+  h->Add(2.0);
+  h->Add(3.0);
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.at("lat.count"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.at("lat.mean"), 2.0);
+  EXPECT_EQ(snap.at("lat.min"), 1.0);
+  EXPECT_EQ(snap.at("lat.max"), 3.0);
+  EXPECT_DEATH(reg.Value("lat"), "histogram");
+}
+
+TEST(StatRegistryTest, DumpParsesBackAndDiffs)
+{
+  StatRegistry reg;
+  StatCounter* c = reg.AddCounter("a.count", "first");
+  reg.AddCounter("b.count", "second");
+  c->Add(3);
+  const auto before = StatRegistry::ParseDump(reg.DumpText(true));
+  EXPECT_EQ(before.at("a.count"), 3.0);
+  EXPECT_EQ(before.at("b.count"), 0.0);
+
+  c->Add(2);
+  const auto after = reg.Snapshot();
+  const std::string diff = StatRegistry::DiffSnapshots(before, after);
+  EXPECT_NE(diff.find("a.count 3 -> 5"), std::string::npos);
+  EXPECT_EQ(diff.find("b.count"), std::string::npos);  // unchanged
+  EXPECT_TRUE(StatRegistry::DiffSnapshots(after, after).empty());
+}
+
+TEST(StatRegistryTest, DiffReportsOneSidedNames)
+{
+  const std::map<std::string, double> a = {{"x", 1.0}};
+  const std::map<std::string, double> b = {{"y", 2.0}};
+  const std::string diff = StatRegistry::DiffSnapshots(a, b);
+  EXPECT_NE(diff.find("x only in first"), std::string::npos);
+  EXPECT_NE(diff.find("y only in second"), std::string::npos);
+}
+
+TEST(StatRegistryTest, JsonAndCsvDumpsAreWellFormed)
+{
+  StatRegistry reg;
+  reg.AddCounter("a.b", "desc");
+  reg.BindDerived("c.d", "", [] { return 1.5; });
+  EXPECT_TRUE(JsonChecker(reg.DumpJson()).Valid());
+  const std::string csv = reg.DumpCsv();
+  EXPECT_EQ(csv.find("name,value\n"), 0u);
+  EXPECT_NE(csv.find("c.d,1.5"), std::string::npos);
+}
+
+// --------------------------------------------------------------- trace
+
+TEST(TraceSessionTest, RecordsAndExportsEvents)
+{
+  TraceSession t;
+  t.Complete(TraceCategory::kStep, "step", 100, 50);
+  t.Instant(TraceCategory::kLut, "miss", 120, 3);
+  t.CounterSample(TraceCategory::kCounter, "depth", 130, 2.5);
+  EXPECT_EQ(t.Size(), 3u);
+  const std::string json = t.ToChromeJson(1.0);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_NE(json.find("\"name\":\"step\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":2.5"), std::string::npos);
+}
+
+TEST(TraceSessionTest, CategoryMaskFilters)
+{
+  TraceSession t(static_cast<std::uint32_t>(TraceCategory::kStep));
+  EXPECT_TRUE(t.Enabled(TraceCategory::kStep));
+  EXPECT_FALSE(t.Enabled(TraceCategory::kLut));
+  t.Complete(TraceCategory::kStep, "kept", 0, 1);
+  t.Instant(TraceCategory::kLut, "dropped", 0);
+  EXPECT_EQ(t.Size(), 1u);
+  EXPECT_EQ(t.Events()[0].name, std::string("kept"));
+}
+
+TEST(TraceSessionTest, ParseTraceCategoriesMasks)
+{
+  EXPECT_EQ(ParseTraceCategories("all"), kTraceAllCategories);
+  EXPECT_EQ(ParseTraceCategories("none"), 0u);
+  const std::uint32_t mask = ParseTraceCategories("step,dram");
+  EXPECT_NE(mask & static_cast<std::uint32_t>(TraceCategory::kStep), 0u);
+  EXPECT_NE(mask & static_cast<std::uint32_t>(TraceCategory::kDram), 0u);
+  EXPECT_EQ(mask & static_cast<std::uint32_t>(TraceCategory::kLut), 0u);
+  EXPECT_DEATH(ParseTraceCategories("bogus"), "unknown trace category");
+}
+
+TEST(TraceSessionTest, RingKeepsNewestAndCountsDropped)
+{
+  TraceSession t(kTraceAllCategories, 4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.Complete(TraceCategory::kStep, "e", i, 1);
+  }
+  EXPECT_EQ(t.Size(), 4u);
+  EXPECT_EQ(t.Dropped(), 6u);
+  const auto events = t.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first export of the newest four timestamps.
+  EXPECT_EQ(events.front().ts, 6u);
+  EXPECT_EQ(events.back().ts, 9u);
+  const std::string json = t.ToChromeJson(1.0);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos);
+}
+
+TEST(TraceSessionTest, ClearResets)
+{
+  TraceSession t(kTraceAllCategories, 2);
+  t.Complete(TraceCategory::kStep, "e", 0, 1);
+  t.Complete(TraceCategory::kStep, "e", 1, 1);
+  t.Complete(TraceCategory::kStep, "e", 2, 1);
+  t.Clear();
+  EXPECT_EQ(t.Size(), 0u);
+  EXPECT_EQ(t.Dropped(), 0u);
+  EXPECT_TRUE(JsonChecker(t.ToChromeJson()).Valid());
+}
+
+// ------------------------------------------------------------ profiler
+
+TEST(ProfilerTest, DisabledZonesRecordNothing)
+{
+  Profiler& prof = Profiler::Instance();
+  prof.Enable(false);
+  prof.Reset();
+  const int id = prof.RegisterZone("test.disabled");
+  {
+    ProfScope scope(id);
+  }
+  EXPECT_EQ(prof.Calls(id), 0u);
+}
+
+TEST(ProfilerTest, EnabledZonesAccumulate)
+{
+  Profiler& prof = Profiler::Instance();
+  prof.Reset();
+  prof.Enable(true);
+  const int id = prof.RegisterZone("test.enabled");
+  for (int i = 0; i < 3; ++i) {
+    ProfScope scope(id);
+  }
+  prof.Enable(false);
+  EXPECT_EQ(prof.Calls(id), 3u);
+  const std::string report = prof.Report();
+  EXPECT_NE(report.find("test.enabled"), std::string::npos);
+  EXPECT_NE(report.find("calls"), std::string::npos);
+}
+
+TEST(ProfilerTest, EmptyReportExplainsItself)
+{
+  Profiler& prof = Profiler::Instance();
+  prof.Enable(false);
+  prof.Reset();
+  EXPECT_NE(prof.Report().find("no zones recorded"), std::string::npos);
+}
+
+// ----------------------------------------------- end-to-end (arch sim)
+
+SolverProgram
+SmallHeatProgram()
+{
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  const auto model = MakeModel("heat", mc);
+  return MakeProgram(*model);
+}
+
+TEST(ObsIntegrationTest, TracedRunMatchesUntracedRun)
+{
+  const SolverProgram program = SmallHeatProgram();
+  const ArchConfig config = RecommendedArchConfig(program);
+
+  ArchSimulator plain(program, config);
+  plain.Run(8);
+
+  TraceSession trace(kTraceAllCategories, 1 << 14);
+  ArchSimulator traced(program, config);
+  traced.AttachTrace(&trace);
+  traced.Run(8);
+
+  const SimReport& a = plain.Report();
+  const SimReport& b = traced.Report();
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.compute_cycles, b.compute_cycles);
+  EXPECT_EQ(a.stall_l2_cycles, b.stall_l2_cycles);
+  EXPECT_EQ(a.stall_dram_cycles, b.stall_dram_cycles);
+  EXPECT_EQ(a.memory_cycles, b.memory_cycles);
+  EXPECT_EQ(a.activity.mac_ops, b.activity.mac_ops);
+  EXPECT_EQ(a.activity.tum_evals, b.activity.tum_evals);
+  EXPECT_EQ(a.activity.l1_accesses, b.activity.l1_accesses);
+  EXPECT_EQ(a.activity.l1_misses, b.activity.l1_misses);
+  EXPECT_EQ(a.activity.l2_misses, b.activity.l2_misses);
+  EXPECT_EQ(a.activity.lut_dram_fetches, b.activity.lut_dram_fetches);
+  EXPECT_EQ(plain.StateDoubles(0), traced.StateDoubles(0));
+
+  EXPECT_GT(trace.Size(), 0u);
+  EXPECT_TRUE(JsonChecker(trace.ToChromeJson(600.0)).Valid());
+}
+
+TEST(ObsIntegrationTest, RegistryMatchesReportAndStatsLines)
+{
+  const SolverProgram program = SmallHeatProgram();
+  const ArchConfig config = RecommendedArchConfig(program);
+  ArchSimulator sim(program, config);
+  sim.Run(5);
+
+  StatRegistry reg;
+  sim.RegisterStats(&reg);
+  const SimReport& report = sim.Report();
+  EXPECT_EQ(reg.Value("sim.steps"), static_cast<double>(report.steps));
+  EXPECT_EQ(reg.Value("sim.total_cycles"),
+            static_cast<double>(report.total_cycles));
+  EXPECT_EQ(reg.Value("pe.mac_ops"),
+            static_cast<double>(report.activity.mac_ops));
+  EXPECT_EQ(reg.Value("lut.l1.miss_rate"), report.activity.L1MissRate());
+
+  // ToStatsLines is a registry dump: it must parse and agree.
+  const auto parsed =
+      StatRegistry::ParseDump(report.ToStatsLines(600e6));
+  EXPECT_EQ(parsed.at("sim.steps"), 5.0);
+  EXPECT_EQ(parsed.at("pe.mac_ops"),
+            static_cast<double>(report.activity.mac_ops));
+  EXPECT_GE(parsed.size(), 20u);
+}
+
+TEST(ObsIntegrationTest, MaskedOutLutCategoryCostsNoEvents)
+{
+  const SolverProgram program = SmallHeatProgram();
+  ArchConfig config = RecommendedArchConfig(program);
+  config.lut_for_polynomials = true;  // force LUT traffic
+  TraceSession trace(
+      static_cast<std::uint32_t>(TraceCategory::kStep));
+  ArchSimulator sim(program, config);
+  sim.AttachTrace(&trace);
+  sim.Run(3);
+  for (const TraceEvent& e : trace.Events()) {
+    EXPECT_EQ(static_cast<std::uint32_t>(e.cat),
+              static_cast<std::uint32_t>(TraceCategory::kStep));
+  }
+  EXPECT_EQ(trace.Size(), 3u);  // exactly one span per step
+}
+
+}  // namespace
+}  // namespace cenn

@@ -328,5 +328,211 @@ TEST(TextTableTest, NumFormats)
   EXPECT_EQ(TextTable::Int(-42), "-42");
 }
 
+// Regression: merging an empty accumulator must be a no-op, and
+// merging into an empty one must copy `other` verbatim (including
+// min/max, which start at +/-inf in the empty state).
+TEST(RunningStatTest, MergeEmptyOtherIsNoOp)
+{
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(3.0);
+  const RunningStat empty;
+  s.Merge(empty);
+  EXPECT_EQ(s.Count(), 2u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+}
+
+TEST(RunningStatTest, MergeIntoEmptyCopies)
+{
+  RunningStat other;
+  other.Add(-2.0);
+  other.Add(4.0);
+  RunningStat s;
+  s.Merge(other);
+  EXPECT_EQ(s.Count(), 2u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+}
+
+TEST(RunningStatTest, MergeTwoEmptiesStaysEmpty)
+{
+  RunningStat a;
+  const RunningStat b;
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.Mean(), 0.0);
+  EXPECT_EQ(a.Variance(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndEdges)
+{
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.NumBins(), 5);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(4), 8.0);
+
+  h.Add(-1.0);   // underflow
+  h.Add(0.0);    // bin 0 (lo is inclusive)
+  h.Add(1.99);   // bin 0
+  h.Add(2.0);    // bin 1
+  h.Add(9.99);   // bin 4
+  h.Add(10.0);   // overflow (hi is exclusive)
+  h.Add(25.0);   // overflow
+
+  EXPECT_EQ(h.Count(), 7u);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 2u);
+  EXPECT_EQ(h.BinCount(0), 2u);
+  EXPECT_EQ(h.BinCount(1), 1u);
+  EXPECT_EQ(h.BinCount(2), 0u);
+  EXPECT_EQ(h.BinCount(4), 1u);
+}
+
+TEST(HistogramTest, MomentsAreExactDespiteBucketing)
+{
+  Histogram h(0.0, 1.0, 2);  // coarse buckets
+  h.Add(0.1);
+  h.Add(0.2);
+  h.Add(0.6);
+  EXPECT_EQ(h.Moments().Count(), 3u);
+  EXPECT_NEAR(h.Moments().Mean(), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(h.Moments().Min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.Moments().Max(), 0.6);
+}
+
+TEST(HistogramTest, AddNEquivalentToRepeatedAdd)
+{
+  Histogram a(0.0, 4.0, 4);
+  Histogram b(0.0, 4.0, 4);
+  a.AddN(1.5, 10);
+  for (int i = 0; i < 10; ++i) {
+    b.Add(1.5);
+  }
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_EQ(a.BinCount(1), b.BinCount(1));
+  EXPECT_DOUBLE_EQ(a.Moments().Mean(), b.Moments().Mean());
+}
+
+TEST(HistogramTest, MergeAndReset)
+{
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.Add(1.0);
+  b.Add(9.0);
+  b.Add(-1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_EQ(a.BinCount(0), 1u);
+  EXPECT_EQ(a.BinCount(4), 1u);
+  EXPECT_EQ(a.Underflow(), 1u);
+  a.Reset();
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.BinCount(0), 0u);
+  EXPECT_EQ(a.Underflow(), 0u);
+  EXPECT_EQ(a.NumBins(), 5);  // geometry kept
+}
+
+TEST(HistogramTest, MergeGeometryMismatchDies)
+{
+  Histogram a(0.0, 10.0, 5);
+  const Histogram b(0.0, 10.0, 4);
+  EXPECT_DEATH(a.Merge(b), "geometry");
+}
+
+TEST(HistogramTest, BadGeometryDies)
+{
+  EXPECT_DEATH(Histogram(1.0, 1.0, 4), "");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "");
+}
+
+TEST(HistogramTest, PercentileInterpolates)
+{
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_NEAR(h.Percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.Percentile(0.99), 99.0, 1.5);
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+  EXPECT_LE(h.Percentile(1.0), 100.0);
+  const Histogram empty(0.0, 1.0, 2);
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ToStringListsBuckets)
+{
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string s = h.ToString(10);
+  EXPECT_NE(s.find('['), std::string::npos);   // bucket edge rows
+  EXPECT_NE(s.find('#'), std::string::npos);   // ASCII bars
+  // The fuller first bucket gets the longer bar.
+  EXPECT_NE(s.find("##"), std::string::npos);
+}
+
+TEST(LoggingTest, WarnOnceFiresExactlyOnce)
+{
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 5; ++i) {
+    CENN_WARN_ONCE("once-message");
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  SetLogLevel(before);
+  EXPECT_EQ(err.find("once-message"), err.rfind("once-message"));
+  EXPECT_NE(err.find("once-message"), std::string::npos);
+}
+
+TEST(LoggingTest, WarnEveryNSamples)
+{
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i) {
+    CENN_WARN_EVERY_N(4, "sampled-message");
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  SetLogLevel(before);
+  // Occurrences 1, 5 and 9 fire: three lines, each marked as sampled.
+  std::size_t hits = 0;
+  for (std::size_t pos = err.find("sampled-message");
+       pos != std::string::npos;
+       pos = err.find("sampled-message", pos + 1)) {
+    ++hits;
+  }
+  EXPECT_EQ(hits, 3u);
+  EXPECT_NE(err.find("(logged 1/4)"), std::string::npos);
+}
+
+TEST(LoggingTest, DebugOnceSuppressedBelowDebugLevel)
+{
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  CENN_DEBUG_ONCE("hidden-debug");
+  const std::string err = testing::internal::GetCapturedStderr();
+  SetLogLevel(before);
+  EXPECT_EQ(err.find("hidden-debug"), std::string::npos);
+}
+
+TEST(LoggingTest, SetLogLevelIsAtomicallyReadable)
+{
+  // Smoke check that the getter reflects the setter immediately;
+  // the atomic store/load pair is the thread-safety contract.
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInform);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInform);
+  SetLogLevel(before);
+}
+
 }  // namespace
 }  // namespace cenn

@@ -5,20 +5,30 @@
  * Runs any bundled benchmark model with a chosen engine and prints a
  * full report: solution snapshot, accuracy against the reference
  * integrator, cycle/stall statistics, power, and optional artifacts
- * (PGM snapshot, stats file, checkpoint).
+ * (PGM snapshot, stats dump, timeline trace, checkpoint).
  *
  * Engines (--engine):
  *   double   functional engine, IEEE double (reference arithmetic)
  *   fixed    functional engine, Q16.16 + LUT datapath
  *   arch     cycle-level accelerator simulation (fixed datapath + timing)
  *
+ * Observability:
+ *   --stats-out=FILE    named-stat dump (sim.*, lut.*, dram.*, …);
+ *                       .csv / .json extensions switch the format
+ *   --trace-out=FILE    Chrome trace_event JSON (Perfetto-loadable)
+ *   --trace-categories  comma list: step,conv,lut,dram,checkpoint,
+ *                       solver,counter (default all)
+ *   --progress          heartbeat to stderr: steps/s and ETA
+ *   --self-profile      wall-clock self-profile table at exit
+ *
  * Examples:
  *   cenn_run --model=reaction_diffusion --steps=500 --engine=arch
- *   cenn_run --model=heat --engine=fixed --heun --rows=128 --cols=128
+ *   cenn_run --model=heat --engine=arch --trace-out=trace.json
  *   cenn_run --model=poisson --steady --tolerance=1e-6
  *   cenn_run --model=gray_scott --steps=3000 --pgm=pattern.pgm
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -29,6 +39,9 @@
 #include "lut/lut_evaluator.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
+#include "obs/profile.h"
+#include "obs/stat_registry.h"
+#include "obs/trace.h"
 #include "power/power_model.h"
 #include "program/checkpoint.h"
 #include "util/cli.h"
@@ -57,9 +70,103 @@ PrintUsage()
       "  --tolerance=X                steady-state tolerance (1e-6)\n"
       "  --compare                    compare against the reference run\n"
       "  --pgm=FILE                   write layer-0 snapshot as PGM\n"
-      "  --stats=FILE                 write gem5-style stats (arch only)\n"
+      "  --stats-out=FILE             write named-stat dump (text; .csv\n"
+      "                               and .json extensions switch format)\n"
+      "  --stats=FILE                 deprecated alias for --stats-out\n"
+      "  --trace-out=FILE             write Chrome trace_event JSON\n"
+      "  --trace-categories=LIST      step,conv,lut,dram,checkpoint,\n"
+      "                               solver,counter or all/none\n"
+      "  --trace-capacity=N           trace ring size in events (2^20)\n"
+      "  --progress                   periodic steps/s + ETA heartbeat\n"
+      "  --self-profile               print wall-clock self-profile\n"
       "  --checkpoint=FILE            write a checkpoint at the end\n"
       "  --ascii                      print an ASCII heatmap of layer 0\n");
+}
+
+/**
+ * Periodic progress heartbeat on stderr: at most one line per
+ * interval, reporting completed steps, throughput and the remaining
+ * time extrapolated from the average rate so far.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(bool enabled, std::uint64_t total_steps)
+        : enabled_(enabled),
+          total_steps_(total_steps),
+          start_(Clock::now()),
+          last_print_(start_)
+    {
+    }
+
+    void Tick(std::uint64_t steps_done)
+    {
+        if (!enabled_) {
+          return;
+        }
+        const auto now = Clock::now();
+        if (now - last_print_ < std::chrono::seconds(2)) {
+          return;
+        }
+        last_print_ = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - start_).count();
+        if (elapsed <= 0.0 || steps_done == 0) {
+          return;
+        }
+        const double rate = static_cast<double>(steps_done) / elapsed;
+        const double eta =
+            static_cast<double>(total_steps_ - steps_done) / rate;
+        std::fprintf(stderr,
+                     "progress: step %llu/%llu (%.1f%%), %.1f steps/s, "
+                     "ETA %.0f s\n",
+                     static_cast<unsigned long long>(steps_done),
+                     static_cast<unsigned long long>(total_steps_),
+                     100.0 * static_cast<double>(steps_done) /
+                         static_cast<double>(total_steps_),
+                     rate, eta);
+    }
+
+    void Finish(std::uint64_t steps_done) const
+    {
+        if (!enabled_) {
+          return;
+        }
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start_).count();
+        std::fprintf(stderr, "progress: done, %llu steps in %.2f s "
+                     "(%.1f steps/s)\n",
+                     static_cast<unsigned long long>(steps_done), elapsed,
+                     elapsed > 0.0
+                         ? static_cast<double>(steps_done) / elapsed
+                         : 0.0);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    bool enabled_;
+    std::uint64_t total_steps_;
+    Clock::time_point start_;
+    Clock::time_point last_print_;
+};
+
+/** Writes a registry dump in the format implied by the extension. */
+void
+WriteStatsFile(const StatRegistry& reg, const std::string& path)
+{
+  std::ofstream out(path);
+  if (!out) {
+    CENN_WARN("cannot open stats output file '", path, "'");
+    return;
+  }
+  if (path.size() > 4 && path.rfind(".csv") == path.size() - 4) {
+    out << reg.DumpCsv();
+  } else if (path.size() > 5 && path.rfind(".json") == path.size() - 5) {
+    out << reg.DumpJson();
+  } else {
+    out << reg.DumpText(/*with_desc=*/true);
+  }
+  std::printf("wrote %zu stats to %s\n", reg.Size(), path.c_str());
 }
 
 int
@@ -88,10 +195,32 @@ RunMain(int argc, char** argv)
   const double tolerance = flags.GetDouble("tolerance", 1e-6);
   const bool compare = flags.GetBool("compare", false);
   const std::string pgm = flags.GetString("pgm", "");
-  const std::string stats = flags.GetString("stats", "");
+  std::string stats_out = flags.GetString("stats-out", "");
+  const std::string stats_legacy = flags.GetString("stats", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string trace_categories =
+      flags.GetString("trace-categories", "all");
+  const auto trace_capacity =
+      static_cast<std::size_t>(flags.GetInt("trace-capacity", 1 << 20));
+  const bool progress = flags.GetBool("progress", false);
+  const bool self_profile = flags.GetBool("self-profile", false);
   const std::string checkpoint = flags.GetString("checkpoint", "");
   const bool ascii = flags.GetBool("ascii", false);
   flags.Validate();
+
+  if (stats_out.empty() && !stats_legacy.empty()) {
+    CENN_WARN("--stats is deprecated; use --stats-out");
+    stats_out = stats_legacy;
+  }
+  if (self_profile) {
+    Profiler::Instance().Enable(true);
+  }
+
+  std::unique_ptr<TraceSession> trace;
+  if (!trace_out.empty()) {
+    trace = std::make_unique<TraceSession>(
+        ParseTraceCategories(trace_categories), trace_capacity);
+  }
 
   MapperReport map_report;
   SolverProgram program;
@@ -126,7 +255,15 @@ RunMain(int argc, char** argv)
     arch.pe_clock_hz = arch.memory.pe_clock_hint_hz;
     arch = RecommendedArchConfig(program, arch);
     ArchSimulator sim(program, arch);
-    sim.Run(static_cast<std::uint64_t>(steps));
+    if (trace) {
+      sim.AttachTrace(trace.get());
+    }
+    ProgressMeter meter(progress, static_cast<std::uint64_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+      sim.Step();
+      meter.Tick(static_cast<std::uint64_t>(i) + 1);
+    }
+    meter.Finish(static_cast<std::uint64_t>(steps));
     steps_taken = sim.Report().steps;
     layer0 = sim.StateDoubles(0);
 
@@ -138,12 +275,16 @@ RunMain(int argc, char** argv)
                 energy.total_power_w, energy.onchip_power_w,
                 energy.memory_power_w, energy.energy_j * 1e3,
                 energy.gops_per_watt);
-    if (!stats.empty()) {
-      std::ofstream out(stats);
-      out << sim.Report().ToStatsLines(arch.pe_clock_hz);
-      std::printf("wrote stats to %s\n", stats.c_str());
+    if (!stats_out.empty()) {
+      StatRegistry reg;
+      sim.RegisterStats(&reg);
+      WriteStatsFile(reg, stats_out);
     }
     if (!checkpoint.empty()) {
+      if (trace) {
+        trace->Instant(TraceCategory::kCheckpoint, "checkpoint.write",
+                       sim.Report().total_cycles);
+      }
       Checkpoint cp = CaptureCheckpoint(sim.Engine());
       const auto bytes = SerializeCheckpoint(cp);
       std::ofstream out(checkpoint, std::ios::binary);
@@ -151,6 +292,14 @@ RunMain(int argc, char** argv)
                 static_cast<std::streamsize>(bytes.size()));
       std::printf("wrote checkpoint to %s (%zu bytes)\n",
                   checkpoint.c_str(), bytes.size());
+    }
+    if (trace) {
+      // PE-cycle timestamps: scale to microseconds of modeled time.
+      if (trace->WriteChromeJson(trace_out, arch.pe_clock_hz / 1e6)) {
+        std::printf("wrote trace to %s (%zu events, %llu dropped)\n",
+                    trace_out.c_str(), trace->Size(),
+                    static_cast<unsigned long long>(trace->Dropped()));
+      }
     }
   } else {
     SolverOptions options;
@@ -174,7 +323,23 @@ RunMain(int argc, char** argv)
                   static_cast<unsigned long long>(result.steps_taken),
                   result.final_delta, tolerance);
     } else {
-      solver.Run(static_cast<std::uint64_t>(steps));
+      // Step one-by-one: the heartbeat and per-step solver trace
+      // events both need the loop; Run() is a plain loop anyway.
+      ProgressMeter meter(progress, static_cast<std::uint64_t>(steps));
+      const auto run_start = std::chrono::steady_clock::now();
+      for (int i = 0; i < steps; ++i) {
+        solver.Step();
+        if (trace) {
+          const auto ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - run_start)
+                  .count();
+          trace->Instant(TraceCategory::kSolver, "solver.step",
+                         static_cast<std::uint64_t>(ns));
+        }
+        meter.Tick(static_cast<std::uint64_t>(i) + 1);
+      }
+      meter.Finish(static_cast<std::uint64_t>(steps));
     }
     steps_taken = solver.Steps();
     layer0 = solver.StateDoubles(0);
@@ -191,8 +356,23 @@ RunMain(int argc, char** argv)
       std::printf("wrote checkpoint to %s (%zu bytes)\n",
                   checkpoint.c_str(), bytes.size());
     }
-    if (!stats.empty()) {
-      CENN_WARN("--stats is only produced by --engine=arch");
+    if (!stats_out.empty()) {
+      StatRegistry reg;
+      reg.BindDerived("sim.steps", "solver steps executed", [&solver] {
+        return static_cast<double>(solver.Steps());
+      });
+      reg.BindDerived("sim.time", "simulated time (steps * dt)",
+                      [&solver] { return solver.Time(); });
+      WriteStatsFile(reg, stats_out);
+      std::printf("note: lut.*/dram.* stats require --engine=arch\n");
+    }
+    if (trace) {
+      // Nanosecond host timestamps: 1000 ticks per microsecond.
+      if (trace->WriteChromeJson(trace_out, 1e3)) {
+        std::printf("wrote trace to %s (%zu events, %llu dropped)\n",
+                    trace_out.c_str(), trace->Size(),
+                    static_cast<unsigned long long>(trace->Dropped()));
+      }
     }
   }
 
@@ -209,6 +389,9 @@ RunMain(int argc, char** argv)
   }
   if (ascii) {
     std::printf("\n%s", AsciiHeatmap(layer0, mc.rows, mc.cols, 48).c_str());
+  }
+  if (self_profile) {
+    std::printf("\n%s", Profiler::Instance().Report().c_str());
   }
   return 0;
 }

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * cenn_stats_selftest — dependency-free schema check for the
+ * observability layer, registered in CTest.
+ *
+ * Runs a small arch simulation and verifies the *contract* external
+ * consumers (plotting scripts, run-diffing, Perfetto) rely on:
+ *
+ *  1. the registry exposes a minimum stat count spanning the
+ *     sim.* / lut.* / dram.* hierarchies with well-formed names;
+ *  2. the text dump parses back to the same values (round-trip);
+ *  3. diffing a run against itself is empty, against a longer run is
+ *     not;
+ *  4. the Chrome trace JSON for a traced run is structurally sound
+ *     (balanced brackets, one object per event, required keys);
+ *  5. a traced run's SimReport is identical to an untraced one.
+ *
+ * Exits 0 on success; prints the first failing check and exits 1
+ * otherwise.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "arch/simulator.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "obs/stat_registry.h"
+#include "obs/trace.h"
+
+namespace cenn {
+namespace {
+
+int g_failures = 0;
+
+void
+Check(bool ok, const std::string& what)
+{
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++g_failures;
+  } else {
+    std::printf("ok: %s\n", what.c_str());
+  }
+}
+
+/** Counts names under `prefix` in a snapshot. */
+std::size_t
+CountPrefix(const std::map<std::string, double>& snap,
+            const std::string& prefix)
+{
+  std::size_t n = 0;
+  for (const auto& [name, value] : snap) {
+    static_cast<void>(value);
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/**
+ * Minimal structural JSON scan: brackets/braces balance outside
+ * strings, and string escapes are sane. Not a full parser, but
+ * catches every truncation/quoting bug a formatter can produce.
+ */
+bool
+JsonBalanced(const std::string& text)
+{
+  int depth_obj = 0;
+  int depth_arr = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (ch == '\\') {
+        escaped = true;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+        ++depth_obj;
+        break;
+      case '}':
+        if (--depth_obj < 0) {
+          return false;
+        }
+        break;
+      case '[':
+        ++depth_arr;
+        break;
+      case ']':
+        if (--depth_arr < 0) {
+          return false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && depth_obj == 0 && depth_arr == 0;
+}
+
+int
+Main()
+{
+  ModelConfig mc;
+  mc.rows = 24;
+  mc.cols = 24;
+  const auto model = MakeModel("heat", mc);
+  const SolverProgram program = MakeProgram(*model);
+  ArchConfig config = RecommendedArchConfig(program);
+
+  // --- untraced run ------------------------------------------------
+  ArchSimulator sim(program, config);
+  sim.Run(10);
+  StatRegistry reg;
+  sim.RegisterStats(&reg);
+  const auto snap = reg.Snapshot();
+
+  Check(snap.size() >= 25, "registry exposes >= 25 stats (got " +
+                               std::to_string(snap.size()) + ")");
+  Check(CountPrefix(snap, "sim.") >= 5, "sim.* group populated");
+  Check(CountPrefix(snap, "lut.") >= 5, "lut.* group populated");
+  Check(CountPrefix(snap, "dram.") >= 3, "dram.* group populated");
+  Check(reg.Value("sim.steps") == 10.0, "sim.steps == 10");
+  Check(reg.Value("lut.l1_accesses") >= reg.Value("lut.l1_misses"),
+        "misses never exceed accesses");
+
+  // --- dump round-trip ---------------------------------------------
+  // Text dumps carry 9 significant digits, so compare with a matching
+  // relative tolerance rather than bit-exactly.
+  const auto parsed = StatRegistry::ParseDump(reg.DumpText(true));
+  bool round_trip = parsed.size() == snap.size();
+  for (const auto& [name, value] : snap) {
+    const auto it = parsed.find(name);
+    if (it == parsed.end() ||
+        std::abs(it->second - value) >
+            1e-7 * std::max(1.0, std::abs(value))) {
+      round_trip = false;
+      break;
+    }
+  }
+  Check(round_trip, "DumpText -> ParseDump round-trips");
+  Check(JsonBalanced(reg.DumpJson()), "stats JSON dump is balanced");
+
+  // --- diff --------------------------------------------------------
+  Check(StatRegistry::DiffSnapshots(snap, snap).empty(),
+        "diff of a run against itself is empty");
+  ArchSimulator longer(program, config);
+  longer.Run(20);
+  StatRegistry reg2;
+  longer.RegisterStats(&reg2);
+  Check(!StatRegistry::DiffSnapshots(snap, reg2.Snapshot()).empty(),
+        "diff of different runs is non-empty");
+
+  // --- traced run: identical report, sound JSON --------------------
+  TraceSession trace(kTraceAllCategories, 1 << 16);
+  ArchSimulator traced(program, config);
+  traced.AttachTrace(&trace);
+  traced.Run(10);
+  const SimReport& a = sim.Report();
+  const SimReport& b = traced.Report();
+  Check(a.total_cycles == b.total_cycles &&
+            a.compute_cycles == b.compute_cycles &&
+            a.stall_l2_cycles == b.stall_l2_cycles &&
+            a.stall_dram_cycles == b.stall_dram_cycles &&
+            a.activity.l1_misses == b.activity.l1_misses &&
+            a.activity.lut_dram_fetches == b.activity.lut_dram_fetches,
+        "traced run reports identical timing to untraced run");
+  Check(trace.Size() > 0, "traced run recorded events");
+  const std::string json = trace.ToChromeJson(600.0);
+  Check(JsonBalanced(json), "trace JSON is balanced");
+  Check(json.find("\"traceEvents\":[") != std::string::npos,
+        "trace JSON has traceEvents array");
+  Check(json.find("\"ph\":\"X\"") != std::string::npos,
+        "trace JSON has complete events");
+
+  if (g_failures == 0) {
+    std::printf("stats selftest: all checks passed (%zu stats)\n",
+                snap.size());
+    return 0;
+  }
+  std::fprintf(stderr, "stats selftest: %d check(s) FAILED\n", g_failures);
+  return 1;
+}
+
+}  // namespace
+}  // namespace cenn
+
+int
+main()
+{
+  return cenn::Main();
+}
