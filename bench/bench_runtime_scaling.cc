@@ -1,0 +1,159 @@
+/**
+ * @file
+ * bench_runtime_scaling — throughput of band-parallel (sharded)
+ * solver execution versus worker count.
+ *
+ * Runs the same functional solve at K ∈ {1, 2, 4, 8} (configurable)
+ * shards and reports steps/s, cell-updates/s and speedup over K=1.
+ * Because sharded stepping is bit-identical to serial for any K, the
+ * sweep also re-verifies determinism: every row's final-state
+ * checksum must match the serial one.
+ *
+ * Examples:
+ *   bench_runtime_scaling
+ *   bench_runtime_scaling --model=reaction_diffusion --rows=256 \
+ *       --cols=256 --steps=40 --shards=1,2,4,8,16
+ *   bench_runtime_scaling --stats-out=scaling.txt
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "obs/stat_registry.h"
+#include "runtime/sharded_stepper.h"
+#include "runtime/solver_session.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace cenn {
+namespace {
+
+std::vector<int>
+ParseShardList(const std::string& list)
+{
+  std::vector<int> shards;
+  std::istringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const int k = std::atoi(item.c_str());
+    if (k < 1) {
+      CENN_FATAL("--shards: bad worker count '", item, "'");
+    }
+    shards.push_back(k);
+  }
+  if (shards.empty()) {
+    CENN_FATAL("--shards: empty list");
+  }
+  return shards;
+}
+
+int
+BenchMain(int argc, char** argv)
+{
+  CliFlags flags(argc, argv);
+  const std::string model_name = flags.GetString("model", "heat");
+  ModelConfig mc;
+  mc.rows = static_cast<std::size_t>(flags.GetInt("rows", 512));
+  mc.cols = static_cast<std::size_t>(flags.GetInt("cols", 512));
+  mc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const auto steps =
+      static_cast<std::uint64_t>(flags.GetInt("steps", 20));
+  const std::vector<int> shard_counts =
+      ParseShardList(flags.GetString("shards", "1,2,4,8"));
+  const std::string stats_out = flags.GetString("stats-out", "");
+  flags.Validate();
+
+  const NetworkSpec spec = Mapper::Map(MakeModel(model_name, mc)->System());
+  std::printf("runtime scaling: %s %zux%zu, %llu steps, %d layers\n\n",
+              model_name.c_str(), mc.rows, mc.cols,
+              static_cast<unsigned long long>(steps), spec.NumLayers());
+
+  const double cells = static_cast<double>(mc.rows) *
+                       static_cast<double>(mc.cols) *
+                       static_cast<double>(spec.NumLayers());
+
+  StatRegistry registry;
+  TextTable table({"shards", "seconds", "steps/s", "Mcell-upd/s",
+                   "speedup", "checksum"});
+  double serial_seconds = 0.0;
+  std::uint64_t serial_checksum = 0;
+  bool checksums_agree = true;
+
+  for (const int k : shard_counts) {
+    SessionConfig sc;
+    sc.name = "scaling_k" + std::to_string(k);
+    sc.shards = k;
+    sc.target_steps = steps;
+    sc.slice_steps = steps;  // one timed slice, no lifecycle overhead
+    SolverOptions solver_options;
+    solver_options.precision = Precision::kDouble;
+    SolverSession session(spec, solver_options, sc);
+
+    const auto start = std::chrono::steady_clock::now();
+    session.RunToTarget();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    const std::uint64_t checksum = session.StateChecksum();
+    if (k == shard_counts.front()) {
+      serial_seconds = seconds;
+      serial_checksum = checksum;
+    }
+    checksums_agree = checksums_agree && checksum == serial_checksum;
+
+    const double steps_per_s =
+        seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+    char checksum_hex[32];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(checksum));
+    table.AddRow({std::to_string(k), TextTable::Num(seconds, "%.3f"),
+                  TextTable::Num(steps_per_s, "%.1f"),
+                  TextTable::Num(steps_per_s * cells / 1e6, "%.1f"),
+                  TextTable::Num(seconds > 0.0 ? serial_seconds / seconds
+                                               : 0.0, "%.2fx"),
+                  checksum_hex});
+
+    StatScope scope =
+        registry.WithPrefix("runtime.scaling.k" + std::to_string(k));
+    scope.AddGauge("seconds", "wall-clock seconds for the sweep point")
+        ->Set(seconds);
+    scope.AddGauge("steps_per_s", "solver steps per second")
+        ->Set(steps_per_s);
+  }
+
+  table.Print();
+  std::printf("\ndeterminism: final states %s across worker counts\n",
+              checksums_agree ? "IDENTICAL" : "DIVERGED (BUG)");
+
+  if (!stats_out.empty()) {
+    std::ofstream out(stats_out);
+    if (out) {
+      out << registry.DumpText(/*with_desc=*/true);
+      std::printf("wrote %zu stats to %s\n", registry.Size(),
+                  stats_out.c_str());
+    } else {
+      CENN_WARN("cannot open stats output file '", stats_out, "'");
+    }
+  }
+  return checksums_agree ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cenn
+
+int
+main(int argc, char** argv)
+{
+  return cenn::BenchMain(argc, argv);
+}

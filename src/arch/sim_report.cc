@@ -64,57 +64,64 @@ SimReport::ToString(double pe_clock_hz) const
 }
 
 void
-ActivityCounters::BindStats(StatRegistry* registry) const
+ActivityCounters::BindStats(StatRegistry* registry,
+                            const std::string& prefix) const
 {
   StatRegistry& reg = *registry;
-  reg.BindCounter("pe.mac_ops", "PE multiply-accumulates", &mac_ops);
-  reg.BindCounter("pe.tum_evals", "TUM alpha evaluations", &tum_evals);
-  reg.BindCounter("pe.reset_ops", "threshold comparator operations",
+  const std::string& p = prefix;
+  reg.BindCounter(p + "pe.mac_ops", "PE multiply-accumulates", &mac_ops);
+  reg.BindCounter(p + "pe.tum_evals", "TUM alpha evaluations", &tum_evals);
+  reg.BindCounter(p + "pe.reset_ops", "threshold comparator operations",
                   &reset_ops);
-  reg.BindCounter("lut.l1_accesses", "private L1 LUT probes", &l1_accesses);
-  reg.BindCounter("lut.l1_misses", "private L1 LUT misses", &l1_misses);
-  reg.BindCounter("lut.l2_accesses", "shared L2 LUT probes", &l2_accesses);
-  reg.BindCounter("lut.l2_misses", "shared L2 LUT misses", &l2_misses);
-  reg.BindCounter("lut.dram_fetches", "8-entry LUT block fetches from DRAM",
-                  &lut_dram_fetches);
-  reg.BindDerived("lut.l1.miss_rate", "L1 misses / L1 accesses",
+  reg.BindCounter(p + "lut.l1_accesses", "private L1 LUT probes",
+                  &l1_accesses);
+  reg.BindCounter(p + "lut.l1_misses", "private L1 LUT misses", &l1_misses);
+  reg.BindCounter(p + "lut.l2_accesses", "shared L2 LUT probes",
+                  &l2_accesses);
+  reg.BindCounter(p + "lut.l2_misses", "shared L2 LUT misses", &l2_misses);
+  reg.BindCounter(p + "lut.dram_fetches",
+                  "8-entry LUT block fetches from DRAM", &lut_dram_fetches);
+  reg.BindDerived(p + "lut.l1.miss_rate", "L1 misses / L1 accesses",
                   [this] { return L1MissRate(); });
-  reg.BindDerived("lut.l2.miss_rate", "L2 misses / L2 accesses",
+  reg.BindDerived(p + "lut.l2.miss_rate", "L2 misses / L2 accesses",
                   [this] { return L2MissRate(); });
-  reg.BindCounter("buf.bank_reads", "global-buffer words read", &bank_reads);
-  reg.BindCounter("buf.bank_writes", "global-buffer words written",
+  reg.BindCounter(p + "buf.bank_reads", "global-buffer words read",
+                  &bank_reads);
+  reg.BindCounter(p + "buf.bank_writes", "global-buffer words written",
                   &bank_writes);
-  reg.BindCounter("dram.data_words", "streamed state/input words",
+  reg.BindCounter(p + "dram.data_words", "streamed state/input words",
                   &dram_data_words);
 }
 
 void
-SimReport::BindStats(StatRegistry* registry, double pe_clock_hz) const
+SimReport::BindStats(StatRegistry* registry, double pe_clock_hz,
+                     const std::string& prefix) const
 {
   StatRegistry& reg = *registry;
-  reg.BindCounter("sim.steps", "solver time steps executed", &steps);
-  reg.BindCounter("sim.total_cycles", "end-to-end PE cycles",
+  const std::string& p = prefix;
+  reg.BindCounter(p + "sim.steps", "solver time steps executed", &steps);
+  reg.BindCounter(p + "sim.total_cycles", "end-to-end PE cycles",
                   &total_cycles);
-  reg.BindCounter("sim.compute_cycles", "convolution broadcast cycles",
+  reg.BindCounter(p + "sim.compute_cycles", "convolution broadcast cycles",
                   &compute_cycles);
-  reg.BindCounter("sim.stall_l2_cycles", "cycles stalled on shared L2 LUTs",
-                  &stall_l2_cycles);
-  reg.BindCounter("sim.stall_dram_cycles",
+  reg.BindCounter(p + "sim.stall_l2_cycles",
+                  "cycles stalled on shared L2 LUTs", &stall_l2_cycles);
+  reg.BindCounter(p + "sim.stall_dram_cycles",
                   "cycles stalled on DRAM LUT fetches", &stall_dram_cycles);
-  reg.BindCounter("sim.memory_cycles", "streaming (prefetch+writeback) "
+  reg.BindCounter(p + "sim.memory_cycles", "streaming (prefetch+writeback) "
                   "cycle demand", &memory_cycles);
-  reg.BindDerived("sim.seconds", "wall-clock seconds at the PE clock",
+  reg.BindDerived(p + "sim.seconds", "wall-clock seconds at the PE clock",
                   [this, pe_clock_hz] { return Seconds(pe_clock_hz); });
-  reg.BindDerived("sim.gops", "achieved GOPS at the PE clock",
+  reg.BindDerived(p + "sim.gops", "achieved GOPS at the PE clock",
                   [this, pe_clock_hz] { return Gops(pe_clock_hz); });
-  reg.BindDerived("sim.total_ops", "arithmetic operations performed",
+  reg.BindDerived(p + "sim.total_ops", "arithmetic operations performed",
                   [this] { return static_cast<double>(TotalOps()); });
-  reg.BindDerived("sim.cycles_per_step", "total cycles / steps", [this] {
+  reg.BindDerived(p + "sim.cycles_per_step", "total cycles / steps", [this] {
     return steps == 0 ? 0.0
                       : static_cast<double>(total_cycles) /
                             static_cast<double>(steps);
   });
-  reg.BindDerived("sim.stall_frac",
+  reg.BindDerived(p + "sim.stall_frac",
                   "stall cycles / total cycles", [this] {
                     return total_cycles == 0
                                ? 0.0
@@ -122,7 +129,7 @@ SimReport::BindStats(StatRegistry* registry, double pe_clock_hz) const
                                                      stall_dram_cycles) /
                                      static_cast<double>(total_cycles);
                   });
-  activity.BindStats(registry);
+  activity.BindStats(registry, prefix);
 }
 
 std::string

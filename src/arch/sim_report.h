@@ -46,8 +46,11 @@ struct ActivityCounters {
    * Binds every counter (and the derived miss rates) into `registry`
    * under the canonical `pe.* / lut.* / buf.* / dram.*` names. The
    * struct must outlive the registry's dumps; values are read live.
+   * A non-empty `prefix` (must end with '.') namespaces the names,
+   * e.g. for per-session subtrees.
    */
-  void BindStats(StatRegistry* registry) const;
+  void BindStats(StatRegistry* registry,
+                 const std::string& prefix = "") const;
 };
 
 /** Timing summary of a simulated run. */
@@ -93,8 +96,10 @@ struct SimReport {
    * under `sim.*` and the activity prefixes. The report must outlive
    * the registry's dumps; values are read live, so one registry bound
    * to a running simulation dumps fresh numbers every time.
+   * A non-empty `prefix` (must end with '.') namespaces the names.
    */
-  void BindStats(StatRegistry* registry, double pe_clock_hz) const;
+  void BindStats(StatRegistry* registry, double pe_clock_hz,
+                 const std::string& prefix = "") const;
 
   /**
    * gem5-style machine-readable stats dump: one "name value" pair per

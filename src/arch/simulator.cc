@@ -436,25 +436,27 @@ ArchSimulator::AttachTrace(TraceSession* session)
 }
 
 void
-ArchSimulator::RegisterStats(StatRegistry* registry) const
+ArchSimulator::RegisterStats(StatRegistry* registry,
+                             const std::string& prefix) const
 {
-  report_.BindStats(registry, config_.pe_clock_hz);
-  hierarchy_->BindStats(registry, "lut.hier.");
-  dram_->BindStats(registry, "dram.");
-  registry->BindDerived("dram.peak_utilization",
+  report_.BindStats(registry, config_.pe_clock_hz, prefix);
+  hierarchy_->BindStats(registry, prefix + "lut.hier.");
+  dram_->BindStats(registry, prefix + "dram.");
+  registry->BindDerived(prefix + "dram.peak_utilization",
                         "busiest channel busy fraction over the run",
                         [this] {
                           return dram_->PeakUtilization(
                               report_.total_cycles);
                         });
-  registry->BindDerived("buf.primary_imbalance",
+  registry->BindDerived(prefix + "buf.primary_imbalance",
                         "max/min primary-bank load ratio",
                         [this] { return buffer_->PrimaryImbalance(); });
-  registry->BindDerived("buf.write_words", "words written back to banks",
+  registry->BindDerived(prefix + "buf.write_words",
+                        "words written back to banks",
                         [this] {
                           return static_cast<double>(buffer_->Writes());
                         });
-  registry->BindCounter("sim.stream_words_per_step",
+  registry->BindCounter(prefix + "sim.stream_words_per_step",
                         "streaming words per solver step",
                         &stream_words_per_step_);
 }

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/arch_config.h"
@@ -75,6 +76,14 @@ class ArchSimulator
     /** The functional fixed-point engine (for state inspection). */
     const MultilayerCenn<Fixed32>& Engine() const { return *engine_; }
 
+    /**
+     * Mutable engine access for checkpoint restore (RestoreCheckpoint
+     * writes layer states and the step counter directly). Timing
+     * accounting (SimReport) is not part of a checkpoint and restarts
+     * from zero in a restored simulator.
+     */
+    MultilayerCenn<Fixed32>& MutableEngine() { return *engine_; }
+
     /** Layer state as doubles. */
     std::vector<double> StateDoubles(int layer) const;
 
@@ -119,8 +128,13 @@ class ArchSimulator
      * per-L2-instance counters (`lut.hier.*`) and buffer balance
      * gauges. The simulator must outlive the registry's dumps; values
      * are live, so dumping mid-run yields current numbers.
+     *
+     * A non-empty `prefix` (must end with '.') namespaces every name
+     * under it — e.g. "runtime.session3." — so several concurrent
+     * simulations can bind into one shared registry.
      */
-    void RegisterStats(StatRegistry* registry) const;
+    void RegisterStats(StatRegistry* registry,
+                       const std::string& prefix = "") const;
 
   private:
     /** One nonlinear contribution inside a merged hardware weight. */

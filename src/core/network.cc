@@ -195,6 +195,14 @@ template <typename T>
 void
 MultilayerCenn<T>::RefreshOutputs()
 {
+  RefreshOutputsRows(0, spec_.rows);
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::RefreshOutputsRows(std::size_t row_begin,
+                                      std::size_t row_end)
+{
   const std::size_t n_layers = spec_.layers.size();
   const std::vector<Grid2D<T>>& states = SrcState();
   for (std::size_t l = 0; l < n_layers; ++l) {
@@ -203,7 +211,8 @@ MultilayerCenn<T>::RefreshOutputs()
     }
     const T one = NumTraits<T>::FromDouble(1.0);
     const T neg_one = NumTraits<T>::FromDouble(-1.0);
-    for (std::size_t i = 0; i < spec_.rows * spec_.cols; ++i) {
+    for (std::size_t i = row_begin * spec_.cols; i < row_end * spec_.cols;
+         ++i) {
       const T x = states[l].Data()[i];
       T y = x;
       if (y > one) {
@@ -218,18 +227,70 @@ MultilayerCenn<T>::RefreshOutputs()
 
 template <typename T>
 void
-MultilayerCenn<T>::StepEuler()
+MultilayerCenn<T>::ComputeEulerRows(std::size_t row_begin,
+                                    std::size_t row_end)
 {
   const std::size_t n_layers = spec_.layers.size();
-  RefreshOutputs();
   for (std::size_t l = 0; l < n_layers; ++l) {
-    for (std::size_t r = 0; r < spec_.rows; ++r) {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
       for (std::size_t c = 0; c < spec_.cols; ++c) {
         const T xdot = CellDerivative(static_cast<int>(l), r, c);
         next_state_[l].At(r, c) = state_[l].At(r, c) + dt_ * xdot;
       }
     }
   }
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::CheckBandArgs(std::size_t row_begin,
+                                 std::size_t row_end) const
+{
+  if (spec_.integrator != Integrator::kEuler) {
+    CENN_FATAL("band stepping supports the explicit-Euler integrator only "
+               "(spec uses ", IntegratorName(spec_.integrator), ")");
+  }
+  CENN_ASSERT(row_begin < row_end && row_end <= spec_.rows,
+              "bad band [", row_begin, ", ", row_end, ") for ", spec_.rows,
+              " rows");
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::BandRefreshOutputs(std::size_t row_begin,
+                                      std::size_t row_end)
+{
+  CheckBandArgs(row_begin, row_end);
+  RefreshOutputsRows(row_begin, row_end);
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::BandComputeEuler(std::size_t row_begin,
+                                    std::size_t row_end)
+{
+  CheckBandArgs(row_begin, row_end);
+  ComputeEulerRows(row_begin, row_end);
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::BandPublish()
+{
+  if (spec_.integrator != Integrator::kEuler) {
+    CENN_FATAL("band stepping supports the explicit-Euler integrator only");
+  }
+  state_.swap(next_state_);
+  ApplyResets();
+  ++steps_;
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::StepEuler()
+{
+  RefreshOutputs();
+  ComputeEulerRows(0, spec_.rows);
   state_.swap(next_state_);
 }
 

@@ -46,6 +46,42 @@ class MultilayerCenn
     /** Advances by `n` steps. */
     void Run(std::uint64_t n);
 
+    /**
+     * @name Band-parallel explicit-Euler stepping
+     *
+     * Sharded execution splits one Euler step into two data-parallel
+     * phases over disjoint row bands plus a serial publish:
+     *
+     *   1. every band calls BandRefreshOutputs(r0, r1)
+     *      -- barrier (halo exchange: outputs visible everywhere) --
+     *   2. every band calls BandComputeEuler(r0, r1)
+     *      -- barrier (all next-state rows written) --
+     *   3. exactly one thread calls BandPublish()
+     *
+     * Each phase reads only the stable front buffers (state, input,
+     * refreshed outputs) and writes rows [r0, r1) of its own target
+     * buffer, and every cell's arithmetic is identical to Step()'s, so
+     * any band partition is bit-identical to single-threaded stepping.
+     * Bands must cover [0, Rows()) without overlap. Euler only
+     * (fatal for a Heun-configured spec).
+     */
+    ///@{
+
+    /** Phase 1: recomputes y = f(x) for band rows of output-coupled
+     *  layers. */
+    void BandRefreshOutputs(std::size_t row_begin, std::size_t row_end);
+
+    /** Phase 2: writes next_state rows [row_begin, row_end) of every
+     *  layer from the (stable) current state. */
+    void BandComputeEuler(std::size_t row_begin, std::size_t row_end);
+
+    /** Publish: swaps in the new state, applies reset rules and
+     *  advances the step counter. Call from one thread only, after
+     *  every band finished phase 2. */
+    void BandPublish();
+
+    ///@}
+
     /** Simulated time = steps * dt. */
     double Time() const { return static_cast<double>(steps_) * spec_.dt; }
 
@@ -82,6 +118,15 @@ class MultilayerCenn
 
     /** Recomputes y = f(x) for layers referenced by output couplings. */
     void RefreshOutputs();
+
+    /** RefreshOutputs restricted to rows [row_begin, row_end). */
+    void RefreshOutputsRows(std::size_t row_begin, std::size_t row_end);
+
+    /** Euler next-state computation for rows [row_begin, row_end). */
+    void ComputeEulerRows(std::size_t row_begin, std::size_t row_end);
+
+    /** Fatal unless band stepping applies (Euler spec, valid band). */
+    void CheckBandArgs(std::size_t row_begin, std::size_t row_end) const;
 
     /** State buffers derivatives are evaluated against. */
     const std::vector<Grid2D<T>>& SrcState() const

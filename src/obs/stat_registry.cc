@@ -74,6 +74,7 @@ StatRegistry::NewEntry(const std::string& name, const std::string& desc,
 StatCounter*
 StatRegistry::AddCounter(const std::string& name, const std::string& desc)
 {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = NewEntry(name, desc, StatKind::kCounter);
   e.counter = &counters_.emplace_back();
   return e.counter;
@@ -82,6 +83,7 @@ StatRegistry::AddCounter(const std::string& name, const std::string& desc)
 StatGauge*
 StatRegistry::AddGauge(const std::string& name, const std::string& desc)
 {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = NewEntry(name, desc, StatKind::kGauge);
   e.gauge = &gauges_.emplace_back();
   return e.gauge;
@@ -91,6 +93,7 @@ Histogram*
 StatRegistry::AddHistogram(const std::string& name, const std::string& desc,
                            double lo, double hi, int num_bins)
 {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = NewEntry(name, desc, StatKind::kHistogram);
   e.histogram = &histograms_.emplace_back(lo, hi, num_bins);
   return e.histogram;
@@ -101,6 +104,7 @@ StatRegistry::BindCounter(const std::string& name, const std::string& desc,
                           const std::uint64_t* source)
 {
   CENN_ASSERT(source != nullptr, "BindCounter('", name, "'): null source");
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = NewEntry(name, desc, StatKind::kCounter);
   e.bound = source;
 }
@@ -110,14 +114,29 @@ StatRegistry::BindDerived(const std::string& name, const std::string& desc,
                           std::function<double()> fn)
 {
   CENN_ASSERT(fn != nullptr, "BindDerived('", name, "'): null callback");
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = NewEntry(name, desc, StatKind::kDerived);
   e.derived = std::move(fn);
+}
+
+StatScope
+StatRegistry::WithPrefix(const std::string& prefix)
+{
+  return StatScope(this, prefix);
 }
 
 bool
 StatRegistry::Has(const std::string& name) const
 {
+  std::lock_guard<std::mutex> lock(mu_);
   return index_.contains(name);
+}
+
+std::size_t
+StatRegistry::Size() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 double
@@ -140,6 +159,7 @@ StatRegistry::ScalarValue(const Entry& e) const
 double
 StatRegistry::Value(const std::string& name) const
 {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(name);
   if (it == index_.end()) {
     CENN_FATAL("StatRegistry: unknown stat '", name, "'");
@@ -156,6 +176,7 @@ StatRegistry::Value(const std::string& name) const
 std::vector<std::string>
 StatRegistry::Names() const
 {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(index_.size());
   for (const auto& [name, slot] : index_) {
@@ -168,6 +189,7 @@ StatRegistry::Names() const
 std::vector<std::string>
 StatRegistry::Group(const std::string& prefix) const
 {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, slot] : index_) {
     static_cast<void>(slot);
@@ -198,6 +220,7 @@ StatRegistry::AppendFlat(const Entry& e,
 std::map<std::string, double>
 StatRegistry::Snapshot() const
 {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, double> out;
   for (const Entry& e : entries_) {
     AppendFlat(e, &out);
@@ -210,6 +233,7 @@ StatRegistry::DumpText(bool with_desc) const
 {
   // Walk names sorted, expanding histograms; attach descriptions to
   // the first line of each stat only.
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, slot] : index_) {
     const Entry& e = entries_[slot];
@@ -309,6 +333,54 @@ StatRegistry::DiffSnapshots(const std::map<std::string, double>& before,
     }
   }
   return out;
+}
+
+StatScope::StatScope(StatRegistry* parent, std::string prefix)
+    : parent_(parent), prefix_(std::move(prefix))
+{
+  CENN_ASSERT(parent_ != nullptr, "StatScope: null registry");
+  if (prefix_.empty() || prefix_.back() != '.') {
+    prefix_ += '.';
+  }
+}
+
+StatCounter*
+StatScope::AddCounter(const std::string& name, const std::string& desc)
+{
+  return parent_->AddCounter(prefix_ + name, desc);
+}
+
+StatGauge*
+StatScope::AddGauge(const std::string& name, const std::string& desc)
+{
+  return parent_->AddGauge(prefix_ + name, desc);
+}
+
+Histogram*
+StatScope::AddHistogram(const std::string& name, const std::string& desc,
+                        double lo, double hi, int num_bins)
+{
+  return parent_->AddHistogram(prefix_ + name, desc, lo, hi, num_bins);
+}
+
+void
+StatScope::BindCounter(const std::string& name, const std::string& desc,
+                       const std::uint64_t* source)
+{
+  parent_->BindCounter(prefix_ + name, desc, source);
+}
+
+void
+StatScope::BindDerived(const std::string& name, const std::string& desc,
+                       std::function<double()> fn)
+{
+  parent_->BindDerived(prefix_ + name, desc, std::move(fn));
+}
+
+StatScope
+StatScope::WithPrefix(const std::string& prefix) const
+{
+  return StatScope(parent_, prefix_ + prefix);
 }
 
 }  // namespace cenn

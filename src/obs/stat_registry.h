@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,11 +69,21 @@ enum class StatKind : std::uint8_t {
   kHistogram = 3,  ///< distribution; dumps as several sub-lines
 };
 
+class StatScope;
+
 /**
  * The registry. Stat handles returned by Add* stay valid for the
  * registry's lifetime (storage is deque-backed, never reallocated).
- * Registration is not thread-safe; increments through owned handles
- * and bound fields are as thread-safe as the underlying storage.
+ *
+ * Thread safety: registration and dumps serialize on an internal
+ * mutex over the name map, so concurrent sessions can register their
+ * stat subtrees into one shared registry. Increments through owned
+ * handles and bound fields deliberately stay plain (non-atomic) adds —
+ * the hot path is untouched — so each individual counter must be
+ * written from one thread at a time (or behind external
+ * synchronization), and dumping while another thread increments reads
+ * each value non-atomically. Derived callbacks run under the registry
+ * mutex at dump time and must not re-enter the registry.
  */
 class StatRegistry
 {
@@ -107,11 +118,20 @@ class StatRegistry
     void BindDerived(const std::string& name, const std::string& desc,
                      std::function<double()> fn);
 
+    /**
+     * Returns a child-registry view that registers every stat under
+     * `prefix` + "." (e.g. WithPrefix("runtime.session0") turns
+     * AddCounter("steps", …) into "runtime.session0.steps"). Scopes
+     * are cheap value objects sharing this registry's storage and
+     * mutex; they may be nested via StatScope::WithPrefix.
+     */
+    StatScope WithPrefix(const std::string& prefix);
+
     /** True when `name` is registered. */
     bool Has(const std::string& name) const;
 
     /** Number of registered stats (histograms count once). */
-    std::size_t Size() const { return entries_.size(); }
+    std::size_t Size() const;
 
     /** Current scalar value; fatal on unknown names or histograms. */
     double Value(const std::string& name) const;
@@ -174,11 +194,58 @@ class StatRegistry
     void AppendFlat(const Entry& e,
                     std::map<std::string, double>* out) const;
 
+    /** Guards the name map / entry storage (registration and dumps). */
+    mutable std::mutex mu_;
+
     std::map<std::string, std::size_t> index_;  // name -> entries_ slot
     std::deque<Entry> entries_;
     std::deque<StatCounter> counters_;
     std::deque<StatGauge> gauges_;
     std::deque<Histogram> histograms_;
+};
+
+/**
+ * A dot-prefixed view over a StatRegistry (see
+ * StatRegistry::WithPrefix). Forwards every registration with the
+ * scope's prefix prepended; handles come from — and live as long as —
+ * the parent registry.
+ */
+class StatScope
+{
+  public:
+    StatScope(StatRegistry* parent, std::string prefix);
+
+    /** Registers an owned counter under the scope prefix. */
+    StatCounter* AddCounter(const std::string& name,
+                            const std::string& desc);
+
+    /** Registers an owned gauge under the scope prefix. */
+    StatGauge* AddGauge(const std::string& name, const std::string& desc);
+
+    /** Registers an owned histogram under the scope prefix. */
+    Histogram* AddHistogram(const std::string& name, const std::string& desc,
+                            double lo, double hi, int num_bins);
+
+    /** Binds an existing integer field under the scope prefix. */
+    void BindCounter(const std::string& name, const std::string& desc,
+                     const std::uint64_t* source);
+
+    /** Binds a dump-time callback under the scope prefix. */
+    void BindDerived(const std::string& name, const std::string& desc,
+                     std::function<double()> fn);
+
+    /** Nested child scope ("a" scoped by "b" registers "a.b.*"). */
+    StatScope WithPrefix(const std::string& prefix) const;
+
+    /** The full prefix including the trailing dot ("runtime.session0."). */
+    const std::string& Prefix() const { return prefix_; }
+
+    /** The registry this scope writes into. */
+    StatRegistry* Registry() const { return parent_; }
+
+  private:
+    StatRegistry* parent_;
+    std::string prefix_;  // always ends with '.'
 };
 
 }  // namespace cenn

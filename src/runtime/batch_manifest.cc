@@ -1,0 +1,171 @@
+#include "runtime/batch_manifest.h"
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+namespace {
+
+/** Trims ASCII whitespace from both ends. */
+std::string
+Trim(const std::string& s)
+{
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/** Parses a non-negative integer; fatal with context on garbage. */
+std::uint64_t
+ParseU64(const std::string& value, int line_no, const std::string& key)
+{
+  if (value.empty()) {
+    CENN_FATAL("manifest line ", line_no, ": empty value for '", key, "'");
+  }
+  std::uint64_t out = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      CENN_FATAL("manifest line ", line_no, ": '", key, "=", value,
+                 "' is not a non-negative integer");
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+/** Closes the in-flight job, validating and naming it. */
+void
+FinishJob(BatchJobSpec* job, bool job_open, int line_no,
+          std::vector<BatchJobSpec>* jobs)
+{
+  if (!job_open) {
+    return;
+  }
+  if (job->model.empty()) {
+    CENN_FATAL("manifest: job ending at line ", line_no,
+               " has no 'model=' line");
+  }
+  if (job->name.empty()) {
+    job->name = "job" + std::to_string(jobs->size()) + "_" + job->model;
+  }
+  jobs->push_back(std::move(*job));
+  *job = BatchJobSpec{};
+}
+
+}  // namespace
+
+std::vector<BatchJobSpec>
+ParseManifest(const std::string& text)
+{
+  std::vector<BatchJobSpec> jobs;
+  BatchJobSpec job;
+  bool job_open = false;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    const std::string line = Trim(raw);
+    if (line.empty()) {
+      FinishJob(&job, job_open, line_no, &jobs);
+      job_open = false;
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      CENN_FATAL("manifest line ", line_no, ": expected key=value, got '",
+                 line, "'");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    job_open = true;
+
+    if (key == "model") {
+      if (!job.model.empty()) {
+        CENN_FATAL("manifest line ", line_no, ": duplicate 'model' in one "
+                   "job (separate jobs with a blank line)");
+      }
+      job.model = value;
+    } else if (key == "name") {
+      job.name = value;
+    } else if (key == "rows") {
+      job.rows = static_cast<std::size_t>(ParseU64(value, line_no, key));
+    } else if (key == "cols") {
+      job.cols = static_cast<std::size_t>(ParseU64(value, line_no, key));
+    } else if (key == "steps") {
+      job.steps = ParseU64(value, line_no, key);
+    } else if (key == "engine") {
+      if (value != "double" && value != "fixed" && value != "arch") {
+        CENN_FATAL("manifest line ", line_no, ": unknown engine '", value,
+                   "' (double|fixed|arch)");
+      }
+      job.engine = value;
+    } else if (key == "memory") {
+      if (value != "ddr3" && value != "hmc-int" && value != "hmc-ext") {
+        CENN_FATAL("manifest line ", line_no, ": unknown memory '", value,
+                   "' (ddr3|hmc-int|hmc-ext)");
+      }
+      job.memory = value;
+    } else if (key == "shards") {
+      job.shards = static_cast<int>(ParseU64(value, line_no, key));
+      if (job.shards < 1) {
+        CENN_FATAL("manifest line ", line_no, ": shards must be >= 1");
+      }
+    } else if (key == "priority") {
+      // Priorities may be negative; parse a leading '-' by hand.
+      const bool neg = !value.empty() && value[0] == '-';
+      const std::uint64_t mag =
+          ParseU64(neg ? value.substr(1) : value, line_no, key);
+      job.priority = neg ? -static_cast<int>(mag) : static_cast<int>(mag);
+    } else if (key == "seed") {
+      job.seed = ParseU64(value, line_no, key);
+      job.has_seed = true;
+    } else if (key == "checkpoint_every") {
+      job.checkpoint_every = ParseU64(value, line_no, key);
+    } else {
+      CENN_FATAL("manifest line ", line_no, ": unknown key '", key, "'");
+    }
+  }
+  FinishJob(&job, job_open, line_no, &jobs);
+
+  if (jobs.empty()) {
+    CENN_FATAL("manifest: no jobs found");
+  }
+  std::set<std::string> names;
+  for (const BatchJobSpec& j : jobs) {
+    if (!names.insert(j.name).second) {
+      CENN_FATAL("manifest: duplicate job name '", j.name, "'");
+    }
+  }
+  return jobs;
+}
+
+std::vector<BatchJobSpec>
+LoadManifestFile(const std::string& path)
+{
+  std::ifstream in(path);
+  if (!in) {
+    CENN_FATAL("cannot open manifest '", path, "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseManifest(text.str());
+}
+
+}  // namespace cenn

@@ -1,0 +1,76 @@
+#ifndef CENN_RUNTIME_BATCH_MANIFEST_H_
+#define CENN_RUNTIME_BATCH_MANIFEST_H_
+
+/**
+ * @file
+ * Batch manifest: a plain-text list of solver scenarios consumed by
+ * the batch runner and the cenn_batch tool.
+ *
+ * Format (see docs/runtime.md): one `key=value` per line, `#` starts
+ * a comment, and a blank line separates jobs. `model=` opens and is
+ * required for every job; all other keys are optional.
+ *
+ *   # two scenarios
+ *   model=heat
+ *   rows=32
+ *   steps=200
+ *
+ *   model=reaction_diffusion
+ *   name=rd_sharded
+ *   engine=double
+ *   shards=4
+ *
+ * Unknown keys, malformed numbers, duplicate job names and empty
+ * manifests are fatal: a batch run must never silently execute a
+ * manifest other than the one written.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+/** One scenario of a batch manifest. */
+struct BatchJobSpec {
+  /** Unique job name; defaults to "job<index>_<model>". */
+  std::string name;
+
+  /** Benchmark model id (required; see AllModelNames()). */
+  std::string model;
+
+  std::size_t rows = 64;
+  std::size_t cols = 64;
+
+  /** Steps to run; 0 = the model's DefaultSteps(). */
+  std::uint64_t steps = 0;
+
+  /** "double", "fixed" or "arch". */
+  std::string engine = "fixed";
+
+  /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
+  std::string memory = "ddr3";
+
+  /** Band-parallel workers inside the job (functional engines). */
+  int shards = 1;
+
+  /** Queue priority (higher dispatches first). */
+  int priority = 0;
+
+  /** Initial-condition seed; when absent the runner derives one. */
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+
+  /** Per-job auto-checkpoint interval (0 = runner default). */
+  std::uint64_t checkpoint_every = 0;
+};
+
+/** Parses manifest text; fatal on malformed input (see file doc). */
+std::vector<BatchJobSpec> ParseManifest(const std::string& text);
+
+/** Reads and parses a manifest file; fatal when unreadable. */
+std::vector<BatchJobSpec> LoadManifestFile(const std::string& path);
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_BATCH_MANIFEST_H_

@@ -1,0 +1,281 @@
+#include "runtime/batch_runner.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "lut/lut_evaluator.h"
+#include "models/benchmark_model.h"
+#include "obs/stat_registry.h"
+#include "runtime/solver_session.h"
+#include "runtime/thread_pool.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cenn {
+
+namespace {
+
+/** Writes the completion marker for a finished job. */
+void
+WriteDoneMarker(const std::string& path, const BatchJobResult& result)
+{
+  std::ofstream out(path);
+  if (!out) {
+    CENN_WARN("batch: cannot write done marker '", path, "'");
+    return;
+  }
+  out << "name=" << result.name << "\n"
+      << "model=" << result.model << "\n"
+      << "engine=" << result.engine << "\n"
+      << "steps=" << result.steps_done << "\n"
+      << "checksum=" << result.checksum << "\n";
+}
+
+/**
+ * Reads a completion marker; true when present and well-formed (a
+ * malformed marker is treated as absent so the job just re-runs).
+ */
+bool
+TryReadDoneMarker(const std::string& path, BatchJobResult* result)
+{
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  bool have_steps = false;
+  bool have_checksum = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "steps") {
+      result->steps_done = std::strtoull(value.c_str(), nullptr, 10);
+      have_steps = true;
+    } else if (key == "checksum") {
+      result->checksum = std::strtoull(value.c_str(), nullptr, 10);
+      have_checksum = true;
+    }
+  }
+  return have_steps && have_checksum;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(std::vector<BatchJobSpec> jobs, BatchOptions options)
+    : jobs_(std::move(jobs)), options_(std::move(options))
+{
+  if (jobs_.empty()) {
+    CENN_FATAL("BatchRunner: empty job list");
+  }
+  if (options_.out_dir.empty()) {
+    CENN_FATAL("BatchRunner: out_dir is required");
+  }
+  if (options_.num_threads < 1) {
+    CENN_FATAL("BatchRunner: num_threads must be >= 1");
+  }
+}
+
+BatchJobResult
+BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
+                       StatRegistry* /*registry*/)
+{
+  const auto start = std::chrono::steady_clock::now();
+  BatchJobResult result;
+  result.name = job.name;
+  result.model = job.model;
+  result.engine = job.engine;
+
+  const std::string base = options_.out_dir + "/" + job.name;
+  const std::string ckpt_path = base + ".ckpt";
+
+  // Unseeded jobs derive an independent stream from (base_seed,
+  // manifest index) — stable across runs and across worker counts.
+  ModelConfig mc;
+  mc.rows = job.rows;
+  mc.cols = job.cols;
+  mc.seed = job.has_seed
+                ? job.seed
+                : Rng(options_.base_seed).Split(index).NextU64();
+  const auto model = MakeModel(job.model, mc);
+  const std::uint64_t target =
+      job.steps > 0 ? job.steps
+                    : static_cast<std::uint64_t>(model->DefaultSteps());
+  const SolverProgram program = MakeProgram(*model);
+
+  SessionConfig sc;
+  sc.name = job.name;
+  sc.shards = job.shards;
+  sc.target_steps = target;
+  sc.checkpoint_every = job.checkpoint_every > 0 ? job.checkpoint_every
+                                                 : options_.checkpoint_every;
+  sc.checkpoint_path = ckpt_path;
+
+  std::unique_ptr<SolverSession> session;
+  if (job.engine == "arch") {
+    ArchConfig arch;
+    if (job.memory == "hmc-int") {
+      arch.memory = MemoryParams::HmcInt();
+    } else if (job.memory == "hmc-ext") {
+      arch.memory = MemoryParams::HmcExt();
+    }
+    arch.pe_clock_hz = arch.memory.pe_clock_hint_hz;
+    arch = RecommendedArchConfig(program, arch);
+    session = std::make_unique<SolverSession>(program, arch, sc);
+  } else {
+    SolverOptions options;
+    if (job.engine == "double") {
+      options.precision = Precision::kDouble;
+    } else {
+      options.precision = Precision::kFixed32;
+      auto bank = std::make_shared<const LutBank>(program.spec,
+                                                  program.lut_config);
+      options.fixed_evaluator = std::make_shared<LutEvaluatorFixed>(bank);
+    }
+    session = std::make_unique<SolverSession>(program.spec, options, sc);
+  }
+
+  if (options_.resume) {
+    session->TryRestoreFromFile(ckpt_path);
+  }
+
+  const std::uint64_t done_already = session->StepsDone();
+  std::uint64_t budget = target > done_already ? target - done_already : 0;
+  if (options_.max_steps_per_job > 0 &&
+      budget > options_.max_steps_per_job) {
+    budget = options_.max_steps_per_job;
+  }
+  session->StepN(budget);
+
+  result.steps_done = session->StepsDone();
+  result.steps_executed = session->StepsExecuted();
+  result.checksum = session->StateChecksum();
+  if (session->ReachedTarget()) {
+    result.status = "done";
+    WriteDoneMarker(base + ".done", result);
+  } else {
+    result.status = "interrupted";
+    session->SaveCheckpoint();
+  }
+
+  // Per-job stat artifact: the session subtree dumped from a local
+  // registry, so no live callback outlives the session.
+  {
+    StatRegistry local;
+    session->BindStats(&local);
+    std::ofstream stats(base + ".stats.txt");
+    if (stats) {
+      stats << local.DumpText(/*with_desc=*/true);
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+std::vector<BatchJobResult>
+BatchRunner::RunAll(StatRegistry* registry)
+{
+  std::error_code ec;
+  std::filesystem::create_directories(options_.out_dir, ec);
+  if (ec) {
+    CENN_FATAL("BatchRunner: cannot create out_dir '", options_.out_dir,
+               "': ", ec.message());
+  }
+
+  std::vector<BatchJobResult> results(jobs_.size());
+  std::uint64_t cached = 0;
+
+  ThreadPool::Options pool_options;
+  pool_options.num_threads = options_.num_threads;
+  pool_options.queue_capacity = options_.queue_capacity;
+  ThreadPool pool(pool_options);
+
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const BatchJobSpec& job = jobs_[i];
+    if (options_.resume) {
+      BatchJobResult done;
+      if (TryReadDoneMarker(options_.out_dir + "/" + job.name + ".done",
+                            &done)) {
+        done.name = job.name;
+        done.model = job.model;
+        done.engine = job.engine;
+        done.status = "cached";
+        results[i] = done;
+        ++cached;
+        continue;
+      }
+    }
+    // Each job writes only its own preallocated slot; WaitIdle below
+    // gives the happens-before edge for reading them.
+    pool.Submit(
+        [this, i, &results, registry] {
+          results[i] = RunOneJob(jobs_[i], i, registry);
+        },
+        job.priority);
+  }
+  pool.WaitIdle();
+
+  if (registry != nullptr) {
+    // Owned stats (registry-backed storage), so the registry stays
+    // dumpable after the pool and sessions are gone.
+    StatScope pool_scope = registry->WithPrefix("runtime.pool");
+    pool_scope.AddCounter("threads", "pool worker threads")
+        ->Set(static_cast<std::uint64_t>(pool.NumThreads()));
+    pool_scope.AddCounter("jobs_completed", "jobs run to completion")
+        ->Set(pool.JobsCompleted());
+    pool_scope
+        .AddCounter("backpressure_blocks",
+                    "Submit calls that blocked on a full queue")
+        ->Set(pool.Queue().TotalBackpressureBlocks());
+
+    StatScope batch_scope = registry->WithPrefix("runtime.batch");
+    std::uint64_t done = 0;
+    std::uint64_t interrupted = 0;
+    std::uint64_t steps_executed = 0;
+    for (const BatchJobResult& r : results) {
+      done += r.status == "done" ? 1 : 0;
+      interrupted += r.status == "interrupted" ? 1 : 0;
+      steps_executed += r.steps_executed;
+    }
+    batch_scope.AddCounter("jobs_done", "jobs that reached their target")
+        ->Set(done);
+    batch_scope
+        .AddCounter("jobs_interrupted", "jobs stopped by the step budget")
+        ->Set(interrupted);
+    batch_scope
+        .AddCounter("jobs_cached", "jobs skipped via done markers on resume")
+        ->Set(cached);
+    batch_scope
+        .AddCounter("steps_executed", "solver steps run this invocation")
+        ->Set(steps_executed);
+  }
+
+  pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+  return results;
+}
+
+std::string
+BatchRunner::ResultsCsv(const std::vector<BatchJobResult>& results)
+{
+  std::ostringstream out;
+  out << "name,model,engine,status,steps_done,steps_executed,checksum,"
+         "wall_seconds\n";
+  for (const BatchJobResult& r : results) {
+    out << r.name << ',' << r.model << ',' << r.engine << ',' << r.status
+        << ',' << r.steps_done << ',' << r.steps_executed << ','
+        << r.checksum << ',' << r.wall_seconds << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace cenn

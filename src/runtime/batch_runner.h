@@ -1,0 +1,113 @@
+#ifndef CENN_RUNTIME_BATCH_RUNNER_H_
+#define CENN_RUNTIME_BATCH_RUNNER_H_
+
+/**
+ * @file
+ * BatchRunner — executes a manifest of solver scenarios across the
+ * thread pool, one SolverSession per job, with durable per-job
+ * artifacts so an interrupted batch resumes without recomputing
+ * finished work.
+ *
+ * Artifacts in the output directory, per job `<name>`:
+ *   <name>.ckpt       latest checkpoint (periodic + on interruption)
+ *   <name>.done       completion marker: steps + state checksum
+ *   <name>.stats.txt  session stat dump at job end
+ *
+ * Resume contract (docs/runtime.md): with `resume` set, a job with a
+ * done marker is reported "cached" and not executed at all; a job
+ * with only a checkpoint restores it and continues from the recorded
+ * step. Because checkpoints are bit-exact and per-job seeds are
+ * derived deterministically from (base_seed, manifest index), a
+ * resumed batch converges to the same final states — byte-identical
+ * checksums — as an uninterrupted run.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/batch_manifest.h"
+
+namespace cenn {
+
+class StatRegistry;
+
+/** Batch-wide execution options. */
+struct BatchOptions {
+  /** Pool workers running jobs concurrently. */
+  int num_threads = 2;
+
+  /** Job-queue admission bound (backpressure above this). */
+  std::size_t queue_capacity = 64;
+
+  /** Directory for checkpoints / markers / stat dumps (required). */
+  std::string out_dir;
+
+  /** Seed from which unseeded jobs derive theirs (Rng::Split). */
+  std::uint64_t base_seed = 42;
+
+  /**
+   * Per-invocation step budget per job; 0 = unlimited. A job that
+   * hits the budget checkpoints and reports "interrupted" — the unit
+   * tests use this to exercise resume deterministically.
+   */
+  std::uint64_t max_steps_per_job = 0;
+
+  /** Default auto-checkpoint interval for jobs that set none. */
+  std::uint64_t checkpoint_every = 0;
+
+  /** Pick up .done / .ckpt artifacts already in out_dir. */
+  bool resume = false;
+};
+
+/** Outcome of one manifest job. */
+struct BatchJobResult {
+  std::string name;
+  std::string model;
+  std::string engine;
+
+  /** "done", "interrupted" or "cached". */
+  std::string status;
+
+  /** Engine step counter at job end (includes restored steps). */
+  std::uint64_t steps_done = 0;
+
+  /** Steps actually executed by this invocation. */
+  std::uint64_t steps_executed = 0;
+
+  /** SolverSession::StateChecksum at job end. */
+  std::uint64_t checksum = 0;
+
+  /** Wall-clock seconds spent in this invocation. */
+  double wall_seconds = 0.0;
+};
+
+/** Runs a parsed manifest (see file comment). */
+class BatchRunner
+{
+  public:
+    BatchRunner(std::vector<BatchJobSpec> jobs, BatchOptions options);
+
+    /**
+     * Runs every job across the pool and returns results in manifest
+     * order. When `registry` is non-null, pool stats bind under
+     * `runtime.pool.*` and each session under `runtime.session<N>.*`
+     * for the duration of the call.
+     */
+    std::vector<BatchJobResult> RunAll(StatRegistry* registry = nullptr);
+
+    /** Results as a CSV document (header + one row per job). */
+    static std::string ResultsCsv(const std::vector<BatchJobResult>& results);
+
+  private:
+    /** Executes one job synchronously (called on a pool worker). */
+    BatchJobResult RunOneJob(const BatchJobSpec& job, std::size_t index,
+                             StatRegistry* registry);
+
+    std::vector<BatchJobSpec> jobs_;
+    BatchOptions options_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_BATCH_RUNNER_H_

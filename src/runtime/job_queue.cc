@@ -1,0 +1,147 @@
+#include "runtime/job_queue.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity)
+{
+  if (capacity_ == 0) {
+    CENN_FATAL("JobQueue: capacity must be positive");
+  }
+}
+
+JobId
+JobQueue::Push(JobFn fn, int priority)
+{
+  CENN_ASSERT(fn != nullptr, "JobQueue::Push: null job");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (pending_.size() >= capacity_ && !closed_) {
+    ++total_backpressure_blocks_;
+    not_full_.wait(lock,
+                   [this] { return pending_.size() < capacity_ || closed_; });
+  }
+  if (closed_) {
+    CENN_FATAL("JobQueue::Push on a closed queue");
+  }
+  const JobId id = next_id_++;
+  pending_.emplace(OrderKey{-priority, id},
+                   Job{id, priority, std::move(fn)});
+  ++total_pushed_;
+  not_empty_.notify_one();
+  return id;
+}
+
+bool
+JobQueue::TryPush(JobFn fn, int priority, JobId* id)
+{
+  CENN_ASSERT(fn != nullptr, "JobQueue::TryPush: null job");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || pending_.size() >= capacity_) {
+    return false;
+  }
+  const JobId new_id = next_id_++;
+  pending_.emplace(OrderKey{-priority, new_id},
+                   Job{new_id, priority, std::move(fn)});
+  ++total_pushed_;
+  if (id != nullptr) {
+    *id = new_id;
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<JobQueue::Job>
+JobQueue::Pop()
+{
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return !pending_.empty() || closed_; });
+  if (pending_.empty()) {
+    return std::nullopt;  // closed and drained
+  }
+  auto first = pending_.begin();
+  Job job = std::move(first->second);
+  pending_.erase(first);
+  ++total_popped_;
+  not_full_.notify_one();
+  return job;
+}
+
+bool
+JobQueue::Cancel(JobId id)
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->second.id == id) {
+      pending_.erase(it);
+      ++total_cancelled_;
+      not_full_.notify_one();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t
+JobQueue::DropPending()
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t dropped = pending_.size();
+  pending_.clear();
+  total_cancelled_ += dropped;
+  not_full_.notify_all();
+  return dropped;
+}
+
+void
+JobQueue::Close()
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool
+JobQueue::Closed() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t
+JobQueue::Size() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::uint64_t
+JobQueue::TotalPushed() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+std::uint64_t
+JobQueue::TotalPopped() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_popped_;
+}
+
+std::uint64_t
+JobQueue::TotalCancelled() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_cancelled_;
+}
+
+std::uint64_t
+JobQueue::TotalBackpressureBlocks() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_backpressure_blocks_;
+}
+
+}  // namespace cenn

@@ -1,0 +1,133 @@
+#ifndef CENN_RUNTIME_JOB_QUEUE_H_
+#define CENN_RUNTIME_JOB_QUEUE_H_
+
+/**
+ * @file
+ * Bounded, deterministic, priority-ordered FIFO job queue — the
+ * scheduling substrate of the solver runtime (see docs/runtime.md).
+ *
+ * Design constraints, in order:
+ *  - *Deterministic dispatch order.* Jobs are handed out strictly by
+ *    (priority descending, submission order ascending). There is no
+ *    work stealing and no randomized balancing, so a given manifest
+ *    always dispatches in the same order regardless of worker timing.
+ *  - *Bounded with caller-blocks backpressure.* Push blocks when the
+ *    queue holds `capacity` pending jobs, so a producer enumerating a
+ *    huge manifest cannot build an unbounded backlog.
+ *  - *Cancellation.* A pending job can be removed by id before a
+ *    worker picks it up; running jobs are not interrupted (sessions
+ *    expose their own cooperative cancellation).
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace cenn {
+
+/** A unit of work; must not throw across the queue boundary. */
+using JobFn = std::function<void()>;
+
+/** Queue-assigned job identifier (1-based, in submission order). */
+using JobId = std::uint64_t;
+
+/** Bounded priority-FIFO queue handing jobs to pool workers. */
+class JobQueue
+{
+  public:
+    /** One queued job as handed to a worker. */
+    struct Job {
+      JobId id = 0;
+      int priority = 0;
+      JobFn fn;
+    };
+
+    /** Creates a queue admitting at most `capacity` pending jobs. */
+    explicit JobQueue(std::size_t capacity);
+
+    JobQueue(const JobQueue&) = delete;
+    JobQueue& operator=(const JobQueue&) = delete;
+
+    /**
+     * Enqueues a job, blocking while the queue is full (backpressure).
+     * Higher `priority` dispatches first; equal priorities dispatch
+     * FIFO. Fatal when called after Close().
+     */
+    JobId Push(JobFn fn, int priority = 0);
+
+    /**
+     * Non-blocking enqueue; returns false (and does not enqueue) when
+     * the queue is full or closed. On success stores the id through
+     * `id` when non-null.
+     */
+    bool TryPush(JobFn fn, int priority = 0, JobId* id = nullptr);
+
+    /**
+     * Removes and returns the highest-priority / oldest pending job,
+     * blocking while the queue is empty and open. Returns nullopt
+     * once the queue is closed *and* drained — the worker-exit signal.
+     */
+    std::optional<Job> Pop();
+
+    /**
+     * Cancels a pending job. Returns true when the job was still
+     * queued (it will never run); false when it already dispatched,
+     * finished, was cancelled before, or never existed.
+     */
+    bool Cancel(JobId id);
+
+    /** Removes every pending job; returns how many were dropped. */
+    std::size_t DropPending();
+
+    /**
+     * Closes the queue: subsequent Push is fatal, TryPush fails, and
+     * Pop drains the backlog then returns nullopt. Idempotent.
+     */
+    void Close();
+
+    /** True once Close() was called. */
+    bool Closed() const;
+
+    /** Pending (not yet dispatched) jobs. */
+    std::size_t Size() const;
+
+    /** Admission bound. */
+    std::size_t Capacity() const { return capacity_; }
+
+    /** Jobs ever accepted (monotonic). */
+    std::uint64_t TotalPushed() const;
+
+    /** Jobs handed to workers (monotonic). */
+    std::uint64_t TotalPopped() const;
+
+    /** Jobs cancelled or dropped before dispatch (monotonic). */
+    std::uint64_t TotalCancelled() const;
+
+    /** Push calls that had to block on a full queue (monotonic). */
+    std::uint64_t TotalBackpressureBlocks() const;
+
+  private:
+    /** Dispatch key: higher priority first, then FIFO by id. */
+    using OrderKey = std::pair<int, JobId>;  // {-priority, id}
+
+    const std::size_t capacity_;
+
+    mutable std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::map<OrderKey, Job> pending_;
+    bool closed_ = false;
+    JobId next_id_ = 1;
+    std::uint64_t total_pushed_ = 0;
+    std::uint64_t total_popped_ = 0;
+    std::uint64_t total_cancelled_ = 0;
+    std::uint64_t total_backpressure_blocks_ = 0;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_JOB_QUEUE_H_

@@ -1,0 +1,103 @@
+#include "runtime/sharded_stepper.h"
+
+#include <barrier>
+#include <mutex>
+#include <thread>
+
+#include "core/network_spec.h"
+#include "core/solver.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+namespace {
+
+/** Band worker loop over one engine; see the file comment for the
+ *  two-phase protocol. */
+template <typename T>
+void
+RunBanded(MultilayerCenn<T>& engine, std::uint64_t steps,
+          const std::vector<std::pair<std::size_t, std::size_t>>& bands)
+{
+  const auto n = static_cast<std::ptrdiff_t>(bands.size());
+  // The completion step runs on exactly one thread after every band
+  // arrives, giving the serial publish (swap + resets + step count)
+  // a happens-before edge to the next phase on every worker.
+  std::barrier<void (*)() noexcept> refresh_done(n, +[]() noexcept {});
+  MultilayerCenn<T>* eng = &engine;
+  auto publish = [eng]() noexcept { eng->BandPublish(); };
+  std::barrier<decltype(publish)> compute_done(n, publish);
+
+  std::vector<std::thread> workers;
+  workers.reserve(bands.size());
+  for (const auto& band : bands) {
+    workers.emplace_back([&engine, &refresh_done, &compute_done, band,
+                          steps] {
+      for (std::uint64_t s = 0; s < steps; ++s) {
+        engine.BandRefreshOutputs(band.first, band.second);
+        refresh_done.arrive_and_wait();
+        engine.BandComputeEuler(band.first, band.second);
+        compute_done.arrive_and_wait();
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>>
+PartitionRows(std::size_t rows, int shards)
+{
+  if (shards < 1) {
+    CENN_FATAL("PartitionRows: shards must be >= 1, got ", shards);
+  }
+  const auto k = static_cast<std::size_t>(shards);
+  std::vector<std::pair<std::size_t, std::size_t>> bands;
+  bands.reserve(k < rows ? k : rows);
+  const std::size_t base = k == 0 ? 0 : rows / k;
+  const std::size_t extra = rows % k;
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < k && begin < rows; ++b) {
+    const std::size_t size = base + (b < extra ? 1 : 0);
+    if (size == 0) {
+      continue;
+    }
+    bands.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return bands;
+}
+
+void
+RunSharded(DeSolver* solver, std::uint64_t steps, int shards)
+{
+  CENN_ASSERT(solver != nullptr, "RunSharded: null solver");
+  if (shards < 1) {
+    CENN_FATAL("RunSharded: shards must be >= 1, got ", shards);
+  }
+  const NetworkSpec& spec = solver->Spec();
+  if (spec.integrator != Integrator::kEuler) {
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+      CENN_WARN("RunSharded: Heun integrator is not shardable; "
+                "running serially");
+    });
+    solver->Run(steps);
+    return;
+  }
+  const auto bands = PartitionRows(spec.rows, shards);
+  if (bands.size() <= 1 || steps == 0) {
+    solver->Run(steps);
+    return;
+  }
+  if (solver->GetPrecision() == Precision::kDouble) {
+    RunBanded(solver->DoubleEngine(), steps, bands);
+  } else {
+    RunBanded(solver->FixedEngine(), steps, bands);
+  }
+}
+
+}  // namespace cenn

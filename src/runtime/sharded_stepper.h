@@ -1,0 +1,50 @@
+#ifndef CENN_RUNTIME_SHARDED_STEPPER_H_
+#define CENN_RUNTIME_SHARDED_STEPPER_H_
+
+/**
+ * @file
+ * Intra-grid sharded execution: one DeSolver stepped by K worker
+ * threads over disjoint row bands, bit-identical to single-threaded
+ * stepping for any K (the determinism contract in docs/runtime.md).
+ *
+ * Each Euler step runs as two data-parallel phases with a halo-
+ * exchange barrier between them (refresh outputs, then compute the
+ * next state) plus a serial publish performed by the barrier's
+ * completion step. Phases only read stable front buffers and write
+ * disjoint rows, and per-cell arithmetic is exactly Step()'s, so the
+ * partition never changes results — only wall-clock time.
+ */
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cenn {
+
+class DeSolver;
+
+/**
+ * Splits `rows` grid rows into at most `shards` contiguous bands,
+ * [begin, end) pairs covering [0, rows) without gaps or overlap. The
+ * first `rows % shards` bands get one extra row; empty bands are not
+ * returned, so fewer than `shards` bands come back when shards > rows.
+ * Fatal when shards < 1.
+ */
+std::vector<std::pair<std::size_t, std::size_t>> PartitionRows(
+    std::size_t rows, int shards);
+
+/**
+ * Runs `steps` Euler steps of `solver` using `shards` band-parallel
+ * worker threads (dedicated per call — never pool workers, so a
+ * sharded session can not deadlock a saturated pool).
+ *
+ * Falls back to the serial engine when shards <= 1, the grid has
+ * fewer rows than 2, or the spec integrates with Heun (band phases
+ * are Euler-only; a warning is logged once per process).
+ */
+void RunSharded(DeSolver* solver, std::uint64_t steps, int shards);
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_SHARDED_STEPPER_H_

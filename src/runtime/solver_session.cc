@@ -1,0 +1,325 @@
+#include "runtime/solver_session.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "obs/stat_registry.h"
+#include "runtime/sharded_stepper.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+namespace {
+
+/** Process-wide session id source (stat-prefix uniqueness). */
+std::atomic<std::uint64_t> g_next_session_id{1};
+
+/** Reads a whole binary file; false when it cannot be opened. */
+bool
+ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* bytes)
+{
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return false;
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  bytes->resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes->data()), size);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+const char*
+SessionStateName(SessionState state)
+{
+  switch (state) {
+    case SessionState::kIdle:
+      return "idle";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kPaused:
+      return "paused";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+SolverSession::SolverSession(const NetworkSpec& spec, SolverOptions options,
+                             SessionConfig config)
+    : id_(g_next_session_id.fetch_add(1)),
+      config_(std::move(config)),
+      engine_(std::make_unique<DeSolver>(spec, std::move(options)))
+{
+  if (config_.slice_steps == 0) {
+    CENN_FATAL("SolverSession: slice_steps must be positive");
+  }
+  if (config_.checkpoint_every > 0 && config_.checkpoint_path.empty()) {
+    CENN_FATAL("SolverSession: checkpoint_every requires checkpoint_path");
+  }
+  if (config_.shards < 1) {
+    CENN_FATAL("SolverSession: shards must be >= 1, got ", config_.shards);
+  }
+}
+
+SolverSession::SolverSession(const SolverProgram& program,
+                             const ArchConfig& arch, SessionConfig config)
+    : id_(g_next_session_id.fetch_add(1)),
+      config_(std::move(config)),
+      engine_(std::make_unique<ArchSimulator>(program, arch))
+{
+  if (config_.slice_steps == 0) {
+    CENN_FATAL("SolverSession: slice_steps must be positive");
+  }
+  if (config_.checkpoint_every > 0 && config_.checkpoint_path.empty()) {
+    CENN_FATAL("SolverSession: checkpoint_every requires checkpoint_path");
+  }
+  if (config_.shards != 1) {
+    CENN_WARN("SolverSession '", config_.name,
+              "': arch engine is cycle-accounted serially; ignoring shards=",
+              config_.shards);
+    config_.shards = 1;
+  }
+}
+
+DeSolver*
+SolverSession::Functional()
+{
+  auto* p = std::get_if<std::unique_ptr<DeSolver>>(&engine_);
+  return p != nullptr ? p->get() : nullptr;
+}
+
+ArchSimulator*
+SolverSession::Arch()
+{
+  auto* p = std::get_if<std::unique_ptr<ArchSimulator>>(&engine_);
+  return p != nullptr ? p->get() : nullptr;
+}
+
+std::uint64_t
+SolverSession::StepsDone() const
+{
+  if (const auto* s = std::get_if<std::unique_ptr<DeSolver>>(&engine_)) {
+    return (*s)->Steps();
+  }
+  return std::get<std::unique_ptr<ArchSimulator>>(engine_)->Engine().Steps();
+}
+
+bool
+SolverSession::ReachedTarget() const
+{
+  return config_.target_steps > 0 && StepsDone() >= config_.target_steps;
+}
+
+void
+SolverSession::RunSlice(std::uint64_t n)
+{
+  if (auto* solver = Functional()) {
+    RunSharded(solver, n, config_.shards);
+  } else {
+    Arch()->Run(n);
+  }
+  steps_executed_ += n;
+  steps_since_checkpoint_ += n;
+}
+
+void
+SolverSession::MaybeAutoCheckpoint()
+{
+  if (config_.checkpoint_every == 0 ||
+      steps_since_checkpoint_ < config_.checkpoint_every) {
+    return;
+  }
+  if (SaveCheckpoint()) {
+    steps_since_checkpoint_ = 0;
+  }
+}
+
+std::uint64_t
+SolverSession::StepN(std::uint64_t n)
+{
+  const SessionState entry = state_.load();
+  if (entry == SessionState::kDone || entry == SessionState::kCancelled) {
+    return 0;
+  }
+  if (pause_requested_.load()) {
+    ++pauses_honored_;
+    state_.store(SessionState::kPaused);
+    return 0;
+  }
+  state_.store(SessionState::kRunning);
+  std::uint64_t executed = 0;
+  while (executed < n) {
+    if (cancel_requested_.load()) {
+      state_.store(SessionState::kCancelled);
+      return executed;
+    }
+    if (pause_requested_.load()) {
+      ++pauses_honored_;
+      state_.store(SessionState::kPaused);
+      return executed;
+    }
+    if (ReachedTarget()) {
+      break;
+    }
+    std::uint64_t slice = config_.slice_steps;
+    if (slice > n - executed) {
+      slice = n - executed;
+    }
+    if (config_.target_steps > 0) {
+      const std::uint64_t left = config_.target_steps - StepsDone();
+      if (slice > left) {
+        slice = left;
+      }
+    }
+    RunSlice(slice);
+    executed += slice;
+    MaybeAutoCheckpoint();
+  }
+  state_.store(ReachedTarget() ? SessionState::kDone : SessionState::kIdle);
+  return executed;
+}
+
+std::uint64_t
+SolverSession::RunToTarget()
+{
+  if (config_.target_steps == 0) {
+    CENN_FATAL("SolverSession::RunToTarget without target_steps");
+  }
+  const std::uint64_t done = StepsDone();
+  if (done >= config_.target_steps) {
+    state_.store(SessionState::kDone);
+    return 0;
+  }
+  return StepN(config_.target_steps - done);
+}
+
+void
+SolverSession::Resume()
+{
+  pause_requested_.store(false);
+  if (state_.load() == SessionState::kPaused) {
+    state_.store(SessionState::kIdle);
+  }
+}
+
+Checkpoint
+SolverSession::Capture() const
+{
+  if (const auto* s = std::get_if<std::unique_ptr<DeSolver>>(&engine_)) {
+    return CaptureCheckpoint(**s);
+  }
+  return CaptureCheckpoint(
+      std::get<std::unique_ptr<ArchSimulator>>(engine_)->Engine());
+}
+
+bool
+SolverSession::SaveCheckpoint(const std::string& path)
+{
+  const std::string& target = path.empty() ? config_.checkpoint_path : path;
+  if (target.empty()) {
+    CENN_FATAL("SolverSession::SaveCheckpoint: no checkpoint path");
+  }
+  const std::vector<std::uint8_t> bytes = SerializeCheckpoint(Capture());
+  std::ofstream out(target, std::ios::binary);
+  if (!out) {
+    CENN_WARN("SolverSession '", config_.name,
+              "': cannot write checkpoint '", target, "'");
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    CENN_WARN("SolverSession '", config_.name,
+              "': short write to checkpoint '", target, "'");
+    return false;
+  }
+  ++checkpoints_written_;
+  return true;
+}
+
+bool
+SolverSession::TryRestoreFromFile(const std::string& path)
+{
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    return false;
+  }
+  const Checkpoint cp = DeserializeCheckpoint(bytes);
+  if (auto* solver = Functional()) {
+    if (solver->GetPrecision() == Precision::kDouble) {
+      RestoreCheckpoint(cp, &solver->DoubleEngine());
+    } else {
+      RestoreCheckpoint(cp, &solver->FixedEngine());
+    }
+  } else {
+    RestoreCheckpoint(cp, &Arch()->MutableEngine());
+  }
+  ++restores_;
+  steps_since_checkpoint_ = 0;
+  state_.store(ReachedTarget() ? SessionState::kDone : SessionState::kIdle);
+  return true;
+}
+
+std::uint64_t
+SolverSession::StateChecksum() const
+{
+  const Checkpoint cp = Capture();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t bits) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffULL;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(cp.steps);
+  for (const auto& layer : cp.layer_states) {
+    for (double v : layer) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+void
+SolverSession::BindStats(StatRegistry* registry)
+{
+  CENN_ASSERT(registry != nullptr, "SolverSession::BindStats: null registry");
+  StatScope scope =
+      registry->WithPrefix("runtime.session" + std::to_string(id_));
+  scope.BindDerived("steps", "engine steps (includes restored history)",
+                    [this] { return static_cast<double>(StepsDone()); });
+  scope.BindDerived("state", "lifecycle (0=idle 1=running 2=paused "
+                    "3=done 4=cancelled)", [this] {
+                      return static_cast<double>(
+                          static_cast<int>(state_.load()));
+                    });
+  scope.BindCounter("steps_executed", "steps run by this session object",
+                    &steps_executed_);
+  scope.BindCounter("checkpoints_written", "checkpoint files written",
+                    &checkpoints_written_);
+  scope.BindCounter("restores", "checkpoint restores performed", &restores_);
+  scope.BindCounter("pauses", "pause requests honored", &pauses_honored_);
+  if (auto* sim = Arch()) {
+    sim->RegisterStats(registry, scope.Prefix());
+  }
+}
+
+std::vector<double>
+SolverSession::StateDoubles(int layer) const
+{
+  if (const auto* s = std::get_if<std::unique_ptr<DeSolver>>(&engine_)) {
+    return (*s)->StateDoubles(layer);
+  }
+  return std::get<std::unique_ptr<ArchSimulator>>(engine_)->StateDoubles(
+      layer);
+}
+
+}  // namespace cenn

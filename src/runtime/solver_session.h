@@ -1,0 +1,196 @@
+#ifndef CENN_RUNTIME_SOLVER_SESSION_H_
+#define CENN_RUNTIME_SOLVER_SESSION_H_
+
+/**
+ * @file
+ * SolverSession — one managed solver run with a lifecycle.
+ *
+ * A session wraps either a functional DeSolver (double / fixed
+ * precision, optionally sharded across worker threads) or a
+ * cycle-level ArchSimulator, and adds what a long-running service
+ * needs around the raw engines:
+ *
+ *  - run / pause / resume / cancel, honored at slice granularity
+ *    (StepN executes `slice_steps` at a time and re-checks the flags
+ *    between slices — cooperative, never mid-step);
+ *  - periodic and on-demand checkpoints through src/program's
+ *    checkpoint format, and restore-from-file to resume a prior run
+ *    bit-exactly (states are stored as lossless f64);
+ *  - a per-session stat subtree (`runtime.session<N>.*`) bound into a
+ *    shared StatRegistry.
+ *
+ * Sessions are externally synchronized except for RequestPause /
+ * RequestCancel / State / StepsDone, which may be called from any
+ * thread while another thread drives StepN — that is the intended
+ * control pattern on a pool.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "arch/arch_config.h"
+#include "arch/simulator.h"
+#include "core/solver.h"
+#include "program/checkpoint.h"
+#include "program/solver_program.h"
+
+namespace cenn {
+
+class StatRegistry;
+
+/** Lifecycle of a SolverSession. */
+enum class SessionState : std::uint8_t {
+  kIdle = 0,      ///< constructed or restored, not stepping
+  kRunning = 1,   ///< inside StepN
+  kPaused = 2,    ///< stopped by RequestPause; Resume() re-arms
+  kDone = 3,      ///< reached target_steps
+  kCancelled = 4, ///< stopped by RequestCancel; terminal
+};
+
+/** Returns "idle" / "running" / "paused" / "done" / "cancelled". */
+const char* SessionStateName(SessionState state);
+
+/** Construction parameters of a SolverSession. */
+struct SessionConfig {
+  /** Human-readable label (job name); also used in log lines. */
+  std::string name;
+
+  /** Band-parallel workers for functional engines (1 = serial). */
+  int shards = 1;
+
+  /** Total steps the session aims for; 0 = open-ended. */
+  std::uint64_t target_steps = 0;
+
+  /** Auto-checkpoint to `checkpoint_path` every N steps (0 = off). */
+  std::uint64_t checkpoint_every = 0;
+
+  /** Checkpoint file; required when checkpoint_every > 0. */
+  std::string checkpoint_path;
+
+  /** Steps per slice between pause/cancel checks. */
+  std::uint64_t slice_steps = 64;
+};
+
+/** One managed solver run (see file comment). */
+class SolverSession
+{
+  public:
+    /** Functional session (double or fixed precision). */
+    SolverSession(const NetworkSpec& spec, SolverOptions options,
+                  SessionConfig config);
+
+    /** Cycle-level accelerator session. */
+    SolverSession(const SolverProgram& program, const ArchConfig& arch,
+                  SessionConfig config);
+
+    SolverSession(const SolverSession&) = delete;
+    SolverSession& operator=(const SolverSession&) = delete;
+
+    /**
+     * Executes up to `n` steps in slices, stopping early on a pause or
+     * cancel request or on reaching target_steps. A pause requested
+     * before the call runs zero steps. Returns steps actually run.
+     */
+    std::uint64_t StepN(std::uint64_t n);
+
+    /** StepN until target_steps (fatal when target_steps == 0). */
+    std::uint64_t RunToTarget();
+
+    /** Asks the stepping thread to stop after the current slice. */
+    void RequestPause() { pause_requested_.store(true); }
+
+    /** Clears a pause so the next StepN proceeds. */
+    void Resume();
+
+    /** Irrevocably stops the session after the current slice. */
+    void RequestCancel() { cancel_requested_.store(true); }
+
+    /** Current lifecycle state. */
+    SessionState State() const { return state_.load(); }
+
+    /** Engine step counter (includes steps from a restored run). */
+    std::uint64_t StepsDone() const;
+
+    /** Steps executed by this session object (excludes restored). */
+    std::uint64_t StepsExecuted() const { return steps_executed_; }
+
+    /** True once StepsDone() >= target_steps (and target is set). */
+    bool ReachedTarget() const;
+
+    /** Snapshot of the full dynamic state. */
+    Checkpoint Capture() const;
+
+    /**
+     * Writes a checkpoint to `path` (empty = config checkpoint_path).
+     * Returns false when the file cannot be written.
+     */
+    bool SaveCheckpoint(const std::string& path = "");
+
+    /**
+     * Restores state + step counter from a checkpoint file. Returns
+     * false when the file does not exist or cannot be read; fatal on
+     * a corrupt file or geometry mismatch (a real error, not a cold
+     * start). Arch sessions restore functional state only — timing
+     * counters restart from zero.
+     */
+    bool TryRestoreFromFile(const std::string& path);
+
+    /**
+     * FNV-1a hash over the bit patterns of every layer's state (as
+     * f64) plus the step counter — cheap run-identity fingerprint for
+     * determinism checks and resume verification.
+     */
+    std::uint64_t StateChecksum() const;
+
+    /**
+     * Binds the session subtree under `runtime.session<id>.`:
+     * lifecycle gauges plus (for arch sessions) the full simulator
+     * stat set. The session must outlive the registry's dumps.
+     */
+    void BindStats(StatRegistry* registry);
+
+    /** Layer state as doubles, any engine kind. */
+    std::vector<double> StateDoubles(int layer) const;
+
+    /** Session label from the config. */
+    const std::string& Name() const { return config_.name; }
+
+    /** Process-unique session id (sets the stat prefix). */
+    std::uint64_t Id() const { return id_; }
+
+    /** The functional solver, or null for an arch session. */
+    DeSolver* Functional();
+
+    /** The arch simulator, or null for a functional session. */
+    ArchSimulator* Arch();
+
+  private:
+    /** Runs one slice of `n` steps on whichever engine is present. */
+    void RunSlice(std::uint64_t n);
+
+    /** Checkpoint bookkeeping after a slice. */
+    void MaybeAutoCheckpoint();
+
+    const std::uint64_t id_;
+    SessionConfig config_;
+    std::variant<std::unique_ptr<DeSolver>, std::unique_ptr<ArchSimulator>>
+        engine_;
+
+    std::atomic<SessionState> state_{SessionState::kIdle};
+    std::atomic<bool> pause_requested_{false};
+    std::atomic<bool> cancel_requested_{false};
+
+    std::uint64_t steps_executed_ = 0;
+    std::uint64_t steps_since_checkpoint_ = 0;
+    std::uint64_t checkpoints_written_ = 0;
+    std::uint64_t restores_ = 0;
+    std::uint64_t pauses_honored_ = 0;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_SOLVER_SESSION_H_

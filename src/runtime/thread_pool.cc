@@ -1,0 +1,140 @@
+#include "runtime/thread_pool.h"
+
+#include "obs/stat_registry.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+ThreadPool::ThreadPool(const Options& options)
+    : queue_(options.queue_capacity)
+{
+  if (options.num_threads <= 0) {
+    CENN_FATAL("ThreadPool: num_threads must be positive, got ",
+               options.num_threads);
+  }
+  threads_.reserve(static_cast<std::size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool()
+{
+  Shutdown(ShutdownMode::kDrain);
+}
+
+void
+ThreadPool::WorkerMain()
+{
+  while (auto job = queue_.Pop()) {
+    job->fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++jobs_completed_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+JobId
+ThreadPool::Submit(JobFn fn, int priority)
+{
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      CENN_FATAL("ThreadPool::Submit after Shutdown");
+    }
+    // Count before the (possibly blocking) push so WaitIdle callers
+    // wait for in-flight submissions too.
+    ++jobs_submitted_;
+  }
+  return queue_.Push(std::move(fn), priority);
+}
+
+bool
+ThreadPool::Cancel(JobId id)
+{
+  if (!queue_.Cancel(id)) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++jobs_discarded_;
+  }
+  idle_cv_.notify_all();
+  return true;
+}
+
+void
+ThreadPool::WaitIdle()
+{
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return jobs_submitted_ <= jobs_completed_ + jobs_discarded_;
+  });
+}
+
+void
+ThreadPool::Shutdown(ShutdownMode mode)
+{
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      return;
+    }
+    shut_down_ = true;
+  }
+  if (mode == ShutdownMode::kDiscardPending) {
+    const std::size_t dropped = queue_.DropPending();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_discarded_ += dropped;
+    }
+    idle_cv_.notify_all();
+  }
+  queue_.Close();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+std::uint64_t
+ThreadPool::JobsCompleted() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_completed_;
+}
+
+std::uint64_t
+ThreadPool::JobsDiscarded() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_discarded_;
+}
+
+void
+ThreadPool::BindStats(StatScope scope) const
+{
+  scope.BindDerived("threads", "pool worker threads", [this] {
+    return static_cast<double>(NumThreads());
+  });
+  scope.BindDerived("jobs_submitted", "jobs accepted by Submit", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(jobs_submitted_);
+  });
+  scope.BindDerived("jobs_completed", "jobs run to completion", [this] {
+    return static_cast<double>(JobsCompleted());
+  });
+  scope.BindDerived("jobs_discarded", "jobs cancelled before dispatch",
+                    [this] { return static_cast<double>(JobsDiscarded()); });
+  scope.BindDerived("queue_depth", "pending jobs right now", [this] {
+    return static_cast<double>(queue_.Size());
+  });
+  scope.BindDerived("backpressure_blocks",
+                    "Submit calls that blocked on a full queue", [this] {
+                      return static_cast<double>(
+                          queue_.TotalBackpressureBlocks());
+                    });
+}
+
+}  // namespace cenn

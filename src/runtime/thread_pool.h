@@ -1,0 +1,110 @@
+#ifndef CENN_RUNTIME_THREAD_POOL_H_
+#define CENN_RUNTIME_THREAD_POOL_H_
+
+/**
+ * @file
+ * Fixed-size worker pool over a JobQueue — runs independent solver
+ * jobs (batch scenarios) concurrently. The pool inherits the queue's
+ * deterministic dispatch order; there is no per-worker queue and no
+ * work stealing, so which *worker* runs a job may vary but the order
+ * jobs *start* never does, and jobs must not rely on co-scheduling
+ * (a job that blocks on another job's output can deadlock a full
+ * pool — sessions shard *inside* one job instead).
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/job_queue.h"
+
+namespace cenn {
+
+class StatScope;
+
+/** Fixed-size FIFO thread pool (see file comment). */
+class ThreadPool
+{
+  public:
+    /** Construction parameters. */
+    struct Options {
+      int num_threads = 2;
+      std::size_t queue_capacity = 64;
+    };
+
+    /** Spawns the workers immediately. */
+    explicit ThreadPool(const Options& options);
+
+    /** Shuts down draining pending jobs (when not already shut down). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Submits a job; blocks while the queue is full (backpressure).
+     * Fatal after Shutdown.
+     */
+    JobId Submit(JobFn fn, int priority = 0);
+
+    /** Cancels a job that has not started; true when removed. */
+    bool Cancel(JobId id);
+
+    /** Blocks until no job is pending or running. */
+    void WaitIdle();
+
+    /** What to do with pending jobs at shutdown. */
+    enum class ShutdownMode {
+      kDrain = 0,           ///< run everything already queued, then stop
+      kDiscardPending = 1,  ///< drop queued jobs; running ones finish
+    };
+
+    /**
+     * Stops the pool: closes the queue (per `mode`) and joins every
+     * worker. Running jobs always complete. Idempotent; concurrent
+     * Submit calls blocked on backpressure die fatally (the queue
+     * rejects pushes once closed).
+     */
+    void Shutdown(ShutdownMode mode);
+
+    /** Worker count. */
+    int NumThreads() const { return static_cast<int>(threads_.size()); }
+
+    /** The underlying queue (counters, capacity). */
+    const JobQueue& Queue() const { return queue_; }
+
+    /** Jobs whose functions ran to completion (monotonic). */
+    std::uint64_t JobsCompleted() const;
+
+    /** Jobs dropped by Shutdown(kDiscardPending) or Cancel. */
+    std::uint64_t JobsDiscarded() const;
+
+    /**
+     * Binds pool stats (threads, submitted/completed/cancelled jobs,
+     * queue depth, backpressure blocks) under `scope` — canonically
+     * `runtime.pool`. The pool must outlive the registry's dumps.
+     */
+    void BindStats(StatScope scope) const;
+
+  private:
+    /** Worker main loop: pop-execute until the queue closes. */
+    void WorkerMain();
+
+    JobQueue queue_;
+    std::vector<std::thread> threads_;
+
+    // Accounting invariant: submitted == completed + discarded once
+    // the pool is idle; WaitIdle blocks on exactly that equality.
+    mutable std::mutex mu_;
+    std::condition_variable idle_cv_;
+    std::uint64_t jobs_submitted_ = 0;
+    std::uint64_t jobs_completed_ = 0;
+    std::uint64_t jobs_discarded_ = 0;
+    bool shut_down_ = false;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_THREAD_POOL_H_

@@ -101,6 +101,18 @@ Rng::NextBelow(std::uint64_t n)
   }
 }
 
+Rng
+Rng::Split(std::uint64_t stream_id) const
+{
+  // Mix the full parent state with the stream id through SplitMix64 so
+  // child streams differ even for adjacent ids and for parents whose
+  // states differ in few bits. The parent is not advanced.
+  std::uint64_t sm = state_[0];
+  sm ^= Rotl(state_[1], 13) ^ Rotl(state_[2], 29) ^ Rotl(state_[3], 41);
+  sm ^= (stream_id + 1) * 0x9e3779b97f4a7c15ULL;
+  return Rng(SplitMix64(sm));
+}
+
 bool
 Rng::Bernoulli(double p)
 {

@@ -44,6 +44,20 @@ class Rng
     /** Returns true with probability p (clamped to [0, 1]). */
     bool Bernoulli(double p);
 
+    /**
+     * Derives an independent child engine for a numbered stream
+     * without advancing this engine. Children with distinct stream
+     * ids (and equal ids under distinct parents) produce uncorrelated
+     * sequences, and the derivation is a pure function of the parent
+     * state and the id — so per-worker / per-session streams split
+     * from one seed stay reproducible regardless of scheduling.
+     *
+     * Use this instead of sharing one Rng across workers (ordering
+     * nondeterminism) or reusing one seed for several purposes
+     * (identical streams).
+     */
+    Rng Split(std::uint64_t stream_id) const;
+
   private:
     std::uint64_t state_[4];
     bool has_cached_gaussian_ = false;

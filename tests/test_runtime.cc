@@ -1,0 +1,662 @@
+/**
+ * @file
+ * Runtime subsystem tests: deterministic job queue and pool, sharded
+ * execution determinism (bit-identical to serial for every worker
+ * count), session lifecycle with checkpoint/resume, RNG stream
+ * splitting, stat scoping, and batch resume semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "mapping/mapper.h"
+#include "models/benchmark_model.h"
+#include "obs/stat_registry.h"
+#include "runtime/batch_manifest.h"
+#include "runtime/batch_runner.h"
+#include "runtime/job_queue.h"
+#include "runtime/sharded_stepper.h"
+#include "runtime/solver_session.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+namespace cenn {
+namespace {
+
+NetworkSpec
+ModelSpec(const std::string& name, std::size_t rows, std::size_t cols)
+{
+  ModelConfig mc;
+  mc.rows = rows;
+  mc.cols = cols;
+  return Mapper::Map(MakeModel(name, mc)->System());
+}
+
+SolverOptions
+Opts(Precision precision)
+{
+  SolverOptions options;
+  options.precision = precision;
+  return options;
+}
+
+/** Fresh per-test scratch directory under the gtest temp root. */
+std::string
+ScratchDir(const std::string& tag)
+{
+  const std::string dir = testing::TempDir() + "cenn_runtime_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue
+
+TEST(JobQueueTest, DispatchesFifoWithinPriority)
+{
+  JobQueue queue(16);
+  std::vector<int> order;
+  queue.Push([&order] { order.push_back(1); });
+  queue.Push([&order] { order.push_back(2); });
+  queue.Push([&order] { order.push_back(3); }, /*priority=*/5);
+  queue.Push([&order] { order.push_back(4); }, /*priority=*/5);
+  queue.Close();
+  while (auto job = queue.Pop()) {
+    job->fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{3, 4, 1, 2}));
+  EXPECT_EQ(queue.TotalPushed(), 4u);
+  EXPECT_EQ(queue.TotalPopped(), 4u);
+}
+
+TEST(JobQueueTest, TryPushFailsWhenFull)
+{
+  JobQueue queue(2);
+  EXPECT_TRUE(queue.TryPush([] {}));
+  EXPECT_TRUE(queue.TryPush([] {}));
+  JobId id = 0;
+  EXPECT_FALSE(queue.TryPush([] {}, 0, &id));
+  EXPECT_EQ(queue.Size(), 2u);
+}
+
+TEST(JobQueueTest, PushBlocksUntilPopMakesRoom)
+{
+  JobQueue queue(1);
+  queue.Push([] {});
+  std::atomic<bool> second_accepted{false};
+  std::thread producer([&] {
+    queue.Push([] {});  // blocks until the consumer pops
+    second_accepted.store(true);
+  });
+  // Give the producer time to hit the full queue.
+  while (queue.TotalBackpressureBlocks() == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(second_accepted.load());
+  EXPECT_TRUE(queue.Pop().has_value());
+  producer.join();
+  EXPECT_TRUE(second_accepted.load());
+  EXPECT_EQ(queue.TotalBackpressureBlocks(), 1u);
+}
+
+TEST(JobQueueTest, CancelRemovesPendingJob)
+{
+  JobQueue queue(8);
+  const JobId keep = queue.Push([] {});
+  const JobId drop = queue.Push([] {});
+  EXPECT_TRUE(queue.Cancel(drop));
+  EXPECT_FALSE(queue.Cancel(drop));   // already gone
+  EXPECT_FALSE(queue.Cancel(12345));  // never existed
+  EXPECT_EQ(queue.Size(), 1u);
+  const auto job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->id, keep);
+}
+
+TEST(JobQueueTest, PopDrainsThenSignalsClosed)
+{
+  JobQueue queue(4);
+  queue.Push([] {});
+  queue.Close();
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.Closed());
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsSubmittedJobsAndWaitsIdle)
+{
+  ThreadPool pool({.num_threads = 3, .queue_capacity = 32});
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 20; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(sum.load(), 210);
+  EXPECT_EQ(pool.JobsCompleted(), 20u);
+  EXPECT_EQ(pool.JobsDiscarded(), 0u);
+}
+
+TEST(ThreadPoolTest, ShutdownDiscardPendingNeverLosesAccounting)
+{
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 64});
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Occupy the single worker so the rest stays queued.
+  pool.Submit([&] {
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  release.store(true);
+  pool.Shutdown(ThreadPool::ShutdownMode::kDiscardPending);
+  // The running job always completes; pending ones may have started
+  // before the shutdown raced in, but nothing is both run and counted
+  // discarded, and nothing is lost.
+  EXPECT_EQ(pool.JobsCompleted() + pool.JobsDiscarded(), 11u);
+  EXPECT_EQ(static_cast<int>(pool.JobsCompleted()), ran.load());
+  // Idempotent.
+  pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+}
+
+TEST(ThreadPoolTest, CancelPendingJob)
+{
+  ThreadPool pool({.num_threads = 1, .queue_capacity = 64});
+  std::atomic<bool> release{false};
+  std::atomic<bool> cancelled_ran{false};
+  pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  const JobId doomed =
+      pool.Submit([&cancelled_ran] { cancelled_ran.store(true); });
+  EXPECT_TRUE(pool.Cancel(doomed));
+  release.store(true);
+  pool.WaitIdle();
+  EXPECT_FALSE(cancelled_ran.load());
+  EXPECT_EQ(pool.JobsDiscarded(), 1u);
+}
+
+TEST(ThreadPoolTest, BindStatsPublishesPoolCounters)
+{
+  StatRegistry registry;
+  ThreadPool pool({.num_threads = 2, .queue_capacity = 8});
+  pool.BindStats(registry.WithPrefix("runtime.pool"));
+  pool.Submit([] {});
+  pool.WaitIdle();
+  EXPECT_EQ(registry.Value("runtime.pool.threads"), 2.0);
+  EXPECT_EQ(registry.Value("runtime.pool.jobs_submitted"), 1.0);
+  EXPECT_EQ(registry.Value("runtime.pool.jobs_completed"), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rng::Split
+
+TEST(RngSplitTest, StreamsAreDeterministicAndIndependent)
+{
+  const Rng parent(7);
+  Rng a0 = parent.Split(0);
+  Rng a0_again = parent.Split(0);
+  EXPECT_EQ(a0.NextU64(), a0_again.NextU64());
+  // Distinct stream ids diverge immediately (overwhelmingly likely
+  // for any non-degenerate mixing).
+  Rng b0 = parent.Split(0);
+  Rng b1 = parent.Split(1);
+  EXPECT_NE(b0.NextU64(), b1.NextU64());
+}
+
+TEST(RngSplitTest, SplitDoesNotAdvanceParent)
+{
+  Rng witness(99);
+  const std::uint64_t expected = witness.NextU64();
+  Rng parent(99);
+  (void)parent.Split(3);
+  (void)parent.Split(4);
+  EXPECT_EQ(parent.NextU64(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// StatScope
+
+TEST(StatScopeTest, PrefixesAndNests)
+{
+  StatRegistry registry;
+  StatScope scope = registry.WithPrefix("runtime.session1");
+  scope.AddCounter("steps", "steps")->Add(5);
+  StatScope nested = scope.WithPrefix("pool");
+  nested.AddGauge("depth", "queue depth")->Set(3.5);
+  EXPECT_TRUE(registry.Has("runtime.session1.steps"));
+  EXPECT_TRUE(registry.Has("runtime.session1.pool.depth"));
+  EXPECT_EQ(registry.Value("runtime.session1.steps"), 5.0);
+  EXPECT_EQ(registry.Value("runtime.session1.pool.depth"), 3.5);
+  EXPECT_EQ(scope.Prefix(), "runtime.session1.");
+}
+
+TEST(StatScopeTest, ConcurrentRegistrationIsSerialized)
+{
+  StatRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry, t] {
+      StatScope scope =
+          registry.WithPrefix("runtime.session" + std::to_string(t));
+      for (int i = 0; i < 25; ++i) {
+        scope.AddCounter("c" + std::to_string(i), "counter")->Inc();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(registry.Size(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionRows
+
+TEST(PartitionRowsTest, CoversWithoutOverlap)
+{
+  for (std::size_t rows : {1u, 2u, 7u, 64u, 65u}) {
+    for (int k : {1, 2, 4, 7, 100}) {
+      const auto bands = PartitionRows(rows, k);
+      ASSERT_FALSE(bands.empty());
+      EXPECT_LE(bands.size(), std::min<std::size_t>(
+                                  static_cast<std::size_t>(k), rows));
+      std::size_t next = 0;
+      for (const auto& [begin, end] : bands) {
+        EXPECT_EQ(begin, next);
+        EXPECT_LT(begin, end);
+        next = end;
+      }
+      EXPECT_EQ(next, rows);
+      // Balanced: band sizes differ by at most one row.
+      std::size_t lo = rows;
+      std::size_t hi = 0;
+      for (const auto& [begin, end] : bands) {
+        lo = std::min(lo, end - begin);
+        hi = std::max(hi, end - begin);
+      }
+      EXPECT_LE(hi - lo, 1u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded execution determinism
+
+class ShardedDeterminismTest
+    : public testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(ShardedDeterminismTest, BitIdenticalToSerialDouble)
+{
+  const auto& [model, shards] = GetParam();
+  const NetworkSpec spec = ModelSpec(model, 17, 16);
+
+  DeSolver serial(spec, Opts(Precision::kDouble));
+  serial.Run(40);
+
+  DeSolver sharded(spec, Opts(Precision::kDouble));
+  RunSharded(&sharded, 40, shards);
+
+  EXPECT_EQ(sharded.Steps(), 40u);
+  for (int l = 0; l < spec.NumLayers(); ++l) {
+    const auto a = serial.StateDoubles(l);
+    const auto b = sharded.StateDoubles(l);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Bit-identical, not approximately equal.
+      ASSERT_EQ(a[i], b[i]) << model << " layer " << l << " cell " << i
+                            << " with " << shards << " shards";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndWorkerCounts, ShardedDeterminismTest,
+    testing::Combine(testing::Values("heat", "reaction_diffusion"),
+                     testing::Values(1, 2, 4, 7)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ShardedDeterminismTest, BitIdenticalToSerialFixed32)
+{
+  const NetworkSpec spec = ModelSpec("reaction_diffusion", 16, 16);
+
+  DeSolver serial(spec, Opts(Precision::kFixed32));
+  serial.Run(40);
+
+  DeSolver sharded(spec, Opts(Precision::kFixed32));
+  RunSharded(&sharded, 40, 4);
+
+  for (int l = 0; l < spec.NumLayers(); ++l) {
+    const auto& a = serial.FixedEngine().State(l);
+    const auto& b = sharded.FixedEngine().State(l);
+    for (std::size_t i = 0; i < a.Size(); ++i) {
+      ASSERT_EQ(a.Data()[i].raw(), b.Data()[i].raw())
+          << "layer " << l << " cell " << i;
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, MoreShardsThanRowsStillCorrect)
+{
+  const NetworkSpec spec = ModelSpec("heat", 3, 8);
+  DeSolver serial(spec, Opts(Precision::kDouble));
+  serial.Run(10);
+  DeSolver sharded(spec, Opts(Precision::kDouble));
+  RunSharded(&sharded, 10, 16);
+  const auto a = serial.StateDoubles(0);
+  const auto b = sharded.StateDoubles(0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SolverSession
+
+SessionConfig
+TinySessionConfig(const std::string& name, std::uint64_t target)
+{
+  SessionConfig sc;
+  sc.name = name;
+  sc.target_steps = target;
+  sc.slice_steps = 8;
+  return sc;
+}
+
+TEST(SolverSessionTest, RunsToTargetAndReportsDone)
+{
+  const NetworkSpec spec = ModelSpec("heat", 12, 12);
+  SolverSession session(spec, Opts(Precision::kFixed32),
+                        TinySessionConfig("t", 30));
+  EXPECT_EQ(session.State(), SessionState::kIdle);
+  EXPECT_EQ(session.RunToTarget(), 30u);
+  EXPECT_EQ(session.State(), SessionState::kDone);
+  EXPECT_EQ(session.StepsDone(), 30u);
+  EXPECT_EQ(session.StepsExecuted(), 30u);
+  EXPECT_TRUE(session.ReachedTarget());
+  // Terminal: further stepping is a no-op.
+  EXPECT_EQ(session.StepN(10), 0u);
+}
+
+TEST(SolverSessionTest, PauseBeforeStepRunsZeroSteps)
+{
+  const NetworkSpec spec = ModelSpec("heat", 12, 12);
+  SolverSession session(spec, Opts(Precision::kDouble),
+                        TinySessionConfig("p", 100));
+  session.RequestPause();
+  EXPECT_EQ(session.StepN(50), 0u);
+  EXPECT_EQ(session.State(), SessionState::kPaused);
+  session.Resume();
+  EXPECT_EQ(session.StepN(50), 50u);
+  EXPECT_EQ(session.StepsDone(), 50u);
+}
+
+TEST(SolverSessionTest, CancelIsTerminal)
+{
+  const NetworkSpec spec = ModelSpec("heat", 12, 12);
+  SolverSession session(spec, Opts(Precision::kDouble),
+                        TinySessionConfig("c", 100));
+  session.StepN(16);
+  session.RequestCancel();
+  EXPECT_EQ(session.StepN(50), 0u);
+  EXPECT_EQ(session.State(), SessionState::kCancelled);
+  EXPECT_EQ(session.StepsDone(), 16u);
+}
+
+TEST(SolverSessionTest, CheckpointResumeRoundTripIsBitExact)
+{
+  const std::string dir = ScratchDir("session_resume");
+  const std::string ckpt = dir + "/mid.ckpt";
+  const NetworkSpec spec = ModelSpec("reaction_diffusion", 16, 16);
+  const SolverOptions fixed = Opts(Precision::kFixed32);
+
+  SolverSession uninterrupted(spec, fixed, TinySessionConfig("u", 60));
+  uninterrupted.RunToTarget();
+
+  SolverSession first(spec, fixed, TinySessionConfig("a", 60));
+  first.StepN(25);
+  ASSERT_TRUE(first.SaveCheckpoint(ckpt));
+
+  SolverSession resumed(spec, fixed, TinySessionConfig("b", 60));
+  ASSERT_TRUE(resumed.TryRestoreFromFile(ckpt));
+  EXPECT_EQ(resumed.StepsDone(), 25u);
+  resumed.RunToTarget();
+
+  EXPECT_EQ(resumed.StepsDone(), 60u);
+  EXPECT_EQ(resumed.StepsExecuted(), 35u);
+  EXPECT_EQ(resumed.StateChecksum(), uninterrupted.StateChecksum());
+}
+
+TEST(SolverSessionTest, RestoreFromMissingFileIsColdStart)
+{
+  const NetworkSpec spec = ModelSpec("heat", 12, 12);
+  SolverSession session(spec, Opts(Precision::kDouble),
+                        TinySessionConfig("m", 10));
+  EXPECT_FALSE(session.TryRestoreFromFile("/nonexistent/path.ckpt"));
+  EXPECT_EQ(session.StepsDone(), 0u);
+}
+
+TEST(SolverSessionTest, AutoCheckpointWritesPeriodically)
+{
+  const std::string dir = ScratchDir("session_auto");
+  const NetworkSpec spec = ModelSpec("heat", 12, 12);
+  SessionConfig sc = TinySessionConfig("auto", 40);
+  sc.checkpoint_every = 16;
+  sc.checkpoint_path = dir + "/auto.ckpt";
+  SolverSession session(spec, Opts(Precision::kFixed32), sc);
+  session.RunToTarget();
+  EXPECT_TRUE(std::filesystem::exists(sc.checkpoint_path));
+
+  // The file must hold a valid mid-run (or final) state.
+  SolverSession probe(spec, Opts(Precision::kFixed32),
+                      TinySessionConfig("probe", 40));
+  EXPECT_TRUE(probe.TryRestoreFromFile(sc.checkpoint_path));
+  EXPECT_GE(probe.StepsDone(), 16u);
+}
+
+TEST(SolverSessionTest, BindStatsExposesSessionSubtree)
+{
+  StatRegistry registry;
+  const NetworkSpec spec = ModelSpec("heat", 12, 12);
+  SolverSession session(spec, Opts(Precision::kDouble),
+                        TinySessionConfig("s", 20));
+  session.BindStats(&registry);
+  session.RunToTarget();
+  const std::string prefix = "runtime.session" + std::to_string(session.Id());
+  EXPECT_EQ(registry.Value(prefix + ".steps"), 20.0);
+  EXPECT_EQ(registry.Value(prefix + ".steps_executed"), 20.0);
+  EXPECT_EQ(registry.Value(prefix + ".state"),
+            static_cast<double>(static_cast<int>(SessionState::kDone)));
+}
+
+TEST(SolverSessionTest, ShardedSessionMatchesSerialSession)
+{
+  const NetworkSpec spec = ModelSpec("reaction_diffusion", 16, 16);
+  const SolverOptions fixed = Opts(Precision::kFixed32);
+
+  SolverSession serial(spec, fixed, TinySessionConfig("ser", 30));
+  serial.RunToTarget();
+
+  SessionConfig sc = TinySessionConfig("shr", 30);
+  sc.shards = 3;
+  SolverSession sharded(spec, fixed, sc);
+  sharded.RunToTarget();
+
+  EXPECT_EQ(serial.StateChecksum(), sharded.StateChecksum());
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing
+
+TEST(BatchManifestTest, ParsesJobsAndDefaults)
+{
+  const auto jobs = ParseManifest(
+      "# two jobs\n"
+      "model=heat\n"
+      "rows=32\n"
+      "steps=100  # trailing comment\n"
+      "\n"
+      "model=reaction_diffusion\n"
+      "name=rd\n"
+      "engine=double\n"
+      "shards=4\n"
+      "priority=-2\n"
+      "seed=7\n");
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "job0_heat");
+  EXPECT_EQ(jobs[0].rows, 32u);
+  EXPECT_EQ(jobs[0].cols, 64u);
+  EXPECT_EQ(jobs[0].steps, 100u);
+  EXPECT_EQ(jobs[0].engine, "fixed");
+  EXPECT_FALSE(jobs[0].has_seed);
+  EXPECT_EQ(jobs[1].name, "rd");
+  EXPECT_EQ(jobs[1].engine, "double");
+  EXPECT_EQ(jobs[1].shards, 4);
+  EXPECT_EQ(jobs[1].priority, -2);
+  EXPECT_TRUE(jobs[1].has_seed);
+  EXPECT_EQ(jobs[1].seed, 7u);
+}
+
+TEST(BatchManifestTest, MalformedManifestsDie)
+{
+  EXPECT_DEATH(ParseManifest("rows=32\n"), "no 'model='");
+  EXPECT_DEATH(ParseManifest("model=heat\nbogus_key=1\n"), "unknown key");
+  EXPECT_DEATH(ParseManifest("model=heat\nsteps=abc\n"), "integer");
+  EXPECT_DEATH(ParseManifest("model=heat\nengine=gpu\n"), "unknown engine");
+  EXPECT_DEATH(ParseManifest("model=heat\nname=x\n\nmodel=heat\nname=x\n"),
+               "duplicate job name");
+  EXPECT_DEATH(ParseManifest("# only comments\n"), "no jobs");
+}
+
+// ---------------------------------------------------------------------------
+// BatchRunner
+
+std::vector<BatchJobSpec>
+TinyManifest()
+{
+  return ParseManifest(
+      "model=heat\nname=h\nrows=12\ncols=12\nsteps=25\n"
+      "\n"
+      "model=reaction_diffusion\nname=rd\nrows=12\ncols=12\nsteps=20\n"
+      "engine=double\nshards=2\n"
+      "\n"
+      "model=heat\nname=h2\nrows=10\ncols=10\nsteps=15\npriority=3\n");
+}
+
+TEST(BatchRunnerTest, RunsManifestToCompletion)
+{
+  const std::string dir = ScratchDir("batch_full");
+  BatchOptions options;
+  options.out_dir = dir;
+  options.num_threads = 2;
+
+  StatRegistry registry;
+  BatchRunner runner(TinyManifest(), options);
+  const auto results = runner.RunAll(&registry);
+
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, "done") << r.name;
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + r.name + ".done"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + r.name + ".stats.txt"));
+  }
+  EXPECT_EQ(results[0].name, "h");  // manifest order, not finish order
+  EXPECT_EQ(results[0].steps_done, 25u);
+  EXPECT_EQ(results[1].steps_done, 20u);
+  EXPECT_EQ(registry.Value("runtime.batch.jobs_done"), 3.0);
+  EXPECT_EQ(registry.Value("runtime.pool.jobs_completed"), 3.0);
+
+  const std::string csv = BatchRunner::ResultsCsv(results);
+  EXPECT_NE(csv.find("name,model,engine,status"), std::string::npos);
+  EXPECT_NE(csv.find("h,heat,fixed,done,25"), std::string::npos);
+}
+
+TEST(BatchRunnerTest, InterruptedBatchResumesToIdenticalState)
+{
+  // Reference: one uninterrupted run.
+  const std::string ref_dir = ScratchDir("batch_ref");
+  BatchOptions ref_options;
+  ref_options.out_dir = ref_dir;
+  ref_options.num_threads = 2;
+  const auto manifest = ParseManifest(
+      "model=reaction_diffusion\nname=rd\nrows=12\ncols=12\nsteps=50\n");
+  const auto ref = BatchRunner(manifest, ref_options).RunAll();
+  ASSERT_EQ(ref[0].status, "done");
+
+  // Interrupted run: 20-step budget per invocation -> 20, 40, 50.
+  const std::string dir = ScratchDir("batch_resume");
+  BatchOptions options;
+  options.out_dir = dir;
+  options.num_threads = 1;
+  options.max_steps_per_job = 20;
+
+  auto r1 = BatchRunner(manifest, options).RunAll();
+  EXPECT_EQ(r1[0].status, "interrupted");
+  EXPECT_EQ(r1[0].steps_done, 20u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/rd.ckpt"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/rd.done"));
+
+  options.resume = true;
+  auto r2 = BatchRunner(manifest, options).RunAll();
+  EXPECT_EQ(r2[0].status, "interrupted");
+  EXPECT_EQ(r2[0].steps_done, 40u);
+  EXPECT_EQ(r2[0].steps_executed, 20u);
+
+  auto r3 = BatchRunner(manifest, options).RunAll();
+  EXPECT_EQ(r3[0].status, "done");
+  EXPECT_EQ(r3[0].steps_done, 50u);
+  EXPECT_EQ(r3[0].steps_executed, 10u);
+  // The stitched-together run ends in exactly the reference state.
+  EXPECT_EQ(r3[0].checksum, ref[0].checksum);
+
+  // Fourth invocation: served from the done marker, nothing recomputed.
+  auto r4 = BatchRunner(manifest, options).RunAll();
+  EXPECT_EQ(r4[0].status, "cached");
+  EXPECT_EQ(r4[0].steps_done, 50u);
+  EXPECT_EQ(r4[0].steps_executed, 0u);
+  EXPECT_EQ(r4[0].checksum, ref[0].checksum);
+}
+
+TEST(BatchRunnerTest, DerivedSeedsAreStablePerIndex)
+{
+  // The same manifest run twice (fresh dirs) must produce identical
+  // checksums: per-job seeds depend only on (base_seed, index).
+  const auto manifest = ParseManifest(
+      "model=heat\nname=a\nrows=10\ncols=10\nsteps=10\n"
+      "\n"
+      "model=heat\nname=b\nrows=10\ncols=10\nsteps=10\n");
+  BatchOptions options;
+  options.num_threads = 2;
+  options.out_dir = ScratchDir("batch_seed1");
+  const auto run1 = BatchRunner(manifest, options).RunAll();
+  options.out_dir = ScratchDir("batch_seed2");
+  const auto run2 = BatchRunner(manifest, options).RunAll();
+  ASSERT_EQ(run1.size(), run2.size());
+  EXPECT_EQ(run1[0].checksum, run2[0].checksum);
+  EXPECT_EQ(run1[1].checksum, run2[1].checksum);
+  // Distinct indices got distinct streams -> distinct initial states.
+  EXPECT_NE(run1[0].checksum, run1[1].checksum);
+}
+
+}  // namespace
+}  // namespace cenn

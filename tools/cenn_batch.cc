@@ -1,0 +1,171 @@
+/**
+ * @file
+ * cenn_batch — runs a manifest of solver scenarios across a worker
+ * pool, one line of the manifest at a time becoming one SolverSession
+ * job with durable artifacts (checkpoint, done marker, stat dump).
+ *
+ * The scheduler is deterministic (priority then manifest order; no
+ * work stealing) and every job's state evolution is bit-identical
+ * regardless of --threads or per-job shards, so a batch is a
+ * reproducible experiment, not just a throughput device.
+ *
+ * Resume: point --resume-from at a previous output directory and
+ * finished jobs are skipped via their done markers while interrupted
+ * jobs continue from their checkpoints. --max-steps-per-job bounds
+ * each invocation's work, which makes incremental draining of a big
+ * manifest (or deterministic interruption in tests) possible.
+ *
+ * Examples:
+ *   cenn_batch --manifest=jobs.txt --out=batch_out --threads=4
+ *   cenn_batch --manifest=jobs.txt --out=batch_out --resume-from=batch_out
+ *   cenn_batch --manifest=jobs.txt --out=sweep --csv=sweep/results.csv \
+ *              --stats-out=sweep/stats.txt
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/stat_registry.h"
+#include "runtime/batch_manifest.h"
+#include "runtime/batch_runner.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace cenn {
+namespace {
+
+void
+PrintUsage()
+{
+  std::printf(
+      "usage: cenn_batch --manifest=FILE --out=DIR [options]\n\n"
+      "options:\n"
+      "  --manifest=FILE          job manifest (see docs/runtime.md)\n"
+      "  --out=DIR                output directory for artifacts\n"
+      "  --threads=N              pool workers (default 2)\n"
+      "  --queue-capacity=N       job-queue bound (default 64)\n"
+      "  --seed=N                 base seed for unseeded jobs (42)\n"
+      "  --max-steps-per-job=N    per-invocation step budget (0 = all)\n"
+      "  --checkpoint-every=N     default auto-checkpoint interval\n"
+      "  --resume-from=DIR        reuse .done/.ckpt artifacts in DIR\n"
+      "                           (must equal --out)\n"
+      "  --csv=FILE               write per-job results as CSV\n"
+      "  --stats-out=FILE         write runtime.pool.*/runtime.batch.*\n"
+      "                           stats (.csv/.json switch the format)\n");
+}
+
+/** Writes a registry dump in the format implied by the extension. */
+void
+WriteStatsFile(const StatRegistry& reg, const std::string& path)
+{
+  std::ofstream out(path);
+  if (!out) {
+    CENN_WARN("cannot open stats output file '", path, "'");
+    return;
+  }
+  if (path.size() > 4 && path.rfind(".csv") == path.size() - 4) {
+    out << reg.DumpCsv();
+  } else if (path.size() > 5 && path.rfind(".json") == path.size() - 5) {
+    out << reg.DumpJson();
+  } else {
+    out << reg.DumpText(/*with_desc=*/true);
+  }
+}
+
+int
+BatchMain(int argc, char** argv)
+{
+  CliFlags flags(argc, argv);
+  const std::string manifest = flags.GetString("manifest", "");
+  const bool help = flags.GetBool("help", false);
+  if (help || manifest.empty()) {
+    PrintUsage();
+    return manifest.empty() && !help ? 1 : 0;
+  }
+
+  BatchOptions options;
+  options.out_dir = flags.GetString("out", "");
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 2));
+  options.queue_capacity =
+      static_cast<std::size_t>(flags.GetInt("queue-capacity", 64));
+  options.base_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  options.max_steps_per_job =
+      static_cast<std::uint64_t>(flags.GetInt("max-steps-per-job", 0));
+  options.checkpoint_every =
+      static_cast<std::uint64_t>(flags.GetInt("checkpoint-every", 0));
+  const std::string resume_from = flags.GetString("resume-from", "");
+  const std::string csv = flags.GetString("csv", "");
+  const std::string stats_out = flags.GetString("stats-out", "");
+  flags.Validate();
+
+  if (options.out_dir.empty()) {
+    CENN_FATAL("--out is required");
+  }
+  if (!resume_from.empty()) {
+    if (resume_from != options.out_dir) {
+      CENN_FATAL("--resume-from must name the --out directory (artifacts "
+                 "live there); got '", resume_from, "' vs '",
+                 options.out_dir, "'");
+    }
+    options.resume = true;
+  }
+
+  const auto jobs = LoadManifestFile(manifest);
+  std::printf("manifest %s: %zu jobs, %d workers%s\n", manifest.c_str(),
+              jobs.size(), options.num_threads,
+              options.resume ? " (resuming)" : "");
+
+  StatRegistry registry;
+  BatchRunner runner(jobs, options);
+  const auto results = runner.RunAll(&registry);
+
+  TextTable table({"job", "model", "engine", "status", "steps", "ran",
+                   "checksum", "seconds"});
+  for (const BatchJobResult& r : results) {
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(r.checksum));
+    char seconds[32];
+    std::snprintf(seconds, sizeof(seconds), "%.3f", r.wall_seconds);
+    table.AddRow({r.name, r.model, r.engine, r.status,
+                  std::to_string(r.steps_done),
+                  std::to_string(r.steps_executed), checksum, seconds});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    if (out) {
+      out << BatchRunner::ResultsCsv(results);
+      std::printf("wrote %s\n", csv.c_str());
+    } else {
+      CENN_WARN("cannot open csv output file '", csv, "'");
+    }
+  }
+  if (!stats_out.empty()) {
+    WriteStatsFile(registry, stats_out);
+    std::printf("wrote %zu stats to %s\n", registry.Size(),
+                stats_out.c_str());
+  }
+
+  int interrupted = 0;
+  for (const BatchJobResult& r : results) {
+    interrupted += r.status == "interrupted" ? 1 : 0;
+  }
+  if (interrupted > 0) {
+    std::printf("%d job(s) interrupted; rerun with --resume-from=%s to "
+                "continue\n", interrupted, options.out_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cenn
+
+int
+main(int argc, char** argv)
+{
+  return cenn::BatchMain(argc, argv);
+}
