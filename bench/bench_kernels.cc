@@ -1,0 +1,233 @@
+/**
+ * @file
+ * bench_kernels — throughput of the SoA stepping kernels against the
+ * functional reference solver.
+ *
+ * Times the same solve on four backends: the functional engine
+ * (MultilayerCenn walking the IR per cell), the SoA engine on its
+ * scalar path (compiled plans, cell-by-cell), the SoA engine on its
+ * blocked path (fused row kernels — the default), and the blocked
+ * path band-sharded across worker threads. Reports steps/s,
+ * cell-updates/s and speedup over the functional baseline, and
+ * verifies that every fixed/double variant ends in a bit-identical
+ * final state (float runs are reported but not compared — there is
+ * no float reference).
+ *
+ * --check turns the run into a regression gate: exit 1 if the blocked
+ * kernels are slower than the scalar plan walk, or if any comparable
+ * variant diverges from the functional state. --quick shrinks the
+ * workload for CI smoke use.
+ *
+ * Examples:
+ *   bench_kernels
+ *   bench_kernels --model=gray_scott --rows=256 --cols=256 --steps=100
+ *   bench_kernels --quick --check
+ *   bench_kernels --precision=float --shards=1,2,4
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/solver.h"
+#include "kernels/soa_engine.h"
+#include "models/benchmark_model.h"
+#include "runtime/engine_factory.h"
+#include "runtime/sharded_stepper.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace cenn {
+namespace {
+
+std::vector<int>
+ParseShardList(const std::string& list)
+{
+  std::vector<int> shards;
+  std::istringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const int k = std::atoi(item.c_str());
+    if (k < 1) {
+      CENN_FATAL("--shards: bad worker count '", item, "'");
+    }
+    shards.push_back(k);
+  }
+  if (shards.empty()) {
+    CENN_FATAL("--shards: empty list");
+  }
+  return shards;
+}
+
+/** 64-bit FNV-1a over every layer's final state bits. */
+std::uint64_t
+StateChecksum(const Engine& engine)
+{
+  std::uint64_t hash = 1469598103934665603ull;
+  for (int layer = 0; layer < engine.Spec().NumLayers(); ++layer) {
+    for (const double v : engine.Snapshot(layer)) {
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (int b = 0; b < 64; b += 8) {
+        hash ^= (bits >> b) & 0xffu;
+        hash *= 1099511628211ull;
+      }
+    }
+  }
+  return hash;
+}
+
+struct Variant {
+  std::string name;
+  std::unique_ptr<Engine> engine;
+  std::function<void(Engine*, std::uint64_t)> run;
+  bool comparable = true;  ///< has the same numerics as the reference
+};
+
+int
+BenchMain(int argc, char** argv)
+{
+  CliFlags flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const bool check = flags.GetBool("check", false);
+  const std::string model_name =
+      flags.GetString("model", "reaction_diffusion");
+  ModelConfig mc;
+  mc.rows = static_cast<std::size_t>(flags.GetInt("rows", 128));
+  mc.cols = static_cast<std::size_t>(flags.GetInt("cols", 128));
+  mc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const auto steps = static_cast<std::uint64_t>(
+      flags.GetInt("steps", quick ? 40 : 200));
+  const std::string precision = flags.GetString("precision", "fixed");
+  const std::vector<int> shard_counts =
+      ParseShardList(flags.GetString("shards", quick ? "2" : "2,4"));
+  flags.Validate();
+
+  const SolverProgram program = MakeProgram(*MakeModel(model_name, mc));
+  std::printf("kernel bench: %s %zux%zu, %llu steps, %d layers, "
+              "precision=%s%s\n\n",
+              model_name.c_str(), mc.rows, mc.cols,
+              static_cast<unsigned long long>(steps),
+              program.spec.NumLayers(), precision.c_str(),
+              quick ? " (quick)" : "");
+
+  const auto serial = [](Engine* engine, std::uint64_t n) {
+    engine->Run(n);
+  };
+
+  std::vector<Variant> variants;
+  // The float SoA engine has no functional twin; everything else is
+  // held to bit-identity with the reference.
+  const bool comparable = precision != "float";
+  if (comparable) {
+    EngineRequest req;
+    req.engine = "functional";
+    req.precision = precision;
+    variants.push_back({"functional", BuildEngine(program, req), serial});
+  }
+  for (const char* path : {"scalar", "blocked"}) {
+    EngineRequest req;
+    req.engine = "soa";
+    req.precision = precision;
+    if (!ParseKernelPath(path, &req.kernel_path)) {
+      CENN_FATAL("bad kernel path '", path, "'");
+    }
+    variants.push_back({std::string("soa/") + path,
+                        BuildEngine(program, req), serial, comparable});
+  }
+  for (const int k : shard_counts) {
+    EngineRequest req;
+    req.engine = "soa";
+    req.precision = precision;
+    req.kernel_path = KernelPath::kBlocked;
+    variants.push_back(
+        {"soa/blocked x" + std::to_string(k), BuildEngine(program, req),
+         [k](Engine* engine, std::uint64_t n) {
+           RunSharded(engine, n, k);
+         },
+         comparable});
+  }
+
+  const double cells = static_cast<double>(mc.rows) *
+                       static_cast<double>(mc.cols) *
+                       static_cast<double>(program.spec.NumLayers());
+  const std::uint64_t warmup = steps / 10 + 1;
+
+  TextTable table({"backend", "seconds", "steps/s", "Mcell-upd/s",
+                   "speedup", "state"});
+  double baseline_seconds = 0.0;
+  double scalar_seconds = 0.0;
+  double blocked_seconds = 0.0;
+  std::uint64_t reference_checksum = 0;
+  bool states_agree = true;
+
+  for (Variant& v : variants) {
+    v.run(v.engine.get(), warmup);
+    const auto start = std::chrono::steady_clock::now();
+    v.run(v.engine.get(), steps);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    if (&v == &variants.front()) {
+      baseline_seconds = seconds;
+      reference_checksum = v.comparable ? StateChecksum(*v.engine) : 0;
+    }
+    if (v.name == "soa/scalar") {
+      scalar_seconds = seconds;
+    } else if (v.name == "soa/blocked") {
+      blocked_seconds = seconds;
+    }
+
+    std::string state = "-";
+    if (v.comparable) {
+      const bool same = StateChecksum(*v.engine) == reference_checksum;
+      states_agree = states_agree && same;
+      state = same ? "exact" : "DIVERGED";
+    }
+    const double steps_per_s =
+        seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+    table.AddRow({v.name, TextTable::Num(seconds, "%.3f"),
+                  TextTable::Num(steps_per_s, "%.1f"),
+                  TextTable::Num(steps_per_s * cells / 1e6, "%.1f"),
+                  TextTable::Num(seconds > 0.0 ? baseline_seconds / seconds
+                                               : 0.0, "%.2fx"),
+                  state});
+  }
+
+  table.Print();
+  std::printf("\nbit-exactness: final states %s\n",
+              states_agree ? "IDENTICAL across backends"
+                           : "DIVERGED (BUG)");
+
+  bool ok = states_agree;
+  if (check && blocked_seconds > scalar_seconds) {
+    std::printf("check FAILED: blocked kernels (%.3fs) slower than the "
+                "scalar path (%.3fs)\n", blocked_seconds, scalar_seconds);
+    ok = false;
+  } else if (check) {
+    std::printf("check passed: blocked %.2fx vs scalar\n",
+                scalar_seconds / blocked_seconds);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cenn
+
+int
+main(int argc, char** argv)
+{
+  return cenn::BenchMain(argc, argv);
+}

@@ -33,6 +33,7 @@
 #include "arch/buffers.h"
 #include "arch/dram_channel.h"
 #include "arch/sim_report.h"
+#include "core/engine.h"
 #include "core/network.h"
 #include "lut/lut_hierarchy.h"
 #include "program/solver_program.h"
@@ -53,7 +54,7 @@ ArchConfig RecommendedArchConfig(const SolverProgram& program,
                                  ArchConfig base = {});
 
 /** Cycle-level model of the accelerator executing one solver program. */
-class ArchSimulator
+class ArchSimulator final : public cenn::Engine
 {
   public:
     /**
@@ -65,10 +66,50 @@ class ArchSimulator
     ArchSimulator(const SolverProgram& program, const ArchConfig& config);
 
     /** One solver time step: timing pass then functional update. */
-    void Step();
+    void Step() override;
 
     /** Runs n steps. */
-    void Run(std::uint64_t n);
+    void Run(std::uint64_t n) override;
+
+    /**
+     * @name Engine interface
+     * The cycle-level model steps serially (a hardware step is one
+     * pipelined pass, not a band-split loop), so SupportsBands stays
+     * false and RunSharded falls back to Run().
+     */
+    ///@{
+
+    /** The program of the embedded functional engine. */
+    const NetworkSpec& Spec() const override { return engine_->Spec(); }
+
+    /** Stable backend id. */
+    const char* Kind() const override { return "arch"; }
+
+    /** Steps taken so far. */
+    std::uint64_t Steps() const override { return engine_->Steps(); }
+
+    /** Overrides the step counter (checkpoint restore only). */
+    void SetSteps(std::uint64_t steps) override { engine_->SetSteps(steps); }
+
+    /** Layer state as lossless f64 (same as StateDoubles). */
+    std::vector<double> Snapshot(int layer) const override
+    {
+        return engine_->StateDoubles(layer);
+    }
+
+    /** Restores a layer's state (timing counters are not restored). */
+    void RestoreState(int layer, std::span<const double> values) override
+    {
+        engine_->RestoreState(layer, values);
+    }
+
+    /** Engine hook; forwards to RegisterStats. */
+    void BindStats(StatRegistry* registry, const std::string& prefix) override
+    {
+        RegisterStats(registry, prefix);
+    }
+
+    ///@}
 
     /** Timing/activity results so far. */
     const SimReport& Report() const { return report_; }

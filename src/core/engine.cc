@@ -1,0 +1,56 @@
+#include "core/engine.h"
+
+#include "core/network_spec.h"
+#include "obs/stat_registry.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+Engine::~Engine() = default;
+
+void
+Engine::RefreshOutputs(std::size_t row_begin, std::size_t row_end)
+{
+  CENN_FATAL("engine '", Kind(), "' does not support band stepping "
+             "(RefreshOutputs(", row_begin, ", ", row_end, "))");
+}
+
+void
+Engine::StepBands(std::size_t row_begin, std::size_t row_end)
+{
+  CENN_FATAL("engine '", Kind(), "' does not support band stepping "
+             "(StepBands(", row_begin, ", ", row_end, "))");
+}
+
+void
+Engine::Publish()
+{
+  CENN_FATAL("engine '", Kind(), "' does not support band stepping "
+             "(Publish())");
+}
+
+void
+Engine::Run(std::uint64_t n)
+{
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Step();
+  }
+}
+
+double
+Engine::Time() const
+{
+  return static_cast<double>(Steps()) * Spec().dt;
+}
+
+void
+Engine::BindStats(StatRegistry* registry, const std::string& prefix)
+{
+  CENN_ASSERT(registry != nullptr, "Engine::BindStats: null registry");
+  registry->BindDerived(prefix + "sim.steps", "solver steps executed",
+                        [this] { return static_cast<double>(Steps()); });
+  registry->BindDerived(prefix + "sim.time", "simulated time (steps * dt)",
+                        [this] { return Time(); });
+}
+
+}  // namespace cenn

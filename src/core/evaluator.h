@@ -12,10 +12,16 @@
  *    reproducing the accelerator's approximation error.
  */
 
+#include <functional>
+
 #include "core/nonlinear.h"
 #include "core/num_traits.h"
 
 namespace cenn {
+
+/** A function evaluator specialized ("bound") to one l(.). */
+template <typename T>
+using BoundFunction = std::function<T(T)>;
 
 /** Evaluates l(x) for CeNN scalars of type T. */
 template <typename T>
@@ -26,6 +32,19 @@ class FunctionEvaluator
 
     /** Returns l(x) in the engine's arithmetic. */
     virtual T Evaluate(const NonlinearFunction& fn, T x) = 0;
+
+    /**
+     * Returns a closure bit-identical to Evaluate(fn, .) with any
+     * per-call setup (table lookups, dispatch) hoisted out — the hot
+     * kernels bind each template factor once per program instead of
+     * re-resolving it per cell. `fn` (and this evaluator) must
+     * outlive the closure.
+     */
+    virtual BoundFunction<T>
+    Bind(const NonlinearFunction& fn)
+    {
+        return [this, f = &fn](T x) { return this->Evaluate(*f, x); };
+    }
 };
 
 /** Ideal evaluator: computes l in double and converts to T. */
@@ -37,6 +56,27 @@ class DirectEvaluator final : public FunctionEvaluator<T>
     Evaluate(const NonlinearFunction& fn, T x) override
     {
         return NumTraits<T>::FromDouble(fn.Value(NumTraits<T>::ToDouble(x)));
+    }
+
+    /**
+     * Known polynomials are bound as an inline Horner loop over the
+     * stored coefficients — the identical arithmetic the generic
+     * std::function body performs, minus the two virtual hops.
+     */
+    BoundFunction<T>
+    Bind(const NonlinearFunction& fn) override
+    {
+        if (const std::vector<double>* coeffs = fn.PolyCoeffs()) {
+          return [c = *coeffs](T x) {
+            const double xd = NumTraits<T>::ToDouble(x);
+            double acc = 0.0;
+            for (std::size_t k = c.size(); k-- > 0;) {
+              acc = acc * xd + c[k];
+            }
+            return NumTraits<T>::FromDouble(acc);
+          };
+        }
+        return FunctionEvaluator<T>::Bind(fn);
     }
 };
 

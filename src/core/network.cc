@@ -1,5 +1,6 @@
 #include "core/network.h"
 
+#include <mutex>
 #include <utility>
 
 #include "util/logging.h"
@@ -193,7 +194,7 @@ MultilayerCenn<T>::CellDerivative(int layer_idx, std::size_t r,
 
 template <typename T>
 void
-MultilayerCenn<T>::RefreshOutputs()
+MultilayerCenn<T>::RefreshOutputsAll()
 {
   RefreshOutputsRows(0, spec_.rows);
 }
@@ -257,8 +258,7 @@ MultilayerCenn<T>::CheckBandArgs(std::size_t row_begin,
 
 template <typename T>
 void
-MultilayerCenn<T>::BandRefreshOutputs(std::size_t row_begin,
-                                      std::size_t row_end)
+MultilayerCenn<T>::RefreshOutputs(std::size_t row_begin, std::size_t row_end)
 {
   CheckBandArgs(row_begin, row_end);
   RefreshOutputsRows(row_begin, row_end);
@@ -266,8 +266,7 @@ MultilayerCenn<T>::BandRefreshOutputs(std::size_t row_begin,
 
 template <typename T>
 void
-MultilayerCenn<T>::BandComputeEuler(std::size_t row_begin,
-                                    std::size_t row_end)
+MultilayerCenn<T>::StepBands(std::size_t row_begin, std::size_t row_end)
 {
   CheckBandArgs(row_begin, row_end);
   ComputeEulerRows(row_begin, row_end);
@@ -275,7 +274,7 @@ MultilayerCenn<T>::BandComputeEuler(std::size_t row_begin,
 
 template <typename T>
 void
-MultilayerCenn<T>::BandPublish()
+MultilayerCenn<T>::Publish()
 {
   if (spec_.integrator != Integrator::kEuler) {
     CENN_FATAL("band stepping supports the explicit-Euler integrator only");
@@ -285,11 +284,61 @@ MultilayerCenn<T>::BandPublish()
   ++steps_;
 }
 
+namespace {
+
+/** One-per-process deprecation warning for the pre-Engine band names. */
+void
+WarnDeprecatedBandName(const char* old_name, const char* new_name)
+{
+  static std::once_flag warned;
+  std::call_once(warned, [old_name, new_name] {
+    CENN_WARN("MultilayerCenn::", old_name, " is deprecated and will be "
+              "removed next release; use the Engine method ", new_name);
+  });
+}
+
+}  // namespace
+
+template <typename T>
+void
+MultilayerCenn<T>::BandRefreshOutputs(std::size_t row_begin,
+                                      std::size_t row_end)
+{
+  WarnDeprecatedBandName("BandRefreshOutputs", "RefreshOutputs");
+  RefreshOutputs(row_begin, row_end);
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::BandComputeEuler(std::size_t row_begin,
+                                    std::size_t row_end)
+{
+  WarnDeprecatedBandName("BandComputeEuler", "StepBands");
+  StepBands(row_begin, row_end);
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::BandPublish()
+{
+  WarnDeprecatedBandName("BandPublish", "Publish");
+  Publish();
+}
+
+template <typename T>
+void
+MultilayerCenn<T>::RestoreState(int layer, std::span<const double> values)
+{
+  CENN_ASSERT(layer >= 0 && layer < spec_.NumLayers(), "bad layer ", layer);
+  state_[static_cast<std::size_t>(layer)] =
+      Grid2D<T>::FromDoubles(spec_.rows, spec_.cols, values);
+}
+
 template <typename T>
 void
 MultilayerCenn<T>::StepEuler()
 {
-  RefreshOutputs();
+  RefreshOutputsAll();
   ComputeEulerRows(0, spec_.rows);
   state_.swap(next_state_);
 }
@@ -303,7 +352,7 @@ MultilayerCenn<T>::StepHeun()
 
   // Predictor: k1 from the current state, x_pred = x + dt * k1.
   deriv_src_ = nullptr;
-  RefreshOutputs();
+  RefreshOutputsAll();
   for (std::size_t l = 0; l < n_layers; ++l) {
     for (std::size_t r = 0; r < spec_.rows; ++r) {
       for (std::size_t c = 0; c < spec_.cols; ++c) {
@@ -316,7 +365,7 @@ MultilayerCenn<T>::StepHeun()
 
   // Corrector: k2 from the predicted state.
   deriv_src_ = &next_state_;
-  RefreshOutputs();
+  RefreshOutputsAll();
   for (std::size_t l = 0; l < n_layers; ++l) {
     for (std::size_t r = 0; r < spec_.rows; ++r) {
       for (std::size_t c = 0; c < spec_.cols; ++c) {

@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/evaluator.h"
 #include "core/grid.h"
 #include "core/network_spec.h"
@@ -26,7 +28,7 @@ namespace cenn {
 
 /** Functional CeNN simulator over scalar type T (double or Fixed32). */
 template <typename T>
-class MultilayerCenn
+class MultilayerCenn : public Engine
 {
   public:
     /**
@@ -41,22 +43,22 @@ class MultilayerCenn
         std::shared_ptr<FunctionEvaluator<T>> evaluator = nullptr);
 
     /** Advances the network by one Euler step (all layers, then resets). */
-    void Step();
+    void Step() override;
 
     /** Advances by `n` steps. */
-    void Run(std::uint64_t n);
+    void Run(std::uint64_t n) override;
 
     /**
-     * @name Band-parallel explicit-Euler stepping
+     * @name Band-parallel explicit-Euler stepping (Engine protocol)
      *
      * Sharded execution splits one Euler step into two data-parallel
      * phases over disjoint row bands plus a serial publish:
      *
-     *   1. every band calls BandRefreshOutputs(r0, r1)
+     *   1. every band calls RefreshOutputs(r0, r1)
      *      -- barrier (halo exchange: outputs visible everywhere) --
-     *   2. every band calls BandComputeEuler(r0, r1)
+     *   2. every band calls StepBands(r0, r1)
      *      -- barrier (all next-state rows written) --
-     *   3. exactly one thread calls BandPublish()
+     *   3. exactly one thread calls Publish()
      *
      * Each phase reads only the stable front buffers (state, input,
      * refreshed outputs) and writes rows [r0, r1) of its own target
@@ -67,32 +69,71 @@ class MultilayerCenn
      */
     ///@{
 
+    /** True for explicit-Euler specs (Heun is not band-steppable). */
+    bool SupportsBands() const override
+    {
+        return spec_.integrator == Integrator::kEuler;
+    }
+
     /** Phase 1: recomputes y = f(x) for band rows of output-coupled
      *  layers. */
-    void BandRefreshOutputs(std::size_t row_begin, std::size_t row_end);
+    void RefreshOutputs(std::size_t row_begin, std::size_t row_end) override;
 
     /** Phase 2: writes next_state rows [row_begin, row_end) of every
      *  layer from the (stable) current state. */
-    void BandComputeEuler(std::size_t row_begin, std::size_t row_end);
+    void StepBands(std::size_t row_begin, std::size_t row_end) override;
 
     /** Publish: swaps in the new state, applies reset rules and
      *  advances the step counter. Call from one thread only, after
      *  every band finished phase 2. */
+    void Publish() override;
+
+    ///@}
+
+    /**
+     * @name Deprecated band-phase spellings
+     * Pre-Engine names, kept for one release; each forwards to the
+     * Engine-vocabulary method and warns once per process.
+     */
+    ///@{
+
+    /** @deprecated Use RefreshOutputs(row_begin, row_end). */
+    void BandRefreshOutputs(std::size_t row_begin, std::size_t row_end);
+
+    /** @deprecated Use StepBands(row_begin, row_end). */
+    void BandComputeEuler(std::size_t row_begin, std::size_t row_end);
+
+    /** @deprecated Use Publish(). */
     void BandPublish();
 
     ///@}
 
     /** Simulated time = steps * dt. */
-    double Time() const { return static_cast<double>(steps_) * spec_.dt; }
+    double Time() const override
+    {
+        return static_cast<double>(steps_) * spec_.dt;
+    }
 
     /** Number of steps taken so far. */
-    std::uint64_t Steps() const { return steps_; }
+    std::uint64_t Steps() const override { return steps_; }
 
     /** Overrides the step counter (checkpoint restore only). */
-    void SetSteps(std::uint64_t steps) { steps_ = steps; }
+    void SetSteps(std::uint64_t steps) override { steps_ = steps; }
 
     /** The immutable program. */
-    const NetworkSpec& Spec() const { return spec_; }
+    const NetworkSpec& Spec() const override { return spec_; }
+
+    /** Stable backend id. */
+    const char* Kind() const override { return "functional"; }
+
+    /** Layer state as lossless f64 (same as StateDoubles). */
+    std::vector<double> Snapshot(int layer) const override
+    {
+        return StateDoubles(layer);
+    }
+
+    /** Replaces a layer's state from f64 values (checkpoint restore). */
+    void RestoreState(int layer, std::span<const double> values) override;
 
     /** State map of a layer. */
     const Grid2D<T>& State(int layer) const;
@@ -117,9 +158,9 @@ class MultilayerCenn
     void StepHeun();
 
     /** Recomputes y = f(x) for layers referenced by output couplings. */
-    void RefreshOutputs();
+    void RefreshOutputsAll();
 
-    /** RefreshOutputs restricted to rows [row_begin, row_end). */
+    /** RefreshOutputsAll restricted to rows [row_begin, row_end). */
     void RefreshOutputsRows(std::size_t row_begin, std::size_t row_end);
 
     /** Euler next-state computation for rows [row_begin, row_end). */

@@ -79,10 +79,11 @@ NonlinearFunction::Polynomial(std::string name, std::vector<double> coeffs)
   while (degree > 0 && coeffs[static_cast<std::size_t>(degree)] == 0.0) {
     --degree;
   }
-  Fn body = [c = std::move(coeffs), eval](double x) { return eval(c, x); };
+  Fn body = [c = coeffs, eval](double x) { return eval(c, x); };
   auto fn = std::make_shared<NonlinearFunction>(std::move(name),
                                                 std::move(body), derivs);
   fn->poly_degree_ = degree;
+  fn->poly_coeffs_ = std::move(coeffs);
   return fn;
 }
 

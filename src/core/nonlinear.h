@@ -100,6 +100,17 @@ class NonlinearFunction
     int PolyDegree() const { return poly_degree_; }
 
     /**
+     * Ascending coefficients when the function is a known polynomial
+     * (set by the Polynomial() factory), null otherwise. Evaluators
+     * use this to bind an inline Horner loop that is bit-identical to
+     * Value().
+     */
+    const std::vector<double>* PolyCoeffs() const
+    {
+        return poly_degree_ >= 0 ? &poly_coeffs_ : nullptr;
+    }
+
+    /**
      * True when the degree-3 Taylor form is globally exact, i.e. the
      * function is a polynomial of degree <= 3. For such weights the
      * c0..c3 coefficients are state-independent, so the hardware TUM
@@ -126,6 +137,7 @@ class NonlinearFunction
     std::array<Fn, 3> derivs_;  // empty functions => numeric
     double fd_step_ = 1e-4;
     int poly_degree_ = -1;
+    std::vector<double> poly_coeffs_;  // ascending; valid iff poly_degree_ >= 0
 };
 
 /** Shared handle used throughout the IR. */

@@ -25,6 +25,14 @@ struct NumTraits<double> {
 };
 
 template <>
+struct NumTraits<float> {
+  static float FromDouble(double v) { return static_cast<float>(v); }
+  static double ToDouble(float v) { return static_cast<double>(v); }
+  static constexpr float Zero() { return 0.0f; }
+  static constexpr const char* Name() { return "float"; }
+};
+
+template <>
 struct NumTraits<Fixed32> {
   static Fixed32 FromDouble(double v) { return Fixed32::FromDouble(v); }
   static double ToDouble(Fixed32 v) { return v.ToDouble(); }

@@ -50,39 +50,7 @@ DeSolver::SteadyResult
 DeSolver::RunUntilSteady(double tolerance, std::uint64_t max_steps,
                          std::uint64_t check_every)
 {
-  if (tolerance <= 0.0 || check_every == 0) {
-    CENN_FATAL("RunUntilSteady: tolerance and check_every must be positive");
-  }
-  CENN_PROF("solver.run_until_steady");
-  SteadyResult result;
-  const int n_layers = Spec().NumLayers();
-  std::vector<std::vector<double>> prev;
-  prev.reserve(static_cast<std::size_t>(n_layers));
-  for (int l = 0; l < n_layers; ++l) {
-    prev.push_back(StateDoubles(l));
-  }
-  while (result.steps_taken < max_steps) {
-    const std::uint64_t chunk =
-        std::min<std::uint64_t>(check_every, max_steps - result.steps_taken);
-    Run(chunk);
-    result.steps_taken += chunk;
-    double delta = 0.0;
-    for (int l = 0; l < n_layers; ++l) {
-      std::vector<double> now = StateDoubles(l);
-      for (std::size_t i = 0; i < now.size(); ++i) {
-        delta = std::max(delta,
-                         std::abs(now[i] -
-                                  prev[static_cast<std::size_t>(l)][i]));
-      }
-      prev[static_cast<std::size_t>(l)] = std::move(now);
-    }
-    result.final_delta = delta;
-    if (delta < tolerance) {
-      result.converged = true;
-      return result;
-    }
-  }
-  return result;
+  return cenn::RunUntilSteady(Iface(), tolerance, max_steps, check_every);
 }
 
 double
@@ -157,6 +125,69 @@ DeSolver::FixedEngine()
     CENN_FATAL("FixedEngine() on a double solver");
   }
   return *std::get<std::unique_ptr<MultilayerCenn<Fixed32>>>(engine_);
+}
+
+Engine&
+DeSolver::Iface()
+{
+  return std::visit([](auto& e) -> Engine& { return *e; }, engine_);
+}
+
+const Engine&
+DeSolver::Iface() const
+{
+  return std::visit([](const auto& e) -> const Engine& { return *e; },
+                    engine_);
+}
+
+DeSolver::SteadyResult
+RunUntilSteady(Engine& engine, double tolerance, std::uint64_t max_steps,
+               std::uint64_t check_every)
+{
+  if (tolerance <= 0.0 || check_every == 0) {
+    CENN_FATAL("RunUntilSteady: tolerance and check_every must be positive");
+  }
+  CENN_PROF("solver.run_until_steady");
+  DeSolver::SteadyResult result;
+  const int n_layers = engine.Spec().NumLayers();
+  std::vector<std::vector<double>> prev;
+  prev.reserve(static_cast<std::size_t>(n_layers));
+  for (int l = 0; l < n_layers; ++l) {
+    prev.push_back(engine.Snapshot(l));
+  }
+  while (result.steps_taken < max_steps) {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(check_every, max_steps - result.steps_taken);
+    engine.Run(chunk);
+    result.steps_taken += chunk;
+    double delta = 0.0;
+    for (int l = 0; l < n_layers; ++l) {
+      std::vector<double> now = engine.Snapshot(l);
+      for (std::size_t i = 0; i < now.size(); ++i) {
+        delta = std::max(delta,
+                         std::abs(now[i] -
+                                  prev[static_cast<std::size_t>(l)][i]));
+      }
+      prev[static_cast<std::size_t>(l)] = std::move(now);
+    }
+    result.final_delta = delta;
+    if (delta < tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<Engine>
+MakeFunctionalEngine(const NetworkSpec& spec, SolverOptions options)
+{
+  if (options.precision == Precision::kDouble) {
+    return std::make_unique<MultilayerCenn<double>>(spec,
+                                                    options.double_evaluator);
+  }
+  return std::make_unique<MultilayerCenn<Fixed32>>(spec,
+                                                   options.fixed_evaluator);
 }
 
 }  // namespace cenn

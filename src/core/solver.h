@@ -103,12 +103,34 @@ class DeSolver
     MultilayerCenn<double>& DoubleEngine();
     MultilayerCenn<Fixed32>& FixedEngine();
 
+    /** The owned engine through the precision-agnostic interface. */
+    Engine& Iface();
+    const Engine& Iface() const;
+
   private:
     Precision precision_;
     std::variant<std::unique_ptr<MultilayerCenn<double>>,
                  std::unique_ptr<MultilayerCenn<Fixed32>>>
         engine_;
 };
+
+/**
+ * Builds a standalone functional engine (MultilayerCenn in the selected
+ * precision) behind the Engine interface — the cell-by-cell counterpart
+ * of MakeSoaEngine (src/kernels).
+ */
+std::unique_ptr<Engine> MakeFunctionalEngine(const NetworkSpec& spec,
+                                             SolverOptions options = {});
+
+/**
+ * Engine-generic steady-state search: steps `engine` until the max
+ * absolute per-cell change over `check_every` steps falls below
+ * `tolerance` or `max_steps` is exhausted. Works on any backend;
+ * DeSolver::RunUntilSteady delegates here.
+ */
+DeSolver::SteadyResult RunUntilSteady(Engine& engine, double tolerance,
+                                      std::uint64_t max_steps,
+                                      std::uint64_t check_every = 16);
 
 }  // namespace cenn
 

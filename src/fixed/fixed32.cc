@@ -6,22 +6,6 @@
 #include "util/logging.h"
 
 namespace cenn {
-namespace {
-
-/** Clamps a 64-bit intermediate into the 32-bit raw range. */
-std::int32_t
-SaturateRaw(std::int64_t v)
-{
-  if (v > INT32_MAX) {
-    return INT32_MAX;
-  }
-  if (v < INT32_MIN) {
-    return INT32_MIN;
-  }
-  return static_cast<std::int32_t>(v);
-}
-
-}  // namespace
 
 Fixed32
 Fixed32::FromDouble(double v)
@@ -45,34 +29,6 @@ Fixed32::FromInt(std::int32_t v)
   return FromRaw(SaturateRaw(static_cast<std::int64_t>(v) * kOne));
 }
 
-double
-Fixed32::ToDouble() const
-{
-  return static_cast<double>(raw_) / static_cast<double>(kOne);
-}
-
-Fixed32
-Fixed32::operator+(Fixed32 o) const
-{
-  return FromRaw(SaturateRaw(static_cast<std::int64_t>(raw_) + o.raw_));
-}
-
-Fixed32
-Fixed32::operator-(Fixed32 o) const
-{
-  return FromRaw(SaturateRaw(static_cast<std::int64_t>(raw_) - o.raw_));
-}
-
-Fixed32
-Fixed32::operator*(Fixed32 o) const
-{
-  // 32x32 -> 64-bit product; shift back by 16 with round-to-nearest
-  // (add half an LSB before the arithmetic shift).
-  std::int64_t p = static_cast<std::int64_t>(raw_) * o.raw_;
-  p += (p >= 0) ? (kOne >> 1) : -(kOne >> 1);
-  return FromRaw(SaturateRaw(p / kOne));
-}
-
 Fixed32
 Fixed32::operator/(Fixed32 o) const
 {
@@ -81,12 +37,6 @@ Fixed32::operator/(Fixed32 o) const
   }
   const std::int64_t num = static_cast<std::int64_t>(raw_) * kOne;
   return FromRaw(SaturateRaw(num / o.raw_));
-}
-
-Fixed32
-Fixed32::operator-() const
-{
-  return FromRaw(SaturateRaw(-static_cast<std::int64_t>(raw_)));
 }
 
 std::string

@@ -45,6 +45,19 @@ class Fixed32
       return f;
     }
 
+    /** Clamps a 64-bit intermediate into the 32-bit raw range. */
+    static constexpr std::int32_t
+    SaturateRaw(std::int64_t v)
+    {
+      if (v > INT32_MAX) {
+        return INT32_MAX;
+      }
+      if (v < INT32_MIN) {
+        return INT32_MIN;
+      }
+      return static_cast<std::int32_t>(v);
+    }
+
     /** Converts from double with round-to-nearest and saturation. */
     static Fixed32 FromDouble(double v);
 
@@ -69,7 +82,11 @@ class Fixed32
     constexpr std::int32_t raw() const { return raw_; }
 
     /** Value as a double. */
-    double ToDouble() const;
+    constexpr double
+    ToDouble() const
+    {
+        return static_cast<double>(raw_) / static_cast<double>(kOne);
+    }
 
     /**
      * Upper 16 bits of the state word, as used for LUT index matching
@@ -92,19 +109,39 @@ class Fixed32
     std::int32_t FloorInt() const { return raw_ >> kFracBits; }
 
     /** Saturating addition. */
-    Fixed32 operator+(Fixed32 o) const;
+    constexpr Fixed32
+    operator+(Fixed32 o) const
+    {
+      return FromRaw(SaturateRaw(static_cast<std::int64_t>(raw_) + o.raw_));
+    }
 
     /** Saturating subtraction. */
-    Fixed32 operator-(Fixed32 o) const;
+    constexpr Fixed32
+    operator-(Fixed32 o) const
+    {
+      return FromRaw(SaturateRaw(static_cast<std::int64_t>(raw_) - o.raw_));
+    }
 
     /** Saturating Q16.16 multiplication with round-to-nearest. */
-    Fixed32 operator*(Fixed32 o) const;
+    constexpr Fixed32
+    operator*(Fixed32 o) const
+    {
+      // 32x32 -> 64-bit product; shift back by 16 with round-to-nearest
+      // (add half an LSB before the arithmetic shift).
+      std::int64_t p = static_cast<std::int64_t>(raw_) * o.raw_;
+      p += (p >= 0) ? (kOne >> 1) : -(kOne >> 1);
+      return FromRaw(SaturateRaw(p / kOne));
+    }
 
     /** Saturating division; fatal on division by zero. */
     Fixed32 operator/(Fixed32 o) const;
 
     /** Saturating negation (-Min() saturates to Max()). */
-    Fixed32 operator-() const;
+    constexpr Fixed32
+    operator-() const
+    {
+      return FromRaw(SaturateRaw(-static_cast<std::int64_t>(raw_)));
+    }
 
     Fixed32& operator+=(Fixed32 o) { return *this = *this + o; }
     Fixed32& operator-=(Fixed32 o) { return *this = *this - o; }

@@ -1,0 +1,66 @@
+#include "kernels/kernel_path.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+const char*
+KernelPathName(KernelPath path)
+{
+  switch (path) {
+    case KernelPath::kAuto:
+      return "auto";
+    case KernelPath::kScalar:
+      return "scalar";
+    case KernelPath::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+bool
+ParseKernelPath(const char* text, KernelPath* out)
+{
+  if (text == nullptr || out == nullptr) {
+    return false;
+  }
+  if (std::strcmp(text, "auto") == 0) {
+    *out = KernelPath::kAuto;
+    return true;
+  }
+  if (std::strcmp(text, "scalar") == 0) {
+    *out = KernelPath::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "blocked") == 0) {
+    *out = KernelPath::kBlocked;
+    return true;
+  }
+  return false;
+}
+
+KernelPath
+ResolveKernelPath(KernelPath requested)
+{
+  if (const char* env = std::getenv("CENN_KERNEL_PATH")) {
+    KernelPath forced;
+    if (ParseKernelPath(env, &forced)) {
+      if (forced != KernelPath::kAuto) {
+        return forced;
+      }
+    } else {
+      static std::once_flag warned;
+      std::call_once(warned, [env] {
+        CENN_WARN("CENN_KERNEL_PATH='", env,
+                  "' is not 'auto', 'scalar' or 'blocked'; ignoring");
+      });
+    }
+  }
+  return requested == KernelPath::kAuto ? KernelPath::kBlocked : requested;
+}
+
+}  // namespace cenn

@@ -1,0 +1,43 @@
+#ifndef CENN_KERNELS_KERNEL_PATH_H_
+#define CENN_KERNELS_KERNEL_PATH_H_
+
+/**
+ * @file
+ * Runtime dispatch between the SoA engine's stepping implementations.
+ *
+ * kScalar is the cell-by-cell reference walk over the compiled plans;
+ * kBlocked is the fused row-band path (tap-outer, column-inner loops
+ * the compiler can vectorize). Both execute the identical per-cell
+ * operation sequence, so results are bit-identical — the dispatch
+ * only trades wall-clock time, never values (verified by
+ * tests/test_kernels.cc).
+ */
+
+#include <cstdint>
+
+namespace cenn {
+
+/** Stepping implementation selector for SoaEngine. */
+enum class KernelPath : std::uint8_t {
+  kAuto = 0,     ///< pick the fast path unless overridden by env
+  kScalar = 1,   ///< cell-by-cell reference walk
+  kBlocked = 2,  ///< fused, vectorization-friendly row kernels
+};
+
+/** Returns "auto" / "scalar" / "blocked". */
+const char* KernelPathName(KernelPath path);
+
+/**
+ * Resolves `requested` to a concrete path: kAuto becomes kBlocked,
+ * and the CENN_KERNEL_PATH environment variable ("scalar" or
+ * "blocked"), when set, overrides any request — the escape hatch for
+ * A/B-ing a suspected kernel bug without rebuilding.
+ */
+KernelPath ResolveKernelPath(KernelPath requested);
+
+/** Parses "auto" / "scalar" / "blocked"; false on anything else. */
+bool ParseKernelPath(const char* text, KernelPath* out);
+
+}  // namespace cenn
+
+#endif  // CENN_KERNELS_KERNEL_PATH_H_

@@ -37,6 +37,15 @@ class LutEvaluatorFixed final : public FunctionEvaluator<Fixed32>
         return bank_->Get(fn).EvaluateFixed(x);
     }
 
+    /** Hoists the per-function table lookup out of the hot loop. */
+    BoundFunction<Fixed32>
+    Bind(const NonlinearFunction& fn) override
+    {
+        return [bank = bank_, lut = &bank_->Get(fn)](Fixed32 x) {
+          return lut->EvaluateFixed(x);
+        };
+    }
+
   private:
     std::shared_ptr<const LutBank> bank_;
 };
@@ -54,6 +63,15 @@ class LutEvaluatorDouble final : public FunctionEvaluator<double>
     Evaluate(const NonlinearFunction& fn, double x) override
     {
         return bank_->Get(fn).EvaluateDouble(x);
+    }
+
+    /** Hoists the per-function table lookup out of the hot loop. */
+    BoundFunction<double>
+    Bind(const NonlinearFunction& fn) override
+    {
+        return [bank = bank_, lut = &bank_->Get(fn)](double x) {
+          return lut->EvaluateDouble(x);
+        };
     }
 
   private:

@@ -1,0 +1,28 @@
+#include "obs/stats_io.h"
+
+#include <fstream>
+
+#include "obs/stat_registry.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+bool
+WriteStatsFile(const StatRegistry& registry, const std::string& path)
+{
+  std::ofstream out(path);
+  if (!out) {
+    CENN_WARN("cannot open stats output file '", path, "'");
+    return false;
+  }
+  if (path.size() > 4 && path.rfind(".csv") == path.size() - 4) {
+    out << registry.DumpCsv();
+  } else if (path.size() > 5 && path.rfind(".json") == path.size() - 5) {
+    out << registry.DumpJson();
+  } else {
+    out << registry.DumpText(/*with_desc=*/true);
+  }
+  return true;
+}
+
+}  // namespace cenn

@@ -1,0 +1,25 @@
+#ifndef CENN_OBS_STATS_IO_H_
+#define CENN_OBS_STATS_IO_H_
+
+/**
+ * @file
+ * File output for stat-registry dumps, shared by the tools.
+ */
+
+#include <string>
+
+namespace cenn {
+
+class StatRegistry;
+
+/**
+ * Writes a registry dump to `path` in the format implied by the
+ * extension: `.csv` → DumpCsv, `.json` → DumpJson, anything else →
+ * DumpText with descriptions. Returns false (with a warning) when the
+ * file cannot be opened.
+ */
+bool WriteStatsFile(const StatRegistry& registry, const std::string& path);
+
+}  // namespace cenn
+
+#endif  // CENN_OBS_STATS_IO_H_

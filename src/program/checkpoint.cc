@@ -97,6 +97,37 @@ CaptureCheckpoint(const DeSolver& solver)
   return cp;
 }
 
+Checkpoint
+CaptureCheckpoint(const Engine& engine)
+{
+  Checkpoint cp;
+  cp.network_name = engine.Spec().name;
+  cp.rows = engine.Spec().rows;
+  cp.cols = engine.Spec().cols;
+  cp.steps = engine.Steps();
+  for (int l = 0; l < engine.Spec().NumLayers(); ++l) {
+    cp.layer_states.push_back(engine.Snapshot(l));
+  }
+  return cp;
+}
+
+void
+RestoreCheckpoint(const Checkpoint& cp, Engine* engine)
+{
+  const NetworkSpec& spec = engine->Spec();
+  if (cp.rows != spec.rows || cp.cols != spec.cols ||
+      cp.layer_states.size() != static_cast<std::size_t>(spec.NumLayers())) {
+    CENN_FATAL("checkpoint geometry mismatch: ", cp.rows, "x", cp.cols, "/",
+               cp.layer_states.size(), " layers vs ", spec.rows, "x",
+               spec.cols, "/", spec.NumLayers());
+  }
+  for (int l = 0; l < spec.NumLayers(); ++l) {
+    engine->RestoreState(l,
+                         cp.layer_states[static_cast<std::size_t>(l)]);
+  }
+  engine->SetSteps(cp.steps);
+}
+
 std::vector<std::uint8_t>
 SerializeCheckpoint(const Checkpoint& cp)
 {

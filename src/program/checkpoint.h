@@ -32,6 +32,15 @@ struct Checkpoint {
 /** Captures a checkpoint from a precision-agnostic solver. */
 Checkpoint CaptureCheckpoint(const DeSolver& solver);
 
+/** Captures a checkpoint from any stepping engine. */
+Checkpoint CaptureCheckpoint(const Engine& engine);
+
+/**
+ * Restores a checkpoint into any stepping engine (states and step
+ * counter). Fatal when the geometry or layer count disagrees.
+ */
+void RestoreCheckpoint(const Checkpoint& cp, Engine* engine);
+
 /** Captures a checkpoint from a typed engine. */
 template <typename T>
 Checkpoint

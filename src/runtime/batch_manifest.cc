@@ -111,11 +111,18 @@ ParseManifest(const std::string& text)
     } else if (key == "steps") {
       job.steps = ParseU64(value, line_no, key);
     } else if (key == "engine") {
-      if (value != "double" && value != "fixed" && value != "arch") {
+      if (value != "functional" && value != "soa" && value != "arch" &&
+          value != "double" && value != "fixed") {
         CENN_FATAL("manifest line ", line_no, ": unknown engine '", value,
-                   "' (double|fixed|arch)");
+                   "' (functional|soa|arch; legacy double|fixed)");
       }
       job.engine = value;
+    } else if (key == "precision") {
+      if (value != "double" && value != "fixed" && value != "float") {
+        CENN_FATAL("manifest line ", line_no, ": unknown precision '", value,
+                   "' (double|fixed|float)");
+      }
+      job.precision = value;
     } else if (key == "memory") {
       if (value != "ddr3" && value != "hmc-int" && value != "hmc-ext") {
         CENN_FATAL("manifest line ", line_no, ": unknown memory '", value,

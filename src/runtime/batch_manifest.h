@@ -45,13 +45,19 @@ struct BatchJobSpec {
   /** Steps to run; 0 = the model's DefaultSteps(). */
   std::uint64_t steps = 0;
 
-  /** "double", "fixed" or "arch". */
-  std::string engine = "fixed";
+  /**
+   * "functional", "soa" or "arch" (legacy spellings "double" and
+   * "fixed" mean the functional engine at that precision).
+   */
+  std::string engine = "functional";
+
+  /** "double", "fixed" or "float"; empty = engine default (fixed). */
+  std::string precision;
 
   /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
   std::string memory = "ddr3";
 
-  /** Band-parallel workers inside the job (functional engines). */
+  /** Band-parallel workers inside the job (band-capable engines). */
   int shards = 1;
 
   /** Queue priority (higher dispatches first). */

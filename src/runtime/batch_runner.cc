@@ -7,9 +7,9 @@
 #include <memory>
 #include <sstream>
 
-#include "lut/lut_evaluator.h"
 #include "models/benchmark_model.h"
 #include "obs/stat_registry.h"
+#include "runtime/engine_factory.h"
 #include "runtime/solver_session.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
@@ -118,29 +118,14 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
                                                  : options_.checkpoint_every;
   sc.checkpoint_path = ckpt_path;
 
-  std::unique_ptr<SolverSession> session;
-  if (job.engine == "arch") {
-    ArchConfig arch;
-    if (job.memory == "hmc-int") {
-      arch.memory = MemoryParams::HmcInt();
-    } else if (job.memory == "hmc-ext") {
-      arch.memory = MemoryParams::HmcExt();
-    }
-    arch.pe_clock_hz = arch.memory.pe_clock_hint_hz;
-    arch = RecommendedArchConfig(program, arch);
-    session = std::make_unique<SolverSession>(program, arch, sc);
-  } else {
-    SolverOptions options;
-    if (job.engine == "double") {
-      options.precision = Precision::kDouble;
-    } else {
-      options.precision = Precision::kFixed32;
-      auto bank = std::make_shared<const LutBank>(program.spec,
-                                                  program.lut_config);
-      options.fixed_evaluator = std::make_shared<LutEvaluatorFixed>(bank);
-    }
-    session = std::make_unique<SolverSession>(program.spec, options, sc);
+  EngineRequest req;
+  req.engine = job.engine;
+  if (!job.precision.empty()) {
+    req.precision = job.precision;
   }
+  req.memory = job.memory;
+  auto session =
+      std::make_unique<SolverSession>(BuildEngine(program, req), sc);
 
   if (options_.resume) {
     session->TryRestoreFromFile(ckpt_path);

@@ -1,0 +1,91 @@
+#include "runtime/engine_factory.h"
+
+#include <utility>
+
+#include "arch/simulator.h"
+#include "core/solver.h"
+#include "kernels/soa_engine.h"
+#include "lut/lut_bank.h"
+#include "lut/lut_evaluator.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+namespace {
+
+/** The fixed-precision LUT evaluator over the program's bank. */
+std::shared_ptr<FunctionEvaluator<Fixed32>>
+MakeLutFixedEvaluator(const SolverProgram& program)
+{
+  auto bank =
+      std::make_shared<const LutBank>(program.spec, program.lut_config);
+  return std::make_shared<LutEvaluatorFixed>(bank);
+}
+
+}  // namespace
+
+EngineRequest
+NormalizeEngineRequest(EngineRequest request)
+{
+  // Pre-Engine manifests named the functional precisions directly.
+  if (request.engine == "double" || request.engine == "fixed") {
+    request.precision = request.engine;
+    request.engine = "functional";
+  }
+  if (request.engine != "functional" && request.engine != "soa" &&
+      request.engine != "arch") {
+    CENN_FATAL("engine '", request.engine,
+               "' is not functional, soa or arch (legacy: double, fixed)");
+  }
+  if (request.precision != "double" && request.precision != "fixed" &&
+      request.precision != "float") {
+    CENN_FATAL("precision '", request.precision,
+               "' is not double, fixed or float");
+  }
+  if (request.memory != "ddr3" && request.memory != "hmc-int" &&
+      request.memory != "hmc-ext") {
+    CENN_FATAL("memory '", request.memory,
+               "' is not ddr3, hmc-int or hmc-ext");
+  }
+  if (request.precision == "float" && request.engine != "soa") {
+    CENN_FATAL("precision 'float' is only available on the soa engine, not '",
+               request.engine, "'");
+  }
+  return request;
+}
+
+std::unique_ptr<Engine>
+BuildEngine(const SolverProgram& program, const EngineRequest& request)
+{
+  const EngineRequest req = NormalizeEngineRequest(request);
+
+  if (req.engine == "arch") {
+    ArchConfig arch;
+    if (req.memory == "hmc-int") {
+      arch.memory = MemoryParams::HmcInt();
+    } else if (req.memory == "hmc-ext") {
+      arch.memory = MemoryParams::HmcExt();
+    }
+    arch.pe_clock_hz = arch.memory.pe_clock_hint_hz;
+    arch = RecommendedArchConfig(program, arch);
+    return std::make_unique<ArchSimulator>(program, arch);
+  }
+
+  if (req.engine == "soa" && req.precision == "float") {
+    return MakeSoaEngineFloat(program.spec, nullptr, req.kernel_path);
+  }
+
+  SolverOptions options;
+  if (req.precision == "double") {
+    options.precision = Precision::kDouble;
+  } else {
+    options.precision = Precision::kFixed32;
+    options.fixed_evaluator = MakeLutFixedEvaluator(program);
+  }
+  if (req.engine == "soa") {
+    return MakeSoaEngine(program.spec, std::move(options), req.kernel_path);
+  }
+  return MakeFunctionalEngine(program.spec, std::move(options));
+}
+
+}  // namespace cenn

@@ -1,0 +1,65 @@
+#ifndef CENN_RUNTIME_ENGINE_FACTORY_H_
+#define CENN_RUNTIME_ENGINE_FACTORY_H_
+
+/**
+ * @file
+ * One place that turns "which backend?" strings into a cenn::Engine.
+ *
+ * Every frontend (cenn_run, cenn_batch, the batch manifest) used to
+ * grow its own if/else ladder over engine names, each duplicating the
+ * LUT-evaluator and ArchConfig setup. BuildEngine centralizes that:
+ * callers hand over a SolverProgram plus an EngineRequest and receive
+ * a ready engine behind the uniform interface.
+ *
+ * Engine names:
+ *   functional  reference MultilayerCenn (double or fixed precision)
+ *   soa         vectorized SoA kernels (double, fixed or float)
+ *   arch        cycle-level accelerator simulator
+ * Legacy spellings "double" and "fixed" (pre-Engine manifests) still
+ * parse and mean the functional engine at that precision.
+ */
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "kernels/kernel_path.h"
+#include "program/solver_program.h"
+
+namespace cenn {
+
+/** Which backend to build, in frontend (string) vocabulary. */
+struct EngineRequest {
+  /** "functional", "soa", "arch" (legacy: "double", "fixed"). */
+  std::string engine = "functional";
+
+  /** "double", "fixed" or "float" (float is SoA-only). */
+  std::string precision = "fixed";
+
+  /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
+  std::string memory = "ddr3";
+
+  /** SoA stepping implementation (kAuto = blocked kernels). */
+  KernelPath kernel_path = KernelPath::kAuto;
+};
+
+/**
+ * Canonicalizes a request: folds the legacy engine spellings
+ * ("double" / "fixed") into functional + precision and validates every
+ * field. Fatal on an unknown engine, precision or memory name, and on
+ * unsupported combinations (functional/arch engines at float).
+ */
+EngineRequest NormalizeEngineRequest(EngineRequest request);
+
+/**
+ * Builds the requested engine over `program`. Fixed-precision
+ * functional and SoA engines evaluate nonlinear weights through the
+ * program's LUT bank (hardware-faithful); double and float use ideal
+ * math. The arch engine sizes its config via RecommendedArchConfig.
+ */
+std::unique_ptr<Engine> BuildEngine(const SolverProgram& program,
+                                    const EngineRequest& request);
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_ENGINE_FACTORY_H_

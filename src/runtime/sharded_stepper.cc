@@ -14,9 +14,8 @@ namespace {
 
 /** Band worker loop over one engine; see the file comment for the
  *  two-phase protocol. */
-template <typename T>
 void
-RunBanded(MultilayerCenn<T>& engine, std::uint64_t steps,
+RunBanded(Engine& engine, std::uint64_t steps,
           const std::vector<std::pair<std::size_t, std::size_t>>& bands)
 {
   const auto n = static_cast<std::ptrdiff_t>(bands.size());
@@ -24,8 +23,8 @@ RunBanded(MultilayerCenn<T>& engine, std::uint64_t steps,
   // arrives, giving the serial publish (swap + resets + step count)
   // a happens-before edge to the next phase on every worker.
   std::barrier<void (*)() noexcept> refresh_done(n, +[]() noexcept {});
-  MultilayerCenn<T>* eng = &engine;
-  auto publish = [eng]() noexcept { eng->BandPublish(); };
+  Engine* eng = &engine;
+  auto publish = [eng]() noexcept { eng->Publish(); };
   std::barrier<decltype(publish)> compute_done(n, publish);
 
   std::vector<std::thread> workers;
@@ -34,9 +33,9 @@ RunBanded(MultilayerCenn<T>& engine, std::uint64_t steps,
     workers.emplace_back([&engine, &refresh_done, &compute_done, band,
                           steps] {
       for (std::uint64_t s = 0; s < steps; ++s) {
-        engine.BandRefreshOutputs(band.first, band.second);
+        engine.RefreshOutputs(band.first, band.second);
         refresh_done.arrive_and_wait();
-        engine.BandComputeEuler(band.first, band.second);
+        engine.StepBands(band.first, band.second);
         compute_done.arrive_and_wait();
       }
     });
@@ -72,32 +71,37 @@ PartitionRows(std::size_t rows, int shards)
 }
 
 void
-RunSharded(DeSolver* solver, std::uint64_t steps, int shards)
+RunSharded(Engine* engine, std::uint64_t steps, int shards)
 {
-  CENN_ASSERT(solver != nullptr, "RunSharded: null solver");
+  CENN_ASSERT(engine != nullptr, "RunSharded: null engine");
   if (shards < 1) {
     CENN_FATAL("RunSharded: shards must be >= 1, got ", shards);
   }
-  const NetworkSpec& spec = solver->Spec();
-  if (spec.integrator != Integrator::kEuler) {
-    static std::once_flag warned;
-    std::call_once(warned, [] {
-      CENN_WARN("RunSharded: Heun integrator is not shardable; "
-                "running serially");
-    });
-    solver->Run(steps);
+  engine->Prepare();
+  if (!engine->SupportsBands()) {
+    if (shards > 1) {
+      static std::once_flag warned;
+      std::call_once(warned, [engine] {
+        CENN_WARN("RunSharded: engine '", engine->Kind(),
+                  "' does not support band stepping; running serially");
+      });
+    }
+    engine->Run(steps);
     return;
   }
-  const auto bands = PartitionRows(spec.rows, shards);
+  const auto bands = PartitionRows(engine->Spec().rows, shards);
   if (bands.size() <= 1 || steps == 0) {
-    solver->Run(steps);
+    engine->Run(steps);
     return;
   }
-  if (solver->GetPrecision() == Precision::kDouble) {
-    RunBanded(solver->DoubleEngine(), steps, bands);
-  } else {
-    RunBanded(solver->FixedEngine(), steps, bands);
-  }
+  RunBanded(*engine, steps, bands);
+}
+
+void
+RunSharded(DeSolver* solver, std::uint64_t steps, int shards)
+{
+  CENN_ASSERT(solver != nullptr, "RunSharded: null solver");
+  RunSharded(&solver->Iface(), steps, shards);
 }
 
 }  // namespace cenn

@@ -3,7 +3,7 @@
 
 /**
  * @file
- * Intra-grid sharded execution: one DeSolver stepped by K worker
+ * Intra-grid sharded execution: one Engine stepped by K worker
  * threads over disjoint row bands, bit-identical to single-threaded
  * stepping for any K (the determinism contract in docs/runtime.md).
  *
@@ -23,6 +23,7 @@
 namespace cenn {
 
 class DeSolver;
+class Engine;
 
 /**
  * Splits `rows` grid rows into at most `shards` contiguous bands,
@@ -35,14 +36,19 @@ std::vector<std::pair<std::size_t, std::size_t>> PartitionRows(
     std::size_t rows, int shards);
 
 /**
- * Runs `steps` Euler steps of `solver` using `shards` band-parallel
- * worker threads (dedicated per call — never pool workers, so a
- * sharded session can not deadlock a saturated pool).
+ * Runs `steps` steps of `engine` using `shards` band-parallel worker
+ * threads (dedicated per call — never pool workers, so a sharded
+ * session can not deadlock a saturated pool). Works with any Engine
+ * backend; Prepare() is called once up front.
  *
- * Falls back to the serial engine when shards <= 1, the grid has
- * fewer rows than 2, or the spec integrates with Heun (band phases
- * are Euler-only; a warning is logged once per process).
+ * Falls back to engine->Run(steps) when shards <= 1, the partition
+ * yields a single band, or the engine does not support band stepping
+ * (arch simulator, Heun specs; a warning is logged once per process
+ * when shards > 1 had to be ignored).
  */
+void RunSharded(Engine* engine, std::uint64_t steps, int shards);
+
+/** Convenience overload over a DeSolver's owned engine. */
 void RunSharded(DeSolver* solver, std::uint64_t steps, int shards);
 
 }  // namespace cenn

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "arch/simulator.h"
 #include "obs/stat_registry.h"
 #include "runtime/sharded_stepper.h"
 #include "util/logging.h"
@@ -49,12 +50,12 @@ SessionStateName(SessionState state)
   return "unknown";
 }
 
-SolverSession::SolverSession(const NetworkSpec& spec, SolverOptions options,
-                             SessionConfig config)
-    : id_(g_next_session_id.fetch_add(1)),
-      config_(std::move(config)),
-      engine_(std::make_unique<DeSolver>(spec, std::move(options)))
+void
+SolverSession::ValidateConfig()
 {
+  if (engine_ == nullptr) {
+    CENN_FATAL("SolverSession: null engine");
+  }
   if (config_.slice_steps == 0) {
     CENN_FATAL("SolverSession: slice_steps must be positive");
   }
@@ -64,49 +65,36 @@ SolverSession::SolverSession(const NetworkSpec& spec, SolverOptions options,
   if (config_.shards < 1) {
     CENN_FATAL("SolverSession: shards must be >= 1, got ", config_.shards);
   }
-}
-
-SolverSession::SolverSession(const SolverProgram& program,
-                             const ArchConfig& arch, SessionConfig config)
-    : id_(g_next_session_id.fetch_add(1)),
-      config_(std::move(config)),
-      engine_(std::make_unique<ArchSimulator>(program, arch))
-{
-  if (config_.slice_steps == 0) {
-    CENN_FATAL("SolverSession: slice_steps must be positive");
-  }
-  if (config_.checkpoint_every > 0 && config_.checkpoint_path.empty()) {
-    CENN_FATAL("SolverSession: checkpoint_every requires checkpoint_path");
-  }
-  if (config_.shards != 1) {
-    CENN_WARN("SolverSession '", config_.name,
-              "': arch engine is cycle-accounted serially; ignoring shards=",
+  if (config_.shards != 1 && !engine_->SupportsBands()) {
+    CENN_WARN("SolverSession '", config_.name, "': engine '",
+              engine_->Kind(),
+              "' does not support band stepping; ignoring shards=",
               config_.shards);
     config_.shards = 1;
   }
 }
 
-DeSolver*
-SolverSession::Functional()
+SolverSession::SolverSession(std::unique_ptr<Engine> engine,
+                             SessionConfig config)
+    : id_(g_next_session_id.fetch_add(1)),
+      config_(std::move(config)),
+      engine_(std::move(engine))
 {
-  auto* p = std::get_if<std::unique_ptr<DeSolver>>(&engine_);
-  return p != nullptr ? p->get() : nullptr;
+  ValidateConfig();
 }
 
-ArchSimulator*
-SolverSession::Arch()
+SolverSession::SolverSession(const NetworkSpec& spec, SolverOptions options,
+                             SessionConfig config)
+    : SolverSession(MakeFunctionalEngine(spec, std::move(options)),
+                    std::move(config))
 {
-  auto* p = std::get_if<std::unique_ptr<ArchSimulator>>(&engine_);
-  return p != nullptr ? p->get() : nullptr;
 }
 
-std::uint64_t
-SolverSession::StepsDone() const
+SolverSession::SolverSession(const SolverProgram& program,
+                             const ArchConfig& arch, SessionConfig config)
+    : SolverSession(std::make_unique<ArchSimulator>(program, arch),
+                    std::move(config))
 {
-  if (const auto* s = std::get_if<std::unique_ptr<DeSolver>>(&engine_)) {
-    return (*s)->Steps();
-  }
-  return std::get<std::unique_ptr<ArchSimulator>>(engine_)->Engine().Steps();
 }
 
 bool
@@ -118,11 +106,7 @@ SolverSession::ReachedTarget() const
 void
 SolverSession::RunSlice(std::uint64_t n)
 {
-  if (auto* solver = Functional()) {
-    RunSharded(solver, n, config_.shards);
-  } else {
-    Arch()->Run(n);
-  }
+  RunSharded(engine_.get(), n, config_.shards);
   steps_executed_ += n;
   steps_since_checkpoint_ += n;
 }
@@ -210,11 +194,7 @@ SolverSession::Resume()
 Checkpoint
 SolverSession::Capture() const
 {
-  if (const auto* s = std::get_if<std::unique_ptr<DeSolver>>(&engine_)) {
-    return CaptureCheckpoint(**s);
-  }
-  return CaptureCheckpoint(
-      std::get<std::unique_ptr<ArchSimulator>>(engine_)->Engine());
+  return CaptureCheckpoint(*engine_);
 }
 
 bool
@@ -250,15 +230,7 @@ SolverSession::TryRestoreFromFile(const std::string& path)
     return false;
   }
   const Checkpoint cp = DeserializeCheckpoint(bytes);
-  if (auto* solver = Functional()) {
-    if (solver->GetPrecision() == Precision::kDouble) {
-      RestoreCheckpoint(cp, &solver->DoubleEngine());
-    } else {
-      RestoreCheckpoint(cp, &solver->FixedEngine());
-    }
-  } else {
-    RestoreCheckpoint(cp, &Arch()->MutableEngine());
-  }
+  RestoreCheckpoint(cp, engine_.get());
   ++restores_;
   steps_since_checkpoint_ = 0;
   state_.store(ReachedTarget() ? SessionState::kDone : SessionState::kIdle);
@@ -307,19 +279,13 @@ SolverSession::BindStats(StatRegistry* registry)
                     &checkpoints_written_);
   scope.BindCounter("restores", "checkpoint restores performed", &restores_);
   scope.BindCounter("pauses", "pause requests honored", &pauses_honored_);
-  if (auto* sim = Arch()) {
-    sim->RegisterStats(registry, scope.Prefix());
-  }
+  engine_->BindStats(registry, scope.Prefix());
 }
 
 std::vector<double>
 SolverSession::StateDoubles(int layer) const
 {
-  if (const auto* s = std::get_if<std::unique_ptr<DeSolver>>(&engine_)) {
-    return (*s)->StateDoubles(layer);
-  }
-  return std::get<std::unique_ptr<ArchSimulator>>(engine_)->StateDoubles(
-      layer);
+  return engine_->Snapshot(layer);
 }
 
 }  // namespace cenn

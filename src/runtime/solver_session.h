@@ -5,10 +5,9 @@
  * @file
  * SolverSession — one managed solver run with a lifecycle.
  *
- * A session wraps either a functional DeSolver (double / fixed
- * precision, optionally sharded across worker threads) or a
- * cycle-level ArchSimulator, and adds what a long-running service
- * needs around the raw engines:
+ * A session owns any cenn::Engine (functional MultilayerCenn, the SoA
+ * kernel engine, or the cycle-level ArchSimulator) and adds what a
+ * long-running service needs around the raw backend:
  *
  *  - run / pause / resume / cancel, honored at slice granularity
  *    (StepN executes `slice_steps` at a time and re-checks the flags
@@ -18,6 +17,12 @@
  *    bit-exactly (states are stored as lossless f64);
  *  - a per-session stat subtree (`runtime.session<N>.*`) bound into a
  *    shared StatRegistry.
+ *
+ * The session never branches on the engine kind: stepping goes through
+ * RunSharded (which uses band-phase stepping when the engine supports
+ * it and falls back to serial otherwise), checkpoints through the
+ * Engine overloads of Capture/RestoreCheckpoint, and stats through
+ * Engine::BindStats.
  *
  * Sessions are externally synchronized except for RequestPause /
  * RequestCancel / State / StepsDone, which may be called from any
@@ -29,18 +34,17 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <variant>
 #include <vector>
 
-#include "arch/arch_config.h"
-#include "arch/simulator.h"
+#include "core/engine.h"
 #include "core/solver.h"
 #include "program/checkpoint.h"
-#include "program/solver_program.h"
 
 namespace cenn {
 
 class StatRegistry;
+struct ArchConfig;
+struct SolverProgram;
 
 /** Lifecycle of a SolverSession. */
 enum class SessionState : std::uint8_t {
@@ -59,7 +63,7 @@ struct SessionConfig {
   /** Human-readable label (job name); also used in log lines. */
   std::string name;
 
-  /** Band-parallel workers for functional engines (1 = serial). */
+  /** Band-parallel workers for band-capable engines (1 = serial). */
   int shards = 1;
 
   /** Total steps the session aims for; 0 = open-ended. */
@@ -79,11 +83,14 @@ struct SessionConfig {
 class SolverSession
 {
   public:
-    /** Functional session (double or fixed precision). */
+    /** Primary form: wraps any engine (see runtime/engine_factory.h). */
+    SolverSession(std::unique_ptr<Engine> engine, SessionConfig config);
+
+    /** Convenience: functional session (double or fixed precision). */
     SolverSession(const NetworkSpec& spec, SolverOptions options,
                   SessionConfig config);
 
-    /** Cycle-level accelerator session. */
+    /** Convenience: cycle-level accelerator session. */
     SolverSession(const SolverProgram& program, const ArchConfig& arch,
                   SessionConfig config);
 
@@ -113,7 +120,7 @@ class SolverSession
     SessionState State() const { return state_.load(); }
 
     /** Engine step counter (includes steps from a restored run). */
-    std::uint64_t StepsDone() const;
+    std::uint64_t StepsDone() const { return engine_->Steps(); }
 
     /** Steps executed by this session object (excludes restored). */
     std::uint64_t StepsExecuted() const { return steps_executed_; }
@@ -148,8 +155,9 @@ class SolverSession
 
     /**
      * Binds the session subtree under `runtime.session<id>.`:
-     * lifecycle gauges plus (for arch sessions) the full simulator
-     * stat set. The session must outlive the registry's dumps.
+     * lifecycle gauges plus whatever the engine publishes through
+     * Engine::BindStats (the arch simulator binds its full stat set).
+     * The session must outlive the registry's dumps.
      */
     void BindStats(StatRegistry* registry);
 
@@ -162,14 +170,15 @@ class SolverSession
     /** Process-unique session id (sets the stat prefix). */
     std::uint64_t Id() const { return id_; }
 
-    /** The functional solver, or null for an arch session. */
-    DeSolver* Functional();
-
-    /** The arch simulator, or null for a functional session. */
-    ArchSimulator* Arch();
+    /** The wrapped engine (never null; for kind-specific probing). */
+    Engine& Backend() { return *engine_; }
+    const Engine& Backend() const { return *engine_; }
 
   private:
-    /** Runs one slice of `n` steps on whichever engine is present. */
+    /** Config validation + shard clamping shared by all ctors. */
+    void ValidateConfig();
+
+    /** Runs one slice of `n` steps through RunSharded. */
     void RunSlice(std::uint64_t n);
 
     /** Checkpoint bookkeeping after a slice. */
@@ -177,8 +186,7 @@ class SolverSession
 
     const std::uint64_t id_;
     SessionConfig config_;
-    std::variant<std::unique_ptr<DeSolver>, std::unique_ptr<ArchSimulator>>
-        engine_;
+    std::unique_ptr<Engine> engine_;
 
     std::atomic<SessionState> state_{SessionState::kIdle};
     std::atomic<bool> pause_requested_{false};

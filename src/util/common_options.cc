@@ -1,0 +1,88 @@
+#include "util/common_options.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+CommonOptions
+ParseCommonOptions(CliFlags& flags, unsigned groups, CommonOptions defaults)
+{
+  CommonOptions opts = std::move(defaults);
+  if ((groups & kEngineFlags) != 0) {
+    opts.engine = flags.GetString("engine", opts.engine);
+    opts.precision = flags.GetString("precision", opts.precision);
+    opts.memory = flags.GetString("memory", opts.memory);
+    opts.kernel_path = flags.GetString("kernel-path", opts.kernel_path);
+  }
+  if ((groups & kThreadsFlag) != 0) {
+    opts.threads = static_cast<int>(flags.GetInt("threads", opts.threads));
+    if (opts.threads < 1) {
+      CENN_FATAL("--threads must be >= 1, got ", opts.threads);
+    }
+  }
+  if ((groups & kStatsFlags) != 0) {
+    opts.stats_out = flags.GetString("stats-out", opts.stats_out);
+    const std::string legacy = flags.GetString("stats", "");
+    if (!legacy.empty()) {
+      if (opts.stats_out.empty()) {
+        CENN_WARN("--stats is deprecated; use --stats-out");
+        opts.stats_out = legacy;
+      } else {
+        CENN_WARN("--stats is deprecated and ignored because --stats-out "
+                  "is also set");
+      }
+    }
+  }
+  if ((groups & kTraceFlags) != 0) {
+    opts.trace_out = flags.GetString("trace-out", opts.trace_out);
+    opts.trace_categories =
+        flags.GetString("trace-categories", opts.trace_categories);
+    opts.trace_capacity = static_cast<std::size_t>(flags.GetInt(
+        "trace-capacity", static_cast<std::int64_t>(opts.trace_capacity)));
+  }
+  if ((groups & kProfileFlags) != 0) {
+    opts.progress = flags.GetBool("progress", opts.progress);
+    opts.self_profile = flags.GetBool("self-profile", opts.self_profile);
+  }
+  return opts;
+}
+
+std::string
+CommonOptionsHelp(unsigned groups)
+{
+  std::string out;
+  if ((groups & kEngineFlags) != 0) {
+    out +=
+        "  --engine=functional|soa|arch  execution engine (legacy\n"
+        "                               spellings double|fixed still parse)\n"
+        "  --precision=double|fixed|float  numeric precision (default\n"
+        "                               fixed; float is soa-only)\n"
+        "  --memory=ddr3|hmc-int|hmc-ext  arch engine memory system\n"
+        "  --kernel-path=auto|scalar|blocked  soa stepping kernels\n"
+        "                               (CENN_KERNEL_PATH overrides)\n";
+  }
+  if ((groups & kThreadsFlag) != 0) {
+    out += "  --threads=N                  worker threads\n";
+  }
+  if ((groups & kStatsFlags) != 0) {
+    out +=
+        "  --stats-out=FILE             write named-stat dump (text; .csv\n"
+        "                               and .json extensions switch format)\n"
+        "  --stats=FILE                 deprecated alias for --stats-out\n";
+  }
+  if ((groups & kTraceFlags) != 0) {
+    out +=
+        "  --trace-out=FILE             write Chrome trace_event JSON\n"
+        "  --trace-categories=LIST      step,conv,lut,dram,checkpoint,\n"
+        "                               solver,counter or all/none\n"
+        "  --trace-capacity=N           trace ring size in events (2^20)\n";
+  }
+  if ((groups & kProfileFlags) != 0) {
+    out +=
+        "  --progress                   periodic steps/s + ETA heartbeat\n"
+        "  --self-profile               print wall-clock self-profile\n";
+  }
+  return out;
+}
+
+}  // namespace cenn

@@ -1,0 +1,103 @@
+#ifndef CENN_UTIL_COMMON_OPTIONS_H_
+#define CENN_UTIL_COMMON_OPTIONS_H_
+
+/**
+ * @file
+ * CommonOptions — the command-line flags shared by the cenn tools.
+ *
+ * cenn_run and cenn_batch (and any future driver) accept the same
+ * engine-selection and observability flags. Each tool used to parse
+ * its own copy, which is how `--stats` vs `--stats-out` drifted apart;
+ * ParseCommonOptions is now the single implementation. Tools opt into
+ * flag groups so a flag that a tool cannot honor stays unknown (and
+ * therefore fatal via CliFlags::Validate) instead of being silently
+ * swallowed.
+ *
+ * Values are kept as strings here — src/util sits below the kernel
+ * and program layers, so canonicalization (legacy engine spellings,
+ * precision defaults) happens in runtime/engine_factory.h.
+ */
+
+#include <cstddef>
+#include <string>
+
+#include "util/cli.h"
+
+namespace cenn {
+
+/** Flag groups a tool can opt into (bitwise-or of these). */
+enum CommonFlagGroup : unsigned {
+  /** --engine, --precision, --memory, --kernel-path */
+  kEngineFlags = 1u << 0,
+
+  /** --threads */
+  kThreadsFlag = 1u << 1,
+
+  /** --stats-out (+ deprecated alias --stats) */
+  kStatsFlags = 1u << 2,
+
+  /** --trace-out, --trace-categories, --trace-capacity */
+  kTraceFlags = 1u << 3,
+
+  /** --progress, --self-profile */
+  kProfileFlags = 1u << 4,
+
+  kAllCommonFlags =
+      kEngineFlags | kThreadsFlag | kStatsFlags | kTraceFlags | kProfileFlags,
+};
+
+/** Parsed values of the shared flags (defaults when not given). */
+struct CommonOptions {
+  /** "functional", "soa", "arch" (legacy: "double", "fixed"). */
+  std::string engine = "functional";
+
+  /** "double", "fixed" or "float"; empty = engine default. */
+  std::string precision;
+
+  /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
+  std::string memory = "ddr3";
+
+  /** SoA stepping implementation: "auto", "scalar" or "blocked". */
+  std::string kernel_path = "auto";
+
+  /** Worker threads (band shards in cenn_run, pool in cenn_batch). */
+  int threads = 1;
+
+  /** Named-stat dump file; .csv/.json extensions switch the format. */
+  std::string stats_out;
+
+  /** Chrome trace_event JSON output file. */
+  std::string trace_out;
+
+  /** Comma list of trace categories, or "all"/"none". */
+  std::string trace_categories = "all";
+
+  /** Trace ring size in events. */
+  std::size_t trace_capacity = 1 << 20;
+
+  /** Periodic steps/s + ETA heartbeat on stderr. */
+  bool progress = false;
+
+  /** Print a wall-clock self-profile table at exit. */
+  bool self_profile = false;
+};
+
+/**
+ * Parses the selected flag groups out of `flags`, starting from
+ * `defaults` (lets tools differ on e.g. the default thread count).
+ * Handles the deprecated `--stats` alias with a warning. Does not call
+ * flags.Validate() — the tool does, after its own flags.
+ */
+CommonOptions ParseCommonOptions(CliFlags& flags,
+                                 unsigned groups = kAllCommonFlags,
+                                 CommonOptions defaults = {});
+
+/**
+ * Usage text for the selected groups (one "  --flag  description"
+ * line each, newline-terminated) so both tools print identical docs.
+ */
+std::string CommonOptionsHelp(unsigned groups = kAllCommonFlags);
+
+}  // namespace cenn
+
+#endif  // CENN_UTIL_COMMON_OPTIONS_H_

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Engine interface tests: backend identity and capability flags, the
+ * engine factory's request normalization, the deprecated band-method
+ * shims on MultilayerCenn, the shared CommonOptions parser, the
+ * Engine-generic steady-state search, and SolverSession driving an
+ * arbitrary engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/network.h"
+#include "core/solver.h"
+#include "models/benchmark_model.h"
+#include "obs/stat_registry.h"
+#include "runtime/engine_factory.h"
+#include "runtime/solver_session.h"
+#include "util/cli.h"
+#include "util/common_options.h"
+
+namespace cenn {
+namespace {
+
+SolverProgram
+ModelProgram(const std::string& name, std::size_t rows, std::size_t cols)
+{
+  ModelConfig mc;
+  mc.rows = rows;
+  mc.cols = cols;
+  return MakeProgram(*MakeModel(name, mc));
+}
+
+/** CliFlags over a literal argv (argv[0] is the program name). */
+CliFlags
+Flags(std::vector<std::string> args)
+{
+  args.insert(args.begin(), "test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) {
+    argv.push_back(a.data());
+  }
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+// ---------------------------------------------------------------------------
+// Engine factory
+
+TEST(EngineFactoryTest, BuildsEveryBackendBehindTheSameInterface)
+{
+  const SolverProgram program = ModelProgram("heat", 12, 12);
+
+  EngineRequest req;
+  req.engine = "functional";
+  EXPECT_STREQ(BuildEngine(program, req)->Kind(), "functional");
+  req.engine = "soa";
+  EXPECT_STREQ(BuildEngine(program, req)->Kind(), "soa");
+  req.engine = "arch";
+  EXPECT_STREQ(BuildEngine(program, req)->Kind(), "arch");
+  req.engine = "soa";
+  req.precision = "float";
+  EXPECT_STREQ(BuildEngine(program, req)->Kind(), "soa");
+}
+
+TEST(EngineFactoryTest, LegacyEngineSpellingsNormalize)
+{
+  EngineRequest req;
+  req.engine = "double";
+  EngineRequest norm = NormalizeEngineRequest(req);
+  EXPECT_EQ(norm.engine, "functional");
+  EXPECT_EQ(norm.precision, "double");
+
+  req.engine = "fixed";
+  norm = NormalizeEngineRequest(req);
+  EXPECT_EQ(norm.engine, "functional");
+  EXPECT_EQ(norm.precision, "fixed");
+}
+
+TEST(EngineFactoryDeathTest, RejectsUnknownAndUnsupportedRequests)
+{
+  EngineRequest req;
+  req.engine = "gpu";
+  EXPECT_DEATH(NormalizeEngineRequest(req), "not functional, soa or arch");
+
+  req = EngineRequest{};
+  req.precision = "half";
+  EXPECT_DEATH(NormalizeEngineRequest(req), "not double, fixed or float");
+
+  req = EngineRequest{};
+  req.engine = "functional";
+  req.precision = "float";
+  EXPECT_DEATH(NormalizeEngineRequest(req), "only available on the soa");
+
+  req = EngineRequest{};
+  req.memory = "sram";
+  EXPECT_DEATH(NormalizeEngineRequest(req), "not ddr3");
+}
+
+TEST(EngineTest, BackendsReportBandSupport)
+{
+  const SolverProgram program = ModelProgram("heat", 12, 12);
+  EngineRequest req;
+  req.engine = "functional";
+  EXPECT_TRUE(BuildEngine(program, req)->SupportsBands());
+  req.engine = "soa";
+  EXPECT_TRUE(BuildEngine(program, req)->SupportsBands());
+  req.engine = "arch";
+  EXPECT_FALSE(BuildEngine(program, req)->SupportsBands());
+}
+
+TEST(EngineTest, DefaultBindStatsPublishesStepsAndTime)
+{
+  const SolverProgram program = ModelProgram("heat", 12, 12);
+  EngineRequest req;
+  req.engine = "soa";
+  const auto engine = BuildEngine(program, req);
+  engine->Run(5);
+
+  StatRegistry registry;
+  engine->BindStats(&registry, "");
+  EXPECT_EQ(registry.Value("sim.steps"), 5.0);
+  EXPECT_DOUBLE_EQ(registry.Value("sim.time"),
+                   5.0 * program.spec.dt);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-generic steady-state search
+
+TEST(EngineTest, RunUntilSteadyWorksOnAnyBackend)
+{
+  const SolverProgram program = ModelProgram("poisson", 12, 12);
+  for (const char* kind : {"functional", "soa"}) {
+    EngineRequest req;
+    req.engine = kind;
+    req.precision = "double";
+    const auto engine = BuildEngine(program, req);
+    const auto result = RunUntilSteady(*engine, 1e-7, 20000);
+    EXPECT_TRUE(result.converged) << kind;
+    EXPECT_EQ(engine->Steps(), result.steps_taken) << kind;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated band-method shims
+
+TEST(EngineTest, DeprecatedBandNamesForwardToEngineMethods)
+{
+  const SolverProgram program = ModelProgram("heat", 12, 12);
+  MultilayerCenn<double> stepped(program.spec);
+  MultilayerCenn<double> banded(program.spec);
+
+  stepped.Step();
+  const std::size_t rows = program.spec.rows;
+  banded.BandRefreshOutputs(0, rows);  // deprecated spellings
+  banded.BandComputeEuler(0, rows);
+  banded.BandPublish();
+
+  EXPECT_EQ(banded.Steps(), stepped.Steps());
+  const auto a = stepped.Snapshot(0);
+  const auto b = banded.Snapshot(0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SolverSession over an arbitrary engine
+
+TEST(EngineSessionTest, SoaSessionMatchesFunctionalSessionChecksum)
+{
+  const SolverProgram program = ModelProgram("reaction_diffusion", 16, 16);
+  SessionConfig sc;
+  sc.name = "soa";
+  sc.target_steps = 40;
+  sc.slice_steps = 8;
+  sc.shards = 3;
+
+  EngineRequest req;
+  req.engine = "soa";
+  SolverSession soa(BuildEngine(program, req), sc);
+  soa.RunToTarget();
+
+  sc.name = "ref";
+  sc.shards = 1;
+  req.engine = "functional";
+  SolverSession ref(BuildEngine(program, req), sc);
+  ref.RunToTarget();
+
+  EXPECT_EQ(soa.State(), SessionState::kDone);
+  EXPECT_EQ(soa.StateChecksum(), ref.StateChecksum());
+}
+
+TEST(EngineSessionTest, NonBandEngineClampsShardsWithWarning)
+{
+  const SolverProgram program = ModelProgram("heat", 12, 12);
+  SessionConfig sc;
+  sc.name = "arch";
+  sc.target_steps = 10;
+  sc.slice_steps = 4;
+  sc.shards = 4;  // arch cannot band-step; session clamps to 1
+
+  EngineRequest req;
+  req.engine = "arch";
+  SolverSession session(BuildEngine(program, req), sc);
+  EXPECT_EQ(session.RunToTarget(), 10u);
+  EXPECT_EQ(session.StepsDone(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// CommonOptions
+
+TEST(CommonOptionsTest, ParsesAllGroupsWithDefaults)
+{
+  CliFlags flags = Flags({"--engine=soa", "--precision=float",
+                          "--kernel-path=scalar", "--threads=3",
+                          "--stats-out=s.json", "--trace-out=t.json",
+                          "--trace-categories=step,conv",
+                          "--trace-capacity=1024", "--progress"});
+  const CommonOptions opts = ParseCommonOptions(flags);
+  flags.Validate();
+
+  EXPECT_EQ(opts.engine, "soa");
+  EXPECT_EQ(opts.precision, "float");
+  EXPECT_EQ(opts.memory, "ddr3");  // default
+  EXPECT_EQ(opts.kernel_path, "scalar");
+  EXPECT_EQ(opts.threads, 3);
+  EXPECT_EQ(opts.stats_out, "s.json");
+  EXPECT_EQ(opts.trace_out, "t.json");
+  EXPECT_EQ(opts.trace_categories, "step,conv");
+  EXPECT_EQ(opts.trace_capacity, 1024u);
+  EXPECT_TRUE(opts.progress);
+  EXPECT_FALSE(opts.self_profile);
+}
+
+TEST(CommonOptionsTest, DeprecatedStatsAliasStillWorks)
+{
+  CliFlags flags = Flags({"--stats=legacy.txt"});
+  const CommonOptions opts = ParseCommonOptions(flags, kStatsFlags);
+  flags.Validate();
+  EXPECT_EQ(opts.stats_out, "legacy.txt");
+}
+
+TEST(CommonOptionsTest, StatsOutWinsOverDeprecatedAlias)
+{
+  CliFlags flags = Flags({"--stats=old.txt", "--stats-out=new.txt"});
+  const CommonOptions opts = ParseCommonOptions(flags, kStatsFlags);
+  flags.Validate();
+  EXPECT_EQ(opts.stats_out, "new.txt");
+}
+
+TEST(CommonOptionsDeathTest, FlagOutsideRequestedGroupsStaysUnknown)
+{
+  // A tool that opted out of trace flags must reject them loudly
+  // (CliFlags::Validate) instead of silently swallowing the flag.
+  CliFlags flags = Flags({"--trace-out=t.json"});
+  ParseCommonOptions(flags, kStatsFlags);
+  EXPECT_DEATH(flags.Validate(), "trace-out");
+}
+
+TEST(CommonOptionsTest, CallerDefaultsSurviveWhenFlagsAbsent)
+{
+  CliFlags flags = Flags({});
+  CommonOptions defaults;
+  defaults.threads = 2;
+  defaults.precision = "fixed";
+  const CommonOptions opts =
+      ParseCommonOptions(flags, kAllCommonFlags, defaults);
+  flags.Validate();
+  EXPECT_EQ(opts.threads, 2);
+  EXPECT_EQ(opts.precision, "fixed");
+}
+
+}  // namespace
+}  // namespace cenn

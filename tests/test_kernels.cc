@@ -1,0 +1,202 @@
+/**
+ * @file
+ * SoA kernel engine tests: the bit-exactness contract of SoaEngine
+ * against the functional reference (every bundled model, double and
+ * fixed precision, serial and band-sharded), scalar-vs-blocked kernel
+ * path agreement, and checkpoint round-trips through the SoA layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "kernels/soa_engine.h"
+#include "lut/lut_bank.h"
+#include "lut/lut_evaluator.h"
+#include "models/benchmark_model.h"
+#include "program/checkpoint.h"
+#include "runtime/sharded_stepper.h"
+
+namespace cenn {
+namespace {
+
+SolverProgram
+ModelProgram(const std::string& name, std::size_t rows, std::size_t cols)
+{
+  ModelConfig mc;
+  mc.rows = rows;
+  mc.cols = cols;
+  return MakeProgram(*MakeModel(name, mc));
+}
+
+SolverOptions
+LutFixedOptions(const SolverProgram& program)
+{
+  SolverOptions options;
+  options.precision = Precision::kFixed32;
+  auto bank =
+      std::make_shared<const LutBank>(program.spec, program.lut_config);
+  options.fixed_evaluator = std::make_shared<LutEvaluatorFixed>(bank);
+  return options;
+}
+
+/** Asserts every layer of two engines is bit-identical (as f64). */
+void
+ExpectSameState(const Engine& a, const Engine& b, const std::string& context)
+{
+  ASSERT_EQ(a.Spec().NumLayers(), b.Spec().NumLayers()) << context;
+  for (int l = 0; l < a.Spec().NumLayers(); ++l) {
+    const std::vector<double> va = a.Snapshot(l);
+    const std::vector<double> vb = b.Snapshot(l);
+    ASSERT_EQ(va.size(), vb.size()) << context;
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      ASSERT_EQ(va[i], vb[i])
+          << context << ": layer " << l << " cell " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exactness sweep: every model x {double, fixed+LUT} x shard counts
+
+TEST(SoaEngineSweepTest, BitExactVsFunctionalAllModelsBothPrecisions)
+{
+  constexpr std::uint64_t kSteps = 8;
+  for (const std::string& name : AllModelNames()) {
+    const SolverProgram program = ModelProgram(name, 16, 16);
+    if (program.spec.integrator != Integrator::kEuler) {
+      continue;  // the SoA engine is explicit-Euler only
+    }
+    for (const char* precision : {"double", "fixed"}) {
+      SolverOptions options;
+      if (std::string(precision) == "double") {
+        options.precision = Precision::kDouble;
+      } else {
+        options = LutFixedOptions(program);
+      }
+      const auto reference = MakeFunctionalEngine(program.spec, options);
+      const auto soa = MakeSoaEngine(program.spec, options);
+      reference->Run(kSteps);
+      soa->Run(kSteps);
+      ExpectSameState(*reference, *soa,
+                      name + "/" + precision + "/serial");
+    }
+  }
+}
+
+TEST(SoaEngineSweepTest, ShardedBitExactVsFunctionalAllModels)
+{
+  constexpr std::uint64_t kSteps = 8;
+  for (const std::string& name : AllModelNames()) {
+    const SolverProgram program = ModelProgram(name, 16, 16);
+    if (program.spec.integrator != Integrator::kEuler) {
+      continue;
+    }
+    const SolverOptions options = LutFixedOptions(program);
+    const auto reference = MakeFunctionalEngine(program.spec, options);
+    reference->Run(kSteps);
+    for (int shards : {1, 3, 7}) {
+      const auto soa = MakeSoaEngine(program.spec, options);
+      RunSharded(soa.get(), kSteps, shards);
+      ExpectSameState(*reference, *soa,
+                      name + "/fixed/shards=" + std::to_string(shards));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel paths
+
+TEST(SoaEngineTest, ScalarAndBlockedPathsAgreeEveryPrecision)
+{
+  constexpr std::uint64_t kSteps = 12;
+  const SolverProgram program = ModelProgram("reaction_diffusion", 16, 16);
+
+  for (const char* precision : {"double", "fixed"}) {
+    SolverOptions options;
+    if (std::string(precision) == "double") {
+      options.precision = Precision::kDouble;
+    } else {
+      options = LutFixedOptions(program);
+    }
+    const auto scalar =
+        MakeSoaEngine(program.spec, options, KernelPath::kScalar);
+    const auto blocked =
+        MakeSoaEngine(program.spec, options, KernelPath::kBlocked);
+    scalar->Run(kSteps);
+    blocked->Run(kSteps);
+    ExpectSameState(*scalar, *blocked,
+                    std::string("scalar-vs-blocked/") + precision);
+  }
+
+  // Float has no functional reference; the two paths cross-check it.
+  const auto fscalar =
+      MakeSoaEngineFloat(program.spec, nullptr, KernelPath::kScalar);
+  const auto fblocked =
+      MakeSoaEngineFloat(program.spec, nullptr, KernelPath::kBlocked);
+  fscalar->Run(kSteps);
+  fblocked->Run(kSteps);
+  ExpectSameState(*fscalar, *fblocked, "scalar-vs-blocked/float");
+}
+
+TEST(SoaEngineTest, ReportsKindAndBands)
+{
+  const SolverProgram program = ModelProgram("heat", 8, 8);
+  const auto soa = MakeSoaEngine(program.spec);
+  EXPECT_STREQ(soa->Kind(), "soa");
+  EXPECT_TRUE(soa->SupportsBands());
+}
+
+TEST(SoaEngineDeathTest, HeunSpecIsFatal)
+{
+  SolverProgram program = ModelProgram("heat", 8, 8);
+  program.spec.integrator = Integrator::kHeun;
+  EXPECT_DEATH(MakeSoaEngine(program.spec), "explicit-Euler");
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints through the SoA layout
+
+TEST(SoaEngineTest, CheckpointRoundTripIsBitExact)
+{
+  const SolverProgram program = ModelProgram("gray_scott", 16, 16);
+  const SolverOptions options = LutFixedOptions(program);
+
+  const auto uninterrupted = MakeSoaEngine(program.spec, options);
+  uninterrupted->Run(30);
+
+  const auto first = MakeSoaEngine(program.spec, options);
+  first->Run(12);
+  const Checkpoint cp = CaptureCheckpoint(*first);
+  EXPECT_EQ(cp.steps, 12u);
+
+  const auto resumed = MakeSoaEngine(program.spec, options);
+  RestoreCheckpoint(cp, resumed.get());
+  EXPECT_EQ(resumed->Steps(), 12u);
+  resumed->Run(18);
+  ExpectSameState(*uninterrupted, *resumed, "soa-resume");
+}
+
+TEST(SoaEngineTest, CheckpointCrossesEngineKinds)
+{
+  // A checkpoint captured on the SoA engine restores into the
+  // functional engine (and vice versa) with bit-identical evolution.
+  const SolverProgram program = ModelProgram("izhikevich", 16, 16);
+  const SolverOptions options = LutFixedOptions(program);
+
+  const auto soa = MakeSoaEngine(program.spec, options);
+  soa->Run(10);
+  const Checkpoint cp = CaptureCheckpoint(*soa);
+
+  const auto functional = MakeFunctionalEngine(program.spec, options);
+  RestoreCheckpoint(cp, functional.get());
+  soa->Run(10);
+  functional->Run(10);
+  ExpectSameState(*functional, *soa, "cross-engine-resume");
+}
+
+}  // namespace
+}  // namespace cenn

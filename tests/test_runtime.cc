@@ -527,7 +527,8 @@ TEST(BatchManifestTest, ParsesJobsAndDefaults)
   EXPECT_EQ(jobs[0].rows, 32u);
   EXPECT_EQ(jobs[0].cols, 64u);
   EXPECT_EQ(jobs[0].steps, 100u);
-  EXPECT_EQ(jobs[0].engine, "fixed");
+  EXPECT_EQ(jobs[0].engine, "functional");
+  EXPECT_EQ(jobs[0].precision, "");
   EXPECT_FALSE(jobs[0].has_seed);
   EXPECT_EQ(jobs[1].name, "rd");
   EXPECT_EQ(jobs[1].engine, "double");
@@ -588,7 +589,7 @@ TEST(BatchRunnerTest, RunsManifestToCompletion)
 
   const std::string csv = BatchRunner::ResultsCsv(results);
   EXPECT_NE(csv.find("name,model,engine,status"), std::string::npos);
-  EXPECT_NE(csv.find("h,heat,fixed,done,25"), std::string::npos);
+  EXPECT_NE(csv.find("h,heat,functional,done,25"), std::string::npos);
 }
 
 TEST(BatchRunnerTest, InterruptedBatchResumesToIdenticalState)

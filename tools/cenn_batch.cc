@@ -27,51 +27,37 @@
 #include <string>
 
 #include "obs/stat_registry.h"
+#include "obs/stats_io.h"
 #include "runtime/batch_manifest.h"
 #include "runtime/batch_runner.h"
 #include "util/cli.h"
+#include "util/common_options.h"
 #include "util/logging.h"
 #include "util/table.h"
 
 namespace cenn {
 namespace {
 
+/** The shared flags cenn_batch honors (manifest picks engines). */
+constexpr unsigned kBatchFlagGroups = kThreadsFlag | kStatsFlags;
+
 void
 PrintUsage()
 {
   std::printf(
       "usage: cenn_batch --manifest=FILE --out=DIR [options]\n\n"
-      "options:\n"
+      "shared options:\n%s"
+      "\nbatch options:\n"
       "  --manifest=FILE          job manifest (see docs/runtime.md)\n"
       "  --out=DIR                output directory for artifacts\n"
-      "  --threads=N              pool workers (default 2)\n"
       "  --queue-capacity=N       job-queue bound (default 64)\n"
       "  --seed=N                 base seed for unseeded jobs (42)\n"
       "  --max-steps-per-job=N    per-invocation step budget (0 = all)\n"
       "  --checkpoint-every=N     default auto-checkpoint interval\n"
       "  --resume-from=DIR        reuse .done/.ckpt artifacts in DIR\n"
       "                           (must equal --out)\n"
-      "  --csv=FILE               write per-job results as CSV\n"
-      "  --stats-out=FILE         write runtime.pool.*/runtime.batch.*\n"
-      "                           stats (.csv/.json switch the format)\n");
-}
-
-/** Writes a registry dump in the format implied by the extension. */
-void
-WriteStatsFile(const StatRegistry& reg, const std::string& path)
-{
-  std::ofstream out(path);
-  if (!out) {
-    CENN_WARN("cannot open stats output file '", path, "'");
-    return;
-  }
-  if (path.size() > 4 && path.rfind(".csv") == path.size() - 4) {
-    out << reg.DumpCsv();
-  } else if (path.size() > 5 && path.rfind(".json") == path.size() - 5) {
-    out << reg.DumpJson();
-  } else {
-    out << reg.DumpText(/*with_desc=*/true);
-  }
+      "  --csv=FILE               write per-job results as CSV\n",
+      CommonOptionsHelp(kBatchFlagGroups).c_str());
 }
 
 int
@@ -85,9 +71,14 @@ BatchMain(int argc, char** argv)
     return manifest.empty() && !help ? 1 : 0;
   }
 
+  CommonOptions defaults;
+  defaults.threads = 2;
+  const CommonOptions copts =
+      ParseCommonOptions(flags, kBatchFlagGroups, defaults);
+
   BatchOptions options;
   options.out_dir = flags.GetString("out", "");
-  options.num_threads = static_cast<int>(flags.GetInt("threads", 2));
+  options.num_threads = copts.threads;
   options.queue_capacity =
       static_cast<std::size_t>(flags.GetInt("queue-capacity", 64));
   options.base_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
@@ -97,7 +88,7 @@ BatchMain(int argc, char** argv)
       static_cast<std::uint64_t>(flags.GetInt("checkpoint-every", 0));
   const std::string resume_from = flags.GetString("resume-from", "");
   const std::string csv = flags.GetString("csv", "");
-  const std::string stats_out = flags.GetString("stats-out", "");
+  const std::string stats_out = copts.stats_out;
   flags.Validate();
 
   if (options.out_dir.empty()) {
@@ -144,8 +135,7 @@ BatchMain(int argc, char** argv)
       CENN_WARN("cannot open csv output file '", csv, "'");
     }
   }
-  if (!stats_out.empty()) {
-    WriteStatsFile(registry, stats_out);
+  if (!stats_out.empty() && WriteStatsFile(registry, stats_out)) {
     std::printf("wrote %zu stats to %s\n", registry.Size(),
                 stats_out.c_str());
   }

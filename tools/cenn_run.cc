@@ -7,23 +7,21 @@
  * integrator, cycle/stall statistics, power, and optional artifacts
  * (PGM snapshot, stats dump, timeline trace, checkpoint).
  *
- * Engines (--engine):
- *   double   functional engine, IEEE double (reference arithmetic)
- *   fixed    functional engine, Q16.16 + LUT datapath
- *   arch     cycle-level accelerator simulation (fixed datapath + timing)
+ * Engines (--engine, built through runtime/engine_factory.h):
+ *   functional  cell-by-cell reference engine (double/fixed precision)
+ *   soa         vectorized SoA kernels (double/fixed/float precision)
+ *   arch        cycle-level accelerator simulation (fixed + timing)
+ * The legacy spellings --engine=double|fixed still select the
+ * functional engine at that precision.
  *
- * Observability:
- *   --stats-out=FILE    named-stat dump (sim.*, lut.*, dram.*, …);
- *                       .csv / .json extensions switch the format
- *   --trace-out=FILE    Chrome trace_event JSON (Perfetto-loadable)
- *   --trace-categories  comma list: step,conv,lut,dram,checkpoint,
- *                       solver,counter (default all)
- *   --progress          heartbeat to stderr: steps/s and ETA
- *   --self-profile      wall-clock self-profile table at exit
+ * The driver itself is engine-agnostic: it steps a cenn::Engine and
+ * only probes for the arch simulator to print timing/power extras.
+ * --threads runs band-parallel stepping (bit-identical to serial) on
+ * engines that support it.
  *
  * Examples:
  *   cenn_run --model=reaction_diffusion --steps=500 --engine=arch
- *   cenn_run --model=heat --engine=arch --trace-out=trace.json
+ *   cenn_run --model=heat --engine=soa --precision=fixed --threads=4
  *   cenn_run --model=poisson --steady --tolerance=1e-6
  *   cenn_run --model=gray_scott --steps=3000 --pgm=pattern.pgm
  */
@@ -36,15 +34,19 @@
 
 #include "arch/simulator.h"
 #include "core/solver.h"
-#include "lut/lut_evaluator.h"
+#include "kernels/kernel_path.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
 #include "obs/profile.h"
 #include "obs/stat_registry.h"
+#include "obs/stats_io.h"
 #include "obs/trace.h"
 #include "power/power_model.h"
 #include "program/checkpoint.h"
+#include "runtime/engine_factory.h"
+#include "runtime/sharded_stepper.h"
 #include "util/cli.h"
+#include "util/common_options.h"
 #include "util/io.h"
 #include "util/stats.h"
 
@@ -59,28 +61,19 @@ PrintUsage()
     std::printf(" %s", name.c_str());
   }
   std::printf(
-      "\n\noptions:\n"
-      "  --engine=double|fixed|arch   execution engine (default fixed)\n"
+      "\n\nshared options:\n%s"
+      "\nrun options:\n"
       "  --rows/--cols=N              grid size (default 64)\n"
       "  --steps=N                    steps (default: model default)\n"
       "  --seed=N                     RNG seed for initial conditions\n"
-      "  --memory=ddr3|hmc-int|hmc-ext  arch engine memory system\n"
-      "  --heun                       Heun integrator (double/fixed only)\n"
+      "  --heun                       Heun integrator (functional only)\n"
       "  --steady                     run until steady state\n"
       "  --tolerance=X                steady-state tolerance (1e-6)\n"
       "  --compare                    compare against the reference run\n"
       "  --pgm=FILE                   write layer-0 snapshot as PGM\n"
-      "  --stats-out=FILE             write named-stat dump (text; .csv\n"
-      "                               and .json extensions switch format)\n"
-      "  --stats=FILE                 deprecated alias for --stats-out\n"
-      "  --trace-out=FILE             write Chrome trace_event JSON\n"
-      "  --trace-categories=LIST      step,conv,lut,dram,checkpoint,\n"
-      "                               solver,counter or all/none\n"
-      "  --trace-capacity=N           trace ring size in events (2^20)\n"
-      "  --progress                   periodic steps/s + ETA heartbeat\n"
-      "  --self-profile               print wall-clock self-profile\n"
       "  --checkpoint=FILE            write a checkpoint at the end\n"
-      "  --ascii                      print an ASCII heatmap of layer 0\n");
+      "  --ascii                      print an ASCII heatmap of layer 0\n",
+      CommonOptionsHelp().c_str());
 }
 
 /**
@@ -150,25 +143,6 @@ class ProgressMeter
     Clock::time_point last_print_;
 };
 
-/** Writes a registry dump in the format implied by the extension. */
-void
-WriteStatsFile(const StatRegistry& reg, const std::string& path)
-{
-  std::ofstream out(path);
-  if (!out) {
-    CENN_WARN("cannot open stats output file '", path, "'");
-    return;
-  }
-  if (path.size() > 4 && path.rfind(".csv") == path.size() - 4) {
-    out << reg.DumpCsv();
-  } else if (path.size() > 5 && path.rfind(".json") == path.size() - 5) {
-    out << reg.DumpJson();
-  } else {
-    out << reg.DumpText(/*with_desc=*/true);
-  }
-  std::printf("wrote %zu stats to %s\n", reg.Size(), path.c_str());
-}
-
 int
 RunMain(int argc, char** argv)
 {
@@ -188,48 +162,48 @@ RunMain(int argc, char** argv)
   const int steps =
       static_cast<int>(flags.GetInt("steps", model->DefaultSteps()));
 
-  const std::string engine = flags.GetString("engine", "fixed");
-  const std::string memory = flags.GetString("memory", "ddr3");
+  CommonOptions defaults;
+  defaults.precision = "fixed";
+  const CommonOptions copts = ParseCommonOptions(flags, kAllCommonFlags,
+                                                 defaults);
   const bool heun = flags.GetBool("heun", false);
   const bool steady = flags.GetBool("steady", false);
   const double tolerance = flags.GetDouble("tolerance", 1e-6);
   const bool compare = flags.GetBool("compare", false);
   const std::string pgm = flags.GetString("pgm", "");
-  std::string stats_out = flags.GetString("stats-out", "");
-  const std::string stats_legacy = flags.GetString("stats", "");
-  const std::string trace_out = flags.GetString("trace-out", "");
-  const std::string trace_categories =
-      flags.GetString("trace-categories", "all");
-  const auto trace_capacity =
-      static_cast<std::size_t>(flags.GetInt("trace-capacity", 1 << 20));
-  const bool progress = flags.GetBool("progress", false);
-  const bool self_profile = flags.GetBool("self-profile", false);
   const std::string checkpoint = flags.GetString("checkpoint", "");
   const bool ascii = flags.GetBool("ascii", false);
   flags.Validate();
 
-  if (stats_out.empty() && !stats_legacy.empty()) {
-    CENN_WARN("--stats is deprecated; use --stats-out");
-    stats_out = stats_legacy;
-  }
-  if (self_profile) {
+  if (copts.self_profile) {
     Profiler::Instance().Enable(true);
   }
 
   std::unique_ptr<TraceSession> trace;
-  if (!trace_out.empty()) {
+  if (!copts.trace_out.empty()) {
     trace = std::make_unique<TraceSession>(
-        ParseTraceCategories(trace_categories), trace_capacity);
+        ParseTraceCategories(copts.trace_categories), copts.trace_capacity);
   }
+
+  EngineRequest req;
+  req.engine = copts.engine;
+  req.precision = copts.precision;
+  req.memory = copts.memory;
+  if (!ParseKernelPath(copts.kernel_path.c_str(), &req.kernel_path)) {
+    CENN_FATAL("unknown --kernel-path '", copts.kernel_path,
+               "' (auto|scalar|blocked)");
+  }
+  const EngineRequest normalized = NormalizeEngineRequest(req);
 
   MapperReport map_report;
   SolverProgram program;
   program.spec = Mapper::MapWithReport(model->System(), &map_report);
   program.lut_config = model->Luts();
   if (heun) {
-    if (engine == "arch") {
-      CENN_FATAL("--heun applies to the functional engines only "
-                 "(the hardware integrates with explicit Euler)");
+    if (normalized.engine != "functional") {
+      CENN_FATAL("--heun applies to the functional engine only (the "
+                 "hardware and the SoA kernels integrate with explicit "
+                 "Euler)");
     }
     program.spec.integrator = Integrator::kHeun;
   }
@@ -240,96 +214,38 @@ RunMain(int argc, char** argv)
               IntegratorName(program.spec.integrator),
               map_report.templates_needing_update);
 
-  std::vector<double> layer0;
-  std::uint64_t steps_taken = 0;
+  const std::unique_ptr<Engine> engine = BuildEngine(program, normalized);
+  auto* sim = dynamic_cast<ArchSimulator*>(engine.get());
+  if (sim != nullptr && trace != nullptr) {
+    sim->AttachTrace(trace.get());
+  }
 
-  if (engine == "arch") {
-    ArchConfig arch;
-    if (memory == "hmc-int") {
-      arch.memory = MemoryParams::HmcInt();
-    } else if (memory == "hmc-ext") {
-      arch.memory = MemoryParams::HmcExt();
-    } else if (memory != "ddr3") {
-      CENN_FATAL("unknown --memory '", memory, "'");
-    }
-    arch.pe_clock_hz = arch.memory.pe_clock_hint_hz;
-    arch = RecommendedArchConfig(program, arch);
-    ArchSimulator sim(program, arch);
-    if (trace) {
-      sim.AttachTrace(trace.get());
-    }
-    ProgressMeter meter(progress, static_cast<std::uint64_t>(steps));
-    for (int i = 0; i < steps; ++i) {
-      sim.Step();
-      meter.Tick(static_cast<std::uint64_t>(i) + 1);
-    }
-    meter.Finish(static_cast<std::uint64_t>(steps));
-    steps_taken = sim.Report().steps;
-    layer0 = sim.StateDoubles(0);
-
-    std::printf("\n%s\n%s\n", arch.Summary().c_str(),
-                sim.Report().ToString(arch.pe_clock_hz).c_str());
-    const EnergyReport energy = ComputeEnergy(sim.Report(), arch);
-    std::printf("power %.3f W (on-chip %.3f + memory %.3f), energy "
-                "%.3f mJ, %.2f GOPS/W\n",
-                energy.total_power_w, energy.onchip_power_w,
-                energy.memory_power_w, energy.energy_j * 1e3,
-                energy.gops_per_watt);
-    if (!stats_out.empty()) {
-      StatRegistry reg;
-      sim.RegisterStats(&reg);
-      WriteStatsFile(reg, stats_out);
-    }
-    if (!checkpoint.empty()) {
-      if (trace) {
-        trace->Instant(TraceCategory::kCheckpoint, "checkpoint.write",
-                       sim.Report().total_cycles);
-      }
-      Checkpoint cp = CaptureCheckpoint(sim.Engine());
-      const auto bytes = SerializeCheckpoint(cp);
-      std::ofstream out(checkpoint, std::ios::binary);
-      out.write(reinterpret_cast<const char*>(bytes.data()),
-                static_cast<std::streamsize>(bytes.size()));
-      std::printf("wrote checkpoint to %s (%zu bytes)\n",
-                  checkpoint.c_str(), bytes.size());
-    }
-    if (trace) {
-      // PE-cycle timestamps: scale to microseconds of modeled time.
-      if (trace->WriteChromeJson(trace_out, arch.pe_clock_hz / 1e6)) {
-        std::printf("wrote trace to %s (%zu events, %llu dropped)\n",
-                    trace_out.c_str(), trace->Size(),
-                    static_cast<unsigned long long>(trace->Dropped()));
-      }
-    }
+  const auto run_start = std::chrono::steady_clock::now();
+  if (steady) {
+    const auto result = RunUntilSteady(*engine, tolerance,
+                                       static_cast<std::uint64_t>(steps));
+    std::printf("\nsteady-state search: %s after %llu steps "
+                "(delta %.3e, tolerance %.1e)\n",
+                result.converged ? "converged" : "NOT converged",
+                static_cast<unsigned long long>(result.steps_taken),
+                result.final_delta, tolerance);
   } else {
-    SolverOptions options;
-    if (engine == "double") {
-      options.precision = Precision::kDouble;
-    } else if (engine == "fixed") {
-      options.precision = Precision::kFixed32;
-      auto bank = std::make_shared<const LutBank>(program.spec,
-                                                  program.lut_config);
-      options.fixed_evaluator = std::make_shared<LutEvaluatorFixed>(bank);
+    ProgressMeter meter(copts.progress, static_cast<std::uint64_t>(steps));
+    if (copts.threads > 1) {
+      // Band-parallel stepping in heartbeat-sized slices; bit-exact
+      // vs serial by the band-phase determinism contract.
+      const std::uint64_t total = static_cast<std::uint64_t>(steps);
+      std::uint64_t done = 0;
+      while (done < total) {
+        const std::uint64_t slice = std::min<std::uint64_t>(64, total - done);
+        RunSharded(engine.get(), slice, copts.threads);
+        done += slice;
+        meter.Tick(done);
+      }
     } else {
-      CENN_FATAL("unknown --engine '", engine, "'");
-    }
-    DeSolver solver(program.spec, options);
-    if (steady) {
-      const auto result = solver.RunUntilSteady(
-          tolerance, static_cast<std::uint64_t>(steps));
-      std::printf("\nsteady-state search: %s after %llu steps "
-                  "(delta %.3e, tolerance %.1e)\n",
-                  result.converged ? "converged" : "NOT converged",
-                  static_cast<unsigned long long>(result.steps_taken),
-                  result.final_delta, tolerance);
-    } else {
-      // Step one-by-one: the heartbeat and per-step solver trace
-      // events both need the loop; Run() is a plain loop anyway.
-      ProgressMeter meter(progress, static_cast<std::uint64_t>(steps));
-      const auto run_start = std::chrono::steady_clock::now();
       for (int i = 0; i < steps; ++i) {
-        solver.Step();
-        if (trace) {
+        engine->Step();
+        if (trace != nullptr && sim == nullptr) {
           const auto ns =
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - run_start)
@@ -339,40 +255,67 @@ RunMain(int argc, char** argv)
         }
         meter.Tick(static_cast<std::uint64_t>(i) + 1);
       }
-      meter.Finish(static_cast<std::uint64_t>(steps));
     }
-    steps_taken = solver.Steps();
-    layer0 = solver.StateDoubles(0);
-    std::printf("\nengine %s: %llu steps, t = %.4f\n",
-                PrecisionName(solver.GetPrecision()),
+    meter.Finish(static_cast<std::uint64_t>(steps));
+  }
+
+  const std::uint64_t steps_taken = engine->Steps();
+  const std::vector<double> layer0 = engine->Snapshot(0);
+
+  if (sim != nullptr) {
+    const ArchConfig& arch = sim->Config();
+    std::printf("\n%s\n%s\n", arch.Summary().c_str(),
+                sim->Report().ToString(arch.pe_clock_hz).c_str());
+    const EnergyReport energy = ComputeEnergy(sim->Report(), arch);
+    std::printf("power %.3f W (on-chip %.3f + memory %.3f), energy "
+                "%.3f mJ, %.2f GOPS/W\n",
+                energy.total_power_w, energy.onchip_power_w,
+                energy.memory_power_w, energy.energy_j * 1e3,
+                energy.gops_per_watt);
+  } else {
+    std::printf("\nengine %s (%s", engine->Kind(),
+                normalized.precision.c_str());
+    if (normalized.engine == "soa") {
+      std::printf(", %s kernels",
+                  KernelPathName(ResolveKernelPath(normalized.kernel_path)));
+    }
+    std::printf("): %llu steps, t = %.4f\n",
                 static_cast<unsigned long long>(steps_taken),
-                solver.Time());
-    if (!checkpoint.empty()) {
-      const auto bytes =
-          SerializeCheckpoint(CaptureCheckpoint(solver));
-      std::ofstream out(checkpoint, std::ios::binary);
-      out.write(reinterpret_cast<const char*>(bytes.data()),
-                static_cast<std::streamsize>(bytes.size()));
-      std::printf("wrote checkpoint to %s (%zu bytes)\n",
-                  checkpoint.c_str(), bytes.size());
+                engine->Time());
+  }
+
+  if (!checkpoint.empty()) {
+    if (sim != nullptr && trace != nullptr) {
+      trace->Instant(TraceCategory::kCheckpoint, "checkpoint.write",
+                     sim->Report().total_cycles);
     }
-    if (!stats_out.empty()) {
-      StatRegistry reg;
-      reg.BindDerived("sim.steps", "solver steps executed", [&solver] {
-        return static_cast<double>(solver.Steps());
-      });
-      reg.BindDerived("sim.time", "simulated time (steps * dt)",
-                      [&solver] { return solver.Time(); });
-      WriteStatsFile(reg, stats_out);
+    const auto bytes = SerializeCheckpoint(CaptureCheckpoint(*engine));
+    std::ofstream out(checkpoint, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::printf("wrote checkpoint to %s (%zu bytes)\n", checkpoint.c_str(),
+                bytes.size());
+  }
+  if (!copts.stats_out.empty()) {
+    StatRegistry reg;
+    engine->BindStats(&reg, "");
+    if (WriteStatsFile(reg, copts.stats_out)) {
+      std::printf("wrote %zu stats to %s\n", reg.Size(),
+                  copts.stats_out.c_str());
+    }
+    if (sim == nullptr) {
       std::printf("note: lut.*/dram.* stats require --engine=arch\n");
     }
-    if (trace) {
-      // Nanosecond host timestamps: 1000 ticks per microsecond.
-      if (trace->WriteChromeJson(trace_out, 1e3)) {
-        std::printf("wrote trace to %s (%zu events, %llu dropped)\n",
-                    trace_out.c_str(), trace->Size(),
-                    static_cast<unsigned long long>(trace->Dropped()));
-      }
+  }
+  if (trace != nullptr) {
+    // Arch timestamps are PE cycles (scale to modeled microseconds);
+    // functional timestamps are host nanoseconds (1000 per us).
+    const double ticks_per_us =
+        sim != nullptr ? sim->Config().pe_clock_hz / 1e6 : 1e3;
+    if (trace->WriteChromeJson(copts.trace_out, ticks_per_us)) {
+      std::printf("wrote trace to %s (%zu events, %llu dropped)\n",
+                  copts.trace_out.c_str(), trace->Size(),
+                  static_cast<unsigned long long>(trace->Dropped()));
     }
   }
 
@@ -390,7 +333,7 @@ RunMain(int argc, char** argv)
   if (ascii) {
     std::printf("\n%s", AsciiHeatmap(layer0, mc.rows, mc.cols, 48).c_str());
   }
-  if (self_profile) {
+  if (copts.self_profile) {
     std::printf("\n%s", Profiler::Instance().Report().c_str());
   }
   return 0;
