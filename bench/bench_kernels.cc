@@ -14,9 +14,11 @@
  * no float reference).
  *
  * --check turns the run into a regression gate: exit 1 if the blocked
- * kernels are slower than the scalar plan walk, or if any comparable
- * variant diverges from the functional state. --quick shrinks the
- * workload for CI smoke use.
+ * kernels are slower than the scalar plan walk, if any comparable
+ * variant diverges from the functional state, or if the health-guard
+ * instrumentation (the Fixed32 saturation-counter hook) costs more
+ * than 2% on the fixed blocked path. --quick shrinks the workload for
+ * CI smoke use.
  *
  * Examples:
  *   bench_kernels
@@ -25,7 +27,9 @@
  *   bench_kernels --precision=float --shards=1,2,4
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <cstdio>
@@ -38,6 +42,7 @@
 
 #include "core/engine.h"
 #include "core/solver.h"
+#include "health/health_guard.h"
 #include "kernels/soa_engine.h"
 #include "models/benchmark_model.h"
 #include "runtime/engine_factory.h"
@@ -93,6 +98,7 @@ struct Variant {
   std::function<void(Engine*, std::uint64_t)> run;
   bool comparable = true;  ///< has the same numerics as the reference
 };
+
 
 int
 BenchMain(int argc, char** argv)
@@ -219,6 +225,71 @@ BenchMain(int argc, char** argv)
   } else if (check) {
     std::printf("check passed: blocked %.2fx vs scalar\n",
                 scalar_seconds / blocked_seconds);
+  }
+
+  // Guard-overhead gate: time the fixed blocked path with and without
+  // an installed Fixed32 saturation counter. The hook only runs on
+  // the rare clamping branch, so even counter-ON must stay within 2%
+  // of counter-OFF — which bounds the guards-off cost of the
+  // instrumentation from above. The two flavors are interleaved as
+  // many small ABBA-ordered chunks and compared by total time, so
+  // clock drift and noisy neighbors hit both flavors equally. Only
+  // measured under --check: the multi-second gate has no place in the
+  // plain smoke run.
+  if (check) {
+    EngineRequest req;
+    req.engine = "soa";
+    req.precision = "fixed";
+    req.kernel_path = KernelPath::kBlocked;
+    HealthGuard guard;
+    const auto engine = BuildEngine(program, req);
+    const auto timed = [&](HealthGuard* sink, std::uint64_t n) {
+      ScopedSatCounter sat(sink);
+      const auto start = std::chrono::steady_clock::now();
+      engine->Run(n);
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    // Calibrate a ~50ms chunk; a 2% budget is unmeasurable on
+    // microsecond regions.
+    const double probe = timed(nullptr, steps);
+    const std::uint64_t chunk_steps = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               0.05 / std::max(probe / static_cast<double>(steps),
+                               1e-9)));
+    // Each round times one chunk of each flavor and contributes one
+    // with/without ratio; medians are immune to the occasional chunk
+    // a noisy neighbor stalls. Whichever flavor runs second in a
+    // round inherits warmed caches, so the two orderings are medianed
+    // separately and combined geometrically to cancel that bias.
+    const auto median = [](std::vector<double>* v) {
+      std::sort(v->begin(), v->end());
+      return (*v)[v->size() / 2];
+    };
+    std::vector<double> on_second;
+    std::vector<double> on_first;
+    for (int round = 0; round < 44; ++round) {
+      const double a = timed(round % 2 == 0 ? nullptr : &guard,
+                             chunk_steps);
+      const double b = timed(round % 2 == 0 ? &guard : nullptr,
+                             chunk_steps);
+      if (round < 4) {
+        continue;  // discard warm-up rounds (caches, cpu frequency)
+      }
+      (round % 2 == 0 ? on_second : on_first)
+          .push_back(round % 2 == 0 ? b / a : a / b);
+    }
+    const double overhead =
+        std::sqrt(median(&on_second) * median(&on_first)) - 1.0;
+    std::printf("guard instrumentation overhead (fixed blocked, counter "
+                "installed): %+.2f%%, %llu sat events\n", overhead * 100.0,
+                static_cast<unsigned long long>(guard.SatEvents()));
+    if (overhead > 0.02) {
+      std::printf("check FAILED: guard instrumentation overhead %.2f%% "
+                  "exceeds the 2%% budget\n", overhead * 100.0);
+      ok = false;
+    }
   }
   return ok ? 0 : 1;
 }

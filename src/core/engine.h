@@ -36,6 +36,7 @@
 
 namespace cenn {
 
+class HealthGuard;  // src/health; attached via AttachHealthGuard
 struct NetworkSpec;
 class StatRegistry;
 
@@ -105,9 +106,34 @@ class Engine
      * Binds backend-specific stats under `prefix` (which must be
      * empty or end with '.'). Default: `sim.steps` and `sim.time`
      * derived gauges; the arch simulator adds its full counter set.
-     * The engine must outlive the registry's dumps.
+     * The engine must outlive the registry's dumps. (An attached
+     * health guard binds separately via HealthGuard::BindStats —
+     * SolverSession and the tools do both.)
      */
     virtual void BindStats(StatRegistry* registry, const std::string& prefix);
+
+    /**
+     * @name Numerical-health guard
+     * Any engine can host a HealthGuard (src/health): drivers scan it
+     * at slice boundaries for NaN/Inf cells, Fixed32 saturation and
+     * divergence, and a tripped guard pauses the session so the batch
+     * runner can retry from the last good checkpoint. The engine does
+     * not own the guard and never consults it itself — attaching one
+     * costs the hot stepping path nothing.
+     */
+    ///@{
+
+    /** Attaches `guard` (nullptr detaches). Caller keeps ownership. */
+    void AttachHealthGuard(HealthGuard* guard) { health_guard_ = guard; }
+
+    /** The attached guard, or nullptr. Its Report() is the run's
+     *  numerical-health summary. */
+    HealthGuard* AttachedHealthGuard() const { return health_guard_; }
+
+    ///@}
+
+  private:
+    HealthGuard* health_guard_ = nullptr;
 };
 
 }  // namespace cenn

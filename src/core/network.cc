@@ -1,6 +1,5 @@
 #include "core/network.h"
 
-#include <mutex>
 #include <utility>
 
 #include "util/logging.h"
@@ -282,47 +281,6 @@ MultilayerCenn<T>::Publish()
   state_.swap(next_state_);
   ApplyResets();
   ++steps_;
-}
-
-namespace {
-
-/** One-per-process deprecation warning for the pre-Engine band names. */
-void
-WarnDeprecatedBandName(const char* old_name, const char* new_name)
-{
-  static std::once_flag warned;
-  std::call_once(warned, [old_name, new_name] {
-    CENN_WARN("MultilayerCenn::", old_name, " is deprecated and will be "
-              "removed next release; use the Engine method ", new_name);
-  });
-}
-
-}  // namespace
-
-template <typename T>
-void
-MultilayerCenn<T>::BandRefreshOutputs(std::size_t row_begin,
-                                      std::size_t row_end)
-{
-  WarnDeprecatedBandName("BandRefreshOutputs", "RefreshOutputs");
-  RefreshOutputs(row_begin, row_end);
-}
-
-template <typename T>
-void
-MultilayerCenn<T>::BandComputeEuler(std::size_t row_begin,
-                                    std::size_t row_end)
-{
-  WarnDeprecatedBandName("BandComputeEuler", "StepBands");
-  StepBands(row_begin, row_end);
-}
-
-template <typename T>
-void
-MultilayerCenn<T>::BandPublish()
-{
-  WarnDeprecatedBandName("BandPublish", "Publish");
-  Publish();
 }
 
 template <typename T>

@@ -90,24 +90,6 @@ class MultilayerCenn : public Engine
 
     ///@}
 
-    /**
-     * @name Deprecated band-phase spellings
-     * Pre-Engine names, kept for one release; each forwards to the
-     * Engine-vocabulary method and warns once per process.
-     */
-    ///@{
-
-    /** @deprecated Use RefreshOutputs(row_begin, row_end). */
-    void BandRefreshOutputs(std::size_t row_begin, std::size_t row_end);
-
-    /** @deprecated Use StepBands(row_begin, row_end). */
-    void BandComputeEuler(std::size_t row_begin, std::size_t row_end);
-
-    /** @deprecated Use Publish(). */
-    void BandPublish();
-
-    ///@}
-
     /** Simulated time = steps * dt. */
     double Time() const override
     {

@@ -15,9 +15,11 @@ Fixed32::FromDouble(double v)
   }
   const double scaled = v * static_cast<double>(kOne);
   if (scaled >= static_cast<double>(INT32_MAX)) {
+    CountSaturation();
     return Max();
   }
   if (scaled <= static_cast<double>(INT32_MIN)) {
+    CountSaturation();
     return Min();
   }
   return FromRaw(static_cast<std::int32_t>(std::llround(scaled)));

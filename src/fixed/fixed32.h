@@ -17,6 +17,7 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 namespace cenn {
 
@@ -45,14 +46,35 @@ class Fixed32
       return f;
     }
 
+    /**
+     * Installs `counter` as the calling thread's saturation-event
+     * sink and returns the previous sink (nullptr = counting off,
+     * the default). While installed, every saturating clamp — add,
+     * sub, mul, div, negation and the integer/double conversions —
+     * increments the pointee. The sink is thread-local: install one
+     * per worker thread (health/health_guard.h's ScopedSatCounter
+     * does this and drains into a HealthGuard). With no sink
+     * installed the only cost is a thread-local load on the rare
+     * clamping path; non-saturating arithmetic is untouched.
+     */
+    static std::uint64_t*
+    ExchangeSaturationCounter(std::uint64_t* counter)
+    {
+      std::uint64_t* previous = t_sat_events;
+      t_sat_events = counter;
+      return previous;
+    }
+
     /** Clamps a 64-bit intermediate into the 32-bit raw range. */
     static constexpr std::int32_t
     SaturateRaw(std::int64_t v)
     {
       if (v > INT32_MAX) {
+        CountSaturation();
         return INT32_MAX;
       }
       if (v < INT32_MIN) {
+        CountSaturation();
         return INT32_MIN;
       }
       return static_cast<std::int32_t>(v);
@@ -154,6 +176,21 @@ class Fixed32
     std::string ToString() const;
 
   private:
+    /**
+     * Reports one clamp to the thread's sink, if any. Constexpr so
+     * the saturating ops stay usable in constant expressions (where
+     * the runtime-only sink is skipped).
+     */
+    static constexpr void
+    CountSaturation()
+    {
+      if (!std::is_constant_evaluated() && t_sat_events != nullptr) {
+        ++*t_sat_events;
+      }
+    }
+
+    static inline thread_local std::uint64_t* t_sat_events = nullptr;
+
     std::int32_t raw_ = 0;
 };
 

@@ -1,0 +1,214 @@
+#include "health/fault_injector.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/network_spec.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cenn {
+
+namespace {
+
+/** Parses a base-10 integer field; fatal on anything non-numeric. */
+std::uint64_t
+ParseNumber(const std::string& text, const std::string& clause)
+{
+  if (text.empty()) {
+    CENN_FATAL("fault spec: empty number in clause '", clause, "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      CENN_FATAL("fault spec: bad number '", text, "' in clause '", clause,
+                 "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+FaultSpec
+ParseClause(const std::string& clause)
+{
+  FaultSpec spec;
+  std::string body = clause;
+  const std::size_t colon = body.find(':');
+  if (colon != std::string::npos) {
+    spec.job = body.substr(0, colon);
+    body = body.substr(colon + 1);
+    if (spec.job.empty()) {
+      CENN_FATAL("fault spec: empty job filter in clause '", clause, "'");
+    }
+  }
+  const std::size_t at = body.find('@');
+  if (at == std::string::npos) {
+    CENN_FATAL("fault spec: clause '", clause, "' has no '@step'");
+  }
+  const std::string kind = body.substr(0, at);
+  if (kind == "flip") {
+    spec.kind = FaultKind::kFlip;
+  } else if (kind == "crash") {
+    spec.kind = FaultKind::kCrash;
+  } else {
+    CENN_FATAL("fault spec: unknown kind '", kind, "' in clause '", clause,
+               "' (flip|crash)");
+  }
+  std::string step = body.substr(at + 1);
+  const std::size_t x = step.find('x');
+  if (x != std::string::npos) {
+    spec.count =
+        static_cast<int>(ParseNumber(step.substr(x + 1), clause));
+    if (spec.count < 1) {
+      CENN_FATAL("fault spec: count must be >= 1 in clause '", clause, "'");
+    }
+    step = step.substr(0, x);
+  }
+  spec.step = ParseNumber(step, clause);
+  return spec;
+}
+
+/**
+ * Flips one state cell of `engine`: picks a layer and start cell from
+ * the per-firing stream, walks forward to the first cell with
+ * |v| >= 1e-12 (a zero cell would corrupt undetectably) and sets bit
+ * 62 of its f64 pattern — the value explodes past any divergence
+ * threshold and saturates on a Q16.16 restore, but can never become
+ * NaN, so the corrupt state stays restorable into fixed engines.
+ */
+void
+FlipStateBit(Engine& engine, Rng rng, const std::string& job)
+{
+  const int layers = engine.Spec().NumLayers();
+  const int layer = static_cast<int>(
+      rng.NextBelow(static_cast<std::uint64_t>(layers)));
+  std::vector<double> state = engine.Snapshot(layer);
+  CENN_ASSERT(!state.empty(), "FlipStateBit: empty layer state");
+  const std::size_t start = static_cast<std::size_t>(
+      rng.NextBelow(static_cast<std::uint64_t>(state.size())));
+  std::size_t cell = start;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const std::size_t candidate = (start + i) % state.size();
+    if (std::fabs(state[candidate]) >= 1e-12) {
+      cell = candidate;
+      break;
+    }
+  }
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(double));
+  std::memcpy(&bits, &state[cell], sizeof(bits));
+  bits |= std::uint64_t{1} << 62;
+  std::memcpy(&state[cell], &bits, sizeof(bits));
+  CENN_WARN("fault-inject: job '", job, "' flip at step ", engine.Steps(),
+            " (layer ", layer, ", cell ", cell, ")");
+  engine.RestoreState(layer, state);
+}
+
+}  // namespace
+
+std::vector<FaultSpec>
+ParseFaultSpec(const std::string& text)
+{
+  std::vector<FaultSpec> specs;
+  std::istringstream in(text);
+  std::string clause;
+  while (std::getline(in, clause, ',')) {
+    if (clause.empty()) {
+      continue;
+    }
+    specs.push_back(ParseClause(clause));
+  }
+  return specs;
+}
+
+std::string
+FaultSpecToString(const std::vector<FaultSpec>& specs)
+{
+  std::ostringstream out;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    const FaultSpec& s = specs[i];
+    if (!s.job.empty()) {
+      out << s.job << ':';
+    }
+    out << (s.kind == FaultKind::kFlip ? "flip" : "crash") << '@' << s.step;
+    if (s.count > 1) {
+      out << 'x' << s.count;
+    }
+  }
+  return out.str();
+}
+
+void
+FaultInjector::Plan::FireDue(Engine& engine)
+{
+  const std::uint64_t steps = engine.Steps();
+  for (Armed& fault : armed_) {
+    if (fault.remaining <= 0 || steps < fault.step) {
+      continue;
+    }
+    --fault.remaining;
+    ++fired_;
+    if (fault.kind == FaultKind::kFlip) {
+      // Distinct firings use distinct streams, so a x2 flip clause
+      // corrupts two different cells.
+      FlipStateBit(engine, Rng(rng_seed_).Split(fired_), job_);
+    } else {
+      CENN_WARN("fault-inject: job '", job_, "' crash at step ", steps);
+      throw FaultCrash{job_, steps};
+    }
+  }
+}
+
+bool
+FaultInjector::Plan::Pending() const
+{
+  for (const Armed& fault : armed_) {
+    if (fault.remaining > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs,
+                             std::uint64_t seed)
+    : specs_(std::move(specs)), seed_(seed)
+{
+}
+
+FaultInjector::Plan*
+FaultInjector::PlanFor(const std::string& name, std::size_t index)
+{
+  const auto found = plans_.find(index);
+  if (found != plans_.end()) {
+    return &found->second;
+  }
+  Plan plan;
+  plan.job_ = name;
+  plan.rng_seed_ = Rng(seed_).Split(index ^ 0x666f6c7421ULL).NextU64();
+  for (const FaultSpec& spec : specs_) {
+    if (!spec.job.empty() && spec.job != name) {
+      continue;
+    }
+    plan.armed_.push_back({spec.kind, spec.step, spec.count});
+  }
+  return &plans_.emplace(index, std::move(plan)).first->second;
+}
+
+std::uint64_t
+FaultInjector::TotalFired() const
+{
+  std::uint64_t total = 0;
+  for (const auto& [index, plan] : plans_) {
+    total += plan.Fired();
+  }
+  return total;
+}
+
+}  // namespace cenn

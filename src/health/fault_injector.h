@@ -1,0 +1,154 @@
+#ifndef CENN_HEALTH_FAULT_INJECTOR_H_
+#define CENN_HEALTH_FAULT_INJECTOR_H_
+
+/**
+ * @file
+ * Deterministic fault injection for exercising the retry/resume path.
+ *
+ * A fault spec is a comma-separated list of clauses:
+ *
+ *   spec    := clause (',' clause)*
+ *   clause  := [job ':'] kind '@' step ['x' count]
+ *   kind    := 'flip' | 'crash'
+ *
+ * Examples:
+ *   flip@150              one state-bit flip in every job at step 150
+ *   crash@40x2            two simulated crashes per job, the first at
+ *                         step 40 (repeats re-arm at the next slice)
+ *   rd:crash@40,h:flip@80 per-job targeting by manifest job name
+ *
+ * Semantics:
+ *  - `flip` corrupts one state cell: a deterministically chosen
+ *    nonzero cell (seeded Rng::Split stream per job) gets bit 62 of
+ *    its f64 bit pattern set, which blows the value up past any sane
+ *    divergence threshold (and saturates on Q16.16 restore) — the
+ *    attached HealthGuard is what should catch it.
+ *  - `crash` throws FaultCrash out of the stepping loop, simulating
+ *    the job's process dying mid-run; the batch runner catches it and
+ *    retries from the last good checkpoint.
+ *
+ * Each armed fault fires exactly once per injector lifetime (faults
+ * are transient): a retried attempt re-crosses the fault step without
+ * re-faulting, so a batch with --max-retries can always make
+ * progress. Firing is checked at slice boundaries — a fault at step S
+ * fires at the first boundary with Steps() >= S.
+ *
+ * Everything is a pure function of (spec, seed, job name, manifest
+ * index): two runs with the same inputs fault identically.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+class Engine;
+
+/** Fault flavors of the spec grammar. */
+enum class FaultKind : std::uint8_t {
+  kFlip = 0,   ///< flip a state bit (corruption the guard must catch)
+  kCrash = 1,  ///< throw FaultCrash (simulated job death)
+};
+
+/** One parsed clause of a fault spec. */
+struct FaultSpec {
+  /** Job name filter; empty = applies to every job. */
+  std::string job;
+
+  FaultKind kind = FaultKind::kFlip;
+
+  /** Engine step at (or after) which the fault fires. */
+  std::uint64_t step = 0;
+
+  /** Number of firings (count > 1 re-arms at the next boundary). */
+  int count = 1;
+};
+
+/** Thrown by a `crash` fault; the batch runner treats it as job death. */
+struct FaultCrash {
+  std::string job;
+  std::uint64_t step = 0;
+};
+
+/**
+ * Parses a fault spec (see the file comment for the grammar). Fatal
+ * on malformed clauses — a mistyped spec must never silently run
+ * fault-free. Empty text parses to an empty list.
+ */
+std::vector<FaultSpec> ParseFaultSpec(const std::string& text);
+
+/** Renders a spec back to its grammar form (docs, logs, tests). */
+std::string FaultSpecToString(const std::vector<FaultSpec>& specs);
+
+/**
+ * The per-batch fault schedule: owns one arming state per (job,
+ * clause) pair so each fault fires once, across any number of retry
+ * attempts. Plans are handed out per job and are not synchronized —
+ * drive each job's plan from one thread at a time (the batch runner's
+ * per-job worker already guarantees this).
+ */
+class FaultInjector
+{
+  public:
+    /** One job's armed faults; obtained via FaultInjector::PlanFor. */
+    class Plan
+    {
+      public:
+        /**
+         * Fires every still-armed fault whose step has been reached:
+         * `flip` mutates the engine state in place, `crash` throws
+         * FaultCrash. Call at slice boundaries.
+         */
+        void FireDue(Engine& engine);
+
+        /** Faults fired so far (all attempts). */
+        std::uint64_t Fired() const { return fired_; }
+
+        /** True when any armed fault remains. */
+        bool Pending() const;
+
+      private:
+        friend class FaultInjector;
+
+        struct Armed {
+          FaultKind kind;
+          std::uint64_t step;
+          int remaining;
+        };
+
+        std::string job_;
+        std::vector<Armed> armed_;
+        std::uint64_t rng_seed_ = 0;
+        std::uint64_t fired_ = 0;
+    };
+
+    /**
+     * Builds the schedule. `seed` feeds the per-job flip streams
+     * (Rng(seed).Split(job index)); the batch runner passes its base
+     * seed so flips are as reproducible as initial conditions.
+     */
+    FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed);
+
+    /**
+     * The plan for manifest job `name` at position `index`. Stable
+     * pointer for the injector's lifetime; one plan per index (repeat
+     * calls return the same plan, preserving fired state). Call from
+     * one thread — the batch runner builds every plan before handing
+     * jobs to the pool.
+     */
+    Plan* PlanFor(const std::string& name, std::size_t index);
+
+    /** Total faults fired across all plans. */
+    std::uint64_t TotalFired() const;
+
+  private:
+    std::vector<FaultSpec> specs_;
+    std::uint64_t seed_;
+    std::map<std::size_t, Plan> plans_;  // manifest position -> plan
+};
+
+}  // namespace cenn
+
+#endif  // CENN_HEALTH_FAULT_INJECTOR_H_

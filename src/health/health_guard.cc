@@ -1,0 +1,192 @@
+#include "health/health_guard.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/network_spec.h"
+#include "fixed/fixed32.h"
+#include "obs/stat_registry.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+HealthGuard::HealthGuard(HealthGuardConfig config) : config_(config)
+{
+  if (config_.check_every == 0) {
+    CENN_FATAL("HealthGuard: check_every must be >= 1");
+  }
+  if (config_.max_abs < 0.0 || config_.max_rms < 0.0) {
+    CENN_FATAL("HealthGuard: thresholds must be non-negative");
+  }
+}
+
+bool
+HealthGuard::Scan(const Engine& engine)
+{
+  if (Tripped()) {
+    return false;
+  }
+
+  std::uint64_t nan_cells = 0;
+  std::uint64_t inf_cells = 0;
+  double max_abs = 0.0;
+  double sum_sq = 0.0;
+  std::size_t cells = 0;
+  const int layers = engine.Spec().NumLayers();
+  for (int layer = 0; layer < layers; ++layer) {
+    const std::vector<double> state = engine.Snapshot(layer);
+    cells += state.size();
+    for (const double v : state) {
+      if (std::isnan(v)) {
+        ++nan_cells;
+        continue;
+      }
+      if (std::isinf(v)) {
+        ++inf_cells;
+        continue;
+      }
+      const double a = std::fabs(v);
+      if (a > max_abs) {
+        max_abs = a;
+      }
+      sum_sq += v * v;
+    }
+  }
+
+  ++checks_run_;
+  nan_cells_ = nan_cells;
+  inf_cells_ = inf_cells;
+  max_abs_ = max_abs;
+  rms_ = cells > 0 ? std::sqrt(sum_sq / static_cast<double>(cells)) : 0.0;
+  last_scan_step_ = engine.Steps();
+  scanned_once_ = true;
+
+  const char* reason = nullptr;
+  if (nan_cells_ > 0) {
+    reason = "nan";
+  } else if (inf_cells_ > 0) {
+    reason = "inf";
+  } else if (config_.max_abs > 0.0 && max_abs_ > config_.max_abs) {
+    reason = "max_abs";
+  } else if (config_.max_rms > 0.0 && rms_ > config_.max_rms) {
+    reason = "max_rms";
+  } else if (config_.max_sat_events > 0 &&
+             SatEvents() > config_.max_sat_events) {
+    reason = "sat_events";
+  }
+  if (reason != nullptr) {
+    reason_ = reason;
+    diverged_at_step_ = engine.Steps();
+    tripped_.store(true, std::memory_order_relaxed);
+    CENN_WARN("HealthGuard: tripped at step ", diverged_at_step_, " (",
+              reason_, "): nan=", nan_cells_, " inf=", inf_cells_,
+              " max_abs=", max_abs_, " rms=", rms_,
+              " sat_events=", SatEvents());
+    return false;
+  }
+  return true;
+}
+
+bool
+HealthGuard::MaybeScan(const Engine& engine)
+{
+  if (Tripped()) {
+    return false;
+  }
+  const std::uint64_t steps = engine.Steps();
+  if (scanned_once_ && steps < last_scan_step_ + config_.check_every) {
+    return true;
+  }
+  return Scan(engine);
+}
+
+HealthReport
+HealthGuard::Report() const
+{
+  HealthReport report;
+  report.checks_run = checks_run_;
+  report.nan_cells = nan_cells_;
+  report.inf_cells = inf_cells_;
+  report.sat_events = SatEvents();
+  report.max_abs = max_abs_;
+  report.rms = rms_;
+  report.diverged = Tripped();
+  report.diverged_at_step = diverged_at_step_;
+  report.reason = reason_;
+  return report;
+}
+
+void
+HealthGuard::Reset()
+{
+  checks_run_ = 0;
+  nan_cells_ = 0;
+  inf_cells_ = 0;
+  max_abs_ = 0.0;
+  rms_ = 0.0;
+  diverged_at_step_ = 0;
+  reason_.clear();
+  last_scan_step_ = 0;
+  scanned_once_ = false;
+  sat_events_.store(0, std::memory_order_relaxed);
+  tripped_.store(false, std::memory_order_relaxed);
+}
+
+void
+HealthGuard::BindStats(StatRegistry* registry, const std::string& prefix)
+{
+  CENN_ASSERT(registry != nullptr, "HealthGuard::BindStats: null registry");
+  StatScope scope = registry->WithPrefix(prefix + "health");
+  scope.BindDerived("checks_run", "full-state health scans performed",
+                    [this] { return static_cast<double>(checks_run_); });
+  scope.BindDerived("nan_cells", "NaN cells at the latest scan",
+                    [this] { return static_cast<double>(nan_cells_); });
+  scope.BindDerived("inf_cells", "Inf cells at the latest scan",
+                    [this] { return static_cast<double>(inf_cells_); });
+  scope.BindDerived("sat_events", "Fixed32 saturation events observed",
+                    [this] { return static_cast<double>(SatEvents()); });
+  scope.BindDerived("max_abs", "largest |state| at the latest scan",
+                    [this] { return max_abs_; });
+  scope.BindDerived("rms", "RMS state norm at the latest scan",
+                    [this] { return rms_; });
+  scope.BindDerived("diverged", "1 once a trip condition fired",
+                    [this] { return Tripped() ? 1.0 : 0.0; });
+  scope.BindDerived("diverged_at_step", "engine step of the tripping scan",
+                    [this] {
+                      return static_cast<double>(diverged_at_step_);
+                    });
+}
+
+std::string
+HealthGuard::Summary() const
+{
+  const HealthReport r = Report();
+  std::ostringstream out;
+  out << (r.diverged ? "DIVERGED" : "healthy") << ": " << r.checks_run
+      << " scans, nan=" << r.nan_cells << ", inf=" << r.inf_cells
+      << ", sat_events=" << r.sat_events << ", max_abs=" << r.max_abs
+      << ", rms=" << r.rms;
+  if (r.diverged) {
+    out << " (" << r.reason << " at step " << r.diverged_at_step << ")";
+  }
+  return out.str();
+}
+
+ScopedSatCounter::ScopedSatCounter(HealthGuard* guard) : guard_(guard)
+{
+  if (guard_ != nullptr) {
+    previous_ = Fixed32::ExchangeSaturationCounter(&events_);
+  }
+}
+
+ScopedSatCounter::~ScopedSatCounter()
+{
+  if (guard_ != nullptr) {
+    Fixed32::ExchangeSaturationCounter(previous_);
+    guard_->AddSatEvents(events_);
+  }
+}
+
+}  // namespace cenn

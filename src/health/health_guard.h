@@ -1,0 +1,192 @@
+#ifndef CENN_HEALTH_HEALTH_GUARD_H_
+#define CENN_HEALTH_HEALTH_GUARD_H_
+
+/**
+ * @file
+ * HealthGuard — numerical-health guard rails for long-running solves.
+ *
+ * The accelerator's failure modes are silent: a float/double engine
+ * can drift into NaN/Inf, the Q16.16 datapath clips at +-32768 without
+ * any trap, and an unstable dt diverges smoothly until the state is
+ * garbage. A HealthGuard attaches to any cenn::Engine
+ * (Engine::AttachHealthGuard) and detects all three:
+ *
+ *  - NaN / Inf scans over every layer's state (float/double engines;
+ *    Q16.16 cannot represent either, so fixed engines always scan
+ *    clean);
+ *  - Fixed32 saturation counting via the thread-local event sink in
+ *    fixed/fixed32.h (install with ScopedSatCounter; the hot path
+ *    pays nothing until a clamp actually happens);
+ *  - divergence thresholds on max |state| and on the RMS state norm.
+ *
+ * The guard never steps the engine itself: drivers (SolverSession,
+ * cenn_run) call MaybeScan at slice boundaries, and a tripped guard
+ * stays tripped until Reset() — the session pauses in a kFaulted
+ * state and the batch runner retries from the last good checkpoint
+ * (docs/robustness.md).
+ *
+ * Threading: Scan/MaybeScan/Reset and Report() belong to the driving
+ * thread; saturation events may be drained concurrently from band
+ * workers (the tally is atomic).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cenn {
+
+class Engine;
+class StatRegistry;
+
+/** Thresholds and cadence of a HealthGuard. */
+struct HealthGuardConfig {
+  /**
+   * Scan cadence in engine steps for MaybeScan (1 = every call).
+   * Explicit Scan() calls ignore the cadence.
+   */
+  std::uint64_t check_every = 16;
+
+  /** Trip when any |state| exceeds this; 0 disables the check. */
+  double max_abs = 1e4;
+
+  /** Trip when the RMS state norm exceeds this; 0 disables. */
+  double max_rms = 0.0;
+
+  /** Trip when total saturation events exceed this; 0 disables. */
+  std::uint64_t max_sat_events = 0;
+};
+
+/** What a HealthGuard has observed so far (see HealthGuard::Report). */
+struct HealthReport {
+  /** Full-state scans performed. */
+  std::uint64_t checks_run = 0;
+
+  /** NaN cells seen by the latest scan. */
+  std::uint64_t nan_cells = 0;
+
+  /** +-Inf cells seen by the latest scan. */
+  std::uint64_t inf_cells = 0;
+
+  /** Fixed32 saturation events drained into this guard. */
+  std::uint64_t sat_events = 0;
+
+  /** Largest |state| over all layers at the latest scan. */
+  double max_abs = 0.0;
+
+  /** RMS state norm over all layers at the latest scan. */
+  double rms = 0.0;
+
+  /** True once any trip condition fired (sticky until Reset). */
+  bool diverged = false;
+
+  /** Engine step count at the tripping scan (0 when healthy). */
+  std::uint64_t diverged_at_step = 0;
+
+  /** Human-readable trip cause ("nan", "max_abs", ...); empty = healthy. */
+  std::string reason;
+};
+
+/** Numerical-health monitor for one engine (see file comment). */
+class HealthGuard
+{
+  public:
+    explicit HealthGuard(HealthGuardConfig config = {});
+
+    /** The thresholds this guard enforces. */
+    const HealthGuardConfig& Config() const { return config_; }
+
+    /**
+     * Scans the engine's full state now (every layer, via Snapshot)
+     * and applies the trip conditions. Returns true when healthy.
+     * Once tripped, further calls return false without rescanning.
+     */
+    bool Scan(const Engine& engine);
+
+    /**
+     * Scan honoring the check_every cadence: scans only when the
+     * engine's step counter advanced by at least check_every since
+     * the last scan. Returns the current health (true = healthy).
+     */
+    bool MaybeScan(const Engine& engine);
+
+    /** True once a trip condition fired (sticky until Reset). */
+    bool Tripped() const { return tripped_.load(std::memory_order_relaxed); }
+
+    /** Snapshot of everything observed so far. */
+    HealthReport Report() const;
+
+    /** Saturation events drained so far. */
+    std::uint64_t SatEvents() const
+    {
+        return sat_events_.load(std::memory_order_relaxed);
+    }
+
+    /** Adds drained Fixed32 saturation events (any thread). */
+    void AddSatEvents(std::uint64_t n)
+    {
+        if (n > 0) {
+          sat_events_.fetch_add(n, std::memory_order_relaxed);
+        }
+    }
+
+    /**
+     * Clears the tripped state and all tallies — call after restoring
+     * a known-good checkpoint, before resuming.
+     */
+    void Reset();
+
+    /**
+     * Binds the guard's report under `prefix` + "health." (e.g.
+     * "health.nan_cells", "health.sat_events",
+     * "health.diverged_at_step"). The guard must outlive the
+     * registry's dumps.
+     */
+    void BindStats(StatRegistry* registry, const std::string& prefix);
+
+    /** One-line report rendering for logs and tool output. */
+    std::string Summary() const;
+
+  private:
+    HealthGuardConfig config_;
+
+    std::uint64_t checks_run_ = 0;
+    std::uint64_t nan_cells_ = 0;
+    std::uint64_t inf_cells_ = 0;
+    double max_abs_ = 0.0;
+    double rms_ = 0.0;
+    std::uint64_t diverged_at_step_ = 0;
+    std::string reason_;
+    std::uint64_t last_scan_step_ = 0;
+    bool scanned_once_ = false;
+
+    std::atomic<bool> tripped_{false};
+    std::atomic<std::uint64_t> sat_events_{0};
+};
+
+/**
+ * RAII installer of a Fixed32 saturation sink for the current thread:
+ * construction routes this thread's clamp events into a local tally,
+ * destruction drains the tally into the guard and restores the
+ * previous sink. A null guard makes the scope a no-op, so callers can
+ * install unconditionally. Create one per worker thread (the sink is
+ * thread-local).
+ */
+class ScopedSatCounter
+{
+  public:
+    explicit ScopedSatCounter(HealthGuard* guard);
+    ~ScopedSatCounter();
+
+    ScopedSatCounter(const ScopedSatCounter&) = delete;
+    ScopedSatCounter& operator=(const ScopedSatCounter&) = delete;
+
+  private:
+    HealthGuard* guard_;
+    std::uint64_t events_ = 0;
+    std::uint64_t* previous_ = nullptr;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_HEALTH_HEALTH_GUARD_H_

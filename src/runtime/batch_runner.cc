@@ -6,6 +6,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "models/benchmark_model.h"
 #include "obs/stat_registry.h"
@@ -21,7 +22,7 @@ namespace {
 
 /** Writes the completion marker for a finished job. */
 void
-WriteDoneMarker(const std::string& path, const BatchJobResult& result)
+WriteDoneMarker(const std::string& path, const JobResult& result)
 {
   std::ofstream out(path);
   if (!out) {
@@ -31,6 +32,8 @@ WriteDoneMarker(const std::string& path, const BatchJobResult& result)
   out << "name=" << result.name << "\n"
       << "model=" << result.model << "\n"
       << "engine=" << result.engine << "\n"
+      << "status=" << JobStatusName(result.status) << "\n"
+      << "attempts=" << result.attempts << "\n"
       << "steps=" << result.steps_done << "\n"
       << "checksum=" << result.checksum << "\n";
 }
@@ -40,7 +43,7 @@ WriteDoneMarker(const std::string& path, const BatchJobResult& result)
  * malformed marker is treated as absent so the job just re-runs).
  */
 bool
-TryReadDoneMarker(const std::string& path, BatchJobResult* result)
+TryReadDoneMarker(const std::string& path, JobResult* result)
 {
   std::ifstream in(path);
   if (!in) {
@@ -67,7 +70,42 @@ TryReadDoneMarker(const std::string& path, BatchJobResult* result)
   return have_steps && have_checksum;
 }
 
+/** Why the latest attempt did not complete. */
+enum class AttemptFailure : std::uint8_t {
+  kNone = 0,
+  kCrash = 1,     ///< FaultCrash escaped the stepping loop
+  kGuardTrip = 2, ///< session ended kFaulted
+};
+
 }  // namespace
+
+const char*
+JobStatusName(JobStatus status)
+{
+  switch (status) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kRetried:
+      return "retried";
+    case JobStatus::kRecovered:
+      return "recovered";
+    case JobStatus::kInterrupted:
+      return "interrupted";
+    case JobStatus::kCached:
+      return "cached";
+    case JobStatus::kDiverged:
+      return "diverged";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool
+JobStatusIsFailure(JobStatus status)
+{
+  return status == JobStatus::kDiverged || status == JobStatus::kFailed;
+}
 
 BatchRunner::BatchRunner(std::vector<BatchJobSpec> jobs, BatchOptions options)
     : jobs_(std::move(jobs)), options_(std::move(options))
@@ -81,14 +119,22 @@ BatchRunner::BatchRunner(std::vector<BatchJobSpec> jobs, BatchOptions options)
   if (options_.num_threads < 1) {
     CENN_FATAL("BatchRunner: num_threads must be >= 1");
   }
+  if (options_.max_retries < 0 || options_.retry_backoff_ms < 0) {
+    CENN_FATAL("BatchRunner: max_retries / retry_backoff_ms must be >= 0");
+  }
+  if (!options_.fault_inject.empty()) {
+    // Parse up front so a mistyped spec dies before any job runs.
+    injector_ = std::make_unique<FaultInjector>(
+        ParseFaultSpec(options_.fault_inject), options_.base_seed);
+  }
 }
 
-BatchJobResult
+JobResult
 BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
-                       StatRegistry* /*registry*/)
+                       FaultInjector::Plan* faults)
 {
   const auto start = std::chrono::steady_clock::now();
-  BatchJobResult result;
+  JobResult result;
   result.name = job.name;
   result.model = job.model;
   result.engine = job.engine;
@@ -117,6 +163,16 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
   sc.checkpoint_every = job.checkpoint_every > 0 ? job.checkpoint_every
                                                  : options_.checkpoint_every;
   sc.checkpoint_path = ckpt_path;
+  // Align slices to the checkpoint interval so auto-checkpoints (and
+  // the fault/guard boundaries that ride on slices) land on time.
+  if (sc.checkpoint_every > 0 && sc.checkpoint_every < sc.slice_steps) {
+    sc.slice_steps = sc.checkpoint_every;
+  }
+  if (faults != nullptr) {
+    sc.post_slice_hook = [faults](Engine& engine) {
+      faults->FireDue(engine);
+    };
+  }
 
   EngineRequest req;
   req.engine = job.engine;
@@ -124,30 +180,94 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
     req.precision = job.precision;
   }
   req.memory = job.memory;
-  auto session =
-      std::make_unique<SolverSession>(BuildEngine(program, req), sc);
 
-  if (options_.resume) {
-    session->TryRestoreFromFile(ckpt_path);
-  }
+  HealthGuard guard(options_.guard);
+  const int max_attempts = 1 + options_.max_retries;
+  bool restored_any = false;
+  AttemptFailure failure = AttemptFailure::kNone;
+  std::uint64_t executed_prior_attempts = 0;
+  std::unique_ptr<SolverSession> session;
 
-  const std::uint64_t done_already = session->StepsDone();
-  std::uint64_t budget = target > done_already ? target - done_already : 0;
-  if (options_.max_steps_per_job > 0 &&
-      budget > options_.max_steps_per_job) {
-    budget = options_.max_steps_per_job;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result.attempts = attempt;
+    if (attempt > 1 && options_.retry_backoff_ms > 0) {
+      const auto delay = std::chrono::milliseconds(
+          static_cast<std::int64_t>(options_.retry_backoff_ms)
+          << (attempt - 2));
+      std::this_thread::sleep_for(delay);
+    }
+
+    // Each attempt rebuilds the session from scratch — after a crash
+    // the previous one is presumed dead, after a guard trip its state
+    // is known-corrupt.
+    guard.Reset();
+    session = std::make_unique<SolverSession>(BuildEngine(program, req), sc);
+    if (options_.guard_enabled) {
+      session->Backend().AttachHealthGuard(&guard);
+    }
+
+    // Cold attempts restore only on --resume; retries always prefer
+    // the last good checkpoint (absent file = start over, which still
+    // converges because faults are transient).
+    if ((attempt > 1 || options_.resume) &&
+        session->TryRestoreFromFile(ckpt_path)) {
+      if (attempt > 1) {
+        restored_any = true;
+      }
+    }
+
+    const std::uint64_t done_already = session->StepsDone();
+    std::uint64_t budget = target > done_already ? target - done_already : 0;
+    if (options_.max_steps_per_job > 0 &&
+        budget > options_.max_steps_per_job) {
+      budget = options_.max_steps_per_job;
+    }
+
+    try {
+      session->StepN(budget);
+    } catch (const FaultCrash& crash) {
+      failure = AttemptFailure::kCrash;
+      if (attempt < max_attempts) {  // else counted after the loop
+        executed_prior_attempts += session->StepsExecuted();
+      }
+      CENN_WARN("batch job '", job.name, "': simulated crash at step ",
+                crash.step, " (attempt ", attempt, "/", max_attempts, ")");
+      continue;
+    }
+
+    if (session->State() == SessionState::kFaulted) {
+      failure = AttemptFailure::kGuardTrip;
+      if (attempt < max_attempts) {  // else counted after the loop
+        executed_prior_attempts += session->StepsExecuted();
+      }
+      CENN_WARN("batch job '", job.name, "': health guard tripped — ",
+                guard.Summary(), " (attempt ", attempt, "/", max_attempts,
+                ")");
+      continue;
+    }
+
+    failure = AttemptFailure::kNone;
+    break;
   }
-  session->StepN(budget);
 
   result.steps_done = session->StepsDone();
-  result.steps_executed = session->StepsExecuted();
+  result.steps_executed = executed_prior_attempts + session->StepsExecuted();
   result.checksum = session->StateChecksum();
-  if (session->ReachedTarget()) {
-    result.status = "done";
-    WriteDoneMarker(base + ".done", result);
-  } else {
-    result.status = "interrupted";
+  result.health = guard.Report();
+
+  if (failure == AttemptFailure::kCrash) {
+    result.status = JobStatus::kFailed;
+  } else if (failure == AttemptFailure::kGuardTrip) {
+    result.status = JobStatus::kDiverged;
+  } else if (!session->ReachedTarget()) {
+    result.status = JobStatus::kInterrupted;
     session->SaveCheckpoint();
+  } else {
+    result.status = result.attempts == 1
+                        ? JobStatus::kOk
+                        : (restored_any ? JobStatus::kRecovered
+                                        : JobStatus::kRetried);
+    WriteDoneMarker(base + ".done", result);
   }
 
   // Per-job stat artifact: the session subtree dumped from a local
@@ -161,13 +281,14 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
     }
   }
 
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
           .count();
   return result;
 }
 
-std::vector<BatchJobResult>
+std::vector<JobResult>
 BatchRunner::RunAll(StatRegistry* registry)
 {
   std::error_code ec;
@@ -177,7 +298,7 @@ BatchRunner::RunAll(StatRegistry* registry)
                "': ", ec.message());
   }
 
-  std::vector<BatchJobResult> results(jobs_.size());
+  std::vector<JobResult> results(jobs_.size());
   std::uint64_t cached = 0;
 
   ThreadPool::Options pool_options;
@@ -188,23 +309,27 @@ BatchRunner::RunAll(StatRegistry* registry)
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     const BatchJobSpec& job = jobs_[i];
     if (options_.resume) {
-      BatchJobResult done;
+      JobResult done;
       if (TryReadDoneMarker(options_.out_dir + "/" + job.name + ".done",
                             &done)) {
         done.name = job.name;
         done.model = job.model;
         done.engine = job.engine;
-        done.status = "cached";
+        done.status = JobStatus::kCached;
         results[i] = done;
         ++cached;
         continue;
       }
     }
+    // Plans are built here, single-threaded, before pool submission
+    // (FaultInjector::PlanFor is not synchronized).
+    FaultInjector::Plan* faults =
+        injector_ != nullptr ? injector_->PlanFor(job.name, i) : nullptr;
     // Each job writes only its own preallocated slot; WaitIdle below
     // gives the happens-before edge for reading them.
     pool.Submit(
-        [this, i, &results, registry] {
-          results[i] = RunOneJob(jobs_[i], i, registry);
+        [this, i, faults, &results] {
+          results[i] = RunOneJob(jobs_[i], i, faults);
         },
         job.priority);
   }
@@ -226,11 +351,37 @@ BatchRunner::RunAll(StatRegistry* registry)
     StatScope batch_scope = registry->WithPrefix("runtime.batch");
     std::uint64_t done = 0;
     std::uint64_t interrupted = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;
     std::uint64_t steps_executed = 0;
-    for (const BatchJobResult& r : results) {
-      done += r.status == "done" ? 1 : 0;
-      interrupted += r.status == "interrupted" ? 1 : 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const JobResult& r = results[i];
+      switch (r.status) {
+        case JobStatus::kOk:
+          ++done;
+          break;
+        case JobStatus::kRetried:
+        case JobStatus::kRecovered:
+          ++done;
+          ++recovered;
+          break;
+        case JobStatus::kInterrupted:
+          ++interrupted;
+          break;
+        case JobStatus::kCached:
+          break;
+        case JobStatus::kDiverged:
+        case JobStatus::kFailed:
+          ++failed;
+          break;
+      }
+      retries += r.attempts > 1 ? static_cast<std::uint64_t>(r.attempts - 1)
+                                : 0;
       steps_executed += r.steps_executed;
+      registry->WithPrefix("runtime.job" + std::to_string(i))
+          .AddCounter("attempts", "sessions built for this job")
+          ->Set(static_cast<std::uint64_t>(r.attempts));
     }
     batch_scope.AddCounter("jobs_done", "jobs that reached their target")
         ->Set(done);
@@ -241,8 +392,21 @@ BatchRunner::RunAll(StatRegistry* registry)
         .AddCounter("jobs_cached", "jobs skipped via done markers on resume")
         ->Set(cached);
     batch_scope
+        .AddCounter("jobs_recovered",
+                    "jobs completed only after one or more retries")
+        ->Set(recovered);
+    batch_scope
+        .AddCounter("jobs_failed", "jobs that exhausted their retries")
+        ->Set(failed);
+    batch_scope.AddCounter("retries", "extra attempts across all jobs")
+        ->Set(retries);
+    batch_scope
         .AddCounter("steps_executed", "solver steps run this invocation")
         ->Set(steps_executed);
+    if (injector_ != nullptr) {
+      batch_scope.AddCounter("faults_injected", "faults fired by the injector")
+          ->Set(injector_->TotalFired());
+    }
   }
 
   pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
@@ -250,15 +414,17 @@ BatchRunner::RunAll(StatRegistry* registry)
 }
 
 std::string
-BatchRunner::ResultsCsv(const std::vector<BatchJobResult>& results)
+BatchRunner::ResultsCsv(const std::vector<JobResult>& results)
 {
   std::ostringstream out;
-  out << "name,model,engine,status,steps_done,steps_executed,checksum,"
-         "wall_seconds\n";
-  for (const BatchJobResult& r : results) {
-    out << r.name << ',' << r.model << ',' << r.engine << ',' << r.status
-        << ',' << r.steps_done << ',' << r.steps_executed << ','
-        << r.checksum << ',' << r.wall_seconds << '\n';
+  out << "name,model,engine,status,attempts,steps_done,steps_executed,"
+         "checksum,wall_ms,sat_events,nan_cells,diverged_at_step\n";
+  for (const JobResult& r : results) {
+    out << r.name << ',' << r.model << ',' << r.engine << ','
+        << JobStatusName(r.status) << ',' << r.attempts << ','
+        << r.steps_done << ',' << r.steps_executed << ',' << r.checksum
+        << ',' << r.wall_ms << ',' << r.health.sat_events << ','
+        << r.health.nan_cells << ',' << r.health.diverged_at_step << '\n';
   }
   return out.str();
 }

@@ -5,12 +5,13 @@
  * @file
  * BatchRunner — executes a manifest of solver scenarios across the
  * thread pool, one SolverSession per job, with durable per-job
- * artifacts so an interrupted batch resumes without recomputing
- * finished work.
+ * artifacts and fault-tolerant retry so an interrupted or faulted
+ * batch converges without recomputing finished work.
  *
  * Artifacts in the output directory, per job `<name>`:
  *   <name>.ckpt       latest checkpoint (periodic + on interruption)
- *   <name>.done       completion marker: steps + state checksum
+ *   <name>.done       completion marker: status, attempts, steps,
+ *                     state checksum
  *   <name>.stats.txt  session stat dump at job end
  *
  * Resume contract (docs/runtime.md): with `resume` set, a job with a
@@ -20,12 +21,23 @@
  * derived deterministically from (base_seed, manifest index), a
  * resumed batch converges to the same final states — byte-identical
  * checksums — as an uninterrupted run.
+ *
+ * Fault tolerance (docs/robustness.md): with `max_retries` set, a job
+ * that dies mid-run (a thrown FaultCrash) or whose attached
+ * HealthGuard trips is rebuilt and retried — restoring the last good
+ * auto-checkpoint when one exists — up to max_retries times, with
+ * exponential backoff between attempts. Corrupt state is never
+ * checkpointed (the session scans before it checkpoints), so a
+ * recovered job's final checksum matches a fault-free run.
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "health/fault_injector.h"
+#include "health/health_guard.h"
 #include "runtime/batch_manifest.h"
 
 namespace cenn {
@@ -58,28 +70,68 @@ struct BatchOptions {
 
   /** Pick up .done / .ckpt artifacts already in out_dir. */
   bool resume = false;
+
+  /** Extra attempts after a crash or guard trip (0 = fail fast). */
+  int max_retries = 0;
+
+  /**
+   * Base delay before a retry; attempt k waits
+   * retry_backoff_ms << (k - 1) (0 = retry immediately).
+   */
+  int retry_backoff_ms = 0;
+
+  /** Fault-injection spec (health/fault_injector.h); empty = none. */
+  std::string fault_inject;
+
+  /** Attach a HealthGuard (with `guard` thresholds) to every job. */
+  bool guard_enabled = false;
+
+  /** Guard thresholds when guard_enabled is set. */
+  HealthGuardConfig guard;
 };
 
+/** How one manifest job ended. */
+enum class JobStatus : std::uint8_t {
+  kOk = 0,          ///< reached target on the first attempt
+  kRetried = 1,     ///< reached target after a retry from scratch
+  kRecovered = 2,   ///< reached target after a checkpoint-restore retry
+  kInterrupted = 3, ///< stopped by the per-invocation step budget
+  kCached = 4,      ///< skipped via a done marker (resume)
+  kDiverged = 5,    ///< retries exhausted; last failure was a guard trip
+  kFailed = 6,      ///< retries exhausted; last failure was a crash
+};
+
+/** Returns "ok" / "retried" / ... / "failed". */
+const char* JobStatusName(JobStatus status);
+
+/** True for the statuses that should fail the batch (CLI exit 1). */
+bool JobStatusIsFailure(JobStatus status);
+
 /** Outcome of one manifest job. */
-struct BatchJobResult {
+struct JobResult {
   std::string name;
   std::string model;
   std::string engine;
 
-  /** "done", "interrupted" or "cached". */
-  std::string status;
+  JobStatus status = JobStatus::kOk;
+
+  /** Sessions built for this job (1 = no retries). */
+  int attempts = 1;
 
   /** Engine step counter at job end (includes restored steps). */
   std::uint64_t steps_done = 0;
 
-  /** Steps actually executed by this invocation. */
+  /** Steps actually executed by this invocation (all attempts). */
   std::uint64_t steps_executed = 0;
 
   /** SolverSession::StateChecksum at job end. */
   std::uint64_t checksum = 0;
 
-  /** Wall-clock seconds spent in this invocation. */
-  double wall_seconds = 0.0;
+  /** Wall-clock milliseconds spent in this invocation (all attempts). */
+  double wall_ms = 0.0;
+
+  /** Final attempt's guard report (zeros when no guard attached). */
+  HealthReport health;
 };
 
 /** Runs a parsed manifest (see file comment). */
@@ -91,21 +143,25 @@ class BatchRunner
     /**
      * Runs every job across the pool and returns results in manifest
      * order. When `registry` is non-null, pool stats bind under
-     * `runtime.pool.*` and each session under `runtime.session<N>.*`
-     * for the duration of the call.
+     * `runtime.pool.*`, batch aggregates under `runtime.batch.*` and
+     * per-job attempt counts under `runtime.job<index>.attempts`.
      */
-    std::vector<BatchJobResult> RunAll(StatRegistry* registry = nullptr);
+    std::vector<JobResult> RunAll(StatRegistry* registry = nullptr);
 
     /** Results as a CSV document (header + one row per job). */
-    static std::string ResultsCsv(const std::vector<BatchJobResult>& results);
+    static std::string ResultsCsv(const std::vector<JobResult>& results);
 
   private:
-    /** Executes one job synchronously (called on a pool worker). */
-    BatchJobResult RunOneJob(const BatchJobSpec& job, std::size_t index,
-                             StatRegistry* registry);
+    /**
+     * Executes one job synchronously on a pool worker, including its
+     * retry loop. `faults` is the job's fault plan (null = none).
+     */
+    JobResult RunOneJob(const BatchJobSpec& job, std::size_t index,
+                        FaultInjector::Plan* faults);
 
     std::vector<BatchJobSpec> jobs_;
     BatchOptions options_;
+    std::unique_ptr<FaultInjector> injector_;  // null when no spec
 };
 
 }  // namespace cenn

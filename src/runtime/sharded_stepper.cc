@@ -6,6 +6,7 @@
 
 #include "core/network_spec.h"
 #include "core/solver.h"
+#include "health/health_guard.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -32,6 +33,9 @@ RunBanded(Engine& engine, std::uint64_t steps,
   for (const auto& band : bands) {
     workers.emplace_back([&engine, &refresh_done, &compute_done, band,
                           steps] {
+      // Fixed32 saturation counting is thread-local; each worker drains
+      // its tally into the engine's guard (no-op when none attached).
+      ScopedSatCounter sat(engine.AttachedHealthGuard());
       for (std::uint64_t s = 0; s < steps; ++s) {
         engine.RefreshOutputs(band.first, band.second);
         refresh_done.arrive_and_wait();

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "arch/simulator.h"
+#include "health/health_guard.h"
 #include "obs/stat_registry.h"
 #include "runtime/sharded_stepper.h"
 #include "util/logging.h"
@@ -46,6 +47,8 @@ SessionStateName(SessionState state)
       return "done";
     case SessionState::kCancelled:
       return "cancelled";
+    case SessionState::kFaulted:
+      return "faulted";
   }
   return "unknown";
 }
@@ -106,6 +109,9 @@ SolverSession::ReachedTarget() const
 void
 SolverSession::RunSlice(std::uint64_t n)
 {
+  // Saturation events on *this* thread land in the attached guard;
+  // RunSharded installs its own counter on each band worker.
+  ScopedSatCounter sat(engine_->AttachedHealthGuard());
   RunSharded(engine_.get(), n, config_.shards);
   steps_executed_ += n;
   steps_since_checkpoint_ += n;
@@ -127,7 +133,8 @@ std::uint64_t
 SolverSession::StepN(std::uint64_t n)
 {
   const SessionState entry = state_.load();
-  if (entry == SessionState::kDone || entry == SessionState::kCancelled) {
+  if (entry == SessionState::kDone || entry == SessionState::kCancelled ||
+      entry == SessionState::kFaulted) {
     return 0;
   }
   if (pause_requested_.load()) {
@@ -162,6 +169,18 @@ SolverSession::StepN(std::uint64_t n)
     }
     RunSlice(slice);
     executed += slice;
+    if (config_.post_slice_hook) {
+      config_.post_slice_hook(*engine_);
+    }
+    // The guard scan runs before MaybeAutoCheckpoint so a corrupt
+    // slice (or a hook-injected fault) is never checkpointed.
+    if (HealthGuard* guard = engine_->AttachedHealthGuard()) {
+      if (!guard->MaybeScan(*engine_)) {
+        ++faults_;
+        state_.store(SessionState::kFaulted);
+        return executed;
+      }
+    }
     MaybeAutoCheckpoint();
   }
   state_.store(ReachedTarget() ? SessionState::kDone : SessionState::kIdle);
@@ -231,6 +250,9 @@ SolverSession::TryRestoreFromFile(const std::string& path)
   }
   const Checkpoint cp = DeserializeCheckpoint(bytes);
   RestoreCheckpoint(cp, engine_.get());
+  if (HealthGuard* guard = engine_->AttachedHealthGuard()) {
+    guard->Reset();  // restored state is presumed good; clears kFaulted
+  }
   ++restores_;
   steps_since_checkpoint_ = 0;
   state_.store(ReachedTarget() ? SessionState::kDone : SessionState::kIdle);
@@ -269,7 +291,7 @@ SolverSession::BindStats(StatRegistry* registry)
   scope.BindDerived("steps", "engine steps (includes restored history)",
                     [this] { return static_cast<double>(StepsDone()); });
   scope.BindDerived("state", "lifecycle (0=idle 1=running 2=paused "
-                    "3=done 4=cancelled)", [this] {
+                    "3=done 4=cancelled 5=faulted)", [this] {
                       return static_cast<double>(
                           static_cast<int>(state_.load()));
                     });
@@ -279,7 +301,11 @@ SolverSession::BindStats(StatRegistry* registry)
                     &checkpoints_written_);
   scope.BindCounter("restores", "checkpoint restores performed", &restores_);
   scope.BindCounter("pauses", "pause requests honored", &pauses_honored_);
+  scope.BindCounter("faults", "health-guard trips honored", &faults_);
   engine_->BindStats(registry, scope.Prefix());
+  if (HealthGuard* guard = engine_->AttachedHealthGuard()) {
+    guard->BindStats(registry, scope.Prefix());
+  }
 }
 
 std::vector<double>

@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,9 +54,10 @@ enum class SessionState : std::uint8_t {
   kPaused = 2,    ///< stopped by RequestPause; Resume() re-arms
   kDone = 3,      ///< reached target_steps
   kCancelled = 4, ///< stopped by RequestCancel; terminal
+  kFaulted = 5,   ///< health guard tripped; restore a checkpoint to clear
 };
 
-/** Returns "idle" / "running" / "paused" / "done" / "cancelled". */
+/** Returns "idle" / "running" / ... / "faulted". */
 const char* SessionStateName(SessionState state);
 
 /** Construction parameters of a SolverSession. */
@@ -77,6 +79,14 @@ struct SessionConfig {
 
   /** Steps per slice between pause/cancel checks. */
   std::uint64_t slice_steps = 64;
+
+  /**
+   * Called after every slice, before the health scan and the
+   * auto-checkpoint (fault injection, custom monitors). May mutate
+   * engine state; may throw (e.g. FaultCrash) — the session object is
+   * then dead and its owner rebuilds from the last checkpoint.
+   */
+  std::function<void(Engine&)> post_slice_hook;
 };
 
 /** One managed solver run (see file comment). */
@@ -99,8 +109,12 @@ class SolverSession
 
     /**
      * Executes up to `n` steps in slices, stopping early on a pause or
-     * cancel request or on reaching target_steps. A pause requested
-     * before the call runs zero steps. Returns steps actually run.
+     * cancel request, on reaching target_steps, or on a health-guard
+     * trip (engine with an attached HealthGuard: the guard's MaybeScan
+     * runs at every slice boundary, and a trip moves the session to
+     * kFaulted *without* checkpointing the suspect slice). A pause
+     * requested before the call runs zero steps. Returns steps
+     * actually run.
      */
     std::uint64_t StepN(std::uint64_t n);
 
@@ -197,6 +211,7 @@ class SolverSession
     std::uint64_t checkpoints_written_ = 0;
     std::uint64_t restores_ = 0;
     std::uint64_t pauses_honored_ = 0;
+    std::uint64_t faults_ = 0;
 };
 
 }  // namespace cenn

@@ -22,16 +22,6 @@ ParseCommonOptions(CliFlags& flags, unsigned groups, CommonOptions defaults)
   }
   if ((groups & kStatsFlags) != 0) {
     opts.stats_out = flags.GetString("stats-out", opts.stats_out);
-    const std::string legacy = flags.GetString("stats", "");
-    if (!legacy.empty()) {
-      if (opts.stats_out.empty()) {
-        CENN_WARN("--stats is deprecated; use --stats-out");
-        opts.stats_out = legacy;
-      } else {
-        CENN_WARN("--stats is deprecated and ignored because --stats-out "
-                  "is also set");
-      }
-    }
   }
   if ((groups & kTraceFlags) != 0) {
     opts.trace_out = flags.GetString("trace-out", opts.trace_out);
@@ -43,6 +33,24 @@ ParseCommonOptions(CliFlags& flags, unsigned groups, CommonOptions defaults)
   if ((groups & kProfileFlags) != 0) {
     opts.progress = flags.GetBool("progress", opts.progress);
     opts.self_profile = flags.GetBool("self-profile", opts.self_profile);
+  }
+  if ((groups & kGuardFlags) != 0) {
+    opts.guard = flags.GetBool("guard", opts.guard);
+    opts.guard_max_abs =
+        flags.GetDouble("guard-max-abs", opts.guard_max_abs);
+    opts.guard_max_rms =
+        flags.GetDouble("guard-max-rms", opts.guard_max_rms);
+    opts.guard_max_sat = static_cast<std::uint64_t>(flags.GetInt(
+        "guard-max-sat", static_cast<std::int64_t>(opts.guard_max_sat)));
+    opts.guard_check_every = static_cast<std::uint64_t>(
+        flags.GetInt("guard-check-every",
+                     static_cast<std::int64_t>(opts.guard_check_every)));
+    if (opts.guard_max_abs < 0.0 || opts.guard_max_rms < 0.0) {
+      CENN_FATAL("--guard-max-abs / --guard-max-rms must be >= 0");
+    }
+    if (opts.guard_check_every == 0) {
+      CENN_FATAL("--guard-check-every must be >= 1");
+    }
   }
   return opts;
 }
@@ -67,8 +75,7 @@ CommonOptionsHelp(unsigned groups)
   if ((groups & kStatsFlags) != 0) {
     out +=
         "  --stats-out=FILE             write named-stat dump (text; .csv\n"
-        "                               and .json extensions switch format)\n"
-        "  --stats=FILE                 deprecated alias for --stats-out\n";
+        "                               and .json extensions switch format)\n";
   }
   if ((groups & kTraceFlags) != 0) {
     out +=
@@ -81,6 +88,16 @@ CommonOptionsHelp(unsigned groups)
     out +=
         "  --progress                   periodic steps/s + ETA heartbeat\n"
         "  --self-profile               print wall-clock self-profile\n";
+  }
+  if ((groups & kGuardFlags) != 0) {
+    out +=
+        "  --guard                      attach a numerical-health guard\n"
+        "  --guard-max-abs=X            trip when any |state| > X (1e4;\n"
+        "                               0 disables)\n"
+        "  --guard-max-rms=X            trip when the RMS norm > X (0=off)\n"
+        "  --guard-max-sat=N            trip when Fixed32 saturation\n"
+        "                               events exceed N (0=off)\n"
+        "  --guard-check-every=N        scan cadence in steps (16)\n";
   }
   return out;
 }

@@ -19,6 +19,7 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "util/cli.h"
@@ -33,7 +34,7 @@ enum CommonFlagGroup : unsigned {
   /** --threads */
   kThreadsFlag = 1u << 1,
 
-  /** --stats-out (+ deprecated alias --stats) */
+  /** --stats-out */
   kStatsFlags = 1u << 2,
 
   /** --trace-out, --trace-categories, --trace-capacity */
@@ -42,8 +43,12 @@ enum CommonFlagGroup : unsigned {
   /** --progress, --self-profile */
   kProfileFlags = 1u << 4,
 
-  kAllCommonFlags =
-      kEngineFlags | kThreadsFlag | kStatsFlags | kTraceFlags | kProfileFlags,
+  /** --guard, --guard-max-abs, --guard-max-rms, --guard-max-sat,
+   *  --guard-check-every */
+  kGuardFlags = 1u << 5,
+
+  kAllCommonFlags = kEngineFlags | kThreadsFlag | kStatsFlags | kTraceFlags |
+                    kProfileFlags | kGuardFlags,
 };
 
 /** Parsed values of the shared flags (defaults when not given). */
@@ -80,13 +85,36 @@ struct CommonOptions {
 
   /** Print a wall-clock self-profile table at exit. */
   bool self_profile = false;
+
+  /**
+   * @name Numerical-health guard (src/health)
+   * Plain values here (util sits below core); the tools build a
+   * HealthGuardConfig from them. Thresholds of 0 disable that check.
+   */
+  ///@{
+
+  /** Attach a HealthGuard to the run / to every batch job. */
+  bool guard = false;
+
+  /** Trip when any |state| exceeds this (0 = off). */
+  double guard_max_abs = 1e4;
+
+  /** Trip when the RMS state norm exceeds this (0 = off). */
+  double guard_max_rms = 0.0;
+
+  /** Trip when Fixed32 saturation events exceed this (0 = off). */
+  std::uint64_t guard_max_sat = 0;
+
+  /** Scan cadence in steps (1 = every slice boundary). */
+  std::uint64_t guard_check_every = 16;
+
+  ///@}
 };
 
 /**
  * Parses the selected flag groups out of `flags`, starting from
  * `defaults` (lets tools differ on e.g. the default thread count).
- * Handles the deprecated `--stats` alias with a warning. Does not call
- * flags.Validate() — the tool does, after its own flags.
+ * Does not call flags.Validate() — the tool does, after its own flags.
  */
 CommonOptions ParseCommonOptions(CliFlags& flags,
                                  unsigned groups = kAllCommonFlags,

@@ -1,10 +1,9 @@
 /**
  * @file
  * Engine interface tests: backend identity and capability flags, the
- * engine factory's request normalization, the deprecated band-method
- * shims on MultilayerCenn, the shared CommonOptions parser, the
- * Engine-generic steady-state search, and SolverSession driving an
- * arbitrary engine.
+ * engine factory's request normalization, the band-phase protocol on
+ * MultilayerCenn, the shared CommonOptions parser, the Engine-generic
+ * steady-state search, and SolverSession driving an arbitrary engine.
  */
 
 #include <gtest/gtest.h>
@@ -145,9 +144,9 @@ TEST(EngineTest, RunUntilSteadyWorksOnAnyBackend)
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated band-method shims
+// Band-phase protocol via the Engine interface
 
-TEST(EngineTest, DeprecatedBandNamesForwardToEngineMethods)
+TEST(EngineTest, BandPhasesMatchPlainStepping)
 {
   const SolverProgram program = ModelProgram("heat", 12, 12);
   MultilayerCenn<double> stepped(program.spec);
@@ -155,9 +154,9 @@ TEST(EngineTest, DeprecatedBandNamesForwardToEngineMethods)
 
   stepped.Step();
   const std::size_t rows = program.spec.rows;
-  banded.BandRefreshOutputs(0, rows);  // deprecated spellings
-  banded.BandComputeEuler(0, rows);
-  banded.BandPublish();
+  banded.RefreshOutputs(0, rows);
+  banded.StepBands(0, rows);
+  banded.Publish();
 
   EXPECT_EQ(banded.Steps(), stepped.Steps());
   const auto a = stepped.Snapshot(0);
@@ -236,20 +235,37 @@ TEST(CommonOptionsTest, ParsesAllGroupsWithDefaults)
   EXPECT_FALSE(opts.self_profile);
 }
 
-TEST(CommonOptionsTest, DeprecatedStatsAliasStillWorks)
+TEST(CommonOptionsDeathTest, RemovedStatsAliasIsRejected)
 {
+  // The --stats alias is gone; it must die in Validate like any other
+  // unknown flag, not silently select a stats file.
   CliFlags flags = Flags({"--stats=legacy.txt"});
   const CommonOptions opts = ParseCommonOptions(flags, kStatsFlags);
-  flags.Validate();
-  EXPECT_EQ(opts.stats_out, "legacy.txt");
+  EXPECT_TRUE(opts.stats_out.empty());
+  EXPECT_DEATH(flags.Validate(), "stats");
 }
 
-TEST(CommonOptionsTest, StatsOutWinsOverDeprecatedAlias)
+TEST(CommonOptionsTest, ParsesGuardGroup)
 {
-  CliFlags flags = Flags({"--stats=old.txt", "--stats-out=new.txt"});
-  const CommonOptions opts = ParseCommonOptions(flags, kStatsFlags);
+  CliFlags flags = Flags({"--guard", "--guard-max-abs=500",
+                          "--guard-max-rms=12.5", "--guard-max-sat=9",
+                          "--guard-check-every=4"});
+  const CommonOptions opts = ParseCommonOptions(flags, kGuardFlags);
   flags.Validate();
-  EXPECT_EQ(opts.stats_out, "new.txt");
+  EXPECT_TRUE(opts.guard);
+  EXPECT_EQ(opts.guard_max_abs, 500.0);
+  EXPECT_EQ(opts.guard_max_rms, 12.5);
+  EXPECT_EQ(opts.guard_max_sat, 9u);
+  EXPECT_EQ(opts.guard_check_every, 4u);
+}
+
+TEST(CommonOptionsDeathTest, GuardFlagValidation)
+{
+  CliFlags bad_abs = Flags({"--guard-max-abs=-1"});
+  EXPECT_DEATH(ParseCommonOptions(bad_abs, kGuardFlags), "guard-max-abs");
+  CliFlags bad_cadence = Flags({"--guard-check-every=0"});
+  EXPECT_DEATH(ParseCommonOptions(bad_cadence, kGuardFlags),
+               "guard-check-every");
 }
 
 TEST(CommonOptionsDeathTest, FlagOutsideRequestedGroupsStaysUnknown)

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include "fixed/fixed32.h"
@@ -85,6 +87,48 @@ TEST(Fixed32Test, MultiplicationSaturates)
 TEST(Fixed32Test, NegationOfMinSaturates)
 {
   EXPECT_EQ((-Fixed32::Min()).raw(), INT32_MAX);
+  // Pin the asymmetric-range edge cases: -Min() and Abs(Min()) both
+  // land exactly on Max() (the hardware clamps, never wraps).
+  EXPECT_EQ(-Fixed32::Min(), Fixed32::Max());
+  EXPECT_EQ(Abs(Fixed32::Min()), Fixed32::Max());
+  // Max() negates exactly (Min()+1 is representable) and involutes.
+  EXPECT_EQ((-Fixed32::Max()).raw(), INT32_MIN + 1);
+  EXPECT_EQ(-(-Fixed32::Max()), Fixed32::Max());
+}
+
+TEST(Fixed32Test, SaturationCounterCountsEveryClampingOp)
+{
+  std::uint64_t events = 0;
+  std::uint64_t* previous = Fixed32::ExchangeSaturationCounter(&events);
+  EXPECT_EQ(previous, nullptr);
+
+  const Fixed32 big = Fixed32::FromDouble(30000.0);
+  std::ignore = big + big;  // add overflow
+  EXPECT_EQ(events, 1u);
+  std::ignore = (-big) - big;  // sub underflow
+  EXPECT_EQ(events, 2u);
+  std::ignore = big * big;  // mul overflow
+  EXPECT_EQ(events, 3u);
+  std::ignore = -Fixed32::Min();  // negation overflow
+  EXPECT_EQ(events, 4u);
+  std::ignore = big / Fixed32::FromDouble(0.5);  // quotient overflow
+  EXPECT_EQ(events, 5u);
+  std::ignore = Fixed32::FromInt(100000);  // int conversion clamp
+  EXPECT_EQ(events, 6u);
+  std::ignore = Fixed32::FromDouble(1e9);  // double conversion clamp
+  EXPECT_EQ(events, 7u);
+  std::ignore = Abs(Fixed32::Min());  // Abs(Min) clamps via negation
+  EXPECT_EQ(events, 8u);
+
+  // Non-saturating arithmetic must not count.
+  std::ignore = Fixed32::FromDouble(1.5) * Fixed32::FromDouble(2.0);
+  std::ignore = Fixed32::FromInt(3) + Fixed32::FromInt(4);
+  EXPECT_EQ(events, 8u);
+
+  // Uninstall restores the previous (null) sink; clamps stop counting.
+  EXPECT_EQ(Fixed32::ExchangeSaturationCounter(previous), &events);
+  std::ignore = big + big;
+  EXPECT_EQ(events, 8u);
 }
 
 TEST(Fixed32Test, DivisionBasics)

@@ -577,7 +577,9 @@ TEST(BatchRunnerTest, RunsManifestToCompletion)
 
   ASSERT_EQ(results.size(), 3u);
   for (const auto& r : results) {
-    EXPECT_EQ(r.status, "done") << r.name;
+    EXPECT_EQ(r.status, JobStatus::kOk) << r.name;
+    EXPECT_EQ(r.attempts, 1) << r.name;
+    EXPECT_FALSE(JobStatusIsFailure(r.status)) << r.name;
     EXPECT_TRUE(std::filesystem::exists(dir + "/" + r.name + ".done"));
     EXPECT_TRUE(std::filesystem::exists(dir + "/" + r.name + ".stats.txt"));
   }
@@ -585,11 +587,13 @@ TEST(BatchRunnerTest, RunsManifestToCompletion)
   EXPECT_EQ(results[0].steps_done, 25u);
   EXPECT_EQ(results[1].steps_done, 20u);
   EXPECT_EQ(registry.Value("runtime.batch.jobs_done"), 3.0);
+  EXPECT_EQ(registry.Value("runtime.batch.jobs_failed"), 0.0);
   EXPECT_EQ(registry.Value("runtime.pool.jobs_completed"), 3.0);
+  EXPECT_EQ(registry.Value("runtime.job0.attempts"), 1.0);
 
   const std::string csv = BatchRunner::ResultsCsv(results);
-  EXPECT_NE(csv.find("name,model,engine,status"), std::string::npos);
-  EXPECT_NE(csv.find("h,heat,functional,done,25"), std::string::npos);
+  EXPECT_NE(csv.find("name,model,engine,status,attempts"), std::string::npos);
+  EXPECT_NE(csv.find("h,heat,functional,ok,1,25"), std::string::npos);
 }
 
 TEST(BatchRunnerTest, InterruptedBatchResumesToIdenticalState)
@@ -602,7 +606,7 @@ TEST(BatchRunnerTest, InterruptedBatchResumesToIdenticalState)
   const auto manifest = ParseManifest(
       "model=reaction_diffusion\nname=rd\nrows=12\ncols=12\nsteps=50\n");
   const auto ref = BatchRunner(manifest, ref_options).RunAll();
-  ASSERT_EQ(ref[0].status, "done");
+  ASSERT_EQ(ref[0].status, JobStatus::kOk);
 
   // Interrupted run: 20-step budget per invocation -> 20, 40, 50.
   const std::string dir = ScratchDir("batch_resume");
@@ -612,19 +616,19 @@ TEST(BatchRunnerTest, InterruptedBatchResumesToIdenticalState)
   options.max_steps_per_job = 20;
 
   auto r1 = BatchRunner(manifest, options).RunAll();
-  EXPECT_EQ(r1[0].status, "interrupted");
+  EXPECT_EQ(r1[0].status, JobStatus::kInterrupted);
   EXPECT_EQ(r1[0].steps_done, 20u);
   EXPECT_TRUE(std::filesystem::exists(dir + "/rd.ckpt"));
   EXPECT_FALSE(std::filesystem::exists(dir + "/rd.done"));
 
   options.resume = true;
   auto r2 = BatchRunner(manifest, options).RunAll();
-  EXPECT_EQ(r2[0].status, "interrupted");
+  EXPECT_EQ(r2[0].status, JobStatus::kInterrupted);
   EXPECT_EQ(r2[0].steps_done, 40u);
   EXPECT_EQ(r2[0].steps_executed, 20u);
 
   auto r3 = BatchRunner(manifest, options).RunAll();
-  EXPECT_EQ(r3[0].status, "done");
+  EXPECT_EQ(r3[0].status, JobStatus::kOk);
   EXPECT_EQ(r3[0].steps_done, 50u);
   EXPECT_EQ(r3[0].steps_executed, 10u);
   // The stitched-together run ends in exactly the reference state.
@@ -632,10 +636,103 @@ TEST(BatchRunnerTest, InterruptedBatchResumesToIdenticalState)
 
   // Fourth invocation: served from the done marker, nothing recomputed.
   auto r4 = BatchRunner(manifest, options).RunAll();
-  EXPECT_EQ(r4[0].status, "cached");
+  EXPECT_EQ(r4[0].status, JobStatus::kCached);
   EXPECT_EQ(r4[0].steps_done, 50u);
   EXPECT_EQ(r4[0].steps_executed, 0u);
   EXPECT_EQ(r4[0].checksum, ref[0].checksum);
+}
+
+TEST(BatchRunnerTest, CrashedJobsRecoverToFaultFreeChecksum)
+{
+  const auto manifest = ParseManifest(
+      "model=reaction_diffusion\nname=rd\nrows=12\ncols=12\nsteps=60\n");
+
+  BatchOptions ref_options;
+  ref_options.out_dir = ScratchDir("batch_crash_ref");
+  ref_options.num_threads = 1;
+  const auto ref = BatchRunner(manifest, ref_options).RunAll();
+  ASSERT_EQ(ref[0].status, JobStatus::kOk);
+
+  // Two simulated crashes mid-run; each attempt restores the last
+  // auto-checkpoint, and the final state must match the fault-free run.
+  BatchOptions options;
+  options.out_dir = ScratchDir("batch_crash");
+  options.num_threads = 1;
+  options.checkpoint_every = 10;
+  options.max_retries = 2;
+  options.fault_inject = "crash@20x2";
+
+  StatRegistry registry;
+  const auto results = BatchRunner(manifest, options).RunAll(&registry);
+  EXPECT_EQ(results[0].status, JobStatus::kRecovered);
+  EXPECT_EQ(results[0].attempts, 3);
+  EXPECT_EQ(results[0].steps_done, 60u);
+  EXPECT_EQ(results[0].checksum, ref[0].checksum);
+  EXPECT_EQ(registry.Value("runtime.job0.attempts"), 3.0);
+  EXPECT_EQ(registry.Value("runtime.batch.jobs_recovered"), 1.0);
+  EXPECT_EQ(registry.Value("runtime.batch.retries"), 2.0);
+  EXPECT_EQ(registry.Value("runtime.batch.faults_injected"), 2.0);
+}
+
+TEST(BatchRunnerTest, GuardCatchesInjectedCorruptionAndBatchRecovers)
+{
+  const auto manifest = ParseManifest(
+      "model=heat\nname=h\nrows=12\ncols=12\nsteps=60\n");
+
+  BatchOptions ref_options;
+  ref_options.out_dir = ScratchDir("batch_flip_ref");
+  ref_options.num_threads = 1;
+  const auto ref = BatchRunner(manifest, ref_options).RunAll();
+
+  // A flipped state bit blows one cell past max_abs; the guard trips
+  // before the corrupt slice is checkpointed, so the retry restores a
+  // clean state and converges to the reference checksum.
+  BatchOptions options;
+  options.out_dir = ScratchDir("batch_flip");
+  options.num_threads = 1;
+  options.checkpoint_every = 10;
+  options.max_retries = 1;
+  options.fault_inject = "flip@30";
+  options.guard_enabled = true;
+  options.guard.check_every = 1;
+
+  const auto results = BatchRunner(manifest, options).RunAll();
+  EXPECT_EQ(results[0].status, JobStatus::kRecovered);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_EQ(results[0].checksum, ref[0].checksum);
+}
+
+TEST(BatchRunnerTest, ExhaustedRetriesReportFailureStatus)
+{
+  const auto manifest = ParseManifest(
+      "model=heat\nname=h\nrows=10\ncols=10\nsteps=40\n");
+
+  // Three crashes but only one retry: the job must end kFailed and
+  // JobStatusIsFailure must flag it (cenn_batch exits 1 on these).
+  BatchOptions options;
+  options.out_dir = ScratchDir("batch_exhaust");
+  options.num_threads = 1;
+  options.checkpoint_every = 10;
+  options.max_retries = 1;
+  options.fault_inject = "crash@20x3";
+
+  const auto results = BatchRunner(manifest, options).RunAll();
+  EXPECT_EQ(results[0].status, JobStatus::kFailed);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_TRUE(JobStatusIsFailure(results[0].status));
+
+  // Diverged flavor: corruption with a guard but no retries left.
+  BatchOptions doptions;
+  doptions.out_dir = ScratchDir("batch_diverge");
+  doptions.num_threads = 1;
+  doptions.max_retries = 0;
+  doptions.fault_inject = "flip@10";
+  doptions.guard_enabled = true;
+  doptions.guard.check_every = 1;
+  const auto diverged = BatchRunner(manifest, doptions).RunAll();
+  EXPECT_EQ(diverged[0].status, JobStatus::kDiverged);
+  EXPECT_TRUE(diverged[0].health.diverged);
+  EXPECT_TRUE(JobStatusIsFailure(diverged[0].status));
 }
 
 TEST(BatchRunnerTest, DerivedSeedsAreStablePerIndex)

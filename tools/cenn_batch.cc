@@ -15,11 +15,19 @@
  * each invocation's work, which makes incremental draining of a big
  * manifest (or deterministic interruption in tests) possible.
  *
+ * Fault tolerance (docs/robustness.md): --guard attaches a numerical
+ * health guard to every job, --max-retries re-runs a crashed or
+ * guard-tripped job from its last good checkpoint, and --fault-inject
+ * deterministically injects crashes / state corruption to exercise
+ * that path. The exit code is 1 when any job ends failed or diverged.
+ *
  * Examples:
  *   cenn_batch --manifest=jobs.txt --out=batch_out --threads=4
  *   cenn_batch --manifest=jobs.txt --out=batch_out --resume-from=batch_out
  *   cenn_batch --manifest=jobs.txt --out=sweep --csv=sweep/results.csv \
  *              --stats-out=sweep/stats.txt
+ *   cenn_batch --manifest=jobs.txt --out=ft --guard --checkpoint-every=50 \
+ *              --max-retries=2 --fault-inject=crash@120,flip@300
  */
 
 #include <cstdio>
@@ -39,7 +47,8 @@ namespace cenn {
 namespace {
 
 /** The shared flags cenn_batch honors (manifest picks engines). */
-constexpr unsigned kBatchFlagGroups = kThreadsFlag | kStatsFlags;
+constexpr unsigned kBatchFlagGroups =
+    kThreadsFlag | kStatsFlags | kGuardFlags;
 
 void
 PrintUsage()
@@ -56,7 +65,12 @@ PrintUsage()
       "  --checkpoint-every=N     default auto-checkpoint interval\n"
       "  --resume-from=DIR        reuse .done/.ckpt artifacts in DIR\n"
       "                           (must equal --out)\n"
-      "  --csv=FILE               write per-job results as CSV\n",
+      "  --csv=FILE               write per-job results as CSV\n"
+      "  --max-retries=N          extra attempts after a crash or guard\n"
+      "                           trip (default 0 = fail fast)\n"
+      "  --retry-backoff-ms=N     base retry delay, doubled per attempt\n"
+      "  --fault-inject=SPEC      deterministic fault injection, e.g.\n"
+      "                           crash@40x2,flip@150 (docs/robustness.md)\n",
       CommonOptionsHelp(kBatchFlagGroups).c_str());
 }
 
@@ -86,6 +100,15 @@ BatchMain(int argc, char** argv)
       static_cast<std::uint64_t>(flags.GetInt("max-steps-per-job", 0));
   options.checkpoint_every =
       static_cast<std::uint64_t>(flags.GetInt("checkpoint-every", 0));
+  options.max_retries = static_cast<int>(flags.GetInt("max-retries", 0));
+  options.retry_backoff_ms =
+      static_cast<int>(flags.GetInt("retry-backoff-ms", 0));
+  options.fault_inject = flags.GetString("fault-inject", "");
+  options.guard_enabled = copts.guard;
+  options.guard.max_abs = copts.guard_max_abs;
+  options.guard.max_rms = copts.guard_max_rms;
+  options.guard.max_sat_events = copts.guard_max_sat;
+  options.guard.check_every = copts.guard_check_every;
   const std::string resume_from = flags.GetString("resume-from", "");
   const std::string csv = flags.GetString("csv", "");
   const std::string stats_out = copts.stats_out;
@@ -112,17 +135,17 @@ BatchMain(int argc, char** argv)
   BatchRunner runner(jobs, options);
   const auto results = runner.RunAll(&registry);
 
-  TextTable table({"job", "model", "engine", "status", "steps", "ran",
-                   "checksum", "seconds"});
-  for (const BatchJobResult& r : results) {
+  TextTable table({"job", "model", "engine", "status", "tries", "steps",
+                   "ran", "checksum", "ms"});
+  for (const JobResult& r : results) {
     char checksum[32];
     std::snprintf(checksum, sizeof(checksum), "%016llx",
                   static_cast<unsigned long long>(r.checksum));
-    char seconds[32];
-    std::snprintf(seconds, sizeof(seconds), "%.3f", r.wall_seconds);
-    table.AddRow({r.name, r.model, r.engine, r.status,
-                  std::to_string(r.steps_done),
-                  std::to_string(r.steps_executed), checksum, seconds});
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.1f", r.wall_ms);
+    table.AddRow({r.name, r.model, r.engine, JobStatusName(r.status),
+                  std::to_string(r.attempts), std::to_string(r.steps_done),
+                  std::to_string(r.steps_executed), checksum, ms});
   }
   std::printf("\n%s", table.ToString().c_str());
 
@@ -141,12 +164,19 @@ BatchMain(int argc, char** argv)
   }
 
   int interrupted = 0;
-  for (const BatchJobResult& r : results) {
-    interrupted += r.status == "interrupted" ? 1 : 0;
+  int failures = 0;
+  for (const JobResult& r : results) {
+    interrupted += r.status == JobStatus::kInterrupted ? 1 : 0;
+    failures += JobStatusIsFailure(r.status) ? 1 : 0;
   }
   if (interrupted > 0) {
     std::printf("%d job(s) interrupted; rerun with --resume-from=%s to "
                 "continue\n", interrupted, options.out_dir.c_str());
+  }
+  if (failures > 0) {
+    std::printf("%d job(s) failed or diverged (see per-job warnings "
+                "above)\n", failures);
+    return 1;
   }
   return 0;
 }

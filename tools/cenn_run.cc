@@ -34,6 +34,7 @@
 
 #include "arch/simulator.h"
 #include "core/solver.h"
+#include "health/health_guard.h"
 #include "kernels/kernel_path.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
@@ -220,6 +221,22 @@ RunMain(int argc, char** argv)
     sim->AttachTrace(trace.get());
   }
 
+  HealthGuard guard([&copts] {
+    HealthGuardConfig cfg;
+    cfg.max_abs = copts.guard_max_abs;
+    cfg.max_rms = copts.guard_max_rms;
+    cfg.max_sat_events = copts.guard_max_sat;
+    cfg.check_every = copts.guard_check_every;
+    return cfg;
+  }());
+  if (copts.guard) {
+    engine->AttachHealthGuard(&guard);
+  }
+  // Saturation events on this thread land in the guard; RunSharded
+  // installs its own counter on each band worker. No-op without
+  // --guard.
+  ScopedSatCounter sat(engine->AttachedHealthGuard());
+
   const auto run_start = std::chrono::steady_clock::now();
   if (steady) {
     const auto result = RunUntilSteady(*engine, tolerance,
@@ -240,11 +257,17 @@ RunMain(int argc, char** argv)
         const std::uint64_t slice = std::min<std::uint64_t>(64, total - done);
         RunSharded(engine.get(), slice, copts.threads);
         done += slice;
+        if (copts.guard && !guard.MaybeScan(*engine)) {
+          break;
+        }
         meter.Tick(done);
       }
     } else {
       for (int i = 0; i < steps; ++i) {
         engine->Step();
+        if (copts.guard && !guard.MaybeScan(*engine)) {
+          break;
+        }
         if (trace != nullptr && sim == nullptr) {
           const auto ns =
               std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -261,6 +284,13 @@ RunMain(int argc, char** argv)
 
   const std::uint64_t steps_taken = engine->Steps();
   const std::vector<double> layer0 = engine->Snapshot(0);
+
+  if (copts.guard) {
+    if (steady) {
+      guard.Scan(*engine);  // stepping ran inside RunUntilSteady
+    }
+    std::printf("health: %s\n", guard.Summary().c_str());
+  }
 
   if (sim != nullptr) {
     const ArchConfig& arch = sim->Config();
@@ -299,6 +329,9 @@ RunMain(int argc, char** argv)
   if (!copts.stats_out.empty()) {
     StatRegistry reg;
     engine->BindStats(&reg, "");
+    if (copts.guard) {
+      guard.BindStats(&reg, "");
+    }
     if (WriteStatsFile(reg, copts.stats_out)) {
       std::printf("wrote %zu stats to %s\n", reg.Size(),
                   copts.stats_out.c_str());
@@ -336,7 +369,7 @@ RunMain(int argc, char** argv)
   if (copts.self_profile) {
     std::printf("\n%s", Profiler::Instance().Report().c_str());
   }
-  return 0;
+  return copts.guard && guard.Tripped() ? 1 : 0;
 }
 
 }  // namespace
