@@ -3,19 +3,23 @@
  * bench_kernels — throughput of the SoA stepping kernels against the
  * functional reference solver.
  *
- * Times the same solve on four backends: the functional engine
+ * Times the same solve on five backends: the functional engine
  * (MultilayerCenn walking the IR per cell), the SoA engine on its
  * scalar path (compiled plans, cell-by-cell), the SoA engine on its
- * blocked path (fused row kernels — the default), and the blocked
- * path band-sharded across worker threads. Reports steps/s,
- * cell-updates/s and speedup over the functional baseline, and
- * verifies that every fixed/double variant ends in a bit-identical
- * final state (float runs are reported but not compared — there is
- * no float reference).
+ * blocked path (fused row kernels — the default), the SoA engine on
+ * its simd path (explicitly vectorized kernels, runtime-dispatched
+ * ISA), and the blocked path band-sharded across worker threads.
+ * Reports steps/s, cell-updates/s and speedup over the functional
+ * baseline, and verifies that every fixed/double variant ends in a
+ * bit-identical final state (float runs are reported but not
+ * compared — there is no float reference).
  *
  * --check turns the run into a regression gate: exit 1 if the blocked
- * kernels are slower than the scalar plan walk, if any comparable
- * variant diverges from the functional state, or if the health-guard
+ * kernels are slower than the scalar plan walk, if the simd kernels
+ * are below 1.5x the blocked kernels on the double datapath (skipped
+ * when the dispatcher picks the generic backend — scalar-width
+ * "vectors" carry no speedup promise), if any comparable variant
+ * diverges from the functional state, or if the health-guard
  * instrumentation (the Fixed32 saturation-counter hook) costs more
  * than 2% on the fixed blocked path. --quick shrinks the workload for
  * CI smoke use.
@@ -44,6 +48,7 @@
 #include "core/solver.h"
 #include "health/health_guard.h"
 #include "kernels/soa_engine.h"
+#include "kernels/soa_simd.h"
 #include "models/benchmark_model.h"
 #include "runtime/engine_factory.h"
 #include "runtime/sharded_stepper.h"
@@ -141,7 +146,7 @@ BenchMain(int argc, char** argv)
     req.precision = precision;
     variants.push_back({"functional", BuildEngine(program, req), serial});
   }
-  for (const char* path : {"scalar", "blocked"}) {
+  for (const char* path : {"scalar", "blocked", "simd"}) {
     EngineRequest req;
     req.engine = "soa";
     req.precision = precision;
@@ -194,6 +199,8 @@ BenchMain(int argc, char** argv)
       scalar_seconds = seconds;
     } else if (v.name == "soa/blocked") {
       blocked_seconds = seconds;
+    } else if (v.name == "soa/simd") {
+      v.name += std::string(" [") + SimdIsaName() + "]";
     }
 
     std::string state = "-";
@@ -225,6 +232,83 @@ BenchMain(int argc, char** argv)
   } else if (check) {
     std::printf("check passed: blocked %.2fx vs scalar\n",
                 scalar_seconds / blocked_seconds);
+  }
+
+  // Simd-speedup gate: the vector kernels must hold a >=1.5x margin
+  // over the blocked row kernels on the double datapath (the widest
+  // vectors and the precision the exactness contract is written for),
+  // measured on this run's model/grid with --precision forced to
+  // double. Like the guard gate below, blocked and simd chunks are
+  // interleaved ABBA and the per-round ratios medianed per ordering,
+  // then combined geometrically, so clock drift and cache warm-up
+  // cancel. The same run doubles as an exactness check: with two-
+  // rounding MulAdd kernels the simd state must match blocked
+  // bit-for-bit. Skipped on the generic backend — its scalar-width
+  // "vectors" exist for portability, not speed.
+  if (check && std::strcmp(SimdIsaName(), "generic") != 0) {
+    EngineRequest blocked_req;
+    blocked_req.engine = "soa";
+    blocked_req.precision = "double";
+    blocked_req.kernel_path = KernelPath::kBlocked;
+    EngineRequest simd_req = blocked_req;
+    simd_req.kernel_path = KernelPath::kSimd;
+    const auto blocked_engine = BuildEngine(program, blocked_req);
+    const auto simd_engine = BuildEngine(program, simd_req);
+    const auto timed = [](Engine* engine, std::uint64_t n) {
+      const auto start = std::chrono::steady_clock::now();
+      engine->Run(n);
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    // Calibrate a ~25ms blocked chunk so each round is long enough
+    // for the steady clock yet short enough that 24 rounds stay
+    // CI-friendly. The simd engine steps the same probe count so the
+    // final-state comparison below sees both engines at the same
+    // simulation time.
+    const double probe = timed(blocked_engine.get(), steps);
+    timed(simd_engine.get(), steps);
+    const std::uint64_t chunk_steps = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               0.025 / std::max(probe / static_cast<double>(steps),
+                                1e-9)));
+    const auto median = [](std::vector<double>* v) {
+      std::sort(v->begin(), v->end());
+      return (*v)[v->size() / 2];
+    };
+    std::vector<double> simd_second;
+    std::vector<double> simd_first;
+    for (int round = 0; round < 24; ++round) {
+      double blocked_s;
+      double simd_s;
+      if (round % 2 == 0) {
+        blocked_s = timed(blocked_engine.get(), chunk_steps);
+        simd_s = timed(simd_engine.get(), chunk_steps);
+      } else {
+        simd_s = timed(simd_engine.get(), chunk_steps);
+        blocked_s = timed(blocked_engine.get(), chunk_steps);
+      }
+      if (round < 4) {
+        continue;  // discard warm-up rounds (caches, cpu frequency)
+      }
+      (round % 2 == 0 ? simd_second : simd_first)
+          .push_back(blocked_s / simd_s);
+    }
+    const double speedup =
+        std::sqrt(median(&simd_second) * median(&simd_first));
+    std::printf("simd kernels (double, %s): %.2fx vs blocked\n",
+                SimdIsaName(), speedup);
+    if (speedup < 1.5) {
+      std::printf("check FAILED: simd kernels %.2fx vs blocked, below "
+                  "the 1.5x gate\n", speedup);
+      ok = false;
+    }
+    // Both engines stepped the same total; the states must agree.
+    if (StateChecksum(*simd_engine) != StateChecksum(*blocked_engine)) {
+      std::printf("check FAILED: simd double state diverged from "
+                  "blocked\n");
+      ok = false;
+    }
   }
 
   // Guard-overhead gate: time the fixed blocked path with and without

@@ -13,15 +13,36 @@
  */
 
 #include <functional>
+#include <vector>
 
 #include "core/nonlinear.h"
 #include "core/num_traits.h"
 
 namespace cenn {
 
+class OffChipLut;  // src/lut — only ever carried as an opaque pointer
+
 /** A function evaluator specialized ("bound") to one l(.). */
 template <typename T>
 using BoundFunction = std::function<T(T)>;
+
+/**
+ * What a bound function computes, described declaratively so the
+ * explicitly vectorized kernels (kernels/soa_simd_impl.h) can inline
+ * the same arithmetic across lanes instead of calling the bound
+ * std::function per cell. At most one field is set; when both are
+ * null the kernels fall back to per-lane closure calls — correct for
+ * any evaluator, just slower.
+ */
+struct FactorVecInfo {
+  /** Horner coefficients, ascending: the bound fn is the polynomial
+      evaluated in double then converted with NumTraits. */
+  const std::vector<double>* poly = nullptr;
+
+  /** The bound fn is OffChipLut::EvaluateDouble on this table
+      (double engines only). */
+  const OffChipLut* lut = nullptr;
+};
 
 /** Evaluates l(x) for CeNN scalars of type T. */
 template <typename T>
@@ -44,6 +65,18 @@ class FunctionEvaluator
     Bind(const NonlinearFunction& fn)
     {
         return [this, f = &fn](T x) { return this->Evaluate(*f, x); };
+    }
+
+    /**
+     * Vectorization metadata for what Bind(fn) computes (see
+     * FactorVecInfo). The default — nothing — keeps unknown
+     * evaluators on the exact per-lane fallback.
+     */
+    virtual FactorVecInfo
+    Describe(const NonlinearFunction& fn)
+    {
+        (void)fn;
+        return {};
     }
 };
 
@@ -77,6 +110,15 @@ class DirectEvaluator final : public FunctionEvaluator<T>
           };
         }
         return FunctionEvaluator<T>::Bind(fn);
+    }
+
+    /** Known polynomials expose their Horner coefficients. */
+    FactorVecInfo
+    Describe(const NonlinearFunction& fn) override
+    {
+        FactorVecInfo info;
+        info.poly = fn.PolyCoeffs();
+        return info;
     }
 };
 

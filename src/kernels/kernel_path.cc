@@ -2,11 +2,12 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "util/logging.h"
 
 namespace cenn {
+
+const char kKernelPathChoices[] = "auto|scalar|blocked|simd";
 
 const char*
 KernelPathName(KernelPath path)
@@ -18,6 +19,8 @@ KernelPathName(KernelPath path)
       return "scalar";
     case KernelPath::kBlocked:
       return "blocked";
+    case KernelPath::kSimd:
+      return "simd";
   }
   return "?";
 }
@@ -40,24 +43,25 @@ ParseKernelPath(const char* text, KernelPath* out)
     *out = KernelPath::kBlocked;
     return true;
   }
+  if (std::strcmp(text, "simd") == 0) {
+    *out = KernelPath::kSimd;
+    return true;
+  }
   return false;
 }
 
 KernelPath
 ResolveKernelPath(KernelPath requested)
 {
-  if (const char* env = std::getenv("CENN_KERNEL_PATH")) {
+  const char* env = std::getenv("CENN_KERNEL_PATH");
+  if (env != nullptr && *env != '\0') {  // empty means unset
     KernelPath forced;
-    if (ParseKernelPath(env, &forced)) {
-      if (forced != KernelPath::kAuto) {
-        return forced;
-      }
-    } else {
-      static std::once_flag warned;
-      std::call_once(warned, [env] {
-        CENN_WARN("CENN_KERNEL_PATH='", env,
-                  "' is not 'auto', 'scalar' or 'blocked'; ignoring");
-      });
+    if (!ParseKernelPath(env, &forced)) {
+      CENN_FATAL("CENN_KERNEL_PATH='", env, "' is not a kernel path (valid: ",
+                 kKernelPathChoices, ")");
+    }
+    if (forced != KernelPath::kAuto) {
+      return forced;
     }
   }
   return requested == KernelPath::kAuto ? KernelPath::kBlocked : requested;

@@ -7,10 +7,20 @@
  *
  * kScalar is the cell-by-cell reference walk over the compiled plans;
  * kBlocked is the fused row-band path (tap-outer, column-inner loops
- * the compiler can vectorize). Both execute the identical per-cell
- * operation sequence, so results are bit-identical — the dispatch
- * only trades wall-clock time, never values (verified by
- * tests/test_kernels.cc).
+ * the compiler can vectorize); kSimd is the explicitly vectorized
+ * path (kernels/vec.h wrappers, 2-8 cells per iteration, runtime
+ * CPU-feature dispatch — see docs/kernels.md).
+ *
+ * Exactness: kScalar and kBlocked execute the identical per-cell
+ * operation sequence, so their results are bit-identical. kSimd is
+ * bit-identical for Fixed32 (it executes the blocked kernels — the
+ * integer datapath gains nothing from lane parallelism yet) and
+ * ULP-bounded for float/double: the same per-cell operation sequence
+ * with at most per-tap FMA contraction allowed, never reassociation,
+ * giving a <= 4 ULP contract enforced by the differential fuzz sweep
+ * in tests/test_kernels.cc. The current kernels use separate
+ * multiply/add throughout, so in practice all three paths match
+ * bit-for-bit today; the contract leaves room for FMA.
  */
 
 #include <cstdint>
@@ -19,24 +29,31 @@ namespace cenn {
 
 /** Stepping implementation selector for SoaEngine. */
 enum class KernelPath : std::uint8_t {
-  kAuto = 0,     ///< pick the fast path unless overridden by env
+  kAuto = 0,     ///< pick the fast bit-exact path unless overridden by env
   kScalar = 1,   ///< cell-by-cell reference walk
   kBlocked = 2,  ///< fused, vectorization-friendly row kernels
+  kSimd = 3,     ///< explicit vector kernels (vec.h, CPU dispatch)
 };
 
-/** Returns "auto" / "scalar" / "blocked". */
+/** Returns "auto" / "scalar" / "blocked" / "simd". */
 const char* KernelPathName(KernelPath path);
 
 /**
- * Resolves `requested` to a concrete path: kAuto becomes kBlocked,
- * and the CENN_KERNEL_PATH environment variable ("scalar" or
- * "blocked"), when set, overrides any request — the escape hatch for
- * A/B-ing a suspected kernel bug without rebuilding.
+ * Resolves `requested` to a concrete path: kAuto becomes kBlocked
+ * (the fastest path that stays bit-identical to the functional
+ * reference), and the CENN_KERNEL_PATH environment variable
+ * ("scalar", "blocked" or "simd"), when set, overrides any request —
+ * the escape hatch for A/B-ing a suspected kernel bug without
+ * rebuilding. A CENN_KERNEL_PATH value that is not a known path is
+ * fatal: a silent fallback would time or debug the wrong kernels.
  */
 KernelPath ResolveKernelPath(KernelPath requested);
 
-/** Parses "auto" / "scalar" / "blocked"; false on anything else. */
+/** Parses "auto" / "scalar" / "blocked" / "simd"; false otherwise. */
 bool ParseKernelPath(const char* text, KernelPath* out);
+
+/** "auto|scalar|blocked|simd" — for flag help and error messages. */
+extern const char kKernelPathChoices[];
 
 }  // namespace cenn
 

@@ -40,6 +40,7 @@ struct CompiledFactor {
   int ctrl_layer = 0;
   bool at_source = false;  ///< read control at the neighbor, not the cell
   BoundFunction<T> eval;   ///< bit-identical to evaluator.Evaluate(fn, .)
+  FactorVecInfo vec;       ///< what eval computes, for the simd kernels
 };
 
 /** One template-weight contribution into a layer's derivative. */
@@ -100,8 +101,9 @@ BuildLayerPlans(const NetworkSpec& spec, FunctionEvaluator<T>& evaluator)
           tap.weight = NumTraits<T>::FromDouble(w.constant);
           tap.factors.reserve(w.factors.size());
           for (const WeightFactor& f : w.factors) {
-            tap.factors.push_back(
-                {f.ctrl_layer, f.at_source, evaluator.Bind(*f.fn)});
+            tap.factors.push_back({f.ctrl_layer, f.at_source,
+                                   evaluator.Bind(*f.fn),
+                                   evaluator.Describe(*f.fn)});
           }
           plan.taps.push_back(std::move(tap));
         }
@@ -112,8 +114,9 @@ BuildLayerPlans(const NetworkSpec& spec, FunctionEvaluator<T>& evaluator)
       off.constant = NumTraits<T>::FromDouble(term.constant);
       off.factors.reserve(term.factors.size());
       for (const WeightFactor& f : term.factors) {
-        off.factors.push_back(
-            {f.ctrl_layer, f.at_source, evaluator.Bind(*f.fn)});
+        off.factors.push_back({f.ctrl_layer, f.at_source,
+                               evaluator.Bind(*f.fn),
+                               evaluator.Describe(*f.fn)});
       }
       plan.offsets.push_back(std::move(off));
     }

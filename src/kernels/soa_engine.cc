@@ -47,6 +47,11 @@ SoaEngine<T>::SoaEngine(const NetworkSpec& spec,
       path_(ResolveKernelPath(path))
 {
   spec_.Validate();
+  if (path_ == KernelPath::kSimd) {
+    // Resolve the CPU backend once; Fixed32 keeps a null pointer and
+    // steps on the bit-identical blocked kernels.
+    simd_step_ = SimdStepFor<T>();
+  }
   if (spec_.integrator != Integrator::kEuler) {
     CENN_FATAL("SoaEngine supports the explicit-Euler integrator only (spec "
                "uses ", IntegratorName(spec_.integrator),
@@ -390,11 +395,30 @@ SoaEngine<T>::ComputeRowsScalar(std::size_t row_begin, std::size_t row_end)
 
 template <typename T>
 void
+SoaEngine<T>::ComputeRowsSimd(std::size_t row_begin, std::size_t row_end)
+{
+  SimdStepView<T> view;
+  view.spec = &spec_;
+  view.plans = &plans_;
+  view.state = &state_;
+  view.next_state = &next_state_;
+  view.input = &input_;
+  view.output = &output_;
+  view.dt = dt_;
+  view.one = one_;
+  view.bval = bval_;
+  simd_step_(view, row_begin, row_end);
+}
+
+template <typename T>
+void
 SoaEngine<T>::StepBands(std::size_t row_begin, std::size_t row_end)
 {
   CheckBand(row_begin, row_end);
   if (path_ == KernelPath::kScalar) {
     ComputeRowsScalar(row_begin, row_end);
+  } else if (path_ == KernelPath::kSimd && simd_step_ != nullptr) {
+    ComputeRowsSimd(row_begin, row_end);
   } else {
     ComputeRowsBlocked(row_begin, row_end);
   }

@@ -24,6 +24,13 @@
  * this. The scalar KernelPath executes the same plans cell-by-cell —
  * the in-tree cross-check for the blocked loops.
  *
+ * The simd KernelPath (kernels/soa_simd.h) runs the same plans
+ * through explicitly vectorized kernels with runtime CPU dispatch:
+ * bit-identical for Fixed32 (it executes the blocked kernels) and
+ * ULP-bounded (<= 4, per-tap FMA allowed; currently bit-exact) for
+ * float/double — see docs/kernels.md and the differential fuzz sweep
+ * in tests/test_kernels.cc.
+ *
  * Explicit Euler only (construction is fatal on a Heun spec): the
  * fused pass implements the hardware's one-convolution-per-step
  * schedule, and band stepping (SupportsBands) is always available.
@@ -42,6 +49,7 @@
 #include "kernels/kernel_path.h"
 #include "kernels/kernel_plan.h"
 #include "kernels/soa_field.h"
+#include "kernels/soa_simd.h"
 
 namespace cenn {
 
@@ -104,6 +112,9 @@ class SoaEngine final : public Engine
     /** Scalar path: cell-by-cell plan walk for the same rows. */
     void ComputeRowsScalar(std::size_t row_begin, std::size_t row_end);
 
+    /** Simd path: dispatched vector kernels for the same rows. */
+    void ComputeRowsSimd(std::size_t row_begin, std::size_t row_end);
+
     /** One tap accumulated into `acc` for destination row r. */
     void ApplyTapRow(const CompiledTap<T>& tap, std::size_t r, T* acc);
 
@@ -138,6 +149,8 @@ class SoaEngine final : public Engine
     T neg_one_{};
     T bval_{};  ///< Dirichlet boundary value
     KernelPath path_ = KernelPath::kBlocked;
+    /** Dispatched vector kernel; null when T has none (Fixed32). */
+    SimdStepFn<T> simd_step_ = nullptr;
     std::uint64_t steps_ = 0;
 };
 

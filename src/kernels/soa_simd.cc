@@ -1,0 +1,127 @@
+#include "kernels/soa_simd.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fixed/fixed32.h"
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+/** One compiled ISA backend's entry points. */
+struct SimdBackend {
+  const char* isa;
+  SimdStepFn<double> step_d;
+  SimdStepFn<float> step_f;
+  int lanes_d;
+  int lanes_f;
+};
+
+/**
+ * Backends this build carries AND this CPU can run, ordered worst to
+ * best. generic is always first; the baseline ISA (sse2/neon) next;
+ * wider ISAs only after a runtime CPU probe.
+ */
+std::vector<SimdBackend>
+AvailableBackends()
+{
+  std::vector<SimdBackend> avail;
+  avail.push_back({"generic", &simd_generic::StepRowsD,
+                   &simd_generic::StepRowsF, simd_generic::LanesD(),
+                   simd_generic::LanesF()});
+#if defined(__x86_64__) || defined(_M_X64)
+  avail.push_back({"sse2", &simd_sse2::StepRowsD, &simd_sse2::StepRowsF,
+                   simd_sse2::LanesD(), simd_sse2::LanesF()});
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) {
+    avail.push_back({"avx2", &simd_avx2::StepRowsD, &simd_avx2::StepRowsF,
+                     simd_avx2::LanesD(), simd_avx2::LanesF()});
+  }
+#endif
+#endif
+#if defined(__aarch64__)
+  avail.push_back({"neon", &simd_neon::StepRowsD, &simd_neon::StepRowsF,
+                   simd_neon::LanesD(), simd_neon::LanesF()});
+#endif
+  return avail;
+}
+
+/**
+ * Probes once per process: the widest available backend, unless
+ * CENN_SIMD_ISA forces one. Forcing an ISA the CPU or build cannot
+ * run (or a name that is not an ISA) is fatal — a silent fallback
+ * would benchmark or debug the wrong kernels.
+ */
+const SimdBackend&
+PickBackend()
+{
+  static const SimdBackend chosen = [] {
+    const std::vector<SimdBackend> avail = AvailableBackends();
+    const char* env = std::getenv("CENN_SIMD_ISA");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+      return avail.back();
+    }
+    for (const SimdBackend& b : avail) {
+      if (std::strcmp(env, b.isa) == 0) {
+        return b;
+      }
+    }
+    std::string valid = "auto";
+    for (const SimdBackend& b : avail) {
+      valid += ", ";
+      valid += b.isa;
+    }
+    CENN_FATAL("CENN_SIMD_ISA='", env, "' is not available on this "
+               "build/CPU (valid: ", valid, ")");
+    return avail.front();  // unreachable
+  }();
+  return chosen;
+}
+
+}  // namespace
+
+const char*
+SimdIsaName()
+{
+  return PickBackend().isa;
+}
+
+int
+SimdLanesDouble()
+{
+  return PickBackend().lanes_d;
+}
+
+int
+SimdLanesFloat()
+{
+  return PickBackend().lanes_f;
+}
+
+template <>
+SimdStepFn<double>
+SimdStepFor<double>()
+{
+  return PickBackend().step_d;
+}
+
+template <>
+SimdStepFn<float>
+SimdStepFor<float>()
+{
+  return PickBackend().step_f;
+}
+
+template <>
+SimdStepFn<Fixed32>
+SimdStepFor<Fixed32>()
+{
+  // The Q16.16 datapath has no vector kernels yet; SoaEngine falls
+  // back to the bit-identical blocked path.
+  return nullptr;
+}
+
+}  // namespace cenn

@@ -1,0 +1,7 @@
+// Scalar-fallback instantiation of the simd kernels: plain lane
+// arrays the compiler may auto-vectorize, available on every target.
+// Also the forced-ISA testing backend (CENN_SIMD_ISA=generic).
+
+#define CENN_SIMD_NS simd_generic
+#define CENN_SIMD_VEC_NS ::cenn::vec::generic
+#include "kernels/soa_simd_impl.h"

@@ -1,0 +1,10 @@
+// NEON instantiation of the simd kernels (aarch64; NEON is baseline
+// there, so no extra target flags beyond -ffp-contract=off).
+
+#if defined(__aarch64__)
+
+#define CENN_SIMD_NS simd_neon
+#define CENN_SIMD_VEC_NS ::cenn::vec::neon
+#include "kernels/soa_simd_impl.h"
+
+#endif  // aarch64

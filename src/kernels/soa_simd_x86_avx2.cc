@@ -1,0 +1,16 @@
+// AVX2 instantiation of the simd kernels. This TU (and only this TU)
+// is compiled with -mavx2; its symbols live in their own namespace so
+// no AVX2 code can leak into the baseline paths, and the dispatcher
+// only selects it after __builtin_cpu_supports("avx2") says yes.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#ifndef __AVX2__
+#error "soa_simd_x86_avx2.cc must be compiled with -mavx2"
+#endif
+
+#define CENN_SIMD_NS simd_avx2
+#define CENN_SIMD_VEC_NS ::cenn::vec::avx2
+#include "kernels/soa_simd_impl.h"
+
+#endif  // x86-64

@@ -1,0 +1,11 @@
+// SSE2 instantiation of the simd kernels — the x86-64 baseline, so
+// no extra target flags are required (only -ffp-contract=off, set by
+// the kernels CMakeLists for every simd TU).
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#define CENN_SIMD_NS simd_sse2
+#define CENN_SIMD_VEC_NS ::cenn::vec::sse2
+#include "kernels/soa_simd_impl.h"
+
+#endif  // x86-64

@@ -74,6 +74,15 @@ class LutEvaluatorDouble final : public FunctionEvaluator<double>
         };
     }
 
+    /** The simd kernels gather the same table this evaluator binds. */
+    FactorVecInfo
+    Describe(const NonlinearFunction& fn) override
+    {
+        FactorVecInfo info;
+        info.lut = &bank_->Get(fn);
+        return info;
+    }
+
   private:
     std::shared_ptr<const LutBank> bank_;
 };

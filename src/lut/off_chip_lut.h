@@ -77,6 +77,12 @@ class OffChipLut
     /** Entry by index (bounds-checked). */
     const TaylorTuple& Entry(int index) const;
 
+    /**
+     * The contiguous entry array, for the simd kernels' vectorized
+     * tuple gathers (index i is the entry at min_p + i * spacing).
+     */
+    const TaylorTuple* EntriesData() const { return entries_.data(); }
+
     /** Entry whose sample point is at or below x. */
     const TaylorTuple& LookupTuple(double x) const
     {

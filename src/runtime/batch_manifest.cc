@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "kernels/kernel_path.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -129,6 +130,13 @@ ParseManifest(const std::string& text)
                    "' (ddr3|hmc-int|hmc-ext)");
       }
       job.memory = value;
+    } else if (key == "kernel_path") {
+      KernelPath parsed = KernelPath::kAuto;
+      if (!ParseKernelPath(value.c_str(), &parsed)) {
+        CENN_FATAL("manifest line ", line_no, ": unknown kernel_path '",
+                   value, "' (", kKernelPathChoices, ")");
+      }
+      job.kernel_path = value;
     } else if (key == "shards") {
       job.shards = static_cast<int>(ParseU64(value, line_no, key));
       if (job.shards < 1) {

@@ -57,6 +57,9 @@ struct BatchJobSpec {
   /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
   std::string memory = "ddr3";
 
+  /** SoA stepping kernels: "auto", "scalar", "blocked" or "simd". */
+  std::string kernel_path = "auto";
+
   /** Band-parallel workers inside the job (band-capable engines). */
   int shards = 1;
 

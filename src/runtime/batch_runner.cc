@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "kernels/kernel_path.h"
 #include "models/benchmark_model.h"
 #include "obs/stat_registry.h"
 #include "runtime/engine_factory.h"
@@ -180,6 +181,10 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
     req.precision = job.precision;
   }
   req.memory = job.memory;
+  if (!ParseKernelPath(job.kernel_path.c_str(), &req.kernel_path)) {
+    CENN_FATAL("job '", job.name, "': unknown kernel_path '",
+               job.kernel_path, "' (", kKernelPathChoices, ")");
+  }
 
   HealthGuard guard(options_.guard);
   const int max_attempts = 1 + options_.max_retries;

@@ -66,8 +66,9 @@ CommonOptionsHelp(unsigned groups)
         "  --precision=double|fixed|float  numeric precision (default\n"
         "                               fixed; float is soa-only)\n"
         "  --memory=ddr3|hmc-int|hmc-ext  arch engine memory system\n"
-        "  --kernel-path=auto|scalar|blocked  soa stepping kernels\n"
-        "                               (CENN_KERNEL_PATH overrides)\n";
+        "  --kernel-path=auto|scalar|blocked|simd  soa stepping kernels\n"
+        "                               (CENN_KERNEL_PATH overrides;\n"
+        "                               simd ISA via CENN_SIMD_ISA)\n";
   }
   if ((groups & kThreadsFlag) != 0) {
     out += "  --threads=N                  worker threads\n";

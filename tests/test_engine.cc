@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/network.h"
 #include "core/solver.h"
+#include "kernels/kernel_path.h"
+#include "kernels/soa_simd.h"
 #include "models/benchmark_model.h"
 #include "obs/stat_registry.h"
 #include "runtime/engine_factory.h"
@@ -124,6 +127,61 @@ TEST(EngineTest, DefaultBindStatsPublishesStepsAndTime)
   EXPECT_EQ(registry.Value("sim.steps"), 5.0);
   EXPECT_DOUBLE_EQ(registry.Value("sim.time"),
                    5.0 * program.spec.dt);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-path selection
+
+TEST(KernelPathTest, ParsesEveryChoiceAndRejectsUnknown)
+{
+  KernelPath path = KernelPath::kAuto;
+  EXPECT_TRUE(ParseKernelPath("auto", &path));
+  EXPECT_EQ(path, KernelPath::kAuto);
+  EXPECT_TRUE(ParseKernelPath("scalar", &path));
+  EXPECT_EQ(path, KernelPath::kScalar);
+  EXPECT_TRUE(ParseKernelPath("blocked", &path));
+  EXPECT_EQ(path, KernelPath::kBlocked);
+  EXPECT_TRUE(ParseKernelPath("simd", &path));
+  EXPECT_EQ(path, KernelPath::kSimd);
+  EXPECT_FALSE(ParseKernelPath("avx2", &path));
+  EXPECT_FALSE(ParseKernelPath("", &path));
+  EXPECT_FALSE(ParseKernelPath(nullptr, &path));
+}
+
+TEST(KernelPathTest, EnvOverrideSelectsThePathItNames)
+{
+  setenv("CENN_KERNEL_PATH", "simd", 1);
+  EXPECT_EQ(ResolveKernelPath(KernelPath::kAuto), KernelPath::kSimd);
+  EXPECT_EQ(ResolveKernelPath(KernelPath::kBlocked), KernelPath::kSimd);
+  setenv("CENN_KERNEL_PATH", "auto", 1);
+  EXPECT_EQ(ResolveKernelPath(KernelPath::kAuto), KernelPath::kBlocked);
+  setenv("CENN_KERNEL_PATH", "", 1);  // empty means unset
+  EXPECT_EQ(ResolveKernelPath(KernelPath::kSimd), KernelPath::kSimd);
+  unsetenv("CENN_KERNEL_PATH");
+  EXPECT_EQ(ResolveKernelPath(KernelPath::kAuto), KernelPath::kBlocked);
+}
+
+TEST(KernelPathDeathTest, UnknownEnvOverrideIsFatalNotAFallback)
+{
+  // An unrecognized CENN_KERNEL_PATH used to fall back silently to the
+  // requested path; a typo must refuse to run instead of timing or
+  // debugging the wrong kernels.
+  setenv("CENN_KERNEL_PATH", "turbo", 1);
+  EXPECT_DEATH(ResolveKernelPath(KernelPath::kAuto),
+               "CENN_KERNEL_PATH='turbo' is not a kernel path");
+  EXPECT_DEATH(ResolveKernelPath(KernelPath::kAuto),
+               "auto.scalar.blocked.simd");
+  unsetenv("CENN_KERNEL_PATH");
+}
+
+TEST(KernelPathDeathTest, UnknownSimdIsaIsFatalNotAFallback)
+{
+  // The simd dispatcher probes once per process, so this binary must
+  // not construct a simd engine before the forked death-test child
+  // reads the environment (no other test here does).
+  setenv("CENN_SIMD_ISA", "avx512", 1);
+  EXPECT_DEATH(SimdIsaName(), "CENN_SIMD_ISA='avx512' is not available");
+  unsetenv("CENN_SIMD_ISA");
 }
 
 // ---------------------------------------------------------------------------

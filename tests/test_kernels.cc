@@ -3,12 +3,22 @@
  * SoA kernel engine tests: the bit-exactness contract of SoaEngine
  * against the functional reference (every bundled model, double and
  * fixed precision, serial and band-sharded), scalar-vs-blocked kernel
- * path agreement, and checkpoint round-trips through the SoA layout.
+ * path agreement, checkpoint round-trips through the SoA layout, and
+ * a seeded differential fuzz sweep pitting the scalar, blocked and
+ * simd kernel paths against each other across models, grid shapes
+ * (odd and tiny widths included), boundary kinds, precisions,
+ * evaluators and shard counts.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <memory>
+#include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -196,6 +206,191 @@ TEST(SoaEngineTest, CheckpointCrossesEngineKinds)
   soa->Run(10);
   functional->Run(10);
   ExpectSameState(*functional, *soa, "cross-engine-resume");
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz sweep: scalar vs blocked vs simd kernel paths
+
+/** Maps double bits onto a monotone signed line (ULP arithmetic). */
+std::int64_t
+OrderedBits64(double x)
+{
+  std::int64_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits < 0
+             ? static_cast<std::int64_t>(0x8000000000000000ull) - bits
+             : bits;
+}
+
+/** float flavor, widened so the subtraction below cannot overflow. */
+std::int64_t
+OrderedBits32(float x)
+{
+  std::int32_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  const auto wide = static_cast<std::int64_t>(bits);
+  return bits < 0 ? INT64_C(0x80000000) - wide : wide;
+}
+
+/** ULP distance in the engine's native precision; huge on NaN. */
+std::int64_t
+UlpDiff(double a, double b, bool as_float)
+{
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::isnan(a) && std::isnan(b)
+               ? 0
+               : std::numeric_limits<std::int64_t>::max();
+  }
+  const std::int64_t oa = as_float
+                              ? OrderedBits32(static_cast<float>(a))
+                              : OrderedBits64(a);
+  const std::int64_t ob = as_float
+                              ? OrderedBits32(static_cast<float>(b))
+                              : OrderedBits64(b);
+  return oa < ob ? ob - oa : oa - ob;
+}
+
+/** Asserts every cell of two engines is within max_ulp (native ULPs). */
+void
+ExpectUlpClose(const Engine& a, const Engine& b, bool as_float,
+               std::int64_t max_ulp, const std::string& context)
+{
+  ASSERT_EQ(a.Spec().NumLayers(), b.Spec().NumLayers()) << context;
+  for (int l = 0; l < a.Spec().NumLayers(); ++l) {
+    const std::vector<double> va = a.Snapshot(l);
+    const std::vector<double> vb = b.Snapshot(l);
+    ASSERT_EQ(va.size(), vb.size()) << context;
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      ASSERT_LE(UlpDiff(va[i], vb[i], as_float), max_ulp)
+          << context << ": layer " << l << " cell " << i << " ("
+          << va[i] << " vs " << vb[i] << ")";
+    }
+  }
+}
+
+SolverProgram
+FuzzProgram(const std::string& name, std::size_t rows, std::size_t cols,
+            std::uint64_t ic_seed)
+{
+  ModelConfig mc;
+  mc.rows = rows;
+  mc.cols = cols;
+  mc.seed = ic_seed;
+  return MakeProgram(*MakeModel(name, mc));
+}
+
+/**
+ * The simd exactness contract, fuzzed: >= 100 seeded random configs
+ * (model x grid shape x boundary kind x precision x evaluator x shard
+ * count x step count), each stepped on the scalar, blocked and simd
+ * kernel paths. blocked must match scalar bit-for-bit (the existing
+ * contract); simd must match within 4 native ULPs for float/double
+ * (docs/kernels.md) and bit-for-bit for Fixed32 (the simd path falls
+ * back to the blocked integer kernels). Every assertion carries the
+ * master seed and the config index, so a failure reproduces by
+ * pinning kMasterSeed and stepping to that config.
+ */
+TEST(SimdFuzzTest, DifferentialSweepScalarBlockedSimd)
+{
+  constexpr std::uint64_t kMasterSeed = 0xCE11FA57u;
+  constexpr int kConfigs = 120;
+  constexpr std::int64_t kMaxUlp = 4;
+  const std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 31, 33};
+  const int kShards[] = {1, 2, 3, 5};
+  const char* kPrecisions[] = {"double", "float", "fixed"};
+
+  std::vector<std::string> models;
+  for (const std::string& name : AllModelNames()) {
+    if (FuzzProgram(name, 8, 8, 1).spec.integrator == Integrator::kEuler) {
+      models.push_back(name);
+    }
+  }
+  ASSERT_FALSE(models.empty());
+
+  std::mt19937_64 rng(kMasterSeed);
+  for (int cfg = 0; cfg < kConfigs; ++cfg) {
+    const std::string model = models[rng() % models.size()];
+    // poisson's initial-condition sprinkler needs a 5x5 interior.
+    const std::size_t min_size = model == "poisson" ? 5 : 1;
+    const std::size_t rows =
+        std::max(min_size, kSizes[rng() % std::size(kSizes)]);
+    const std::size_t cols =
+        std::max(min_size, kSizes[rng() % std::size(kSizes)]);
+    const auto bkind = static_cast<BoundaryKind>(rng() % 3);
+    // Round-robin precision: every third config per flavor, instead of
+    // leaving coverage of the rarest flavor to chance.
+    const std::string precision = kPrecisions[cfg % 3];
+    const int shards = kShards[rng() % std::size(kShards)];
+    const bool use_lut = (rng() & 1) != 0 && precision != "float";
+    const std::uint64_t steps = 2 + rng() % 5;
+    const std::uint64_t ic_seed = rng();
+
+    SolverProgram program = FuzzProgram(model, rows, cols, ic_seed);
+    program.spec.boundary.kind = bkind;
+    if (bkind == BoundaryKind::kDirichlet) {
+      program.spec.boundary.value = 0.25;
+    }
+
+    std::ostringstream desc;
+    desc << "master-seed=0x" << std::hex << kMasterSeed << std::dec
+         << " config#" << cfg << ": " << model << " " << rows << "x"
+         << cols << " boundary=" << static_cast<int>(bkind)
+         << " precision=" << precision << " shards=" << shards
+         << (use_lut ? " lut" : " direct") << " steps=" << steps;
+    SCOPED_TRACE(desc.str());
+
+    if (precision == "float") {
+      // No float LUT evaluator exists; direct math only.
+      const auto scalar =
+          MakeSoaEngineFloat(program.spec, nullptr, KernelPath::kScalar);
+      const auto blocked =
+          MakeSoaEngineFloat(program.spec, nullptr, KernelPath::kBlocked);
+      const auto simd =
+          MakeSoaEngineFloat(program.spec, nullptr, KernelPath::kSimd);
+      scalar->Run(steps);
+      RunSharded(blocked.get(), steps, shards);
+      RunSharded(simd.get(), steps, shards);
+      ExpectSameState(*scalar, *blocked, desc.str() + " [blocked]");
+      ExpectUlpClose(*scalar, *simd, /*as_float=*/true, kMaxUlp,
+                     desc.str() + " [simd]");
+      continue;
+    }
+
+    SolverOptions options;
+    if (precision == "double") {
+      options.precision = Precision::kDouble;
+      if (use_lut) {
+        auto bank = std::make_shared<const LutBank>(program.spec,
+                                                    program.lut_config);
+        options.double_evaluator =
+            std::make_shared<LutEvaluatorDouble>(bank);
+      }
+    } else {
+      options.precision = Precision::kFixed32;
+      if (use_lut) {
+        options = LutFixedOptions(program);
+      }
+    }
+    const auto scalar =
+        MakeSoaEngine(program.spec, options, KernelPath::kScalar);
+    const auto blocked =
+        MakeSoaEngine(program.spec, options, KernelPath::kBlocked);
+    const auto simd =
+        MakeSoaEngine(program.spec, options, KernelPath::kSimd);
+    scalar->Run(steps);
+    RunSharded(blocked.get(), steps, shards);
+    RunSharded(simd.get(), steps, shards);
+    ExpectSameState(*scalar, *blocked, desc.str() + " [blocked]");
+    if (precision == "fixed") {
+      // Fixed32 simd is the blocked fallback: bit-exact, no ULP slack.
+      ExpectSameState(*scalar, *simd, desc.str() + " [simd]");
+    } else {
+      ExpectUlpClose(*scalar, *simd, /*as_float=*/false, kMaxUlp,
+                     desc.str() + " [simd]");
+    }
+  }
 }
 
 }  // namespace

@@ -379,6 +379,73 @@ TEST(TraceSessionTest, RingKeepsNewestAndCountsDropped)
   EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos);
 }
 
+TEST(TraceSessionTest, ExactFillDropsNothing)
+{
+  // Filling the ring to exactly its capacity must not count a drop or
+  // rotate the export order.
+  TraceSession t(kTraceAllCategories, 4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    t.Complete(TraceCategory::kStep, "e", i, 1);
+  }
+  EXPECT_EQ(t.Size(), 4u);
+  EXPECT_EQ(t.Dropped(), 0u);
+  const auto events = t.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].ts, i);
+  }
+  const std::string json = t.ToChromeJson(1.0);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+}
+
+TEST(TraceSessionTest, MultipleWrapsKeepTheLatestWindow)
+{
+  // The ring survives wrapping several times over: only the newest
+  // `capacity` events remain, oldest first, and the drop counter keeps
+  // the full tally.
+  TraceSession t(kTraceAllCategories, 3);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.Instant(TraceCategory::kStep, "e", i);
+  }
+  EXPECT_EQ(t.Size(), 3u);
+  EXPECT_EQ(t.Dropped(), 7u);
+  auto events = t.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts, 7u);
+  EXPECT_EQ(events[2].ts, 9u);
+
+  t.Instant(TraceCategory::kStep, "e", 10);
+  t.Instant(TraceCategory::kStep, "e", 11);
+  EXPECT_EQ(t.Dropped(), 9u);
+  events = t.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts, 9u);
+  EXPECT_EQ(events[2].ts, 11u);
+}
+
+TEST(TraceSessionTest, CapacityOneRingHoldsOnlyTheNewest)
+{
+  TraceSession t(kTraceAllCategories, 1);
+  t.Instant(TraceCategory::kStep, "a", 0);
+  t.Instant(TraceCategory::kStep, "b", 1);
+  t.Instant(TraceCategory::kStep, "c", 2);
+  EXPECT_EQ(t.Size(), 1u);
+  EXPECT_EQ(t.Dropped(), 2u);
+  auto events = t.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts, 2u);
+  EXPECT_STREQ(events[0].name, "c");
+
+  // Clear rewinds the wrap state too: the next event is a fresh ring.
+  t.Clear();
+  t.Instant(TraceCategory::kStep, "d", 5);
+  EXPECT_EQ(t.Size(), 1u);
+  EXPECT_EQ(t.Dropped(), 0u);
+  events = t.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts, 5u);
+}
+
 TEST(TraceSessionTest, ClearResets)
 {
   TraceSession t(kTraceAllCategories, 2);

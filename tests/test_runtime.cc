@@ -519,6 +519,7 @@ TEST(BatchManifestTest, ParsesJobsAndDefaults)
       "model=reaction_diffusion\n"
       "name=rd\n"
       "engine=double\n"
+      "kernel_path=simd\n"
       "shards=4\n"
       "priority=-2\n"
       "seed=7\n");
@@ -529,9 +530,11 @@ TEST(BatchManifestTest, ParsesJobsAndDefaults)
   EXPECT_EQ(jobs[0].steps, 100u);
   EXPECT_EQ(jobs[0].engine, "functional");
   EXPECT_EQ(jobs[0].precision, "");
+  EXPECT_EQ(jobs[0].kernel_path, "auto");
   EXPECT_FALSE(jobs[0].has_seed);
   EXPECT_EQ(jobs[1].name, "rd");
   EXPECT_EQ(jobs[1].engine, "double");
+  EXPECT_EQ(jobs[1].kernel_path, "simd");
   EXPECT_EQ(jobs[1].shards, 4);
   EXPECT_EQ(jobs[1].priority, -2);
   EXPECT_TRUE(jobs[1].has_seed);
@@ -544,6 +547,8 @@ TEST(BatchManifestTest, MalformedManifestsDie)
   EXPECT_DEATH(ParseManifest("model=heat\nbogus_key=1\n"), "unknown key");
   EXPECT_DEATH(ParseManifest("model=heat\nsteps=abc\n"), "integer");
   EXPECT_DEATH(ParseManifest("model=heat\nengine=gpu\n"), "unknown engine");
+  EXPECT_DEATH(ParseManifest("model=heat\nkernel_path=turbo\n"),
+               "unknown kernel_path");
   EXPECT_DEATH(ParseManifest("model=heat\nname=x\n\nmodel=heat\nname=x\n"),
                "duplicate job name");
   EXPECT_DEATH(ParseManifest("# only comments\n"), "no jobs");

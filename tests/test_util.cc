@@ -478,6 +478,64 @@ TEST(HistogramTest, ToStringListsBuckets)
   EXPECT_NE(s.find("##"), std::string::npos);
 }
 
+TEST(HistogramTest, EmptyHistogramIsSaneEverywhere)
+{
+  const Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Underflow(), 0u);
+  EXPECT_EQ(h.Overflow(), 0u);
+  for (int bin = 0; bin < h.NumBins(); ++bin) {
+    EXPECT_EQ(h.BinCount(bin), 0u);
+  }
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 0.0);
+  EXPECT_EQ(h.Moments().Count(), 0u);
+  EXPECT_EQ(h.Moments().Mean(), 0.0);
+  // Rendering an empty histogram must not divide by a zero peak.
+  EXPECT_FALSE(h.ToString(10).empty());
+}
+
+TEST(HistogramTest, SingleSampleHasExactMomentsAndBucket)
+{
+  Histogram h(0.0, 10.0, 5);
+  h.Add(2.5);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.BinCount(1), 1u);  // [2, 4)
+  EXPECT_EQ(h.Underflow(), 0u);
+  EXPECT_EQ(h.Overflow(), 0u);
+  EXPECT_EQ(h.Moments().Mean(), 2.5);
+  EXPECT_EQ(h.Moments().Min(), 2.5);
+  EXPECT_EQ(h.Moments().Max(), 2.5);
+  EXPECT_EQ(h.Moments().Variance(), 0.0);
+  // Any percentile lands inside the one occupied bucket.
+  EXPECT_GE(h.Percentile(0.5), 2.0);
+  EXPECT_LE(h.Percentile(0.5), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeSamplesLandInOverflowCounters)
+{
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-0.5);            // below lo
+  h.Add(1.0);             // hi itself is exclusive: overflow
+  h.Add(100.0);           // far overflow
+  h.Add(0.999);           // top bucket, not overflow
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 2u);
+  EXPECT_EQ(h.BinCount(0), 0u);
+  EXPECT_EQ(h.BinCount(1), 1u);
+  EXPECT_EQ(h.Count(), 4u);  // under/overflow count toward the total
+  // Moments see the exact values, not the clamped buckets.
+  EXPECT_EQ(h.Moments().Min(), -0.5);
+  EXPECT_EQ(h.Moments().Max(), 100.0);
+  // Percentiles clamp out-of-range mass to the range edges.
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 1.0);
+  // The under/overflow rows show up in the rendering.
+  const std::string s = h.ToString(10);
+  EXPECT_NE(s.find('<'), std::string::npos);
+  EXPECT_NE(s.find(">="), std::string::npos);
+}
+
 TEST(LoggingTest, WarnOnceFiresExactlyOnce)
 {
   const LogLevel before = GetLogLevel();

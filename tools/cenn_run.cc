@@ -36,6 +36,7 @@
 #include "core/solver.h"
 #include "health/health_guard.h"
 #include "kernels/kernel_path.h"
+#include "kernels/soa_simd.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
 #include "obs/profile.h"
@@ -191,8 +192,8 @@ RunMain(int argc, char** argv)
   req.precision = copts.precision;
   req.memory = copts.memory;
   if (!ParseKernelPath(copts.kernel_path.c_str(), &req.kernel_path)) {
-    CENN_FATAL("unknown --kernel-path '", copts.kernel_path,
-               "' (auto|scalar|blocked)");
+    CENN_FATAL("unknown --kernel-path '", copts.kernel_path, "' (",
+               kKernelPathChoices, ")");
   }
   const EngineRequest normalized = NormalizeEngineRequest(req);
 
@@ -306,8 +307,11 @@ RunMain(int argc, char** argv)
     std::printf("\nengine %s (%s", engine->Kind(),
                 normalized.precision.c_str());
     if (normalized.engine == "soa") {
-      std::printf(", %s kernels",
-                  KernelPathName(ResolveKernelPath(normalized.kernel_path)));
+      const KernelPath resolved = ResolveKernelPath(normalized.kernel_path);
+      std::printf(", %s kernels", KernelPathName(resolved));
+      if (resolved == KernelPath::kSimd) {
+        std::printf(" [%s]", SimdIsaName());
+      }
     }
     std::printf("): %llu steps, t = %.4f\n",
                 static_cast<unsigned long long>(steps_taken),
