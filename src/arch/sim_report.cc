@@ -85,6 +85,18 @@ ActivityCounters::BindStats(StatRegistry* registry,
                   [this] { return L1MissRate(); });
   reg.BindDerived(p + "lut.l2.miss_rate", "L2 misses / L2 accesses",
                   [this] { return L2MissRate(); });
+  // Per-level hit views matching LutCacheStats, so bench_fig12 and
+  // live runs read the same lut.l<N>.* names either way around.
+  reg.BindDerived(p + "lut.l1.hits", "L1 accesses - L1 misses", [this] {
+    return static_cast<double>(l1_accesses - l1_misses);
+  });
+  reg.BindDerived(p + "lut.l2.hits", "L2 accesses - L2 misses", [this] {
+    return static_cast<double>(l2_accesses - l2_misses);
+  });
+  reg.BindDerived(p + "lut.l1.hit_rate", "1 - L1 miss rate",
+                  [this] { return 1.0 - L1MissRate(); });
+  reg.BindDerived(p + "lut.l2.hit_rate", "1 - L2 miss rate",
+                  [this] { return 1.0 - L2MissRate(); });
   reg.BindCounter(p + "buf.bank_reads", "global-buffer words read",
                   &bank_reads);
   reg.BindCounter(p + "buf.bank_writes", "global-buffer words written",

@@ -36,7 +36,8 @@
 
 namespace cenn {
 
-class HealthGuard;  // src/health; attached via AttachHealthGuard
+class HealthGuard;      // src/health; attached via AttachHealthGuard
+class LutTrafficSink;   // src/lut; attached via AttachLutTraffic
 struct NetworkSpec;
 class StatRegistry;
 
@@ -132,8 +133,28 @@ class Engine
 
     ///@}
 
+    /**
+     * @name LUT traffic accounting
+     * Same hosting pattern as the health guard: drivers attach a
+     * LutTrafficSink (src/lut) and stepping scopes — RunSharded's
+     * band workers, SolverSession slices, the serial tool loops —
+     * install a ScopedLutTally against it, so off-chip LUT
+     * access/hit counts aggregate per engine. The engine never
+     * consults the sink; no sink, no accounting, no cost.
+     */
+    ///@{
+
+    /** Attaches `sink` (nullptr detaches). Caller keeps ownership. */
+    void AttachLutTraffic(LutTrafficSink* sink) { lut_traffic_ = sink; }
+
+    /** The attached traffic sink, or nullptr. */
+    LutTrafficSink* AttachedLutTraffic() const { return lut_traffic_; }
+
+    ///@}
+
   private:
     HealthGuard* health_guard_ = nullptr;
+    LutTrafficSink* lut_traffic_ = nullptr;
 };
 
 }  // namespace cenn

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/stat_registry.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -99,7 +100,77 @@ SoaEngine<T>::Prepare()
     return;
   }
   plans_ = BuildLayerPlans(spec_, *evaluator_);
+  ComputeTrafficModel();
   prepared_ = true;
+}
+
+template <typename T>
+void
+SoaEngine<T>::ComputeTrafficModel()
+{
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(spec_.cols) * sizeof(T);
+  const std::uint64_t cols = spec_.cols;
+  const bool simd_luts = path_ == KernelPath::kSimd && simd_step_ != nullptr;
+  const int lanes = std::max(1, SimdLanesDouble());
+  // 5-field tuple gather (p, l_p, a1, a2, a3) per vector strip.
+  const std::uint64_t gathers_per_strip = 5;
+  const std::uint64_t strips_per_row =
+      (cols + static_cast<std::uint64_t>(lanes) - 1) /
+      static_cast<std::uint64_t>(lanes);
+
+  // Analytic op cost of one factor evaluation: Horner is one MAC (2
+  // ops) per coefficient; the LUT cubic (and the fixed-point TUM
+  // closure behind bound evaluators) is 3 MACs (6 ops).
+  const auto factor_ops = [](const CompiledFactor<T>& f) -> std::uint64_t {
+    if (f.vec.poly != nullptr) {
+      return 2 * f.vec.poly->size();
+    }
+    return 6;
+  };
+
+  step_read_bytes_per_row_ = 0;
+  step_write_bytes_per_row_ = 0;
+  step_flops_per_row_ = 0;
+  step_gathers_per_row_ = 0;
+  for (const LayerPlan<T>& plan : plans_) {
+    // Accumulator init + Euler update: self row read once (shared by
+    // both loops — it stays cache-resident), next row written once.
+    step_read_bytes_per_row_ += row_bytes;
+    step_write_bytes_per_row_ += row_bytes;
+    step_flops_per_row_ += (plan.has_self_decay ? 1 : 0) * cols;  // z - x
+    step_flops_per_row_ += 2 * cols;                              // Euler MAC
+    for (const CompiledTap<T>& tap : plan.taps) {
+      step_read_bytes_per_row_ += row_bytes;  // source row stream
+      step_flops_per_row_ += 2 * cols;        // acc += w * nbr
+      for (const CompiledFactor<T>& f : tap.factors) {
+        step_read_bytes_per_row_ += row_bytes;  // control row stream
+        step_flops_per_row_ += (factor_ops(f) + 1) * cols;
+        if (simd_luts && f.vec.lut != nullptr) {
+          step_gathers_per_row_ += gathers_per_strip * strips_per_row;
+        }
+      }
+    }
+    for (const CompiledOffset<T>& off : plan.offsets) {
+      step_flops_per_row_ += 2 * cols;  // acc += k * prod
+      for (const CompiledFactor<T>& f : off.factors) {
+        step_read_bytes_per_row_ += row_bytes;
+        step_flops_per_row_ += (factor_ops(f) + 1) * cols;
+        if (simd_luts && f.vec.lut != nullptr) {
+          step_gathers_per_row_ += gathers_per_strip * strips_per_row;
+        }
+      }
+    }
+  }
+
+  refresh_read_bytes_per_row_ = 0;
+  refresh_write_bytes_per_row_ = 0;
+  for (const std::uint8_t needed : needs_output_) {
+    if (needed != 0) {
+      refresh_read_bytes_per_row_ += row_bytes;
+      refresh_write_bytes_per_row_ += row_bytes;
+    }
+  }
 }
 
 template <typename T>
@@ -190,6 +261,11 @@ SoaEngine<T>::RefreshOutputs(std::size_t row_begin, std::size_t row_end)
       }
     }
   }
+  const std::uint64_t rows = row_end - row_begin;
+  traffic_bytes_read_.fetch_add(rows * refresh_read_bytes_per_row_,
+                                std::memory_order_relaxed);
+  traffic_bytes_written_.fetch_add(rows * refresh_write_bytes_per_row_,
+                                   std::memory_order_relaxed);
 }
 
 template <typename T>
@@ -422,6 +498,17 @@ SoaEngine<T>::StepBands(std::size_t row_begin, std::size_t row_end)
   } else {
     ComputeRowsBlocked(row_begin, row_end);
   }
+  const std::uint64_t rows = row_end - row_begin;
+  traffic_bytes_read_.fetch_add(rows * step_read_bytes_per_row_,
+                                std::memory_order_relaxed);
+  traffic_bytes_written_.fetch_add(rows * step_write_bytes_per_row_,
+                                   std::memory_order_relaxed);
+  traffic_flops_.fetch_add(rows * step_flops_per_row_,
+                           std::memory_order_relaxed);
+  if (step_gathers_per_row_ != 0) {
+    traffic_lut_gathers_.fetch_add(rows * step_gathers_per_row_,
+                                   std::memory_order_relaxed);
+  }
 }
 
 template <typename T>
@@ -463,6 +550,46 @@ SoaEngine<T>::Step()
   RefreshOutputs(0, spec_.rows);
   StepBands(0, spec_.rows);
   Publish();
+}
+
+template <typename T>
+void
+SoaEngine<T>::BindStats(StatRegistry* registry, const std::string& prefix)
+{
+  Engine::BindStats(registry, prefix);
+  StatRegistry& reg = *registry;
+  const std::string& p = prefix;
+  reg.BindAtomicCounter(p + "kernels.traffic.bytes_read",
+                        "state/input/control bytes streamed (traffic model)",
+                        &traffic_bytes_read_);
+  reg.BindAtomicCounter(p + "kernels.traffic.bytes_written",
+                        "next-state/output bytes written (traffic model)",
+                        &traffic_bytes_written_);
+  reg.BindAtomicCounter(p + "kernels.traffic.lut_gathers",
+                        "simd LUT tuple gather instructions issued",
+                        &traffic_lut_gathers_);
+  reg.BindAtomicCounter(p + "kernels.traffic.flops",
+                        "analytic arithmetic-op count for stepped bands",
+                        &traffic_flops_);
+  reg.BindDerived(
+      p + "kernels.traffic.total_bytes", "bytes read + bytes written",
+      [this] {
+        return static_cast<double>(
+            traffic_bytes_read_.load(std::memory_order_relaxed) +
+            traffic_bytes_written_.load(std::memory_order_relaxed));
+      });
+  reg.BindDerived(
+      p + "kernels.traffic.flops_per_byte",
+      "arithmetic intensity of the stepped bands", [this] {
+        const auto bytes =
+            traffic_bytes_read_.load(std::memory_order_relaxed) +
+            traffic_bytes_written_.load(std::memory_order_relaxed);
+        return bytes == 0
+                   ? 0.0
+                   : static_cast<double>(
+                         traffic_flops_.load(std::memory_order_relaxed)) /
+                         static_cast<double>(bytes);
+      });
 }
 
 template <typename T>

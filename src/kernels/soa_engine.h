@@ -36,6 +36,7 @@
  * schedule, and band stepping (SupportsBands) is always available.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -87,6 +88,15 @@ class SoaEngine final : public Engine
     void SetSteps(std::uint64_t steps) override { steps_ = steps; }
     std::vector<double> Snapshot(int layer) const override;
     void RestoreState(int layer, std::span<const double> values) override;
+
+    /**
+     * Adds `kernels.traffic.*` to the default engine stats: bytes
+     * read/written, simd LUT tuple gathers and an analytic FLOP
+     * count, accumulated per stepped band from the per-row traffic
+     * model (see ComputeTrafficModel).
+     */
+    void BindStats(StatRegistry* registry, const std::string& prefix)
+        override;
     ///@}
 
     /** The resolved stepping implementation (never kAuto). */
@@ -133,6 +143,19 @@ class SoaEngine final : public Engine
     /** Post-publish threshold reset rules (mirrors ApplyResets). */
     void ApplyResets();
 
+    /**
+     * Precomputes the per-row traffic model from the compiled plans:
+     * how many bytes one interior destination row streams (reads:
+     * self + tap source rows + factor control rows; writes: the
+     * next-state row), how many vector tuple gathers the simd LUT
+     * path issues, and an analytic arithmetic-op count. Band stepping
+     * then bumps the live counters with rows * per-row cost — O(1)
+     * relaxed atomic adds per band, nothing per cell. Edge rows cost
+     * slightly different byte counts than this interior model; the
+     * counters are a streaming-traffic model, not a memory trace.
+     */
+    void ComputeTrafficModel();
+
     NetworkSpec spec_;
     std::shared_ptr<FunctionEvaluator<T>> evaluator_;
     std::vector<LayerPlan<T>> plans_;
@@ -152,6 +175,20 @@ class SoaEngine final : public Engine
     /** Dispatched vector kernel; null when T has none (Fixed32). */
     SimdStepFn<T> simd_step_ = nullptr;
     std::uint64_t steps_ = 0;
+
+    /** @name Traffic model (see ComputeTrafficModel) */
+    ///@{
+    std::uint64_t step_read_bytes_per_row_ = 0;
+    std::uint64_t step_write_bytes_per_row_ = 0;
+    std::uint64_t step_flops_per_row_ = 0;
+    std::uint64_t step_gathers_per_row_ = 0;
+    std::uint64_t refresh_read_bytes_per_row_ = 0;
+    std::uint64_t refresh_write_bytes_per_row_ = 0;
+    std::atomic<std::uint64_t> traffic_bytes_read_{0};
+    std::atomic<std::uint64_t> traffic_bytes_written_{0};
+    std::atomic<std::uint64_t> traffic_lut_gathers_{0};
+    std::atomic<std::uint64_t> traffic_flops_{0};
+    ///@}
 };
 
 extern template class SoaEngine<double>;

@@ -36,6 +36,7 @@
 #include "core/network_spec.h"
 #include "kernels/soa_simd.h"
 #include "kernels/vec.h"
+#include "lut/lut_traffic.h"
 #include "lut/off_chip_lut.h"
 #include "util/logging.h"
 
@@ -165,9 +166,14 @@ PolyHorner(const std::vector<double>& c, VecD x)
  * replicating IndexOf exactly, a 5-field tuple gather, the delta-form
  * cubic l_p + d(a1 + d(a2 + d a3)), and an exact-sample blend for
  * lanes where x lands on a sample point.
+ *
+ * `n` is the number of *valid* lanes (the tail of a strip carries
+ * garbage): the LutTally accounting counts exactly those lanes, one
+ * access each and one exact hit per x == p lane, so the counters
+ * match what n scalar EvaluateDouble calls would have recorded.
  */
 inline VecD
-LutGatherEval(const OffChipLut& lut, VecD x)
+LutGatherEval(const OffChipLut& lut, VecD x, int n)
 {
   constexpr int kLanes = VecD::kLanes;
   static_assert(sizeof(TaylorTuple) % sizeof(double) == 0);
@@ -206,6 +212,15 @@ LutGatherEval(const OffChipLut& lut, VecD x)
   // TaylorTuple::EvaluateAroundP, two roundings per MulAdd.
   const VecD cubic = VecD::MulAdd(
       d, VecD::MulAdd(d, VecD::MulAdd(d, a3, a2), a1), lp);
+  if (lut_traffic::t_tally != nullptr) {
+    double ps[kLanes];
+    p.Store(ps);
+    std::uint64_t hits = 0;
+    for (int i = 0; i < n; ++i) {
+      hits += xs[i] == ps[i] ? 1u : 0u;
+    }
+    lut_traffic::CountAccesses(static_cast<std::uint64_t>(n), hits);
+  }
   // EvaluateDouble returns l_p exactly when x == p (NaN lanes take
   // the cubic branch, same as the scalar comparison).
   return VecD::Select(x.CmpEq(p), lp, cubic);
@@ -224,7 +239,7 @@ EvalFactorVec(const CompiledFactor<double>& f, VecD ctrl, int n)
     return PolyHorner(*f.vec.poly, ctrl);
   }
   if (f.vec.lut != nullptr) {
-    return LutGatherEval(*f.vec.lut, ctrl);
+    return LutGatherEval(*f.vec.lut, ctrl, n);
   }
   double xs[VecD::kLanes];
   double ys[VecD::kLanes];

@@ -1,0 +1,43 @@
+#include "lut/lut_traffic.h"
+
+#include "obs/stat_registry.h"
+
+namespace cenn {
+
+double
+LutTrafficSink::HitRate() const
+{
+  const std::uint64_t accesses = Accesses();
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(ExactHits()) /
+                             static_cast<double>(accesses);
+}
+
+void
+LutTrafficSink::Reset()
+{
+  accesses_.store(0, std::memory_order_relaxed);
+  exact_hits_.store(0, std::memory_order_relaxed);
+}
+
+void
+LutTrafficSink::BindStats(StatRegistry* registry,
+                          const std::string& prefix) const
+{
+  StatRegistry& reg = *registry;
+  const std::string& p = prefix;
+  reg.BindAtomicCounter(p + "lut.interp.accesses",
+                        "off-chip LUT evaluations", &accesses_);
+  reg.BindAtomicCounter(p + "lut.interp.exact_hits",
+                        "evaluations landing exactly on a stored sample",
+                        &exact_hits_);
+  reg.BindDerived(p + "lut.interp.hit_rate",
+                  "exact sample hits / accesses",
+                  [this] { return HitRate(); });
+  reg.BindDerived(p + "lut.interp.taylor_evals",
+                  "evaluations needing the cubic TUM datapath", [this] {
+                    return static_cast<double>(Accesses() - ExactHits());
+                  });
+}
+
+}  // namespace cenn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lut/lut_traffic.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -101,8 +102,10 @@ OffChipLut::EvaluateDouble(double x) const
 {
   const TaylorTuple& t = LookupTuple(x);
   if (x == t.p) {
+    lut_traffic::CountAccesses(1, 1);
     return t.l_p;
   }
+  lut_traffic::CountAccesses(1, 0);
   return t.EvaluateAroundP(x);
 }
 
@@ -112,8 +115,10 @@ OffChipLut::EvaluateFixed(Fixed32 x) const
   const int idx = IndexOf(x);
   const FixedTuple& ft = fixed_entries_[static_cast<std::size_t>(idx)];
   if (IsExactSample(x)) {
+    lut_traffic::CountAccesses(1, 1);
     return ft.l_p;
   }
+  lut_traffic::CountAccesses(1, 0);
   // Delta-form TUM datapath: d = x - p is exact in fixed point and
   // |d| < spacing, so quantized a1..a3 contribute only O(eps) error.
   const Fixed32 d = x - ft.p;
@@ -126,8 +131,10 @@ OffChipLut::EvaluateFixedExpanded(Fixed32 x) const
   const int idx = IndexOf(x);
   const FixedTuple& ft = fixed_entries_[static_cast<std::size_t>(idx)];
   if (IsExactSample(x)) {
+    lut_traffic::CountAccesses(1, 1);
     return ft.l_p;
   }
+  lut_traffic::CountAccesses(1, 0);
   // The paper's literal eq. (10): alpha = c0 + (c1 + c2 x) x, value =
   // c3 + alpha x. Quantization error in c1/c2 is amplified by x^2/x^3.
   const Fixed32 alpha = ft.c0 + (ft.c1 + ft.c2 * x) * x;

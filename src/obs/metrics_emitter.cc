@@ -1,0 +1,209 @@
+#include "obs/metrics_emitter.h"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/stat_registry.h"
+#include "obs/stats_io.h"
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+/** Shortest round-trippable JSON number; non-finite becomes null. */
+std::string
+JsonNumber(double v)
+{
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::llround(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+void
+AppendObject(std::string* out, const char* key,
+             const std::map<std::string, double>& fields)
+{
+  *out += '"';
+  *out += key;
+  *out += "\":{";
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    *out += '"';
+    *out += name;  // stat names never need escaping (ValidStatName)
+    *out += "\":";
+    *out += JsonNumber(value);
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+MetricsEmitter::MetricsEmitter(const StatRegistry* registry,
+                               MetricsOptions options)
+    : registry_(registry), options_(std::move(options))
+{
+  CENN_ASSERT(registry_ != nullptr, "MetricsEmitter: null registry");
+  if (options_.interval_ms < 1) {
+    options_.interval_ms = 1;
+  }
+}
+
+MetricsEmitter::~MetricsEmitter()
+{
+  Stop();
+}
+
+bool
+MetricsEmitter::Start()
+{
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) {
+    return true;
+  }
+  out_ = std::fopen(options_.path.c_str(), "w");
+  if (out_ == nullptr) {
+    CENN_WARN("cannot open metrics output file '", options_.path, "'");
+    return false;
+  }
+  running_ = true;
+  stop_requested_ = false;
+  seq_ = 0;
+  last_counters_.clear();
+  start_time_ = std::chrono::steady_clock::now();
+  WriteSampleLocked("start");
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void
+MetricsEmitter::Stop()
+{
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteSampleLocked("exit");
+  std::fclose(out_);
+  out_ = nullptr;
+  running_ = false;
+}
+
+void
+MetricsEmitter::SampleNow(const std::string& reason)
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) {
+    return;
+  }
+  WriteSampleLocked(reason);
+}
+
+std::uint64_t
+MetricsEmitter::SamplesWritten() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+bool
+MetricsEmitter::Running() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void
+MetricsEmitter::Loop()
+{
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    const auto period = std::chrono::milliseconds(options_.interval_ms);
+    if (cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
+      break;  // Stop() writes the final sample after the join
+    }
+    WriteSampleLocked("interval");
+  }
+}
+
+void
+MetricsEmitter::WriteSampleLocked(const std::string& reason)
+{
+  // TypedSnapshot serializes on the registry mutex, so concurrent
+  // registrations / dumps are safe; bound plain-uint64 counters are
+  // read non-atomically by design (see StatRegistry's contract).
+  const auto snapshot = registry_->TypedSnapshot();
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, double> deltas;
+  for (const auto& [name, stat] : snapshot) {
+    if (stat.kind == StatKind::kCounter) {
+      counters.emplace(name, stat.value);
+      const auto last = last_counters_.find(name);
+      const double prev = last == last_counters_.end() ? 0.0 : last->second;
+      // Clamp: a counter rebound mid-run (new session in the same
+      // registry) must not produce a negative delta.
+      deltas.emplace(name, stat.value >= prev ? stat.value - prev : 0.0);
+      last_counters_[name] = stat.value;
+    } else {
+      gauges.emplace(name, stat.value);
+    }
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  const double uptime_ms =
+      std::chrono::duration<double, std::milli>(now - start_time_).count();
+  // Integer epoch milliseconds (doubles above 2^53 / %.9g would lose
+  // millisecond resolution).
+  const auto ts_ms = static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  char ts_buf[32];
+  std::snprintf(ts_buf, sizeof(ts_buf), "%llu", ts_ms);
+
+  std::string line;
+  line.reserve(256 + 32 * snapshot.size());
+  line += "{\"schema\":\"";
+  line += kSchema;
+  line += "\",\"seq\":";
+  line += JsonNumber(static_cast<double>(seq_));
+  line += ",\"ts_ms\":";
+  line += ts_buf;
+  line += ",\"uptime_ms\":";
+  line += JsonNumber(uptime_ms);
+  line += ",\"reason\":\"";
+  line += JsonEscape(reason);
+  line += "\",";
+  AppendObject(&line, "counters", counters);
+  line += ',';
+  AppendObject(&line, "gauges", gauges);
+  line += ',';
+  AppendObject(&line, "deltas", deltas);
+  line += "}\n";
+
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+  ++seq_;
+}
+
+}  // namespace cenn

@@ -1,0 +1,115 @@
+#ifndef CENN_OBS_METRICS_EMITTER_H_
+#define CENN_OBS_METRICS_EMITTER_H_
+
+/**
+ * @file
+ * Streaming metrics: periodic JSONL snapshots of a StatRegistry.
+ *
+ * A MetricsEmitter samples the (thread-safe) registry on a fixed
+ * interval from its own background thread and appends one JSON object
+ * per sample to a file, so a long run can be watched live (`tail -f`,
+ * a dashboard scraper) instead of waiting for the exit dump.
+ *
+ * Schema (one line per sample, `schema` = "cenn.metrics.v1"):
+ *
+ *   {"schema":"cenn.metrics.v1","seq":N,"ts_ms":<epoch ms>,
+ *    "uptime_ms":<ms since Start>,"reason":"start|interval|...|exit",
+ *    "counters":{...},"gauges":{...},"deltas":{...}}
+ *
+ * `counters` holds the monotonic counter stats (including histogram
+ * `.count` sub-stats) at their current absolute values; `deltas`
+ * holds, for each counter, the increase since the previous line (the
+ * full value on the first line); `gauges` holds everything
+ * point-in-time — gauges, derived stats and histogram moments /
+ * percentiles. Counter values are monotone non-decreasing from line
+ * to line; gauge values move freely.
+ *
+ * Samples are forced (out of interval) by SampleNow(), which callers
+ * use on session state transitions — pause, fault, checkpoint — and
+ * Stop() always appends a final "exit" sample before joining, so the
+ * last line is the exit snapshot even when the run dies between
+ * ticks.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace cenn {
+
+class StatRegistry;
+
+/** Where and how often a MetricsEmitter samples. */
+struct MetricsOptions {
+  std::string path;       ///< JSONL output file (appended line-wise)
+  int interval_ms = 250;  ///< background sampling period
+};
+
+/** Background JSONL sampler over one StatRegistry. */
+class MetricsEmitter
+{
+  public:
+    static constexpr const char* kSchema = "cenn.metrics.v1";
+
+    /** Registry must outlive the emitter. Does not start sampling. */
+    MetricsEmitter(const StatRegistry* registry, MetricsOptions options);
+
+    /** Stops (with a final sample) if still running. */
+    ~MetricsEmitter();
+
+    MetricsEmitter(const MetricsEmitter&) = delete;
+    MetricsEmitter& operator=(const MetricsEmitter&) = delete;
+
+    /**
+     * Opens the output file, writes the "start" sample and launches
+     * the sampling thread. Returns false (with a warning) when the
+     * file cannot be opened.
+     */
+    bool Start();
+
+    /**
+     * Appends the final "exit" sample, joins the thread and closes
+     * the file. Idempotent.
+     */
+    void Stop();
+
+    /**
+     * Forces a sample now, tagged with `reason` (free-form; JSON
+     * escaped). Thread-safe; no-op when not running.
+     */
+    void SampleNow(const std::string& reason);
+
+    /** Lines written so far (including the start sample). */
+    std::uint64_t SamplesWritten() const;
+
+    /** True between a successful Start() and Stop(). */
+    bool Running() const;
+
+  private:
+    void Loop();
+
+    /** Samples the registry and appends one line. Needs mu_. */
+    void WriteSampleLocked(const std::string& reason);
+
+    const StatRegistry* registry_;
+    MetricsOptions options_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::FILE* out_ = nullptr;
+    bool running_ = false;
+    bool stop_requested_ = false;
+    std::uint64_t seq_ = 0;
+    std::map<std::string, double> last_counters_;
+    std::chrono::steady_clock::time_point start_time_;
+    std::thread thread_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_OBS_METRICS_EMITTER_H_

@@ -1,7 +1,6 @@
 #include "obs/profile.h"
 
 #include <algorithm>
-#include <vector>
 
 #include "util/logging.h"
 #include "util/table.h"
@@ -29,16 +28,61 @@ Profiler::RegisterZone(const char* name)
   if (id >= kMaxZones) {
     CENN_FATAL("Profiler: more than ", kMaxZones, " zones registered");
   }
-  zones_[id].name = name;
+  names_[id] = name;
   return id;
+}
+
+Profiler::TableHolder::TableHolder()
+{
+  Profiler& prof = Instance();
+  std::lock_guard<std::mutex> lock(prof.tables_mu_);
+  prof.tables_.push_back(&table);
+}
+
+Profiler::TableHolder::~TableHolder()
+{
+  // A pooled thread dying mid-run must not lose its samples: fold
+  // them into the retired totals before the storage goes away.
+  Instance().Unregister(&table);
+}
+
+void
+Profiler::DrainTable(const ThreadTable& table)
+{
+  for (int i = 0; i < kMaxZones; ++i) {
+    retired_calls_[i] += table.calls[i].load(std::memory_order_relaxed);
+    retired_ns_[i] += table.ns[i].load(std::memory_order_relaxed);
+  }
+}
+
+void
+Profiler::Unregister(ThreadTable* table)
+{
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  DrainTable(*table);
+  tables_.erase(std::remove(tables_.begin(), tables_.end(), table),
+                tables_.end());
+}
+
+Profiler::ThreadTable&
+Profiler::LocalTable()
+{
+  thread_local TableHolder holder;
+  return holder.table;
 }
 
 void
 Profiler::Record(int zone_id, std::uint64_t ns)
 {
   CENN_ASSERT(zone_id >= 0 && zone_id < NumZones(), "bad zone id ", zone_id);
-  zones_[zone_id].calls.fetch_add(1, std::memory_order_relaxed);
-  zones_[zone_id].total_ns.fetch_add(ns, std::memory_order_relaxed);
+  // Single-writer slots: a plain load+store (not an RMW) is enough,
+  // and other threads only ever read these at merge time.
+  ThreadTable& t = LocalTable();
+  t.calls[zone_id].store(
+      t.calls[zone_id].load(std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  t.ns[zone_id].store(t.ns[zone_id].load(std::memory_order_relaxed) + ns,
+                      std::memory_order_relaxed);
 }
 
 int
@@ -51,23 +95,47 @@ std::uint64_t
 Profiler::Calls(int zone_id) const
 {
   CENN_ASSERT(zone_id >= 0 && zone_id < NumZones(), "bad zone id ", zone_id);
-  return zones_[zone_id].calls.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  std::uint64_t total = retired_calls_[zone_id];
+  for (const ThreadTable* t : tables_) {
+    total += t->calls[zone_id].load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 std::uint64_t
 Profiler::TotalNs(int zone_id) const
 {
   CENN_ASSERT(zone_id >= 0 && zone_id < NumZones(), "bad zone id ", zone_id);
-  return zones_[zone_id].total_ns.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  std::uint64_t total = retired_ns_[zone_id];
+  for (const ThreadTable* t : tables_) {
+    total += t->ns[zone_id].load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void
 Profiler::Reset()
 {
-  for (int i = 0; i < NumZones(); ++i) {
-    zones_[i].calls.store(0, std::memory_order_relaxed);
-    zones_[i].total_ns.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  for (int i = 0; i < kMaxZones; ++i) {
+    retired_calls_[i] = 0;
+    retired_ns_[i] = 0;
   }
+  for (ThreadTable* t : tables_) {
+    for (int i = 0; i < kMaxZones; ++i) {
+      t->calls[i].store(0, std::memory_order_relaxed);
+      t->ns[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int
+Profiler::NumThreadTables() const
+{
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  return static_cast<int>(tables_.size());
 }
 
 std::string
@@ -85,7 +153,7 @@ Profiler::Report() const
     if (calls == 0) {
       continue;
     }
-    rows.push_back({zones_[i].name, calls, TotalNs(i)});
+    rows.push_back({names_[i], calls, TotalNs(i)});
     peak_ns = std::max(peak_ns, rows.back().ns);
   }
   if (rows.empty()) {
@@ -96,7 +164,7 @@ Profiler::Report() const
 
   std::string out =
       "self-profile (inclusive wall time; zones nest, so children are "
-      "counted inside parents):\n";
+      "counted inside parents; merged over all threads):\n";
   TextTable table({"zone", "calls", "total ms", "ns/call", "% of top"});
   for (const Row& r : rows) {
     table.AddRow(

@@ -15,14 +15,22 @@
  * steady_clock and accumulated into the zone's call/ns totals.
  *
  * Zones nest; reported times are *inclusive* (a parent zone includes
- * its children), which the report header states. Totals are atomics,
- * so zones may be entered from several threads concurrently.
+ * its children), which the report header states.
+ *
+ * Threading: each thread accumulates into its own zone table (plain
+ * single-writer slots, registered with the singleton on first use
+ * and drained into retired totals at thread exit), so band workers
+ * never contend on shared counters and a pooled thread's work is
+ * never lost when it dies. Report()/Calls()/TotalNs() merge the live
+ * tables and the retired totals at read time.
  */
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace cenn {
 
@@ -53,14 +61,22 @@ class Profiler
     /** Registered zone count. */
     int NumZones() const;
 
-    /** Calls recorded for a zone (0 when never entered). */
+    /** Calls recorded for a zone, merged over threads (0 = never). */
     std::uint64_t Calls(int zone_id) const;
 
-    /** Total inclusive nanoseconds recorded for a zone. */
+    /** Total inclusive nanoseconds for a zone, merged over threads. */
     std::uint64_t TotalNs(int zone_id) const;
 
-    /** Zeroes every zone's totals (registrations are kept). */
+    /**
+     * Zeroes every zone's totals — retired and live-thread tables —
+     * keeping registrations. Call it between runs, not while other
+     * threads are actively recording (a concurrent Record may
+     * survive the wipe).
+     */
     void Reset();
+
+    /** Thread tables currently registered (tests/diagnostics). */
+    int NumThreadTables() const;
 
     /**
      * Self-profile table sorted by total time: zone, calls, total ms,
@@ -72,17 +88,41 @@ class Profiler
   private:
     Profiler() = default;
 
-    struct Zone {
-      const char* name = nullptr;
-      std::atomic<std::uint64_t> calls{0};
-      std::atomic<std::uint64_t> total_ns{0};
+    static constexpr int kMaxZones = 256;
+
+    /**
+     * One thread's accumulation slots. Only the owning thread
+     * writes; other threads read at merge time, so the slots are
+     * relaxed atomics (single-writer load+store, no RMW, no
+     * cross-thread cache-line ping-pong).
+     */
+    struct ThreadTable {
+      std::atomic<std::uint64_t> calls[kMaxZones] = {};
+      std::atomic<std::uint64_t> ns[kMaxZones] = {};
     };
 
-    static constexpr int kMaxZones = 256;
+    /** Registers a ThreadTable for its lifetime (see LocalTable). */
+    struct TableHolder {
+      TableHolder();
+      ~TableHolder();
+      ThreadTable table;
+    };
+
+    /** The calling thread's table, created and registered on demand. */
+    ThreadTable& LocalTable();
+
+    void DrainTable(const ThreadTable& table);  // needs tables_mu_
+    void Unregister(ThreadTable* table);
 
     std::atomic<bool> enabled_{false};
     std::atomic<int> num_zones_{0};
-    Zone zones_[kMaxZones];
+    const char* names_[kMaxZones] = {};
+
+    /** Guards the live-table list and the retired totals. */
+    mutable std::mutex tables_mu_;
+    std::vector<ThreadTable*> tables_;
+    std::uint64_t retired_calls_[kMaxZones] = {};
+    std::uint64_t retired_ns_[kMaxZones] = {};
 };
 
 /** RAII timer for one profiling zone (see CENN_PROF). */

@@ -110,6 +110,18 @@ StatRegistry::BindCounter(const std::string& name, const std::string& desc,
 }
 
 void
+StatRegistry::BindAtomicCounter(const std::string& name,
+                                const std::string& desc,
+                                const std::atomic<std::uint64_t>* source)
+{
+  CENN_ASSERT(source != nullptr, "BindAtomicCounter('", name,
+              "'): null source");
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = NewEntry(name, desc, StatKind::kCounter);
+  e.bound_atomic = source;
+}
+
+void
 StatRegistry::BindDerived(const std::string& name, const std::string& desc,
                           std::function<double()> fn)
 {
@@ -144,6 +156,10 @@ StatRegistry::ScalarValue(const Entry& e) const
 {
   switch (e.kind) {
     case StatKind::kCounter:
+      if (e.bound_atomic != nullptr) {
+        return static_cast<double>(
+            e.bound_atomic->load(std::memory_order_relaxed));
+      }
       return static_cast<double>(e.bound != nullptr ? *e.bound
                                                     : e.counter->Value());
     case StatKind::kGauge:
@@ -224,6 +240,28 @@ StatRegistry::Snapshot() const
   std::map<std::string, double> out;
   for (const Entry& e : entries_) {
     AppendFlat(e, &out);
+  }
+  return out;
+}
+
+std::map<std::string, StatRegistry::TypedStat>
+StatRegistry::TypedSnapshot() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, TypedStat> out;
+  for (const Entry& e : entries_) {
+    if (e.kind != StatKind::kHistogram) {
+      out.emplace(e.name, TypedStat{ScalarValue(e), e.kind});
+      continue;
+    }
+    std::map<std::string, double> flat;
+    AppendFlat(e, &flat);
+    for (const auto& [n, v] : flat) {
+      const bool count = n.size() >= 6 &&
+                         n.compare(n.size() - 6, 6, ".count") == 0;
+      out.emplace(n, TypedStat{v, count ? StatKind::kCounter
+                                        : StatKind::kGauge});
+    }
   }
   return out;
 }
@@ -375,6 +413,14 @@ StatScope::BindDerived(const std::string& name, const std::string& desc,
                        std::function<double()> fn)
 {
   parent_->BindDerived(prefix_ + name, desc, std::move(fn));
+}
+
+void
+StatScope::BindAtomicCounter(const std::string& name,
+                             const std::string& desc,
+                             const std::atomic<std::uint64_t>* source)
+{
+  parent_->BindAtomicCounter(prefix_ + name, desc, source);
 }
 
 StatScope

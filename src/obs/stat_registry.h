@@ -25,6 +25,7 @@
  * the dot hierarchy read as a tree and makes `Diff` line up runs.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -114,6 +115,14 @@ class StatRegistry
     void BindCounter(const std::string& name, const std::string& desc,
                      const std::uint64_t* source);
 
+    /**
+     * Binds an atomic integer field as a counter stat, for counters
+     * that several worker threads bump concurrently (kernel traffic,
+     * LUT tallies). Read with memory_order_relaxed at dump time.
+     */
+    void BindAtomicCounter(const std::string& name, const std::string& desc,
+                           const std::atomic<std::uint64_t>* source);
+
     /** Binds a dump-time callback as a derived (double) stat. */
     void BindDerived(const std::string& name, const std::string& desc,
                      std::function<double()> fn);
@@ -162,6 +171,21 @@ class StatRegistry
      */
     std::map<std::string, double> Snapshot() const;
 
+    /** A flattened value plus what kind of stat produced it. */
+    struct TypedStat {
+      double value = 0.0;
+      StatKind kind = StatKind::kGauge;
+    };
+
+    /**
+     * Snapshot() plus per-name kinds, for consumers that treat
+     * monotonic counters differently from point-in-time values (the
+     * MetricsEmitter's delta stream). Histogram sub-stats flatten as
+     * `.count` → kCounter and the moments/percentiles → kGauge;
+     * derived stats keep kDerived (point-in-time semantics).
+     */
+    std::map<std::string, TypedStat> TypedSnapshot() const;
+
     /** Parses a DumpText()-format dump back into a snapshot. */
     static std::map<std::string, double> ParseDump(const std::string& text);
 
@@ -181,6 +205,8 @@ class StatRegistry
       StatKind kind = StatKind::kCounter;
       StatCounter* counter = nullptr;        // owned (kCounter)
       const std::uint64_t* bound = nullptr;  // bound (kCounter)
+      const std::atomic<std::uint64_t>* bound_atomic =
+          nullptr;                           // bound (kCounter, atomic)
       StatGauge* gauge = nullptr;            // owned (kGauge)
       std::function<double()> derived;       // kDerived
       Histogram* histogram = nullptr;        // owned (kHistogram)
@@ -229,6 +255,10 @@ class StatScope
     /** Binds an existing integer field under the scope prefix. */
     void BindCounter(const std::string& name, const std::string& desc,
                      const std::uint64_t* source);
+
+    /** Binds an atomic integer field under the scope prefix. */
+    void BindAtomicCounter(const std::string& name, const std::string& desc,
+                           const std::atomic<std::uint64_t>* source);
 
     /** Binds a dump-time callback under the scope prefix. */
     void BindDerived(const std::string& name, const std::string& desc,

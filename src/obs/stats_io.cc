@@ -1,11 +1,55 @@
 #include "obs/stats_io.h"
 
+#include <cstdio>
 #include <fstream>
 
 #include "obs/stat_registry.h"
 #include "util/logging.h"
 
 namespace cenn {
+
+std::string
+JsonEscape(const std::string& s)
+{
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
 
 bool
 WriteStatsFile(const StatRegistry& registry, const std::string& path)

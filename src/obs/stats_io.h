@@ -20,6 +20,14 @@ class StatRegistry;
  */
 bool WriteStatsFile(const StatRegistry& registry, const std::string& path);
 
+/**
+ * Escapes `s` for embedding inside a JSON string literal: quotes and
+ * backslashes get a backslash, control characters become \n/\t/\r/...
+ * or \u00XX. Stat names never need this (ValidStatName), but
+ * free-form text (descriptions, reasons, paths) does.
+ */
+std::string JsonEscape(const std::string& s);
+
 }  // namespace cenn
 
 #endif  // CENN_OBS_STATS_IO_H_

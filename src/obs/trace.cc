@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/stats_io.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -77,6 +78,7 @@ TraceSession::TraceSession(std::uint32_t category_mask, std::size_t capacity)
 void
 TraceSession::Push(const TraceEvent& e)
 {
+  std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
     next_ = ring_.size() % capacity_;
@@ -118,14 +120,36 @@ TraceSession::CounterSample(TraceCategory cat, const char* name,
   Push({name, ts, 0, value, cat, 'C', 0});
 }
 
+void
+TraceSession::SetThreadName(std::uint32_t lane, const std::string& name)
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[lane] = name;
+}
+
+std::map<std::uint32_t, std::string>
+TraceSession::ThreadNames() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_names_;
+}
+
 std::size_t
 TraceSession::Size() const
 {
+  std::lock_guard<std::mutex> lock(mu_);
   return ring_.size();
 }
 
+std::uint64_t
+TraceSession::Dropped() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 std::vector<TraceEvent>
-TraceSession::Events() const
+TraceSession::EventsLocked() const
 {
   if (!wrapped_) {
     return ring_;
@@ -138,9 +162,17 @@ TraceSession::Events() const
   return out;
 }
 
+std::vector<TraceEvent>
+TraceSession::Events() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return EventsLocked();
+}
+
 void
 TraceSession::Clear()
 {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_ = 0;
   wrapped_ = false;
@@ -151,12 +183,28 @@ std::string
 TraceSession::ToChromeJson(double ticks_per_us) const
 {
   CENN_ASSERT(ticks_per_us > 0.0, "ticks_per_us must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  out.reserve(Size() * 96 + 256);
+  out.reserve(ring_.size() * 96 + 256);
   out += "{\"traceEvents\":[\n";
   char buf[256];
   bool first = true;
-  for (const TraceEvent& e : Events()) {
+  // Lane-name metadata first, so viewers label the rows before any
+  // data event references them. thread_name args are free-form text
+  // and go through JsonEscape (unlike event names, which are trusted
+  // string literals by the TraceEvent contract).
+  for (const auto& [lane, name] : thread_names_) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                  lane, JsonEscape(name).c_str());
+    out += buf;
+  }
+  for (const TraceEvent& e : EventsLocked()) {
     const double ts_us = static_cast<double>(e.ts) / ticks_per_us;
     if (!first) {
       out += ",\n";

@@ -21,6 +21,8 @@
  */
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,7 +66,14 @@ struct TraceEvent {
   std::uint32_t lane = 0; ///< Chrome "tid": PE, channel or L2 id
 };
 
-/** Ring-buffered event recorder with per-category enable mask. */
+/**
+ * Ring-buffered event recorder with per-category enable mask.
+ *
+ * Thread safety: recording, thread naming and export serialize on an
+ * internal mutex, so band workers can emit spans into one shared
+ * session. `Enabled()` stays lock-free (the mask is immutable), so
+ * the disabled-category hot path is still exactly one branch.
+ */
 class TraceSession
 {
   public:
@@ -95,11 +104,22 @@ class TraceSession
     void CounterSample(TraceCategory cat, const char* name, std::uint64_t ts,
                        double value);
 
+    /**
+     * Names the timeline lane `lane` (Chrome "tid") in the viewer:
+     * exported as a Perfetto/Chrome "M" (metadata) `thread_name`
+     * event ahead of the data events. Re-naming a lane overwrites.
+     * Names survive Clear() (they describe lanes, not events).
+     */
+    void SetThreadName(std::uint32_t lane, const std::string& name);
+
+    /** Lane names registered so far (lane -> name). */
+    std::map<std::uint32_t, std::string> ThreadNames() const;
+
     /** Events currently held (<= capacity). */
     std::size_t Size() const;
 
     /** Events overwritten after the ring filled. */
-    std::uint64_t Dropped() const { return dropped_; }
+    std::uint64_t Dropped() const;
 
     /** Held events, oldest first. */
     std::vector<TraceEvent> Events() const;
@@ -122,12 +142,18 @@ class TraceSession
   private:
     void Push(const TraceEvent& e);
 
+    /** Held events, oldest first. Needs mu_. */
+    std::vector<TraceEvent> EventsLocked() const;
+
     std::uint32_t mask_;
     std::size_t capacity_;
+
+    mutable std::mutex mu_;  ///< guards the ring and thread names
     std::size_t next_ = 0;   ///< ring write cursor
     bool wrapped_ = false;
     std::uint64_t dropped_ = 0;
     std::vector<TraceEvent> ring_;
+    std::map<std::uint32_t, std::string> thread_names_;
 };
 
 }  // namespace cenn

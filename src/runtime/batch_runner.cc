@@ -174,6 +174,11 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
       faults->FireDue(engine);
     };
   }
+  if (!options_.metrics_dir.empty()) {
+    sc.metrics_path =
+        options_.metrics_dir + "/" + job.name + ".metrics.jsonl";
+    sc.metrics_interval_ms = options_.metrics_interval_ms;
+  }
 
   EngineRequest req;
   req.engine = job.engine;
@@ -191,6 +196,11 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
   bool restored_any = false;
   AttemptFailure failure = AttemptFailure::kNone;
   std::uint64_t executed_prior_attempts = 0;
+  // The registry outlives the session (derived callbacks reference
+  // session members) and each attempt replaces the session *before*
+  // the registry so the dying session's metrics emitter writes its
+  // exit sample against a live registry.
+  std::unique_ptr<StatRegistry> job_registry;
   std::unique_ptr<SolverSession> session;
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -206,10 +216,16 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
     // the previous one is presumed dead, after a guard trip its state
     // is known-corrupt.
     guard.Reset();
+    session.reset();
+    job_registry = std::make_unique<StatRegistry>();
     session = std::make_unique<SolverSession>(BuildEngine(program, req), sc);
     if (options_.guard_enabled) {
       session->Backend().AttachHealthGuard(&guard);
     }
+    // Binds the session subtree (and starts the per-job metrics
+    // stream when configured) before any step runs, so live samples
+    // carry real runtime/kernel/lut signals from the first slice.
+    session->BindStats(job_registry.get());
 
     // Cold attempts restore only on --resume; retries always prefer
     // the last good checkpoint (absent file = start over, which still
@@ -275,14 +291,13 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
     WriteDoneMarker(base + ".done", result);
   }
 
-  // Per-job stat artifact: the session subtree dumped from a local
-  // registry, so no live callback outlives the session.
+  // Per-job stat artifact: the job registry bound before stepping
+  // (the same one the metrics stream samples), dumped while the
+  // session is still alive.
   {
-    StatRegistry local;
-    session->BindStats(&local);
     std::ofstream stats(base + ".stats.txt");
     if (stats) {
-      stats << local.DumpText(/*with_desc=*/true);
+      stats << job_registry->DumpText(/*with_desc=*/true);
     }
   }
 
@@ -301,6 +316,13 @@ BatchRunner::RunAll(StatRegistry* registry)
   if (ec) {
     CENN_FATAL("BatchRunner: cannot create out_dir '", options_.out_dir,
                "': ", ec.message());
+  }
+  if (!options_.metrics_dir.empty()) {
+    std::filesystem::create_directories(options_.metrics_dir, ec);
+    if (ec) {
+      CENN_FATAL("BatchRunner: cannot create metrics_dir '",
+                 options_.metrics_dir, "': ", ec.message());
+    }
   }
 
   std::vector<JobResult> results(jobs_.size());

@@ -14,6 +14,10 @@
  *                     state checksum
  *   <name>.stats.txt  session stat dump at job end
  *
+ * With BatchOptions::metrics_dir set, each running job additionally
+ * streams live JSONL metrics samples (obs/metrics_emitter.h) to
+ * `<metrics_dir>/<name>.metrics.jsonl`.
+ *
  * Resume contract (docs/runtime.md): with `resume` set, a job with a
  * done marker is reported "cached" and not executed at all; a job
  * with only a checkpoint restores it and continues from the recorded
@@ -79,6 +83,16 @@ struct BatchOptions {
    * retry_backoff_ms << (k - 1) (0 = retry immediately).
    */
   int retry_backoff_ms = 0;
+
+  /**
+   * Directory for per-job JSONL metrics streams ("" = off): each job
+   * streams `<metrics_dir>/<name>.metrics.jsonl` while it runs (a
+   * retried attempt restarts the stream). Created on demand.
+   */
+  std::string metrics_dir;
+
+  /** Sampling period of the per-job metrics streams. */
+  int metrics_interval_ms = 250;
 
   /** Fault-injection spec (health/fault_injector.h); empty = none. */
   std::string fault_inject;

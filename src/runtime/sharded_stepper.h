@@ -13,10 +13,22 @@
  * completion step. Phases only read stable front buffers and write
  * disjoint rows, and per-cell arithmetic is exactly Step()'s, so the
  * partition never changes results — only wall-clock time.
+ *
+ * Observability: callers may pass ShardRunOptions with a
+ * ShardPhaseTimings accumulator and/or a TraceSession. With timings
+ * attached, every worker clocks its refresh / step / barrier-wait
+ * phases per step (accumulated thread-locally, merged once when the
+ * workers join) and the barrier completion clocks the serial publish;
+ * with a trace attached, each phase additionally emits an 'X' span on
+ * the shard's lane and lanes are named ("shard0", …, "publish") via
+ * thread-name metadata. Passing neither keeps the worker loop free of
+ * clock reads — the legacy overloads do exactly that.
  */
 
 #include <cstdint>
 #include <cstddef>
+#include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,6 +36,9 @@ namespace cenn {
 
 class DeSolver;
 class Engine;
+class Histogram;
+class StatRegistry;
+class TraceSession;
 
 /**
  * Splits `rows` grid rows into at most `shards` contiguous bands,
@@ -36,16 +51,125 @@ std::vector<std::pair<std::size_t, std::size_t>> PartitionRows(
     std::size_t rows, int shards);
 
 /**
+ * Per-shard, per-phase wall-time accumulator for sharded stepping.
+ *
+ * Construct with the maximum shard count, bind once into a registry
+ * (`<prefix>shard<K>.{refresh,step,wait}_ns`, `.steps`, matching
+ * `*_us` histograms, plus `<prefix>publish.{ns,count}` and
+ * `publish.us`), then pass to RunSharded via ShardRunOptions as many
+ * times as needed — timings accumulate across calls. Serial fallbacks
+ * account everything to shard 0. The wait phase is time spent inside
+ * the halo/compute barriers (on the publishing worker it includes the
+ * publish itself, which is also separately counted).
+ *
+ * Thread safety: Merge/AddPublish serialize on an internal mutex;
+ * bound counters and registry-owned histograms are read at dump time
+ * without it (the usual bound-stat tearing caveat, see
+ * obs/stat_registry.h).
+ */
+class ShardPhaseTimings
+{
+  public:
+    /** One shard's accumulated phase times. */
+    struct Shard {
+      std::uint64_t refresh_ns = 0;  ///< RefreshOutputs phase
+      std::uint64_t step_ns = 0;     ///< StepBands phase
+      std::uint64_t wait_ns = 0;     ///< halo + publish barrier waits
+      std::uint64_t steps = 0;       ///< steps this shard took part in
+    };
+
+    explicit ShardPhaseTimings(int max_shards);
+    ShardPhaseTimings(const ShardPhaseTimings&) = delete;
+    ShardPhaseTimings& operator=(const ShardPhaseTimings&) = delete;
+
+    /**
+     * Registers the subtree under `prefix` (empty or '.'-terminated).
+     * Call at most once per registry; the timings object must outlive
+     * the registry's dumps.
+     */
+    void BindStats(StatRegistry* registry, const std::string& prefix);
+
+    /**
+     * Folds one worker's run into shard `shard` (ignored when out of
+     * range). Histogram arguments may be null; geometries must match
+     * MakePhaseHistogram().
+     */
+    void Merge(std::size_t shard, const Shard& delta,
+               const Histogram* refresh_us, const Histogram* step_us,
+               const Histogram* wait_us);
+
+    /** Accounts one serial publish of `ns` nanoseconds. */
+    void AddPublish(std::uint64_t ns);
+
+    /** The shard capacity given at construction. */
+    int MaxShards() const { return static_cast<int>(shards_.size()); }
+
+    /** Accumulated times for shard `i` (i < MaxShards()). */
+    Shard ShardAt(std::size_t i) const;
+
+    /** Total serial-publish time / publish count so far. */
+    std::uint64_t PublishNs() const;
+    std::uint64_t PublishCount() const;
+
+    /**
+     * A phase-time histogram with the canonical geometry (0–1000 us,
+     * 10 us bins; larger grids land in the overflow bucket but the
+     * exact moments — mean/min/max — are always kept). Workers
+     * accumulate locally into copies of this and Merge() folds them
+     * into the registry-owned ones.
+     */
+    static Histogram MakePhaseHistogram();
+
+  private:
+    /** Registry-owned histogram handles for one shard (null = unbound). */
+    struct HistSet {
+      Histogram* refresh_us = nullptr;
+      Histogram* step_us = nullptr;
+      Histogram* wait_us = nullptr;
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Shard> shards_;    ///< sized once; bound-stat stable
+    std::vector<HistSet> hists_;
+    std::uint64_t publish_ns_ = 0;
+    std::uint64_t publish_count_ = 0;
+    Histogram* publish_us_ = nullptr;
+};
+
+/** Optional observability hooks for RunSharded (see file comment). */
+struct ShardRunOptions {
+  /** Phase-time accumulator; null = no clock reads in the loop. */
+  ShardPhaseTimings* timings = nullptr;
+
+  /**
+   * Trace sink for per-phase 'X' spans (category kStep, lane =
+   * shard index, timestamps in steady-clock nanoseconds — export
+   * with ticks_per_us = 1e3) and lane-name metadata. Null = off.
+   */
+  TraceSession* trace = nullptr;
+};
+
+/**
  * Runs `steps` steps of `engine` using `shards` band-parallel worker
  * threads (dedicated per call — never pool workers, so a sharded
  * session can not deadlock a saturated pool). Works with any Engine
- * backend; Prepare() is called once up front.
+ * backend; Prepare() is called once up front. Each worker installs a
+ * ScopedSatCounter and a ScopedLutTally against the engine's attached
+ * guard/sink, so Fixed32 saturation and off-chip LUT traffic are
+ * accounted no matter the partition.
  *
- * Falls back to engine->Run(steps) when shards <= 1, the partition
+ * Falls back to serial stepping when shards <= 1, the partition
  * yields a single band, or the engine does not support band stepping
  * (arch simulator, Heun specs; a warning is logged once per process
- * when shards > 1 had to be ignored).
+ * when shards > 1 had to be ignored). With timings/trace attached the
+ * serial fallback still splits band-capable stepping into timed
+ * refresh/step/publish phases attributed to shard 0 — bit-identical
+ * to Step() by the band-phase protocol.
  */
+void RunSharded(Engine* engine, std::uint64_t steps, int shards,
+                const ShardRunOptions& options);
+
+/** Legacy form: no observability hooks. */
 void RunSharded(Engine* engine, std::uint64_t steps, int shards);
 
 /** Convenience overload over a DeSolver's owned engine. */

@@ -62,6 +62,10 @@ SolverSession::ValidateConfig()
   if (config_.slice_steps == 0) {
     CENN_FATAL("SolverSession: slice_steps must be positive");
   }
+  if (config_.metrics_interval_ms < 1) {
+    CENN_FATAL("SolverSession: metrics_interval_ms must be >= 1, got ",
+               config_.metrics_interval_ms);
+  }
   if (config_.checkpoint_every > 0 && config_.checkpoint_path.empty()) {
     CENN_FATAL("SolverSession: checkpoint_every requires checkpoint_path");
   }
@@ -84,6 +88,15 @@ SolverSession::SolverSession(std::unique_ptr<Engine> engine,
       engine_(std::move(engine))
 {
   ValidateConfig();
+  timings_ = std::make_unique<ShardPhaseTimings>(config_.shards);
+  engine_->AttachLutTraffic(&lut_traffic_);
+}
+
+SolverSession::~SolverSession()
+{
+  if (metrics_ != nullptr) {
+    metrics_->Stop();
+  }
 }
 
 SolverSession::SolverSession(const NetworkSpec& spec, SolverOptions options,
@@ -112,9 +125,20 @@ SolverSession::RunSlice(std::uint64_t n)
   // Saturation events on *this* thread land in the attached guard;
   // RunSharded installs its own counter on each band worker.
   ScopedSatCounter sat(engine_->AttachedHealthGuard());
-  RunSharded(engine_.get(), n, config_.shards);
+  ShardRunOptions options;
+  options.timings = timings_.get();
+  options.trace = config_.trace;
+  RunSharded(engine_.get(), n, config_.shards, options);
   steps_executed_ += n;
   steps_since_checkpoint_ += n;
+}
+
+void
+SolverSession::MetricsSample(const char* reason)
+{
+  if (metrics_ != nullptr) {
+    metrics_->SampleNow(reason);
+  }
 }
 
 void
@@ -140,6 +164,7 @@ SolverSession::StepN(std::uint64_t n)
   if (pause_requested_.load()) {
     ++pauses_honored_;
     state_.store(SessionState::kPaused);
+    MetricsSample("pause");
     return 0;
   }
   state_.store(SessionState::kRunning);
@@ -147,11 +172,13 @@ SolverSession::StepN(std::uint64_t n)
   while (executed < n) {
     if (cancel_requested_.load()) {
       state_.store(SessionState::kCancelled);
+      MetricsSample("cancel");
       return executed;
     }
     if (pause_requested_.load()) {
       ++pauses_honored_;
       state_.store(SessionState::kPaused);
+      MetricsSample("pause");
       return executed;
     }
     if (ReachedTarget()) {
@@ -178,12 +205,17 @@ SolverSession::StepN(std::uint64_t n)
       if (!guard->MaybeScan(*engine_)) {
         ++faults_;
         state_.store(SessionState::kFaulted);
+        MetricsSample("fault");
         return executed;
       }
     }
     MaybeAutoCheckpoint();
   }
-  state_.store(ReachedTarget() ? SessionState::kDone : SessionState::kIdle);
+  const bool done = ReachedTarget();
+  state_.store(done ? SessionState::kDone : SessionState::kIdle);
+  if (done) {
+    MetricsSample("done");
+  }
   return executed;
 }
 
@@ -305,6 +337,17 @@ SolverSession::BindStats(StatRegistry* registry)
   engine_->BindStats(registry, scope.Prefix());
   if (HealthGuard* guard = engine_->AttachedHealthGuard()) {
     guard->BindStats(registry, scope.Prefix());
+  }
+  timings_->BindStats(registry, scope.Prefix());
+  lut_traffic_.BindStats(registry, scope.Prefix());
+  if (!config_.metrics_path.empty() && metrics_ == nullptr) {
+    MetricsOptions options;
+    options.path = config_.metrics_path;
+    options.interval_ms = config_.metrics_interval_ms;
+    metrics_ = std::make_unique<MetricsEmitter>(registry, options);
+    if (!metrics_->Start()) {
+      metrics_.reset();
+    }
   }
 }
 

@@ -16,7 +16,14 @@
  *    checkpoint format, and restore-from-file to resume a prior run
  *    bit-exactly (states are stored as lossless f64);
  *  - a per-session stat subtree (`runtime.session<N>.*`) bound into a
- *    shared StatRegistry.
+ *    shared StatRegistry: lifecycle counters, per-shard phase timings
+ *    (`...shard<K>.*`, via ShardPhaseTimings), off-chip LUT traffic
+ *    (`...lut.interp.*`, via an attached LutTrafficSink) and whatever
+ *    the engine publishes through Engine::BindStats;
+ *  - an optional live metrics stream (SessionConfig::metrics_path):
+ *    BindStats starts a MetricsEmitter over the registry, lifecycle
+ *    transitions (pause/fault/done/cancel) force samples, and the
+ *    session destructor stops it with a final "exit" line.
  *
  * The session never branches on the engine kind: stepping goes through
  * RunSharded (which uses band-phase stepping when the engine supports
@@ -39,11 +46,15 @@
 
 #include "core/engine.h"
 #include "core/solver.h"
+#include "lut/lut_traffic.h"
+#include "obs/metrics_emitter.h"
 #include "program/checkpoint.h"
+#include "runtime/sharded_stepper.h"
 
 namespace cenn {
 
 class StatRegistry;
+class TraceSession;
 struct ArchConfig;
 struct SolverProgram;
 
@@ -81,6 +92,21 @@ struct SessionConfig {
   std::uint64_t slice_steps = 64;
 
   /**
+   * JSONL metrics stream ("" = off): BindStats starts a
+   * MetricsEmitter over the bound registry at this path.
+   */
+  std::string metrics_path;
+
+  /** Sampling period of the metrics stream (>= 1). */
+  int metrics_interval_ms = 250;
+
+  /**
+   * Optional trace sink (not owned; must outlive the session):
+   * sharded stepping emits per-phase spans on named shard lanes.
+   */
+  TraceSession* trace = nullptr;
+
+  /**
    * Called after every slice, before the health scan and the
    * auto-checkpoint (fault injection, custom monitors). May mutate
    * engine state; may throw (e.g. FaultCrash) — the session object is
@@ -106,6 +132,9 @@ class SolverSession
 
     SolverSession(const SolverSession&) = delete;
     SolverSession& operator=(const SolverSession&) = delete;
+
+    /** Stops the metrics stream (final "exit" sample) if running. */
+    ~SolverSession();
 
     /**
      * Executes up to `n` steps in slices, stopping early on a pause or
@@ -169,11 +198,22 @@ class SolverSession
 
     /**
      * Binds the session subtree under `runtime.session<id>.`:
-     * lifecycle gauges plus whatever the engine publishes through
-     * Engine::BindStats (the arch simulator binds its full stat set).
-     * The session must outlive the registry's dumps.
+     * lifecycle gauges, shard phase timings, LUT traffic, plus
+     * whatever the engine publishes through Engine::BindStats (the
+     * arch simulator binds its full stat set). When the config asks
+     * for a metrics stream, this also starts the MetricsEmitter over
+     * `registry`. The session must outlive the registry's dumps.
      */
     void BindStats(StatRegistry* registry);
+
+    /** Per-shard phase timings accumulated by this session's slices. */
+    const ShardPhaseTimings& PhaseTimings() const { return *timings_; }
+
+    /** Off-chip LUT interpolation traffic seen by this session. */
+    const LutTrafficSink& LutTraffic() const { return lut_traffic_; }
+
+    /** The metrics stream, or null when not configured/started. */
+    MetricsEmitter* Metrics() { return metrics_.get(); }
 
     /** Layer state as doubles, any engine kind. */
     std::vector<double> StateDoubles(int layer) const;
@@ -198,9 +238,15 @@ class SolverSession
     /** Checkpoint bookkeeping after a slice. */
     void MaybeAutoCheckpoint();
 
+    /** Forces a metrics sample tagged `reason` (no-op when off). */
+    void MetricsSample(const char* reason);
+
     const std::uint64_t id_;
     SessionConfig config_;
     std::unique_ptr<Engine> engine_;
+    std::unique_ptr<ShardPhaseTimings> timings_;
+    LutTrafficSink lut_traffic_;
+    std::unique_ptr<MetricsEmitter> metrics_;
 
     std::atomic<SessionState> state_{SessionState::kIdle};
     std::atomic<bool> pause_requested_{false};

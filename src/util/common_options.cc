@@ -23,6 +23,16 @@ ParseCommonOptions(CliFlags& flags, unsigned groups, CommonOptions defaults)
   if ((groups & kStatsFlags) != 0) {
     opts.stats_out = flags.GetString("stats-out", opts.stats_out);
   }
+  if ((groups & kMetricsFlags) != 0) {
+    opts.metrics_out = flags.GetString("metrics-out", opts.metrics_out);
+    opts.metrics_interval_ms = static_cast<int>(flags.GetInt(
+        "metrics-interval-ms",
+        static_cast<std::int64_t>(opts.metrics_interval_ms)));
+    if (opts.metrics_interval_ms < 1) {
+      CENN_FATAL("--metrics-interval-ms must be >= 1, got ",
+                 opts.metrics_interval_ms);
+    }
+  }
   if ((groups & kTraceFlags) != 0) {
     opts.trace_out = flags.GetString("trace-out", opts.trace_out);
     opts.trace_categories =
@@ -77,6 +87,13 @@ CommonOptionsHelp(unsigned groups)
     out +=
         "  --stats-out=FILE             write named-stat dump (text; .csv\n"
         "                               and .json extensions switch format)\n";
+  }
+  if ((groups & kMetricsFlags) != 0) {
+    out +=
+        "  --metrics-out=PATH           stream live JSONL metrics samples\n"
+        "                               (file; a directory of per-job\n"
+        "                               streams in cenn_batch)\n"
+        "  --metrics-interval-ms=N      metrics sampling period (250)\n";
   }
   if ((groups & kTraceFlags) != 0) {
     out +=

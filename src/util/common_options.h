@@ -47,8 +47,11 @@ enum CommonFlagGroup : unsigned {
    *  --guard-check-every */
   kGuardFlags = 1u << 5,
 
+  /** --metrics-out, --metrics-interval-ms */
+  kMetricsFlags = 1u << 6,
+
   kAllCommonFlags = kEngineFlags | kThreadsFlag | kStatsFlags | kTraceFlags |
-                    kProfileFlags | kGuardFlags,
+                    kProfileFlags | kGuardFlags | kMetricsFlags,
 };
 
 /** Parsed values of the shared flags (defaults when not given). */
@@ -70,6 +73,15 @@ struct CommonOptions {
 
   /** Named-stat dump file; .csv/.json extensions switch the format. */
   std::string stats_out;
+
+  /**
+   * Live JSONL metrics stream: a file for cenn_run, a directory of
+   * per-job `<name>.metrics.jsonl` streams for cenn_batch ("" = off).
+   */
+  std::string metrics_out;
+
+  /** Sampling period of the metrics stream in milliseconds (>= 1). */
+  int metrics_interval_ms = 250;
 
   /** Chrome trace_event JSON output file. */
   std::string trace_out;

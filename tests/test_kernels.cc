@@ -26,6 +26,7 @@
 #include "kernels/soa_engine.h"
 #include "lut/lut_bank.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_traffic.h"
 #include "models/benchmark_model.h"
 #include "program/checkpoint.h"
 #include "runtime/sharded_stepper.h"
@@ -391,6 +392,91 @@ TEST(SimdFuzzTest, DifferentialSweepScalarBlockedSimd)
                      desc.str() + " [simd]");
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// LUT traffic accounting: identical counts on every kernel path
+
+/** Runs one engine with LUT accounting attached; returns the tally. */
+LutTally
+CountLutTraffic(Engine* engine, std::uint64_t steps, int shards)
+{
+  LutTrafficSink sink;
+  engine->AttachLutTraffic(&sink);
+  if (shards > 1) {
+    // Band workers install their own scoped tallies.
+    RunSharded(engine, steps, shards);
+  } else {
+    ScopedLutTally tally(engine->AttachedLutTraffic());
+    engine->Run(steps);
+  }
+  LutTally total;
+  total.accesses = sink.Accesses();
+  total.exact_hits = sink.ExactHits();
+  return total;
+}
+
+TEST(SoaEngineTest, LutTrafficCountsIdenticalAcrossKernelPaths)
+{
+  // Double + LUT exercises the simd gathered-LUT kernels (fixed simd
+  // falls back to blocked); sharding exercises the worker-side scoped
+  // tallies. Every configuration must see exactly the same LUT
+  // evaluation stream — the accounting is defined by the model, not
+  // by the kernel organization.
+  const SolverProgram program = ModelProgram("reaction_diffusion", 16, 16);
+  constexpr std::uint64_t kSteps = 10;
+  auto bank =
+      std::make_shared<const LutBank>(program.spec, program.lut_config);
+
+  LutTally reference;
+  bool have_reference = false;
+  for (const KernelPath path :
+       {KernelPath::kScalar, KernelPath::kBlocked, KernelPath::kSimd}) {
+    for (const int shards : {1, 2}) {
+      SolverOptions options;
+      options.precision = Precision::kDouble;
+      options.double_evaluator =
+          std::make_shared<LutEvaluatorDouble>(bank);
+      const auto engine = MakeSoaEngine(program.spec, options, path);
+      const LutTally tally = CountLutTraffic(engine.get(), kSteps, shards);
+      ASSERT_GT(tally.accesses, 0u);
+      if (!have_reference) {
+        reference = tally;
+        have_reference = true;
+        continue;
+      }
+      EXPECT_EQ(tally.accesses, reference.accesses)
+          << "path " << static_cast<int>(path) << " x" << shards;
+      EXPECT_EQ(tally.exact_hits, reference.exact_hits)
+          << "path " << static_cast<int>(path) << " x" << shards;
+    }
+  }
+
+  // The fixed datapath (scalar vs blocked-fallback simd) agrees too.
+  const SolverOptions fixed_options = LutFixedOptions(program);
+  const auto fixed_scalar =
+      MakeSoaEngine(program.spec, fixed_options, KernelPath::kScalar);
+  const auto fixed_simd =
+      MakeSoaEngine(program.spec, fixed_options, KernelPath::kSimd);
+  const LutTally a = CountLutTraffic(fixed_scalar.get(), kSteps, 1);
+  const LutTally b = CountLutTraffic(fixed_simd.get(), kSteps, 2);
+  ASSERT_GT(a.accesses, 0u);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.exact_hits, b.exact_hits);
+}
+
+TEST(SoaEngineTest, DetachedLutTrafficCostsNothingAndCountsNothing)
+{
+  const SolverProgram program = ModelProgram("reaction_diffusion", 16, 16);
+  SolverOptions options = LutFixedOptions(program);
+  const auto engine = MakeSoaEngine(program.spec, options);
+  // No sink attached: AttachedLutTraffic is null and the scoped tally
+  // is a no-op, so running leaves the thread-local slot untouched.
+  {
+    ScopedLutTally tally(engine->AttachedLutTraffic());
+    engine->Run(4);
+  }
+  EXPECT_EQ(lut_traffic::t_tally, nullptr);
 }
 
 }  // namespace

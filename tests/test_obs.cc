@@ -11,13 +11,20 @@
 
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "arch/simulator.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
+#include "obs/metrics_emitter.h"
 #include "obs/profile.h"
 #include "obs/stat_registry.h"
+#include "obs/stats_io.h"
 #include "obs/trace.h"
 
 namespace cenn {
@@ -582,6 +589,184 @@ TEST(ObsIntegrationTest, MaskedOutLutCategoryCostsNoEvents)
               static_cast<std::uint32_t>(TraceCategory::kStep));
   }
   EXPECT_EQ(trace.Size(), 3u);  // exactly one span per step
+}
+
+// ------------------------------------------------------------ stats io
+
+TEST(StatsIoTest, JsonEscapeHandlesSpecialsAndControls)
+{
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("line\nfeed"), "line\\nfeed");
+  EXPECT_EQ(JsonEscape("cr\rlf"), "cr\\rlf");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01" "byte")), "nul\\u0001byte");
+  // A fully escaped string embeds into a JSON document cleanly.
+  const std::string hostile = "q\"b\\c\nd\te\x02" "f";
+  EXPECT_TRUE(
+      JsonChecker("{\"k\":\"" + JsonEscape(hostile) + "\"}").Valid());
+}
+
+// ------------------------------------------------------ metrics emitter
+
+namespace {
+
+/** Pulls the number following `"name":` out of one JSONL line. */
+double
+FieldValue(const std::string& line, const std::string& name)
+{
+  const std::string key = "\"" + name + "\":";
+  const auto at = line.find(key);
+  EXPECT_NE(at, std::string::npos) << name << " missing in: " << line;
+  if (at == std::string::npos) {
+    return -1.0;
+  }
+  return std::strtod(line.c_str() + at + key.size(), nullptr);
+}
+
+}  // namespace
+
+TEST(MetricsEmitterTest, JsonlRoundTrip)
+{
+  const std::string path = "metrics_roundtrip_test.jsonl";
+  StatRegistry reg;
+  StatCounter* work = reg.AddCounter("m.work", "units of work");
+  StatGauge* level = reg.AddGauge("m.level", "current level");
+
+  {
+    MetricsOptions options;
+    options.path = path;
+    options.interval_ms = 10000;  // ticks never fire; samples forced
+    MetricsEmitter emitter(&reg, options);
+    ASSERT_TRUE(emitter.Start());
+    EXPECT_TRUE(emitter.Running());
+    work->Add(5);
+    level->Set(1.5);
+    emitter.SampleNow("pause");
+    work->Add(7);
+    level->Set(-0.5);
+    emitter.SampleNow("resume");
+    emitter.Stop();
+    EXPECT_FALSE(emitter.Running());
+    EXPECT_EQ(emitter.SamplesWritten(), 4u);  // start,pause,resume,exit
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+
+  double prev_work = 0.0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    SCOPED_TRACE(lines[i]);
+    EXPECT_TRUE(JsonChecker(lines[i]).Valid());
+    EXPECT_NE(lines[i].find("\"schema\":\"cenn.metrics.v1\""),
+              std::string::npos);
+    EXPECT_EQ(FieldValue(lines[i], "seq"), static_cast<double>(i));
+    // Counters are monotone; each delta is the increase.
+    const double work_now = FieldValue(lines[i], "m.work");
+    EXPECT_GE(work_now, prev_work);
+    const auto deltas_at = lines[i].find("\"deltas\"");
+    ASSERT_NE(deltas_at, std::string::npos);
+    EXPECT_EQ(FieldValue(lines[i].substr(deltas_at), "m.work"),
+              work_now - prev_work);
+    prev_work = work_now;
+  }
+  EXPECT_NE(lines.front().find("\"reason\":\"start\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"reason\":\"pause\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"reason\":\"exit\""), std::string::npos);
+  // The forced samples observed the live values.
+  EXPECT_EQ(FieldValue(lines[1], "m.work"), 5.0);
+  EXPECT_EQ(FieldValue(lines[2], "m.work"), 12.0);
+  EXPECT_EQ(FieldValue(lines[2], "m.level"), -0.5);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsEmitterTest, IntervalTicksProduceSamples)
+{
+  const std::string path = "metrics_interval_test.jsonl";
+  StatRegistry reg;
+  reg.AddCounter("m.ticks", "");
+  MetricsOptions options;
+  options.path = path;
+  options.interval_ms = 1;
+  MetricsEmitter emitter(&reg, options);
+  ASSERT_TRUE(emitter.Start());
+  while (emitter.SamplesWritten() < 5) {
+    std::this_thread::yield();
+  }
+  emitter.Stop();
+  std::ifstream in(path);
+  std::size_t n = 0;
+  for (std::string line; std::getline(in, line); ++n) {
+    EXPECT_TRUE(JsonChecker(line).Valid());
+  }
+  EXPECT_GE(n, 6u);  // start + >=5 ticks observed + exit
+  std::remove(path.c_str());
+}
+
+TEST(MetricsEmitterTest, UnopenablePathFailsStart)
+{
+  StatRegistry reg;
+  MetricsOptions options;
+  options.path = "no_such_dir_xyz/metrics.jsonl";
+  MetricsEmitter emitter(&reg, options);
+  EXPECT_FALSE(emitter.Start());
+  EXPECT_FALSE(emitter.Running());
+  emitter.Stop();  // idempotent no-op
+}
+
+// -------------------------------------------- trace thread-name events
+
+TEST(TraceSessionTest, ThreadNameMetadataEmittedFirst)
+{
+  TraceSession t;
+  t.Complete(TraceCategory::kStep, "step", 100, 50, /*lane=*/1);
+  t.SetThreadName(1, "shard1");
+  t.SetThreadName(2, "publish");
+  const std::string json = t.ToChromeJson(1.0);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  const auto meta_at = json.find("\"ph\":\"M\"");
+  const auto span_at = json.find("\"ph\":\"X\"");
+  ASSERT_NE(meta_at, std::string::npos);
+  ASSERT_NE(span_at, std::string::npos);
+  EXPECT_LT(meta_at, span_at);  // metadata precedes the spans
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"publish\""), std::string::npos);
+}
+
+// --------------------------------------------- profiler thread merging
+
+TEST(ProfilerTest, MergesZoneTotalsAcrossThreads)
+{
+  Profiler& prof = Profiler::Instance();
+  prof.Reset();
+  prof.Enable(true);
+  const int id = prof.RegisterZone("test.threads");
+  constexpr int kThreads = 3;
+  constexpr int kCallsEach = 40;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([id] {
+      for (int i = 0; i < kCallsEach; ++i) {
+        ProfScope scope(id);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  prof.Enable(false);
+  // Dead threads' tables are retired, not lost: the merged totals see
+  // every call even though the workers are gone.
+  EXPECT_EQ(prof.Calls(id), static_cast<std::uint64_t>(kThreads) *
+                                static_cast<std::uint64_t>(kCallsEach));
+  EXPECT_NE(prof.Report().find("test.threads"), std::string::npos);
 }
 
 }  // namespace

@@ -15,9 +15,11 @@
 #include <tuple>
 #include <vector>
 
+#include "kernels/soa_engine.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
 #include "obs/stat_registry.h"
+#include "obs/trace.h"
 #include "runtime/batch_manifest.h"
 #include "runtime/batch_runner.h"
 #include "runtime/job_queue.h"
@@ -368,6 +370,94 @@ TEST(ShardedDeterminismTest, MoreShardsThanRowsStillCorrect)
   for (std::size_t i = 0; i < a.size(); ++i) {
     ASSERT_EQ(a[i], b[i]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Shard phase timings
+
+TEST(ShardPhaseTimingsTest, ObservedRunIsBitIdenticalAndAccountsPhases)
+{
+  constexpr std::uint64_t kSteps = 24;
+  constexpr int kShards = 4;
+  const NetworkSpec spec = ModelSpec("heat", 17, 16);
+
+  const auto plain = MakeSoaEngine(spec, Opts(Precision::kDouble));
+  plain->Run(kSteps);
+
+  const auto observed = MakeSoaEngine(spec, Opts(Precision::kDouble));
+  ShardPhaseTimings timings(kShards);
+  // Bound before the run: the histograms are registry-owned, so only
+  // post-bind samples land in them (counters accumulate regardless).
+  StatRegistry reg;
+  timings.BindStats(&reg, "runtime.");
+  TraceSession trace(kTraceAllCategories, 1 << 12);
+  ShardRunOptions options;
+  options.timings = &timings;
+  options.trace = &trace;
+  RunSharded(observed.get(), kSteps, kShards, options);
+
+  // Observation must never change results.
+  for (int l = 0; l < spec.NumLayers(); ++l) {
+    const auto a = plain->Snapshot(l);
+    const auto b = observed->Snapshot(l);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "layer " << l << " cell " << i;
+    }
+  }
+
+  // Every shard took part in every step; the serial publish ran once
+  // per step.
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(timings.ShardAt(static_cast<std::size_t>(s)).steps, kSteps)
+        << "shard " << s;
+  }
+  EXPECT_EQ(timings.PublishCount(), kSteps);
+
+  // Stat subtree: per-shard counters plus histogram sub-stats with
+  // one sample per step.
+  EXPECT_EQ(reg.Value("runtime.shard0.steps"),
+            static_cast<double>(kSteps));
+  EXPECT_EQ(reg.Value("runtime.publish.count"),
+            static_cast<double>(kSteps));
+  const auto snapshot = reg.TypedSnapshot();
+  EXPECT_EQ(snapshot.at("runtime.shard2.step_us.count").value,
+            static_cast<double>(kSteps));
+  EXPECT_EQ(snapshot.at("runtime.publish.us.count").value,
+            static_cast<double>(kSteps));
+
+  // Trace: named lanes and per-phase spans.
+  const std::string json = trace.ToChromeJson(1e3);
+  EXPECT_NE(json.find("\"name\":\"shard0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard3\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"publish\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"refresh\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"step\""), std::string::npos);
+}
+
+TEST(ShardPhaseTimingsTest, SerialFallbackAccountsToShardZero)
+{
+  constexpr std::uint64_t kSteps = 12;
+  const NetworkSpec spec = ModelSpec("heat", 8, 8);
+
+  const auto plain = MakeSoaEngine(spec, Opts(Precision::kFixed32));
+  plain->Run(kSteps);
+
+  const auto observed = MakeSoaEngine(spec, Opts(Precision::kFixed32));
+  ShardPhaseTimings timings(1);
+  ShardRunOptions options;
+  options.timings = &timings;
+  RunSharded(observed.get(), kSteps, /*shards=*/1, options);
+
+  for (int l = 0; l < spec.NumLayers(); ++l) {
+    const auto a = plain->Snapshot(l);
+    const auto b = observed->Snapshot(l);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]);
+    }
+  }
+  EXPECT_EQ(timings.ShardAt(0).steps, kSteps);
+  EXPECT_EQ(timings.PublishCount(), kSteps);
 }
 
 // ---------------------------------------------------------------------------

@@ -48,7 +48,7 @@ namespace {
 
 /** The shared flags cenn_batch honors (manifest picks engines). */
 constexpr unsigned kBatchFlagGroups =
-    kThreadsFlag | kStatsFlags | kGuardFlags;
+    kThreadsFlag | kStatsFlags | kGuardFlags | kMetricsFlags;
 
 void
 PrintUsage()
@@ -104,6 +104,10 @@ BatchMain(int argc, char** argv)
   options.retry_backoff_ms =
       static_cast<int>(flags.GetInt("retry-backoff-ms", 0));
   options.fault_inject = flags.GetString("fault-inject", "");
+  // --metrics-out names a directory here: each running job streams
+  // <dir>/<name>.metrics.jsonl (obs/metrics_emitter.h).
+  options.metrics_dir = copts.metrics_out;
+  options.metrics_interval_ms = copts.metrics_interval_ms;
   options.guard_enabled = copts.guard;
   options.guard.max_abs = copts.guard_max_abs;
   options.guard.max_rms = copts.guard_max_rms;

@@ -6,8 +6,14 @@
 # checksum — corrupt state must never survive into a final state or a
 # checkpoint.
 #
+# The faulted run also streams per-job live metrics; each stream must
+# validate under cenn_metrics_check (each retry attempt truncates and
+# restarts its job's stream, so the surviving file is the last
+# attempt's complete start..exit record).
+#
 # Invoked by ctest as:
-#   cmake -DCENN_BATCH=<exe> -DWORK_DIR=<dir> -P cenn_batch_faults_smoke.cmake
+#   cmake -DCENN_BATCH=<exe> -DCENN_METRICS_CHECK=<exe> -DWORK_DIR=<dir>
+#         -P cenn_batch_faults_smoke.cmake
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -45,6 +51,7 @@ execute_process(
             --checkpoint-every=10 --guard --guard-check-every=1
             --max-retries=2 --retry-backoff-ms=1
             --fault-inject=crash@20,flip@40
+            --metrics-out=${WORK_DIR}/ft/metrics --metrics-interval-ms=5
             --csv=${WORK_DIR}/ft.csv
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out_ft
@@ -91,6 +98,25 @@ foreach(job ft_heat ft_rd)
   message(STATUS
           "${job}: ${ft_status} after ${ft_attempts} attempts, "
           "checksum matches fault-free run")
+endforeach()
+
+# Per-job metrics streams from the faulted run: tiny jobs may yield
+# only the start/exit bookends, so just require a well-formed stream
+# carrying the phase-timing and LUT families (these exist for every
+# engine; kernels.traffic.* is soa-only and the manifest runs the
+# functional engines).
+foreach(job ft_heat ft_rd)
+  execute_process(
+      COMMAND "${CENN_METRICS_CHECK}"
+              ${WORK_DIR}/ft/metrics/${job}.metrics.jsonl
+              --require=shard0.,lut.interp.,health.
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out_chk
+      ERROR_VARIABLE err_chk)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "metrics check failed for ${job} (${rc}):\n${out_chk}\n${err_chk}")
+  endif()
 endforeach()
 
 message(STATUS "SMOKE_PASS: faulted batch recovered to fault-free checksums")

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * cenn_metrics_check — validates a cenn.metrics.v1 JSONL stream.
+ *
+ * Used by the metrics smoke tests (and handy interactively) to assert
+ * the contract documented in obs/metrics_emitter.h:
+ *
+ *  - every line parses as a JSON object with the v1 schema tag and
+ *    the seq / ts_ms / uptime_ms / reason / counters / gauges /
+ *    deltas fields;
+ *  - seq counts 0,1,2,... with reason "start" first and "exit" last;
+ *  - every counter is monotone non-decreasing from line to line, and
+ *    each delta equals the counter increase since the previous line;
+ *  - with --min-samples=N, at least N lines are present;
+ *  - with --require=a,b,..., the final line carries at least one
+ *    counter or gauge whose name contains each listed fragment
+ *    (substring match, so session-scoped prefixes like
+ *    runtime.session7. don't matter).
+ *
+ * Exit code 0 on success, 1 with a diagnostic on the first violation.
+ *
+ * Usage:
+ *   cenn_metrics_check FILE [--min-samples=N] [--require=p1,p2,...]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/**
+ * Parser for exactly the metrics-line shape: a flat object of string
+ * or number scalars plus flat string->number sub-objects. Strict
+ * enough that malformed JSON of any kind fails.
+ */
+class MetricsLine
+{
+  public:
+    bool Parse(const std::string& text)
+    {
+        text_ = &text;
+        pos_ = 0;
+        strings_.clear();
+        numbers_.clear();
+        objects_.clear();
+        if (!ParseObjectInto(nullptr)) {
+          return false;
+        }
+        SkipWs();
+        return pos_ == text.size();
+    }
+
+    /** Top-level string field, or "" when absent. */
+    std::string GetString(const std::string& key) const
+    {
+        const auto it = strings_.find(key);
+        return it == strings_.end() ? "" : it->second;
+    }
+
+    /** Top-level number field; NaN when absent. */
+    double GetNumber(const std::string& key) const
+    {
+        const auto it = numbers_.find(key);
+        return it == numbers_.end() ? std::nan("") : it->second;
+    }
+
+    bool HasObject(const std::string& key) const
+    {
+        return objects_.count(key) != 0;
+    }
+
+    /** Flat name->value sub-object (empty when absent). */
+    const std::map<std::string, double>& Object(const std::string& key) const
+    {
+        static const std::map<std::string, double> kEmpty;
+        const auto it = objects_.find(key);
+        return it == objects_.end() ? kEmpty : it->second;
+    }
+
+  private:
+    void SkipWs()
+    {
+        while (pos_ < text_->size() &&
+               ((*text_)[pos_] == ' ' || (*text_)[pos_] == '\t')) {
+          ++pos_;
+        }
+    }
+
+    char Peek() const { return pos_ < text_->size() ? (*text_)[pos_] : '\0'; }
+
+    bool ParseString(std::string* out)
+    {
+        if (Peek() != '"') {
+          return false;
+        }
+        ++pos_;
+        out->clear();
+        while (pos_ < text_->size()) {
+          const char ch = (*text_)[pos_];
+          if (ch == '"') {
+            ++pos_;
+            return true;
+          }
+          if (ch == '\\') {
+            if (pos_ + 1 >= text_->size()) {
+              return false;
+            }
+            const char esc = (*text_)[pos_ + 1];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out->push_back(esc);
+                pos_ += 2;
+                break;
+              case 'b':
+              case 'f':
+              case 'n':
+              case 'r':
+              case 't':
+                out->push_back(' ');
+                pos_ += 2;
+                break;
+              case 'u':
+                if (pos_ + 5 >= text_->size()) {
+                  return false;
+                }
+                out->push_back('?');
+                pos_ += 6;
+                break;
+              default:
+                return false;
+            }
+            continue;
+          }
+          out->push_back(ch);
+          ++pos_;
+        }
+        return false;  // unterminated
+    }
+
+    bool ParseNumber(double* out)
+    {
+        const char* start = text_->c_str() + pos_;
+        char* end = nullptr;
+        *out = std::strtod(start, &end);
+        if (end == start) {
+          return false;
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    /**
+     * Parses an object. With `into` null this is the top level (the
+     * three sub-objects and scalars are captured into the member
+     * maps); non-null parses a flat string->number object.
+     */
+    bool ParseObjectInto(std::map<std::string, double>* into)
+    {
+        SkipWs();
+        if (Peek() != '{') {
+          return false;
+        }
+        ++pos_;
+        SkipWs();
+        if (Peek() == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          SkipWs();
+          std::string key;
+          if (!ParseString(&key)) {
+            return false;
+          }
+          SkipWs();
+          if (Peek() != ':') {
+            return false;
+          }
+          ++pos_;
+          SkipWs();
+          const char ch = Peek();
+          if (into != nullptr) {
+            // Sub-objects are strictly flat name->number (null = a
+            // non-finite derived stat; recorded as NaN).
+            if (ch == 'n' &&
+                text_->compare(pos_, 4, "null") == 0) {
+              pos_ += 4;
+              (*into)[key] = std::nan("");
+            } else {
+              double v = 0.0;
+              if (!ParseNumber(&v)) {
+                return false;
+              }
+              (*into)[key] = v;
+            }
+          } else if (ch == '{') {
+            if (!ParseObjectInto(&objects_[key])) {
+              return false;
+            }
+          } else if (ch == '"') {
+            std::string v;
+            if (!ParseString(&v)) {
+              return false;
+            }
+            strings_[key] = v;
+          } else {
+            double v = 0.0;
+            if (!ParseNumber(&v)) {
+              return false;
+            }
+            numbers_[key] = v;
+          }
+          SkipWs();
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (Peek() == '}') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+    }
+
+    const std::string* text_ = nullptr;
+    std::size_t pos_ = 0;
+    std::map<std::string, std::string> strings_;
+    std::map<std::string, double> numbers_;
+    std::map<std::string, std::map<std::string, double>> objects_;
+};
+
+int
+Fail(const char* path, std::size_t line_no, const std::string& what)
+{
+  std::fprintf(stderr, "cenn_metrics_check: %s:%zu: %s\n", path, line_no,
+               what.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+  const char* path = nullptr;
+  long min_samples = 2;  // a valid stream has at least start + exit
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--min-samples=", 14) == 0) {
+      min_samples = std::strtol(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--require=", 10) == 0) {
+      std::string list(arg + 10);
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string item =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!item.empty()) {
+          required.push_back(item);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else if (path == nullptr) {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: cenn_metrics_check FILE [--min-samples=N] "
+                   "[--require=p1,p2,...]\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: cenn_metrics_check FILE [--min-samples=N] "
+                 "[--require=p1,p2,...]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cenn_metrics_check: cannot open '%s'\n", path);
+    return 1;
+  }
+
+  std::map<std::string, double> prev_counters;
+  MetricsLine parsed;
+  std::string line;
+  std::string last_reason;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      return Fail(path, line_no, "empty line");
+    }
+    if (!parsed.Parse(line)) {
+      return Fail(path, line_no, "line is not a valid metrics object");
+    }
+    if (parsed.GetString("schema") != "cenn.metrics.v1") {
+      return Fail(path, line_no, "bad or missing schema tag");
+    }
+    const double seq = parsed.GetNumber("seq");
+    if (std::isnan(seq) ||
+        seq != static_cast<double>(line_no - 1)) {
+      return Fail(path, line_no, "seq is not the line index");
+    }
+    if (std::isnan(parsed.GetNumber("ts_ms")) ||
+        std::isnan(parsed.GetNumber("uptime_ms"))) {
+      return Fail(path, line_no, "missing ts_ms / uptime_ms");
+    }
+    const std::string reason = parsed.GetString("reason");
+    if (reason.empty()) {
+      return Fail(path, line_no, "missing reason");
+    }
+    if (line_no == 1 && reason != "start") {
+      return Fail(path, line_no, "first sample reason is not \"start\"");
+    }
+    if (!parsed.HasObject("counters") || !parsed.HasObject("gauges") ||
+        !parsed.HasObject("deltas")) {
+      return Fail(path, line_no, "missing counters/gauges/deltas");
+    }
+    const auto& counters = parsed.Object("counters");
+    const auto& deltas = parsed.Object("deltas");
+    for (const auto& [name, value] : counters) {
+      const auto it = prev_counters.find(name);
+      const double prev = it == prev_counters.end() ? 0.0 : it->second;
+      if (value + 1e-9 < prev) {
+        return Fail(path, line_no, "counter '" + name + "' decreased (" +
+                                       std::to_string(prev) + " -> " +
+                                       std::to_string(value) + ")");
+      }
+      const auto d = deltas.find(name);
+      if (d == deltas.end()) {
+        return Fail(path, line_no, "counter '" + name + "' has no delta");
+      }
+      if (std::fabs(d->second - (value - prev)) > 1e-6) {
+        return Fail(path, line_no,
+                    "delta of '" + name + "' does not match the increase");
+      }
+    }
+    prev_counters = counters;
+    last_reason = reason;
+  }
+
+  if (line_no == 0) {
+    return Fail(path, 0, "no samples");
+  }
+  if (last_reason != "exit") {
+    return Fail(path, line_no, "last sample reason is '" + last_reason +
+                                   "', expected 'exit'");
+  }
+  if (line_no < static_cast<std::size_t>(min_samples)) {
+    return Fail(path, line_no,
+                "only " + std::to_string(line_no) + " samples, expected >= " +
+                    std::to_string(min_samples));
+  }
+  // Required fragments are checked against the final (exit) snapshot.
+  for (const std::string& fragment : required) {
+    bool found = false;
+    for (const auto& [name, value] : prev_counters) {
+      if (name.find(fragment) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      for (const auto& [name, value] : parsed.Object("gauges")) {
+        if (name.find(fragment) != std::string::npos) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      return Fail(path, line_no,
+                  "no counter/gauge matching '" + fragment + "' in the exit "
+                  "snapshot");
+    }
+  }
+
+  std::printf("cenn_metrics_check: %s ok (%zu samples)\n", path, line_no);
+  return 0;
+}

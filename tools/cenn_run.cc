@@ -37,8 +37,10 @@
 #include "health/health_guard.h"
 #include "kernels/kernel_path.h"
 #include "kernels/soa_simd.h"
+#include "lut/lut_traffic.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
+#include "obs/metrics_emitter.h"
 #include "obs/profile.h"
 #include "obs/stat_registry.h"
 #include "obs/stats_io.h"
@@ -238,7 +240,43 @@ RunMain(int argc, char** argv)
   // --guard.
   ScopedSatCounter sat(engine->AttachedHealthGuard());
 
-  const auto run_start = std::chrono::steady_clock::now();
+  // Observability is bound up front into one registry, so the exit
+  // stats dump and the live metrics stream read the same names with
+  // the same values: engine stats (kernels.traffic.* on soa, the full
+  // counter set on arch), guard health, off-chip LUT interpolation
+  // traffic (lut.interp.*) and per-shard phase timings
+  // (runtime.shard<K>.*, runtime.publish.*).
+  StatRegistry reg;
+  LutTrafficSink lut_traffic;
+  engine->AttachLutTraffic(&lut_traffic);
+  ShardPhaseTimings timings(copts.threads);
+  engine->BindStats(&reg, "");
+  if (copts.guard) {
+    guard.BindStats(&reg, "");
+  }
+  lut_traffic.BindStats(&reg, "");
+  timings.BindStats(&reg, "runtime.");
+  std::unique_ptr<MetricsEmitter> metrics;
+  if (!copts.metrics_out.empty()) {
+    MetricsOptions mo;
+    mo.path = copts.metrics_out;
+    mo.interval_ms = copts.metrics_interval_ms;
+    metrics = std::make_unique<MetricsEmitter>(&reg, mo);
+    if (!metrics->Start()) {
+      metrics.reset();
+    }
+  }
+  // LUT interpolation on *this* thread (steady-state search, the arch
+  // simulator's serial stepping) drains into the sink; RunSharded
+  // installs per-worker tallies of its own.
+  ScopedLutTally lut_tally(engine->AttachedLutTraffic());
+
+  ShardRunOptions run_options;
+  run_options.timings = &timings;
+  // The arch simulator traces its own cycle-level spans; host-side
+  // phase spans would mix clock domains on the same lanes.
+  run_options.trace = sim == nullptr ? trace.get() : nullptr;
+
   if (steady) {
     const auto result = RunUntilSteady(*engine, tolerance,
                                        static_cast<std::uint64_t>(steps));
@@ -249,36 +287,20 @@ RunMain(int argc, char** argv)
                 result.final_delta, tolerance);
   } else {
     ProgressMeter meter(copts.progress, static_cast<std::uint64_t>(steps));
-    if (copts.threads > 1) {
-      // Band-parallel stepping in heartbeat-sized slices; bit-exact
-      // vs serial by the band-phase determinism contract.
-      const std::uint64_t total = static_cast<std::uint64_t>(steps);
-      std::uint64_t done = 0;
-      while (done < total) {
-        const std::uint64_t slice = std::min<std::uint64_t>(64, total - done);
-        RunSharded(engine.get(), slice, copts.threads);
-        done += slice;
-        if (copts.guard && !guard.MaybeScan(*engine)) {
-          break;
-        }
-        meter.Tick(done);
+    // Band-parallel (or serial, --threads=1) stepping in heartbeat-
+    // sized slices; bit-exact vs plain Step() loops by the band-phase
+    // determinism contract. Phase timings and spans accumulate per
+    // slice; the metrics stream samples on its own clock.
+    const std::uint64_t total = static_cast<std::uint64_t>(steps);
+    std::uint64_t done = 0;
+    while (done < total) {
+      const std::uint64_t slice = std::min<std::uint64_t>(64, total - done);
+      RunSharded(engine.get(), slice, copts.threads, run_options);
+      done += slice;
+      if (copts.guard && !guard.MaybeScan(*engine)) {
+        break;
       }
-    } else {
-      for (int i = 0; i < steps; ++i) {
-        engine->Step();
-        if (copts.guard && !guard.MaybeScan(*engine)) {
-          break;
-        }
-        if (trace != nullptr && sim == nullptr) {
-          const auto ns =
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - run_start)
-                  .count();
-          trace->Instant(TraceCategory::kSolver, "solver.step",
-                         static_cast<std::uint64_t>(ns));
-        }
-        meter.Tick(static_cast<std::uint64_t>(i) + 1);
-      }
+      meter.Tick(done);
     }
     meter.Finish(static_cast<std::uint64_t>(steps));
   }
@@ -330,18 +352,16 @@ RunMain(int argc, char** argv)
     std::printf("wrote checkpoint to %s (%zu bytes)\n", checkpoint.c_str(),
                 bytes.size());
   }
+  if (metrics != nullptr) {
+    metrics->Stop();  // appends the final "exit" sample
+    std::printf("wrote %llu metrics samples to %s\n",
+                static_cast<unsigned long long>(metrics->SamplesWritten()),
+                copts.metrics_out.c_str());
+  }
   if (!copts.stats_out.empty()) {
-    StatRegistry reg;
-    engine->BindStats(&reg, "");
-    if (copts.guard) {
-      guard.BindStats(&reg, "");
-    }
     if (WriteStatsFile(reg, copts.stats_out)) {
       std::printf("wrote %zu stats to %s\n", reg.Size(),
                   copts.stats_out.c_str());
-    }
-    if (sim == nullptr) {
-      std::printf("note: lut.*/dram.* stats require --engine=arch\n");
     }
   }
   if (trace != nullptr) {
