@@ -13,62 +13,71 @@ namespace cenn {
 
 namespace {
 
-/** Parses a base-10 integer field; fatal on anything non-numeric. */
-std::uint64_t
-ParseNumber(const std::string& text, const std::string& clause)
+/** Parses a base-10 integer field; false on anything non-numeric. */
+bool
+ParseNumber(const std::string& text, const std::string& clause,
+            std::uint64_t* out, std::string* error)
 {
   if (text.empty()) {
-    CENN_FATAL("fault spec: empty number in clause '", clause, "'");
+    *error = "fault spec: empty number in clause '" + clause + "'";
+    return false;
   }
   std::uint64_t value = 0;
   for (const char c : text) {
     if (c < '0' || c > '9') {
-      CENN_FATAL("fault spec: bad number '", text, "' in clause '", clause,
-                 "'");
+      *error =
+          "fault spec: bad number '" + text + "' in clause '" + clause + "'";
+      return false;
     }
     value = value * 10 + static_cast<std::uint64_t>(c - '0');
   }
-  return value;
+  *out = value;
+  return true;
 }
 
-FaultSpec
-ParseClause(const std::string& clause)
+bool
+ParseClause(const std::string& clause, FaultSpec* spec, std::string* error)
 {
-  FaultSpec spec;
   std::string body = clause;
   const std::size_t colon = body.find(':');
   if (colon != std::string::npos) {
-    spec.job = body.substr(0, colon);
+    spec->job = body.substr(0, colon);
     body = body.substr(colon + 1);
-    if (spec.job.empty()) {
-      CENN_FATAL("fault spec: empty job filter in clause '", clause, "'");
+    if (spec->job.empty()) {
+      *error = "fault spec: empty job filter in clause '" + clause + "'";
+      return false;
     }
   }
   const std::size_t at = body.find('@');
   if (at == std::string::npos) {
-    CENN_FATAL("fault spec: clause '", clause, "' has no '@step'");
+    *error = "fault spec: clause '" + clause + "' has no '@step'";
+    return false;
   }
   const std::string kind = body.substr(0, at);
   if (kind == "flip") {
-    spec.kind = FaultKind::kFlip;
+    spec->kind = FaultKind::kFlip;
   } else if (kind == "crash") {
-    spec.kind = FaultKind::kCrash;
+    spec->kind = FaultKind::kCrash;
   } else {
-    CENN_FATAL("fault spec: unknown kind '", kind, "' in clause '", clause,
-               "' (flip|crash)");
+    *error = "fault spec: unknown kind '" + kind + "' in clause '" + clause +
+             "' (flip|crash)";
+    return false;
   }
   std::string step = body.substr(at + 1);
   const std::size_t x = step.find('x');
   if (x != std::string::npos) {
-    spec.count =
-        static_cast<int>(ParseNumber(step.substr(x + 1), clause));
-    if (spec.count < 1) {
-      CENN_FATAL("fault spec: count must be >= 1 in clause '", clause, "'");
+    std::uint64_t count = 0;
+    if (!ParseNumber(step.substr(x + 1), clause, &count, error)) {
+      return false;
+    }
+    spec->count = static_cast<int>(count);
+    if (spec->count < 1) {
+      *error = "fault spec: count must be >= 1 in clause '" + clause + "'";
+      return false;
     }
     step = step.substr(0, x);
   }
-  spec.step = ParseNumber(step, clause);
-  return spec;
+  return ParseNumber(step, clause, &spec->step, error);
 }
 
 /**
@@ -109,17 +118,33 @@ FlipStateBit(Engine& engine, Rng rng, const std::string& job)
 
 }  // namespace
 
-std::vector<FaultSpec>
-ParseFaultSpec(const std::string& text)
+bool
+TryParseFaultSpec(const std::string& text, std::vector<FaultSpec>* specs,
+                  std::string* error)
 {
-  std::vector<FaultSpec> specs;
+  specs->clear();
   std::istringstream in(text);
   std::string clause;
   while (std::getline(in, clause, ',')) {
     if (clause.empty()) {
       continue;
     }
-    specs.push_back(ParseClause(clause));
+    FaultSpec spec;
+    if (!ParseClause(clause, &spec, error)) {
+      return false;
+    }
+    specs->push_back(spec);
+  }
+  return true;
+}
+
+std::vector<FaultSpec>
+ParseFaultSpec(const std::string& text)
+{
+  std::vector<FaultSpec> specs;
+  std::string error;
+  if (!TryParseFaultSpec(text, &specs, &error)) {
+    CENN_FATAL(error);
   }
   return specs;
 }

@@ -79,6 +79,14 @@ struct FaultCrash {
  */
 std::vector<FaultSpec> ParseFaultSpec(const std::string& text);
 
+/**
+ * Non-fatal parse for untrusted specs (the serve submit path): false
+ * with a diagnostic in `error` on the first malformed clause. Empty
+ * text parses to an empty list.
+ */
+bool TryParseFaultSpec(const std::string& text, std::vector<FaultSpec>* specs,
+                       std::string* error);
+
 /** Renders a spec back to its grammar form (docs, logs, tests). */
 std::string FaultSpecToString(const std::vector<FaultSpec>& specs);
 

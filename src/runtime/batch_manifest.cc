@@ -5,7 +5,6 @@
 #include <set>
 #include <sstream>
 
-#include "kernels/kernel_path.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -27,50 +26,31 @@ Trim(const std::string& s)
   return s.substr(b, e - b);
 }
 
-/** Parses a non-negative integer; fatal with context on garbage. */
-std::uint64_t
-ParseU64(const std::string& value, int line_no, const std::string& key)
-{
-  if (value.empty()) {
-    CENN_FATAL("manifest line ", line_no, ": empty value for '", key, "'");
-  }
-  std::uint64_t out = 0;
-  for (char c : value) {
-    if (c < '0' || c > '9') {
-      CENN_FATAL("manifest line ", line_no, ": '", key, "=", value,
-                 "' is not a non-negative integer");
-    }
-    out = out * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return out;
-}
-
-/** Closes the in-flight job, validating and naming it. */
+/** Closes the in-flight job: validates, names and appends it. */
 void
-FinishJob(BatchJobSpec* job, bool job_open, int line_no,
-          std::vector<BatchJobSpec>* jobs)
+FinishJob(JobSpecBuilder* builder, bool job_open, int line_no,
+          std::vector<JobSpec>* jobs, std::vector<JobSpecError>* errors)
 {
   if (!job_open) {
     return;
   }
-  if (job->model.empty()) {
-    CENN_FATAL("manifest: job ending at line ", line_no,
-               " has no 'model=' line");
+  ValidateJobSpec(builder->Spec(), errors, line_no);
+  JobSpec job = builder->Spec();
+  if (job.name.empty()) {
+    job.name = "job" + std::to_string(jobs->size()) + "_" + job.model;
   }
-  if (job->name.empty()) {
-    job->name = "job" + std::to_string(jobs->size()) + "_" + job->model;
-  }
-  jobs->push_back(std::move(*job));
-  *job = BatchJobSpec{};
+  jobs->push_back(std::move(job));
+  *builder = JobSpecBuilder{};
 }
 
 }  // namespace
 
-std::vector<BatchJobSpec>
-ParseManifest(const std::string& text)
+std::vector<JobSpec>
+ParseManifestCollect(const std::string& text,
+                     std::vector<JobSpecError>* errors)
 {
-  std::vector<BatchJobSpec> jobs;
-  BatchJobSpec job;
+  std::vector<JobSpec> jobs;
+  JobSpecBuilder builder;
   bool job_open = false;
 
   std::istringstream in(text);
@@ -84,89 +64,59 @@ ParseManifest(const std::string& text)
     }
     const std::string line = Trim(raw);
     if (line.empty()) {
-      FinishJob(&job, job_open, line_no, &jobs);
+      FinishJob(&builder, job_open, line_no, &jobs, errors);
       job_open = false;
       continue;
     }
     const std::size_t eq = line.find('=');
     if (eq == std::string::npos) {
-      CENN_FATAL("manifest line ", line_no, ": expected key=value, got '",
-                 line, "'");
+      errors->push_back(
+          {line_no, "", "expected key=value, got '" + line + "'"});
+      continue;
     }
     const std::string key = Trim(line.substr(0, eq));
     const std::string value = Trim(line.substr(eq + 1));
     job_open = true;
-
-    if (key == "model") {
-      if (!job.model.empty()) {
-        CENN_FATAL("manifest line ", line_no, ": duplicate 'model' in one "
-                   "job (separate jobs with a blank line)");
-      }
-      job.model = value;
-    } else if (key == "name") {
-      job.name = value;
-    } else if (key == "rows") {
-      job.rows = static_cast<std::size_t>(ParseU64(value, line_no, key));
-    } else if (key == "cols") {
-      job.cols = static_cast<std::size_t>(ParseU64(value, line_no, key));
-    } else if (key == "steps") {
-      job.steps = ParseU64(value, line_no, key);
-    } else if (key == "engine") {
-      if (value != "functional" && value != "soa" && value != "arch" &&
-          value != "double" && value != "fixed") {
-        CENN_FATAL("manifest line ", line_no, ": unknown engine '", value,
-                   "' (functional|soa|arch; legacy double|fixed)");
-      }
-      job.engine = value;
-    } else if (key == "precision") {
-      if (value != "double" && value != "fixed" && value != "float") {
-        CENN_FATAL("manifest line ", line_no, ": unknown precision '", value,
-                   "' (double|fixed|float)");
-      }
-      job.precision = value;
-    } else if (key == "memory") {
-      if (value != "ddr3" && value != "hmc-int" && value != "hmc-ext") {
-        CENN_FATAL("manifest line ", line_no, ": unknown memory '", value,
-                   "' (ddr3|hmc-int|hmc-ext)");
-      }
-      job.memory = value;
-    } else if (key == "kernel_path") {
-      KernelPath parsed = KernelPath::kAuto;
-      if (!ParseKernelPath(value.c_str(), &parsed)) {
-        CENN_FATAL("manifest line ", line_no, ": unknown kernel_path '",
-                   value, "' (", kKernelPathChoices, ")");
-      }
-      job.kernel_path = value;
-    } else if (key == "shards") {
-      job.shards = static_cast<int>(ParseU64(value, line_no, key));
-      if (job.shards < 1) {
-        CENN_FATAL("manifest line ", line_no, ": shards must be >= 1");
-      }
-    } else if (key == "priority") {
-      // Priorities may be negative; parse a leading '-' by hand.
-      const bool neg = !value.empty() && value[0] == '-';
-      const std::uint64_t mag =
-          ParseU64(neg ? value.substr(1) : value, line_no, key);
-      job.priority = neg ? -static_cast<int>(mag) : static_cast<int>(mag);
-    } else if (key == "seed") {
-      job.seed = ParseU64(value, line_no, key);
-      job.has_seed = true;
-    } else if (key == "checkpoint_every") {
-      job.checkpoint_every = ParseU64(value, line_no, key);
-    } else {
-      CENN_FATAL("manifest line ", line_no, ": unknown key '", key, "'");
+    builder.Apply(key, value, line_no);
+    // Builder errors accumulate inside it; drained when the job ends.
+    if (!builder.Errors().empty()) {
+      errors->insert(errors->end(), builder.Errors().begin(),
+                     builder.Errors().end());
+      // Reset the builder's error list but keep the spec so later
+      // keys of the same job still validate (more diagnostics per
+      // pass, not fewer).
+      JobSpecBuilder next;
+      next.MutableSpec() = builder.Spec();
+      builder = std::move(next);
     }
   }
-  FinishJob(&job, job_open, line_no, &jobs);
+  FinishJob(&builder, job_open, line_no, &jobs, errors);
 
   if (jobs.empty()) {
-    CENN_FATAL("manifest: no jobs found");
+    errors->push_back({0, "", "no jobs found"});
   }
   std::set<std::string> names;
-  for (const BatchJobSpec& j : jobs) {
+  for (const JobSpec& j : jobs) {
     if (!names.insert(j.name).second) {
-      CENN_FATAL("manifest: duplicate job name '", j.name, "'");
+      errors->push_back({0, "name", "duplicate job name '" + j.name + "'"});
     }
+  }
+  return jobs;
+}
+
+std::vector<BatchJobSpec>
+ParseManifest(const std::string& text)
+{
+  std::vector<JobSpecError> errors;
+  std::vector<JobSpec> jobs = ParseManifestCollect(text, &errors);
+  if (!errors.empty()) {
+    std::ostringstream out;
+    out << "manifest: " << errors.size()
+        << (errors.size() == 1 ? " error:\n" : " errors:\n");
+    for (const JobSpecError& e : errors) {
+      out << "  " << FormatJobSpecError(e) << "\n";
+    }
+    CENN_FATAL(out.str());
   }
   return jobs;
 }

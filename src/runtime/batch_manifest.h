@@ -20,59 +20,33 @@
  *   engine=double
  *   shards=4
  *
- * Unknown keys, malformed numbers, duplicate job names and empty
- * manifests are fatal: a batch run must never silently execute a
- * manifest other than the one written.
+ * The key grammar and per-key validation live in runtime/job_spec.h,
+ * shared with the cenn_serve submit path. Unknown keys, malformed
+ * numbers, duplicate job names and empty manifests are fatal — a
+ * batch run must never silently execute a manifest other than the one
+ * written — but the parser collects *every* problem first and reports
+ * them all (with line numbers) in one diagnostic, instead of dying on
+ * the first.
  */
 
-#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "runtime/job_spec.h"
+
 namespace cenn {
 
-/** One scenario of a batch manifest. */
-struct BatchJobSpec {
-  /** Unique job name; defaults to "job<index>_<model>". */
-  std::string name;
+/** Historical name; manifest jobs are plain JobSpecs now. */
+using BatchJobSpec = JobSpec;
 
-  /** Benchmark model id (required; see AllModelNames()). */
-  std::string model;
-
-  std::size_t rows = 64;
-  std::size_t cols = 64;
-
-  /** Steps to run; 0 = the model's DefaultSteps(). */
-  std::uint64_t steps = 0;
-
-  /**
-   * "functional", "soa" or "arch" (legacy spellings "double" and
-   * "fixed" mean the functional engine at that precision).
-   */
-  std::string engine = "functional";
-
-  /** "double", "fixed" or "float"; empty = engine default (fixed). */
-  std::string precision;
-
-  /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
-  std::string memory = "ddr3";
-
-  /** SoA stepping kernels: "auto", "scalar", "blocked" or "simd". */
-  std::string kernel_path = "auto";
-
-  /** Band-parallel workers inside the job (band-capable engines). */
-  int shards = 1;
-
-  /** Queue priority (higher dispatches first). */
-  int priority = 0;
-
-  /** Initial-condition seed; when absent the runner derives one. */
-  std::uint64_t seed = 0;
-  bool has_seed = false;
-
-  /** Per-job auto-checkpoint interval (0 = runner default). */
-  std::uint64_t checkpoint_every = 0;
-};
+/**
+ * Parses manifest text into specs, appending every problem found to
+ * `errors`. Returns the jobs parsed so far (possibly partial when
+ * errors is non-empty). Never fatal — the serve frontend parses
+ * untrusted manifests with this form.
+ */
+std::vector<JobSpec> ParseManifestCollect(const std::string& text,
+                                          std::vector<JobSpecError>* errors);
 
 /** Parses manifest text; fatal on malformed input (see file doc). */
 std::vector<BatchJobSpec> ParseManifest(const std::string& text);

@@ -1,0 +1,230 @@
+#include "runtime/job_spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "kernels/kernel_path.h"
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+namespace {
+
+/** Parses a non-negative integer; false on any non-digit. */
+bool
+ParseU64Value(const std::string& value, std::uint64_t* out)
+{
+  if (value.empty()) {
+    return false;
+  }
+  std::uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string
+FormatJobSpecError(const JobSpecError& error)
+{
+  std::ostringstream out;
+  if (error.line > 0) {
+    out << "line " << error.line << ": ";
+  }
+  if (!error.key.empty()) {
+    out << "key '" << error.key << "': ";
+  }
+  out << error.message;
+  return out.str();
+}
+
+std::string
+FormatJobSpecErrors(const std::vector<JobSpecError>& errors)
+{
+  std::string out;
+  for (const JobSpecError& e : errors) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += FormatJobSpecError(e);
+  }
+  return out;
+}
+
+bool
+JobSpecBuilder::IsKnownKey(const std::string& key)
+{
+  static const char* kKeys[] = {
+      "model",  "name",     "rows",        "cols", "steps",
+      "engine", "precision", "memory",     "kernel_path",
+      "shards", "priority",  "seed",       "checkpoint_every",
+  };
+  return std::find_if(std::begin(kKeys), std::end(kKeys),
+                      [&key](const char* k) { return key == k; }) !=
+         std::end(kKeys);
+}
+
+bool
+JobSpecBuilder::Apply(const std::string& key, const std::string& value,
+                      int line)
+{
+  auto fail = [this, &key, line](std::string message) {
+    errors_.push_back({line, key, std::move(message)});
+    return false;
+  };
+  auto apply_u64 = [&](std::uint64_t* out) {
+    std::uint64_t parsed = 0;
+    if (!ParseU64Value(value, &parsed)) {
+      return fail("'" + value + "' is not a non-negative integer");
+    }
+    *out = parsed;
+    return true;
+  };
+
+  if (key == "model") {
+    if (!spec_.model.empty()) {
+      return fail("duplicate 'model' in one job (separate jobs with a "
+                  "blank line)");
+    }
+    if (value.empty()) {
+      return fail("empty model name");
+    }
+    spec_.model = value;
+    return true;
+  }
+  if (key == "name") {
+    spec_.name = value;
+    return true;
+  }
+  if (key == "rows") {
+    std::uint64_t v = 0;
+    if (!apply_u64(&v)) {
+      return false;
+    }
+    spec_.rows = static_cast<std::size_t>(v);
+    return true;
+  }
+  if (key == "cols") {
+    std::uint64_t v = 0;
+    if (!apply_u64(&v)) {
+      return false;
+    }
+    spec_.cols = static_cast<std::size_t>(v);
+    return true;
+  }
+  if (key == "steps") {
+    return apply_u64(&spec_.steps);
+  }
+  if (key == "engine") {
+    if (value != "functional" && value != "soa" && value != "arch" &&
+        value != "double" && value != "fixed") {
+      return fail("unknown engine '" + value +
+                  "' (functional|soa|arch; legacy double|fixed)");
+    }
+    spec_.engine = value;
+    return true;
+  }
+  if (key == "precision") {
+    if (value != "double" && value != "fixed" && value != "float") {
+      return fail("unknown precision '" + value + "' (double|fixed|float)");
+    }
+    spec_.precision = value;
+    return true;
+  }
+  if (key == "memory") {
+    if (value != "ddr3" && value != "hmc-int" && value != "hmc-ext") {
+      return fail("unknown memory '" + value + "' (ddr3|hmc-int|hmc-ext)");
+    }
+    spec_.memory = value;
+    return true;
+  }
+  if (key == "kernel_path") {
+    KernelPath parsed = KernelPath::kAuto;
+    if (!ParseKernelPath(value.c_str(), &parsed)) {
+      return fail("unknown kernel_path '" + value + "' (" +
+                  kKernelPathChoices + ")");
+    }
+    spec_.kernel_path = value;
+    return true;
+  }
+  if (key == "shards") {
+    std::uint64_t v = 0;
+    if (!apply_u64(&v)) {
+      return false;
+    }
+    if (v < 1) {
+      return fail("shards must be >= 1");
+    }
+    spec_.shards = static_cast<int>(v);
+    return true;
+  }
+  if (key == "priority") {
+    // Priorities may be negative; parse a leading '-' by hand.
+    const bool neg = !value.empty() && value[0] == '-';
+    std::uint64_t mag = 0;
+    if (!ParseU64Value(neg ? value.substr(1) : value, &mag)) {
+      errors_.push_back({line, key, "'" + value + "' is not an integer"});
+      return false;
+    }
+    spec_.priority = neg ? -static_cast<int>(mag) : static_cast<int>(mag);
+    return true;
+  }
+  if (key == "seed") {
+    if (!apply_u64(&spec_.seed)) {
+      return false;
+    }
+    spec_.has_seed = true;
+    return true;
+  }
+  if (key == "checkpoint_every") {
+    return apply_u64(&spec_.checkpoint_every);
+  }
+  return fail("unknown key");
+}
+
+bool
+ValidateJobSpec(const JobSpec& spec, std::vector<JobSpecError>* errors,
+                int line)
+{
+  const std::size_t before = errors->size();
+  if (spec.model.empty()) {
+    errors->push_back({line, "model", "job has no 'model=' line"});
+  } else {
+    const auto& names = AllModelNames();
+    if (std::find(names.begin(), names.end(), spec.model) == names.end()) {
+      std::string known;
+      for (const std::string& n : names) {
+        if (!known.empty()) {
+          known += "|";
+        }
+        known += n;
+      }
+      errors->push_back(
+          {line, "model", "unknown model '" + spec.model + "' (" + known +
+                          ")"});
+    }
+  }
+  if (spec.rows < 1 || spec.cols < 1) {
+    errors->push_back({line, spec.rows < 1 ? "rows" : "cols",
+                       "grid dimensions must be >= 1"});
+  }
+  if (spec.shards < 1) {
+    errors->push_back({line, "shards", "shards must be >= 1"});
+  }
+  // The engine/precision combination checks NormalizeEngineRequest
+  // would otherwise hit fatally on the worker thread.
+  if (spec.precision == "float" && spec.engine != "soa") {
+    errors->push_back({line, "precision",
+                       "precision 'float' is only available on the soa "
+                       "engine, not '" + spec.engine + "'"});
+  }
+  return errors->size() == before;
+}
+
+}  // namespace cenn

@@ -1,0 +1,143 @@
+#ifndef CENN_RUNTIME_JOB_SPEC_H_
+#define CENN_RUNTIME_JOB_SPEC_H_
+
+/**
+ * @file
+ * JobSpec — one declarative solver scenario, and the shared parse /
+ * validate machinery behind every frontend that accepts one.
+ *
+ * The grammar is the batch-manifest key set (docs/runtime.md):
+ * `model=`, `name=`, `rows=`, `cols=`, `steps=`, `engine=`,
+ * `precision=`, `memory=`, `kernel_path=`, `shards=`, `priority=`,
+ * `seed=`, `checkpoint_every=`. It used to live inside
+ * batch_manifest.cc with fatal, first-error-wins diagnostics; now the
+ * manifest parser (cenn_batch) and the serve submit path (cenn_serve)
+ * both build specs through JobSpecBuilder, which *collects* every
+ * error with its line and key instead of dying on the first — a batch
+ * user gets all their typos at once, and a server must never exit on
+ * a client's bad request.
+ *
+ * Split of responsibilities:
+ *  - JobSpecBuilder::Apply checks one key at a time (known key, value
+ *    shape, enumerated choices);
+ *  - ValidateJobSpec checks the finished spec (model exists, sane
+ *    geometry, engine/precision combinations BuildEngine would
+ *    reject fatally).
+ * A spec that passes both is safe to hand to MakeModel + BuildEngine
+ * on a worker thread without tripping CENN_FATAL.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+/** One declarative solver scenario (manifest job / serve submit). */
+struct JobSpec {
+  /** Unique job name; defaults to "job<index>_<model>". */
+  std::string name;
+
+  /** Benchmark model id (required; see AllModelNames()). */
+  std::string model;
+
+  std::size_t rows = 64;
+  std::size_t cols = 64;
+
+  /** Steps to run; 0 = the model's DefaultSteps(). */
+  std::uint64_t steps = 0;
+
+  /**
+   * "functional", "soa" or "arch" (legacy spellings "double" and
+   * "fixed" mean the functional engine at that precision).
+   */
+  std::string engine = "functional";
+
+  /** "double", "fixed" or "float"; empty = engine default (fixed). */
+  std::string precision;
+
+  /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
+  std::string memory = "ddr3";
+
+  /** SoA stepping kernels: "auto", "scalar", "blocked" or "simd". */
+  std::string kernel_path = "auto";
+
+  /** Band-parallel workers inside the job (band-capable engines). */
+  int shards = 1;
+
+  /** Queue priority (higher dispatches first). */
+  int priority = 0;
+
+  /** Initial-condition seed; when absent the runner derives one. */
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+
+  /** Per-job auto-checkpoint interval (0 = runner default). */
+  std::uint64_t checkpoint_every = 0;
+};
+
+/** One problem found while parsing or validating a spec. */
+struct JobSpecError {
+  /** Manifest line number; 0 when there is no line (wire submits). */
+  int line = 0;
+
+  /** The key the problem is about; empty for spec-level problems. */
+  std::string key;
+
+  std::string message;
+};
+
+/** "line 3: key 'rows': ..." (or "key 'rows': ..." when line == 0). */
+std::string FormatJobSpecError(const JobSpecError& error);
+
+/** All errors joined with "; " — one aggregate diagnostic line. */
+std::string FormatJobSpecErrors(const std::vector<JobSpecError>& errors);
+
+/**
+ * Incremental spec assembly with collected (not fatal) diagnostics.
+ * Feed key/value pairs in any order; every problem is recorded with
+ * the offending key (and line, when the caller has one) and the
+ * builder keeps going so one pass reports everything.
+ */
+class JobSpecBuilder
+{
+  public:
+    /**
+     * Applies one key=value. Returns true when the pair was applied
+     * cleanly; false records a JobSpecError (unknown key, malformed
+     * number, out-of-range value, unknown enum choice). `line` is
+     * carried into the error verbatim (0 = no line context).
+     */
+    bool Apply(const std::string& key, const std::string& value,
+               int line = 0);
+
+    /** True when `key` is one of the spec grammar's keys. */
+    static bool IsKnownKey(const std::string& key);
+
+    /** The spec assembled so far. */
+    const JobSpec& Spec() const { return spec_; }
+    JobSpec& MutableSpec() { return spec_; }
+
+    /** Errors collected by Apply (in call order). */
+    const std::vector<JobSpecError>& Errors() const { return errors_; }
+    bool Ok() const { return errors_.empty(); }
+
+  private:
+    JobSpec spec_;
+    std::vector<JobSpecError> errors_;
+};
+
+/**
+ * Whole-spec validation: the model must exist (AllModelNames), rows /
+ * cols / shards must be >= 1, and the engine/precision combination
+ * must be one BuildEngine accepts (float is soa-only). Appends to
+ * `errors` with `line` context and returns true when nothing was
+ * added — a spec passing Apply + ValidateJobSpec never trips
+ * CENN_FATAL in MakeModel / NormalizeEngineRequest.
+ */
+bool ValidateJobSpec(const JobSpec& spec, std::vector<JobSpecError>* errors,
+                     int line = 0);
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_JOB_SPEC_H_

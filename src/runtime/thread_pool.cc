@@ -52,6 +52,34 @@ ThreadPool::Submit(JobFn fn, int priority)
 }
 
 bool
+ThreadPool::TrySubmit(JobFn fn, int priority, JobId* id)
+{
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      return false;
+    }
+    // Counted before the push (mirrors Submit) so WaitIdle callers
+    // never observe a popped-and-completed job ahead of its
+    // submission count.
+    ++jobs_submitted_;
+  }
+  JobId assigned = 0;
+  if (queue_.TryPush(std::move(fn), priority, &assigned)) {
+    if (id != nullptr) {
+      *id = assigned;
+    }
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --jobs_submitted_;
+  }
+  idle_cv_.notify_all();
+  return false;
+}
+
+bool
 ThreadPool::Cancel(JobId id)
 {
   if (!queue_.Cancel(id)) {

@@ -49,6 +49,16 @@ class ThreadPool
      */
     JobId Submit(JobFn fn, int priority = 0);
 
+    /**
+     * Non-blocking submit: enqueues and stores the id through `id`
+     * (when non-null), or returns false without enqueuing when the
+     * queue is full or the pool is shut down. This is the admission
+     * path for callers that must never wedge on backpressure — a
+     * server's accept loop rejects with retry-after instead of
+     * blocking inside Submit.
+     */
+    bool TrySubmit(JobFn fn, int priority = 0, JobId* id = nullptr);
+
     /** Cancels a job that has not started; true when removed. */
     bool Cancel(JobId id);
 

@@ -1,0 +1,64 @@
+#include "serve/admission.h"
+
+#include "util/logging.h"
+
+namespace cenn {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config)
+{
+}
+
+AdmissionController::Reject
+AdmissionController::TryAdmit(const std::string& tenant)
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Reject::kDraining;
+  }
+  if (config_.tenant_quota > 0 &&
+      per_tenant_[tenant] >= config_.tenant_quota) {
+    return Reject::kQuota;
+  }
+  if (config_.max_in_flight > 0 && in_flight_ >= config_.max_in_flight) {
+    return Reject::kFull;
+  }
+  ++per_tenant_[tenant];
+  ++in_flight_;
+  return Reject::kNone;
+}
+
+void
+AdmissionController::Release(const std::string& tenant)
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_tenant_.find(tenant);
+  CENN_ASSERT(it != per_tenant_.end() && it->second > 0 && in_flight_ > 0,
+              "AdmissionController::Release without a matching TryAdmit");
+  --it->second;
+  --in_flight_;
+}
+
+void
+AdmissionController::SetDraining()
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+std::size_t
+AdmissionController::InFlight() const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int
+AdmissionController::TenantInFlight(const std::string& tenant) const
+{
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = per_tenant_.find(tenant);
+  return it == per_tenant_.end() ? 0 : it->second;
+}
+
+}  // namespace cenn

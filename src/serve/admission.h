@@ -1,0 +1,81 @@
+#ifndef CENN_SERVE_ADMISSION_H_
+#define CENN_SERVE_ADMISSION_H_
+
+/**
+ * @file
+ * Admission control for the solver service: every submit passes
+ * through TryAdmit before any session or pool slot is allocated, so
+ * the server's memory footprint is bounded by configuration, never by
+ * client behavior.
+ *
+ * Two independent limits, checked in order:
+ *  - per-tenant quota: a tenant may hold at most `tenant_quota` jobs
+ *    in flight (queued or running) — one noisy tenant cannot starve
+ *    the rest of the pool;
+ *  - global bound: at most `max_in_flight` jobs in flight across all
+ *    tenants — the hard backpressure line. Rejected submits carry a
+ *    retry-after hint; nothing is ever queued beyond this bound.
+ *
+ * Admission is released exactly once per admitted job, when the job
+ * reaches a terminal status (or its pool submit fails). Draining mode
+ * rejects all new admissions permanently.
+ */
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace cenn {
+
+/** Admission limits (0 = unlimited for either bound). */
+struct AdmissionConfig {
+  /** Max in-flight (queued + running) jobs per tenant. */
+  int tenant_quota = 8;
+
+  /** Max in-flight jobs across all tenants. */
+  std::size_t max_in_flight = 64;
+};
+
+/** Bounds in-flight work (see file comment). Thread-safe. */
+class AdmissionController
+{
+  public:
+    /** Why a submit was turned away. */
+    enum class Reject : std::uint8_t {
+      kNone = 0,      ///< admitted
+      kQuota = 1,     ///< tenant at its quota
+      kFull = 2,      ///< server at max_in_flight
+      kDraining = 3,  ///< server shutting down
+    };
+
+    explicit AdmissionController(AdmissionConfig config);
+
+    /**
+     * Claims one in-flight slot for `tenant`. On kNone the caller owns
+     * the slot and must eventually Release it; any other value means
+     * nothing was claimed.
+     */
+    Reject TryAdmit(const std::string& tenant);
+
+    /** Returns `tenant`'s slot (terminal job or failed pool submit). */
+    void Release(const std::string& tenant);
+
+    /** Rejects every future TryAdmit with kDraining. */
+    void SetDraining();
+
+    std::size_t InFlight() const;
+    int TenantInFlight(const std::string& tenant) const;
+
+  private:
+    const AdmissionConfig config_;
+
+    mutable std::mutex mu_;
+    std::map<std::string, int> per_tenant_;
+    std::size_t in_flight_ = 0;
+    bool draining_ = false;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_SERVE_ADMISSION_H_

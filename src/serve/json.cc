@@ -1,0 +1,304 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cenn {
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+/** Recursive-descent parser over one immutable text buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool Run(JsonValue* out)
+    {
+        if (!ParseValue(out, 0)) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ != text_.size()) {
+          return Fail("trailing characters after JSON value");
+        }
+        return true;
+    }
+
+  private:
+    bool Fail(const std::string& what)
+    {
+        *error_ = what + " (at byte " + std::to_string(pos_) + ")";
+        return false;
+    }
+
+    void SkipWs()
+    {
+        while (pos_ < text_.size()) {
+          const char c = text_[pos_];
+          if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+            break;
+          }
+          ++pos_;
+        }
+    }
+
+    char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    bool Literal(const char* word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0) {
+          return Fail(std::string("bad literal (expected '") + word + "')");
+        }
+        pos_ += len;
+        return true;
+    }
+
+    bool ParseString(std::string* out)
+    {
+        if (Peek() != '"') {
+          return Fail("expected '\"'");
+        }
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+          const char c = text_[pos_];
+          if (c == '"') {
+            ++pos_;
+            return true;
+          }
+          if (static_cast<unsigned char>(c) < 0x20) {
+            return Fail("unescaped control character in string");
+          }
+          if (c != '\\') {
+            out->push_back(c);
+            ++pos_;
+            continue;
+          }
+          if (pos_ + 1 >= text_.size()) {
+            return Fail("dangling escape");
+          }
+          const char esc = text_[pos_ + 1];
+          switch (esc) {
+            case '"':
+            case '\\':
+            case '/':
+              out->push_back(esc);
+              pos_ += 2;
+              break;
+            case 'b':
+              out->push_back('\b');
+              pos_ += 2;
+              break;
+            case 'f':
+              out->push_back('\f');
+              pos_ += 2;
+              break;
+            case 'n':
+              out->push_back('\n');
+              pos_ += 2;
+              break;
+            case 'r':
+              out->push_back('\r');
+              pos_ += 2;
+              break;
+            case 't':
+              out->push_back('\t');
+              pos_ += 2;
+              break;
+            case 'u': {
+              if (pos_ + 6 > text_.size()) {
+                return Fail("truncated \\u escape");
+              }
+              unsigned code = 0;
+              for (int i = 0; i < 4; ++i) {
+                const char h = text_[pos_ + 2 + i];
+                code <<= 4;
+                if (h >= '0' && h <= '9') {
+                  code |= static_cast<unsigned>(h - '0');
+                } else if (h >= 'a' && h <= 'f') {
+                  code |= static_cast<unsigned>(h - 'a' + 10);
+                } else if (h >= 'A' && h <= 'F') {
+                  code |= static_cast<unsigned>(h - 'A' + 10);
+                } else {
+                  return Fail("bad hex digit in \\u escape");
+                }
+              }
+              // ASCII decodes exactly; anything wider is replaced —
+              // the protocol carries identifiers, not prose.
+              out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+              pos_ += 6;
+              break;
+            }
+            default:
+              return Fail("unknown escape");
+          }
+        }
+        return Fail("unterminated string");
+    }
+
+    bool ParseNumber(double* out)
+    {
+        const char* start = text_.c_str() + pos_;
+        char* end = nullptr;
+        *out = std::strtod(start, &end);
+        if (end == start) {
+          return Fail("bad number");
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool ParseValue(JsonValue* out, int depth)
+    {
+        if (depth > kMaxDepth) {
+          return Fail("nesting too deep");
+        }
+        SkipWs();
+        switch (Peek()) {
+          case '{': {
+            out->kind = JsonValue::Kind::kObject;
+            ++pos_;
+            SkipWs();
+            if (Peek() == '}') {
+              ++pos_;
+              return true;
+            }
+            while (true) {
+              SkipWs();
+              std::string key;
+              if (!ParseString(&key)) {
+                return false;
+              }
+              SkipWs();
+              if (Peek() != ':') {
+                return Fail("expected ':'");
+              }
+              ++pos_;
+              if (!ParseValue(&out->object[key], depth + 1)) {
+                return false;
+              }
+              SkipWs();
+              if (Peek() == ',') {
+                ++pos_;
+                continue;
+              }
+              if (Peek() == '}') {
+                ++pos_;
+                return true;
+              }
+              return Fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            out->kind = JsonValue::Kind::kArray;
+            ++pos_;
+            SkipWs();
+            if (Peek() == ']') {
+              ++pos_;
+              return true;
+            }
+            while (true) {
+              out->array.emplace_back();
+              if (!ParseValue(&out->array.back(), depth + 1)) {
+                return false;
+              }
+              SkipWs();
+              if (Peek() == ',') {
+                ++pos_;
+                continue;
+              }
+              if (Peek() == ']') {
+                ++pos_;
+                return true;
+              }
+              return Fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out->kind = JsonValue::Kind::kString;
+            return ParseString(&out->string);
+          case 't':
+            out->kind = JsonValue::Kind::kBool;
+            out->boolean = true;
+            return Literal("true", 4);
+          case 'f':
+            out->kind = JsonValue::Kind::kBool;
+            out->boolean = false;
+            return Literal("false", 5);
+          case 'n':
+            out->kind = JsonValue::Kind::kNull;
+            return Literal("null", 4);
+          default:
+            out->kind = JsonValue::Kind::kNumber;
+            return ParseNumber(&out->number);
+        }
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue*
+JsonValue::Find(const std::string& key) const
+{
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::string
+JsonValue::GetString(const std::string& key, const std::string& def) const
+{
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->IsString() ? v->string : def;
+}
+
+double
+JsonValue::GetNumber(const std::string& key, double def) const
+{
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return def;
+  }
+  if (v->IsNumber()) {
+    return v->number;
+  }
+  if (v->IsString() && !v->string.empty()) {
+    // Quoted integers: every character must be consumed.
+    char* end = nullptr;
+    const double parsed = std::strtod(v->string.c_str(), &end);
+    if (end != nullptr && *end == '\0') {
+      return parsed;
+    }
+  }
+  return def;
+}
+
+bool
+JsonValue::GetBool(const std::string& key, bool def) const
+{
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->IsBool() ? v->boolean : def;
+}
+
+bool
+ParseJson(const std::string& text, JsonValue* value, std::string* error)
+{
+  *value = JsonValue{};
+  std::string local_error;
+  Parser parser(text, error != nullptr ? error : &local_error);
+  return parser.Run(value);
+}
+
+}  // namespace cenn

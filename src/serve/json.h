@@ -1,0 +1,84 @@
+#ifndef CENN_SERVE_JSON_H_
+#define CENN_SERVE_JSON_H_
+
+/**
+ * @file
+ * Minimal JSON for the serve wire protocol (cenn.serve.v1).
+ *
+ * The server parses one untrusted JSON object per request line, so
+ * the parser must (a) never be fatal, (b) never recurse unboundedly,
+ * and (c) reject trailing garbage — every failure is a clean `false`
+ * with a position-stamped diagnostic the server echoes back to the
+ * client. This is deliberately not a general JSON library: numbers
+ * are doubles, \uXXXX escapes decode only the ASCII range (anything
+ * else becomes '?'), and object key order is not preserved (requests
+ * are field-addressed, never order-addressed).
+ *
+ * Serialization for responses lives in JsonWriter (serve/wire.h) —
+ * responses are built field-by-field, never via a DOM round-trip.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cenn {
+
+/** One parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind : unsigned char {
+      kNull,
+      kBool,
+      kNumber,
+      kString,
+      kArray,
+      kObject,
+    };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool IsNull() const { return kind == Kind::kNull; }
+    bool IsBool() const { return kind == Kind::kBool; }
+    bool IsNumber() const { return kind == Kind::kNumber; }
+    bool IsString() const { return kind == Kind::kString; }
+    bool IsArray() const { return kind == Kind::kArray; }
+    bool IsObject() const { return kind == Kind::kObject; }
+
+    /** Object member by key, or nullptr (also when not an object). */
+    const JsonValue* Find(const std::string& key) const;
+
+    /** Member string value, or `def` when absent / not a string. */
+    std::string GetString(const std::string& key,
+                          const std::string& def = "") const;
+
+    /**
+     * Member numeric value, or `def` when absent / not a number.
+     * Strings holding plain integers also convert (clients in other
+     * languages often quote 64-bit values).
+     */
+    double GetNumber(const std::string& key, double def) const;
+
+    /** Member boolean, or `def` when absent / not a bool. */
+    bool GetBool(const std::string& key, bool def) const;
+};
+
+/**
+ * Parses `text` as exactly one JSON value (plus surrounding
+ * whitespace). Returns false with a diagnostic in `error` on any
+ * syntax problem, on nesting deeper than 32 levels, and on trailing
+ * non-whitespace. Never throws, never fatal.
+ */
+bool ParseJson(const std::string& text, JsonValue* value,
+               std::string* error);
+
+}  // namespace cenn
+
+#endif  // CENN_SERVE_JSON_H_

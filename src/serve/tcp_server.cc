@@ -1,0 +1,270 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+namespace {
+
+/** Sends all of `data`; false on any error (peer gone). */
+bool
+SendAll(int fd, const std::string& data)
+{
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(TcpServerOptions options, Handler handler,
+                     ConnectionHook on_connection)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      on_connection_(std::move(on_connection))
+{
+  CENN_ASSERT(handler_ != nullptr, "TcpServer: null handler");
+}
+
+TcpServer::~TcpServer()
+{
+  Stop();
+}
+
+bool
+TcpServer::Start(std::string* error)
+{
+  CENN_ASSERT(!started_, "TcpServer::Start called twice");
+  started_ = true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host '" + options_.host + "'";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  if (::pipe(wake_pipe_) != 0) {
+    *error = std::string("pipe: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void
+TcpServer::AcceptLoop()
+{
+  while (!stopping_.load()) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (fds[1].revents != 0 || stopping_.load()) {
+      break;  // Stop() woke us
+    }
+    if (fds[0].revents == 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    connections_.fetch_add(1);
+    if (on_connection_) {
+      on_connection_();
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void
+TcpServer::ConnectionLoop(int fd)
+{
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // peer closed or socket shut down by Stop()
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > options_.max_line_bytes &&
+        buffer.find('\n') == std::string::npos) {
+      SendAll(fd,
+              "{\"schema\":\"cenn.serve.v1\",\"ok\":false,\"op\":\"\","
+              "\"error\":\"parse\",\"message\":\"request line exceeds " +
+                  std::to_string(options_.max_line_bytes) + " bytes\"}\n");
+      break;
+    }
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;  // blank keep-alive lines are ignored
+      }
+      if (line.size() > options_.max_line_bytes) {
+        SendAll(fd,
+                "{\"schema\":\"cenn.serve.v1\",\"ok\":false,\"op\":\"\","
+                "\"error\":\"parse\",\"message\":\"request line exceeds " +
+                    std::to_string(options_.max_line_bytes) + " bytes\"}\n");
+        open = false;
+        break;
+      }
+      std::string response;
+      const bool keep_serving = handler_(line, &response);
+      if (!keep_serving) {
+        // Raise the flag before flushing the response: a client that
+        // has read the shutdown ack must observe ShutdownRequested().
+        shutdown_requested_.store(true);
+      }
+      if (!response.empty() && !SendAll(fd, response + "\n")) {
+        open = false;
+        break;
+      }
+      if (!keep_serving) {
+        open = false;
+        break;
+      }
+    }
+  }
+  {
+    // Deregister before closing so Stop() never shuts down a
+    // recycled descriptor number.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+      if (*it == fd) {
+        conn_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void
+TcpServer::Stop()
+{
+  if (!started_ || stopped_) {
+    return;
+  }
+  stopped_ = true;
+  stopping_.store(true);
+
+  // Wake the acceptor, then the connection readers.
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);  // unblocks recv; the thread closes fd
+    }
+    conn_fds_.clear();
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+}  // namespace cenn

@@ -1,0 +1,126 @@
+#ifndef CENN_SERVE_TCP_SERVER_H_
+#define CENN_SERVE_TCP_SERVER_H_
+
+/**
+ * @file
+ * Newline-delimited request/response TCP transport for cenn_serve.
+ *
+ * One acceptor thread (poll over the listen socket plus a self-pipe
+ * for wakeup) and one thread per connection. Each connection reads
+ * lines, hands them to the handler, and writes the handler's response
+ * line back; the transport knows nothing about JSON. Defenses at this
+ * layer, because everything past it trusts its framing:
+ *
+ *  - lines above max_line_bytes close the connection after one error
+ *    line (an unbounded line would otherwise grow the read buffer
+ *    without limit);
+ *  - SIGPIPE cannot kill the process (sends use MSG_NOSIGNAL);
+ *  - Stop() wakes the acceptor via the pipe and shuts down every live
+ *    connection socket, so no thread is left blocked in read().
+ *
+ * The handler returning false (the wire "shutdown" op) still gets its
+ * response flushed, then the server records the request; the host
+ * process polls ShutdownRequested() and runs its drain sequence.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cenn {
+
+/** Transport configuration. */
+struct TcpServerOptions {
+  /** Bind address; loopback by default (no remote exposure). */
+  std::string host = "127.0.0.1";
+
+  /** Port; 0 = kernel-assigned (read back via Port()). */
+  int port = 0;
+
+  /** listen(2) backlog. */
+  int backlog = 64;
+
+  /** Longest accepted request line, newline included. */
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+/** Line-oriented TCP server (see file comment). */
+class TcpServer
+{
+  public:
+    /**
+     * Handles one request line (no newline) and fills one response
+     * line (no newline). Returning false requests host shutdown.
+     * Called concurrently from connection threads.
+     */
+    using Handler = std::function<bool(const std::string&, std::string*)>;
+
+    /** Optional hook invoked once per accepted connection. */
+    using ConnectionHook = std::function<void()>;
+
+    TcpServer(TcpServerOptions options, Handler handler,
+              ConnectionHook on_connection = nullptr);
+
+    /** Stops if still running. */
+    ~TcpServer();
+
+    TcpServer(const TcpServer&) = delete;
+    TcpServer& operator=(const TcpServer&) = delete;
+
+    /**
+     * Binds, listens and starts the acceptor. Returns false with a
+     * diagnostic in `error` when the socket cannot be set up.
+     */
+    bool Start(std::string* error);
+
+    /** The bound port (after Start; resolves port 0). */
+    int Port() const { return port_; }
+
+    /** True once a handler returned false (wire shutdown). */
+    bool ShutdownRequested() const { return shutdown_requested_.load(); }
+
+    /**
+     * Stops accepting, unblocks and joins every connection thread.
+     * Idempotent; in-flight handler calls complete first.
+     */
+    void Stop();
+
+    /** Connections accepted over the server's lifetime. */
+    std::uint64_t ConnectionsAccepted() const
+    {
+        return connections_.load();
+    }
+
+  private:
+    void AcceptLoop();
+    void ConnectionLoop(int fd);
+
+    TcpServerOptions options_;
+    Handler handler_;
+    ConnectionHook on_connection_;
+
+    int listen_fd_ = -1;
+    int wake_pipe_[2] = {-1, -1};
+    int port_ = 0;
+
+    std::thread acceptor_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdown_requested_{false};
+    std::atomic<std::uint64_t> connections_{0};
+
+    /** Guards the connection-thread table. */
+    std::mutex conn_mu_;
+    std::vector<std::thread> conn_threads_;
+    std::vector<int> conn_fds_;
+
+    bool started_ = false;
+    bool stopped_ = false;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_SERVE_TCP_SERVER_H_

@@ -1,0 +1,164 @@
+#include "serve/wire.h"
+
+#include <cstdio>
+
+namespace cenn {
+
+const char*
+ServeErrorCodeName(ServeErrorCode code)
+{
+  switch (code) {
+    case ServeErrorCode::kParse:
+      return "parse";
+    case ServeErrorCode::kBadOp:
+      return "bad_op";
+    case ServeErrorCode::kInvalid:
+      return "invalid";
+    case ServeErrorCode::kQuota:
+      return "quota";
+    case ServeErrorCode::kBusy:
+      return "busy";
+    case ServeErrorCode::kDraining:
+      return "draining";
+    case ServeErrorCode::kUnknownJob:
+      return "unknown_job";
+  }
+  return "unknown";
+}
+
+JsonWriter::JsonWriter() : out_("{") {}
+
+void
+JsonWriter::Key(const std::string& key)
+{
+  if (!first_) {
+    out_ += ',';
+  }
+  first_ = false;
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+}
+
+JsonWriter&
+JsonWriter::String(const std::string& key, const std::string& value)
+{
+  Key(key);
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter&
+JsonWriter::Number(const std::string& key, double value)
+{
+  Key(key);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter&
+JsonWriter::Int(const std::string& key, std::int64_t value)
+{
+  Key(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter&
+JsonWriter::U64Str(const std::string& key, std::uint64_t value)
+{
+  Key(key);
+  out_ += '"';
+  out_ += std::to_string(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter&
+JsonWriter::Bool(const std::string& key, bool value)
+{
+  Key(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter&
+JsonWriter::Raw(const std::string& key, const std::string& json)
+{
+  Key(key);
+  out_ += json;
+  return *this;
+}
+
+std::string
+JsonWriter::Finish()
+{
+  out_ += '}';
+  return std::move(out_);
+}
+
+std::string
+JsonWriter::Escape(const std::string& text)
+{
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter
+OkResponse(const std::string& op)
+{
+  JsonWriter w;
+  w.String("schema", kServeSchema).Bool("ok", true).String("op", op);
+  return w;
+}
+
+std::string
+ErrorResponse(const std::string& op, ServeErrorCode code,
+              const std::string& message, int retry_after_ms)
+{
+  JsonWriter w;
+  w.String("schema", kServeSchema)
+      .Bool("ok", false)
+      .String("op", op)
+      .String("error", ServeErrorCodeName(code))
+      .String("message", message);
+  if (retry_after_ms >= 0) {
+    w.Int("retry_after_ms", retry_after_ms);
+  }
+  return w.Finish();
+}
+
+}  // namespace cenn

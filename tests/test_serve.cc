@@ -1,0 +1,993 @@
+/**
+ * @file
+ * Tests for the serve subsystem (src/serve): the JSON wire layer, the
+ * admission/quota/priority behavior of SolverService, fault recovery
+ * and drain semantics, and the TCP transport driven over a real
+ * loopback socket — including the headline equivalence property: jobs
+ * executed through the service are bit-identical (state checksums) to
+ * the same specs run through BatchRunner.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/benchmark_model.h"
+#include "runtime/batch_manifest.h"
+#include "runtime/batch_runner.h"
+#include "runtime/engine_factory.h"
+#include "runtime/solver_session.h"
+#include "serve/json.h"
+#include "serve/service.h"
+#include "serve/tcp_server.h"
+#include "serve/wire.h"
+
+namespace cenn {
+namespace {
+
+/** Fresh per-test work directory under the gtest temp root. */
+std::string
+TestDir(const std::string& leaf)
+{
+  const std::string dir = ::testing::TempDir() + "cenn_serve_" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/** Service options tuned for fast tests. */
+ServiceOptions
+BaseOptions(const std::string& work_dir)
+{
+  ServiceOptions options;
+  options.work_dir = work_dir;
+  options.num_threads = 2;
+  options.queue_capacity = 16;
+  options.retry_after_ms = 1;
+  return options;
+}
+
+/** One request/response round trip through the service core. */
+JsonValue
+Call(SolverService& service, const std::string& line)
+{
+  std::string response;
+  service.HandleLine(line, &response);
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(response, &value, &error))
+      << error << " in: " << response;
+  return value;
+}
+
+/** Builds the nested "spec" object from key=value pairs. */
+std::string
+SpecJson(const std::vector<std::pair<std::string, std::string>>& kv)
+{
+  JsonWriter spec;
+  for (const auto& [key, value] : kv) {
+    spec.String(key, value);
+  }
+  return spec.Finish();
+}
+
+/** Builds a submit request line. */
+std::string
+SubmitLine(const std::string& tenant, const std::string& spec_json,
+           const std::string& fault = "")
+{
+  JsonWriter w;
+  w.String("op", "submit").String("tenant", tenant).Raw("spec", spec_json);
+  if (!fault.empty()) {
+    w.String("fault_inject", fault);
+  }
+  return w.Finish();
+}
+
+/** Submits and returns the accepted job id; fails the test on reject. */
+std::string
+MustSubmit(SolverService& service, const std::string& tenant,
+           const std::string& spec_json, const std::string& fault = "")
+{
+  const JsonValue r = Call(service, SubmitLine(tenant, spec_json, fault));
+  EXPECT_TRUE(r.GetBool("ok", false)) << "submit rejected";
+  return r.GetString("job");
+}
+
+/** Long-polls the result op until the job is terminal. */
+JsonValue
+WaitResult(SolverService& service, const std::string& job)
+{
+  const std::string request = JsonWriter()
+                                  .String("op", "result")
+                                  .String("job", job)
+                                  .Bool("wait", true)
+                                  .Int("timeout_ms", 200)
+                                  .Finish();
+  for (int i = 0; i < 600; ++i) {
+    JsonValue r = Call(service, request);
+    if (r.GetBool("ok", false)) {
+      return r;
+    }
+  }
+  ADD_FAILURE() << "job " << job << " never reached a terminal status";
+  return {};
+}
+
+/** Status op response for `job`. */
+JsonValue
+Status(SolverService& service, const std::string& job)
+{
+  return Call(service, JsonWriter()
+                           .String("op", "status")
+                           .String("job", job)
+                           .Finish());
+}
+
+/** Polls until the job reports "running" (it may also already be done). */
+void
+WaitRunning(SolverService& service, const std::string& job)
+{
+  for (int i = 0; i < 2000; ++i) {
+    const JsonValue s = Status(service, job);
+    const std::string status = s.GetString("status");
+    if (status == "running" || s.GetBool("done", false)) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ADD_FAILURE() << "job " << job << " never started";
+}
+
+/** A spec that runs long enough to still be running when poked. */
+std::string
+BlockerSpec(const std::string& name)
+{
+  return SpecJson({{"name", name},
+                   {"model", "heat"},
+                   {"rows", "16"},
+                   {"cols", "16"},
+                   {"steps", "50000000"},
+                   {"seed", "1"}});
+}
+
+// ---------------------------------------------------------------------------
+// JSON layer
+// ---------------------------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsObjectsAndArrays)
+{
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"a":1,"b":"x","c":true,"d":null,"e":[1,2,3],"f":{"g":-2.5}})", &v,
+      &error))
+      << error;
+  EXPECT_TRUE(v.IsObject());
+  EXPECT_DOUBLE_EQ(v.GetNumber("a", 0), 1.0);
+  EXPECT_EQ(v.GetString("b"), "x");
+  EXPECT_TRUE(v.GetBool("c", false));
+  ASSERT_NE(v.Find("e"), nullptr);
+  EXPECT_EQ(v.Find("e")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("f")->GetNumber("g", 0), -2.5);
+}
+
+TEST(ServeJson, QuotedIntegersConvertViaGetNumber)
+{
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"({"checksum":"12345678901234567890"})", &v, &error));
+  EXPECT_GT(v.GetNumber("checksum", 0), 1e18);
+}
+
+TEST(ServeJson, RejectsMalformedInputWithoutDying)
+{
+  const char* bad[] = {
+      "",          "{",      "}",          "[1,2",        R"({"a")",
+      R"({"a":})", "tru",    "nul",        R"("unterm)",  "{}}",
+      "1 2",       "--3",    R"({"a":1,})", R"({,"a":1})", "\x01\x02\x03",
+  };
+  for (const char* text : bad) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(ParseJson(text, &v, &error)) << "accepted: " << text;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ServeJson, RejectsExcessiveNesting)
+{
+  std::string deep;
+  for (int i = 0; i < 64; ++i) {
+    deep += "[";
+  }
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson(deep, &v, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+}
+
+TEST(ServeWire, EscapeRoundTripsThroughTheParser)
+{
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const std::string line =
+      JsonWriter().String("v", nasty).Finish();
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(line, &v, &error)) << error << " in " << line;
+  // Control characters survive as *some* escaped form; quotes and
+  // backslashes must round-trip exactly.
+  const std::string back = v.GetString("v");
+  EXPECT_NE(back.find("a\"b\\c"), std::string::npos);
+}
+
+TEST(ServeWire, ErrorResponseCarriesCodeAndRetryHint)
+{
+  const std::string line =
+      ErrorResponse("submit", ServeErrorCode::kQuota, "full", 250);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(line, &v, &error));
+  EXPECT_FALSE(v.GetBool("ok", true));
+  EXPECT_EQ(v.GetString("error"), "quota");
+  EXPECT_DOUBLE_EQ(v.GetNumber("retry_after_ms", 0), 250.0);
+  EXPECT_EQ(v.GetString("schema"), "cenn.serve.v1");
+}
+
+// ---------------------------------------------------------------------------
+// HandleLine robustness (wire fuzz)
+// ---------------------------------------------------------------------------
+
+TEST(ServeFuzz, MalformedRequestsNeverKillTheService)
+{
+  SolverService service(BaseOptions(TestDir("fuzz")));
+  const char* cases[] = {
+      "",
+      "not json at all",
+      "{",
+      "[1,2,3]",
+      "42",
+      "\"just a string\"",
+      "null",
+      "{}",
+      R"({"op":42})",
+      R"({"op":"nope"})",
+      R"({"op":"submit"})",
+      R"({"op":"submit","tenant":"t"})",
+      R"({"op":"submit","tenant":"t","spec":17})",
+      R"({"op":"submit","tenant":"UPPER!","spec":{"model":"heat"}})",
+      R"({"op":"status"})",
+      R"({"op":"status","job":"zzz"})",
+      R"({"op":"result","job":""})",
+      R"({"op":"cancel","job":"j999"})",
+      R"({"op":"snapshot","job":"j999"})",
+  };
+  for (const char* text : cases) {
+    std::string response;
+    EXPECT_TRUE(service.HandleLine(text, &response)) << text;
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(ParseJson(response, &v, &error)) << response;
+    EXPECT_FALSE(v.GetBool("ok", true)) << text << " -> " << response;
+    EXPECT_FALSE(v.GetString("error").empty());
+  }
+
+  // Deterministic byte soup: every line must produce a parseable
+  // error response and leave the service serving.
+  std::mt19937 rng(20260809);
+  const std::string alphabet = R"( {}[]":,abcdef0123\n\\tru-+.eE)";
+  for (int i = 0; i < 500; ++i) {
+    std::string line;
+    const std::size_t len = 1 + rng() % 120;
+    for (std::size_t k = 0; k < len; ++k) {
+      line += alphabet[rng() % alphabet.size()];
+    }
+    std::string response;
+    EXPECT_TRUE(service.HandleLine(line, &response));
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(ParseJson(response, &v, &error)) << response;
+    EXPECT_EQ(v.GetString("schema"), "cenn.serve.v1");
+  }
+
+  // Still alive and serving after all of that.
+  const JsonValue ping = Call(service, R"({"op":"ping"})");
+  EXPECT_TRUE(ping.GetBool("ok", false));
+  EXPECT_EQ(ping.GetString("state"), "serving");
+}
+
+TEST(ServeFuzz, SubmitValidationReportsPreciseKeys)
+{
+  SolverService service(BaseOptions(TestDir("validate")));
+
+  // Unknown model.
+  JsonValue r = Call(service, SubmitLine("t", SpecJson({{"model", "nope"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_EQ(r.GetString("error"), "invalid");
+  EXPECT_NE(r.GetString("message").find("model"), std::string::npos);
+
+  // Bad number and unknown key, both reported in one diagnostic.
+  r = Call(service, SubmitLine("t", SpecJson({{"model", "heat"},
+                                              {"rows", "zero"},
+                                              {"bogus", "1"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_NE(r.GetString("message").find("rows"), std::string::npos);
+  EXPECT_NE(r.GetString("message").find("bogus"), std::string::npos);
+
+  // The size cap guards the server against resource exhaustion.
+  r = Call(service, SubmitLine("t", SpecJson({{"model", "heat"},
+                                              {"rows", "4096"},
+                                              {"cols", "4096"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_EQ(r.GetString("error"), "invalid");
+
+  // Tenant names feed stat names and are validated strictly.
+  r = Call(service, SubmitLine("Bad Tenant!",
+                               SpecJson({{"model", "heat"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+
+  // A bad fault spec is a reject, not a fatal.
+  r = Call(service, SubmitLine("t", SpecJson({{"model", "heat"}}),
+                               "garbage@@spec"));
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_EQ(r.GetString("error"), "invalid");
+
+  // Nothing was ever admitted.
+  EXPECT_EQ(service.Jobs().TotalCreated(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Job lifecycle through the service core
+// ---------------------------------------------------------------------------
+
+TEST(ServeService, JobRunsToCompletionWithFullResult)
+{
+  SolverService service(BaseOptions(TestDir("basic")));
+  const std::string job = MustSubmit(
+      service, "alice",
+      SpecJson({{"name", "basic"}, {"model", "heat"}, {"rows", "12"},
+                {"cols", "12"}, {"steps", "40"}, {"seed", "7"}}));
+  EXPECT_EQ(job, "j1");
+
+  const JsonValue result = WaitResult(service, job);
+  EXPECT_EQ(result.GetString("status"), "ok");
+  EXPECT_EQ(result.GetString("tenant"), "alice");
+  EXPECT_DOUBLE_EQ(result.GetNumber("steps_done", 0), 40.0);
+  EXPECT_DOUBLE_EQ(result.GetNumber("steps_executed", 0), 40.0);
+  EXPECT_NE(result.GetString("checksum"), "0");
+  EXPECT_DOUBLE_EQ(result.GetNumber("attempts", 0), 1.0);
+
+  // Terminal status is also visible through the status op.
+  const JsonValue status = Status(service, job);
+  EXPECT_EQ(status.GetString("status"), "ok");
+  EXPECT_TRUE(status.GetBool("done", false));
+
+  // The serve.* subtree recorded the completion, per tenant too.
+  const std::string dump = service.Stats().DumpJson();
+  EXPECT_NE(dump.find("serve.jobs_completed"), std::string::npos);
+  EXPECT_NE(dump.find("serve.tenant.alice.completed"), std::string::npos);
+  EXPECT_NE(dump.find("runtime.pool."), std::string::npos);
+}
+
+TEST(ServeService, ChecksumsMatchBatchRunnerAcross100Jobs)
+{
+  // The headline property: the same specs produce bit-identical final
+  // states whether run by cenn_batch's runner or through the service,
+  // regardless of scheduling, quotas or backpressure along the way.
+  constexpr int kJobs = 105;
+  const char* models[] = {"heat", "reaction_diffusion", "fisher"};
+  const char* tenants[] = {"alice", "bob", "carol"};
+
+  std::vector<BatchJobSpec> specs(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    BatchJobSpec& s = specs[i];
+    s.name = "eq" + std::to_string(i);
+    s.model = models[i % 3];
+    s.rows = 8 + i % 5;
+    s.cols = 8 + (i * 2) % 5;
+    s.steps = 20 + i % 21;
+    s.seed = 1000 + i;
+    s.has_seed = true;
+    s.engine = i % 2 == 0 ? "functional" : "double";
+    s.priority = i % 4;
+  }
+
+  BatchOptions batch_options;
+  batch_options.out_dir = TestDir("eq_batch");
+  batch_options.num_threads = 4;
+  std::map<std::string, std::uint64_t> reference;
+  for (const JobResult& r : BatchRunner(specs, batch_options).RunAll()) {
+    ASSERT_EQ(r.status, JobStatus::kOk) << r.name;
+    reference[r.name] = r.checksum;
+  }
+
+  ServiceOptions options = BaseOptions(TestDir("eq_serve"));
+  options.num_threads = 4;
+  options.queue_capacity = 16;
+  options.tenant_quota = 12;
+  SolverService service(options);
+
+  // Submit everything as fast as the admission controller allows;
+  // quota/busy rejections are the backpressure contract and must be
+  // retryable, never fatal and never unboundedly queued.
+  std::vector<std::string> ids(kJobs);
+  int rejections = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    const std::string line = SubmitLine(
+        tenants[i % 3],
+        SpecJson({{"name", specs[i].name},
+                  {"model", specs[i].model},
+                  {"rows", std::to_string(specs[i].rows)},
+                  {"cols", std::to_string(specs[i].cols)},
+                  {"steps", std::to_string(specs[i].steps)},
+                  {"seed", std::to_string(specs[i].seed)},
+                  {"engine", specs[i].engine},
+                  {"priority", std::to_string(specs[i].priority)}}));
+    for (int attempt = 0;; ++attempt) {
+      ASSERT_LT(attempt, 20000) << "submit " << i << " starved";
+      const JsonValue r = Call(service, line);
+      if (r.GetBool("ok", false)) {
+        ids[i] = r.GetString("job");
+        break;
+      }
+      const std::string code = r.GetString("error");
+      ASSERT_TRUE(code == "quota" || code == "busy") << code;
+      EXPECT_GE(r.GetNumber("retry_after_ms", -1), 0.0);
+      ++rejections;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // With 105 jobs against a 20-deep in-flight bound, backpressure
+  // must actually have engaged.
+  EXPECT_GT(rejections, 0);
+
+  for (int i = 0; i < kJobs; ++i) {
+    const JsonValue result = WaitResult(service, ids[i]);
+    EXPECT_EQ(result.GetString("status"), "ok") << specs[i].name;
+    EXPECT_EQ(result.GetString("checksum"),
+              std::to_string(reference[specs[i].name]))
+        << specs[i].name;
+  }
+}
+
+TEST(ServeService, QuotaAndCapacityRejectionsAreBoundedAndRetryable)
+{
+  ServiceOptions options = BaseOptions(TestDir("quota"));
+  options.num_threads = 1;
+  options.tenant_quota = 2;
+  options.max_in_flight = 3;
+  SolverService service(options);
+
+  const std::string blocker = MustSubmit(service, "alice", BlockerSpec("b1"));
+  WaitRunning(service, blocker);
+  const std::string queued = MustSubmit(service, "alice", BlockerSpec("b2"));
+
+  // Third submit for the same tenant: quota reject with a retry hint,
+  // and crucially *not* queued.
+  const JsonValue rejected =
+      Call(service, SubmitLine("alice", BlockerSpec("b3")));
+  EXPECT_FALSE(rejected.GetBool("ok", true));
+  EXPECT_EQ(rejected.GetString("error"), "quota");
+  EXPECT_GE(rejected.GetNumber("retry_after_ms", -1), 1.0);
+  EXPECT_EQ(service.Jobs().TotalCreated(), 2u);
+
+  // Another tenant still gets in (global bound 3 admits one more)...
+  const std::string other = MustSubmit(service, "bob", BlockerSpec("b4"));
+  // ...but the next one hits the global in-flight bound.
+  const JsonValue busy = Call(service, SubmitLine("carol", BlockerSpec("b5")));
+  EXPECT_FALSE(busy.GetBool("ok", true));
+  EXPECT_EQ(busy.GetString("error"), "busy");
+
+  // Cancel everything; released capacity admits new work again.
+  for (const std::string& job : {blocker, queued, other}) {
+    Call(service, JsonWriter()
+                      .String("op", "cancel")
+                      .String("job", job)
+                      .Finish());
+    const JsonValue r = WaitResult(service, job);
+    EXPECT_EQ(r.GetString("status"), "cancelled") << job;
+  }
+  const std::string after = MustSubmit(
+      service, "alice",
+      SpecJson({{"model", "heat"}, {"rows", "8"}, {"cols", "8"},
+                {"steps", "20"}, {"seed", "3"}}));
+  EXPECT_EQ(WaitResult(service, after).GetString("status"), "ok");
+}
+
+TEST(ServeService, PriorityOrdersDispatchAcrossTenants)
+{
+  ServiceOptions options = BaseOptions(TestDir("priority"));
+  options.num_threads = 1;
+  options.tenant_quota = 0;  // quotas off; this test is about ordering
+  SolverService service(options);
+
+  const std::string blocker = MustSubmit(service, "alice", BlockerSpec("bk"));
+  WaitRunning(service, blocker);
+
+  auto spec_with_priority = [](const std::string& name, int priority) {
+    return SpecJson({{"name", name},
+                     {"model", "heat"},
+                     {"rows", "8"},
+                     {"cols", "8"},
+                     {"steps", "20"},
+                     {"seed", "2"},
+                     {"priority", std::to_string(priority)}});
+  };
+  const std::string low = MustSubmit(service, "bob",
+                                     spec_with_priority("low", 0));
+  const std::string high = MustSubmit(service, "carol",
+                                      spec_with_priority("high", 9));
+  const std::string mid = MustSubmit(service, "bob",
+                                     spec_with_priority("mid", 3));
+
+  Call(service, JsonWriter()
+                    .String("op", "cancel")
+                    .String("job", blocker)
+                    .Finish());
+  WaitResult(service, blocker);
+  for (const std::string& job : {low, high, mid}) {
+    WaitResult(service, job);
+  }
+
+  const double seq_low = Status(service, low).GetNumber("dispatch_seq", -1);
+  const double seq_high = Status(service, high).GetNumber("dispatch_seq", -1);
+  const double seq_mid = Status(service, mid).GetNumber("dispatch_seq", -1);
+  EXPECT_LT(seq_high, seq_mid);
+  EXPECT_LT(seq_mid, seq_low);
+}
+
+TEST(ServeService, CancelWorksQueuedAndRunning)
+{
+  ServiceOptions options = BaseOptions(TestDir("cancel"));
+  options.num_threads = 1;
+  options.tenant_quota = 0;
+  SolverService service(options);
+
+  const std::string running = MustSubmit(service, "t", BlockerSpec("r"));
+  WaitRunning(service, running);
+  const std::string queued = MustSubmit(service, "t", BlockerSpec("q"));
+
+  // Queued cancel finalizes immediately without ever dispatching.
+  JsonValue r = Call(service, JsonWriter()
+                                  .String("op", "cancel")
+                                  .String("job", queued)
+                                  .Finish());
+  EXPECT_TRUE(r.GetBool("ok", false));
+  const JsonValue queued_result = WaitResult(service, queued);
+  EXPECT_EQ(queued_result.GetString("status"), "cancelled");
+  EXPECT_EQ(queued_result.GetString("checksum"), "0");
+
+  // Running cancel stops at a slice boundary.
+  r = Call(service, JsonWriter()
+                        .String("op", "cancel")
+                        .String("job", running)
+                        .Finish());
+  EXPECT_TRUE(r.GetBool("ok", false));
+  const JsonValue running_result = WaitResult(service, running);
+  EXPECT_EQ(running_result.GetString("status"), "cancelled");
+
+  // Cancelling a terminal job is a no-op, not an error.
+  r = Call(service, JsonWriter()
+                        .String("op", "cancel")
+                        .String("job", running)
+                        .Finish());
+  EXPECT_TRUE(r.GetBool("ok", false));
+  EXPECT_FALSE(r.GetBool("cancelled", true));
+}
+
+TEST(ServeService, GuardTripRecoversFromCheckpointAndMatchesCleanRun)
+{
+  ServiceOptions options = BaseOptions(TestDir("recover"));
+  options.guard_enabled = true;
+  options.guard.check_every = 1;
+  options.max_retries = 2;
+  SolverService service(options);
+
+  const std::string spec =
+      SpecJson({{"model", "heat"}, {"rows", "12"}, {"cols", "12"},
+                {"steps", "60"}, {"seed", "7"}, {"checkpoint_every", "10"}});
+
+  const std::string clean = MustSubmit(service, "t", spec);
+  const JsonValue clean_result = WaitResult(service, clean);
+  ASSERT_EQ(clean_result.GetString("status"), "ok");
+
+  // A state corruption mid-run trips the guard; the retry restores
+  // the last good checkpoint and converges to the clean checksum.
+  const std::string flipped = MustSubmit(service, "t", spec, "flip@30");
+  const JsonValue flip_result = WaitResult(service, flipped);
+  EXPECT_EQ(flip_result.GetString("status"), "recovered");
+  EXPECT_GE(flip_result.GetNumber("attempts", 0), 2.0);
+  EXPECT_EQ(flip_result.GetString("checksum"),
+            clean_result.GetString("checksum"));
+
+  // A thrown crash takes the same path.
+  const std::string crashed = MustSubmit(service, "t", spec, "crash@20");
+  const JsonValue crash_result = WaitResult(service, crashed);
+  EXPECT_EQ(crash_result.GetString("status"), "recovered");
+  EXPECT_EQ(crash_result.GetString("checksum"),
+            clean_result.GetString("checksum"));
+
+  // The server kept serving throughout.
+  EXPECT_TRUE(Call(service, R"({"op":"ping"})").GetBool("ok", false));
+}
+
+TEST(ServeService, ExhaustedRetriesReportDivergedWithoutKillingTheServer)
+{
+  ServiceOptions options = BaseOptions(TestDir("diverged"));
+  options.guard_enabled = true;
+  options.guard.check_every = 1;
+  options.max_retries = 0;  // fail fast: one guard trip is terminal
+  SolverService service(options);
+
+  const std::string job = MustSubmit(
+      service, "t",
+      SpecJson({{"model", "heat"}, {"rows", "12"}, {"cols", "12"},
+                {"steps", "60"}, {"seed", "7"}}),
+      "flip@30");
+  const JsonValue result = WaitResult(service, job);
+  EXPECT_EQ(result.GetString("status"), "diverged");
+  EXPECT_FALSE(result.GetString("message").empty());
+
+  // The failure is the job's, not the server's.
+  const JsonValue ping = Call(service, R"({"op":"ping"})");
+  EXPECT_TRUE(ping.GetBool("ok", false));
+  const std::string next = MustSubmit(
+      service, "t",
+      SpecJson({{"model", "heat"}, {"rows", "8"}, {"cols", "8"},
+                {"steps", "20"}, {"seed", "4"}}));
+  EXPECT_EQ(WaitResult(service, next).GetString("status"), "ok");
+}
+
+TEST(ServeService, SnapshotPausesAtSliceBoundaryAndResumes)
+{
+  ServiceOptions options = BaseOptions(TestDir("snapshot"));
+  options.num_threads = 1;
+  SolverService service(options);
+
+  const std::string job = MustSubmit(service, "t", BlockerSpec("snap"));
+  WaitRunning(service, job);
+
+  // "running" is visible before the worker publishes its session, so
+  // the first snapshot may draw a retryable busy — honor the contract.
+  const std::string snap_request = JsonWriter()
+                                       .String("op", "snapshot")
+                                       .String("job", job)
+                                       .Int("layer", 0)
+                                       .Finish();
+  JsonValue snap = Call(service, snap_request);
+  for (int i = 0; i < 1000 && snap.GetString("error") == "busy"; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    snap = Call(service, snap_request);
+  }
+  ASSERT_TRUE(snap.GetBool("ok", false)) << snap.GetString("message");
+  EXPECT_DOUBLE_EQ(snap.GetNumber("rows", 0), 16.0);
+  EXPECT_DOUBLE_EQ(snap.GetNumber("cols", 0), 16.0);
+  const JsonValue* values = snap.Find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_TRUE(values->IsArray());
+  EXPECT_EQ(values->array.size(), 16u * 16u);
+
+  // Out-of-range layer is a clean reject.
+  const JsonValue bad = Call(service, JsonWriter()
+                                          .String("op", "snapshot")
+                                          .String("job", job)
+                                          .Int("layer", 99)
+                                          .Finish());
+  EXPECT_FALSE(bad.GetBool("ok", true));
+  EXPECT_EQ(bad.GetString("error"), "invalid");
+
+  // The session resumed after each snapshot; cancel ends it.
+  Call(service, JsonWriter()
+                    .String("op", "cancel")
+                    .String("job", job)
+                    .Finish());
+  EXPECT_EQ(WaitResult(service, job).GetString("status"), "cancelled");
+}
+
+TEST(ServeService, DrainFlushesQueueAndLeavesRestorableCheckpoints)
+{
+  const std::string dir = TestDir("drain");
+  ServiceOptions options = BaseOptions(dir);
+  options.num_threads = 1;
+  options.tenant_quota = 0;
+  SolverService service(options);
+
+  const std::string running = MustSubmit(service, "t", BlockerSpec("run"));
+  WaitRunning(service, running);
+  // Let it execute at least one slice so the drain checkpoint has
+  // real progress in it.
+  for (int i = 0; i < 2000; ++i) {
+    if (Status(service, running).GetNumber("steps_done", 0) >= 64) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string queued1 = MustSubmit(service, "t", BlockerSpec("q1"));
+  const std::string queued2 = MustSubmit(service, "t", BlockerSpec("q2"));
+
+  service.Drain();
+
+  // Queued jobs were flushed, the running one checkpointed; all wake
+  // their waiters with "interrupted".
+  for (const std::string& job : {running, queued1, queued2}) {
+    const JsonValue r = WaitResult(service, job);
+    EXPECT_EQ(r.GetString("status"), "interrupted") << job;
+  }
+
+  // New submits are refused while draining.
+  const JsonValue rejected = Call(service, SubmitLine("t", BlockerSpec("x")));
+  EXPECT_FALSE(rejected.GetBool("ok", true));
+  EXPECT_EQ(rejected.GetString("error"), "draining");
+
+  // The interrupted session's checkpoint restores into a fresh
+  // session at the recorded step — not corrupt, not empty.
+  const std::string ckpt = dir + "/" + running + ".ckpt";
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+  ModelConfig mc;
+  mc.rows = 16;
+  mc.cols = 16;
+  mc.seed = 1;
+  const auto model = MakeModel("heat", mc);
+  SessionConfig sc;
+  sc.name = "restore_check";
+  SolverSession session(BuildEngine(MakeProgram(*model), EngineRequest{}),
+                        sc);
+  ASSERT_TRUE(session.TryRestoreFromFile(ckpt));
+  EXPECT_GT(session.StepsDone(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest / JobSpec sharing (satellite: reusable parse API)
+// ---------------------------------------------------------------------------
+
+TEST(ServeManifest, CollectingParserReportsEveryProblemWithLines)
+{
+  const std::string text =
+      "model=heat\n"
+      "rows=zero\n"     // line 2: bad number
+      "bogus=1\n"       // line 3: unknown key
+      "\n"
+      "model=heat\n"
+      "name=dup\n"
+      "\n"
+      "model=heat\n"
+      "name=dup\n";     // duplicate name
+  std::vector<JobSpecError> errors;
+  const auto jobs = ParseManifestCollect(text, &errors);
+  ASSERT_GE(errors.size(), 3u);
+
+  bool saw_rows = false;
+  bool saw_bogus = false;
+  bool saw_dup = false;
+  for (const JobSpecError& e : errors) {
+    if (e.key == "rows" && e.line == 2) {
+      saw_rows = true;
+    }
+    if (e.key == "bogus" && e.line == 3) {
+      saw_bogus = true;
+    }
+    if (e.message.find("dup") != std::string::npos) {
+      saw_dup = true;
+    }
+  }
+  EXPECT_TRUE(saw_rows);
+  EXPECT_TRUE(saw_bogus);
+  EXPECT_TRUE(saw_dup);
+
+  // The aggregate formatter names the lines so a client can fix the
+  // manifest in one pass.
+  const std::string joined = FormatJobSpecErrors(errors);
+  EXPECT_NE(joined.find("line 2"), std::string::npos);
+  EXPECT_NE(joined.find("line 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TCP loopback
+// ---------------------------------------------------------------------------
+
+/** Minimal blocking loopback client with a receive timeout. */
+class LoopbackClient
+{
+  public:
+    ~LoopbackClient()
+    {
+      if (fd_ >= 0) {
+        ::close(fd_);
+      }
+    }
+
+    bool Connect(int port)
+    {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) {
+        return false;
+      }
+      timeval tv{10, 0};
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0;
+    }
+
+    bool Send(const std::string& data)
+    {
+      std::size_t sent = 0;
+      while (sent < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+          return false;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+      return true;
+    }
+
+    /** Reads one newline-terminated line ("" on close/timeout). */
+    std::string ReadLine()
+    {
+      std::size_t newline;
+      while ((newline = buffer_.find('\n')) == std::string::npos) {
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          return "";
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+      }
+      const std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+
+    /** True when the peer has closed (next read returns 0 bytes). */
+    bool PeerClosed()
+    {
+      char byte;
+      return ::recv(fd_, &byte, 1, 0) <= 0;
+    }
+
+    void Close()
+    {
+      if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+JsonValue
+ParseLine(const std::string& line)
+{
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(ParseJson(line, &v, &error)) << error << " in: " << line;
+  return v;
+}
+
+TEST(ServeTcp, LoopbackLifecycleFramingAndShutdown)
+{
+  SolverService service(BaseOptions(TestDir("tcp")));
+  TcpServerOptions tcp;
+  tcp.max_line_bytes = 1024;
+  TcpServer server(
+      tcp,
+      [&service](const std::string& line, std::string* response) {
+        return service.HandleLine(line, response);
+      },
+      [&service] { service.OnConnection(); });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.Port(), 0);
+
+  {
+    LoopbackClient client;
+    ASSERT_TRUE(client.Connect(server.Port()));
+
+    // Fragmented request: the frame assembles across two sends.
+    ASSERT_TRUE(client.Send(R"({"op":"pi)"));
+    ASSERT_TRUE(client.Send("ng\"}\n"));
+    JsonValue r = ParseLine(client.ReadLine());
+    EXPECT_TRUE(r.GetBool("ok", false));
+    EXPECT_EQ(r.GetString("op"), "ping");
+
+    // Pipelined requests: two frames in one send, two responses.
+    ASSERT_TRUE(client.Send("{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n"));
+    EXPECT_EQ(ParseLine(client.ReadLine()).GetString("op"), "ping");
+    EXPECT_EQ(ParseLine(client.ReadLine()).GetString("op"), "stats");
+
+    // Jobs over the socket, three tenants.
+    const char* tenants[] = {"alice", "bob", "carol"};
+    std::vector<std::string> ids;
+    for (int i = 0; i < 9; ++i) {
+      const std::string line = SubmitLine(
+          tenants[i % 3],
+          SpecJson({{"model", "heat"},
+                    {"rows", "8"},
+                    {"cols", "8"},
+                    {"steps", "20"},
+                    {"seed", std::to_string(100 + i)}}));
+      ASSERT_TRUE(client.Send(line + "\n"));
+      const JsonValue submit = ParseLine(client.ReadLine());
+      ASSERT_TRUE(submit.GetBool("ok", false));
+      ids.push_back(submit.GetString("job"));
+    }
+    for (const std::string& id : ids) {
+      ASSERT_TRUE(client.Send(JsonWriter()
+                                  .String("op", "result")
+                                  .String("job", id)
+                                  .Bool("wait", true)
+                                  .Int("timeout_ms", 30000)
+                                  .Finish() +
+                              "\n"));
+      const JsonValue result = ParseLine(client.ReadLine());
+      EXPECT_TRUE(result.GetBool("ok", false));
+      EXPECT_EQ(result.GetString("status"), "ok");
+      EXPECT_NE(result.GetString("checksum"), "0");
+    }
+  }
+
+  // A truncated frame (no newline, then close) must not disturb the
+  // server; the next connection is served normally.
+  {
+    LoopbackClient client;
+    ASSERT_TRUE(client.Connect(server.Port()));
+    ASSERT_TRUE(client.Send(R"({"op":"ping")"));
+    client.Close();
+  }
+  {
+    LoopbackClient client;
+    ASSERT_TRUE(client.Connect(server.Port()));
+    ASSERT_TRUE(client.Send("{\"op\":\"ping\"}\n"));
+    EXPECT_TRUE(ParseLine(client.ReadLine()).GetBool("ok", false));
+  }
+
+  // An oversized line draws one parse error and a close, with no
+  // unbounded buffering server-side.
+  {
+    LoopbackClient client;
+    ASSERT_TRUE(client.Connect(server.Port()));
+    ASSERT_TRUE(client.Send(std::string(5000, 'a')));
+    const JsonValue r = ParseLine(client.ReadLine());
+    EXPECT_FALSE(r.GetBool("ok", true));
+    EXPECT_EQ(r.GetString("error"), "parse");
+    EXPECT_TRUE(client.PeerClosed());
+  }
+
+  // Wire shutdown: the response is flushed, then the host sees the
+  // request and runs its drain.
+  {
+    LoopbackClient client;
+    ASSERT_TRUE(client.Connect(server.Port()));
+    ASSERT_TRUE(client.Send("{\"op\":\"shutdown\"}\n"));
+    const JsonValue r = ParseLine(client.ReadLine());
+    EXPECT_TRUE(r.GetBool("ok", false));
+    EXPECT_TRUE(r.GetBool("draining", false));
+  }
+  EXPECT_TRUE(server.ShutdownRequested());
+  EXPECT_GE(server.ConnectionsAccepted(), 5u);
+
+  server.Stop();
+  service.Drain();
+}
+
+}  // namespace
+}  // namespace cenn

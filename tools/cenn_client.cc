@@ -1,0 +1,345 @@
+/**
+ * @file
+ * cenn_client — command-line client for a running cenn_serve.
+ *
+ * One invocation performs one cenn.serve.v1 op (submit / status /
+ * result / cancel / snapshot / stats / ping / shutdown) against
+ * --host:--port and prints the server's JSON response line on stdout,
+ * so scripts can pipe it into any JSON tool. The exit code reflects
+ * the outcome: 0 on an ok response, 1 on a wire error or when a
+ * retrieved result ended "failed" or "diverged" (mirrors cenn_batch).
+ *
+ * Submits take the job spec as manifest-grammar key=value tokens:
+ *
+ *   cenn_client --port=7070 --op=submit --tenant=alice \
+ *               --spec="model=heat rows=32 cols=32 steps=200 seed=7"
+ *   cenn_client --port=7070 --op=result --job=j1 --wait
+ *   cenn_client --port=7070 --op=submit --manifest=jobs.txt   # many jobs
+ *
+ * --wait on submit chains straight into a blocking result fetch and
+ * prints both response lines.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/wire.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+namespace cenn {
+namespace {
+
+void
+PrintUsage()
+{
+  std::printf(
+      "usage: cenn_client --port=N [--host=ADDR] --op=OP [op options]\n\n"
+      "ops and their options:\n"
+      "  --op=ping                liveness + queue gauges (default op)\n"
+      "  --op=submit              --tenant=NAME (default \"anon\")\n"
+      "                           --spec=\"key=value ...\" (manifest grammar)\n"
+      "                           --name=JOB     optional job name\n"
+      "                           --fault-inject=SPEC  e.g. crash@40x2\n"
+      "                           --manifest=FILE  submit every line instead\n"
+      "                           --wait         block for the result too\n"
+      "  --op=status              --job=ID\n"
+      "  --op=result              --job=ID [--wait] [--timeout-ms=N]\n"
+      "  --op=cancel              --job=ID\n"
+      "  --op=snapshot            --job=ID [--layer=N]\n"
+      "  --op=stats               full server stat dump\n"
+      "  --op=shutdown            ask the server to drain and exit\n");
+}
+
+/** Blocking line-oriented client connection. */
+class Connection
+{
+  public:
+    ~Connection()
+    {
+      if (fd_ >= 0) {
+        ::close(fd_);
+      }
+    }
+
+    bool Open(const std::string& host, int port, std::string* error)
+    {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+      }
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *error = "bad host '" + host + "'";
+        return false;
+      }
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        *error = std::string("connect: ") + std::strerror(errno);
+        return false;
+      }
+      return true;
+    }
+
+    /** Sends one request line, reads one response line. */
+    bool RoundTrip(const std::string& request, std::string* response,
+                   std::string* error)
+    {
+      const std::string line = request + "\n";
+      std::size_t sent = 0;
+      while (sent < line.size()) {
+        const ssize_t n =
+            ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          *error = std::string("send: ") + std::strerror(errno);
+          return false;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+      std::size_t newline;
+      while ((newline = buffer_.find('\n')) == std::string::npos) {
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        if (n <= 0) {
+          *error = "server closed the connection";
+          return false;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+      }
+      *response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/**
+ * Renders "key=value key=value ..." tokens as the nested "spec" JSON
+ * object; all values travel as strings (the server's spec builder
+ * parses the manifest grammar).
+ */
+bool
+SpecTokensToJson(const std::string& tokens, const std::string& name,
+                 std::string* json, std::string* error)
+{
+  JsonWriter spec;
+  if (!name.empty()) {
+    spec.String("name", name);
+  }
+  std::istringstream in(tokens);
+  std::string token;
+  bool any = false;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "bad spec token '" + token + "' (want key=value)";
+      return false;
+    }
+    spec.String(token.substr(0, eq), token.substr(eq + 1));
+    any = true;
+  }
+  if (!any) {
+    *error = "empty --spec (want \"model=heat rows=16 ...\")";
+    return false;
+  }
+  *json = spec.Finish();
+  return true;
+}
+
+/** Parses a response line; exits loudly when the server talks garbage. */
+JsonValue
+ParseResponse(const std::string& line)
+{
+  JsonValue value;
+  std::string error;
+  if (!ParseJson(line, &value, &error) || !value.IsObject()) {
+    CENN_FATAL("cenn_client: unparseable server response: ", error,
+               " in: ", line);
+  }
+  return value;
+}
+
+/**
+ * Runs one submit (+ optional blocking result fetch). Prints every
+ * response line. Returns the process exit code.
+ */
+int
+SubmitOne(Connection& conn, const std::string& tenant,
+          const std::string& spec_json, const std::string& fault_inject,
+          bool wait, std::int64_t timeout_ms)
+{
+  JsonWriter request;
+  request.String("op", "submit").String("tenant", tenant);
+  request.Raw("spec", spec_json);
+  if (!fault_inject.empty()) {
+    request.String("fault_inject", fault_inject);
+  }
+  std::string response;
+  std::string error;
+  if (!conn.RoundTrip(request.Finish(), &response, &error)) {
+    CENN_FATAL("cenn_client: ", error);
+  }
+  std::printf("%s\n", response.c_str());
+  const JsonValue parsed = ParseResponse(response);
+  if (!parsed.GetBool("ok", false)) {
+    return 1;
+  }
+  if (!wait) {
+    return 0;
+  }
+  const std::string job = parsed.GetString("job");
+  const std::string result_request = JsonWriter()
+                                         .String("op", "result")
+                                         .String("job", job)
+                                         .Bool("wait", true)
+                                         .Int("timeout_ms", timeout_ms)
+                                         .Finish();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (!conn.RoundTrip(result_request, &response, &error)) {
+      CENN_FATAL("cenn_client: ", error);
+    }
+    const JsonValue result = ParseResponse(response);
+    if (result.GetBool("ok", false)) {
+      std::printf("%s\n", response.c_str());
+      const std::string status = result.GetString("status");
+      return status == "failed" || status == "diverged" ? 1 : 0;
+    }
+    if (result.GetString("error") != "busy" ||
+        std::chrono::steady_clock::now() >= deadline) {
+      std::printf("%s\n", response.c_str());
+      return 1;
+    }
+  }
+}
+
+int
+ClientMain(int argc, char** argv)
+{
+  CliFlags flags(argc, argv);
+  const bool help = flags.GetBool("help", false);
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (help || port == 0) {
+    PrintUsage();
+    return port == 0 && !help ? 1 : 0;
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const std::string op = flags.GetString("op", "ping");
+  const std::string tenant = flags.GetString("tenant", "anon");
+  const std::string spec = flags.GetString("spec", "");
+  const std::string name = flags.GetString("name", "");
+  const std::string manifest = flags.GetString("manifest", "");
+  const std::string fault_inject = flags.GetString("fault-inject", "");
+  const std::string job = flags.GetString("job", "");
+  const std::int64_t layer = flags.GetInt("layer", 0);
+  const bool wait = flags.GetBool("wait", false);
+  const std::int64_t timeout_ms = flags.GetInt("timeout-ms", 60000);
+  flags.Validate();
+
+  Connection conn;
+  std::string error;
+  if (!conn.Open(host, port, &error)) {
+    CENN_FATAL("cenn_client: cannot reach ", host, ":", port, ": ", error);
+  }
+
+  if (op == "submit") {
+    if (!manifest.empty()) {
+      // Submit every manifest line as its own job over one connection.
+      std::ifstream in(manifest);
+      if (!in) {
+        CENN_FATAL("cenn_client: cannot open manifest '", manifest, "'");
+      }
+      std::string line;
+      int exit_code = 0;
+      bool submitted_any = false;
+      while (std::getline(in, line)) {
+        const std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#') {
+          continue;
+        }
+        std::string spec_json;
+        if (!SpecTokensToJson(line, "", &spec_json, &error)) {
+          CENN_FATAL("cenn_client: ", manifest, ": ", error);
+        }
+        exit_code |= SubmitOne(conn, tenant, spec_json, fault_inject, wait,
+                               timeout_ms);
+        submitted_any = true;
+      }
+      if (!submitted_any) {
+        CENN_FATAL("cenn_client: manifest '", manifest, "' has no jobs");
+      }
+      return exit_code;
+    }
+    std::string spec_json;
+    if (!SpecTokensToJson(spec, name, &spec_json, &error)) {
+      CENN_FATAL("cenn_client: ", error);
+    }
+    return SubmitOne(conn, tenant, spec_json, fault_inject, wait,
+                     timeout_ms);
+  }
+
+  // Single-line ops share one shape: build, send, print, exit on ok.
+  JsonWriter request;
+  request.String("op", op);
+  if (op == "status" || op == "result" || op == "cancel" ||
+      op == "snapshot") {
+    if (job.empty()) {
+      CENN_FATAL("cenn_client: --op=", op, " needs --job=ID");
+    }
+    request.String("job", job);
+  }
+  if (op == "snapshot") {
+    request.Int("layer", layer);
+  }
+  if (op == "result" && wait) {
+    request.Bool("wait", true).Int("timeout_ms", timeout_ms);
+  }
+  std::string response;
+  if (!conn.RoundTrip(request.Finish(), &response, &error)) {
+    CENN_FATAL("cenn_client: ", error);
+  }
+  std::printf("%s\n", response.c_str());
+  const JsonValue parsed = ParseResponse(response);
+  if (!parsed.GetBool("ok", false)) {
+    return 1;
+  }
+  if (op == "result") {
+    const std::string status = parsed.GetString("status");
+    return status == "failed" || status == "diverged" ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cenn
+
+int
+main(int argc, char** argv)
+{
+  return cenn::ClientMain(argc, argv);
+}

@@ -15,12 +15,17 @@
  *  - with --require=a,b,..., the final line carries at least one
  *    counter or gauge whose name contains each listed fragment
  *    (substring match, so session-scoped prefixes like
- *    runtime.session7. don't matter).
+ *    runtime.session7. don't matter);
+ *  - with --expect=name>=VALUE (repeatable; also <= and ==), some
+ *    counter or gauge in the exit snapshot whose name contains `name`
+ *    satisfies the comparison — e.g. --expect=serve.jobs_completed>=100
+ *    asserts the serve subtree actually finished that many jobs.
  *
  * Exit code 0 on success, 1 with a diagnostic on the first violation.
  *
  * Usage:
  *   cenn_metrics_check FILE [--min-samples=N] [--require=p1,p2,...]
+ *                      [--expect=name>=VALUE ...]
  */
 
 #include <cmath>
@@ -238,6 +243,44 @@ class MetricsLine
     std::map<std::string, std::map<std::string, double>> objects_;
 };
 
+/** One --expect=name>=VALUE assertion on the exit snapshot. */
+struct Expectation {
+  std::string name;
+  std::string op;  // ">=", "<=" or "=="
+  double value = 0.0;
+};
+
+/** Parses "name>=VALUE" (or <=, ==); false on malformed text. */
+bool
+ParseExpectation(const std::string& text, Expectation* out)
+{
+  for (const char* op : {">=", "<=", "=="}) {
+    const std::size_t pos = text.find(op);
+    if (pos == std::string::npos || pos == 0) {
+      continue;
+    }
+    out->name = text.substr(0, pos);
+    out->op = op;
+    const std::string rhs = text.substr(pos + 2);
+    char* end = nullptr;
+    out->value = std::strtod(rhs.c_str(), &end);
+    return end != rhs.c_str() && *end == '\0';
+  }
+  return false;
+}
+
+bool
+Satisfies(const Expectation& e, double actual)
+{
+  if (e.op == ">=") {
+    return actual >= e.value - 1e-9;
+  }
+  if (e.op == "<=") {
+    return actual <= e.value + 1e-9;
+  }
+  return std::fabs(actual - e.value) <= 1e-9;
+}
+
 int
 Fail(const char* path, std::size_t line_no, const std::string& what)
 {
@@ -254,10 +297,21 @@ main(int argc, char** argv)
   const char* path = nullptr;
   long min_samples = 2;  // a valid stream has at least start + exit
   std::vector<std::string> required;
+  std::vector<Expectation> expectations;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--min-samples=", 14) == 0) {
       min_samples = std::strtol(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--expect=", 9) == 0) {
+      Expectation e;
+      if (!ParseExpectation(arg + 9, &e)) {
+        std::fprintf(stderr,
+                     "cenn_metrics_check: bad --expect '%s' (want "
+                     "name>=VALUE, name<=VALUE or name==VALUE)\n",
+                     arg + 9);
+        return 2;
+      }
+      expectations.push_back(e);
     } else if (std::strncmp(arg, "--require=", 10) == 0) {
       std::string list(arg + 10);
       std::size_t start = 0;
@@ -279,14 +333,14 @@ main(int argc, char** argv)
     } else {
       std::fprintf(stderr,
                    "usage: cenn_metrics_check FILE [--min-samples=N] "
-                   "[--require=p1,p2,...]\n");
+                   "[--require=p1,p2,...] [--expect=name>=VALUE ...]\n");
       return 2;
     }
   }
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: cenn_metrics_check FILE [--min-samples=N] "
-                 "[--require=p1,p2,...]\n");
+                 "[--require=p1,p2,...] [--expect=name>=VALUE ...]\n");
     return 2;
   }
 
@@ -388,6 +442,39 @@ main(int argc, char** argv)
       return Fail(path, line_no,
                   "no counter/gauge matching '" + fragment + "' in the exit "
                   "snapshot");
+    }
+  }
+
+  // Value expectations run against the exit snapshot too: an entry
+  // whose name contains the expectation's name must satisfy it.
+  for (const Expectation& e : expectations) {
+    bool matched = false;
+    bool satisfied = false;
+    std::string actuals;
+    const std::map<std::string, double>* snapshots[] = {
+        &prev_counters, &parsed.Object("gauges")};
+    for (const auto* snapshot : snapshots) {
+      for (const auto& [name, value] : *snapshot) {
+        if (name.find(e.name) == std::string::npos) {
+          continue;
+        }
+        matched = true;
+        if (Satisfies(e, value)) {
+          satisfied = true;
+        } else {
+          actuals += (actuals.empty() ? "" : ", ") + name + "=" +
+                     std::to_string(value);
+        }
+      }
+    }
+    if (!matched) {
+      return Fail(path, line_no, "no counter/gauge matching '" + e.name +
+                                     "' in the exit snapshot");
+    }
+    if (!satisfied) {
+      return Fail(path, line_no, "expectation '" + e.name + e.op +
+                                     std::to_string(e.value) +
+                                     "' not met (" + actuals + ")");
     }
   }
 

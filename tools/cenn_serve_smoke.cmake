@@ -1,0 +1,173 @@
+# End-to-end smoke test for the solver service: starts cenn_serve on a
+# kernel-assigned port, drives it with cenn_client (ping, normal jobs,
+# a fault-injected job that must recover from its checkpoint, stats),
+# shuts it down over the wire, and validates the server's metrics
+# stream — then starts a second server, gives it a long-running job,
+# and proves SIGTERM drains cleanly (exit 0, checkpoint on disk, no
+# leftover process).
+#
+# Invoked by ctest as:
+#   cmake -DCENN_SERVE=<exe> -DCENN_CLIENT=<exe> -DCENN_METRICS_CHECK=<exe>
+#         -DWORK_DIR=<dir> -P cenn_serve_smoke.cmake
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Runs the client against ${port}; fails the smoke unless the exit
+# code is 0 and stdout matches `expect` (a regex; "" skips the check).
+function(client_must expect)
+  execute_process(
+      COMMAND "${CENN_CLIENT}" --port=${port} ${ARGN}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "cenn_client ${ARGN} failed (${rc}):\n${out}\n${err}")
+  endif()
+  if(expect AND NOT out MATCHES "${expect}")
+    message(FATAL_ERROR
+            "cenn_client ${ARGN}: output does not match '${expect}':\n${out}")
+  endif()
+  set(client_out "${out}" PARENT_SCOPE)
+endfunction()
+
+# Polls `port_file` until the server writes its bound port (or fails
+# after ~15 s, dumping the server log).
+function(wait_for_port port_file log_file)
+  set(port "")
+  foreach(i RANGE 150)
+    if(EXISTS "${port_file}")
+      file(READ "${port_file}" port)
+      string(STRIP "${port}" port)
+      if(port)
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(NOT port)
+    set(log "")
+    if(EXISTS "${log_file}")
+      file(READ "${log_file}" log)
+    endif()
+    message(FATAL_ERROR "server never wrote ${port_file}:\n${log}")
+  endif()
+  set(port "${port}" PARENT_SCOPE)
+endfunction()
+
+# Waits for the background server to exit and asserts its log reports
+# a completed drain.
+function(wait_for_exit pid_file log_file)
+  file(READ "${pid_file}" pid)
+  string(STRIP "${pid}" pid)
+  execute_process(
+      COMMAND bash -c "for i in $(seq 1 300); do \
+                         kill -0 ${pid} 2>/dev/null || exit 0; sleep 0.1; \
+                       done; kill -9 ${pid}; exit 1"
+      RESULT_VARIABLE rc)
+  file(READ "${log_file}" log)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "server ${pid} never exited; killed:\n${log}")
+  endif()
+  if(NOT log MATCHES "drained")
+    message(FATAL_ERROR "server log has no drain confirmation:\n${log}")
+  endif()
+endfunction()
+
+# ---------------------------------------------------------------------------
+# Phase 1: serve, recover a fault-injected job, shut down over the wire.
+# ---------------------------------------------------------------------------
+
+execute_process(
+    COMMAND bash -c "\"${CENN_SERVE}\" --work-dir=${WORK_DIR}/w1 \
+        --port=0 --port-file=${WORK_DIR}/port1 --threads=2 \
+        --max-retries=2 --guard-check-every=1 \
+        --metrics-out=${WORK_DIR}/serve.metrics.jsonl \
+        --metrics-interval-ms=20 \
+        > ${WORK_DIR}/server1.log 2>&1 & echo $! > ${WORK_DIR}/server1.pid"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cannot launch cenn_serve (${rc})")
+endif()
+wait_for_port("${WORK_DIR}/port1" "${WORK_DIR}/server1.log")
+message(STATUS "server 1 listening on port ${port}")
+
+client_must("\"ok\":true.*\"state\":\"serving\"" --op=ping)
+
+# Two clean jobs from different tenants, run to completion.
+client_must("\"status\":\"ok\"" --op=submit --tenant=alice --wait
+            --spec=model=heat\ rows=12\ cols=12\ steps=60\ seed=7)
+client_must("\"status\":\"ok\"" --op=submit --tenant=bob --wait
+            --spec=model=reaction_diffusion\ rows=12\ cols=12\ steps=60\ seed=9)
+
+# The recovery proof: a state-bit flip at step 30 must trip the guard,
+# restore the step-20 checkpoint and finish "recovered" — while the
+# server keeps serving (the ping below runs against the same process).
+client_must("\"status\":\"recovered\"" --op=submit --tenant=alice --wait
+            --spec=model=heat\ rows=12\ cols=12\ steps=60\ seed=7\ checkpoint_every=10
+            --fault-inject=flip@30)
+client_must("\"ok\":true" --op=ping)
+client_must("serve.jobs_recovered" --op=stats)
+
+# Wire shutdown: response first, then the process drains and exits 0.
+client_must("\"draining\":true" --op=shutdown)
+wait_for_exit("${WORK_DIR}/server1.pid" "${WORK_DIR}/server1.log")
+message(STATUS "server 1 drained after wire shutdown")
+
+# The server-wide metrics stream must validate, carry the serve.*
+# subtree, and agree with what we just did: 3 completions (one of them
+# recovered), at least one injected fault and one retry.
+execute_process(
+    COMMAND "${CENN_METRICS_CHECK}" ${WORK_DIR}/serve.metrics.jsonl
+            --require=serve.
+            --expect=serve.jobs_completed>=2
+            --expect=serve.jobs_recovered>=1
+            --expect=serve.faults_injected>=1
+            --expect=serve.retries>=1
+            --expect=serve.jobs_failed==0
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out_chk
+    ERROR_VARIABLE err_chk)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metrics check failed (${rc}):\n${out_chk}\n${err_chk}")
+endif()
+
+# ---------------------------------------------------------------------------
+# Phase 2: SIGTERM drain with a job mid-flight.
+# ---------------------------------------------------------------------------
+
+execute_process(
+    COMMAND bash -c "\"${CENN_SERVE}\" --work-dir=${WORK_DIR}/w2 \
+        --port=0 --port-file=${WORK_DIR}/port2 --threads=1 \
+        > ${WORK_DIR}/server2.log 2>&1 & echo $! > ${WORK_DIR}/server2.pid"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cannot launch second cenn_serve (${rc})")
+endif()
+wait_for_port("${WORK_DIR}/port2" "${WORK_DIR}/server2.log")
+message(STATUS "server 2 listening on port ${port}")
+
+# A job big enough to still be running when the signal lands.
+client_must("\"status\":\"queued\"" --op=submit --tenant=alice
+            --spec=model=heat\ rows=32\ cols=32\ steps=2000000\ checkpoint_every=64)
+
+file(READ "${WORK_DIR}/server2.pid" pid2)
+string(STRIP "${pid2}" pid2)
+execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.5)
+execute_process(COMMAND bash -c "kill -TERM ${pid2}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cannot signal server 2 (pid ${pid2})")
+endif()
+wait_for_exit("${WORK_DIR}/server2.pid" "${WORK_DIR}/server2.log")
+
+# The interrupted session must have left a restorable checkpoint (the
+# drain pauses at a slice boundary and checkpoints before reporting
+# "interrupted") and no stray server process.
+file(GLOB checkpoints "${WORK_DIR}/w2/*.ckpt")
+if(NOT checkpoints)
+  message(FATAL_ERROR "SIGTERM drain left no checkpoint in ${WORK_DIR}/w2")
+endif()
+message(STATUS "server 2 drained on SIGTERM, checkpoint preserved")
+
+message(STATUS "SMOKE_PASS: serve lifecycle, fault recovery and drain ok")
