@@ -1,6 +1,7 @@
 #include "runtime/job_spec.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "kernels/kernel_path.h"
@@ -10,10 +11,11 @@ namespace cenn {
 
 namespace {
 
-/** Parses a non-negative integer; false on any non-digit. */
+/** Parses a non-negative integer; false on any non-digit or overflow. */
 bool
 ParseU64Value(const std::string& value, std::uint64_t* out)
 {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
   if (value.empty()) {
     return false;
   }
@@ -22,7 +24,11 @@ ParseU64Value(const std::string& value, std::uint64_t* out)
     if (c < '0' || c > '9') {
       return false;
     }
-    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (parsed > (kMax - digit) / 10) {
+      return false;  // would wrap uint64
+    }
+    parsed = parsed * 10 + digit;
   }
   *out = parsed;
   return true;
@@ -161,6 +167,9 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
     if (v < 1) {
       return fail("shards must be >= 1");
     }
+    if (v > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+      return fail("shards out of range");
+    }
     spec_.shards = static_cast<int>(v);
     return true;
   }
@@ -171,6 +180,9 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
     if (!ParseU64Value(neg ? value.substr(1) : value, &mag)) {
       errors_.push_back({line, key, "'" + value + "' is not an integer"});
       return false;
+    }
+    if (mag > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+      return fail("priority out of range");
     }
     spec_.priority = neg ? -static_cast<int>(mag) : static_cast<int>(mag);
     return true;

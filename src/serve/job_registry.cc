@@ -66,21 +66,20 @@ JobRegistry::Find(const std::string& id)
 }
 
 void
-JobRegistry::Remove(const std::string& id)
+JobRegistry::Retract(const std::string& id)
 {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = by_id_.find(id);
-  CENN_ASSERT(it != by_id_.end(), "JobRegistry::Remove: unknown id ", id);
-  CENN_ASSERT(it->second->status == ServeJobStatus::kQueued,
-              "JobRegistry::Remove: job ", id, " already dispatched");
+  CENN_ASSERT(it != by_id_.end(), "JobRegistry::Retract: unknown id ", id);
+  ServeJob* job = it->second;
   by_id_.erase(it);
-  for (auto jt = jobs_.begin(); jt != jobs_.end(); ++jt) {
-    if ((*jt)->id == id) {
-      jobs_.erase(jt);
-      break;
-    }
-  }
-  queued_.fetch_sub(1);
+  std::lock_guard<std::mutex> job_lock(job->mu);  // registry before job
+  CENN_ASSERT(job->status == ServeJobStatus::kQueued,
+              "JobRegistry::Retract: job ", id, " already dispatched");
+  job->status = ServeJobStatus::kCancelled;
+  job->message = "retracted: pool submit failed";
+  job->cv.notify_all();
+  NoteTransition(ServeJobStatus::kQueued, ServeJobStatus::kCancelled);
 }
 
 std::vector<ServeJob*>

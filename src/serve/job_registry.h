@@ -135,10 +135,14 @@ class JobRegistry
     ServeJob* Find(const std::string& id);
 
     /**
-     * Removes a record that never entered the pool (failed TrySubmit).
-     * Fatal if the id is unknown — removing a live job is a bug.
+     * Retracts a record that never entered the pool (failed
+     * TrySubmit): unlinks the id and marks the job cancelled, but the
+     * record itself stays alive — pointers handed out by Find/All
+     * remain valid (the registry's stability guarantee), and a drain
+     * sweep racing the retraction sees a terminal job, not freed
+     * memory. Fatal if the id is unknown or already dispatched.
      */
-    void Remove(const std::string& id);
+    void Retract(const std::string& id);
 
     /** Every job, in creation order (drain sweeps, tests). */
     std::vector<ServeJob*> All();

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <chrono>
+#include <exception>
 #include <filesystem>
 #include <thread>
 
@@ -18,6 +19,9 @@ namespace {
 
 /** How long a snapshot request waits for the slice boundary. */
 constexpr auto kPauseWait = std::chrono::seconds(10);
+
+/** Longest honored result long-poll (keeps shutdown bounded). */
+constexpr double kMaxResultWaitMs = 600000.0;
 
 /** Tenant names feed stat names: [a-z0-9_], 1..32 chars. */
 bool
@@ -44,10 +48,13 @@ ScalarToSpecValue(const JsonValue& value, std::string* out)
   }
   if (value.IsNumber()) {
     // The grammar's values are integers; render without a fraction
-    // when possible so "rows": 64 round-trips as "64".
-    const auto as_int = static_cast<long long>(value.number);
-    if (static_cast<double>(as_int) == value.number) {
-      *out = std::to_string(as_int);
+    // when possible so "rows": 64 round-trips as "64". The cast is
+    // only defined inside [-2^63, 2^63); anything else (1e300, NaN)
+    // renders as %.17g and fails the grammar's integer parse.
+    const double n = value.number;
+    if (n >= -9223372036854775808.0 && n < 9223372036854775808.0 &&
+        static_cast<double>(static_cast<long long>(n)) == n) {
+      *out = std::to_string(static_cast<long long>(n));
     } else {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%.17g", value.number);
@@ -320,7 +327,10 @@ SolverService::HandleSubmit(const JsonValue& request)
   errors.insert(errors.end(), builder.Errors().begin(),
                 builder.Errors().end());
   ValidateJobSpec(spec, &errors);
-  if (options_.max_cells > 0 && spec.rows * spec.cols > options_.max_cells) {
+  // Divide instead of multiplying: rows * cols can wrap size_t and
+  // sneak a gigantic grid past the limit.
+  if (options_.max_cells > 0 && spec.rows > 0 &&
+      spec.cols > options_.max_cells / spec.rows) {
     errors.push_back({0, "rows",
                       "rows*cols exceeds the server limit of " +
                           std::to_string(options_.max_cells) + " cells"});
@@ -381,8 +391,7 @@ SolverService::HandleSubmit(const JsonValue& request)
   JobId pool_id = 0;
   if (!pool_->TrySubmit([this, job] { RunJob(job); }, job->spec.priority,
                         &pool_id)) {
-    const std::string id = job->id;
-    jobs_.Remove(id);
+    jobs_.Retract(job->id);
     admission_.Release(tenant);
     counters_.rejected_busy.fetch_add(1);
     TenantStats(tenant)->rejected.fetch_add(1);
@@ -441,8 +450,17 @@ SolverService::HandleResult(const JsonValue& request)
     return response;
   }
   const bool wait = request.GetBool("wait", false);
-  const auto timeout = std::chrono::milliseconds(static_cast<std::int64_t>(
-      request.GetNumber("timeout_ms", 10000.0)));
+  // Client-controlled: clamp before casting so NaN, negative and
+  // out-of-range doubles neither hit undefined conversions nor park
+  // this transport thread indefinitely.
+  double timeout_ms = request.GetNumber("timeout_ms", 10000.0);
+  if (!(timeout_ms >= 0.0)) {
+    timeout_ms = 0.0;
+  } else if (timeout_ms > kMaxResultWaitMs) {
+    timeout_ms = kMaxResultWaitMs;
+  }
+  const auto timeout =
+      std::chrono::milliseconds(static_cast<std::int64_t>(timeout_ms));
 
   std::unique_lock<std::mutex> lock(job->mu);
   if (wait) {
@@ -518,7 +536,12 @@ SolverService::HandleSnapshot(const JsonValue& request)
   if (job == nullptr) {
     return response;
   }
-  const int layer = static_cast<int>(request.GetNumber("layer", 0.0));
+  // Out-of-int-range doubles (the cast would be undefined) collapse
+  // to -1, which the range check below rejects like any bad layer.
+  const double layer_num = request.GetNumber("layer", 0.0);
+  const int layer = layer_num >= 0.0 && layer_num < 2147483647.0
+                        ? static_cast<int>(layer_num)
+                        : -1;
 
   std::unique_lock<std::mutex> lock(job->mu);
   if (job->status == ServeJobStatus::kQueued) {
@@ -700,53 +723,6 @@ SolverService::RunJob(ServeJob* job)
   const JobSpec& spec = job->spec;
   const std::string ckpt_path = options_.work_dir + "/" + job->id + ".ckpt";
 
-  // Unseeded jobs derive an independent stream from (base_seed,
-  // submission index) — the same scheme as the batch runner, so a
-  // seeded serve job and a seeded batch job are bit-identical.
-  ModelConfig mc;
-  mc.rows = spec.rows;
-  mc.cols = spec.cols;
-  mc.seed = spec.has_seed
-                ? spec.seed
-                : Rng(options_.base_seed).Split(job->index).NextU64();
-  const auto model = MakeModel(spec.model, mc);
-  const std::uint64_t target =
-      spec.steps > 0 ? spec.steps
-                     : static_cast<std::uint64_t>(model->DefaultSteps());
-  const SolverProgram program = MakeProgram(*model);
-
-  SessionConfig sc;
-  sc.name = spec.name;
-  sc.shards = spec.shards;
-  sc.target_steps = target;
-  sc.checkpoint_every = spec.checkpoint_every > 0 ? spec.checkpoint_every
-                                                  : options_.checkpoint_every;
-  sc.checkpoint_path = ckpt_path;
-  if (sc.checkpoint_every > 0 && sc.checkpoint_every < sc.slice_steps) {
-    sc.slice_steps = sc.checkpoint_every;
-  }
-  FaultInjector::Plan* plan = job->plan;
-  sc.post_slice_hook = [job, plan](Engine& engine) {
-    if (plan != nullptr) {
-      plan->FireDue(engine);
-    }
-    job->live_steps.store(engine.Steps(), std::memory_order_relaxed);
-  };
-
-  EngineRequest req;
-  req.engine = spec.engine;
-  if (!spec.precision.empty()) {
-    req.precision = spec.precision;
-  }
-  req.memory = spec.memory;
-  if (!ParseKernelPath(spec.kernel_path.c_str(), &req.kernel_path)) {
-    // Unreachable: Apply validated the choice at submit.
-    Finalize(job, ServeJobStatus::kFailed, nullptr,
-             "unknown kernel_path '" + spec.kernel_path + "'");
-    record_wall();
-    return;
-  }
-
   HealthGuard guard(options_.guard);
   const int max_attempts = 1 + options_.max_retries;
   bool restored_any = false;
@@ -757,132 +733,202 @@ SolverService::RunJob(ServeJob* job)
   std::unique_ptr<StatRegistry> job_registry;
   std::unique_ptr<SolverSession> session;
 
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (attempt > 1 && options_.retry_backoff_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          static_cast<std::int64_t>(options_.retry_backoff_ms)
-          << (attempt - 2)));
+  // Everything that builds or steps a model can throw — bad_alloc on
+  // a huge grid, length_error from a container, checkpoint I/O — and
+  // this closure is the last frame before std::terminate would take
+  // the whole multi-tenant server down. Fence the job body: an
+  // unexpected exception fails this job, never the process. The
+  // session outlives the try block, so job->session is still cleared
+  // (by Finalize, under the job lock) before the object is destroyed.
+  try {
+    // Unseeded jobs derive an independent stream from (base_seed,
+    // submission index) — the same scheme as the batch runner, so a
+    // seeded serve job and a seeded batch job are bit-identical.
+    ModelConfig mc;
+    mc.rows = spec.rows;
+    mc.cols = spec.cols;
+    mc.seed = spec.has_seed
+                  ? spec.seed
+                  : Rng(options_.base_seed).Split(job->index).NextU64();
+    const auto model = MakeModel(spec.model, mc);
+    const std::uint64_t target =
+        spec.steps > 0 ? spec.steps
+                       : static_cast<std::uint64_t>(model->DefaultSteps());
+    const SolverProgram program = MakeProgram(*model);
+
+    SessionConfig sc;
+    sc.name = spec.name;
+    sc.shards = spec.shards;
+    sc.target_steps = target;
+    sc.checkpoint_every = spec.checkpoint_every > 0
+                              ? spec.checkpoint_every
+                              : options_.checkpoint_every;
+    sc.checkpoint_path = ckpt_path;
+    if (sc.checkpoint_every > 0 && sc.checkpoint_every < sc.slice_steps) {
+      sc.slice_steps = sc.checkpoint_every;
     }
-    if (draining_.load()) {
-      // Between attempts there is no healthy session to checkpoint;
-      // the last good checkpoint (if any) is already on disk.
+    FaultInjector::Plan* plan = job->plan;
+    sc.post_slice_hook = [job, plan](Engine& engine) {
+      if (plan != nullptr) {
+        plan->FireDue(engine);
+      }
+      job->live_steps.store(engine.Steps(), std::memory_order_relaxed);
+    };
+
+    EngineRequest req;
+    req.engine = spec.engine;
+    if (!spec.precision.empty()) {
+      req.precision = spec.precision;
+    }
+    req.memory = spec.memory;
+    if (!ParseKernelPath(spec.kernel_path.c_str(), &req.kernel_path)) {
+      // Unreachable: Apply validated the choice at submit.
+      Finalize(job, ServeJobStatus::kFailed, nullptr,
+               "unknown kernel_path '" + spec.kernel_path + "'");
       record_wall();
-      Finalize(job, ServeJobStatus::kInterrupted, session.get(),
-               "drained between attempts");
       return;
     }
 
-    guard.Reset();
-    {
-      std::lock_guard<std::mutex> lock(job->mu);
-      if (session != nullptr) {
-        // Bank the dying attempt's work before the final session's
-        // contribution is added by Finalize.
-        job->steps_executed += session->StepsExecuted();
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1 && options_.retry_backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<std::int64_t>(options_.retry_backoff_ms)
+            << (attempt - 2)));
       }
-      job->session = nullptr;  // unpublish before destruction
-      job->attempts = attempt;
-    }
-    session.reset();
-    job_registry = std::make_unique<StatRegistry>();
-    session = std::make_unique<SolverSession>(BuildEngine(program, req), sc);
-    if (options_.guard_enabled) {
-      session->Backend().AttachHealthGuard(&guard);
-    }
-    session->BindStats(job_registry.get());
-
-    // Retries restore the last good checkpoint (absent file = start
-    // over; faults are transient so that still converges).
-    if (attempt > 1 && session->TryRestoreFromFile(ckpt_path)) {
-      restored_any = true;
-    }
-    job->live_steps.store(session->StepsDone(), std::memory_order_relaxed);
-
-    {
-      std::lock_guard<std::mutex> lock(job->mu);
-      job->session = session.get();
-      if (job->cancel_requested) {
-        session->RequestCancel();
-      }
-      if (job->pause_holders > 0) {
-        session->RequestPause();  // a snapshot waiter arrived early
-      }
-    }
-
-    bool attempt_over = false;
-    while (!attempt_over) {
       if (draining_.load()) {
-        if (session->StepsDone() > 0) {
-          session->SaveCheckpoint();
-        }
+        // Between attempts there is no healthy session to checkpoint;
+        // the last good checkpoint (if any) is already on disk.
         record_wall();
         Finalize(job, ServeJobStatus::kInterrupted, session.get(),
-                 "checkpointed at drain");
+                 "drained between attempts");
         return;
       }
-      if (session->ReachedTarget()) {
-        failure = AttemptFailure::kNone;
-        break;
+
+      guard.Reset();
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        if (session != nullptr) {
+          // Bank the dying attempt's work before the final session's
+          // contribution is added by Finalize.
+          job->steps_executed += session->StepsExecuted();
+        }
+        job->session = nullptr;  // unpublish before destruction
+        job->attempts = attempt;
       }
-      try {
-        session->StepN(target - session->StepsDone());
-      } catch (const FaultCrash& crash) {
-        failure = AttemptFailure::kCrash;
-        failure_detail = "simulated crash at step " +
-                         std::to_string(crash.step) + " (attempt " +
-                         std::to_string(attempt) + "/" +
-                         std::to_string(max_attempts) + ")";
-        CENN_WARN("serve job '", job->id, "': ", failure_detail);
-        attempt_over = true;
-        continue;
+      session.reset();
+      job_registry = std::make_unique<StatRegistry>();
+      session =
+          std::make_unique<SolverSession>(BuildEngine(program, req), sc);
+      if (options_.guard_enabled) {
+        session->Backend().AttachHealthGuard(&guard);
+      }
+      session->BindStats(job_registry.get());
+
+      // Retries restore the last good checkpoint (absent file = start
+      // over; faults are transient so that still converges).
+      if (attempt > 1 && session->TryRestoreFromFile(ckpt_path)) {
+        restored_any = true;
+      }
+      job->live_steps.store(session->StepsDone(), std::memory_order_relaxed);
+
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->session = session.get();
+        if (job->cancel_requested) {
+          session->RequestCancel();
+        }
+        if (job->pause_holders > 0) {
+          session->RequestPause();  // a snapshot waiter arrived early
+        }
       }
 
-      switch (session->State()) {
-        case SessionState::kDone:
+      bool attempt_over = false;
+      while (!attempt_over) {
+        if (draining_.load()) {
+          if (session->StepsDone() > 0) {
+            session->SaveCheckpoint();
+          }
+          record_wall();
+          Finalize(job, ServeJobStatus::kInterrupted, session.get(),
+                   "checkpointed at drain");
+          return;
+        }
+        if (session->ReachedTarget()) {
           failure = AttemptFailure::kNone;
-          attempt_over = true;
           break;
-        case SessionState::kFaulted:
-          failure = AttemptFailure::kGuardTrip;
-          failure_detail = "health guard tripped — " + guard.Summary() +
-                           " (attempt " + std::to_string(attempt) + "/" +
+        }
+        try {
+          session->StepN(target - session->StepsDone());
+        } catch (const FaultCrash& crash) {
+          failure = AttemptFailure::kCrash;
+          failure_detail = "simulated crash at step " +
+                           std::to_string(crash.step) + " (attempt " +
+                           std::to_string(attempt) + "/" +
                            std::to_string(max_attempts) + ")";
           CENN_WARN("serve job '", job->id, "': ", failure_detail);
           attempt_over = true;
-          break;
-        case SessionState::kCancelled:
-          record_wall();
-          Finalize(job, ServeJobStatus::kCancelled, session.get(),
-                   "cancelled while running");
-          return;
-        case SessionState::kPaused: {
-          std::unique_lock<std::mutex> lock(job->mu);
-          if (job->pause_holders > 0) {
-            job->paused = true;
-            job->cv.notify_all();
-            job->cv.wait(lock, [this, job] {
-              return job->pause_holders == 0 || job->cancel_requested ||
-                     draining_.load();
-            });
-            job->paused = false;
-            job->cv.notify_all();
-          }
-          lock.unlock();
-          // Cancel and drain are re-checked at the loop top; a pause
-          // with no holder (drain raced a finished snapshot) simply
-          // resumes.
-          session->Resume();
-          break;
+          continue;
         }
-        case SessionState::kIdle:
-        case SessionState::kRunning:
-          break;  // keep stepping
+
+        switch (session->State()) {
+          case SessionState::kDone:
+            failure = AttemptFailure::kNone;
+            attempt_over = true;
+            break;
+          case SessionState::kFaulted:
+            failure = AttemptFailure::kGuardTrip;
+            failure_detail = "health guard tripped — " + guard.Summary() +
+                             " (attempt " + std::to_string(attempt) + "/" +
+                             std::to_string(max_attempts) + ")";
+            CENN_WARN("serve job '", job->id, "': ", failure_detail);
+            attempt_over = true;
+            break;
+          case SessionState::kCancelled:
+            record_wall();
+            Finalize(job, ServeJobStatus::kCancelled, session.get(),
+                     "cancelled while running");
+            return;
+          case SessionState::kPaused: {
+            std::unique_lock<std::mutex> lock(job->mu);
+            if (job->pause_holders > 0) {
+              job->paused = true;
+              job->cv.notify_all();
+              job->cv.wait(lock, [this, job] {
+                return job->pause_holders == 0 || job->cancel_requested ||
+                       draining_.load();
+              });
+              job->paused = false;
+              job->cv.notify_all();
+            }
+            lock.unlock();
+            // Cancel and drain are re-checked at the loop top; a pause
+            // with no holder (drain raced a finished snapshot) simply
+            // resumes.
+            session->Resume();
+            break;
+          }
+          case SessionState::kIdle:
+          case SessionState::kRunning:
+            break;  // keep stepping
+        }
+      }
+
+      if (failure == AttemptFailure::kNone) {
+        break;
       }
     }
-
-    if (failure == AttemptFailure::kNone) {
-      break;
-    }
+  } catch (const std::exception& e) {
+    CENN_WARN("serve job '", job->id, "': unexpected exception: ", e.what());
+    record_wall();
+    Finalize(job, ServeJobStatus::kFailed, nullptr,
+             std::string("internal error: ") + e.what());
+    return;
+  } catch (...) {
+    CENN_WARN("serve job '", job->id, "': unexpected non-std exception");
+    record_wall();
+    Finalize(job, ServeJobStatus::kFailed, nullptr,
+             "internal error: unknown exception");
+    return;
   }
 
   ServeJobStatus status;

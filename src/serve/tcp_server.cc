@@ -150,7 +150,10 @@ TcpServer::AcceptLoop()
       break;
     }
     conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+    // Detached: the thread reaps itself via active_conns_ below, so a
+    // long-lived server never accumulates dead thread handles.
+    ++active_conns_;
+    std::thread([this, fd] { ConnectionLoop(fd); }).detach();
   }
 }
 
@@ -224,6 +227,14 @@ TcpServer::ConnectionLoop(int fd)
     }
   }
   ::close(fd);
+  {
+    // Last touch of *this. Notify while holding the lock so Stop()
+    // (which may destroy the condvar right after its wait returns)
+    // cannot race the notify.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    --active_conns_;
+    conn_cv_.notify_all();
+  }
 }
 
 void
@@ -241,19 +252,14 @@ TcpServer::Stop()
   if (acceptor_.joinable()) {
     acceptor_.join();
   }
-  std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    std::unique_lock<std::mutex> lock(conn_mu_);
     for (const int fd : conn_fds_) {
       ::shutdown(fd, SHUT_RDWR);  // unblocks recv; the thread closes fd
     }
-    conn_fds_.clear();
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) {
-      t.join();
-    }
+    // Connection threads are detached; wait for each to deregister
+    // its fd, close it and decrement the count.
+    conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);

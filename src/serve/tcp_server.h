@@ -6,10 +6,13 @@
  * Newline-delimited request/response TCP transport for cenn_serve.
  *
  * One acceptor thread (poll over the listen socket plus a self-pipe
- * for wakeup) and one thread per connection. Each connection reads
- * lines, hands them to the handler, and writes the handler's response
- * line back; the transport knows nothing about JSON. Defenses at this
- * layer, because everything past it trusts its framing:
+ * for wakeup) and one detached thread per connection — each reaps
+ * itself on exit (an active-connection count, not a join, gates
+ * Stop(), so a long-lived server does not accumulate one dead thread
+ * handle per served connection). Each connection reads lines, hands
+ * them to the handler, and writes the handler's response line back;
+ * the transport knows nothing about JSON. Defenses at this layer,
+ * because everything past it trusts its framing:
  *
  *  - lines above max_line_bytes close the connection after one error
  *    line (an unbounded line would otherwise grow the read buffer
@@ -24,6 +27,8 @@
  */
 
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -84,8 +89,9 @@ class TcpServer
     bool ShutdownRequested() const { return shutdown_requested_.load(); }
 
     /**
-     * Stops accepting, unblocks and joins every connection thread.
-     * Idempotent; in-flight handler calls complete first.
+     * Stops accepting, unblocks every connection socket and waits for
+     * all connection threads to finish. Idempotent; in-flight handler
+     * calls complete first.
      */
     void Stop();
 
@@ -112,9 +118,10 @@ class TcpServer
     std::atomic<bool> shutdown_requested_{false};
     std::atomic<std::uint64_t> connections_{0};
 
-    /** Guards the connection-thread table. */
+    /** Guards the live-connection table and count. */
     std::mutex conn_mu_;
-    std::vector<std::thread> conn_threads_;
+    std::condition_variable conn_cv_;
+    std::size_t active_conns_ = 0;
     std::vector<int> conn_fds_;
 
     bool started_ = false;

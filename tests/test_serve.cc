@@ -347,6 +347,95 @@ TEST(ServeFuzz, SubmitValidationReportsPreciseKeys)
   EXPECT_EQ(service.Jobs().TotalCreated(), 0u);
 }
 
+TEST(ServeFuzz, HostileNumbersAreRejectedNotUndefined)
+{
+  SolverService service(BaseOptions(TestDir("hostile")));
+
+  // rows*cols wraps size_t (2^32 * 2^32 == 0) — the max_cells guard
+  // must reject it anyway.
+  JsonValue r = Call(service,
+                     R"({"op":"submit","tenant":"t","spec":)"
+                     R"({"model":"heat","rows":4294967296,)"
+                     R"("cols":4294967296}})");
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_EQ(r.GetString("error"), "invalid");
+
+  // Doubles outside the long-long range must not reach the cast; they
+  // render as scientific notation and fail the integer grammar.
+  r = Call(service,
+           R"({"op":"submit","tenant":"t","spec":)"
+           R"({"model":"heat","rows":1e300,"cols":8}})");
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_EQ(r.GetString("error"), "invalid");
+
+  // Digit strings that overflow uint64 are rejected, not wrapped.
+  r = Call(service, SubmitLine("t", SpecJson({{"model", "heat"},
+                                              {"steps",
+                                               "99999999999999999999"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_EQ(r.GetString("error"), "invalid");
+  EXPECT_NE(r.GetString("message").find("steps"), std::string::npos);
+
+  // Magnitudes beyond int range on int-typed keys.
+  r = Call(service, SubmitLine("t", SpecJson({{"model", "heat"},
+                                              {"priority",
+                                               "4294967296"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+
+  EXPECT_EQ(service.Jobs().TotalCreated(), 0u);
+
+  // Hostile result/snapshot parameters degrade to bounded waits and
+  // range errors on a real job.
+  const std::string id =
+      MustSubmit(service, "t", SpecJson({{"model", "heat"},
+                                         {"rows", "8"},
+                                         {"cols", "8"},
+                                         {"steps", "32"}}));
+  r = Call(service, "{\"op\":\"result\",\"job\":\"" + id +
+                        "\",\"wait\":true,\"timeout_ms\":-1e308}");
+  EXPECT_EQ(r.GetString("schema"), "cenn.serve.v1");  // no UB, clamped to 0
+  const JsonValue done = WaitResult(service, id);
+  EXPECT_TRUE(done.GetBool("ok", false));
+  r = Call(service, "{\"op\":\"snapshot\",\"job\":\"" + id +
+                        "\",\"layer\":1e300}");
+  EXPECT_FALSE(r.GetBool("ok", true));  // finished / bad layer, not UB
+}
+
+TEST(ServeService, PoolRejectedSubmitKeepsRegistryConsistent)
+{
+  ServiceOptions options = BaseOptions(TestDir("retract"));
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  options.max_in_flight = 64;  // admission is no longer the tight bound
+  options.tenant_quota = 0;
+  SolverService service(options);
+
+  const std::string running = MustSubmit(service, "t", BlockerSpec("r"));
+  WaitRunning(service, running);
+  const std::string queued = MustSubmit(service, "t", BlockerSpec("q"));
+
+  // The pool queue is full: the submit is rejected and the
+  // provisional record retracted — its id resolves nowhere, but the
+  // record stays alive so a racing drain sweep never touches freed
+  // memory.
+  const JsonValue busy = Call(service, SubmitLine("t", BlockerSpec("x")));
+  EXPECT_FALSE(busy.GetBool("ok", true));
+  EXPECT_EQ(busy.GetString("error"), "busy");
+  const std::string ghost =
+      "j" + std::to_string(service.Jobs().TotalCreated());
+  const JsonValue s = Status(service, ghost);
+  EXPECT_FALSE(s.GetBool("ok", true));
+  EXPECT_EQ(s.GetString("error"), "unknown_job");
+
+  // The drain sweep skips the retracted record and interrupts the
+  // live ones normally.
+  service.Drain();
+  for (const std::string& job : {running, queued}) {
+    EXPECT_EQ(WaitResult(service, job).GetString("status"), "interrupted")
+        << job;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Job lifecycle through the service core
 // ---------------------------------------------------------------------------

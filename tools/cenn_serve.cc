@@ -167,8 +167,12 @@ ServeMain(int argc, char** argv)
   std::printf("cenn_serve: %s received, draining\n", why);
   std::fflush(stdout);
 
-  server.Stop();
+  // Drain first, then stop the transport: Stop() waits for connection
+  // threads, and those may be parked in a result long-poll that only
+  // Drain() wakes (it finalizes every job and notifies its waiters).
+  // Submits arriving during the drain are rejected with "draining".
   service.Drain();
+  server.Stop();
 
   std::printf("cenn_serve: drained (%llu connections served); bye\n",
               static_cast<unsigned long long>(server.ConnectionsAccepted()));
