@@ -19,6 +19,7 @@
 
 #include "core/network.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_store.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
 #include "util/cli.h"
@@ -99,7 +100,7 @@ SpikeAgreement()
     const auto model = MakeModel(c.model, mc);
     MapperReport report;
     const NetworkSpec spec = Mapper::MapWithReport(model->System(), &report);
-    auto bank = std::make_shared<const LutBank>(spec, model->Luts());
+    auto bank = LutStore::Global().Acquire(spec, model->Luts());
 
     MultilayerCenn<double> ref(spec);
     MultilayerCenn<Fixed32> solver(
@@ -153,7 +154,7 @@ main(int argc, char** argv)
     MapperReport report;
     const NetworkSpec spec = Mapper::MapWithReport(model->System(), &report);
     auto bank =
-        std::make_shared<const LutBank>(spec, model->Luts());
+        LutStore::Global().Acquire(spec, model->Luts());
 
     std::vector<int> layers;
     for (int var : model->ObservedVars()) {

@@ -18,11 +18,12 @@
  * kernels are slower than the scalar plan walk, if the simd kernels
  * are below 1.5x the blocked kernels on the double datapath (skipped
  * when the dispatcher picks the generic backend — scalar-width
- * "vectors" carry no speedup promise), if any comparable variant
- * diverges from the functional state, or if the health-guard
- * instrumentation (the Fixed32 saturation-counter hook) costs more
- * than 2% on the fixed blocked path. --quick shrinks the workload for
- * CI smoke use.
+ * "vectors" carry no speedup promise), if the packed SoA coefficient
+ * lanes are below 1.15x over the 9-field AoS tuple stride on a
+ * LUT-bound sweep, if any comparable variant diverges from the
+ * functional state, or if the health-guard instrumentation (the
+ * Fixed32 saturation-counter hook) costs more than 2% on the fixed
+ * blocked path. --quick shrinks the workload for CI smoke use.
  *
  * Examples:
  *   bench_kernels
@@ -45,6 +46,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/nonlinear.h"
 #include "core/solver.h"
 #include "health/health_guard.h"
 #include "kernels/soa_engine.h"
@@ -398,6 +400,136 @@ BenchMain(int argc, char** argv)
     if (StateChecksum(*simd_engine) != StateChecksum(*blocked_engine)) {
       std::printf("check FAILED: simd double state diverged from "
                   "blocked\n");
+      ok = false;
+    }
+  }
+
+  // Packed-layout gate: the simd kernels gather LUT coefficients from
+  // the packed SoA lanes (l_p/a1/a2/a3, expansion point recomputed
+  // from the index) instead of striding across the 9-field AoS
+  // TaylorTuple array. On a LUT-bound sweep — a table far beyond the
+  // LLC, walked coherently as states drift through the sampled range —
+  // the packed lanes move 32 useful bytes per lookup where the tuple
+  // stride drags the full 72-byte entry through the cache for 40
+  // useful bytes. This times exactly that difference with identical
+  // delta-cubic arithmetic on both sides (the accumulated sums must
+  // agree bit-for-bit, since the packed side recomputes p with the
+  // builder's own min_p + i*spacing expression) and requires the
+  // packed layout to hold >=1.15x. Plain scalar C++ on purpose: the
+  // advantage is a property of the memory traffic, not of any ISA's
+  // gather instruction. Same ABBA order-split-median protocol as the
+  // gates above.
+  if (check) {
+    const std::size_t entries = std::size_t{1} << (quick ? 20 : 21);
+    const double min_p = -4.0;
+    const double spacing = 8.0 / static_cast<double>(entries);
+    std::vector<TaylorTuple> tuples(entries);
+    std::vector<double> lane_lp(entries);
+    std::vector<double> lane_a1(entries);
+    std::vector<double> lane_a2(entries);
+    std::vector<double> lane_a3(entries);
+    for (std::size_t i = 0; i < entries; ++i) {
+      TaylorTuple& t = tuples[i];
+      t.p = min_p + static_cast<double>(i) * spacing;
+      t.l_p = std::tanh(t.p);
+      const double sech2 = 1.0 - t.l_p * t.l_p;
+      t.a1 = sech2;
+      t.a2 = -t.l_p * sech2;
+      t.a3 = sech2 * (3.0 * t.l_p * t.l_p - 1.0) / 3.0;
+      // Unread by either side's arithmetic — the monomial fields are
+      // the freight the AoS layout pays to stream and the packed
+      // layout leaves behind.
+      t.c0 = t.a1;
+      t.c1 = t.a2;
+      t.c2 = t.a3;
+      t.c3 = t.l_p;
+      lane_lp[i] = t.l_p;
+      lane_a1[i] = t.a1;
+      lane_a2[i] = t.a2;
+      lane_a3[i] = t.a3;
+    }
+    // One pass sweeps x coherently through the sampled range, hitting
+    // every entry mid-interval; the index math mirrors the kernels'.
+    const auto pass_tuple = [&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < entries; ++i) {
+        const double x =
+            min_p + (static_cast<double>(i) + 0.375) * spacing;
+        const auto idx =
+            static_cast<std::size_t>((x - min_p) / spacing);
+        const TaylorTuple& t = tuples[idx];
+        const double d = x - t.p;
+        acc += t.l_p + d * (t.a1 + d * (t.a2 + d * t.a3));
+      }
+      return acc;
+    };
+    const auto pass_packed = [&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < entries; ++i) {
+        const double x =
+            min_p + (static_cast<double>(i) + 0.375) * spacing;
+        const auto idx =
+            static_cast<std::size_t>((x - min_p) / spacing);
+        const double p = min_p + static_cast<double>(idx) * spacing;
+        const double d = x - p;
+        acc += lane_lp[idx] +
+               d * (lane_a1[idx] + d * (lane_a2[idx] + d * lane_a3[idx]));
+      }
+      return acc;
+    };
+    double tuple_sum = 0.0;
+    double packed_sum = 0.0;
+    const auto timed = [&](bool packed, int reps) {
+      const auto start = std::chrono::steady_clock::now();
+      double acc = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        acc += packed ? pass_packed() : pass_tuple();
+      }
+      (packed ? packed_sum : tuple_sum) = acc;
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    // Calibrate a ~25ms tuple chunk (the slower side) so each round is
+    // long enough for the steady clock yet 24 rounds stay CI-friendly.
+    const double probe = timed(false, 1);
+    const int reps = std::max(
+        1, static_cast<int>(0.025 / std::max(probe, 1e-9)));
+    const auto median = [](std::vector<double>* v) {
+      std::sort(v->begin(), v->end());
+      return (*v)[v->size() / 2];
+    };
+    std::vector<double> packed_second;
+    std::vector<double> packed_first;
+    for (int round = 0; round < 24; ++round) {
+      double tuple_s;
+      double packed_s;
+      if (round % 2 == 0) {
+        tuple_s = timed(false, reps);
+        packed_s = timed(true, reps);
+      } else {
+        packed_s = timed(true, reps);
+        tuple_s = timed(false, reps);
+      }
+      if (round < 4) {
+        continue;  // discard warm-up rounds (caches, cpu frequency)
+      }
+      (round % 2 == 0 ? packed_second : packed_first)
+          .push_back(tuple_s / packed_s);
+    }
+    const double speedup =
+        std::sqrt(median(&packed_second) * median(&packed_first));
+    std::printf("packed LUT lanes vs tuple stride (%zu-entry table): "
+                "%.2fx\n", entries, speedup);
+    if (speedup < 1.15) {
+      std::printf("check FAILED: packed-layout reads %.2fx vs the tuple "
+                  "stride, below the 1.15x gate\n", speedup);
+      ok = false;
+    }
+    if (tuple_sum != packed_sum) {
+      std::printf("check FAILED: packed-layout cubic diverged from the "
+                  "tuple evaluation (%.17g vs %.17g)\n", packed_sum,
+                  tuple_sum);
       ok = false;
     }
   }

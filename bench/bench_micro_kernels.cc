@@ -13,6 +13,7 @@
 #include "arch/simulator.h"
 #include "core/network.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_store.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
 #include "program/bitstream.h"
@@ -95,7 +96,7 @@ BM_EngineStepFixedLutRd(benchmark::State& state)
   const auto model = MakeModel("reaction_diffusion", mc);
   const SolverProgram program = MakeProgram(*model);
   auto bank =
-      std::make_shared<const LutBank>(program.spec, program.lut_config);
+      LutStore::Global().Acquire(program.spec, program.lut_config);
   MultilayerCenn<Fixed32> engine(
       program.spec, std::make_shared<LutEvaluatorFixed>(bank));
   for (auto _ : state) {

@@ -15,6 +15,7 @@
 
 #include "core/network.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_store.h"
 #include "mapping/mapper.h"
 #include "models/reaction_diffusion.h"
 #include "util/cli.h"
@@ -39,7 +40,7 @@ main(int argc, char** argv)
 
   // Fixed-point engine with the LUT/Taylor nonlinear path — exactly
   // what the accelerator computes.
-  auto bank = std::make_shared<const LutBank>(spec, model.Luts());
+  auto bank = LutStore::Global().Acquire(spec, model.Luts());
   MultilayerCenn<Fixed32> engine(
       spec, std::make_shared<LutEvaluatorFixed>(bank));
 

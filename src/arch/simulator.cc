@@ -5,6 +5,7 @@
 
 #include "arch/dataflow.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_store.h"
 #include "obs/profile.h"
 #include "obs/stat_registry.h"
 #include "obs/trace.h"
@@ -46,8 +47,7 @@ ArchSimulator::ArchSimulator(const SolverProgram& program,
   config_.Validate();
   program_.spec.Validate();
 
-  lut_bank_ =
-      std::make_shared<const LutBank>(program_.spec, program_.lut_config);
+  lut_bank_ = LutStore::Global().Acquire(program_.spec, program_.lut_config);
 
   LutHierarchyConfig hier;
   hier.num_pes = config_.NumPes();

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,6 +38,7 @@
 namespace cenn {
 
 class HealthGuard;      // src/health; attached via AttachHealthGuard
+class LutBank;          // src/lut; swapped via RebindLutBank
 class LutTrafficSink;   // src/lut; attached via AttachLutTraffic
 struct NetworkSpec;
 class StatRegistry;
@@ -102,6 +104,21 @@ class Engine
 
     /** Replaces a layer's state from f64 values (checkpoint restore). */
     virtual void RestoreState(int layer, std::span<const double> values) = 0;
+
+    /**
+     * Swaps the LUT bank driving nonlinear evaluation and recompiles
+     * anything bound against the old one (adaptive range refit,
+     * lut/lut_refit.h). Call only between steps — never while band
+     * workers run. Default: false — the engine holds no LUT state
+     * (double/float paths) or cannot rebind (the arch simulator's
+     * cache hierarchy indices are tied to its bank).
+     */
+    virtual bool
+    RebindLutBank(const std::shared_ptr<const LutBank>& bank)
+    {
+        (void)bank;
+        return false;
+    }
 
     /**
      * Binds backend-specific stats under `prefix` (which must be

@@ -13,6 +13,7 @@
  */
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/nonlinear.h"
@@ -20,6 +21,7 @@
 
 namespace cenn {
 
+class LutBank;     // src/lut — only ever carried as an opaque handle
 class OffChipLut;  // src/lut — only ever carried as an opaque pointer
 
 /** A function evaluator specialized ("bound") to one l(.). */
@@ -27,20 +29,64 @@ template <typename T>
 using BoundFunction = std::function<T(T)>;
 
 /**
+ * Structure-of-arrays view of a LUT's Taylor entries: one contiguous
+ * double lane per coefficient, index i at sample point
+ * min_p + i * spacing. Built once at table-build time (src/lut), so
+ * the simd kernels gather 4 hot 8-byte lanes per lookup instead of
+ * striding 72-byte TaylorTuples; the expansion point p is not stored —
+ * it is recomputed per lane as min_p + (double)i * spacing, bit-equal
+ * to the builder's expression.
+ */
+struct PackedTaylorView {
+  const double* l_p = nullptr;  ///< exact l(p) per entry
+  const double* a1 = nullptr;   ///< delta-form coefficient lanes
+  const double* a2 = nullptr;
+  const double* a3 = nullptr;
+};
+
+/**
+ * Everything the vectorized kernels need to evaluate a LUT-backed
+ * factor, decoupled from the table's concrete class: the AoS entry
+ * array (exact scalar replicas, diagnostics), the packed SoA lanes
+ * (simd gathers) and the sampling geometry (index computation).
+ */
+struct LutView {
+  /** AoS Taylor tuples; index i is the entry at min_p + i*spacing. */
+  const TaylorTuple* entries = nullptr;
+
+  /** Packed coefficient lanes over the same index space. */
+  PackedTaylorView packed;
+
+  /** Sampling geometry (mirrors the table's LutSpec). */
+  double min_p = 0.0;
+  double spacing = 1.0;
+  int num_entries = 0;
+
+  bool Valid() const { return entries != nullptr; }
+};
+
+/**
  * What a bound function computes, described declaratively so the
  * explicitly vectorized kernels (kernels/soa_simd_impl.h) can inline
  * the same arithmetic across lanes instead of calling the bound
- * std::function per cell. At most one field is set; when both are
- * null the kernels fall back to per-lane closure calls — correct for
- * any evaluator, just slower.
+ * std::function per cell. At most one of poly/lut_view is set; when
+ * neither is the kernels fall back to per-lane closure calls —
+ * correct for any evaluator, just slower.
  */
 struct FactorVecInfo {
   /** Horner coefficients, ascending: the bound fn is the polynomial
       evaluated in double then converted with NumTraits. */
   const std::vector<double>* poly = nullptr;
 
-  /** The bound fn is OffChipLut::EvaluateDouble on this table
-      (double engines only). */
+  /** The bound fn is the LUT delta-form cubic over this table
+      (double engines only); see LutView. */
+  LutView lut_view;
+
+  /**
+   * @deprecated The concrete table behind lut_view, kept one PR so
+   * out-of-tree callers migrate; the kernels no longer read it.
+   * Removed next PR.
+   */
   const OffChipLut* lut = nullptr;
 };
 
@@ -77,6 +123,22 @@ class FunctionEvaluator
     {
         (void)fn;
         return {};
+    }
+
+    /**
+     * Swaps the LUT bank this evaluator reads, if it reads one.
+     * Returns false (the default) for evaluators without LUT state;
+     * LUT-backed evaluators adopt `bank` and return true. Engines
+     * call this through Engine::RebindLutBank at slice boundaries
+     * (adaptive range refit) and recompile any closures bound against
+     * the old bank; closures already bound keep the old bank alive
+     * through their captured handle, so a swap never dangles.
+     */
+    virtual bool
+    RebindLutBank(const std::shared_ptr<const LutBank>& bank)
+    {
+        (void)bank;
+        return false;
     }
 };
 

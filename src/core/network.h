@@ -117,6 +117,17 @@ class MultilayerCenn : public Engine
     /** Replaces a layer's state from f64 values (checkpoint restore). */
     void RestoreState(int layer, std::span<const double> values) override;
 
+    /**
+     * Forwards a refit bank to the evaluator (LUT-backed evaluators
+     * adopt it and return true). The functional engine binds no
+     * closures, so the swap alone suffices.
+     */
+    bool
+    RebindLutBank(const std::shared_ptr<const LutBank>& bank) override
+    {
+        return evaluator_ != nullptr && evaluator_->RebindLutBank(bank);
+    }
+
     /** State map of a layer. */
     const Grid2D<T>& State(int layer) const;
 

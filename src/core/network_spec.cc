@@ -1,6 +1,7 @@
 #include "core/network_spec.h"
 
 #include <algorithm>
+#include <map>
 
 #include "util/logging.h"
 
@@ -104,6 +105,35 @@ NetworkSpec::Functions() const
     }
   }
   return fns;
+}
+
+std::vector<NonlinearFnPtr>
+NetworkSpec::FunctionHandles() const
+{
+  std::map<const NonlinearFunction*, NonlinearFnPtr> owning;
+  auto add_factors = [&owning](const std::vector<WeightFactor>& factors) {
+    for (const auto& f : factors) {
+      if (f.fn != nullptr) {
+        owning.emplace(f.fn.get(), f.fn);
+      }
+    }
+  };
+  for (const auto& layer : layers) {
+    for (const auto& c : layer.couplings) {
+      for (const auto& w : c.kernel.Entries()) {
+        add_factors(w.factors);
+      }
+    }
+    for (const auto& term : layer.offset_terms) {
+      add_factors(term.factors);
+    }
+  }
+  std::vector<NonlinearFnPtr> handles;
+  handles.reserve(owning.size());
+  for (const NonlinearFunction* fn : Functions()) {
+    handles.push_back(owning.at(fn));
+  }
+  return handles;
 }
 
 void

@@ -143,6 +143,14 @@ struct NetworkSpec {
   /** Distinct nonlinear functions referenced anywhere in the spec. */
   std::set<const NonlinearFunction*> Functions() const;
 
+  /**
+   * Owning handles for the same distinct functions, in Functions()
+   * iteration order. Callers that outlive this spec (the process-wide
+   * LutStore shares tables across sessions) hold these instead of the
+   * raw pointers, so a table never outlives its function.
+   */
+  std::vector<NonlinearFnPtr> FunctionHandles() const;
+
   /** Fatal on any structural inconsistency (indices, sizes, nulls). */
   void Validate() const;
 };

@@ -110,6 +110,7 @@ HealthGuard::Report() const
   report.nan_cells = nan_cells_;
   report.inf_cells = inf_cells_;
   report.sat_events = SatEvents();
+  report.lut_refits = LutRefits();
   report.max_abs = max_abs_;
   report.rms = rms_;
   report.diverged = Tripped();
@@ -131,6 +132,7 @@ HealthGuard::Reset()
   last_scan_step_ = 0;
   scanned_once_ = false;
   sat_events_.store(0, std::memory_order_relaxed);
+  lut_refits_.store(0, std::memory_order_relaxed);
   tripped_.store(false, std::memory_order_relaxed);
 }
 
@@ -147,6 +149,8 @@ HealthGuard::BindStats(StatRegistry* registry, const std::string& prefix)
                     [this] { return static_cast<double>(inf_cells_); });
   scope.BindDerived("sat_events", "Fixed32 saturation events observed",
                     [this] { return static_cast<double>(SatEvents()); });
+  scope.BindDerived("lut_refits", "adaptive LUT range refits performed",
+                    [this] { return static_cast<double>(LutRefits()); });
   scope.BindDerived("max_abs", "largest |state| at the latest scan",
                     [this] { return max_abs_; });
   scope.BindDerived("rms", "RMS state norm at the latest scan",
@@ -168,6 +172,9 @@ HealthGuard::Summary() const
       << " scans, nan=" << r.nan_cells << ", inf=" << r.inf_cells
       << ", sat_events=" << r.sat_events << ", max_abs=" << r.max_abs
       << ", rms=" << r.rms;
+  if (r.lut_refits > 0) {
+    out << ", lut_refits=" << r.lut_refits;
+  }
   if (r.diverged) {
     out << " (" << r.reason << " at step " << r.diverged_at_step << ")";
   }

@@ -71,6 +71,9 @@ struct HealthReport {
   /** Fixed32 saturation events drained into this guard. */
   std::uint64_t sat_events = 0;
 
+  /** Adaptive LUT range refits performed (lut/lut_refit.h). */
+  std::uint64_t lut_refits = 0;
+
   /** Largest |state| over all layers at the latest scan. */
   double max_abs = 0.0;
 
@@ -130,6 +133,18 @@ class HealthGuard
         }
     }
 
+    /** Records one adaptive LUT range refit (driving thread). */
+    void NoteLutRefit()
+    {
+        lut_refits_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Adaptive LUT range refits recorded so far. */
+    std::uint64_t LutRefits() const
+    {
+        return lut_refits_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Clears the tripped state and all tallies — call after restoring
      * a known-good checkpoint, before resuming.
@@ -162,6 +177,7 @@ class HealthGuard
 
     std::atomic<bool> tripped_{false};
     std::atomic<std::uint64_t> sat_events_{0};
+    std::atomic<std::uint64_t> lut_refits_{0};
 };
 
 /**

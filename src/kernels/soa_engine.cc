@@ -105,6 +105,20 @@ SoaEngine<T>::Prepare()
 }
 
 template <typename T>
+bool
+SoaEngine<T>::RebindLutBank(const std::shared_ptr<const LutBank>& bank)
+{
+  if (evaluator_ == nullptr || !evaluator_->RebindLutBank(bank)) {
+    return false;
+  }
+  if (prepared_) {
+    plans_ = BuildLayerPlans(spec_, *evaluator_);
+    ComputeTrafficModel();
+  }
+  return true;
+}
+
+template <typename T>
 void
 SoaEngine<T>::ComputeTrafficModel()
 {
@@ -113,8 +127,9 @@ SoaEngine<T>::ComputeTrafficModel()
   const std::uint64_t cols = spec_.cols;
   const bool simd_luts = path_ == KernelPath::kSimd && simd_step_ != nullptr;
   const int lanes = std::max(1, SimdLanesDouble());
-  // 5-field tuple gather (p, l_p, a1, a2, a3) per vector strip.
-  const std::uint64_t gathers_per_strip = 5;
+  // 4-lane packed gather (l_p, a1, a2, a3) per vector strip; the
+  // expansion point p is recomputed, not gathered (core/evaluator.h).
+  const std::uint64_t gathers_per_strip = 4;
   const std::uint64_t strips_per_row =
       (cols + static_cast<std::uint64_t>(lanes) - 1) /
       static_cast<std::uint64_t>(lanes);
@@ -146,7 +161,7 @@ SoaEngine<T>::ComputeTrafficModel()
       for (const CompiledFactor<T>& f : tap.factors) {
         step_read_bytes_per_row_ += row_bytes;  // control row stream
         step_flops_per_row_ += (factor_ops(f) + 1) * cols;
-        if (simd_luts && f.vec.lut != nullptr) {
+        if (simd_luts && f.vec.lut_view.Valid()) {
           step_gathers_per_row_ += gathers_per_strip * strips_per_row;
         }
       }
@@ -156,7 +171,7 @@ SoaEngine<T>::ComputeTrafficModel()
       for (const CompiledFactor<T>& f : off.factors) {
         step_read_bytes_per_row_ += row_bytes;
         step_flops_per_row_ += (factor_ops(f) + 1) * cols;
-        if (simd_luts && f.vec.lut != nullptr) {
+        if (simd_luts && f.vec.lut_view.Valid()) {
           step_gathers_per_row_ += gathers_per_strip * strips_per_row;
         }
       }

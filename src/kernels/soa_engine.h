@@ -90,6 +90,14 @@ class SoaEngine final : public Engine
     void RestoreState(int layer, std::span<const double> values) override;
 
     /**
+     * Forwards a refit bank to the evaluator and, when it adopts the
+     * bank, recompiles the tap plans (bound closures and LutViews
+     * reference the old tables) plus the traffic model. Slice
+     * boundaries only — never while band workers run.
+     */
+    bool RebindLutBank(const std::shared_ptr<const LutBank>& bank) override;
+
+    /**
      * Adds `kernels.traffic.*` to the default engine stats: bytes
      * read/written, simd LUT tuple gathers and an analytic FLOP
      * count, accumulated per stepped band from the per-row traffic

@@ -21,8 +21,8 @@
  *   2. per tap: scalar boundary cells outside the in-range column
  *      window [lo, hi), vector strips with a lane-masked tail inside
  *      it; nonlinear factor products evaluate as vector Horner
- *      polynomials, vectorized LUT tuple gathers, or exact per-lane
- *      closure calls (FactorVecInfo decides);
+ *      polynomials, vectorized packed-lane LUT gathers, or exact
+ *      per-lane closure calls (FactorVecInfo decides);
  *   3. per offset term: vector accumulate, same factor machinery;
  *   4. Euler update next = self + dt * acc.
  */
@@ -37,7 +37,6 @@
 #include "kernels/soa_simd.h"
 #include "kernels/vec.h"
 #include "lut/lut_traffic.h"
-#include "lut/off_chip_lut.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -162,10 +161,14 @@ PolyHorner(const std::vector<double>& c, VecD x)
 }
 
 /**
- * Vectorized OffChipLut::EvaluateDouble: per-lane index computation
- * replicating IndexOf exactly, a 5-field tuple gather, the delta-form
- * cubic l_p + d(a1 + d(a2 + d a3)), and an exact-sample blend for
- * lanes where x lands on a sample point.
+ * Vectorized OffChipLut::EvaluateDouble over the packed SoA lanes of
+ * a LutView: per-lane index computation replicating IndexOf exactly,
+ * four packed-lane gathers (l_p, a1, a2, a3), the delta-form cubic
+ * l_p + d(a1 + d(a2 + d a3)), and an exact-sample blend for lanes
+ * where x lands on a sample point. The expansion point p is not
+ * gathered — it is recomputed as min_p + idx * spacing, the exact
+ * expression (same two roundings) the table builder stored, so d and
+ * the x == p comparison are bit-identical to the tuple path.
  *
  * `n` is the number of *valid* lanes (the tail of a strip carries
  * garbage): the LutTally accounting counts exactly those lanes, one
@@ -173,23 +176,17 @@ PolyHorner(const std::vector<double>& c, VecD x)
  * match what n scalar EvaluateDouble calls would have recorded.
  */
 inline VecD
-LutGatherEval(const OffChipLut& lut, VecD x, int n)
+LutGatherEval(const LutView& lut, VecD x, int n)
 {
   constexpr int kLanes = VecD::kLanes;
-  static_assert(sizeof(TaylorTuple) % sizeof(double) == 0);
-  constexpr std::int64_t kStride = sizeof(TaylorTuple) / sizeof(double);
-  constexpr std::size_t kOffP = offsetof(TaylorTuple, p) / sizeof(double);
-  constexpr std::size_t kOffLp = offsetof(TaylorTuple, l_p) / sizeof(double);
-  constexpr std::size_t kOffA1 = offsetof(TaylorTuple, a1) / sizeof(double);
-  constexpr std::size_t kOffA2 = offsetof(TaylorTuple, a2) / sizeof(double);
-  constexpr std::size_t kOffA3 = offsetof(TaylorTuple, a3) / sizeof(double);
 
   double xs[kLanes];
   x.Store(xs);
-  const double min_p = lut.Spec().min_p;
-  const double spacing = lut.Spec().Spacing();
-  const int num_entries = lut.NumEntries();
+  const double min_p = lut.min_p;
+  const double spacing = lut.spacing;
+  const int num_entries = lut.num_entries;
   std::int64_t off[kLanes];
+  double idxd[kLanes];
   for (int i = 0; i < kLanes; ++i) {
     // Exactly OffChipLut::IndexOf (same divide, floor and clamps).
     const double rel = (xs[i] - min_p) / spacing;
@@ -200,14 +197,15 @@ LutGatherEval(const OffChipLut& lut, VecD x, int n)
     if (idx >= num_entries) {
       idx = num_entries - 1;
     }
-    off[i] = static_cast<std::int64_t>(idx) * kStride;
+    off[i] = idx;
+    idxd[i] = static_cast<double>(idx);
   }
-  const double* base = reinterpret_cast<const double*>(lut.EntriesData());
-  const VecD p = VecD::Gather(base + kOffP, off);
-  const VecD lp = VecD::Gather(base + kOffLp, off);
-  const VecD a1 = VecD::Gather(base + kOffA1, off);
-  const VecD a2 = VecD::Gather(base + kOffA2, off);
-  const VecD a3 = VecD::Gather(base + kOffA3, off);
+  const VecD p = VecD::MulAdd(VecD::Load(idxd), VecD::Broadcast(spacing),
+                              VecD::Broadcast(min_p));
+  const VecD lp = VecD::Gather(lut.packed.l_p, off);
+  const VecD a1 = VecD::Gather(lut.packed.a1, off);
+  const VecD a2 = VecD::Gather(lut.packed.a2, off);
+  const VecD a3 = VecD::Gather(lut.packed.a3, off);
   const VecD d = x - p;
   // TaylorTuple::EvaluateAroundP, two roundings per MulAdd.
   const VecD cubic = VecD::MulAdd(
@@ -228,9 +226,9 @@ LutGatherEval(const OffChipLut& lut, VecD x, int n)
 
 /**
  * One factor evaluated across a strip: vector Horner for described
- * polynomials, tuple gathers for described LUTs, otherwise exact
- * per-lane calls of the bound closure (only the first n lanes; the
- * rest are filled with 1.0 and never stored).
+ * polynomials, packed-lane gathers for described LUT views, otherwise
+ * exact per-lane calls of the bound closure (only the first n lanes;
+ * the rest are filled with 1.0 and never stored).
  */
 inline VecD
 EvalFactorVec(const CompiledFactor<double>& f, VecD ctrl, int n)
@@ -238,8 +236,8 @@ EvalFactorVec(const CompiledFactor<double>& f, VecD ctrl, int n)
   if (f.vec.poly != nullptr) {
     return PolyHorner(*f.vec.poly, ctrl);
   }
-  if (f.vec.lut != nullptr) {
-    return LutGatherEval(*f.vec.lut, ctrl, n);
+  if (f.vec.lut_view.Valid()) {
+    return LutGatherEval(f.vec.lut_view, ctrl, n);
   }
   double xs[VecD::kLanes];
   double ys[VecD::kLanes];
@@ -265,7 +263,8 @@ EvalFactorVec(const CompiledFactor<float>& f, VecF ctrl, int n)
     return VecF::Narrow(PolyHorner(*f.vec.poly, lo),
                         PolyHorner(*f.vec.poly, hi));
   }
-  // No float LUT evaluator exists, so f.vec.lut is never set here.
+  // No float LUT evaluator exists, so f.vec.lut_view is never set
+  // here.
   float xs[VecF::kLanes];
   float ys[VecF::kLanes];
   ctrl.Store(xs);

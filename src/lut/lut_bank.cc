@@ -11,18 +11,17 @@ LutConfig::SpecFor(const std::string& name) const
   return it == per_function.end() ? default_spec : it->second;
 }
 
-LutBank::LutBank(const NetworkSpec& spec, const LutConfig& config)
-    : config_(config)
+LutBank::LutBank(
+    LutConfig config,
+    std::vector<std::pair<const NonlinearFunction*,
+                          std::shared_ptr<const OffChipLut>>>
+        tables)
+    : config_(std::move(config))
 {
   int base = 0;
-  for (const NonlinearFunction* fn : spec.Functions()) {
-    const LutSpec& lut_spec = config_.SpecFor(fn->Name());
-    // Re-wrap the raw pointer in a non-owning shared_ptr: the spec's
-    // shared_ptr keeps the function alive for the bank's lifetime.
-    NonlinearFnPtr handle(std::shared_ptr<const NonlinearFunction>(),
-                          fn);
+  for (auto& [fn, lut] : tables) {
     Table t;
-    t.lut = std::make_unique<OffChipLut>(handle, lut_spec);
+    t.lut = std::move(lut);
     t.base = base;
     // Keep DRAM fetch blocks of different tables disjoint.
     const int aligned = (t.lut->NumEntries() + OffChipLut::kBlockFetchSize -

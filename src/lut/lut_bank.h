@@ -3,20 +3,29 @@
 
 /**
  * @file
- * LutBank materializes one OffChipLut per distinct nonlinear function
- * of a network program and assigns each table a base offset in a single
+ * LutBank groups one OffChipLut per distinct nonlinear function of a
+ * network program and assigns each table a base offset in a single
  * global index space, so the (shared) L1/L2 cache models can tell the
  * same sample index of different functions apart.
+ *
+ * Banks are assembled exclusively by the LutStore (lut_store.h): the
+ * constructor is private so no engine regresses to building private
+ * per-engine tables — LutStore::Acquire returns a refcounted handle
+ * whose tables are interned and shared process-wide.
  */
 
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/network_spec.h"
 #include "lut/off_chip_lut.h"
 
 namespace cenn {
+
+class LutStore;
 
 /** Per-program LUT sampling configuration. */
 struct LutConfig {
@@ -34,9 +43,6 @@ struct LutConfig {
 class LutBank
 {
   public:
-    /** Builds tables for every function referenced by `spec`. */
-    LutBank(const NetworkSpec& spec, const LutConfig& config);
-
     /** Table for `fn`, or nullptr when the program never uses it. */
     const OffChipLut* Find(const NonlinearFunction* fn) const;
 
@@ -62,10 +68,24 @@ class LutBank
     const LutConfig& Config() const { return config_; }
 
   private:
+    /** Only the store assembles banks (over its interned tables). */
+    friend class LutStore;
+
     struct Table {
-      std::unique_ptr<OffChipLut> lut;
+      std::shared_ptr<const OffChipLut> lut;
       int base = 0;
     };
+
+    /**
+     * Assembles a bank over store-interned tables; `tables` is
+     * (function, shared table) in the spec's Functions() order, which
+     * fixes the base-offset assignment exactly as the pre-store
+     * per-engine build did.
+     */
+    LutBank(LutConfig config,
+            std::vector<std::pair<const NonlinearFunction*,
+                                  std::shared_ptr<const OffChipLut>>>
+                tables);
 
     const Table& GetTable(const NonlinearFunction& fn) const;
 

@@ -46,6 +46,20 @@ class LutEvaluatorFixed final : public FunctionEvaluator<Fixed32>
         };
     }
 
+    /** Adopts a refit bank; closures bound earlier keep the old one. */
+    bool
+    RebindLutBank(const std::shared_ptr<const LutBank>& bank) override
+    {
+        if (bank == nullptr) {
+          return false;
+        }
+        bank_ = bank;
+        return true;
+    }
+
+    /** The bank this evaluator currently reads. */
+    const std::shared_ptr<const LutBank>& Bank() const { return bank_; }
+
   private:
     std::shared_ptr<const LutBank> bank_;
 };
@@ -78,10 +92,26 @@ class LutEvaluatorDouble final : public FunctionEvaluator<double>
     FactorVecInfo
     Describe(const NonlinearFunction& fn) override
     {
+        const OffChipLut& lut = bank_->Get(fn);
         FactorVecInfo info;
-        info.lut = &bank_->Get(fn);
+        info.lut_view = lut.View();
+        info.lut = &lut;  // deprecated alias, removed next PR
         return info;
     }
+
+    /** Adopts a refit bank; closures bound earlier keep the old one. */
+    bool
+    RebindLutBank(const std::shared_ptr<const LutBank>& bank) override
+    {
+        if (bank == nullptr) {
+          return false;
+        }
+        bank_ = bank;
+        return true;
+    }
+
+    /** The bank this evaluator currently reads. */
+    const std::shared_ptr<const LutBank>& Bank() const { return bank_; }
 
   private:
     std::shared_ptr<const LutBank> bank_;

@@ -1,0 +1,103 @@
+#include "lut/lut_refit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/engine.h"
+#include "util/logging.h"
+
+namespace cenn {
+
+namespace {
+
+/** Symmetric coverage of a spec: how far |state| may go before the
+    clamped edge entries take over. */
+double
+CoveredRange(const LutSpec& spec)
+{
+  return std::min(spec.max_p, -spec.min_p);
+}
+
+/** True when `observed` crowds the spec's covered range. */
+bool
+NeedsWidening(const LutSpec& spec, double observed, double margin)
+{
+  const double covered = CoveredRange(spec);
+  if (covered <= 0.0) {
+    return false;  // one-sided range; widening heuristics don't apply
+  }
+  return observed > margin * covered;
+}
+
+/**
+ * Scales both endpoints by growth until `observed` fits with margin,
+ * stopping below the LutSpec size ceiling (Validate() would trap).
+ * Power-of-two growth on a power-of-two spacing keeps every old
+ * sample point on the new grid (deterministic supersets). Returns
+ * true when `spec` actually widened.
+ */
+bool
+Widen(LutSpec* spec, double observed, double margin, double growth)
+{
+  bool changed = false;
+  while (NeedsWidening(*spec, observed, margin)) {
+    LutSpec next = *spec;
+    next.min_p *= growth;
+    next.max_p *= growth;
+    if (next.NumPoints() > (1 << 22)) {
+      break;
+    }
+    *spec = next;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace
+
+LutRefitter::LutRefitter(LutStore* store, NetworkSpec spec,
+                         LutConfig config, LutRefitPolicy policy)
+    : store_(store),
+      spec_(std::move(spec)),
+      config_(std::move(config)),
+      policy_(policy)
+{
+  CENN_ASSERT(store_ != nullptr, "LutRefitter: null store");
+  CENN_ASSERT(policy_.margin > 0.0 && policy_.growth > 1.0,
+              "LutRefitter: margin must be > 0 and growth > 1");
+}
+
+bool
+LutRefitter::MaybeRefit(Engine& engine, double observed_max_abs)
+{
+  if (rebind_unsupported_ || refits_ >= policy_.max_refits ||
+      !std::isfinite(observed_max_abs) || observed_max_abs <= 0.0) {
+    return false;
+  }
+
+  LutConfig widened = config_;
+  bool any = Widen(&widened.default_spec, observed_max_abs, policy_.margin,
+                   policy_.growth);
+  for (auto& [name, spec] : widened.per_function) {
+    any |= Widen(&spec, observed_max_abs, policy_.margin, policy_.growth);
+  }
+  if (!any) {
+    return false;
+  }
+
+  LutBankHandle bank = store_->Acquire(spec_, widened);
+  if (!engine.RebindLutBank(bank)) {
+    // Engine without LUT state (double/float paths) or without rebind
+    // support (arch ties hierarchy indices to its bank): don't keep
+    // re-acquiring every slice.
+    rebind_unsupported_ = true;
+    return false;
+  }
+  config_ = std::move(widened);
+  bank_ = std::move(bank);
+  ++refits_;
+  return true;
+}
+
+}  // namespace cenn

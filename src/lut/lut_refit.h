@@ -1,0 +1,100 @@
+#ifndef CENN_LUT_LUT_REFIT_H_
+#define CENN_LUT_LUT_REFIT_H_
+
+/**
+ * @file
+ * LutRefitter — adaptive LUT range refit (docs/lut.md).
+ *
+ * A LUT clamps states outside its sampled interval to the edge
+ * entries, so a solve whose trajectory leaves the configured range
+ * degrades silently. The refitter closes the loop with the
+ * HealthGuard: at every slice boundary SolverSession hands it the
+ * guard's latest max |state| observation, and when that approaches
+ * the covered range the refitter acquires a *widened* table set from
+ * the LutStore — a new canonical key, the old tables untouched
+ * (immutability means no hot-path locks, and sessions still reading
+ * the old range share it until their last handle drops) — and
+ * rebinds the engine through Engine::RebindLutBank.
+ *
+ * Widening doubles both endpoints (growth 2 by default, repeated
+ * until the observation fits with margin), which keeps the sample
+ * spacing and grid alignment intact: every old sample point is a
+ * sample point of the refit table, so exact-hit behavior inside the
+ * old range is preserved and the refit step is deterministic — the
+ * same trajectory always produces the same refit at the same slice.
+ */
+
+#include <memory>
+
+#include "core/network_spec.h"
+#include "lut/lut_store.h"
+
+namespace cenn {
+
+class Engine;
+
+/** When and how aggressively a LutRefitter widens. */
+struct LutRefitPolicy {
+  /**
+   * Refit when observed max |state| exceeds margin * covered range
+   * (covered = min(max_p, -min_p) of a spec). 0.9 leaves headroom so
+   * the rebind lands before states actually leave the table.
+   */
+  double margin = 0.9;
+
+  /** Range growth factor per widening round (>= 2 keeps the sample
+      grid aligned for power-of-two spacings). */
+  double growth = 2.0;
+
+  /** Refits after which the refitter stops widening (runaway
+      trajectories are the guard's job, not the refitter's). */
+  int max_refits = 8;
+};
+
+/** Session-side driver of adaptive range refit (see file comment). */
+class LutRefitter
+{
+  public:
+    /**
+     * @param store   the store widened banks are acquired from
+     *                (usually &LutStore::Global(); not owned, must
+     *                outlive the refitter).
+     * @param spec    the program; copied (its factor handles keep the
+     *                nonlinear functions alive).
+     * @param config  the starting LUT configuration.
+     */
+    LutRefitter(LutStore* store, NetworkSpec spec, LutConfig config,
+                LutRefitPolicy policy = {});
+
+    /**
+     * Widens and rebinds when `observed_max_abs` crowds the covered
+     * range of any configured spec. Returns true when the engine now
+     * reads a wider bank (the caller counts the refit and forces a
+     * metrics sample); false when no refit was needed, the policy's
+     * budget is exhausted, or the engine cannot rebind (arch). Call
+     * only at a slice boundary — rebind recompiles kernel plans.
+     */
+    bool MaybeRefit(Engine& engine, double observed_max_abs);
+
+    /** Refits performed so far. */
+    int Refits() const { return refits_; }
+
+    /** The current (possibly widened) configuration. */
+    const LutConfig& CurrentConfig() const { return config_; }
+
+    /** The most recently acquired bank (null before any refit). */
+    const LutBankHandle& CurrentBank() const { return bank_; }
+
+  private:
+    LutStore* store_;
+    NetworkSpec spec_;
+    LutConfig config_;
+    LutRefitPolicy policy_;
+    LutBankHandle bank_;
+    int refits_ = 0;
+    bool rebind_unsupported_ = false;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_LUT_LUT_REFIT_H_

@@ -1,0 +1,191 @@
+#ifndef CENN_LUT_LUT_STORE_H_
+#define CENN_LUT_LUT_STORE_H_
+
+/**
+ * @file
+ * LutStore — the process-wide, content-addressed home of immutable
+ * LUT tables (docs/lut.md).
+ *
+ * Building an off-chip LUT is O(NumPoints) Taylor expansions, and a
+ * multi-tenant server (cenn_serve) runs many sessions of the same
+ * model: before the store, every engine re-sampled identical tables.
+ * The store interns each table under a canonical key — function name,
+ * a content fingerprint of the function, the LutSpec sampling
+ * geometry and the quantization format — so N same-model jobs build
+ * each distinct table exactly once and share it read-only.
+ *
+ * Acquire(spec, config) is the only way to obtain a LutBank: it walks
+ * the spec's distinct nonlinear functions, reuses every cached table
+ * that is still resident (weak_ptr interning) and builds the rest,
+ * then assembles a bank over shared-ownership tables. The returned
+ * LutBankHandle refcounts the bank; a table stays resident while any
+ * bank references it and is evicted — erased from the cache, its
+ * bytes released — when the last handle drops. Tables hold *owning*
+ * function handles (NetworkSpec::FunctionHandles), so a shared table
+ * can outlive the spec that first built it.
+ *
+ * Immutability is the concurrency story: tables never change after
+ * build, so readers touch no locks on the hot path. The store's
+ * mutex guards only the intern map during Acquire and eviction.
+ *
+ * Observability: BindStats publishes `lut.store.builds`,
+ * `.shared_acquires`, `.evictions`, `.resident_tables` and
+ * `.resident_bytes`; event listeners fire on every build/evict so a
+ * MetricsEmitter can force a sample at the moment residency changes.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/network_spec.h"
+#include "lut/lut_bank.h"
+
+namespace cenn {
+
+class StatRegistry;
+
+/**
+ * Canonical identity of one interned table. Two (function, config)
+ * pairs share a table iff their keys compare equal: same function
+ * name *and* content fingerprint (names are not trusted — two
+ * distinct functions registered under one name never collide), same
+ * sampling geometry (range endpoints compared by bit pattern, so
+ * -0.0 vs 0.0 or NaN endpoints cannot alias), same quantization
+ * format.
+ */
+struct LutKey {
+  std::string function;           ///< NonlinearFunction::Name()
+  std::uint64_t fingerprint = 0;  ///< content probe hash (MakeLutKey)
+  std::uint64_t min_p_bits = 0;   ///< bit pattern of LutSpec::min_p
+  std::uint64_t max_p_bits = 0;   ///< bit pattern of LutSpec::max_p
+  int frac_index_bits = 0;        ///< LutSpec::frac_index_bits
+  /** Entry quantization format; 0 = f64 tuples + Q16.16 shadow (the
+      only format today — reserved for precision-laddered entries). */
+  int quant_format = 0;
+
+  bool operator==(const LutKey& other) const;
+  bool operator<(const LutKey& other) const;
+
+  /** Canonical text form ("identity/[-2,2]/f8/q0#<hash>"), for logs. */
+  std::string ToString() const;
+};
+
+/** The canonical key for sampling `fn` with `spec` (see LutKey). */
+LutKey MakeLutKey(const NonlinearFunction& fn, const LutSpec& spec);
+
+/** Refcounted, shared, immutable bank (see LutStore::Acquire). */
+using LutBankHandle = std::shared_ptr<const LutBank>;
+
+/** The process-wide LUT intern store (see file comment). */
+class LutStore
+{
+  public:
+    /** Table-residency change callback ("lut_build" / "lut_evict"). */
+    using EventListener = std::function<void(const char* reason)>;
+
+    LutStore();
+    ~LutStore();
+
+    LutStore(const LutStore&) = delete;
+    LutStore& operator=(const LutStore&) = delete;
+
+    /**
+     * The process-wide instance every engine acquires through.
+     * Tests construct private instances for isolated counting.
+     */
+    static LutStore& Global();
+
+    /**
+     * A bank over `spec`'s distinct nonlinear functions, each table
+     * interned under its canonical key: cached tables are reused
+     * (shared_acquires), missing ones built (builds). Thread-safe;
+     * builds serialize under the store mutex. The bank keeps every
+     * table alive; the last bank handle referencing a table evicts
+     * it. A spec without nonlinear functions yields an empty bank
+     * and touches no counters.
+     */
+    LutBankHandle Acquire(const NetworkSpec& spec, const LutConfig& config);
+
+    /** @name Counter snapshots (relaxed loads; exact once quiescent) */
+    ///@{
+
+    /** Tables sampled because no resident table matched. */
+    std::uint64_t Builds() const;
+
+    /** Acquires satisfied by an already-resident table. */
+    std::uint64_t SharedAcquires() const;
+
+    /** Tables destroyed when their last bank handle dropped. */
+    std::uint64_t Evictions() const;
+
+    /** Tables currently resident. */
+    std::uint64_t ResidentTables() const;
+
+    /** Bytes held by resident tables (entries + packed lanes). */
+    std::uint64_t ResidentBytes() const;
+
+    ///@}
+
+    /**
+     * Binds the counters under `prefix` + "lut.store." (prefix empty
+     * or ending in '.'). Multiple registries may bind the same store;
+     * the store must outlive their dumps.
+     */
+    void BindStats(StatRegistry* registry, const std::string& prefix = "");
+
+    /**
+     * Registers `listener`, called after every table build and
+     * eviction (outside the intern mutex, from whichever thread
+     * triggered the change) — cenn_serve forces a metrics sample so
+     * residency changes land in the stream the moment they happen.
+     * Returns a token for RemoveEventListener.
+     */
+    std::uint64_t AddEventListener(EventListener listener);
+
+    /**
+     * Unregisters a listener. Blocks until in-flight invocations
+     * finish, so the callback's captures may be destroyed after this
+     * returns.
+     */
+    void RemoveEventListener(std::uint64_t token);
+
+  private:
+    /**
+     * Shared with table deleters via weak_ptr: a table outliving the
+     * store (process teardown order) skips the accounting instead of
+     * touching a dead store.
+     */
+    struct State {
+      std::mutex mu;
+      std::map<LutKey, std::weak_ptr<const OffChipLut>> cache;
+
+      std::atomic<std::uint64_t> builds{0};
+      std::atomic<std::uint64_t> shared_acquires{0};
+      std::atomic<std::uint64_t> evictions{0};
+      std::atomic<std::uint64_t> resident_tables{0};
+      std::atomic<std::uint64_t> resident_bytes{0};
+
+      /** Listener table; invocation holds listener_mu (see Remove). */
+      std::mutex listener_mu;
+      std::map<std::uint64_t, EventListener> listeners;
+      std::uint64_t next_listener_token = 1;
+
+      void FireEvent(const char* reason);
+    };
+
+    /** Builds + interns one table; caller holds state_->mu. */
+    std::shared_ptr<const OffChipLut> BuildTable(NonlinearFnPtr fn,
+                                                 const LutSpec& spec,
+                                                 const LutKey& key);
+
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_LUT_LUT_STORE_H_

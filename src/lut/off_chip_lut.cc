@@ -42,11 +42,19 @@ OffChipLut::OffChipLut(NonlinearFnPtr fn, LutSpec spec)
   const int n = spec_.NumPoints();
   entries_.reserve(static_cast<std::size_t>(n));
   fixed_entries_.reserve(static_cast<std::size_t>(n));
+  packed_l_p_.reserve(static_cast<std::size_t>(n));
+  packed_a1_.reserve(static_cast<std::size_t>(n));
+  packed_a2_.reserve(static_cast<std::size_t>(n));
+  packed_a3_.reserve(static_cast<std::size_t>(n));
   const double spacing = spec_.Spacing();
   for (int i = 0; i < n; ++i) {
     const double p = spec_.min_p + static_cast<double>(i) * spacing;
     const TaylorTuple t = fn_->TaylorAt(p);
     entries_.push_back(t);
+    packed_l_p_.push_back(t.l_p);
+    packed_a1_.push_back(t.a1);
+    packed_a2_.push_back(t.a2);
+    packed_a3_.push_back(t.a3);
     fixed_entries_.push_back({Fixed32::FromDouble(t.l_p),
                               Fixed32::FromDouble(t.p),
                               Fixed32::FromDouble(t.a1),
@@ -57,6 +65,15 @@ OffChipLut::OffChipLut(NonlinearFnPtr fn, LutSpec spec)
                               Fixed32::FromDouble(t.c2),
                               Fixed32::FromDouble(t.c3)});
   }
+  packed_ = {packed_l_p_.data(), packed_a1_.data(), packed_a2_.data(),
+             packed_a3_.data()};
+
+  // The raw-bit index path needs min_p on the sample grid (min_p a
+  // multiple of the spacing); every in-tree spec satisfies this.
+  const double units = spec_.min_p / spacing;
+  grid_aligned_ = std::floor(units) == units &&
+                  units >= -2147483648.0 && units <= 2147483647.0;
+  min_p_units_ = grid_aligned_ ? static_cast<std::int64_t>(units) : 0;
 }
 
 int
@@ -71,6 +88,48 @@ OffChipLut::IndexOf(double x) const
     idx = NumEntries() - 1;
   }
   return idx;
+}
+
+int
+OffChipLut::IndexOf(Fixed32 x) const
+{
+  if (!grid_aligned_) {
+    return IndexOf(x.ToDouble());
+  }
+  // floor(x / 2^-k) is an arithmetic right shift of the Q16.16 raw
+  // bits by (16 - k): the hardware's upper-bit extraction, exact for
+  // negative states too (the shift floors toward -inf, like the
+  // double path's std::floor).
+  const int shift = Fixed32::kFracBits - spec_.frac_index_bits;
+  const std::int64_t units = static_cast<std::int64_t>(x.raw() >> shift);
+  std::int64_t idx = units - min_p_units_;
+  if (idx < 0) {
+    idx = 0;
+  }
+  if (idx >= NumEntries()) {
+    idx = NumEntries() - 1;
+  }
+  return static_cast<int>(idx);
+}
+
+LutView
+OffChipLut::View() const
+{
+  LutView v;
+  v.entries = entries_.data();
+  v.packed = packed_;
+  v.min_p = spec_.min_p;
+  v.spacing = spec_.Spacing();
+  v.num_entries = NumEntries();
+  return v;
+}
+
+std::uint64_t
+OffChipLut::FootprintBytes() const
+{
+  const auto n = static_cast<std::uint64_t>(entries_.size());
+  return n * (sizeof(TaylorTuple) + sizeof(FixedTuple) +
+              4 * sizeof(double));
 }
 
 const TaylorTuple&

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/evaluator.h"
 #include "core/nonlinear.h"
 #include "fixed/fixed32.h"
 
@@ -71,17 +72,41 @@ class OffChipLut
     /** Index of the sample at or below x, clamped into range. */
     int IndexOf(double x) const;
 
-    /** Index for a fixed-point state (hardware: upper-bit extraction). */
-    int IndexOf(Fixed32 x) const { return IndexOf(x.ToDouble()); }
+    /**
+     * Index for a fixed-point state, extracted from the raw Q16.16
+     * bits exactly as the hardware does: an arithmetic right shift by
+     * (16 - frac_index_bits) yields floor(x / spacing), minus the
+     * grid origin min_p / spacing, clamped into range. Equal to
+     * IndexOf(x.ToDouble()) for every raw value (both computations
+     * are exact); when min_p does not sit on the sample grid the
+     * shift origin is undefined and the double path is used directly.
+     */
+    int IndexOf(Fixed32 x) const;
 
     /** Entry by index (bounds-checked). */
     const TaylorTuple& Entry(int index) const;
 
     /**
-     * The contiguous entry array, for the simd kernels' vectorized
-     * tuple gathers (index i is the entry at min_p + i * spacing).
+     * The contiguous entry array, for exact scalar replicas and
+     * diagnostics (index i is the entry at min_p + i * spacing).
      */
     const TaylorTuple* EntriesData() const { return entries_.data(); }
+
+    /**
+     * The kernel-facing view of this table: AoS entries, the packed
+     * SoA coefficient lanes and the sampling geometry. Pointers stay
+     * valid for the table's lifetime (entries are immutable).
+     */
+    LutView View() const;
+
+    /** Packed SoA coefficient lanes (subset of View()). */
+    const PackedTaylorView& Packed() const { return packed_; }
+
+    /**
+     * Resident bytes of this table: AoS entries, quantized entries
+     * and packed lanes (the LutStore's resident_bytes accounting).
+     */
+    std::uint64_t FootprintBytes() const;
 
     /** Entry whose sample point is at or below x. */
     const TaylorTuple& LookupTuple(double x) const
@@ -151,6 +176,20 @@ class OffChipLut
     LutSpec spec_;
     std::vector<TaylorTuple> entries_;
     std::vector<FixedTuple> fixed_entries_;
+
+    /** @name Packed SoA lanes (one double per entry, 4 lanes). */
+    ///@{
+    std::vector<double> packed_l_p_;
+    std::vector<double> packed_a1_;
+    std::vector<double> packed_a2_;
+    std::vector<double> packed_a3_;
+    PackedTaylorView packed_;
+    ///@}
+
+    /** min_p / spacing when min_p sits on the sample grid. */
+    std::int64_t min_p_units_ = 0;
+    /** False => IndexOf(Fixed32) falls back to the double path. */
+    bool grid_aligned_ = false;
 };
 
 }  // namespace cenn

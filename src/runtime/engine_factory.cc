@@ -7,18 +7,23 @@
 #include "kernels/soa_engine.h"
 #include "lut/lut_bank.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_refit.h"
+#include "lut/lut_store.h"
 #include "util/logging.h"
 
 namespace cenn {
 
 namespace {
 
-/** The fixed-precision LUT evaluator over the program's bank. */
+/**
+ * The fixed-precision LUT evaluator over the program's bank. Tables
+ * come from the process-wide LutStore, so concurrent sessions running
+ * the same model share one immutable build per distinct function.
+ */
 std::shared_ptr<FunctionEvaluator<Fixed32>>
 MakeLutFixedEvaluator(const SolverProgram& program)
 {
-  auto bank =
-      std::make_shared<const LutBank>(program.spec, program.lut_config);
+  auto bank = LutStore::Global().Acquire(program.spec, program.lut_config);
   return std::make_shared<LutEvaluatorFixed>(bank);
 }
 
@@ -86,6 +91,20 @@ BuildEngine(const SolverProgram& program, const EngineRequest& request)
     return MakeSoaEngine(program.spec, std::move(options), req.kernel_path);
   }
   return MakeFunctionalEngine(program.spec, std::move(options));
+}
+
+std::shared_ptr<LutRefitter>
+MakeLutRefitter(const SolverProgram& program, const EngineRequest& request)
+{
+  const EngineRequest req = NormalizeEngineRequest(request);
+  // Only fixed-precision functional/soa engines evaluate through a
+  // rebindable LUT bank; the arch simulator's hierarchy indices are
+  // tied to its bank and double/float run ideal math.
+  if (req.precision != "fixed" || req.engine == "arch") {
+    return nullptr;
+  }
+  return std::make_shared<LutRefitter>(&LutStore::Global(), program.spec,
+                                       program.lut_config);
 }
 
 }  // namespace cenn

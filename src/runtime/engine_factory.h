@@ -60,6 +60,18 @@ EngineRequest NormalizeEngineRequest(EngineRequest request);
 std::unique_ptr<Engine> BuildEngine(const SolverProgram& program,
                                     const EngineRequest& request);
 
+class LutRefitter;  // src/lut/lut_refit.h
+
+/**
+ * Builds the adaptive LUT range refitter that pairs with BuildEngine's
+ * result, or nullptr when the request has no rebindable LUT path
+ * (double/float precision, or the arch engine whose cache hierarchy is
+ * tied to its bank). Hand the result to SessionConfig::lut_refitter so
+ * the session widens the sampled range when states escape it.
+ */
+std::shared_ptr<LutRefitter> MakeLutRefitter(const SolverProgram& program,
+                                             const EngineRequest& request);
+
 }  // namespace cenn
 
 #endif  // CENN_RUNTIME_ENGINE_FACTORY_H_

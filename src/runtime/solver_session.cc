@@ -5,6 +5,7 @@
 
 #include "arch/simulator.h"
 #include "health/health_guard.h"
+#include "lut/lut_refit.h"
 #include "obs/stat_registry.h"
 #include "runtime/sharded_stepper.h"
 #include "util/logging.h"
@@ -207,6 +208,14 @@ SolverSession::StepN(std::uint64_t n)
         state_.store(SessionState::kFaulted);
         MetricsSample("fault");
         return executed;
+      }
+      // Healthy scan: give the refitter a chance to widen the LUT
+      // range before the state escapes the sampled interval.
+      if (config_.lut_refitter != nullptr &&
+          config_.lut_refitter->MaybeRefit(*engine_,
+                                           guard->Report().max_abs)) {
+        guard->NoteLutRefit();
+        MetricsSample("lut_refit");
       }
     }
     MaybeAutoCheckpoint();

@@ -53,6 +53,7 @@
 
 namespace cenn {
 
+class LutRefitter;
 class StatRegistry;
 class TraceSession;
 struct ArchConfig;
@@ -113,6 +114,16 @@ struct SessionConfig {
    * then dead and its owner rebuilds from the last checkpoint.
    */
   std::function<void(Engine&)> post_slice_hook;
+
+  /**
+   * Optional adaptive LUT range refitter (lut/lut_refit.h, built via
+   * MakeLutRefitter): after every healthy slice-boundary scan, the
+   * session feeds the guard's observed max |state| to the refitter,
+   * which acquires a widened-range table set from the LutStore and
+   * rebinds the engine when states approach the sampled interval's
+   * edge. Null = fixed tables for the whole run.
+   */
+  std::shared_ptr<LutRefitter> lut_refitter;
 };
 
 /** One managed solver run (see file comment). */

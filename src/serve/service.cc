@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "kernels/kernel_path.h"
+#include "lut/lut_store.h"
 #include "models/benchmark_model.h"
 #include "runtime/engine_factory.h"
 #include "runtime/solver_session.h"
@@ -134,6 +135,10 @@ SolverService::SolverService(ServiceOptions options)
     mo.interval_ms = options_.metrics_interval_ms;
     metrics_ = std::make_unique<MetricsEmitter>(&registry_, mo);
     metrics_->Start();
+    // Force a sample whenever LUT residency changes, so every table
+    // build/evict lands in the stream at the moment it happens.
+    lut_listener_token_ = LutStore::Global().AddEventListener(
+        [this](const char* reason) { metrics_->SampleNow(reason); });
   }
 }
 
@@ -203,6 +208,10 @@ SolverService::BindServiceStats()
     return draining_.load() ? 1.0 : 0.0;
   });
   pool_->BindStats(registry_.WithPrefix("runtime.pool"));
+  // The shared table store: same-model jobs across tenants intern
+  // their LUT tables here, so builds stays at the distinct-function
+  // count no matter how many sessions run.
+  LutStore::Global().BindStats(&registry_);
 }
 
 SolverService::TenantCounters*
@@ -979,6 +988,13 @@ SolverService::Drain()
 
   pool_->WaitIdle();
   pool_->Shutdown(ThreadPool::ShutdownMode::kDrain);
+  // Unhook the LUT residency listener before stopping the metrics
+  // stream: the pool is idle, so no job thread can fire it again, and
+  // removal blocks until any in-flight callback finishes.
+  if (lut_listener_token_ != 0) {
+    LutStore::Global().RemoveEventListener(lut_listener_token_);
+    lut_listener_token_ = 0;
+  }
   if (metrics_ != nullptr) {
     metrics_->Stop();
   }

@@ -221,6 +221,8 @@ class SolverService
     JobRegistry jobs_;
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<MetricsEmitter> metrics_;
+    /** LutStore listener forcing metrics samples; 0 = none. */
+    std::uint64_t lut_listener_token_ = 0;
 
     std::atomic<bool> draining_{false};
     std::mutex drain_mu_;  // serializes Drain bodies

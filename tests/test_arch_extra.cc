@@ -10,6 +10,7 @@
 
 #include "arch/simulator.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_store.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
 #include "models/heat.h"
@@ -50,7 +51,7 @@ TEST(ArchExtraTest, PartialSubBlocksHandleOddGrids)
   sim.Run(10);
 
   auto bank =
-      std::make_shared<const LutBank>(program.spec, program.lut_config);
+      LutStore::Global().Acquire(program.spec, program.lut_config);
   MultilayerCenn<Fixed32> engine(
       program.spec, std::make_shared<LutEvaluatorFixed>(bank));
   engine.Run(10);

@@ -10,6 +10,7 @@
 #include "arch/dataflow.h"
 #include "arch/simulator.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_store.h"
 #include "models/benchmark_model.h"
 
 namespace cenn {
@@ -33,7 +34,7 @@ TEST(ArchSimulatorTest, FunctionalOutputMatchesFixedEngineBitExact)
 
     ArchSimulator sim(program, ArchConfig{});
 
-    auto bank = std::make_shared<const LutBank>(program.spec,
+    auto bank = LutStore::Global().Acquire(program.spec,
                                                 program.lut_config);
     MultilayerCenn<Fixed32> engine(
         program.spec, std::make_shared<LutEvaluatorFixed>(bank));

@@ -26,6 +26,7 @@
 #include "kernels/soa_engine.h"
 #include "lut/lut_bank.h"
 #include "lut/lut_evaluator.h"
+#include "lut/lut_store.h"
 #include "lut/lut_traffic.h"
 #include "models/benchmark_model.h"
 #include "program/checkpoint.h"
@@ -49,7 +50,7 @@ LutFixedOptions(const SolverProgram& program)
   SolverOptions options;
   options.precision = Precision::kFixed32;
   auto bank =
-      std::make_shared<const LutBank>(program.spec, program.lut_config);
+      LutStore::Global().Acquire(program.spec, program.lut_config);
   options.fixed_evaluator = std::make_shared<LutEvaluatorFixed>(bank);
   return options;
 }
@@ -363,7 +364,7 @@ TEST(SimdFuzzTest, DifferentialSweepScalarBlockedSimd)
     if (precision == "double") {
       options.precision = Precision::kDouble;
       if (use_lut) {
-        auto bank = std::make_shared<const LutBank>(program.spec,
+        auto bank = LutStore::Global().Acquire(program.spec,
                                                     program.lut_config);
         options.double_evaluator =
             std::make_shared<LutEvaluatorDouble>(bank);
@@ -426,7 +427,7 @@ TEST(SoaEngineTest, LutTrafficCountsIdenticalAcrossKernelPaths)
   const SolverProgram program = ModelProgram("reaction_diffusion", 16, 16);
   constexpr std::uint64_t kSteps = 10;
   auto bank =
-      std::make_shared<const LutBank>(program.spec, program.lut_config);
+      LutStore::Global().Acquire(program.spec, program.lut_config);
 
   LutTally reference;
   bool have_reference = false;

@@ -9,11 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "lut/lut_bank.h"
 #include "lut/lut_cache.h"
 #include "lut/lut_evaluator.h"
 #include "lut/lut_hierarchy.h"
+#include "lut/lut_store.h"
 #include "lut/off_chip_lut.h"
 
 namespace cenn {
@@ -141,6 +144,62 @@ TEST(OffChipLutTest, FixedEvaluationExactForCubicPolynomials)
     const Fixed32 fx = Fixed32::FromDouble(x);
     const double got = lut.EvaluateFixed(fx).ToDouble();
     EXPECT_NEAR(got, x * x * x, 1e-4) << x;
+  }
+}
+
+TEST(OffChipLutTest, FixedIndexMatchesDoubleIndexAcrossFullRange)
+{
+  // The Fixed32 overload extracts the index from the raw Q16.16 bit
+  // pattern (hardware upper-bit extraction); it must agree with the
+  // double divide/floor path everywhere, including negative states
+  // and out-of-range clamps.
+  const auto fn = MakeFunction("id", [](double x) { return x; });
+  OffChipLut lut(fn, UnitSpec(-4.0, 4.0, 4));
+  for (std::int64_t raw = Fixed32::FromDouble(-6.0).raw();
+       raw <= Fixed32::FromDouble(6.0).raw(); raw += 97) {
+    const Fixed32 fx = Fixed32::FromRaw(static_cast<std::int32_t>(raw));
+    EXPECT_EQ(lut.IndexOf(fx), lut.IndexOf(fx.ToDouble())) << raw;
+  }
+  // Exact sample points and the entry boundaries themselves.
+  for (int i = 0; i < lut.NumEntries(); ++i) {
+    const double p = lut.Spec().min_p + i * lut.Spec().Spacing();
+    EXPECT_EQ(lut.IndexOf(Fixed32::FromDouble(p)), i) << p;
+  }
+}
+
+TEST(OffChipLutTest, FixedIndexFallsBackWhenMinPOffGrid)
+{
+  // min_p = -4.1 is not a multiple of the sample spacing, so the raw
+  // shift trick does not apply; the overload must fall back to the
+  // double path and still agree with it.
+  const auto fn = MakeFunction("id", [](double x) { return x; });
+  OffChipLut lut(fn, UnitSpec(-4.1, 4.0, 2));
+  for (double x = -5.0; x < 5.0; x += 0.0173) {
+    const Fixed32 fx = Fixed32::FromDouble(x);
+    EXPECT_EQ(lut.IndexOf(fx), lut.IndexOf(fx.ToDouble())) << x;
+  }
+}
+
+TEST(OffChipLutTest, PackedViewMirrorsEntries)
+{
+  const auto fn = MakeFunction("tanh", [](double x) { return std::tanh(x); },
+                               1e-3);
+  OffChipLut lut(fn, UnitSpec(-4.0, 4.0, 3));
+  const LutView view = lut.View();
+  ASSERT_TRUE(view.Valid());
+  ASSERT_EQ(view.num_entries, lut.NumEntries());
+  EXPECT_EQ(view.entries, lut.EntriesData());
+  EXPECT_DOUBLE_EQ(view.min_p, lut.Spec().min_p);
+  EXPECT_DOUBLE_EQ(view.spacing, lut.Spec().Spacing());
+  for (int i = 0; i < view.num_entries; ++i) {
+    const TaylorTuple& t = lut.EntriesData()[i];
+    EXPECT_EQ(view.packed.l_p[i], t.l_p) << i;
+    EXPECT_EQ(view.packed.a1[i], t.a1) << i;
+    EXPECT_EQ(view.packed.a2[i], t.a2) << i;
+    EXPECT_EQ(view.packed.a3[i], t.a3) << i;
+    // p is recomputed, not stored: the builder expression must
+    // reproduce the stored expansion point bit-for-bit.
+    EXPECT_EQ(view.min_p + static_cast<double>(i) * view.spacing, t.p) << i;
   }
 }
 
@@ -298,10 +357,11 @@ TEST(LutBankTest, GlobalIndicesDisjointAcrossFunctions)
 
   LutConfig config;
   config.default_spec = UnitSpec(-4.0, 4.0, 0);
-  LutBank bank(spec, config);
-  EXPECT_EQ(bank.NumTables(), 2u);
+  LutStore store;
+  auto bank = store.Acquire(spec, config);
+  EXPECT_EQ(bank->NumTables(), 2u);
   // Same state, different functions -> different global index.
-  EXPECT_NE(bank.GlobalIndex(*f1, 1.0), bank.GlobalIndex(*f2, 1.0));
+  EXPECT_NE(bank->GlobalIndex(*f1, 1.0), bank->GlobalIndex(*f2, 1.0));
 }
 
 TEST(LutBankTest, UnknownFunctionDies)
@@ -310,9 +370,10 @@ TEST(LutBankTest, UnknownFunctionDies)
   spec.rows = 1;
   spec.cols = 1;
   spec.layers.emplace_back();
-  LutBank bank(spec, LutConfig{});
+  LutStore store;
+  auto bank = store.Acquire(spec, LutConfig{});
   const auto stranger = MakeFunction("s", [](double x) { return x; });
-  EXPECT_DEATH(bank.Get(*stranger), "no table");
+  EXPECT_DEATH(bank->Get(*stranger), "no table");
 }
 
 TEST(LutEvaluatorTest, FixedAndDoubleVariantsApproximateFunction)
@@ -328,7 +389,8 @@ TEST(LutEvaluatorTest, FixedAndDoubleVariantsApproximateFunction)
 
   LutConfig config;
   config.default_spec = UnitSpec(-4.0, 4.0, 4);
-  auto bank = std::make_shared<const LutBank>(spec, config);
+  LutStore store;
+  auto bank = store.Acquire(spec, config);
 
   LutEvaluatorDouble d(bank);
   LutEvaluatorFixed f(bank);
@@ -337,6 +399,151 @@ TEST(LutEvaluatorTest, FixedAndDoubleVariantsApproximateFunction)
     EXPECT_NEAR(f.Evaluate(*fn, Fixed32::FromDouble(x)).ToDouble(),
                 std::exp(x), 1e-3);
   }
+}
+
+// ---- LutStore --------------------------------------------------------------
+
+/** A 1x1 spec whose single layer applies `fn` in an offset term. */
+NetworkSpec
+OffsetSpec(const NonlinearFnPtr& fn)
+{
+  NetworkSpec spec;
+  spec.rows = 1;
+  spec.cols = 1;
+  LayerSpec layer;
+  layer.offset_terms.push_back({1.0, {{0, fn, false}}});
+  spec.layers.push_back(layer);
+  return spec;
+}
+
+TEST(LutStoreTest, AcquiresShareTablesAndCountBuildsOnce)
+{
+  const auto f1 = MakeFunction("f1", [](double x) { return std::sin(x); });
+  const auto f2 = MakeFunction("f2", [](double x) { return std::cos(x); });
+  NetworkSpec spec = OffsetSpec(f1);
+  spec.layers[0].offset_terms.push_back({1.0, {{0, f2, false}}});
+
+  LutConfig config;
+  config.default_spec = UnitSpec(-4.0, 4.0, 2);
+
+  LutStore store;
+  auto bank_a = store.Acquire(spec, config);
+  auto bank_b = store.Acquire(spec, config);
+  EXPECT_EQ(store.Builds(), 2u);           // one per distinct function
+  EXPECT_EQ(store.SharedAcquires(), 2u);   // second acquire reused both
+  EXPECT_EQ(store.ResidentTables(), 2u);
+  EXPECT_GT(store.ResidentBytes(), 0u);
+  // Both banks point at the same immutable tables.
+  EXPECT_EQ(&bank_a->Get(*f1), &bank_b->Get(*f1));
+  EXPECT_EQ(&bank_a->Get(*f2), &bank_b->Get(*f2));
+}
+
+TEST(LutStoreTest, LastHandleDropEvictsAndReacquireRebuilds)
+{
+  const auto fn = MakeFunction("e", [](double x) { return std::exp(x); },
+                               1e-3);
+  const NetworkSpec spec = OffsetSpec(fn);
+  LutConfig config;
+  config.default_spec = UnitSpec(-2.0, 2.0, 3);
+
+  LutStore store;
+  {
+    auto bank = store.Acquire(spec, config);
+    auto again = store.Acquire(spec, config);
+    EXPECT_EQ(store.Builds(), 1u);
+    EXPECT_EQ(store.Evictions(), 0u);
+  }
+  // Both handles dropped: the table is gone and its bytes released.
+  EXPECT_EQ(store.Evictions(), 1u);
+  EXPECT_EQ(store.ResidentTables(), 0u);
+  EXPECT_EQ(store.ResidentBytes(), 0u);
+  // A fresh acquire rebuilds rather than resurrecting dead cache rows.
+  auto bank = store.Acquire(spec, config);
+  EXPECT_EQ(store.Builds(), 2u);
+  EXPECT_EQ(store.ResidentTables(), 1u);
+}
+
+TEST(LutStoreTest, DifferentSpecsOrBodiesGetDistinctTables)
+{
+  const auto fn = MakeFunction("f", [](double x) { return std::sin(x); });
+  const auto impostor =
+      MakeFunction("f", [](double x) { return std::cos(x); });
+  const NetworkSpec spec_a = OffsetSpec(fn);
+  const NetworkSpec spec_b = OffsetSpec(impostor);
+
+  LutConfig narrow;
+  narrow.default_spec = UnitSpec(-2.0, 2.0, 2);
+  LutConfig wide;
+  wide.default_spec = UnitSpec(-4.0, 4.0, 2);
+
+  LutStore store;
+  auto a = store.Acquire(spec_a, narrow);
+  // Same function, different sampling geometry: a second build.
+  auto b = store.Acquire(spec_a, wide);
+  EXPECT_EQ(store.Builds(), 2u);
+  // Same name and geometry but different body: the content
+  // fingerprint keeps them apart.
+  auto c = store.Acquire(spec_b, narrow);
+  EXPECT_EQ(store.Builds(), 3u);
+  EXPECT_EQ(store.SharedAcquires(), 0u);
+}
+
+TEST(LutStoreTest, ConcurrentAcquiresBuildEachTableOnce)
+{
+  const auto fn = MakeFunction("tanh", [](double x) { return std::tanh(x); },
+                               1e-3);
+  const NetworkSpec spec = OffsetSpec(fn);
+  LutConfig config;
+  config.default_spec = UnitSpec(-4.0, 4.0, 4);
+
+  LutStore store;
+  constexpr int kThreads = 8;
+  std::vector<LutBankHandle> banks(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &spec, &config, &banks, t] {
+      banks[static_cast<std::size_t>(t)] = store.Acquire(spec, config);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(store.Builds(), 1u);
+  EXPECT_EQ(store.SharedAcquires(), static_cast<std::uint64_t>(kThreads - 1));
+  for (const LutBankHandle& bank : banks) {
+    ASSERT_NE(bank, nullptr);
+    EXPECT_EQ(&bank->Get(*fn), &banks[0]->Get(*fn));
+  }
+}
+
+TEST(LutStoreTest, SharedTableOutlivesTheSpecThatBuiltIt)
+{
+  LutStore store;
+  LutBankHandle bank;
+  const auto fn = MakeFunction("e", [](double x) { return std::exp(x); },
+                               1e-3);
+  {
+    const NetworkSpec spec = OffsetSpec(fn);
+    LutConfig config;
+    config.default_spec = UnitSpec(-2.0, 2.0, 3);
+    bank = store.Acquire(spec, config);
+  }
+  // The spec is gone; the interned table holds an owning function
+  // handle and still evaluates.
+  EXPECT_NEAR(bank->Get(*fn).EvaluateDouble(1.0), std::exp(1.0), 1e-3);
+}
+
+TEST(LutKeyTest, CanonicalTextAndOrdering)
+{
+  const auto fn = MakeFunction("id", [](double x) { return x; });
+  const LutKey a = MakeLutKey(*fn, UnitSpec(-2.0, 2.0, 2));
+  const LutKey b = MakeLutKey(*fn, UnitSpec(-2.0, 2.0, 2));
+  const LutKey c = MakeLutKey(*fn, UnitSpec(-4.0, 4.0, 2));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_NE(a.ToString().find("id"), std::string::npos);
 }
 
 }  // namespace

@@ -15,13 +15,17 @@
 #include <tuple>
 #include <vector>
 
+#include "health/health_guard.h"
 #include "kernels/soa_engine.h"
+#include "lut/lut_refit.h"
+#include "lut/lut_store.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
 #include "obs/stat_registry.h"
 #include "obs/trace.h"
 #include "runtime/batch_manifest.h"
 #include "runtime/batch_runner.h"
+#include "runtime/engine_factory.h"
 #include "runtime/job_queue.h"
 #include "runtime/sharded_stepper.h"
 #include "runtime/solver_session.h"
@@ -828,6 +832,81 @@ TEST(BatchRunnerTest, ExhaustedRetriesReportFailureStatus)
   EXPECT_EQ(diverged[0].status, JobStatus::kDiverged);
   EXPECT_TRUE(diverged[0].health.diverged);
   EXPECT_TRUE(JobStatusIsFailure(diverged[0].status));
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive LUT range refit
+
+TEST(LutRefitTest, SessionWidensRangeDeterministicallyAsStateGrows)
+{
+  // dx/dt = z exactly (no self decay, and the spec's only nonlinear
+  // factor rides a zero-constant offset term), so the state ramps
+  // linearly: x(t) = z * t, every increment exact in Q16.16. With the
+  // LUT initially sampled over [-1, 1], margin 0.9 and growth 2.0,
+  // the session must refit exactly when the ramp crosses 0.9, 1.8 and
+  // 3.6 — and the widened range doubles each time, ending at [-8, 8].
+  NetworkSpec spec;
+  spec.rows = 4;
+  spec.cols = 4;
+  spec.dt = 0.125;
+  LayerSpec layer;
+  layer.z = 0.25;
+  layer.has_self_decay = false;
+  const auto fn = MakeFunction("ramp_id", [](double x) { return x; });
+  layer.offset_terms.push_back({0.0, {{0, fn, false}}});
+  spec.layers.push_back(layer);
+
+  SolverProgram program;
+  program.spec = spec;
+  program.lut_config.default_spec.min_p = -1.0;
+  program.lut_config.default_spec.max_p = 1.0;
+  program.lut_config.default_spec.frac_index_bits = 4;
+
+  EngineRequest request;
+  request.engine = "functional";
+  request.precision = "fixed";
+  auto engine = BuildEngine(program, request);
+  auto refitter = MakeLutRefitter(program, request);
+  ASSERT_NE(refitter, nullptr);
+
+  HealthGuardConfig hc;
+  hc.check_every = 1;  // scan (and consider a refit) every slice
+  HealthGuard guard(hc);
+  engine->AttachHealthGuard(&guard);
+
+  SessionConfig sc = TinySessionConfig("refit", 200);
+  sc.slice_steps = 4;
+  sc.lut_refitter = refitter;
+  SolverSession session(std::move(engine), sc);
+  EXPECT_EQ(session.RunToTarget(), 200u);
+
+  // x(200 * 0.125) = 6.25: past 3.6, short of the next edge at 7.2.
+  EXPECT_EQ(refitter->Refits(), 3);
+  EXPECT_EQ(guard.Report().lut_refits, 3u);
+  EXPECT_DOUBLE_EQ(refitter->CurrentConfig().default_spec.min_p, -8.0);
+  EXPECT_DOUBLE_EQ(refitter->CurrentConfig().default_spec.max_p, 8.0);
+  ASSERT_NE(refitter->CurrentBank(), nullptr);
+  EXPECT_EQ(refitter->CurrentBank()->Get(*fn).Spec().max_p, 8.0);
+
+  // The run itself stayed exact: the ramp never touched the LUT term.
+  const std::vector<double> state = session.StateDoubles(0);
+  for (const double v : state) {
+    EXPECT_DOUBLE_EQ(v, 6.25);
+  }
+}
+
+TEST(LutRefitTest, ArchRequestGetsNoRefitter)
+{
+  SolverProgram program;
+  program.spec = ModelSpec("heat", 8, 8);
+  EngineRequest request;
+  request.engine = "arch";
+  EXPECT_EQ(MakeLutRefitter(program, request), nullptr);
+  request.engine = "soa";
+  request.precision = "double";
+  EXPECT_EQ(MakeLutRefitter(program, request), nullptr);
+  request.precision = "fixed";
+  EXPECT_NE(MakeLutRefitter(program, request), nullptr);
 }
 
 TEST(BatchRunnerTest, DerivedSeedsAreStablePerIndex)

@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "lut/lut_store.h"
 #include "models/benchmark_model.h"
 #include "runtime/batch_manifest.h"
 #include "runtime/batch_runner.h"
@@ -501,6 +502,22 @@ TEST(ServeService, ChecksumsMatchBatchRunnerAcross100Jobs)
     reference[r.name] = r.checksum;
   }
 
+  // Pin every model's LUT tables resident for the whole serve phase:
+  // the store then satisfies each fixed-precision job by sharing, so
+  // the 105 jobs below run with zero table builds — and must still
+  // reproduce the batch runner's checksums bit-for-bit.
+  std::vector<LutBankHandle> pinned;
+  for (const char* name : models) {
+    ModelConfig mc;
+    mc.rows = 8;
+    mc.cols = 8;
+    const SolverProgram program = MakeProgram(*MakeModel(name, mc));
+    pinned.push_back(
+        LutStore::Global().Acquire(program.spec, program.lut_config));
+  }
+  const std::uint64_t builds_before = LutStore::Global().Builds();
+  const std::uint64_t shared_before = LutStore::Global().SharedAcquires();
+
   ServiceOptions options = BaseOptions(TestDir("eq_serve"));
   options.num_threads = 4;
   options.queue_capacity = 16;
@@ -548,6 +565,12 @@ TEST(ServeService, ChecksumsMatchBatchRunnerAcross100Jobs)
               std::to_string(reference[specs[i].name]))
         << specs[i].name;
   }
+
+  // Sharing engaged: the pinned tables served every LUT-backed job
+  // (no job built its own copy), and at least the LUT-backed jobs
+  // recorded shared acquires.
+  EXPECT_EQ(LutStore::Global().Builds(), builds_before);
+  EXPECT_GT(LutStore::Global().SharedAcquires(), shared_before);
 }
 
 TEST(ServeService, QuotaAndCapacityRejectionsAreBoundedAndRetryable)

@@ -4,7 +4,10 @@
 # shuts it down over the wire, and validates the server's metrics
 # stream — then starts a second server, gives it a long-running job,
 # and proves SIGTERM drains cleanly (exit 0, checkpoint on disk, no
-# leftover process).
+# leftover process). A third server proves LUT sharing across tenants:
+# with one fisher job pinning the model's table resident, three more
+# tenants run the same model and the LutStore must report exactly one
+# build (lut.store.builds==1 in the metrics stream).
 #
 # Invoked by ctest as:
 #   cmake -DCENN_SERVE=<exe> -DCENN_CLIENT=<exe> -DCENN_METRICS_CHECK=<exe>
@@ -170,4 +173,95 @@ if(NOT checkpoints)
 endif()
 message(STATUS "server 2 drained on SIGTERM, checkpoint preserved")
 
-message(STATUS "SMOKE_PASS: serve lifecycle, fault recovery and drain ok")
+# ---------------------------------------------------------------------------
+# Phase 3: multi-tenant LUT sharing — same model, one table build.
+# ---------------------------------------------------------------------------
+
+# Polls a job's status until its step counter advances past 0 — the
+# engine (and with it the job's LutStore acquisition) provably exists
+# from then on.
+function(wait_for_steps job_id)
+  set(started FALSE)
+  foreach(i RANGE 150)
+    execute_process(
+        COMMAND "${CENN_CLIENT}" --port=${port} --op=status --job=${job_id}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "status poll for ${job_id} failed (${rc}):\n"
+                          "${out}\n${err}")
+    endif()
+    if(NOT out MATCHES "\"steps_done\":\"0\"")
+      set(started TRUE)
+      break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(NOT started)
+    message(FATAL_ERROR "job ${job_id} never advanced past step 0")
+  endif()
+endfunction()
+
+execute_process(
+    COMMAND bash -c "\"${CENN_SERVE}\" --work-dir=${WORK_DIR}/w3 \
+        --port=0 --port-file=${WORK_DIR}/port3 --threads=2 \
+        --metrics-out=${WORK_DIR}/serve3.metrics.jsonl \
+        --metrics-interval-ms=20 \
+        > ${WORK_DIR}/server3.log 2>&1 & echo $! > ${WORK_DIR}/server3.pid"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cannot launch third cenn_serve (${rc})")
+endif()
+wait_for_port("${WORK_DIR}/port3" "${WORK_DIR}/server3.log")
+message(STATUS "server 3 listening on port ${port}")
+
+# An anchor job keeps the fisher table resident for the whole phase:
+# it runs (far from done) on one worker while the tenants below come
+# and go on the other, so every later acquisition must share the
+# anchor's build instead of rebuilding after an eviction.
+client_must("\"status\":\"queued\"" --op=submit --tenant=anchor
+            --spec=model=fisher\ rows=24\ cols=24\ steps=5000000)
+string(REGEX MATCH "\"job\":\"([^\"]+)\"" _ "${client_out}")
+set(anchor_job "${CMAKE_MATCH_1}")
+if(NOT anchor_job)
+  message(FATAL_ERROR "submit response has no job id:\n${client_out}")
+endif()
+wait_for_steps("${anchor_job}")
+
+# Three tenants, same model: every run acquires the table the anchor
+# already holds — lut.store.builds must stay at 1 (fisher samples a
+# single nonlinear function).
+client_must("\"status\":\"ok\"" --op=submit --tenant=alice --wait
+            --spec=model=fisher\ rows=24\ cols=24\ steps=60\ seed=3)
+client_must("\"status\":\"ok\"" --op=submit --tenant=bob --wait
+            --spec=model=fisher\ rows=24\ cols=24\ steps=60\ seed=5)
+client_must("\"status\":\"ok\"" --op=submit --tenant=carol --wait
+            --spec=model=fisher\ rows=24\ cols=24\ steps=60\ seed=8)
+
+client_must("\"ok\":true" --op=cancel --job=${anchor_job})
+client_must("\"draining\":true" --op=shutdown)
+wait_for_exit("${WORK_DIR}/server3.pid" "${WORK_DIR}/server3.log")
+
+# Four same-model acquisitions, one build; cancelling the anchor
+# dropped the last handle, so the table must also have been evicted
+# before the final metrics sample.
+execute_process(
+    COMMAND "${CENN_METRICS_CHECK}" ${WORK_DIR}/serve3.metrics.jsonl
+            --require=lut.store.
+            --expect=lut.store.builds==1
+            --expect=lut.store.shared_acquires>=3
+            --expect=lut.store.evictions>=1
+            --expect=serve.jobs_completed>=3
+            --expect=serve.jobs_failed==0
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out_chk
+    ERROR_VARIABLE err_chk)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "LUT sharing metrics check failed (${rc}):\n${out_chk}\n${err_chk}")
+endif()
+message(STATUS "server 3 shared one fisher table across four tenants")
+
+message(STATUS "SMOKE_PASS: serve lifecycle, fault recovery, drain and "
+               "LUT sharing ok")
