@@ -8,17 +8,22 @@
  * scalar path (compiled plans, cell-by-cell), the SoA engine on its
  * blocked path (fused row kernels — the default), the SoA engine on
  * its simd path (explicitly vectorized kernels, runtime-dispatched
- * ISA), and the blocked path band-sharded across worker threads.
- * Reports steps/s, cell-updates/s and speedup over the functional
- * baseline, and verifies that every fixed/double variant ends in a
- * bit-identical final state (float runs are reported but not
- * compared — there is no float reference).
+ * ISA), the blocked path band-sharded across worker threads, and the
+ * fused path: a persistent ShardTeam stepping the simd kernels (the
+ * --exec=soa:simd:shards=K configuration, workers resident across the
+ * warm-up and timed regions). Reports steps/s, cell-updates/s and
+ * speedup over the functional baseline, and verifies that every
+ * fixed/double variant ends in a bit-identical final state (float
+ * runs are reported but not compared — there is no float reference).
  *
  * --check turns the run into a regression gate: exit 1 if the blocked
  * kernels are slower than the scalar plan walk, if the simd kernels
  * are below 1.5x the blocked kernels on the double datapath (skipped
  * when the dispatcher picks the generic backend — scalar-width
- * "vectors" carry no speedup promise), if the packed SoA coefficient
+ * "vectors" carry no speedup promise), if a persistent 4-shard simd
+ * team is below 2.5x single-thread simd on a 256x256 grid (skipped
+ * below 4 physical cores — SMT siblings share execution ports and
+ * cannot honor that margin), if the packed SoA coefficient
  * lanes are below 1.15x over the 9-field AoS tuple stride on a
  * LUT-bound sweep, if any comparable variant diverges from the
  * functional state, or if the health-guard instrumentation (the
@@ -39,10 +44,14 @@
 #include <cstring>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -56,6 +65,7 @@
 #include "obs/stat_registry.h"
 #include "runtime/engine_factory.h"
 #include "runtime/sharded_stepper.h"
+#include "runtime/worker_team.h"
 #include "util/cli.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -104,9 +114,45 @@ StateChecksum(const Engine& engine)
 struct Variant {
   std::string name;
   std::unique_ptr<Engine> engine;
+  // Declared after `engine`: destroyed first, so a persistent
+  // ShardTeam captured in the closure joins before the engine dies.
   std::function<void(Engine*, std::uint64_t)> run;
   bool comparable = true;  ///< has the same numerics as the reference
 };
+
+/**
+ * Physical cores: unique (physical id, core id) pairs in
+ * /proc/cpuinfo, so SMT siblings count once. Falls back to
+ * hardware_concurrency where the file is absent (non-Linux) — an
+ * overcount there only makes the scaling gate stricter, never skips
+ * it wrongly.
+ */
+int
+CountPhysicalCores()
+{
+  std::ifstream in("/proc/cpuinfo");
+  std::set<std::pair<int, int>> cores;
+  int physical_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto value = [&line] {
+      const std::size_t colon = line.find(':');
+      return colon == std::string::npos
+                 ? 0
+                 : std::atoi(line.c_str() + colon + 1);
+    };
+    if (line.rfind("physical id", 0) == 0) {
+      physical_id = value();
+    } else if (line.rfind("core id", 0) == 0) {
+      cores.emplace(physical_id, value());
+    }
+  }
+  if (!cores.empty()) {
+    return static_cast<int>(cores.size());
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
 
 /** Modeled memory traffic + arithmetic from the kernels.traffic.*
  *  counters (zero for engines that don't publish them). */
@@ -223,6 +269,27 @@ BenchMain(int argc, char** argv)
         {"soa/blocked x" + std::to_string(k), BuildEngine(program, req),
          [k](Engine* engine, std::uint64_t n) {
            RunSharded(engine, n, k);
+         },
+         comparable});
+  }
+  for (const int k : shard_counts) {
+    // The fused path: persistent simd worker team, built lazily on
+    // first use and resident across the warm-up and timed regions —
+    // exactly what --exec=soa:simd:shards=K runs in a session.
+    EngineRequest req;
+    req.engine = "soa";
+    req.precision = precision;
+    req.kernel_path = KernelPath::kSimd;
+    auto team = std::make_shared<std::unique_ptr<ShardTeam>>();
+    variants.push_back(
+        {"soa/simd team x" + std::to_string(k), BuildEngine(program, req),
+         [k, team](Engine* engine, std::uint64_t n) {
+           if (*team == nullptr) {
+             TeamOptions options;
+             options.shards = k;
+             *team = std::make_unique<ShardTeam>(engine, options);
+           }
+           (*team)->Run(n);
          },
          comparable});
   }
@@ -401,6 +468,99 @@ BenchMain(int argc, char** argv)
       std::printf("check FAILED: simd double state diverged from "
                   "blocked\n");
       ok = false;
+    }
+  }
+
+  // Fused-scaling gate: a persistent 4-shard simd team must hold a
+  // >=2.5x margin over single-thread simd on a 256x256 double grid —
+  // the regime the tentpole fused path exists for. Threads only buy
+  // that margin on real parallel hardware, so the gate requires >= 4
+  // physical cores (unique (physical id, core id) pairs; SMT siblings
+  // share execution ports) and reports a skip otherwise instead of
+  // failing on laptops and small CI runners. Same ABBA-interleaved
+  // order-split-median protocol as the gates above, and the same
+  // exactness rider: after identical step counts the fused state must
+  // match the serial one bit-for-bit.
+  if (check) {
+    const int cores = CountPhysicalCores();
+    if (cores < 4) {
+      std::printf("fused-scaling gate skipped: %d physical core(s), "
+                  "need >= 4\n", cores);
+    } else {
+      ModelConfig gate_mc = mc;
+      gate_mc.rows = std::max<std::size_t>(mc.rows, 256);
+      gate_mc.cols = std::max<std::size_t>(mc.cols, 256);
+      const SolverProgram gate_program =
+          MakeProgram(*MakeModel(model_name, gate_mc));
+      EngineRequest req;
+      req.engine = "soa";
+      req.precision = "double";
+      req.kernel_path = KernelPath::kSimd;
+      const auto serial_engine = BuildEngine(gate_program, req);
+      const auto fused_engine = BuildEngine(gate_program, req);
+      TeamOptions team_options;
+      team_options.shards = 4;
+      ShardTeam team(fused_engine.get(), team_options);
+      const auto timed_serial = [&](std::uint64_t n) {
+        const auto start = std::chrono::steady_clock::now();
+        serial_engine->Run(n);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+      };
+      const auto timed_fused = [&](std::uint64_t n) {
+        const auto start = std::chrono::steady_clock::now();
+        team.Run(n);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+      };
+      // Calibrate a ~25ms serial chunk (the slower side).
+      const std::uint64_t gate_probe_steps = quick ? 10 : 40;
+      const double probe = timed_serial(gate_probe_steps);
+      timed_fused(gate_probe_steps);
+      const std::uint64_t chunk_steps = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 0.025 /
+                 std::max(probe / static_cast<double>(gate_probe_steps),
+                          1e-9)));
+      const auto median = [](std::vector<double>* v) {
+        std::sort(v->begin(), v->end());
+        return (*v)[v->size() / 2];
+      };
+      std::vector<double> fused_second;
+      std::vector<double> fused_first;
+      for (int round = 0; round < 24; ++round) {
+        double serial_s;
+        double fused_s;
+        if (round % 2 == 0) {
+          serial_s = timed_serial(chunk_steps);
+          fused_s = timed_fused(chunk_steps);
+        } else {
+          fused_s = timed_fused(chunk_steps);
+          serial_s = timed_serial(chunk_steps);
+        }
+        if (round < 4) {
+          continue;  // discard warm-up rounds (caches, cpu frequency)
+        }
+        (round % 2 == 0 ? fused_second : fused_first)
+            .push_back(serial_s / fused_s);
+      }
+      const double speedup =
+          std::sqrt(median(&fused_second) * median(&fused_first));
+      std::printf("fused simd team x4 (%zux%zu double, %d cores): "
+                  "%.2fx vs single-thread simd\n", gate_mc.rows,
+                  gate_mc.cols, cores, speedup);
+      if (speedup < 2.5) {
+        std::printf("check FAILED: fused team %.2fx vs single-thread "
+                    "simd, below the 2.5x gate\n", speedup);
+        ok = false;
+      }
+      if (StateChecksum(*fused_engine) != StateChecksum(*serial_engine)) {
+        std::printf("check FAILED: fused team state diverged from "
+                    "single-thread simd\n");
+        ok = false;
+      }
     }
   }
 

@@ -91,7 +91,7 @@ BenchMain(int argc, char** argv)
   for (const int k : shard_counts) {
     SessionConfig sc;
     sc.name = "scaling_k" + std::to_string(k);
-    sc.shards = k;
+    sc.exec.shards = k;
     sc.target_steps = steps;
     sc.slice_steps = steps;  // one timed slice, no lifecycle overhead
     SolverOptions solver_options;

@@ -26,10 +26,18 @@ Trim(const std::string& s)
   return s.substr(b, e - b);
 }
 
+/** Fresh builder seeded with the caller's defaults (may be null). */
+JobSpecBuilder
+MakeBuilder(const JobSpec* defaults)
+{
+  return defaults != nullptr ? JobSpecBuilder(*defaults) : JobSpecBuilder{};
+}
+
 /** Closes the in-flight job: validates, names and appends it. */
 void
 FinishJob(JobSpecBuilder* builder, bool job_open, int line_no,
-          std::vector<JobSpec>* jobs, std::vector<JobSpecError>* errors)
+          std::vector<JobSpec>* jobs, std::vector<JobSpecError>* errors,
+          const JobSpec* defaults)
 {
   if (!job_open) {
     return;
@@ -40,17 +48,18 @@ FinishJob(JobSpecBuilder* builder, bool job_open, int line_no,
     job.name = "job" + std::to_string(jobs->size()) + "_" + job.model;
   }
   jobs->push_back(std::move(job));
-  *builder = JobSpecBuilder{};
+  *builder = MakeBuilder(defaults);
 }
 
 }  // namespace
 
 std::vector<JobSpec>
 ParseManifestCollect(const std::string& text,
-                     std::vector<JobSpecError>* errors)
+                     std::vector<JobSpecError>* errors,
+                     const JobSpec* defaults)
 {
   std::vector<JobSpec> jobs;
-  JobSpecBuilder builder;
+  JobSpecBuilder builder = MakeBuilder(defaults);
   bool job_open = false;
 
   std::istringstream in(text);
@@ -64,7 +73,7 @@ ParseManifestCollect(const std::string& text,
     }
     const std::string line = Trim(raw);
     if (line.empty()) {
-      FinishJob(&builder, job_open, line_no, &jobs, errors);
+      FinishJob(&builder, job_open, line_no, &jobs, errors, defaults);
       job_open = false;
       continue;
     }
@@ -90,7 +99,7 @@ ParseManifestCollect(const std::string& text,
       builder = std::move(next);
     }
   }
-  FinishJob(&builder, job_open, line_no, &jobs, errors);
+  FinishJob(&builder, job_open, line_no, &jobs, errors, defaults);
 
   if (jobs.empty()) {
     errors->push_back({0, "", "no jobs found"});
@@ -105,10 +114,10 @@ ParseManifestCollect(const std::string& text,
 }
 
 std::vector<BatchJobSpec>
-ParseManifest(const std::string& text)
+ParseManifest(const std::string& text, const JobSpec* defaults)
 {
   std::vector<JobSpecError> errors;
-  std::vector<JobSpec> jobs = ParseManifestCollect(text, &errors);
+  std::vector<JobSpec> jobs = ParseManifestCollect(text, &errors, defaults);
   if (!errors.empty()) {
     std::ostringstream out;
     out << "manifest: " << errors.size()
@@ -122,7 +131,7 @@ ParseManifest(const std::string& text)
 }
 
 std::vector<BatchJobSpec>
-LoadManifestFile(const std::string& path)
+LoadManifestFile(const std::string& path, const JobSpec* defaults)
 {
   std::ifstream in(path);
   if (!in) {
@@ -130,7 +139,7 @@ LoadManifestFile(const std::string& path)
   }
   std::ostringstream text;
   text << in.rdbuf();
-  return ParseManifest(text.str());
+  return ParseManifest(text.str(), defaults);
 }
 
 }  // namespace cenn

@@ -17,8 +17,7 @@
  *
  *   model=reaction_diffusion
  *   name=rd_sharded
- *   engine=double
- *   shards=4
+ *   exec=functional:double:shards=4
  *
  * The key grammar and per-key validation live in runtime/job_spec.h,
  * shared with the cenn_serve submit path. Unknown keys, malformed
@@ -43,16 +42,21 @@ using BatchJobSpec = JobSpec;
  * Parses manifest text into specs, appending every problem found to
  * `errors`. Returns the jobs parsed so far (possibly partial when
  * errors is non-empty). Never fatal — the serve frontend parses
- * untrusted manifests with this form.
+ * untrusted manifests with this form. When `defaults` is non-null
+ * every job starts from it (cenn_batch's `--exec` seeds the policy;
+ * per-job keys override field-wise).
  */
 std::vector<JobSpec> ParseManifestCollect(const std::string& text,
-                                          std::vector<JobSpecError>* errors);
+                                          std::vector<JobSpecError>* errors,
+                                          const JobSpec* defaults = nullptr);
 
 /** Parses manifest text; fatal on malformed input (see file doc). */
-std::vector<BatchJobSpec> ParseManifest(const std::string& text);
+std::vector<BatchJobSpec> ParseManifest(const std::string& text,
+                                        const JobSpec* defaults = nullptr);
 
 /** Reads and parses a manifest file; fatal when unreadable. */
-std::vector<BatchJobSpec> LoadManifestFile(const std::string& path);
+std::vector<BatchJobSpec> LoadManifestFile(const std::string& path,
+                                           const JobSpec* defaults = nullptr);
 
 }  // namespace cenn
 

@@ -8,7 +8,6 @@
 #include <sstream>
 #include <thread>
 
-#include "kernels/kernel_path.h"
 #include "models/benchmark_model.h"
 #include "obs/stat_registry.h"
 #include "runtime/engine_factory.h"
@@ -32,7 +31,7 @@ WriteDoneMarker(const std::string& path, const JobResult& result)
   }
   out << "name=" << result.name << "\n"
       << "model=" << result.model << "\n"
-      << "engine=" << result.engine << "\n"
+      << "exec=" << result.exec << "\n"
       << "status=" << JobStatusName(result.status) << "\n"
       << "attempts=" << result.attempts << "\n"
       << "steps=" << result.steps_done << "\n"
@@ -138,7 +137,7 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
   JobResult result;
   result.name = job.name;
   result.model = job.model;
-  result.engine = job.engine;
+  result.exec = FormatExecPolicy(job.exec);
 
   const std::string base = options_.out_dir + "/" + job.name;
   const std::string ckpt_path = base + ".ckpt";
@@ -159,7 +158,7 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
 
   SessionConfig sc;
   sc.name = job.name;
-  sc.shards = job.shards;
+  sc.exec = job.exec;
   sc.target_steps = target;
   sc.checkpoint_every = job.checkpoint_every > 0 ? job.checkpoint_every
                                                  : options_.checkpoint_every;
@@ -180,16 +179,7 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
     sc.metrics_interval_ms = options_.metrics_interval_ms;
   }
 
-  EngineRequest req;
-  req.engine = job.engine;
-  if (!job.precision.empty()) {
-    req.precision = job.precision;
-  }
-  req.memory = job.memory;
-  if (!ParseKernelPath(job.kernel_path.c_str(), &req.kernel_path)) {
-    CENN_FATAL("job '", job.name, "': unknown kernel_path '",
-               job.kernel_path, "' (", kKernelPathChoices, ")");
-  }
+  const EngineRequest req = ToEngineRequest(job.exec);
 
   HealthGuard guard(options_.guard);
   const int max_attempts = 1 + options_.max_retries;
@@ -341,7 +331,7 @@ BatchRunner::RunAll(StatRegistry* registry)
                             &done)) {
         done.name = job.name;
         done.model = job.model;
-        done.engine = job.engine;
+        done.exec = FormatExecPolicy(job.exec);
         done.status = JobStatus::kCached;
         results[i] = done;
         ++cached;
@@ -444,10 +434,10 @@ std::string
 BatchRunner::ResultsCsv(const std::vector<JobResult>& results)
 {
   std::ostringstream out;
-  out << "name,model,engine,status,attempts,steps_done,steps_executed,"
+  out << "name,model,exec,status,attempts,steps_done,steps_executed,"
          "checksum,wall_ms,sat_events,nan_cells,diverged_at_step\n";
   for (const JobResult& r : results) {
-    out << r.name << ',' << r.model << ',' << r.engine << ','
+    out << r.name << ',' << r.model << ',' << r.exec << ','
         << JobStatusName(r.status) << ',' << r.attempts << ','
         << r.steps_done << ',' << r.steps_executed << ',' << r.checksum
         << ',' << r.wall_ms << ',' << r.health.sat_events << ','

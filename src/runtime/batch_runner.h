@@ -125,7 +125,9 @@ bool JobStatusIsFailure(JobStatus status);
 struct JobResult {
   std::string name;
   std::string model;
-  std::string engine;
+
+  /** Canonical execution-policy string (FormatExecPolicy). */
+  std::string exec;
 
   JobStatus status = JobStatus::kOk;
 

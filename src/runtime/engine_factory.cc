@@ -107,4 +107,37 @@ MakeLutRefitter(const SolverProgram& program, const EngineRequest& request)
                                        program.lut_config);
 }
 
+EngineRequest
+ToEngineRequest(const ExecPolicy& policy)
+{
+  std::string error;
+  if (!ValidateExecPolicy(policy, &error)) {
+    CENN_FATAL("exec policy: ", error);
+  }
+  EngineRequest request;
+  request.engine = policy.engine;
+  if (!policy.precision.empty()) {
+    request.precision = policy.precision;
+  }
+  request.memory = policy.memory;
+  KernelPath path = KernelPath::kAuto;
+  if (!ParseKernelPath(policy.kernel_path.c_str(), &path)) {
+    CENN_FATAL("exec policy: unknown kernel path '", policy.kernel_path, "'");
+  }
+  request.kernel_path = path;
+  return request;
+}
+
+std::unique_ptr<Engine>
+BuildEngine(const SolverProgram& program, const ExecPolicy& policy)
+{
+  return BuildEngine(program, ToEngineRequest(policy));
+}
+
+std::shared_ptr<LutRefitter>
+MakeLutRefitter(const SolverProgram& program, const ExecPolicy& policy)
+{
+  return MakeLutRefitter(program, ToEngineRequest(policy));
+}
+
 }  // namespace cenn

@@ -25,6 +25,7 @@
 #include "core/engine.h"
 #include "kernels/kernel_path.h"
 #include "program/solver_program.h"
+#include "util/exec_policy.h"
 
 namespace cenn {
 
@@ -71,6 +72,29 @@ class LutRefitter;  // src/lut/lut_refit.h
  */
 std::shared_ptr<LutRefitter> MakeLutRefitter(const SolverProgram& program,
                                              const EngineRequest& request);
+
+/**
+ * @name ExecPolicy front end
+ * The unified execution policy (util/exec_policy.h) carries the same
+ * backend-selection fields as EngineRequest plus the team shape
+ * (shards/pin/block, which the factory ignores — ShardTeam and
+ * SolverSession consume those). ToEngineRequest is fatal on a policy
+ * that fails ValidateExecPolicy, so validate frontend input first.
+ */
+///@{
+
+/** Converts the backend-selection fields of a validated policy. */
+EngineRequest ToEngineRequest(const ExecPolicy& policy);
+
+/** BuildEngine over the policy's backend-selection fields. */
+std::unique_ptr<Engine> BuildEngine(const SolverProgram& program,
+                                    const ExecPolicy& policy);
+
+/** MakeLutRefitter over the policy's backend-selection fields. */
+std::shared_ptr<LutRefitter> MakeLutRefitter(const SolverProgram& program,
+                                             const ExecPolicy& policy);
+
+///@}
 
 }  // namespace cenn
 

@@ -67,9 +67,9 @@ bool
 JobSpecBuilder::IsKnownKey(const std::string& key)
 {
   static const char* kKeys[] = {
-      "model",  "name",     "rows",        "cols", "steps",
-      "engine", "precision", "memory",     "kernel_path",
-      "shards", "priority",  "seed",       "checkpoint_every",
+      "model",  "name",      "rows",   "cols",        "steps",
+      "exec",   "engine",    "precision", "memory",   "kernel_path",
+      "shards", "priority",  "seed",   "checkpoint_every",
   };
   return std::find_if(std::begin(kKeys), std::end(kKeys),
                       [&key](const char* k) { return key == k; }) !=
@@ -127,27 +127,44 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
   if (key == "steps") {
     return apply_u64(&spec_.steps);
   }
+  if (key == "exec") {
+    // Merge semantics: only the fields the value names are overridden,
+    // so a frontend-level default policy survives per-job refinement.
+    std::string error;
+    if (!ParseExecPolicy(value, &spec_.exec, &error)) {
+      return fail(error);
+    }
+    return true;
+  }
   if (key == "engine") {
     if (value != "functional" && value != "soa" && value != "arch" &&
         value != "double" && value != "fixed") {
       return fail("unknown engine '" + value +
                   "' (functional|soa|arch; legacy double|fixed)");
     }
-    spec_.engine = value;
+    WarnDeprecatedOnce("engine=", "exec=<engine>");
+    if (value == "double" || value == "fixed") {
+      spec_.exec.engine = "functional";
+      spec_.exec.precision = value;
+    } else {
+      spec_.exec.engine = value;
+    }
     return true;
   }
   if (key == "precision") {
     if (value != "double" && value != "fixed" && value != "float") {
       return fail("unknown precision '" + value + "' (double|fixed|float)");
     }
-    spec_.precision = value;
+    WarnDeprecatedOnce("precision=", "exec=<engine>:<precision>");
+    spec_.exec.precision = value;
     return true;
   }
   if (key == "memory") {
     if (value != "ddr3" && value != "hmc-int" && value != "hmc-ext") {
       return fail("unknown memory '" + value + "' (ddr3|hmc-int|hmc-ext)");
     }
-    spec_.memory = value;
+    WarnDeprecatedOnce("memory=", "exec=...:memory=<name>");
+    spec_.exec.memory = value;
     return true;
   }
   if (key == "kernel_path") {
@@ -156,7 +173,8 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
       return fail("unknown kernel_path '" + value + "' (" +
                   kKernelPathChoices + ")");
     }
-    spec_.kernel_path = value;
+    WarnDeprecatedOnce("kernel_path=", "exec=...:<kernel path>");
+    spec_.exec.kernel_path = value;
     return true;
   }
   if (key == "shards") {
@@ -170,7 +188,8 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
     if (v > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
       return fail("shards out of range");
     }
-    spec_.shards = static_cast<int>(v);
+    WarnDeprecatedOnce("shards=", "exec=...:shards=<n>");
+    spec_.exec.shards = static_cast<int>(v);
     return true;
   }
   if (key == "priority") {
@@ -226,15 +245,11 @@ ValidateJobSpec(const JobSpec& spec, std::vector<JobSpecError>* errors,
     errors->push_back({line, spec.rows < 1 ? "rows" : "cols",
                        "grid dimensions must be >= 1"});
   }
-  if (spec.shards < 1) {
-    errors->push_back({line, "shards", "shards must be >= 1"});
-  }
-  // The engine/precision combination checks NormalizeEngineRequest
+  // Cross-field execution checks ToEngineRequest / the worker team
   // would otherwise hit fatally on the worker thread.
-  if (spec.precision == "float" && spec.engine != "soa") {
-    errors->push_back({line, "precision",
-                       "precision 'float' is only available on the soa "
-                       "engine, not '" + spec.engine + "'"});
+  std::string exec_error;
+  if (!ValidateExecPolicy(spec.exec, &exec_error)) {
+    errors->push_back({line, "exec", exec_error});
   }
   return errors->size() == before;
 }

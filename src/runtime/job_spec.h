@@ -7,9 +7,12 @@
  * validate machinery behind every frontend that accepts one.
  *
  * The grammar is the batch-manifest key set (docs/runtime.md):
- * `model=`, `name=`, `rows=`, `cols=`, `steps=`, `engine=`,
- * `precision=`, `memory=`, `kernel_path=`, `shards=`, `priority=`,
- * `seed=`, `checkpoint_every=`. It used to live inside
+ * `model=`, `name=`, `rows=`, `cols=`, `steps=`, `exec=`,
+ * `priority=`, `seed=`, `checkpoint_every=` — plus the legacy
+ * execution keys `engine=`, `precision=`, `memory=`, `kernel_path=`
+ * and `shards=`, which still parse as aliases into the unified
+ * `exec` policy (one deprecation warning per process per key). It
+ * used to live inside
  * batch_manifest.cc with fatal, first-error-wins diagnostics; now the
  * manifest parser (cenn_batch) and the serve submit path (cenn_serve)
  * both build specs through JobSpecBuilder, which *collects* every
@@ -31,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "util/exec_policy.h"
+
 namespace cenn {
 
 /** One declarative solver scenario (manifest job / serve submit). */
@@ -48,22 +53,13 @@ struct JobSpec {
   std::uint64_t steps = 0;
 
   /**
-   * "functional", "soa" or "arch" (legacy spellings "double" and
-   * "fixed" mean the functional engine at that precision).
+   * How the job executes: engine, precision, memory, kernel path,
+   * shards, pinning, temporal blocking. Set whole via `exec=...`
+   * (util/exec_policy.h grammar) or field-wise via the legacy
+   * `engine=` / `precision=` / `memory=` / `kernel_path=` / `shards=`
+   * keys, which merge into this policy.
    */
-  std::string engine = "functional";
-
-  /** "double", "fixed" or "float"; empty = engine default (fixed). */
-  std::string precision;
-
-  /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
-  std::string memory = "ddr3";
-
-  /** SoA stepping kernels: "auto", "scalar", "blocked" or "simd". */
-  std::string kernel_path = "auto";
-
-  /** Band-parallel workers inside the job (band-capable engines). */
-  int shards = 1;
+  ExecPolicy exec;
 
   /** Queue priority (higher dispatches first). */
   int priority = 0;
@@ -102,6 +98,15 @@ std::string FormatJobSpecErrors(const std::vector<JobSpecError>& errors);
 class JobSpecBuilder
 {
   public:
+    JobSpecBuilder() = default;
+
+    /**
+     * Starts from `base` instead of a default-constructed spec — the
+     * hook for frontend-level defaults (cenn_batch's `--exec` seeds
+     * every job's policy; per-job keys still override).
+     */
+    explicit JobSpecBuilder(const JobSpec& base) : spec_(base) {}
+
     /**
      * Applies one key=value. Returns true when the pair was applied
      * cleanly; false records a JobSpecError (unknown key, malformed
@@ -129,11 +134,11 @@ class JobSpecBuilder
 
 /**
  * Whole-spec validation: the model must exist (AllModelNames), rows /
- * cols / shards must be >= 1, and the engine/precision combination
- * must be one BuildEngine accepts (float is soa-only). Appends to
- * `errors` with `line` context and returns true when nothing was
- * added — a spec passing Apply + ValidateJobSpec never trips
- * CENN_FATAL in MakeModel / NormalizeEngineRequest.
+ * cols must be >= 1, and the exec policy must pass ValidateExecPolicy
+ * (shards/block >= 1, float soa-only, temporal blocking soa-only).
+ * Appends to `errors` with `line` context and returns true when
+ * nothing was added — a spec passing Apply + ValidateJobSpec never
+ * trips CENN_FATAL in MakeModel / ToEngineRequest.
  */
 bool ValidateJobSpec(const JobSpec& spec, std::vector<JobSpecError>* errors,
                      int line = 0);

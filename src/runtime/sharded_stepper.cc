@@ -1,16 +1,11 @@
 #include "runtime/sharded_stepper.h"
 
-#include <barrier>
-#include <chrono>
 #include <mutex>
-#include <thread>
 
 #include "core/network_spec.h"
 #include "core/solver.h"
-#include "health/health_guard.h"
-#include "lut/lut_traffic.h"
 #include "obs/stat_registry.h"
-#include "obs/trace.h"
+#include "runtime/worker_team.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -22,188 +17,6 @@ namespace {
 constexpr double kPhaseUsLo = 0.0;
 constexpr double kPhaseUsHi = 1000.0;
 constexpr int kPhaseUsBins = 100;
-
-/** Steady-clock nanoseconds (the trace tick base; ticks_per_us=1e3). */
-std::uint64_t
-NowNs()
-{
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-/** Band worker loop over one engine; see the file comment for the
- *  two-phase protocol. */
-void
-RunBanded(Engine& engine, std::uint64_t steps,
-          const std::vector<std::pair<std::size_t, std::size_t>>& bands,
-          const ShardRunOptions& options)
-{
-  const auto n = static_cast<std::ptrdiff_t>(bands.size());
-  ShardPhaseTimings* timings = options.timings;
-  TraceSession* trace =
-      options.trace != nullptr &&
-              options.trace->Enabled(TraceCategory::kStep)
-          ? options.trace
-          : nullptr;
-  if (trace != nullptr) {
-    for (std::size_t k = 0; k < bands.size(); ++k) {
-      trace->SetThreadName(static_cast<std::uint32_t>(k),
-                           "shard" + std::to_string(k));
-    }
-    trace->SetThreadName(static_cast<std::uint32_t>(bands.size()),
-                         "publish");
-  }
-
-  // The completion step runs on exactly one thread after every band
-  // arrives, giving the serial publish (swap + resets + step count)
-  // a happens-before edge to the next phase on every worker.
-  std::barrier<void (*)() noexcept> refresh_done(n, +[]() noexcept {});
-  Engine* eng = &engine;
-  const auto publish_lane = static_cast<std::uint32_t>(bands.size());
-  auto publish = [eng, timings, trace, publish_lane]() noexcept {
-    if (timings == nullptr && trace == nullptr) {
-      eng->Publish();
-      return;
-    }
-    const std::uint64_t t0 = NowNs();
-    eng->Publish();
-    const std::uint64_t t1 = NowNs();
-    if (timings != nullptr) {
-      timings->AddPublish(t1 - t0);
-    }
-    if (trace != nullptr) {
-      trace->Complete(TraceCategory::kStep, "publish", t0, t1 - t0,
-                      publish_lane);
-    }
-  };
-  std::barrier<decltype(publish)> compute_done(n, publish);
-
-  std::vector<std::thread> workers;
-  workers.reserve(bands.size());
-  for (std::size_t k = 0; k < bands.size(); ++k) {
-    const auto band = bands[k];
-    workers.emplace_back([&engine, &refresh_done, &compute_done, band, steps,
-                          timings, trace, k] {
-      // Fixed32 saturation and off-chip LUT interpolation counting are
-      // thread-local; each worker drains its tallies into the engine's
-      // attached guard/sink (no-ops when none attached).
-      ScopedSatCounter sat(engine.AttachedHealthGuard());
-      ScopedLutTally lut(engine.AttachedLutTraffic());
-      if (timings == nullptr && trace == nullptr) {
-        for (std::uint64_t s = 0; s < steps; ++s) {
-          engine.RefreshOutputs(band.first, band.second);
-          refresh_done.arrive_and_wait();
-          engine.StepBands(band.first, band.second);
-          compute_done.arrive_and_wait();
-        }
-        return;
-      }
-      const auto lane = static_cast<std::uint32_t>(k);
-      ShardPhaseTimings::Shard local;
-      Histogram refresh_us = ShardPhaseTimings::MakePhaseHistogram();
-      Histogram step_us = ShardPhaseTimings::MakePhaseHistogram();
-      Histogram wait_us = ShardPhaseTimings::MakePhaseHistogram();
-      for (std::uint64_t s = 0; s < steps; ++s) {
-        const std::uint64_t t0 = NowNs();
-        engine.RefreshOutputs(band.first, band.second);
-        const std::uint64_t t1 = NowNs();
-        refresh_done.arrive_and_wait();
-        const std::uint64_t t2 = NowNs();
-        engine.StepBands(band.first, band.second);
-        const std::uint64_t t3 = NowNs();
-        compute_done.arrive_and_wait();
-        const std::uint64_t t4 = NowNs();
-        local.refresh_ns += t1 - t0;
-        local.step_ns += t3 - t2;
-        local.wait_ns += (t2 - t1) + (t4 - t3);
-        ++local.steps;
-        refresh_us.Add(static_cast<double>(t1 - t0) * 1e-3);
-        step_us.Add(static_cast<double>(t3 - t2) * 1e-3);
-        wait_us.Add(static_cast<double>((t2 - t1) + (t4 - t3)) * 1e-3);
-        if (trace != nullptr) {
-          trace->Complete(TraceCategory::kStep, "refresh", t0, t1 - t0,
-                          lane);
-          trace->Complete(TraceCategory::kStep, "step", t2, t3 - t2, lane);
-        }
-      }
-      if (timings != nullptr) {
-        timings->Merge(k, local, &refresh_us, &step_us, &wait_us);
-      }
-    });
-  }
-  for (std::thread& t : workers) {
-    t.join();
-  }
-}
-
-/**
- * Serial fallback with observability: band-capable engines step as
- * timed refresh/step/publish phases attributed to shard 0 (identical
- * arithmetic to Step()); others run engine->Run with the whole wall
- * time accounted as shard 0 step time.
- */
-void
-RunSerialObserved(Engine& engine, std::uint64_t steps,
-                  const ShardRunOptions& options)
-{
-  ShardPhaseTimings* timings = options.timings;
-  TraceSession* trace =
-      options.trace != nullptr &&
-              options.trace->Enabled(TraceCategory::kStep)
-          ? options.trace
-          : nullptr;
-  if (trace != nullptr) {
-    trace->SetThreadName(0, "shard0");
-  }
-  ScopedLutTally lut(engine.AttachedLutTraffic());
-  if (!engine.SupportsBands()) {
-    const std::uint64_t t0 = NowNs();
-    engine.Run(steps);
-    const std::uint64_t t1 = NowNs();
-    if (timings != nullptr) {
-      ShardPhaseTimings::Shard local;
-      local.step_ns = t1 - t0;
-      local.steps = steps;
-      timings->Merge(0, local, nullptr, nullptr, nullptr);
-    }
-    if (trace != nullptr) {
-      trace->Complete(TraceCategory::kStep, "run", t0, t1 - t0, 0);
-    }
-    return;
-  }
-  const std::size_t rows = engine.Spec().rows;
-  ShardPhaseTimings::Shard local;
-  Histogram refresh_us = ShardPhaseTimings::MakePhaseHistogram();
-  Histogram step_us = ShardPhaseTimings::MakePhaseHistogram();
-  Histogram wait_us = ShardPhaseTimings::MakePhaseHistogram();
-  for (std::uint64_t s = 0; s < steps; ++s) {
-    const std::uint64_t t0 = NowNs();
-    engine.RefreshOutputs(0, rows);
-    const std::uint64_t t1 = NowNs();
-    engine.StepBands(0, rows);
-    const std::uint64_t t2 = NowNs();
-    engine.Publish();
-    const std::uint64_t t3 = NowNs();
-    local.refresh_ns += t1 - t0;
-    local.step_ns += t2 - t1;
-    ++local.steps;
-    refresh_us.Add(static_cast<double>(t1 - t0) * 1e-3);
-    step_us.Add(static_cast<double>(t2 - t1) * 1e-3);
-    if (timings != nullptr) {
-      timings->AddPublish(t3 - t2);
-    }
-    if (trace != nullptr) {
-      trace->Complete(TraceCategory::kStep, "refresh", t0, t1 - t0, 0);
-      trace->Complete(TraceCategory::kStep, "step", t1, t2 - t1, 0);
-      trace->Complete(TraceCategory::kStep, "publish", t2, t3 - t2, 0);
-    }
-  }
-  if (timings != nullptr) {
-    timings->Merge(0, local, &refresh_us, &step_us, &wait_us);
-  }
-}
 
 }  // namespace
 
@@ -349,36 +162,14 @@ RunSharded(Engine* engine, std::uint64_t steps, int shards,
   if (shards < 1) {
     CENN_FATAL("RunSharded: shards must be >= 1, got ", shards);
   }
-  engine->Prepare();
-  const bool observed =
-      options.timings != nullptr || options.trace != nullptr;
-  if (!engine->SupportsBands()) {
-    if (shards > 1) {
-      static std::once_flag warned;
-      std::call_once(warned, [engine] {
-        CENN_WARN("RunSharded: engine '", engine->Kind(),
-                  "' does not support band stepping; running serially");
-      });
-    }
-    if (observed && steps > 0) {
-      RunSerialObserved(*engine, steps, options);
-    } else {
-      ScopedLutTally lut(engine->AttachedLutTraffic());
-      engine->Run(steps);
-    }
-    return;
-  }
-  const auto bands = PartitionRows(engine->Spec().rows, shards);
-  if (bands.size() <= 1 || steps == 0) {
-    if (observed && steps > 0) {
-      RunSerialObserved(*engine, steps, options);
-    } else {
-      ScopedLutTally lut(engine->AttachedLutTraffic());
-      engine->Run(steps);
-    }
-    return;
-  }
-  RunBanded(*engine, steps, bands, options);
+  // One-shot teams and persistent ones (SolverSession) share the same
+  // code path, so their results are trivially bit-identical.
+  TeamOptions team_options;
+  team_options.shards = shards;
+  team_options.timings = options.timings;
+  team_options.trace = options.trace;
+  ShardTeam team(engine, team_options);
+  team.Run(steps);
 }
 
 void

@@ -23,6 +23,12 @@
  * the shard's lane and lanes are named ("shard0", …, "publish") via
  * thread-name metadata. Passing neither keeps the worker loop free of
  * clock reads — the legacy overloads do exactly that.
+ *
+ * RunSharded is now a one-shot wrapper over runtime/worker_team.h's
+ * persistent ShardTeam (spawn, run once, join): long-lived drivers
+ * (SolverSession, BatchRunner) hold a ShardTeam directly so workers
+ * persist across slices; both spellings execute the identical team
+ * code path.
  */
 
 #include <cstdint>

@@ -8,6 +8,7 @@
 #include "lut/lut_refit.h"
 #include "obs/stat_registry.h"
 #include "runtime/sharded_stepper.h"
+#include "runtime/worker_team.h"
 #include "util/logging.h"
 
 namespace cenn {
@@ -70,15 +71,28 @@ SolverSession::ValidateConfig()
   if (config_.checkpoint_every > 0 && config_.checkpoint_path.empty()) {
     CENN_FATAL("SolverSession: checkpoint_every requires checkpoint_path");
   }
-  if (config_.shards < 1) {
-    CENN_FATAL("SolverSession: shards must be >= 1, got ", config_.shards);
+  // Only the team-shape fields of the policy are validated here: the
+  // engine-selection fields describe an engine the caller already
+  // built (possibly not through the factory), so cross-field rules
+  // like "float is soa-only" are not re-checked against them.
+  if (config_.exec.shards < 1) {
+    CENN_FATAL("SolverSession: shards must be >= 1, got ",
+               config_.exec.shards);
   }
-  if (config_.shards != 1 && !engine_->SupportsBands()) {
+  if (config_.exec.block_steps < 1) {
+    CENN_FATAL("SolverSession: block must be >= 1, got ",
+               config_.exec.block_steps);
+  }
+  TeamPin pin = TeamPin::kNone;
+  if (!ParseTeamPin(config_.exec.pin, &pin)) {
+    CENN_FATAL("SolverSession: unknown pin mode '", config_.exec.pin, "'");
+  }
+  if (config_.exec.shards != 1 && !engine_->SupportsBands()) {
     CENN_WARN("SolverSession '", config_.name, "': engine '",
               engine_->Kind(),
               "' does not support band stepping; ignoring shards=",
-              config_.shards);
-    config_.shards = 1;
+              config_.exec.shards);
+    config_.exec.shards = 1;
   }
 }
 
@@ -89,8 +103,15 @@ SolverSession::SolverSession(std::unique_ptr<Engine> engine,
       engine_(std::move(engine))
 {
   ValidateConfig();
-  timings_ = std::make_unique<ShardPhaseTimings>(config_.shards);
+  timings_ = std::make_unique<ShardPhaseTimings>(config_.exec.shards);
   engine_->AttachLutTraffic(&lut_traffic_);
+  TeamOptions team_options;
+  team_options.shards = config_.exec.shards;
+  ParseTeamPin(config_.exec.pin, &team_options.pin);
+  team_options.block_steps = config_.exec.block_steps;
+  team_options.timings = timings_.get();
+  team_options.trace = config_.trace;
+  team_ = std::make_unique<ShardTeam>(engine_.get(), team_options);
 }
 
 SolverSession::~SolverSession()
@@ -124,12 +145,9 @@ void
 SolverSession::RunSlice(std::uint64_t n)
 {
   // Saturation events on *this* thread land in the attached guard;
-  // RunSharded installs its own counter on each band worker.
+  // the team installs its own counter on each band worker.
   ScopedSatCounter sat(engine_->AttachedHealthGuard());
-  ShardRunOptions options;
-  options.timings = timings_.get();
-  options.trace = config_.trace;
-  RunSharded(engine_.get(), n, config_.shards, options);
+  team_->Run(n);
   steps_executed_ += n;
   steps_since_checkpoint_ += n;
 }
@@ -343,6 +361,13 @@ SolverSession::BindStats(StatRegistry* registry)
   scope.BindCounter("restores", "checkpoint restores performed", &restores_);
   scope.BindCounter("pauses", "pause requests honored", &pauses_honored_);
   scope.BindCounter("faults", "health-guard trips honored", &faults_);
+  scope.BindDerived("team.workers", "persistent worker threads", [this] {
+    return static_cast<double>(team_->Workers());
+  });
+  scope.BindDerived("team.dispatches", "slices dispatched to the team",
+                    [this] {
+                      return static_cast<double>(team_->Dispatches());
+                    });
   engine_->BindStats(registry, scope.Prefix());
   if (HealthGuard* guard = engine_->AttachedHealthGuard()) {
     guard->BindStats(registry, scope.Prefix());

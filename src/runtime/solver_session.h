@@ -26,10 +26,16 @@
  *    session destructor stops it with a final "exit" line.
  *
  * The session never branches on the engine kind: stepping goes through
- * RunSharded (which uses band-phase stepping when the engine supports
- * it and falls back to serial otherwise), checkpoints through the
- * Engine overloads of Capture/RestoreCheckpoint, and stats through
- * Engine::BindStats.
+ * a persistent ShardTeam (runtime/worker_team.h) created once at
+ * construction — workers live for the whole session, so every slice
+ * reuses warmed, pinned threads instead of respawning them — which
+ * uses band-phase stepping when the engine supports it and falls back
+ * to serial otherwise. Checkpoints go through the Engine overloads of
+ * Capture/RestoreCheckpoint, and stats through Engine::BindStats. The
+ * team shape (shard count, pinning, temporal-block depth) comes from
+ * SessionConfig::exec; the policy's engine-selection fields are
+ * informational here because the engine is constructed by the caller
+ * (runtime/engine_factory.h consumes them).
  *
  * Sessions are externally synchronized except for RequestPause /
  * RequestCancel / State / StepsDone, which may be called from any
@@ -50,10 +56,12 @@
 #include "obs/metrics_emitter.h"
 #include "program/checkpoint.h"
 #include "runtime/sharded_stepper.h"
+#include "util/exec_policy.h"
 
 namespace cenn {
 
 class LutRefitter;
+class ShardTeam;
 class StatRegistry;
 class TraceSession;
 struct ArchConfig;
@@ -77,8 +85,14 @@ struct SessionConfig {
   /** Human-readable label (job name); also used in log lines. */
   std::string name;
 
-  /** Band-parallel workers for band-capable engines (1 = serial). */
-  int shards = 1;
+  /**
+   * Execution policy. The session consumes the team-shape fields —
+   * shards (band-parallel workers, 1 = serial), pin, block_steps —
+   * for its persistent worker team; the engine-selection fields
+   * describe the engine the caller already built (echoed in logs and
+   * status, not re-interpreted here).
+   */
+  ExecPolicy exec;
 
   /** Total steps the session aims for; 0 = open-ended. */
   std::uint64_t target_steps = 0;
@@ -220,6 +234,13 @@ class SolverSession
     /** Per-shard phase timings accumulated by this session's slices. */
     const ShardPhaseTimings& PhaseTimings() const { return *timings_; }
 
+    /**
+     * The persistent worker team stepping this session (never null).
+     * Exposes team shape and dispatch counts — tests assert that
+     * pause/checkpoint/resume cycles reuse the same workers.
+     */
+    const ShardTeam& Team() const { return *team_; }
+
     /** Off-chip LUT interpolation traffic seen by this session. */
     const LutTrafficSink& LutTraffic() const { return lut_traffic_; }
 
@@ -243,7 +264,7 @@ class SolverSession
     /** Config validation + shard clamping shared by all ctors. */
     void ValidateConfig();
 
-    /** Runs one slice of `n` steps through RunSharded. */
+    /** Runs one slice of `n` steps through the persistent team. */
     void RunSlice(std::uint64_t n);
 
     /** Checkpoint bookkeeping after a slice. */
@@ -256,6 +277,8 @@ class SolverSession
     SessionConfig config_;
     std::unique_ptr<Engine> engine_;
     std::unique_ptr<ShardPhaseTimings> timings_;
+    /** Declared after engine_ so workers join before the engine dies. */
+    std::unique_ptr<ShardTeam> team_;
     LutTrafficSink lut_traffic_;
     std::unique_ptr<MetricsEmitter> metrics_;
 

@@ -1,0 +1,209 @@
+#ifndef CENN_RUNTIME_WORKER_TEAM_H_
+#define CENN_RUNTIME_WORKER_TEAM_H_
+
+/**
+ * @file
+ * ShardTeam — a persistent band-parallel worker team over one Engine.
+ *
+ * The fused execution engine of the solver stack: K workers are
+ * spawned once (per SolverSession / per BatchRunner job / per
+ * RunSharded call) and step disjoint row bands of a shared engine
+ * through the two-phase halo barrier of docs/runtime.md, so a
+ * long-running session pays thread creation once instead of once per
+ * slice. Dispatch between Run() calls is a generation counter under a
+ * mutex/condvar; the phase barriers themselves are std::barrier
+ * objects reused across every step of every dispatch. Results are
+ * bit-identical to serial stepping for any shard count — the team
+ * runs exactly the RunSharded protocol, including the serial publish
+ * in the compute barrier's completion step.
+ *
+ * Pinning (TeamOptions::pin): "cores" pins worker k to cpu k mod N;
+ * "numa" pins worker k to the cpuset of node k mod #nodes (Linux
+ * sysfs; falls back to cores elsewhere). Pinned workers additionally
+ * warm their band (one out-of-loop RefreshOutputs) on first dispatch
+ * so first-touch page placement lands on the worker's node.
+ *
+ * Temporal blocking (TeamOptions::block_steps = T > 1): each worker
+ * owns a private band clone (Engine::MakeBandClone) extended by
+ * margin = T * template-radius rows on each cut edge and advances it
+ * T Euler steps per halo exchange — copy rows in, barrier, T private
+ * steps, copy own band out, barrier. Cut-edge corruption propagates
+ * at most radius rows per step, so after T steps it has not reached
+ * the worker's own [r0, r1) rows and every published cell equals the
+ * serial value up to the kernel path's ULP contract (bit-exact for
+ * the current non-FMA kernels; the SIMD contract allows <= 4 ULP).
+ * True grid edges keep real boundary handling because the clone's
+ * margin is clamped there (periodic grids wrap the row map instead).
+ * Requires an engine with MakeBandClone/Read/WriteStateRows (the SoA
+ * engine at double/float); anything else falls back to classic
+ * stepping with a once-per-process warning. Traffic-model counters of
+ * temporally-blocked steps accrue on the private clones, not the
+ * main engine.
+ *
+ * Observability matches RunSharded for every mode: per-shard
+ * refresh/step/wait phase counters and histograms merge into the
+ * TeamOptions::timings accumulator (temporal mode accounts row
+ * copies as refresh and private stepping as step time), the serial
+ * publish (or temporal block commit) lands in publish ns/count, and
+ * the serial fallback attributes its phases to shard 0.
+ *
+ * Thread safety: Run() is externally synchronized (one driver thread
+ * at a time — the SolverSession pattern); Workers()/Dispatches()/
+ * TemporalBlocking() may be read from any thread.
+ */
+
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/sharded_stepper.h"
+
+namespace cenn {
+
+class Engine;
+class ShardTeam;
+
+/** Worker pinning policy of a ShardTeam. */
+enum class TeamPin : std::uint8_t {
+  kNone = 0,   ///< scheduler decides
+  kCores = 1,  ///< worker k -> cpu (k mod N)
+  kNuma = 2,   ///< worker k -> node (k mod #nodes) cpuset
+};
+
+/** Parses "none" / "cores" / "numa"; false otherwise. */
+bool ParseTeamPin(const std::string& text, TeamPin* out);
+
+/** Returns "none" / "cores" / "numa". */
+const char* TeamPinName(TeamPin pin);
+
+/** Construction parameters of a ShardTeam. */
+struct TeamOptions {
+  /** Requested band shards (>= 1; clamped to available rows). */
+  int shards = 1;
+
+  /** Worker pinning policy. */
+  TeamPin pin = TeamPin::kNone;
+
+  /** Temporal-block depth T (1 = classic two-phase stepping). */
+  int block_steps = 1;
+
+  /** Phase-time accumulator; null = no clock reads in the loop. */
+  ShardPhaseTimings* timings = nullptr;
+
+  /** Trace sink for per-phase spans (see sharded_stepper.h). */
+  TraceSession* trace = nullptr;
+};
+
+/** Compute-barrier completion (serial publish / block commit). */
+struct TeamComputeCompletion {
+  ShardTeam* team = nullptr;
+  void operator()() const noexcept;
+};
+
+/** Persistent band-parallel worker team (see file comment). */
+class ShardTeam
+{
+  public:
+    /**
+     * Prepares `engine` (not owned; must outlive the team), partitions
+     * its rows and spawns the workers. Falls back to a thread-free
+     * serial team when the engine cannot band-step or the partition
+     * yields a single band (a warning is logged once per process when
+     * shards > 1 had to be ignored).
+     */
+    ShardTeam(Engine* engine, const TeamOptions& options);
+
+    ShardTeam(const ShardTeam&) = delete;
+    ShardTeam& operator=(const ShardTeam&) = delete;
+
+    /** Joins the workers. */
+    ~ShardTeam();
+
+    /**
+     * Steps the engine `steps` times using the resident workers
+     * (blocking; returns when the engine has advanced). Zero steps is
+     * a no-op that does not count as a dispatch.
+     */
+    void Run(std::uint64_t steps);
+
+    /** Resident worker threads (0 = serial fallback). */
+    int Workers() const { return static_cast<int>(workers_.size()); }
+
+    /** Run() dispatches issued so far (lifecycle/reuse telemetry). */
+    std::uint64_t Dispatches() const
+    {
+        return dispatches_.load(std::memory_order_relaxed);
+    }
+
+    /** True when the team steps with temporal blocking. */
+    bool TemporalBlocking() const { return temporal_; }
+
+    /** The effective band count ( == Workers() when threaded). */
+    int Bands() const { return static_cast<int>(bands_.size()); }
+
+  private:
+    friend struct TeamComputeCompletion;
+
+    /** Per-worker resident state. */
+    struct Slot {
+      std::pair<std::size_t, std::size_t> band{0, 0};
+      /** Clone-row -> main-row map (temporal mode). */
+      std::vector<std::size_t> row_map;
+      /** Main row index of row_map[0] is band.first - lead. */
+      std::size_t lead = 0;
+      /** Private band clone; built lazily on the worker (NUMA
+       *  first-touch) in temporal mode. */
+      std::unique_ptr<Engine> clone;
+      /** Row-exchange scratch, one plane of row_map rows. */
+      std::vector<double> scratch;
+      bool warmed = false;
+    };
+
+    void WorkerMain(std::size_t k);
+    void RunBand(Slot& slot, std::size_t k, std::uint64_t steps);
+    void RunTemporalBand(Slot& slot, std::size_t k, std::uint64_t steps);
+    void RunSerial(std::uint64_t steps);
+
+    /** Compute-barrier completion body (exactly one thread). */
+    void OnComputeComplete() noexcept;
+
+    Engine* engine_;
+    ShardPhaseTimings* timings_;
+    TraceSession* trace_;
+    TeamPin pin_;
+    int block_steps_;
+    bool temporal_ = false;
+    std::vector<std::pair<std::size_t, std::size_t>> bands_;
+    std::vector<Slot> slots_;
+
+    /** Sub-steps committed by the in-flight temporal block (written
+     *  by worker 0 before its barrier arrival; read by the barrier
+     *  completion, which all arrivals happen-before). */
+    std::uint64_t block_now_ = 0;
+
+    std::optional<std::barrier<void (*)() noexcept>> refresh_done_;
+    std::optional<std::barrier<TeamComputeCompletion>> compute_done_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    std::uint64_t steps_requested_ = 0;
+    std::size_t workers_done_ = 0;
+    bool stop_ = false;
+
+    std::atomic<std::uint64_t> dispatches_{0};
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_WORKER_TEAM_H_

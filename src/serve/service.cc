@@ -5,7 +5,6 @@
 #include <filesystem>
 #include <thread>
 
-#include "kernels/kernel_path.h"
 #include "lut/lut_store.h"
 #include "models/benchmark_model.h"
 #include "runtime/engine_factory.h"
@@ -440,7 +439,7 @@ SolverService::HandleStatus(const JsonValue& request)
       .String("tenant", job->tenant)
       .String("name", job->spec.name)
       .String("model", job->spec.model)
-      .String("engine", job->spec.engine)
+      .String("exec", FormatExecPolicy(job->spec.exec))
       .String("status", ServeJobStatusName(job->status))
       .Bool("done", !ServeJobStatusIsLive(job->status))
       .Int("attempts", job->attempts)
@@ -767,7 +766,7 @@ SolverService::RunJob(ServeJob* job)
 
     SessionConfig sc;
     sc.name = spec.name;
-    sc.shards = spec.shards;
+    sc.exec = spec.exec;
     sc.target_steps = target;
     sc.checkpoint_every = spec.checkpoint_every > 0
                               ? spec.checkpoint_every
@@ -784,19 +783,9 @@ SolverService::RunJob(ServeJob* job)
       job->live_steps.store(engine.Steps(), std::memory_order_relaxed);
     };
 
-    EngineRequest req;
-    req.engine = spec.engine;
-    if (!spec.precision.empty()) {
-      req.precision = spec.precision;
-    }
-    req.memory = spec.memory;
-    if (!ParseKernelPath(spec.kernel_path.c_str(), &req.kernel_path)) {
-      // Unreachable: Apply validated the choice at submit.
-      Finalize(job, ServeJobStatus::kFailed, nullptr,
-               "unknown kernel_path '" + spec.kernel_path + "'");
-      record_wall();
-      return;
-    }
+    // Submit validated the policy (ValidateJobSpec → ValidateExecPolicy),
+    // so the conversion cannot hit ToEngineRequest's fatal paths.
+    const EngineRequest req = ToEngineRequest(spec.exec);
 
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       if (attempt > 1 && options_.retry_backoff_ms > 0) {

@@ -1,21 +1,82 @@
 #include "util/common_options.h"
 
+#include <cstdlib>
+#include <mutex>
+
 #include "util/logging.h"
 
 namespace cenn {
+
+namespace {
+
+/** Sentinel marking "flag not given" (no legal value collides). */
+const std::string kUnsetFlag = "\x01";
+
+/**
+ * Folds one legacy engine-selection flag into the policy: applied
+ * only when given, with the once-per-process deprecation warning
+ * pointing at the --exec spelling.
+ */
+void
+ApplyLegacyEngineFlag(CliFlags& flags, const char* flag,
+                      const char* exec_key, std::string* target)
+{
+  const std::string value = flags.GetString(flag, kUnsetFlag);
+  if (value == kUnsetFlag) {
+    return;
+  }
+  WarnDeprecatedOnce(std::string("--") + flag,
+                     std::string("--exec=...:") + exec_key + "=" + value);
+  *target = value;
+}
+
+}  // namespace
 
 CommonOptions
 ParseCommonOptions(CliFlags& flags, unsigned groups, CommonOptions defaults)
 {
   CommonOptions opts = std::move(defaults);
   if ((groups & kEngineFlags) != 0) {
-    opts.engine = flags.GetString("engine", opts.engine);
-    opts.precision = flags.GetString("precision", opts.precision);
-    opts.memory = flags.GetString("memory", opts.memory);
-    opts.kernel_path = flags.GetString("kernel-path", opts.kernel_path);
+    // Precedence: defaults < legacy long flags < --exec < CENN_EXEC.
+    ApplyLegacyEngineFlag(flags, "engine", "engine", &opts.exec.engine);
+    ApplyLegacyEngineFlag(flags, "precision", "precision",
+                          &opts.exec.precision);
+    ApplyLegacyEngineFlag(flags, "memory", "memory", &opts.exec.memory);
+    ApplyLegacyEngineFlag(flags, "kernel-path", "kernel",
+                          &opts.exec.kernel_path);
+    // Legacy manifests spelled the functional precisions as engines;
+    // keep that working through the flag alias too.
+    if (opts.exec.engine == "double" || opts.exec.engine == "fixed") {
+      opts.exec.precision = opts.exec.engine;
+      opts.exec.engine = "functional";
+    }
+    const std::string exec_text = flags.GetString("exec", "");
+    std::string error;
+    if (!exec_text.empty() &&
+        !ParseExecPolicy(exec_text, &opts.exec, &error)) {
+      CENN_FATAL("--exec: ", error);
+    }
+    if (const char* env = std::getenv("CENN_EXEC");
+        env != nullptr && env[0] != '\0') {
+      if (!ParseExecPolicy(env, &opts.exec, &error)) {
+        CENN_FATAL("CENN_EXEC: ", error);
+      }
+      static std::once_flag logged;
+      std::call_once(logged, [env] {
+        CENN_INFORM("CENN_EXEC override active: ", env);
+      });
+    }
+    if (!ValidateExecPolicy(opts.exec, &error)) {
+      CENN_FATAL("exec policy: ", error);
+    }
   }
   if ((groups & kThreadsFlag) != 0) {
-    opts.threads = static_cast<int>(flags.GetInt("threads", opts.threads));
+    const std::int64_t sentinel = -987654;
+    const std::int64_t given = flags.GetInt("threads", sentinel);
+    opts.threads_given = given != sentinel;
+    if (opts.threads_given) {
+      opts.threads = static_cast<int>(given);
+    }
     if (opts.threads < 1) {
       CENN_FATAL("--threads must be >= 1, got ", opts.threads);
     }
@@ -71,14 +132,20 @@ CommonOptionsHelp(unsigned groups)
   std::string out;
   if ((groups & kEngineFlags) != 0) {
     out +=
-        "  --engine=functional|soa|arch  execution engine (legacy\n"
-        "                               spellings double|fixed still parse)\n"
-        "  --precision=double|fixed|float  numeric precision (default\n"
-        "                               fixed; float is soa-only)\n"
-        "  --memory=ddr3|hmc-int|hmc-ext  arch engine memory system\n"
-        "  --kernel-path=auto|scalar|blocked|simd  soa stepping kernels\n"
-        "                               (CENN_KERNEL_PATH overrides;\n"
-        "                               simd ISA via CENN_SIMD_ISA)\n";
+        "  --exec=POLICY                unified execution policy: colon-\n"
+        "                               separated engine|precision|memory|\n"
+        "                               kernel tokens plus shards=N, pin=\n"
+        "                               none|cores|numa and block=T, e.g.\n"
+        "                               --exec=soa:simd:shards=8:pin=numa\n"
+        "                               (CENN_EXEC env overrides; see\n"
+        "                               docs/runtime.md)\n"
+        "  --engine=functional|soa|arch deprecated alias of --exec\n"
+        "  --precision=double|fixed|float  deprecated alias of --exec\n"
+        "  --memory=ddr3|hmc-int|hmc-ext  deprecated alias of --exec\n"
+        "  --kernel-path=auto|scalar|blocked|simd  deprecated alias of\n"
+        "                               --exec (CENN_KERNEL_PATH still\n"
+        "                               overrides; simd ISA via\n"
+        "                               CENN_SIMD_ISA)\n";
   }
   if ((groups & kThreadsFlag) != 0) {
     out += "  --threads=N                  worker threads\n";

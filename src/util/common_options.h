@@ -16,6 +16,14 @@
  * Values are kept as strings here — src/util sits below the kernel
  * and program layers, so canonicalization (legacy engine spellings,
  * precision defaults) happens in runtime/engine_factory.h.
+ *
+ * Execution selection is the unified ExecPolicy (util/exec_policy.h):
+ * `--exec=soa:simd:shards=8:pin=numa` is the canonical spelling, the
+ * long flags (--engine, --precision, --memory, --kernel-path) still
+ * parse as aliases with a once-per-process deprecation warning, and
+ * the CENN_EXEC environment variable overrides whichever fields it
+ * mentions (logged once). Precedence: defaults < legacy flags <
+ * --exec < CENN_EXEC.
  */
 
 #include <cstddef>
@@ -23,12 +31,14 @@
 #include <string>
 
 #include "util/cli.h"
+#include "util/exec_policy.h"
 
 namespace cenn {
 
 /** Flag groups a tool can opt into (bitwise-or of these). */
 enum CommonFlagGroup : unsigned {
-  /** --engine, --precision, --memory, --kernel-path */
+  /** --exec plus legacy aliases --engine, --precision, --memory,
+   *  --kernel-path */
   kEngineFlags = 1u << 0,
 
   /** --threads */
@@ -56,20 +66,20 @@ enum CommonFlagGroup : unsigned {
 
 /** Parsed values of the shared flags (defaults when not given). */
 struct CommonOptions {
-  /** "functional", "soa", "arch" (legacy: "double", "fixed"). */
-  std::string engine = "functional";
-
-  /** "double", "fixed" or "float"; empty = engine default. */
-  std::string precision;
-
-  /** Arch memory system: "ddr3", "hmc-int" or "hmc-ext". */
-  std::string memory = "ddr3";
-
-  /** SoA stepping implementation: "auto", "scalar" or "blocked". */
-  std::string kernel_path = "auto";
+  /**
+   * How the run executes: engine, precision, memory, kernel path,
+   * shards, pinning, temporal-block depth. Assembled from --exec,
+   * the legacy long flags and CENN_EXEC; validated, so safe to hand
+   * to BuildEngine / ShardTeam directly.
+   */
+  ExecPolicy exec;
 
   /** Worker threads (band shards in cenn_run, pool in cenn_batch). */
   int threads = 1;
+
+  /** True when --threads was given explicitly (cenn_run folds it
+   *  into exec.shards with a deprecation warning). */
+  bool threads_given = false;
 
   /** Named-stat dump file; .csv/.json extensions switch the format. */
   std::string stats_out;

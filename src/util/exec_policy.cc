@@ -1,0 +1,320 @@
+#include "util/exec_policy.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cenn {
+
+namespace {
+
+constexpr const char* kEngines[] = {"functional", "soa", "arch"};
+constexpr const char* kPrecisions[] = {"double", "fixed", "float"};
+constexpr const char* kMemories[] = {"ddr3", "hmc-int", "hmc-ext"};
+constexpr const char* kKernelPaths[] = {"auto", "scalar", "blocked", "simd"};
+constexpr const char* kPins[] = {"none", "cores", "numa"};
+
+template <std::size_t N>
+bool
+OneOf(const std::string& value, const char* const (&choices)[N])
+{
+  return std::find_if(std::begin(choices), std::end(choices),
+                      [&value](const char* c) { return value == c; }) !=
+         std::end(choices);
+}
+
+template <std::size_t N>
+std::string
+Join(const char* const (&choices)[N])
+{
+  std::string out;
+  for (const char* c : choices) {
+    if (!out.empty()) {
+      out += "|";
+    }
+    out += c;
+  }
+  return out;
+}
+
+/** Parses a positive int; false on junk, zero or overflow. */
+bool
+ParsePositiveInt(const std::string& value, int* out)
+{
+  if (value.empty()) {
+    return false;
+  }
+  long long parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > std::numeric_limits<int>::max()) {
+      return false;
+    }
+  }
+  if (parsed < 1) {
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+/** One field assignment with set-twice detection. */
+bool
+SetField(unsigned field, unsigned* seen, std::string* target,
+         const std::string& value, const char* name, std::string* error)
+{
+  if ((*seen & field) != 0) {
+    *error = std::string("exec policy sets '") + name + "' twice";
+    return false;
+  }
+  *seen |= field;
+  *target = value;
+  return true;
+}
+
+}  // namespace
+
+bool
+ParseExecPolicy(const std::string& text, ExecPolicy* out, std::string* error,
+                unsigned* fields)
+{
+  CENN_ASSERT(out != nullptr && error != nullptr,
+              "ParseExecPolicy: null output");
+  if (text.empty()) {
+    *error = "empty exec policy";
+    return false;
+  }
+  ExecPolicy policy = *out;
+  unsigned seen = 0;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t colon = text.find(':', pos);
+    const std::string seg = text.substr(
+        pos, colon == std::string::npos ? std::string::npos : colon - pos);
+    pos = colon == std::string::npos ? text.size() + 1 : colon + 1;
+    if (seg.empty()) {
+      *error = "empty segment in exec policy '" + text + "'";
+      return false;
+    }
+
+    const std::size_t eq = seg.find('=');
+    if (eq == std::string::npos) {
+      // Bare token: classify by the (disjoint) choice lists.
+      if (OneOf(seg, kEngines)) {
+        if (!SetField(kExecEngineField, &seen, &policy.engine, seg, "engine",
+                      error)) {
+          return false;
+        }
+      } else if (OneOf(seg, kPrecisions)) {
+        if (!SetField(kExecPrecisionField, &seen, &policy.precision, seg,
+                      "precision", error)) {
+          return false;
+        }
+      } else if (OneOf(seg, kKernelPaths)) {
+        if (!SetField(kExecKernelField, &seen, &policy.kernel_path, seg,
+                      "kernel", error)) {
+          return false;
+        }
+      } else if (OneOf(seg, kMemories)) {
+        if (!SetField(kExecMemoryField, &seen, &policy.memory, seg, "memory",
+                      error)) {
+          return false;
+        }
+      } else {
+        *error = "unknown exec token '" + seg +
+                 "' (engine, precision, kernel path or memory name; or "
+                 "key=value with keys engine|precision|memory|kernel|"
+                 "shards|pin|block)";
+        return false;
+      }
+      continue;
+    }
+
+    const std::string key = seg.substr(0, eq);
+    const std::string value = seg.substr(eq + 1);
+    if (key == "engine") {
+      if (!OneOf(value, kEngines)) {
+        *error = "unknown engine '" + value + "' (" + Join(kEngines) + ")";
+        return false;
+      }
+      if (!SetField(kExecEngineField, &seen, &policy.engine, value, "engine",
+                    error)) {
+        return false;
+      }
+    } else if (key == "precision") {
+      if (!OneOf(value, kPrecisions)) {
+        *error = "unknown precision '" + value + "' (" + Join(kPrecisions) +
+                 ")";
+        return false;
+      }
+      if (!SetField(kExecPrecisionField, &seen, &policy.precision, value,
+                    "precision", error)) {
+        return false;
+      }
+    } else if (key == "memory") {
+      if (!OneOf(value, kMemories)) {
+        *error = "unknown memory '" + value + "' (" + Join(kMemories) + ")";
+        return false;
+      }
+      if (!SetField(kExecMemoryField, &seen, &policy.memory, value, "memory",
+                    error)) {
+        return false;
+      }
+    } else if (key == "kernel" || key == "kernel_path") {
+      if (!OneOf(value, kKernelPaths)) {
+        *error = "unknown kernel path '" + value + "' (" +
+                 Join(kKernelPaths) + ")";
+        return false;
+      }
+      if (!SetField(kExecKernelField, &seen, &policy.kernel_path, value,
+                    "kernel", error)) {
+        return false;
+      }
+    } else if (key == "pin") {
+      if (!OneOf(value, kPins)) {
+        *error = "unknown pin mode '" + value + "' (" + Join(kPins) + ")";
+        return false;
+      }
+      if (!SetField(kExecPinField, &seen, &policy.pin, value, "pin", error)) {
+        return false;
+      }
+    } else if (key == "shards") {
+      if ((seen & kExecShardsField) != 0) {
+        *error = "exec policy sets 'shards' twice";
+        return false;
+      }
+      if (!ParsePositiveInt(value, &policy.shards)) {
+        *error = "shards '" + value + "' is not a positive integer";
+        return false;
+      }
+      seen |= kExecShardsField;
+    } else if (key == "block") {
+      if ((seen & kExecBlockField) != 0) {
+        *error = "exec policy sets 'block' twice";
+        return false;
+      }
+      if (!ParsePositiveInt(value, &policy.block_steps)) {
+        *error = "block '" + value + "' is not a positive integer";
+        return false;
+      }
+      seen |= kExecBlockField;
+    } else {
+      *error = "unknown exec key '" + key +
+               "' (engine|precision|memory|kernel|shards|pin|block)";
+      return false;
+    }
+  }
+
+  *out = policy;
+  if (fields != nullptr) {
+    *fields = seen;
+  }
+  return true;
+}
+
+bool
+ValidateExecPolicy(const ExecPolicy& policy, std::string* error)
+{
+  CENN_ASSERT(error != nullptr, "ValidateExecPolicy: null error");
+  if (!OneOf(policy.engine, kEngines)) {
+    *error = "unknown engine '" + policy.engine + "' (" + Join(kEngines) +
+             ")";
+    return false;
+  }
+  if (!policy.precision.empty() && !OneOf(policy.precision, kPrecisions)) {
+    *error = "unknown precision '" + policy.precision + "' (" +
+             Join(kPrecisions) + ")";
+    return false;
+  }
+  if (!OneOf(policy.memory, kMemories)) {
+    *error = "unknown memory '" + policy.memory + "' (" + Join(kMemories) +
+             ")";
+    return false;
+  }
+  if (!OneOf(policy.kernel_path, kKernelPaths)) {
+    *error = "unknown kernel path '" + policy.kernel_path + "' (" +
+             Join(kKernelPaths) + ")";
+    return false;
+  }
+  if (!OneOf(policy.pin, kPins)) {
+    *error = "unknown pin mode '" + policy.pin + "' (" + Join(kPins) + ")";
+    return false;
+  }
+  if (policy.shards < 1) {
+    *error = "shards must be >= 1";
+    return false;
+  }
+  if (policy.block_steps < 1) {
+    *error = "block must be >= 1";
+    return false;
+  }
+  if (policy.precision == "float" && policy.engine != "soa") {
+    *error = "precision 'float' is only available on the soa engine, not '" +
+             policy.engine + "'";
+    return false;
+  }
+  if (policy.block_steps > 1) {
+    // Temporal blocking steps private band copies with reordered halo
+    // exchange; only the LUT-free soa paths carry that contract.
+    if (policy.engine != "soa" ||
+        (policy.precision != "double" && policy.precision != "float")) {
+      *error = "block > 1 (temporal blocking) requires the soa engine at "
+               "double or float precision (got engine '" + policy.engine +
+               "', precision '" +
+               (policy.precision.empty() ? "<default fixed>"
+                                         : policy.precision) +
+               "')";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string
+FormatExecPolicy(const ExecPolicy& policy)
+{
+  std::string out = policy.engine;
+  if (!policy.precision.empty()) {
+    out += ":" + policy.precision;
+  }
+  if (policy.memory != "ddr3") {
+    out += ":" + policy.memory;
+  }
+  if (policy.kernel_path != "auto") {
+    out += ":" + policy.kernel_path;
+  }
+  if (policy.shards != 1) {
+    out += ":shards=" + std::to_string(policy.shards);
+  }
+  if (policy.pin != "none") {
+    out += ":pin=" + policy.pin;
+  }
+  if (policy.block_steps != 1) {
+    out += ":block=" + std::to_string(policy.block_steps);
+  }
+  return out;
+}
+
+void
+WarnDeprecatedOnce(const std::string& legacy, const std::string& replacement)
+{
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!warned->insert(legacy).second) {
+      return;
+    }
+  }
+  CENN_WARN("deprecated: ", legacy, " - use ", replacement);
+}
+
+}  // namespace cenn

@@ -234,7 +234,7 @@ TEST(EngineSessionTest, SoaSessionMatchesFunctionalSessionChecksum)
   sc.name = "soa";
   sc.target_steps = 40;
   sc.slice_steps = 8;
-  sc.shards = 3;
+  sc.exec.shards = 3;
 
   EngineRequest req;
   req.engine = "soa";
@@ -242,7 +242,7 @@ TEST(EngineSessionTest, SoaSessionMatchesFunctionalSessionChecksum)
   soa.RunToTarget();
 
   sc.name = "ref";
-  sc.shards = 1;
+  sc.exec.shards = 1;
   req.engine = "functional";
   SolverSession ref(BuildEngine(program, req), sc);
   ref.RunToTarget();
@@ -258,7 +258,7 @@ TEST(EngineSessionTest, NonBandEngineClampsShardsWithWarning)
   sc.name = "arch";
   sc.target_steps = 10;
   sc.slice_steps = 4;
-  sc.shards = 4;  // arch cannot band-step; session clamps to 1
+  sc.exec.shards = 4;  // arch cannot band-step; session clamps to 1
 
   EngineRequest req;
   req.engine = "arch";
@@ -280,10 +280,10 @@ TEST(CommonOptionsTest, ParsesAllGroupsWithDefaults)
   const CommonOptions opts = ParseCommonOptions(flags);
   flags.Validate();
 
-  EXPECT_EQ(opts.engine, "soa");
-  EXPECT_EQ(opts.precision, "float");
-  EXPECT_EQ(opts.memory, "ddr3");  // default
-  EXPECT_EQ(opts.kernel_path, "scalar");
+  EXPECT_EQ(opts.exec.engine, "soa");
+  EXPECT_EQ(opts.exec.precision, "float");
+  EXPECT_EQ(opts.exec.memory, "ddr3");  // default
+  EXPECT_EQ(opts.exec.kernel_path, "scalar");
   EXPECT_EQ(opts.threads, 3);
   EXPECT_EQ(opts.stats_out, "s.json");
   EXPECT_EQ(opts.trace_out, "t.json");
@@ -340,12 +340,193 @@ TEST(CommonOptionsTest, CallerDefaultsSurviveWhenFlagsAbsent)
   CliFlags flags = Flags({});
   CommonOptions defaults;
   defaults.threads = 2;
-  defaults.precision = "fixed";
+  defaults.exec.precision = "fixed";
   const CommonOptions opts =
       ParseCommonOptions(flags, kAllCommonFlags, defaults);
   flags.Validate();
   EXPECT_EQ(opts.threads, 2);
-  EXPECT_EQ(opts.precision, "fixed");
+  EXPECT_EQ(opts.exec.precision, "fixed");
+}
+
+TEST(CommonOptionsTest, ExecFlagOverridesLegacyAliases)
+{
+  // Precedence: defaults < legacy long flags < --exec < CENN_EXEC.
+  CliFlags flags =
+      Flags({"--engine=arch", "--kernel-path=scalar",
+             "--exec=soa:simd:shards=4"});
+  const CommonOptions opts = ParseCommonOptions(flags, kEngineFlags);
+  flags.Validate();
+  EXPECT_EQ(opts.exec.engine, "soa");
+  EXPECT_EQ(opts.exec.kernel_path, "simd");
+  EXPECT_EQ(opts.exec.shards, 4);
+}
+
+TEST(CommonOptionsTest, CennExecEnvOutranksExecFlag)
+{
+  ::setenv("CENN_EXEC", "shards=2:pin=cores", /*overwrite=*/1);
+  CliFlags flags = Flags({"--exec=soa:double:shards=8"});
+  const CommonOptions opts = ParseCommonOptions(flags, kEngineFlags);
+  ::unsetenv("CENN_EXEC");
+  flags.Validate();
+  // Env overrides only the fields it mentions; the flag's survive.
+  EXPECT_EQ(opts.exec.engine, "soa");
+  EXPECT_EQ(opts.exec.precision, "double");
+  EXPECT_EQ(opts.exec.shards, 2);
+  EXPECT_EQ(opts.exec.pin, "cores");
+}
+
+// ---------------------------------------------------------------------------
+// ExecPolicy
+
+TEST(ExecPolicyTest, ParsesBareTokensAndKeyValues)
+{
+  ExecPolicy policy;
+  std::string error;
+  unsigned fields = 0;
+  ASSERT_TRUE(ParseExecPolicy("soa:simd:shards=8:pin=numa", &policy,
+                              &error, &fields))
+      << error;
+  EXPECT_EQ(policy.engine, "soa");
+  EXPECT_EQ(policy.kernel_path, "simd");
+  EXPECT_EQ(policy.shards, 8);
+  EXPECT_EQ(policy.pin, "numa");
+  EXPECT_EQ(fields, kExecEngineField | kExecKernelField |
+                        kExecShardsField | kExecPinField);
+
+  // A bare double/fixed sets the *precision* (legacy engine=double
+  // meant "functional at double").
+  ExecPolicy legacy;
+  ASSERT_TRUE(ParseExecPolicy("double", &legacy, &error)) << error;
+  EXPECT_EQ(legacy.engine, "functional");
+  EXPECT_EQ(legacy.precision, "double");
+
+  ExecPolicy keyed;
+  ASSERT_TRUE(ParseExecPolicy(
+      "engine=soa:precision=float:kernel=blocked:block=8", &keyed, &error))
+      << error;
+  EXPECT_EQ(keyed.engine, "soa");
+  EXPECT_EQ(keyed.precision, "float");
+  EXPECT_EQ(keyed.kernel_path, "blocked");
+  EXPECT_EQ(keyed.block_steps, 8);
+}
+
+TEST(ExecPolicyTest, MergeOverridesOnlyMentionedFields)
+{
+  ExecPolicy policy;
+  std::string error;
+  ASSERT_TRUE(ParseExecPolicy("soa:double:simd:shards=4", &policy, &error));
+  // Second parse into the same policy: merge semantics.
+  ASSERT_TRUE(ParseExecPolicy("shards=2:pin=cores", &policy, &error));
+  EXPECT_EQ(policy.engine, "soa");
+  EXPECT_EQ(policy.precision, "double");
+  EXPECT_EQ(policy.kernel_path, "simd");
+  EXPECT_EQ(policy.shards, 2);
+  EXPECT_EQ(policy.pin, "cores");
+}
+
+TEST(ExecPolicyTest, RejectsUnknownTokensDuplicatesAndBadCounts)
+{
+  ExecPolicy policy;
+  std::string error;
+  EXPECT_FALSE(ParseExecPolicy("warp9", &policy, &error));
+  EXPECT_NE(error.find("unknown exec token"), std::string::npos);
+  EXPECT_FALSE(ParseExecPolicy("soa:functional", &policy, &error));
+  EXPECT_NE(error.find("twice"), std::string::npos);
+  EXPECT_FALSE(ParseExecPolicy("shards=0", &policy, &error));
+  EXPECT_FALSE(ParseExecPolicy("block=x", &policy, &error));
+  EXPECT_FALSE(ParseExecPolicy("engine=gpu", &policy, &error));
+  EXPECT_FALSE(ParseExecPolicy("", &policy, &error));
+  EXPECT_FALSE(ParseExecPolicy("soa::simd", &policy, &error));
+}
+
+TEST(ExecPolicyTest, FormatRoundTripsAndOmitsDefaults)
+{
+  // Defaults collapse to just the engine name.
+  EXPECT_EQ(FormatExecPolicy(ExecPolicy{}), "functional");
+
+  ExecPolicy full;
+  full.engine = "soa";
+  full.precision = "double";
+  full.kernel_path = "simd";
+  full.shards = 8;
+  full.pin = "numa";
+  full.block_steps = 4;
+  const std::string text = FormatExecPolicy(full);
+  EXPECT_EQ(text, "soa:double:simd:shards=8:pin=numa:block=4");
+
+  ExecPolicy reparsed;
+  std::string error;
+  ASSERT_TRUE(ParseExecPolicy(text, &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed, full);
+}
+
+TEST(ExecPolicyTest, ValidateEnforcesCrossFieldRules)
+{
+  std::string error;
+  ExecPolicy ok;
+  ok.engine = "soa";
+  ok.precision = "double";
+  ok.block_steps = 4;
+  EXPECT_TRUE(ValidateExecPolicy(ok, &error)) << error;
+
+  ExecPolicy float_functional;
+  float_functional.precision = "float";
+  EXPECT_FALSE(ValidateExecPolicy(float_functional, &error));
+  EXPECT_NE(error.find("float"), std::string::npos);
+
+  ExecPolicy block_functional;
+  block_functional.block_steps = 4;
+  EXPECT_FALSE(ValidateExecPolicy(block_functional, &error));
+  EXPECT_NE(error.find("temporal blocking"), std::string::npos);
+
+  ExecPolicy block_fixed;
+  block_fixed.engine = "soa";
+  block_fixed.precision = "fixed";
+  block_fixed.block_steps = 4;
+  EXPECT_FALSE(ValidateExecPolicy(block_fixed, &error));
+}
+
+TEST(ExecPolicyTest, KernelChoicesStayInSyncWithKernelPathParser)
+{
+  // The policy's kernel choice list and kernels/kernel_path.h must
+  // accept exactly the same spellings (the policy layer cannot
+  // include the kernel header; this test is the sync contract).
+  for (const char* name : {"auto", "scalar", "blocked", "simd"}) {
+    ExecPolicy policy;
+    std::string error;
+    ASSERT_TRUE(ParseExecPolicy(std::string("kernel=") + name, &policy,
+                                &error))
+        << name << ": " << error;
+    KernelPath path = KernelPath::kAuto;
+    EXPECT_TRUE(ParseKernelPath(name, &path)) << name;
+    EXPECT_NE(std::string(kKernelPathChoices).find(name),
+              std::string::npos)
+        << name;
+  }
+}
+
+TEST(ExecPolicyTest, ToEngineRequestCanonicalizes)
+{
+  ExecPolicy policy;
+  std::string error;
+  ASSERT_TRUE(
+      ParseExecPolicy("soa:double:simd:shards=8", &policy, &error));
+  const EngineRequest req = ToEngineRequest(policy);
+  EXPECT_EQ(req.engine, "soa");
+  EXPECT_EQ(req.precision, "double");
+  EXPECT_EQ(req.memory, "ddr3");
+  EXPECT_EQ(req.kernel_path, KernelPath::kSimd);
+
+  // Empty policy precision keeps the request's engine default.
+  const EngineRequest defaulted = ToEngineRequest(ExecPolicy{});
+  EXPECT_EQ(defaulted.precision, "fixed");
+}
+
+TEST(ExecPolicyDeathTest, ToEngineRequestRejectsInvalidPolicies)
+{
+  ExecPolicy bad;
+  bad.precision = "float";  // float is soa-only
+  EXPECT_DEATH(ToEngineRequest(bad), "exec policy");
 }
 
 }  // namespace

@@ -29,8 +29,10 @@
 #include "lut/lut_store.h"
 #include "lut/lut_traffic.h"
 #include "models/benchmark_model.h"
+#include "kernels/kernel_path.h"
 #include "program/checkpoint.h"
 #include "runtime/sharded_stepper.h"
+#include "runtime/worker_team.h"
 
 namespace cenn {
 namespace {
@@ -478,6 +480,166 @@ TEST(SoaEngineTest, DetachedLutTrafficCostsNothingAndCountsNothing)
     engine->Run(4);
   }
   EXPECT_EQ(lut_traffic::t_tally, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Fused persistent-team stepping (runtime/worker_team.h)
+
+/** ULP distance between two doubles (same-sign finite values). */
+std::uint64_t
+UlpDistance(double a, double b)
+{
+  if (a == b) {
+    return 0;
+  }
+  std::int64_t ia = 0;
+  std::int64_t ib = 0;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map to a lexicographically ordered integer line.
+  const auto order = [](std::int64_t v) {
+    return v < 0 ? std::numeric_limits<std::int64_t>::min() - v : v;
+  };
+  ia = order(ia);
+  ib = order(ib);
+  return static_cast<std::uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+/** Asserts two engines agree within `max_ulp` on every cell. */
+void
+ExpectStateWithinUlp(const Engine& a, const Engine& b,
+                     std::uint64_t max_ulp, const std::string& context)
+{
+  ASSERT_EQ(a.Spec().NumLayers(), b.Spec().NumLayers()) << context;
+  for (int l = 0; l < a.Spec().NumLayers(); ++l) {
+    const std::vector<double> va = a.Snapshot(l);
+    const std::vector<double> vb = b.Snapshot(l);
+    ASSERT_EQ(va.size(), vb.size()) << context;
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      ASSERT_LE(UlpDistance(va[i], vb[i]), max_ulp)
+          << context << ": layer " << l << " cell " << i << " serial="
+          << va[i] << " fused=" << vb[i];
+    }
+  }
+}
+
+/**
+ * The tentpole exactness contract: a persistent ShardTeam — dispatched
+ * twice to exercise worker reuse — and a one-shot RunSharded both
+ * reproduce serial stepping bit-for-bit, for every bundled Euler
+ * model, both precisions, every kernel path and ragged shard counts.
+ */
+TEST(FusedTeamSweepTest, PersistentTeamBitExactAllModelsPathsShards)
+{
+  constexpr std::uint64_t kSteps = 8;
+  for (const std::string& name : AllModelNames()) {
+    const SolverProgram program = ModelProgram(name, 16, 16);
+    if (program.spec.integrator != Integrator::kEuler) {
+      continue;  // band stepping is explicit-Euler only
+    }
+    for (const char* precision : {"double", "fixed"}) {
+      SolverOptions options;
+      if (std::string(precision) == "double") {
+        options.precision = Precision::kDouble;
+      } else {
+        options = LutFixedOptions(program);
+      }
+      for (const KernelPath path :
+           {KernelPath::kScalar, KernelPath::kBlocked, KernelPath::kSimd}) {
+        const auto serial = MakeSoaEngine(program.spec, options, path);
+        serial->Run(kSteps);
+        for (int shards : {1, 3, 7}) {
+          const std::string context =
+              name + "/" + precision + "/" + KernelPathName(path) +
+              "/shards=" + std::to_string(shards);
+
+          // Persistent team, two dispatches (worker reuse).
+          const auto fused = MakeSoaEngine(program.spec, options, path);
+          {
+            TeamOptions to;
+            to.shards = shards;
+            ShardTeam team(fused.get(), to);
+            team.Run(kSteps / 2);
+            team.Run(kSteps - kSteps / 2);
+            EXPECT_EQ(team.Dispatches(), 2u) << context;
+          }
+          ExpectSameState(*serial, *fused, context + "/persistent");
+
+          // One-shot wrapper takes the identical code path.
+          const auto oneshot = MakeSoaEngine(program.spec, options, path);
+          RunSharded(oneshot.get(), kSteps, shards);
+          ExpectSameState(*serial, *oneshot, context + "/oneshot");
+        }
+      }
+    }
+  }
+}
+
+/**
+ * Temporal blocking (block_steps = T > 1) steps private band clones T
+ * Euler steps per halo exchange. For the non-FMA scalar/blocked paths
+ * the published state is bit-exact vs serial; the SIMD path keeps the
+ * documented <= 4 ULP contract. Step counts that do not divide T
+ * exercise the short tail block.
+ */
+TEST(TemporalBlockingTest, MatchesSerialWithinKernelPathContract)
+{
+  constexpr std::uint64_t kSteps = 10;  // 3 blocks of T=4: 4+4+2
+  for (const std::string& name : {std::string("heat"),
+                                  std::string("reaction_diffusion")}) {
+    const SolverProgram program = ModelProgram(name, 24, 16);
+    if (program.spec.integrator != Integrator::kEuler) {
+      continue;
+    }
+    SolverOptions options;
+    options.precision = Precision::kDouble;
+    for (const KernelPath path :
+         {KernelPath::kScalar, KernelPath::kBlocked, KernelPath::kSimd}) {
+      const auto serial = MakeSoaEngine(program.spec, options, path);
+      serial->Run(kSteps);
+
+      const auto fused = MakeSoaEngine(program.spec, options, path);
+      TeamOptions to;
+      to.shards = 3;
+      to.block_steps = 4;
+      ShardTeam team(fused.get(), to);
+      ASSERT_TRUE(team.TemporalBlocking())
+          << name << "/" << KernelPathName(path);
+      team.Run(kSteps);
+
+      const std::string context = name + "/temporal/" +
+                                  KernelPathName(path);
+      if (path == KernelPath::kSimd) {
+        ExpectStateWithinUlp(*serial, *fused, 4, context);
+      } else {
+        ExpectSameState(*serial, *fused, context);
+      }
+    }
+  }
+}
+
+/**
+ * Fixed32 has no band clones, so block_steps > 1 must fall back to
+ * classic two-phase stepping (still bit-exact) instead of corrupting
+ * state or crashing.
+ */
+TEST(TemporalBlockingTest, Fixed32FallsBackToClassicStepping)
+{
+  constexpr std::uint64_t kSteps = 8;
+  const SolverProgram program = ModelProgram("heat", 16, 16);
+  const SolverOptions options = LutFixedOptions(program);
+
+  const auto serial = MakeSoaEngine(program.spec, options);
+  serial->Run(kSteps);
+
+  const auto fused = MakeSoaEngine(program.spec, options);
+  TeamOptions to;
+  to.shards = 3;
+  to.block_steps = 4;
+  ShardTeam team(fused.get(), to);
+  EXPECT_FALSE(team.TemporalBlocking());
+  team.Run(kSteps);
+  ExpectSameState(*serial, *fused, "fixed/temporal-fallback");
 }
 
 }  // namespace

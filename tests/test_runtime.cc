@@ -30,6 +30,7 @@
 #include "runtime/sharded_stepper.h"
 #include "runtime/solver_session.h"
 #include "runtime/thread_pool.h"
+#include "runtime/worker_team.h"
 #include "util/rng.h"
 
 namespace cenn {
@@ -592,11 +593,87 @@ TEST(SolverSessionTest, ShardedSessionMatchesSerialSession)
   serial.RunToTarget();
 
   SessionConfig sc = TinySessionConfig("shr", 30);
-  sc.shards = 3;
+  sc.exec.shards = 3;
   SolverSession sharded(spec, fixed, sc);
   sharded.RunToTarget();
 
   EXPECT_EQ(serial.StateChecksum(), sharded.StateChecksum());
+}
+
+/**
+ * The tentpole lifecycle contract: one persistent worker team serves
+ * the whole session — every slice across run / pause / checkpoint /
+ * restore / resume is another dispatch to the same resident workers,
+ * never a fresh spawn, and the state stays bit-identical to a serial
+ * session's.
+ */
+TEST(SolverSessionTest, PersistentTeamServesWholeLifecycle)
+{
+  const std::string dir = ScratchDir("session_team");
+  const std::string ckpt = dir + "/team.ckpt";
+  const NetworkSpec spec = ModelSpec("reaction_diffusion", 16, 16);
+  const SolverOptions fixed = Opts(Precision::kFixed32);
+
+  SolverSession serial(spec, fixed, TinySessionConfig("ser", 48));
+  serial.RunToTarget();
+
+  SessionConfig sc = TinySessionConfig("team", 48);
+  sc.exec.shards = 3;
+  StatRegistry registry;
+  SolverSession session(spec, fixed, sc);
+  session.BindStats(&registry);
+  ASSERT_EQ(session.Team().Workers(), 3);
+
+  session.StepN(16);
+  const std::uint64_t after_first = session.Team().Dispatches();
+  EXPECT_GE(after_first, 1u);
+
+  session.RequestPause();
+  EXPECT_EQ(session.StepN(8), 0u);  // paused: no dispatch
+  session.Resume();
+
+  ASSERT_TRUE(session.SaveCheckpoint(ckpt));
+  session.StepN(16);
+  ASSERT_TRUE(session.TryRestoreFromFile(ckpt));  // back to step 16
+  session.RunToTarget();
+
+  // Same team object all along: workers never re-spawned, dispatch
+  // count strictly accumulated across the lifecycle.
+  EXPECT_EQ(session.Team().Workers(), 3);
+  EXPECT_GT(session.Team().Dispatches(), after_first);
+  EXPECT_EQ(session.StepsDone(), 48u);
+  EXPECT_EQ(session.StateChecksum(), serial.StateChecksum());
+
+  const std::string prefix =
+      "runtime.session" + std::to_string(session.Id());
+  EXPECT_EQ(registry.Value(prefix + ".team.workers"), 3.0);
+  EXPECT_EQ(registry.Value(prefix + ".team.dispatches"),
+            static_cast<double>(session.Team().Dispatches()));
+}
+
+/**
+ * Phase-counter parity: a single-shard session reports the same
+ * runtime.session<N>.shard0.* subtree a sharded one does — the serial
+ * fallback is no longer a blind spot.
+ */
+TEST(SolverSessionTest, SerialSessionEmitsShardPhaseCounters)
+{
+  const NetworkSpec spec = ModelSpec("heat", 12, 12);
+  for (const int shards : {1, 3}) {
+    StatRegistry registry;
+    SessionConfig sc = TinySessionConfig("parity", 24);
+    sc.exec.shards = shards;
+    SolverSession session(spec, Opts(Precision::kDouble), sc);
+    session.BindStats(&registry);
+    session.RunToTarget();
+
+    const std::string prefix =
+        "runtime.session" + std::to_string(session.Id());
+    EXPECT_EQ(registry.Value(prefix + ".shard0.steps"), 24.0)
+        << "shards=" << shards;
+    EXPECT_EQ(registry.Value(prefix + ".publish.count"), 24.0)
+        << "shards=" << shards;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -622,14 +699,16 @@ TEST(BatchManifestTest, ParsesJobsAndDefaults)
   EXPECT_EQ(jobs[0].rows, 32u);
   EXPECT_EQ(jobs[0].cols, 64u);
   EXPECT_EQ(jobs[0].steps, 100u);
-  EXPECT_EQ(jobs[0].engine, "functional");
-  EXPECT_EQ(jobs[0].precision, "");
-  EXPECT_EQ(jobs[0].kernel_path, "auto");
+  EXPECT_EQ(jobs[0].exec.engine, "functional");
+  EXPECT_EQ(jobs[0].exec.precision, "");
+  EXPECT_EQ(jobs[0].exec.kernel_path, "auto");
   EXPECT_FALSE(jobs[0].has_seed);
   EXPECT_EQ(jobs[1].name, "rd");
-  EXPECT_EQ(jobs[1].engine, "double");
-  EXPECT_EQ(jobs[1].kernel_path, "simd");
-  EXPECT_EQ(jobs[1].shards, 4);
+  // Legacy engine=double folds into the unified policy.
+  EXPECT_EQ(jobs[1].exec.engine, "functional");
+  EXPECT_EQ(jobs[1].exec.precision, "double");
+  EXPECT_EQ(jobs[1].exec.kernel_path, "simd");
+  EXPECT_EQ(jobs[1].exec.shards, 4);
   EXPECT_EQ(jobs[1].priority, -2);
   EXPECT_TRUE(jobs[1].has_seed);
   EXPECT_EQ(jobs[1].seed, 7u);
@@ -646,6 +725,62 @@ TEST(BatchManifestTest, MalformedManifestsDie)
   EXPECT_DEATH(ParseManifest("model=heat\nname=x\n\nmodel=heat\nname=x\n"),
                "duplicate job name");
   EXPECT_DEATH(ParseManifest("# only comments\n"), "no jobs");
+  EXPECT_DEATH(ParseManifest("model=heat\nexec=warp9\n"), "exec");
+  // block > 1 needs the soa engine: caught at spec validation.
+  EXPECT_DEATH(ParseManifest("model=heat\nexec=functional:block=4\n"),
+               "temporal blocking");
+}
+
+TEST(BatchManifestTest, ExecKeyMergesOverFrontendDefaults)
+{
+  // cenn_batch seeds every job from its --exec value; per-job exec=
+  // keys override only the fields they mention.
+  JobSpec defaults;
+  std::string parse_error;
+  ASSERT_TRUE(
+      ParseExecPolicy("soa:double:simd", &defaults.exec, &parse_error));
+  const auto jobs = ParseManifest(
+      "model=heat\n"
+      "\n"
+      "model=heat\nname=wide\nexec=shards=3\n"
+      "\n"
+      "model=heat\nname=classic\nexec=functional:fixed:kernel=auto\n",
+      &defaults);
+  ASSERT_EQ(jobs.size(), 3u);
+
+  // Job 0: pure defaults.
+  EXPECT_EQ(FormatExecPolicy(jobs[0].exec), "soa:double:simd");
+  // Job 1: only shards overridden; engine/precision/path survive.
+  EXPECT_EQ(jobs[1].exec.engine, "soa");
+  EXPECT_EQ(jobs[1].exec.precision, "double");
+  EXPECT_EQ(jobs[1].exec.kernel_path, "simd");
+  EXPECT_EQ(jobs[1].exec.shards, 3);
+  // Job 2: every mentioned field overridden back.
+  EXPECT_EQ(jobs[2].exec.engine, "functional");
+  EXPECT_EQ(jobs[2].exec.precision, "fixed");
+  EXPECT_EQ(jobs[2].exec.kernel_path, "auto");
+}
+
+TEST(BatchManifestTest, CollectsEveryExecErrorWithLineNumbers)
+{
+  std::vector<JobSpecError> errors;
+  const auto jobs = ParseManifestCollect(
+      "model=heat\n"
+      "exec=warp9\n"          // line 2: unknown token
+      "rows=zero\n"           // line 3: malformed number
+      "\n"
+      "model=heat\n"
+      "name=ok\n"
+      "exec=soa:float:shards=2\n",
+      &errors);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].line, 2);
+  EXPECT_EQ(errors[0].key, "exec");
+  EXPECT_EQ(errors[1].line, 3);
+  EXPECT_EQ(errors[1].key, "rows");
+  // The clean job still parses — one pass reports everything.
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(FormatExecPolicy(jobs[1].exec), "soa:float:shards=2");
 }
 
 // ---------------------------------------------------------------------------
@@ -691,7 +826,7 @@ TEST(BatchRunnerTest, RunsManifestToCompletion)
   EXPECT_EQ(registry.Value("runtime.job0.attempts"), 1.0);
 
   const std::string csv = BatchRunner::ResultsCsv(results);
-  EXPECT_NE(csv.find("name,model,engine,status,attempts"), std::string::npos);
+  EXPECT_NE(csv.find("name,model,exec,status,attempts"), std::string::npos);
   EXPECT_NE(csv.find("h,heat,functional,ok,1,25"), std::string::npos);
 }
 

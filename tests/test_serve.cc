@@ -489,7 +489,9 @@ TEST(ServeService, ChecksumsMatchBatchRunnerAcross100Jobs)
     s.steps = 20 + i % 21;
     s.seed = 1000 + i;
     s.has_seed = true;
-    s.engine = i % 2 == 0 ? "functional" : "double";
+    if (i % 2 != 0) {
+      s.exec.precision = "double";  // functional engine at double
+    }
     s.priority = i % 4;
   }
 
@@ -538,7 +540,7 @@ TEST(ServeService, ChecksumsMatchBatchRunnerAcross100Jobs)
                   {"cols", std::to_string(specs[i].cols)},
                   {"steps", std::to_string(specs[i].steps)},
                   {"seed", std::to_string(specs[i].seed)},
-                  {"engine", specs[i].engine},
+                  {"exec", FormatExecPolicy(specs[i].exec)},
                   {"priority", std::to_string(specs[i].priority)}}));
     for (int attempt = 0;; ++attempt) {
       ASSERT_LT(attempt, 20000) << "submit " << i << " starved";

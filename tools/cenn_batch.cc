@@ -21,8 +21,17 @@
  * deterministically injects crashes / state corruption to exercise
  * that path. The exit code is 1 when any job ends failed or diverged.
  *
+ * Execution policy: per-job `exec=` manifest keys refine the
+ * frontend-level default given by --exec (e.g. --exec=soa:simd runs
+ * every job on SIMD SoA kernels unless a job overrides a field). The
+ * legacy manifest keys engine=/precision=/memory=/kernel_path=/shards=
+ * still parse as deprecated aliases. --threads stays the *pool* width
+ * here (jobs run concurrently); per-job band shards come from the
+ * policy's shards= field.
+ *
  * Examples:
  *   cenn_batch --manifest=jobs.txt --out=batch_out --threads=4
+ *   cenn_batch --manifest=jobs.txt --out=simd --exec=soa:simd:shards=2
  *   cenn_batch --manifest=jobs.txt --out=batch_out --resume-from=batch_out
  *   cenn_batch --manifest=jobs.txt --out=sweep --csv=sweep/results.csv \
  *              --stats-out=sweep/stats.txt
@@ -46,9 +55,11 @@
 namespace cenn {
 namespace {
 
-/** The shared flags cenn_batch honors (manifest picks engines). */
-constexpr unsigned kBatchFlagGroups =
-    kThreadsFlag | kStatsFlags | kGuardFlags | kMetricsFlags;
+/** The shared flags cenn_batch honors (--exec sets the default job
+ *  policy; per-job manifest keys refine it). */
+constexpr unsigned kBatchFlagGroups = kEngineFlags | kThreadsFlag |
+                                      kStatsFlags | kGuardFlags |
+                                      kMetricsFlags;
 
 void
 PrintUsage()
@@ -130,7 +141,11 @@ BatchMain(int argc, char** argv)
     options.resume = true;
   }
 
-  const auto jobs = LoadManifestFile(manifest);
+  // Frontend-level default policy: every manifest job starts from the
+  // --exec value and refines it field-wise with its own keys.
+  JobSpec manifest_defaults;
+  manifest_defaults.exec = copts.exec;
+  const auto jobs = LoadManifestFile(manifest, &manifest_defaults);
   std::printf("manifest %s: %zu jobs, %d workers%s\n", manifest.c_str(),
               jobs.size(), options.num_threads,
               options.resume ? " (resuming)" : "");
@@ -139,7 +154,7 @@ BatchMain(int argc, char** argv)
   BatchRunner runner(jobs, options);
   const auto results = runner.RunAll(&registry);
 
-  TextTable table({"job", "model", "engine", "status", "tries", "steps",
+  TextTable table({"job", "model", "exec", "status", "tries", "steps",
                    "ran", "checksum", "ms"});
   for (const JobResult& r : results) {
     char checksum[32];
@@ -147,7 +162,7 @@ BatchMain(int argc, char** argv)
                   static_cast<unsigned long long>(r.checksum));
     char ms[32];
     std::snprintf(ms, sizeof(ms), "%.1f", r.wall_ms);
-    table.AddRow({r.name, r.model, r.engine, JobStatusName(r.status),
+    table.AddRow({r.name, r.model, r.exec, JobStatusName(r.status),
                   std::to_string(r.attempts), std::to_string(r.steps_done),
                   std::to_string(r.steps_executed), checksum, ms});
   }

@@ -7,21 +7,24 @@
  * integrator, cycle/stall statistics, power, and optional artifacts
  * (PGM snapshot, stats dump, timeline trace, checkpoint).
  *
- * Engines (--engine, built through runtime/engine_factory.h):
+ * Execution is selected by the unified policy (--exec, built through
+ * util/exec_policy.h + runtime/engine_factory.h):
  *   functional  cell-by-cell reference engine (double/fixed precision)
  *   soa         vectorized SoA kernels (double/fixed/float precision)
  *   arch        cycle-level accelerator simulation (fixed + timing)
- * The legacy spellings --engine=double|fixed still select the
- * functional engine at that precision.
+ * The legacy flags --engine/--precision/--memory/--kernel-path (and
+ * --engine=double|fixed) still parse as deprecated aliases, as does
+ * --threads for the band-shard count.
  *
- * The driver itself is engine-agnostic: it steps a cenn::Engine and
- * only probes for the arch simulator to print timing/power extras.
- * --threads runs band-parallel stepping (bit-identical to serial) on
- * engines that support it.
+ * The driver itself is engine-agnostic: it steps a cenn::Engine
+ * through a persistent worker team and only probes for the arch
+ * simulator to print timing/power extras. Sharded stepping is
+ * bit-identical to serial on engines that support it.
  *
  * Examples:
- *   cenn_run --model=reaction_diffusion --steps=500 --engine=arch
- *   cenn_run --model=heat --engine=soa --precision=fixed --threads=4
+ *   cenn_run --model=reaction_diffusion --steps=500 --exec=arch
+ *   cenn_run --model=heat --exec=soa:fixed:shards=4
+ *   cenn_run --model=fitzhugh_nagumo --exec=soa:double:simd:shards=8:pin=numa
  *   cenn_run --model=poisson --steady --tolerance=1e-6
  *   cenn_run --model=gray_scott --steps=3000 --pgm=pattern.pgm
  */
@@ -49,6 +52,7 @@
 #include "program/checkpoint.h"
 #include "runtime/engine_factory.h"
 #include "runtime/sharded_stepper.h"
+#include "runtime/worker_team.h"
 #include "util/cli.h"
 #include "util/common_options.h"
 #include "util/io.h"
@@ -167,7 +171,7 @@ RunMain(int argc, char** argv)
       static_cast<int>(flags.GetInt("steps", model->DefaultSteps()));
 
   CommonOptions defaults;
-  defaults.precision = "fixed";
+  defaults.exec.precision = "fixed";
   const CommonOptions copts = ParseCommonOptions(flags, kAllCommonFlags,
                                                  defaults);
   const bool heun = flags.GetBool("heun", false);
@@ -189,15 +193,14 @@ RunMain(int argc, char** argv)
         ParseTraceCategories(copts.trace_categories), copts.trace_capacity);
   }
 
-  EngineRequest req;
-  req.engine = copts.engine;
-  req.precision = copts.precision;
-  req.memory = copts.memory;
-  if (!ParseKernelPath(copts.kernel_path.c_str(), &req.kernel_path)) {
-    CENN_FATAL("unknown --kernel-path '", copts.kernel_path, "' (",
-               kKernelPathChoices, ")");
+  ExecPolicy exec = copts.exec;
+  if (copts.threads_given) {
+    WarnDeprecatedOnce("--threads (cenn_run)", "--exec=...:shards=N");
+    if (exec.shards == 1) {
+      exec.shards = copts.threads;
+    }
   }
-  const EngineRequest normalized = NormalizeEngineRequest(req);
+  const EngineRequest normalized = ToEngineRequest(exec);
 
   MapperReport map_report;
   SolverProgram program;
@@ -217,6 +220,7 @@ RunMain(int argc, char** argv)
               model_name.c_str(), mc.rows, mc.cols, map_report.num_layers,
               IntegratorName(program.spec.integrator),
               map_report.templates_needing_update);
+  std::printf("exec policy: %s\n", FormatExecPolicy(exec).c_str());
 
   const std::unique_ptr<Engine> engine = BuildEngine(program, normalized);
   auto* sim = dynamic_cast<ArchSimulator*>(engine.get());
@@ -235,8 +239,8 @@ RunMain(int argc, char** argv)
   if (copts.guard) {
     engine->AttachHealthGuard(&guard);
   }
-  // Saturation events on this thread land in the guard; RunSharded
-  // installs its own counter on each band worker. No-op without
+  // Saturation events on this thread land in the guard; the worker
+  // team installs its own counter on each band worker. No-op without
   // --guard.
   ScopedSatCounter sat(engine->AttachedHealthGuard());
 
@@ -249,7 +253,7 @@ RunMain(int argc, char** argv)
   StatRegistry reg;
   LutTrafficSink lut_traffic;
   engine->AttachLutTraffic(&lut_traffic);
-  ShardPhaseTimings timings(copts.threads);
+  ShardPhaseTimings timings(exec.shards);
   engine->BindStats(&reg, "");
   if (copts.guard) {
     guard.BindStats(&reg, "");
@@ -267,15 +271,9 @@ RunMain(int argc, char** argv)
     }
   }
   // LUT interpolation on *this* thread (steady-state search, the arch
-  // simulator's serial stepping) drains into the sink; RunSharded
-  // installs per-worker tallies of its own.
+  // simulator's serial stepping) drains into the sink; the worker
+  // team installs per-worker tallies of its own.
   ScopedLutTally lut_tally(engine->AttachedLutTraffic());
-
-  ShardRunOptions run_options;
-  run_options.timings = &timings;
-  // The arch simulator traces its own cycle-level spans; host-side
-  // phase spans would mix clock domains on the same lanes.
-  run_options.trace = sim == nullptr ? trace.get() : nullptr;
 
   if (steady) {
     const auto result = RunUntilSteady(*engine, tolerance,
@@ -287,15 +285,26 @@ RunMain(int argc, char** argv)
                 result.final_delta, tolerance);
   } else {
     ProgressMeter meter(copts.progress, static_cast<std::uint64_t>(steps));
-    // Band-parallel (or serial, --threads=1) stepping in heartbeat-
-    // sized slices; bit-exact vs plain Step() loops by the band-phase
-    // determinism contract. Phase timings and spans accumulate per
-    // slice; the metrics stream samples on its own clock.
+    // One persistent worker team for the whole run: band-parallel (or
+    // serial, shards=1) stepping in heartbeat-sized slices reusing the
+    // same warmed, optionally pinned threads; bit-exact vs plain
+    // Step() loops by the band-phase determinism contract. Phase
+    // timings and spans accumulate per slice; the metrics stream
+    // samples on its own clock.
+    TeamOptions team_options;
+    team_options.shards = exec.shards;
+    ParseTeamPin(exec.pin, &team_options.pin);
+    team_options.block_steps = exec.block_steps;
+    team_options.timings = &timings;
+    // The arch simulator traces its own cycle-level spans; host-side
+    // phase spans would mix clock domains on the same lanes.
+    team_options.trace = sim == nullptr ? trace.get() : nullptr;
+    ShardTeam team(engine.get(), team_options);
     const std::uint64_t total = static_cast<std::uint64_t>(steps);
     std::uint64_t done = 0;
     while (done < total) {
       const std::uint64_t slice = std::min<std::uint64_t>(64, total - done);
-      RunSharded(engine.get(), slice, copts.threads, run_options);
+      team.Run(slice);
       done += slice;
       if (copts.guard && !guard.MaybeScan(*engine)) {
         break;
