@@ -1,0 +1,118 @@
+#ifndef CENN_LANG_AST_H_
+#define CENN_LANG_AST_H_
+
+/**
+ * @file
+ * Abstract syntax tree of the scenario DSL (docs/lang.md).
+ *
+ * A scenario file is a sequence of line-oriented statements (';' works
+ * like a newline so one-line inline models can travel in manifests):
+ *
+ *     scenario gray_scott
+ *     grid 64 64
+ *     dt 1.0
+ *     param feed = 0.030
+ *     var u
+ *     var v
+ *     d u/dt = diff_u*laplacian(u) - u*v^2 - feed*u + feed
+ *     init u, v = gray_scott_seed()
+ *     lut square range(-1, 1.5) bits 8
+ *
+ * The tree is deliberately value-based (no pointers) so the parser,
+ * pretty-printer and compiler can never trip over ownership, and every
+ * node carries the source position its diagnostics anchor to.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cenn::lang {
+
+/** 1-based source location. */
+struct Pos {
+  int line = 1;
+  int col = 1;
+};
+
+/** One diagnostic: a position plus a human-readable message. */
+struct Diag {
+  Pos pos;
+  std::string message;
+};
+
+/** An expression node; children's meaning depends on `kind`. */
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kNumber,  ///< literal; `number`
+    kRef,     ///< parameter or variable reference; `name`
+    kCall,    ///< op/function application; `name`, children[0] = argument
+    kUnary,   ///< unary minus; children[0] = operand
+    kBinary,  ///< children[0] op children[1]; `op` in {+,-,*,/}
+    kPower,   ///< children[0] ^ exponent
+  };
+
+  Kind kind = Kind::kNumber;
+  Pos pos;
+  double number = 0.0;
+  std::string name;
+  char op = 0;
+  int exponent = 0;
+  std::vector<Expr> children;
+};
+
+/** One named argument of a generator call: `name = expr`. */
+struct GenArg {
+  Pos pos;
+  std::string name;
+  Expr value;
+};
+
+/** A field-generator call on the right of `init` / `input`. */
+struct GenCall {
+  Pos pos;
+  std::string name;
+  std::vector<GenArg> args;
+};
+
+/** One statement; fields used depend on `kind`. */
+struct Statement {
+  enum class Kind : std::uint8_t {
+    kScenario,  ///< scenario NAME; `name`
+    kGrid,      ///< grid ROWS COLS; `a`, `b`
+    kSpacing,   ///< h EXPR; `value`
+    kDt,        ///< dt EXPR; `value`
+    kSteps,     ///< steps N; `a`
+    kBoundary,  ///< boundary KIND [ ( EXPR ) ]; `name`, `value`
+    kParam,     ///< param NAME = EXPR; `name`, `value`
+    kVar,       ///< var NAME; `name`
+    kEquation,  ///< d NAME/dt = EXPR (or d2 NAME/dt2); `name`,
+                ///< `time_order`, `value`
+    kInit,      ///< init NAME[, NAME] = GEN(...); `names`, `gen`
+    kInput,     ///< input NAME = GEN(...); `names`, `gen`
+    kLut,       ///< lut NAME|default range(EXPR, EXPR) bits N;
+                ///< `name`, `lut_min`, `lut_max`, `a`
+  };
+
+  Kind kind = Kind::kScenario;
+  Pos pos;
+  std::string name;
+  std::vector<std::string> names;
+  Expr value;
+  bool has_value = false;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  int time_order = 1;
+  GenCall gen;
+  Expr lut_min;
+  Expr lut_max;
+};
+
+/** A parsed scenario file. */
+struct ModelDef {
+  std::vector<Statement> statements;
+};
+
+}  // namespace cenn::lang
+
+#endif  // CENN_LANG_AST_H_

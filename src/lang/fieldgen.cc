@@ -1,0 +1,272 @@
+#include "lang/fieldgen.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cenn::lang {
+
+std::vector<double>
+GaussianSpots(std::size_t rows, std::size_t cols, std::uint64_t seed,
+              int spots)
+{
+  Rng rng(seed);
+  std::vector<double> field(rows * cols, 0.0);
+  for (int s = 0; s < spots; ++s) {
+    const double cr = rng.Uniform(0.2, 0.8) * static_cast<double>(rows);
+    const double cc = rng.Uniform(0.2, 0.8) * static_cast<double>(cols);
+    const double amp = rng.Uniform(0.5, 1.0);
+    const double sigma = rng.Uniform(0.03, 0.08) * static_cast<double>(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double dr = (static_cast<double>(r) - cr) / sigma;
+        const double dc = (static_cast<double>(c) - cc) / sigma;
+        field[r * cols + c] += amp * std::exp(-0.5 * (dr * dr + dc * dc));
+      }
+    }
+  }
+  return field;
+}
+
+std::vector<double>
+CornerDisc(std::size_t rows, std::size_t cols, std::uint64_t seed,
+           double center_r_frac, double center_c_frac, double radius_frac,
+           double lo, double hi)
+{
+  Rng rng(seed);
+  std::vector<double> field(rows * cols, 0.0);
+  const double cr = center_r_frac * static_cast<double>(rows);
+  const double cc = center_c_frac * static_cast<double>(cols);
+  const double radius = radius_frac * static_cast<double>(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double dr = static_cast<double>(r) - cr;
+      const double dc = static_cast<double>(c) - cc;
+      if (std::sqrt(dr * dr + dc * dc) < radius) {
+        field[r * cols + c] = rng.Uniform(lo, hi);
+      }
+    }
+  }
+  return field;
+}
+
+std::vector<double>
+GaussianPulse(std::size_t rows, std::size_t cols, std::uint64_t seed,
+              double pos_lo, double pos_hi, double sigma_frac)
+{
+  Rng rng(seed);
+  std::vector<double> w(rows * cols, 0.0);
+  const double cr = rng.Uniform(pos_lo, pos_hi) * static_cast<double>(rows);
+  const double cc = rng.Uniform(pos_lo, pos_hi) * static_cast<double>(cols);
+  const double sigma = sigma_frac * static_cast<double>(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double dr = (static_cast<double>(r) - cr) / sigma;
+      const double dc = (static_cast<double>(c) - cc) / sigma;
+      w[r * cols + c] = std::exp(-0.5 * (dr * dr + dc * dc));
+    }
+  }
+  return w;
+}
+
+std::vector<double>
+ChargePairs(std::size_t rows, std::size_t cols, std::uint64_t seed, int pairs)
+{
+  Rng rng(seed);
+  std::vector<double> rho(rows * cols, 0.0);
+  for (int i = 0; i < pairs; ++i) {
+    const auto pick = [&]() {
+      const std::size_t r = 2 + rng.NextBelow(rows - 4);
+      const std::size_t c = 2 + rng.NextBelow(cols - 4);
+      return r * cols + c;
+    };
+    const double q = rng.Uniform(0.5, 1.0);
+    rho[pick()] += q;
+    rho[pick()] -= q;
+  }
+  return rho;
+}
+
+void
+FhnStrips(std::size_t rows, std::size_t cols, std::uint64_t seed,
+          std::vector<double>* u, std::vector<double>* v)
+{
+  Rng rng(seed);
+  u->assign(rows * cols, 0.0);
+  v->assign(rows * cols, 0.0);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    (*u)[i] = rng.Uniform(-0.1, 0.1);
+  }
+  // Excited vertical strip on the left half, refractory strip above it.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c > cols / 4 && c < cols / 4 + 4 && r > rows / 2) {
+        (*u)[r * cols + c] = 1.0;
+      }
+      if (r > rows / 2 - 4 && r <= rows / 2 && c > cols / 4 - 6 &&
+          c < cols / 2) {
+        (*v)[r * cols + c] = 1.0;
+      }
+    }
+  }
+}
+
+void
+GrayScottSeed(std::size_t rows, std::size_t cols, std::uint64_t seed,
+              std::vector<double>* u, std::vector<double>* v)
+{
+  Rng rng(seed);
+  u->assign(rows * cols, 1.0);
+  v->assign(rows * cols, 0.0);
+  const std::size_t r0 = rows / 2 - rows / 8;
+  const std::size_t r1 = rows / 2 + rows / 8;
+  const std::size_t c0 = cols / 2 - cols / 8;
+  const std::size_t c1 = cols / 2 + cols / 8;
+  for (std::size_t r = r0; r < r1; ++r) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      (*u)[r * cols + c] = 0.50 + rng.Uniform(-0.05, 0.05);
+      (*v)[r * cols + c] = 0.25 + rng.Uniform(-0.05, 0.05);
+    }
+  }
+}
+
+void
+PerturbedPair(std::size_t rows, std::size_t cols, std::uint64_t seed,
+              double base_u, double base_v, double amp,
+              std::vector<double>* u, std::vector<double>* v)
+{
+  Rng rng(seed);
+  const std::size_t cells = rows * cols;
+  u->resize(cells);
+  v->resize(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    (*u)[i] = base_u + rng.Uniform(-amp, amp);
+    (*v)[i] = base_v + rng.Uniform(-amp, amp);
+  }
+}
+
+std::vector<double>
+UniformField(std::size_t rows, std::size_t cols, std::uint64_t seed,
+             double lo, double hi)
+{
+  Rng rng(seed);
+  std::vector<double> field(rows * cols);
+  for (double& x : field) {
+    x = rng.Uniform(lo, hi);
+  }
+  return field;
+}
+
+std::vector<double>
+ConstantField(std::size_t rows, std::size_t cols, double value)
+{
+  return std::vector<double>(rows * cols, value);
+}
+
+const std::vector<GeneratorInfo>&
+Generators()
+{
+  static const std::vector<GeneratorInfo> kGenerators = {
+      {"zeros", 1, {}, 1, 1},
+      {"constant", 1, {{"value", 0.0, true, false, 0}}, 1, 1},
+      {"uniform",
+       1,
+       {{"lo", 0.0, false, false, 0}, {"hi", 1.0, false, false, 0}},
+       1,
+       1},
+      {"gaussian_spots", 1, {{"spots", 3.0, false, true, 64}}, 1, 1},
+      {"corner_disc",
+       1,
+       {{"center_r", 0.25, false, false, 0},
+        {"center_c", 0.25, false, false, 0},
+        {"radius", 0.12, false, false, 0},
+        {"lo", 0.6, false, false, 0},
+        {"hi", 1.0, false, false, 0}},
+       1,
+       1},
+      {"gaussian_pulse",
+       1,
+       {{"lo", 0.3, false, false, 0},
+        {"hi", 0.7, false, false, 0},
+        {"sigma", 0.06, false, false, 0}},
+       1,
+       1},
+      {"charge_pairs", 1, {{"pairs", 2.0, false, true, 1024}}, 5, 5},
+      {"fhn_strips", 2, {}, 1, 1},
+      {"gray_scott_seed", 2, {}, 1, 1},
+      {"perturbed_pair",
+       2,
+       {{"u0", 0.0, true, false, 0},
+        {"v0", 0.0, true, false, 0},
+        {"amp", 0.1, false, false, 0}},
+       1,
+       1},
+  };
+  return kGenerators;
+}
+
+const GeneratorInfo*
+FindGenerator(const std::string& name)
+{
+  for (const GeneratorInfo& g : Generators()) {
+    if (name == g.name) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::vector<double>>
+RunGenerator(const GeneratorInfo& info, const std::vector<double>& args,
+             std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+  if (args.size() != info.params.size() || rows < info.min_rows ||
+      cols < info.min_cols) {
+    CENN_FATAL("generator '", info.name, "': bad invocation");
+  }
+  const std::string name = info.name;
+  if (name == "zeros") {
+    return {ConstantField(rows, cols, 0.0)};
+  }
+  if (name == "constant") {
+    return {ConstantField(rows, cols, args[0])};
+  }
+  if (name == "uniform") {
+    return {UniformField(rows, cols, seed, args[0], args[1])};
+  }
+  if (name == "gaussian_spots") {
+    return {GaussianSpots(rows, cols, seed, static_cast<int>(args[0]))};
+  }
+  if (name == "corner_disc") {
+    return {CornerDisc(rows, cols, seed, args[0], args[1], args[2], args[3],
+                       args[4])};
+  }
+  if (name == "gaussian_pulse") {
+    return {GaussianPulse(rows, cols, seed, args[0], args[1], args[2])};
+  }
+  if (name == "charge_pairs") {
+    return {ChargePairs(rows, cols, seed, static_cast<int>(args[0]))};
+  }
+  if (name == "fhn_strips") {
+    std::vector<double> u;
+    std::vector<double> v;
+    FhnStrips(rows, cols, seed, &u, &v);
+    return {std::move(u), std::move(v)};
+  }
+  if (name == "gray_scott_seed") {
+    std::vector<double> u;
+    std::vector<double> v;
+    GrayScottSeed(rows, cols, seed, &u, &v);
+    return {std::move(u), std::move(v)};
+  }
+  if (name == "perturbed_pair") {
+    std::vector<double> u;
+    std::vector<double> v;
+    PerturbedPair(rows, cols, seed, args[0], args[1], args[2], &u, &v);
+    return {std::move(u), std::move(v)};
+  }
+  CENN_FATAL("generator '", name, "' has no implementation");
+}
+
+}  // namespace cenn::lang

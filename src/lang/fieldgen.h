@@ -1,0 +1,111 @@
+#ifndef CENN_LANG_FIELDGEN_H_
+#define CENN_LANG_FIELDGEN_H_
+
+/**
+ * @file
+ * Seeded initial-condition / input field generators shared by the
+ * hand-coded benchmark models and the scenario DSL.
+ *
+ * These bodies were lifted verbatim from the model constructors in
+ * src/models (same Rng draw order, same arithmetic), so a DSL scenario
+ * calling e.g. gaussian_spots(spots=3) reproduces the hand-coded heat
+ * model's initial field bit for bit. Changing any body changes model
+ * initial conditions — the differential equivalence suite in
+ * tests/test_lang.cc will catch drift.
+ *
+ * The registry at the bottom is what the DSL compiler binds `init` /
+ * `input` statements against.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cenn::lang {
+
+/** A few Gaussian hot spots on a cold plate (heat). */
+std::vector<double> GaussianSpots(std::size_t rows, std::size_t cols,
+                                  std::uint64_t seed, int spots);
+
+/** Population seeded in a disc so a front can propagate (fisher). */
+std::vector<double> CornerDisc(std::size_t rows, std::size_t cols,
+                               std::uint64_t seed, double center_r_frac,
+                               double center_c_frac, double radius_frac,
+                               double lo, double hi);
+
+/** A Gaussian displacement pulse off-center in the box (wave). */
+std::vector<double> GaussianPulse(std::size_t rows, std::size_t cols,
+                                  std::uint64_t seed, double pos_lo,
+                                  double pos_hi, double sigma_frac);
+
+/** Balanced point-charge pairs for a compatible Neumann problem
+ *  (poisson). Needs rows >= 5 and cols >= 5. */
+std::vector<double> ChargePairs(std::size_t rows, std::size_t cols,
+                                std::uint64_t seed, int pairs);
+
+/** FHN noise + crossed excited/refractory strips (reaction_diffusion);
+ *  fills two fields from one Rng stream. */
+void FhnStrips(std::size_t rows, std::size_t cols, std::uint64_t seed,
+               std::vector<double>* u, std::vector<double>* v);
+
+/** Gray-Scott u=1/v=0 with a perturbed seed square in the middle. */
+void GrayScottSeed(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                   std::vector<double>* u, std::vector<double>* v);
+
+/** Two fields perturbed around (base_u, base_v), draws interleaved
+ *  per cell (brusselator). */
+void PerturbedPair(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                   double base_u, double base_v, double amp,
+                   std::vector<double>* u, std::vector<double>* v);
+
+/** Independent uniform noise in [lo, hi) per cell. */
+std::vector<double> UniformField(std::size_t rows, std::size_t cols,
+                                 std::uint64_t seed, double lo, double hi);
+
+/** Every cell set to `value`. */
+std::vector<double> ConstantField(std::size_t rows, std::size_t cols,
+                                  double value);
+
+// ----- DSL registry --------------------------------------------------
+
+/** One named argument a generator accepts. */
+struct GenParam {
+  const char* name;
+  double def = 0.0;
+  bool required = false;
+  /** Integer-valued argument: must fold to an integer in [0, max_int]. */
+  bool integer = false;
+  int max_int = 4096;
+};
+
+/** One generator callable from `init` / `input` statements. */
+struct GeneratorInfo {
+  const char* name;
+  /** Number of fields produced (= number of init targets required). */
+  int fields = 1;
+  std::vector<GenParam> params;
+  std::size_t min_rows = 1;
+  std::size_t min_cols = 1;
+};
+
+/** All generators, in documentation order. */
+const std::vector<GeneratorInfo>& Generators();
+
+/** Lookup by DSL name; nullptr when unknown. */
+const GeneratorInfo* FindGenerator(const std::string& name);
+
+/**
+ * Runs a generator with `args` given positionally in registry order
+ * (defaults already applied by the caller). Returns `info.fields`
+ * row-major fields of size rows*cols. Arguments and the grid must have
+ * been validated against `info` (fatal otherwise).
+ */
+std::vector<std::vector<double>> RunGenerator(const GeneratorInfo& info,
+                                              const std::vector<double>& args,
+                                              std::size_t rows,
+                                              std::size_t cols,
+                                              std::uint64_t seed);
+
+}  // namespace cenn::lang
+
+#endif  // CENN_LANG_FIELDGEN_H_

@@ -1,0 +1,62 @@
+#include "lang/functions.h"
+
+#include "util/logging.h"
+
+namespace cenn::lang {
+
+NonlinearFnPtr
+PowerFn(int power)
+{
+  // Leaked singletons (same idiom as the former models-layer wrappers)
+  // so the functions outlive any process-wide LUT tables keyed on them.
+  static const auto& identity = *new NonlinearFnPtr(
+      NonlinearFunction::Polynomial("identity", {0.0, 1.0}));
+  static const auto& square = *new NonlinearFnPtr(
+      NonlinearFunction::Polynomial("square", {0.0, 0.0, 1.0}));
+  static const auto& cube = *new NonlinearFnPtr(
+      NonlinearFunction::Polynomial("cube", {0.0, 0.0, 0.0, 1.0}));
+  static const auto& quartic = *new NonlinearFnPtr(
+      NonlinearFunction::Polynomial("quartic", {0.0, 0.0, 0.0, 0.0, 1.0}));
+  switch (power) {
+    case 1:
+      return identity;
+    case 2:
+      return square;
+    case 3:
+      return cube;
+    case 4:
+      return quartic;
+    default:
+      CENN_FATAL("no shared polynomial for power ", power);
+  }
+}
+
+const char*
+PowerFnName(int power)
+{
+  switch (power) {
+    case 1:
+      return "identity";
+    case 2:
+      return "square";
+    case 3:
+      return "cube";
+    case 4:
+      return "quartic";
+    default:
+      CENN_FATAL("no shared polynomial for power ", power);
+  }
+}
+
+int
+PowerForFunctionName(const std::string& name)
+{
+  for (int p = 1; p <= 4; ++p) {
+    if (name == PowerFnName(p)) {
+      return p;
+    }
+  }
+  return -1;
+}
+
+}  // namespace cenn::lang

@@ -1,0 +1,33 @@
+#ifndef CENN_LANG_FUNCTIONS_H_
+#define CENN_LANG_FUNCTIONS_H_
+
+/**
+ * @file
+ * Process-wide shared polynomial weight functions x^1..x^4.
+ *
+ * Both the hand-coded benchmark models (via the IdentityFn()/SquareFn()
+ * wrappers in models/benchmark_model.h) and the DSL compiler resolve
+ * their nonlinear factors here, so a scenario compiled from text and
+ * its hand-coded twin share *pointer-identical* NonlinearFunction
+ * instances — the LutStore keys tables by function, making the two
+ * paths bit-identical on the fixed/LUT engines by construction.
+ */
+
+#include <string>
+
+#include "core/nonlinear.h"
+
+namespace cenn::lang {
+
+/** The shared singleton for x^power; power must be in 1..4 (fatal). */
+NonlinearFnPtr PowerFn(int power);
+
+/** "identity", "square", "cube" or "quartic"; power must be in 1..4. */
+const char* PowerFnName(int power);
+
+/** Inverse of PowerFnName; -1 when `name` is not a known function. */
+int PowerForFunctionName(const std::string& name);
+
+}  // namespace cenn::lang
+
+#endif  // CENN_LANG_FUNCTIONS_H_

@@ -1,0 +1,167 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace cenn::lang {
+namespace {
+
+constexpr std::size_t kMaxLexDiags = 100;
+
+bool
+IsIdentStart(unsigned char c)
+{
+  return std::isalpha(c) != 0 || c == '_';
+}
+
+bool
+IsIdentBody(unsigned char c)
+{
+  return std::isalnum(c) != 0 || c == '_';
+}
+
+bool
+IsPunct(char c)
+{
+  switch (c) {
+    case '(':
+    case ')':
+    case ',':
+    case '=':
+    case '+':
+    case '-':
+    case '*':
+    case '/':
+    case '^':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Token>
+Lex(std::string_view source, std::vector<Diag>* diags)
+{
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    const Pos pos{line, col};
+    if (c == '\n' || c == ';') {
+      tokens.push_back({Token::Kind::kNewline, pos,
+                        source.substr(i, 1), 0.0, false});
+      advance(1);
+      continue;
+    }
+    if (c == '\r' || c == ' ' || c == '\t') {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') {
+        advance(1);
+      }
+      continue;
+    }
+    if (IsIdentStart(static_cast<unsigned char>(c))) {
+      std::size_t len = 1;
+      while (i + len < source.size() &&
+             IsIdentBody(static_cast<unsigned char>(source[i + len]))) {
+        ++len;
+      }
+      tokens.push_back({Token::Kind::kIdent, pos, source.substr(i, len),
+                        0.0, false});
+      advance(len);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      // strtod needs a NUL-terminated buffer; copy the longest run of
+      // characters a decimal literal can be made of.
+      std::size_t len = 1;
+      while (i + len < source.size()) {
+        const char d = source[i + len];
+        if (std::isdigit(static_cast<unsigned char>(d)) != 0 || d == '.') {
+          ++len;
+          continue;
+        }
+        if ((d == 'e' || d == 'E') && i + len + 1 < source.size()) {
+          const char n = source[i + len + 1];
+          if (std::isdigit(static_cast<unsigned char>(n)) != 0) {
+            len += 2;
+            continue;
+          }
+          if ((n == '+' || n == '-') && i + len + 2 < source.size() &&
+              std::isdigit(static_cast<unsigned char>(source[i + len + 2])) !=
+                  0) {
+            len += 3;
+            continue;
+          }
+        }
+        break;
+      }
+      const std::string buf(source.substr(i, len));
+      char* end = nullptr;
+      const double value = std::strtod(buf.c_str(), &end);
+      const std::size_t used =
+          end != nullptr ? static_cast<std::size_t>(end - buf.c_str()) : 0;
+      if (used == 0 || !std::isfinite(value)) {
+        if (diags != nullptr && diags->size() < kMaxLexDiags) {
+          diags->push_back({pos, used == 0 ? "malformed number"
+                                           : "number out of range"});
+        }
+        tokens.push_back({Token::Kind::kError, pos, source.substr(i, len),
+                          0.0, false});
+        advance(used == 0 ? len : used);
+        continue;
+      }
+      bool integral = true;
+      for (std::size_t k = 0; k < used; ++k) {
+        if (std::isdigit(static_cast<unsigned char>(buf[k])) == 0) {
+          integral = false;
+          break;
+        }
+      }
+      tokens.push_back({Token::Kind::kNumber, pos, source.substr(i, used),
+                        value, integral});
+      advance(used);
+      continue;
+    }
+    if (IsPunct(c)) {
+      tokens.push_back({Token::Kind::kPunct, pos, source.substr(i, 1),
+                        0.0, false});
+      advance(1);
+      continue;
+    }
+    if (diags != nullptr && diags->size() < kMaxLexDiags) {
+      diags->push_back(
+          {pos, "unexpected character '" + std::string(1, c) + "'"});
+    }
+    tokens.push_back({Token::Kind::kError, pos, source.substr(i, 1), 0.0,
+                      false});
+    advance(1);
+  }
+  tokens.push_back({Token::Kind::kEnd, Pos{line, col}, {}, 0.0, false});
+  return tokens;
+}
+
+}  // namespace cenn::lang

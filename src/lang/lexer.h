@@ -1,0 +1,48 @@
+#ifndef CENN_LANG_LEXER_H_
+#define CENN_LANG_LEXER_H_
+
+/**
+ * @file
+ * Tokenizer for the scenario DSL. The lexer never fails hard: unknown
+ * bytes become kError tokens (one diagnostic each) and the stream
+ * always ends with a kEnd token, so the parser can recover at
+ * statement boundaries on arbitrary input.
+ */
+
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace cenn::lang {
+
+/** One lexical token. */
+struct Token {
+  enum class Kind : std::uint8_t {
+    kIdent,    ///< [A-Za-z_][A-Za-z0-9_]*
+    kNumber,   ///< decimal literal, always non-negative
+    kPunct,    ///< one of ( ) , = + - * / ^
+    kNewline,  ///< '\n' or ';': a statement boundary
+    kEnd,      ///< end of input
+    kError,    ///< an unrecognized byte
+  };
+
+  Kind kind = Kind::kEnd;
+  Pos pos;
+  std::string_view text;
+  double number = 0.0;
+  /** True for kNumber tokens spelled as plain digits (usable as ints). */
+  bool is_integer = false;
+};
+
+/**
+ * Tokenizes `source`. '#' starts a comment running to end of line;
+ * blank lines produce kNewline tokens. Appends one diagnostic per
+ * unrecognized byte to `diags` (capped; the token stream still covers
+ * the whole input).
+ */
+std::vector<Token> Lex(std::string_view source, std::vector<Diag>* diags);
+
+}  // namespace cenn::lang
+
+#endif  // CENN_LANG_LEXER_H_

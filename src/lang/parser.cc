@@ -1,0 +1,603 @@
+#include "lang/parser.h"
+
+#include <string>
+#include <utility>
+
+#include "lang/lexer.h"
+
+namespace cenn::lang {
+namespace {
+
+constexpr std::size_t kMaxDiags = 100;
+constexpr int kMaxExprDepth = 48;
+constexpr std::size_t kMaxStatements = 4096;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view source)
+    {
+        tokens_ = Lex(source, &result_.diags);
+    }
+
+    ParseResult
+    Run()
+    {
+        while (!AtEnd() && !Saturated()) {
+          if (Peek().kind == Token::Kind::kNewline) {
+            Next();
+            continue;
+          }
+          if (result_.def.statements.size() >= kMaxStatements) {
+            Error(Peek().pos, "too many statements");
+            break;
+          }
+          ParseStatement();
+        }
+        return std::move(result_);
+    }
+
+  private:
+    bool AtEnd() const { return tokens_[cursor_].kind == Token::Kind::kEnd; }
+    bool Saturated() const { return result_.diags.size() >= kMaxDiags; }
+
+    const Token& Peek(std::size_t ahead = 0) const
+    {
+        std::size_t k = cursor_ + ahead;
+        if (k >= tokens_.size()) {
+          k = tokens_.size() - 1;
+        }
+        return tokens_[k];
+    }
+
+    const Token&
+    Next()
+    {
+        const Token& t = tokens_[cursor_];
+        if (cursor_ + 1 < tokens_.size()) {
+          ++cursor_;
+        }
+        return t;
+    }
+
+    void
+    Error(Pos pos, std::string message)
+    {
+        if (!Saturated()) {
+          result_.diags.push_back({pos, std::move(message)});
+        }
+    }
+
+    /** Skips to just past the next statement boundary. */
+    void
+    Recover()
+    {
+        while (!AtEnd() && Peek().kind != Token::Kind::kNewline) {
+          Next();
+        }
+        if (!AtEnd()) {
+          Next();
+        }
+    }
+
+    bool IsPunct(const Token& t, char c) const
+    {
+        return t.kind == Token::Kind::kPunct && t.text.size() == 1 &&
+               t.text[0] == c;
+    }
+
+    bool
+    ExpectPunct(char c, const char* context)
+    {
+        if (IsPunct(Peek(), c)) {
+          Next();
+          return true;
+        }
+        Error(Peek().pos, std::string("expected '") + c + "' " + context);
+        return false;
+    }
+
+    /** Consumes an identifier; empty string on failure (error emitted). */
+    std::string
+    ExpectIdent(const char* what)
+    {
+        if (Peek().kind == Token::Kind::kIdent) {
+          return std::string(Next().text);
+        }
+        Error(Peek().pos, std::string("expected ") + what);
+        return {};
+    }
+
+    bool
+    ExpectInteger(const char* what, std::uint64_t max, std::uint64_t* out)
+    {
+        const Token& t = Peek();
+        if (t.kind != Token::Kind::kNumber || !t.is_integer ||
+            t.number > static_cast<double>(max)) {
+          Error(t.pos, std::string("expected ") + what);
+          return false;
+        }
+        *out = static_cast<std::uint64_t>(t.number);
+        Next();
+        return true;
+    }
+
+    /** A statement must end at a newline / ';' / end of input. */
+    void
+    FinishStatement(Statement stmt)
+    {
+        const Token& t = Peek();
+        if (t.kind != Token::Kind::kNewline && t.kind != Token::Kind::kEnd) {
+          Error(t.pos, "unexpected input after statement");
+          Recover();
+          return;
+        }
+        if (t.kind == Token::Kind::kNewline) {
+          Next();
+        }
+        result_.def.statements.push_back(std::move(stmt));
+    }
+
+    void
+    ParseStatement()
+    {
+        const Token& head = Peek();
+        if (head.kind != Token::Kind::kIdent) {
+          Error(head.pos, "expected a statement keyword");
+          Recover();
+          return;
+        }
+        const std::string kw(head.text);
+        if (kw == "scenario") {
+          ParseScenario();
+        } else if (kw == "grid") {
+          ParseGrid();
+        } else if (kw == "h") {
+          ParseValueStmt(Statement::Kind::kSpacing);
+        } else if (kw == "dt") {
+          ParseValueStmt(Statement::Kind::kDt);
+        } else if (kw == "steps") {
+          ParseSteps();
+        } else if (kw == "boundary") {
+          ParseBoundary();
+        } else if (kw == "param") {
+          ParseParam();
+        } else if (kw == "var") {
+          ParseVar();
+        } else if (kw == "d" || kw == "d2") {
+          ParseEquation(kw == "d2");
+        } else if (kw == "init") {
+          ParseInitOrInput(Statement::Kind::kInit);
+        } else if (kw == "input") {
+          ParseInitOrInput(Statement::Kind::kInput);
+        } else if (kw == "lut") {
+          ParseLut();
+        } else {
+          Error(head.pos, "unknown statement '" + kw + "'");
+          Recover();
+        }
+    }
+
+    void
+    ParseScenario()
+    {
+        Statement s;
+        s.kind = Statement::Kind::kScenario;
+        s.pos = Next().pos;
+        s.name = ExpectIdent("a scenario name");
+        if (s.name.empty()) {
+          Recover();
+          return;
+        }
+        FinishStatement(std::move(s));
+    }
+
+    void
+    ParseGrid()
+    {
+        Statement s;
+        s.kind = Statement::Kind::kGrid;
+        s.pos = Next().pos;
+        if (!ExpectInteger("a row count", 1u << 20, &s.a) ||
+            !ExpectInteger("a column count", 1u << 20, &s.b)) {
+          Recover();
+          return;
+        }
+        FinishStatement(std::move(s));
+    }
+
+    void
+    ParseValueStmt(Statement::Kind kind)
+    {
+        Statement s;
+        s.kind = kind;
+        s.pos = Next().pos;
+        if (!ParseExpr(&s.value)) {
+          Recover();
+          return;
+        }
+        s.has_value = true;
+        FinishStatement(std::move(s));
+    }
+
+    void
+    ParseSteps()
+    {
+        Statement s;
+        s.kind = Statement::Kind::kSteps;
+        s.pos = Next().pos;
+        if (!ExpectInteger("a step count", 1000000000ull, &s.a)) {
+          Recover();
+          return;
+        }
+        FinishStatement(std::move(s));
+    }
+
+    void
+    ParseBoundary()
+    {
+        Statement s;
+        s.kind = Statement::Kind::kBoundary;
+        s.pos = Next().pos;
+        s.name = ExpectIdent("a boundary kind (zero_flux|periodic|dirichlet)");
+        if (s.name.empty()) {
+          Recover();
+          return;
+        }
+        if (IsPunct(Peek(), '(')) {
+          Next();
+          if (!ParseExpr(&s.value) || !ExpectPunct(')', "after boundary value")) {
+            Recover();
+            return;
+          }
+          s.has_value = true;
+        }
+        FinishStatement(std::move(s));
+    }
+
+    void
+    ParseParam()
+    {
+        Statement s;
+        s.kind = Statement::Kind::kParam;
+        s.pos = Next().pos;
+        s.name = ExpectIdent("a parameter name");
+        if (s.name.empty() || !ExpectPunct('=', "after parameter name") ||
+            !ParseExpr(&s.value)) {
+          Recover();
+          return;
+        }
+        s.has_value = true;
+        FinishStatement(std::move(s));
+    }
+
+    void
+    ParseVar()
+    {
+        Statement s;
+        s.kind = Statement::Kind::kVar;
+        s.pos = Next().pos;
+        s.name = ExpectIdent("a variable name");
+        if (s.name.empty()) {
+          Recover();
+          return;
+        }
+        FinishStatement(std::move(s));
+    }
+
+    void
+    ParseEquation(bool second_order)
+    {
+        Statement s;
+        s.kind = Statement::Kind::kEquation;
+        s.time_order = second_order ? 2 : 1;
+        s.pos = Next().pos;
+        s.name = ExpectIdent("a variable name");
+        if (s.name.empty()) {
+          Recover();
+          return;
+        }
+        const char* denom = second_order ? "dt2" : "dt";
+        if (!ExpectPunct('/', "in d<var>/dt")) {
+          Recover();
+          return;
+        }
+        const Token& dt = Peek();
+        if (dt.kind != Token::Kind::kIdent || dt.text != denom) {
+          Error(dt.pos, std::string("expected '") + denom + "'");
+          Recover();
+          return;
+        }
+        Next();
+        if (!ExpectPunct('=', "in equation") || !ParseExpr(&s.value)) {
+          Recover();
+          return;
+        }
+        s.has_value = true;
+        FinishStatement(std::move(s));
+    }
+
+    void
+    ParseInitOrInput(Statement::Kind kind)
+    {
+        Statement s;
+        s.kind = kind;
+        s.pos = Next().pos;
+        const char* what = kind == Statement::Kind::kInit
+                               ? "an init target variable"
+                               : "an input target variable";
+        std::string first = ExpectIdent(what);
+        if (first.empty()) {
+          Recover();
+          return;
+        }
+        s.names.push_back(std::move(first));
+        while (kind == Statement::Kind::kInit && IsPunct(Peek(), ',')) {
+          Next();
+          std::string more = ExpectIdent(what);
+          if (more.empty()) {
+            Recover();
+            return;
+          }
+          s.names.push_back(std::move(more));
+        }
+        if (!ExpectPunct('=', "before the generator call") ||
+            !ParseGenCall(&s.gen)) {
+          Recover();
+          return;
+        }
+        FinishStatement(std::move(s));
+    }
+
+    bool
+    ParseGenCall(GenCall* out)
+    {
+        out->pos = Peek().pos;
+        out->name = ExpectIdent("a generator name");
+        if (out->name.empty() || !ExpectPunct('(', "after generator name")) {
+          return false;
+        }
+        if (IsPunct(Peek(), ')')) {
+          Next();
+          return true;
+        }
+        while (true) {
+          GenArg arg;
+          arg.pos = Peek().pos;
+          arg.name = ExpectIdent("an argument name");
+          if (arg.name.empty() ||
+              !ExpectPunct('=', "after generator argument name") ||
+              !ParseExpr(&arg.value)) {
+            return false;
+          }
+          out->args.push_back(std::move(arg));
+          if (IsPunct(Peek(), ',')) {
+            Next();
+            continue;
+          }
+          return ExpectPunct(')', "after generator arguments");
+        }
+    }
+
+    void
+    ParseLut()
+    {
+        Statement s;
+        s.kind = Statement::Kind::kLut;
+        s.pos = Next().pos;
+        s.name = ExpectIdent("a function name or 'default'");
+        if (s.name.empty()) {
+          Recover();
+          return;
+        }
+        const Token& range = Peek();
+        if (range.kind != Token::Kind::kIdent || range.text != "range") {
+          Error(range.pos, "expected 'range'");
+          Recover();
+          return;
+        }
+        Next();
+        if (!ExpectPunct('(', "after 'range'") || !ParseExpr(&s.lut_min) ||
+            !ExpectPunct(',', "between range bounds") ||
+            !ParseExpr(&s.lut_max) ||
+            !ExpectPunct(')', "after range bounds")) {
+          Recover();
+          return;
+        }
+        const Token& bits = Peek();
+        if (bits.kind != Token::Kind::kIdent || bits.text != "bits") {
+          Error(bits.pos, "expected 'bits'");
+          Recover();
+          return;
+        }
+        Next();
+        if (!ExpectInteger("a bit count", 16, &s.a)) {
+          Recover();
+          return;
+        }
+        FinishStatement(std::move(s));
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    bool
+    ParseExpr(Expr* out)
+    {
+        return ParseSum(out, 0);
+    }
+
+    bool
+    TooDeep(int depth, Pos pos)
+    {
+        if (depth < kMaxExprDepth) {
+          return false;
+        }
+        Error(pos, "expression nested too deeply");
+        return true;
+    }
+
+    bool
+    ParseSum(Expr* out, int depth)
+    {
+        if (TooDeep(depth, Peek().pos) || !ParseProduct(out, depth + 1)) {
+          return false;
+        }
+        while (IsPunct(Peek(), '+') || IsPunct(Peek(), '-')) {
+          Expr parent;
+          parent.kind = Expr::Kind::kBinary;
+          parent.pos = Peek().pos;
+          parent.op = Next().text[0];
+          Expr rhs;
+          if (!ParseProduct(&rhs, depth + 1)) {
+            return false;
+          }
+          parent.children.push_back(std::move(*out));
+          parent.children.push_back(std::move(rhs));
+          *out = std::move(parent);
+        }
+        return true;
+    }
+
+    bool
+    ParseProduct(Expr* out, int depth)
+    {
+        if (TooDeep(depth, Peek().pos) || !ParseUnary(out, depth + 1)) {
+          return false;
+        }
+        while (IsPunct(Peek(), '*') || IsPunct(Peek(), '/')) {
+          Expr parent;
+          parent.kind = Expr::Kind::kBinary;
+          parent.pos = Peek().pos;
+          parent.op = Next().text[0];
+          Expr rhs;
+          if (!ParseUnary(&rhs, depth + 1)) {
+            return false;
+          }
+          parent.children.push_back(std::move(*out));
+          parent.children.push_back(std::move(rhs));
+          *out = std::move(parent);
+        }
+        return true;
+    }
+
+    bool
+    ParseUnary(Expr* out, int depth)
+    {
+        if (TooDeep(depth, Peek().pos)) {
+          return false;
+        }
+        if (IsPunct(Peek(), '-')) {
+          Expr node;
+          node.kind = Expr::Kind::kUnary;
+          node.pos = Next().pos;
+          node.op = '-';
+          Expr operand;
+          if (!ParseUnary(&operand, depth + 1)) {
+            return false;
+          }
+          node.children.push_back(std::move(operand));
+          *out = std::move(node);
+          return true;
+        }
+        if (IsPunct(Peek(), '+')) {
+          Next();
+          return ParseUnary(out, depth + 1);
+        }
+        return ParsePostfix(out, depth + 1);
+    }
+
+    bool
+    ParsePostfix(Expr* out, int depth)
+    {
+        if (TooDeep(depth, Peek().pos) || !ParsePrimary(out, depth + 1)) {
+          return false;
+        }
+        if (IsPunct(Peek(), '^')) {
+          Expr node;
+          node.kind = Expr::Kind::kPower;
+          node.pos = Next().pos;
+          std::uint64_t exponent = 0;
+          if (!ExpectInteger("an integer exponent", 9, &exponent)) {
+            return false;
+          }
+          node.exponent = static_cast<int>(exponent);
+          node.children.push_back(std::move(*out));
+          *out = std::move(node);
+        }
+        return true;
+    }
+
+    bool
+    ParsePrimary(Expr* out, int depth)
+    {
+        const Token& t = Peek();
+        if (TooDeep(depth, t.pos)) {
+          return false;
+        }
+        if (t.kind == Token::Kind::kNumber) {
+          out->kind = Expr::Kind::kNumber;
+          out->pos = t.pos;
+          out->number = t.number;
+          Next();
+          return true;
+        }
+        if (t.kind == Token::Kind::kIdent) {
+          const Pos pos = t.pos;
+          std::string name(Next().text);
+          if (IsPunct(Peek(), '(')) {
+            Next();
+            Expr arg;
+            if (!ParseSum(&arg, depth + 1) ||
+                !ExpectPunct(')', "after call argument")) {
+              return false;
+            }
+            out->kind = Expr::Kind::kCall;
+            out->pos = pos;
+            out->name = std::move(name);
+            out->children.push_back(std::move(arg));
+            return true;
+          }
+          out->kind = Expr::Kind::kRef;
+          out->pos = pos;
+          out->name = std::move(name);
+          return true;
+        }
+        if (IsPunct(t, '(')) {
+          Next();
+          if (!ParseSum(out, depth + 1) ||
+              !ExpectPunct(')', "after parenthesized expression")) {
+            return false;
+          }
+          return true;
+        }
+        Error(t.pos, "expected a number, name or '('");
+        return false;
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t cursor_ = 0;
+    ParseResult result_;
+};
+
+}  // namespace
+
+ParseResult
+Parse(std::string_view source)
+{
+  return Parser(source).Run();
+}
+
+std::string
+FormatDiag(std::string_view file, const Diag& diag)
+{
+  std::string out;
+  if (!file.empty()) {
+    out.append(file);
+    out.push_back(':');
+  }
+  out += std::to_string(diag.pos.line) + ":" + std::to_string(diag.pos.col) +
+         ": " + diag.message;
+  return out;
+}
+
+}  // namespace cenn::lang

@@ -1,0 +1,37 @@
+#ifndef CENN_LANG_PARSER_H_
+#define CENN_LANG_PARSER_H_
+
+/**
+ * @file
+ * Recursive-descent parser for the scenario DSL.
+ *
+ * The parser is total: it never crashes or throws on any byte
+ * sequence. Errors are collected as positioned diagnostics and
+ * recovery skips to the next statement boundary, so one bad line does
+ * not hide problems in the rest of the file.
+ */
+
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace cenn::lang {
+
+/** Result of parsing one source text. */
+struct ParseResult {
+  ModelDef def;
+  std::vector<Diag> diags;
+
+  bool ok() const { return diags.empty(); }
+};
+
+/** Parses `source`; see the file comment for the error contract. */
+ParseResult Parse(std::string_view source);
+
+/** Renders a diagnostic as "file:line:col: message". */
+std::string FormatDiag(std::string_view file, const Diag& diag);
+
+}  // namespace cenn::lang
+
+#endif  // CENN_LANG_PARSER_H_

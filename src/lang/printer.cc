@@ -1,0 +1,199 @@
+#include "lang/printer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cenn::lang {
+namespace {
+
+// Precedence levels used for minimal parenthesization.
+constexpr int kSum = 1;
+constexpr int kProduct = 2;
+constexpr int kUnary = 3;
+constexpr int kPower = 4;
+constexpr int kPrimary = 5;
+
+int
+Precedence(const Expr& e)
+{
+  switch (e.kind) {
+    case Expr::Kind::kBinary:
+      return (e.op == '+' || e.op == '-') ? kSum : kProduct;
+    case Expr::Kind::kUnary:
+      return kUnary;
+    case Expr::Kind::kPower:
+      return kPower;
+    default:
+      return kPrimary;
+  }
+}
+
+void
+PrintInto(const Expr& e, int min_level, std::string* out)
+{
+  const bool parens = Precedence(e) < min_level;
+  if (parens) {
+    out->push_back('(');
+  }
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      out->append(FormatNumber(e.number));
+      break;
+    case Expr::Kind::kRef:
+      out->append(e.name);
+      break;
+    case Expr::Kind::kCall:
+      out->append(e.name);
+      out->push_back('(');
+      if (!e.children.empty()) {
+        PrintInto(e.children[0], kSum, out);
+      }
+      out->push_back(')');
+      break;
+    case Expr::Kind::kUnary:
+      out->push_back('-');
+      if (!e.children.empty()) {
+        PrintInto(e.children[0], kUnary, out);
+      }
+      break;
+    case Expr::Kind::kBinary: {
+      const int level = Precedence(e);
+      if (e.children.size() == 2) {
+        PrintInto(e.children[0], level, out);
+        if (level == kSum) {
+          out->push_back(' ');
+          out->push_back(e.op);
+          out->push_back(' ');
+        } else {
+          out->push_back(e.op);
+        }
+        PrintInto(e.children[1], level + 1, out);
+      }
+      break;
+    }
+    case Expr::Kind::kPower:
+      if (!e.children.empty()) {
+        PrintInto(e.children[0], kPrimary, out);
+      }
+      out->push_back('^');
+      out->append(std::to_string(e.exponent));
+      break;
+  }
+  if (parens) {
+    out->push_back(')');
+  }
+}
+
+void
+PrintGenCall(const GenCall& gen, std::string* out)
+{
+  out->append(gen.name);
+  out->push_back('(');
+  for (std::size_t i = 0; i < gen.args.size(); ++i) {
+    if (i > 0) {
+      out->append(", ");
+    }
+    out->append(gen.args[i].name);
+    out->push_back('=');
+    PrintInto(gen.args[i].value, kSum, out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+std::string
+FormatNumber(double value)
+{
+  if (std::isnan(value)) {
+    return "nan";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "inf" : "-inf";
+  }
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      return buf;
+    }
+  }
+  return buf;
+}
+
+std::string
+PrintExpr(const Expr& expr)
+{
+  std::string out;
+  PrintInto(expr, kSum, &out);
+  return out;
+}
+
+std::string
+Print(const ModelDef& def)
+{
+  std::string out;
+  for (const Statement& s : def.statements) {
+    switch (s.kind) {
+      case Statement::Kind::kScenario:
+        out += "scenario " + s.name;
+        break;
+      case Statement::Kind::kGrid:
+        out += "grid " + std::to_string(s.a) + " " + std::to_string(s.b);
+        break;
+      case Statement::Kind::kSpacing:
+        out += "h " + PrintExpr(s.value);
+        break;
+      case Statement::Kind::kDt:
+        out += "dt " + PrintExpr(s.value);
+        break;
+      case Statement::Kind::kSteps:
+        out += "steps " + std::to_string(s.a);
+        break;
+      case Statement::Kind::kBoundary:
+        out += "boundary " + s.name;
+        if (s.has_value) {
+          out += "(";
+          out += PrintExpr(s.value);
+          out += ")";
+        }
+        break;
+      case Statement::Kind::kParam:
+        out += "param " + s.name + " = " + PrintExpr(s.value);
+        break;
+      case Statement::Kind::kVar:
+        out += "var " + s.name;
+        break;
+      case Statement::Kind::kEquation:
+        if (s.time_order == 2) {
+          out += "d2 " + s.name + "/dt2 = " + PrintExpr(s.value);
+        } else {
+          out += "d " + s.name + "/dt = " + PrintExpr(s.value);
+        }
+        break;
+      case Statement::Kind::kInit:
+      case Statement::Kind::kInput: {
+        out += s.kind == Statement::Kind::kInit ? "init " : "input ";
+        for (std::size_t i = 0; i < s.names.size(); ++i) {
+          if (i > 0) {
+            out += ", ";
+          }
+          out += s.names[i];
+        }
+        out += " = ";
+        PrintGenCall(s.gen, &out);
+        break;
+      }
+      case Statement::Kind::kLut:
+        out += "lut " + s.name + " range(" + PrintExpr(s.lut_min) + ", " +
+               PrintExpr(s.lut_max) + ") bits " + std::to_string(s.a);
+        break;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace cenn::lang

@@ -1,0 +1,32 @@
+#ifndef CENN_LANG_PRINTER_H_
+#define CENN_LANG_PRINTER_H_
+
+/**
+ * @file
+ * Canonical pretty-printer for scenario ASTs.
+ *
+ * Printing is a projection to a canonical form: for any tree,
+ * Print(Parse(Print(tree)).def) == Print(tree), i.e. parse ->
+ * pretty-print is a fixed point after one round (the golden round-trip
+ * tests pin this). Numbers print in shortest form that parses back to
+ * the identical double.
+ */
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace cenn::lang {
+
+/** Shortest decimal form of `value` that strtod's back bit-exactly. */
+std::string FormatNumber(double value);
+
+/** Renders one expression with minimal parentheses. */
+std::string PrintExpr(const Expr& expr);
+
+/** Renders the whole scenario, one statement per line. */
+std::string Print(const ModelDef& def);
+
+}  // namespace cenn::lang
+
+#endif  // CENN_LANG_PRINTER_H_

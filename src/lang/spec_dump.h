@@ -1,0 +1,35 @@
+#ifndef CENN_LANG_SPEC_DUMP_H_
+#define CENN_LANG_SPEC_DUMP_H_
+
+/**
+ * @file
+ * Canonical, diff-stable text rendering of a lowered scenario: the
+ * mapped NetworkSpec (kernels, offsets, WUI factors), the LutConfig,
+ * and content hashes of the initial/input fields instead of the raw
+ * cell values. `cenn_run --dump-spec` prints it; the golden tests in
+ * tests/test_lang.cc compare it against checked-in files, so any change
+ * to the lowering pipeline shows up as a readable golden diff.
+ *
+ * Numbers are printed with the round-trip formatter from printer.h, so
+ * two dumps are byte-identical iff the underlying doubles are
+ * bit-identical (modulo -0.0 vs 0.0, which FormatNumber distinguishes).
+ */
+
+#include <string>
+
+#include "core/network_spec.h"
+#include "lang/compiler.h"
+#include "program/solver_program.h"
+
+namespace cenn::lang {
+
+/** Renders an already-mapped spec + LUT config. */
+std::string DumpSpec(const NetworkSpec& spec, const LutConfig& luts,
+                     std::uint64_t default_steps);
+
+/** Maps the scenario's system and renders it. */
+std::string DumpScenario(const CompiledScenario& scenario);
+
+}  // namespace cenn::lang
+
+#endif  // CENN_LANG_SPEC_DUMP_H_

@@ -1,5 +1,6 @@
 #include "models/benchmark_model.h"
 
+#include "lang/functions.h"
 #include "mapping/mapper.h"
 #include "models/brusselator.h"
 #include "models/fisher.h"
@@ -90,36 +91,32 @@ MakeModel(const std::string& name, const ModelConfig& config)
   CENN_FATAL("unknown benchmark model '", name, "'");
 }
 
+// Delegating to the shared lang-layer singletons means a DSL scenario
+// and a hand-coded model that use the same power function get the SAME
+// NonlinearFunction object — so LutStore shares tables and the
+// differential equivalence suite compares like for like.
 NonlinearFnPtr
 IdentityFn()
 {
-  static const auto& fn = *new NonlinearFnPtr(
-      NonlinearFunction::Polynomial("identity", {0.0, 1.0}));
-  return fn;
+  return lang::PowerFn(1);
 }
 
 NonlinearFnPtr
 SquareFn()
 {
-  static const auto& fn = *new NonlinearFnPtr(
-      NonlinearFunction::Polynomial("square", {0.0, 0.0, 1.0}));
-  return fn;
+  return lang::PowerFn(2);
 }
 
 NonlinearFnPtr
 CubeFn()
 {
-  static const auto& fn = *new NonlinearFnPtr(
-      NonlinearFunction::Polynomial("cube", {0.0, 0.0, 0.0, 1.0}));
-  return fn;
+  return lang::PowerFn(3);
 }
 
 NonlinearFnPtr
 QuarticFn()
 {
-  static const auto& fn = *new NonlinearFnPtr(
-      NonlinearFunction::Polynomial("quartic", {0.0, 0.0, 0.0, 0.0, 1.0}));
-  return fn;
+  return lang::PowerFn(4);
 }
 
 }  // namespace cenn

@@ -1,7 +1,7 @@
 #include "models/brusselator.h"
 
+#include "lang/fieldgen.h"
 #include "models/ref_util.h"
-#include "util/rng.h"
 
 namespace cenn {
 
@@ -16,14 +16,10 @@ BrusselatorModel::BrusselatorModel(const ModelConfig& config,
   system_.dt = params.dt;
 
   // Perturbed homogeneous steady state (A, B/A).
-  Rng rng(config.seed);
-  const std::size_t cells = config.rows * config.cols;
-  std::vector<double> u0(cells);
-  std::vector<double> v0(cells);
-  for (std::size_t i = 0; i < cells; ++i) {
-    u0[i] = params.a + rng.Uniform(-0.1, 0.1);
-    v0[i] = params.b / params.a + rng.Uniform(-0.1, 0.1);
-  }
+  std::vector<double> u0;
+  std::vector<double> v0;
+  lang::PerturbedPair(config.rows, config.cols, config.seed, params.a,
+                      params.b / params.a, 0.1, &u0, &v0);
 
   // Variables: u = 0, v = 1.
   EquationDef u;

@@ -1,35 +1,9 @@
 #include "models/fisher.h"
 
-#include <cmath>
-
+#include "lang/fieldgen.h"
 #include "models/ref_util.h"
-#include "util/rng.h"
 
 namespace cenn {
-namespace {
-
-/** Population seeded in a corner disc so a front can propagate. */
-std::vector<double>
-InitialPopulation(const ModelConfig& config)
-{
-  Rng rng(config.seed);
-  std::vector<double> field(config.rows * config.cols, 0.0);
-  const double cr = 0.25 * static_cast<double>(config.rows);
-  const double cc = 0.25 * static_cast<double>(config.cols);
-  const double radius = 0.12 * static_cast<double>(config.rows);
-  for (std::size_t r = 0; r < config.rows; ++r) {
-    for (std::size_t c = 0; c < config.cols; ++c) {
-      const double dr = static_cast<double>(r) - cr;
-      const double dc = static_cast<double>(c) - cc;
-      if (std::sqrt(dr * dr + dc * dc) < radius) {
-        field[r * config.cols + c] = rng.Uniform(0.6, 1.0);
-      }
-    }
-  }
-  return field;
-}
-
-}  // namespace
 
 FisherModel::FisherModel(const ModelConfig& config, const FisherParams& params)
     : config_(config), params_(params)
@@ -48,7 +22,8 @@ FisherModel::FisherModel(const ModelConfig& config, const FisherParams& params)
   // -r * u^2 as a nonlinear template weight (-r * identity(u)) * u.
   u.terms.push_back(Term::Nonlinear(-params.growth, 0, IdentityFn(),
                                     SpatialOp::kIdentity, 0));
-  u.initial = InitialPopulation(config);
+  u.initial = lang::CornerDisc(config.rows, config.cols, config.seed, 0.25,
+                               0.25, 0.12, 0.6, 1.0);
   system_.equations.push_back(std::move(u));
   system_.Validate();
 }

@@ -1,38 +1,9 @@
 #include "models/heat.h"
 
-#include <cmath>
-
+#include "lang/fieldgen.h"
 #include "models/ref_util.h"
-#include "util/rng.h"
 
 namespace cenn {
-namespace {
-
-/** Seeded initial temperature: a few Gaussian hot spots on a cold plate. */
-std::vector<double>
-InitialTemperature(const ModelConfig& config, int hot_spots)
-{
-  Rng rng(config.seed);
-  std::vector<double> field(config.rows * config.cols, 0.0);
-  for (int s = 0; s < hot_spots; ++s) {
-    const double cr = rng.Uniform(0.2, 0.8) * static_cast<double>(config.rows);
-    const double cc = rng.Uniform(0.2, 0.8) * static_cast<double>(config.cols);
-    const double amp = rng.Uniform(0.5, 1.0);
-    const double sigma =
-        rng.Uniform(0.03, 0.08) * static_cast<double>(config.rows);
-    for (std::size_t r = 0; r < config.rows; ++r) {
-      for (std::size_t c = 0; c < config.cols; ++c) {
-        const double dr = (static_cast<double>(r) - cr) / sigma;
-        const double dc = (static_cast<double>(c) - cc) / sigma;
-        field[r * config.cols + c] +=
-            amp * std::exp(-0.5 * (dr * dr + dc * dc));
-      }
-    }
-  }
-  return field;
-}
-
-}  // namespace
 
 HeatModel::HeatModel(const ModelConfig& config, const HeatParams& params)
     : config_(config), params_(params)
@@ -46,7 +17,8 @@ HeatModel::HeatModel(const ModelConfig& config, const HeatParams& params)
   EquationDef phi;
   phi.var_name = "phi";
   phi.terms.push_back(Term::Linear(params.kappa, SpatialOp::kLaplacian, 0));
-  phi.initial = InitialTemperature(config, params.hot_spots);
+  phi.initial = lang::GaussianSpots(config.rows, config.cols, config.seed,
+                                    params.hot_spots);
   system_.equations.push_back(std::move(phi));
   system_.Validate();
 }

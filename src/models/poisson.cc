@@ -2,32 +2,10 @@
 
 #include <cmath>
 
+#include "lang/fieldgen.h"
 #include "models/ref_util.h"
-#include "util/rng.h"
 
 namespace cenn {
-namespace {
-
-/** Balanced point-charge pairs so the Neumann problem is compatible. */
-std::vector<double>
-ChargeDensity(const ModelConfig& config, int pairs)
-{
-  Rng rng(config.seed);
-  std::vector<double> rho(config.rows * config.cols, 0.0);
-  for (int i = 0; i < pairs; ++i) {
-    const auto pick = [&]() {
-      const std::size_t r = 2 + rng.NextBelow(config.rows - 4);
-      const std::size_t c = 2 + rng.NextBelow(config.cols - 4);
-      return r * config.cols + c;
-    };
-    const double q = rng.Uniform(0.5, 1.0);
-    rho[pick()] += q;
-    rho[pick()] -= q;
-  }
-  return rho;
-}
-
-}  // namespace
 
 PoissonModel::PoissonModel(const ModelConfig& config,
                            const PoissonParams& params)
@@ -43,7 +21,8 @@ PoissonModel::PoissonModel(const ModelConfig& config,
   phi.var_name = "phi";
   phi.terms.push_back(Term::Linear(1.0, SpatialOp::kLaplacian, 0));
   phi.terms.push_back(Term::Linear(1.0, SpatialOp::kInput, 0));
-  phi.input = ChargeDensity(config, params.charge_pairs);
+  phi.input = lang::ChargePairs(config.rows, config.cols, config.seed,
+                                params.charge_pairs);
   system_.equations.push_back(std::move(phi));
   system_.Validate();
 }

@@ -1,65 +1,9 @@
 #include "models/reaction_diffusion.h"
 
-#include <cmath>
-
+#include "lang/fieldgen.h"
 #include "models/ref_util.h"
-#include "util/rng.h"
 
 namespace cenn {
-namespace {
-
-/** FHN initial condition: noise plus crossed excited/refractory strips
- *  so a spiral wave can form. */
-void
-FhnInitial(const ModelConfig& config, std::vector<double>* u,
-           std::vector<double>* v)
-{
-  Rng rng(config.seed);
-  const std::size_t rows = config.rows;
-  const std::size_t cols = config.cols;
-  u->assign(rows * cols, 0.0);
-  v->assign(rows * cols, 0.0);
-  for (std::size_t i = 0; i < rows * cols; ++i) {
-    (*u)[i] = rng.Uniform(-0.1, 0.1);
-  }
-  // Excited vertical strip on the left half, refractory strip above it.
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) {
-      if (c > cols / 4 && c < cols / 4 + 4 && r > rows / 2) {
-        (*u)[r * cols + c] = 1.0;
-      }
-      if (r > rows / 2 - 4 && r <= rows / 2 && c > cols / 4 - 6 &&
-          c < cols / 2) {
-        (*v)[r * cols + c] = 1.0;
-      }
-    }
-  }
-}
-
-/** Gray-Scott initial condition: u = 1, v = 0 with a perturbed seed
- *  square in the middle. */
-void
-GrayScottInitial(const ModelConfig& config, std::vector<double>* u,
-                 std::vector<double>* v)
-{
-  Rng rng(config.seed);
-  const std::size_t rows = config.rows;
-  const std::size_t cols = config.cols;
-  u->assign(rows * cols, 1.0);
-  v->assign(rows * cols, 0.0);
-  const std::size_t r0 = rows / 2 - rows / 8;
-  const std::size_t r1 = rows / 2 + rows / 8;
-  const std::size_t c0 = cols / 2 - cols / 8;
-  const std::size_t c1 = cols / 2 + cols / 8;
-  for (std::size_t r = r0; r < r1; ++r) {
-    for (std::size_t c = c0; c < c1; ++c) {
-      (*u)[r * cols + c] = 0.50 + rng.Uniform(-0.05, 0.05);
-      (*v)[r * cols + c] = 0.25 + rng.Uniform(-0.05, 0.05);
-    }
-  }
-}
-
-}  // namespace
 
 ReactionDiffusionModel::ReactionDiffusionModel(const ModelConfig& config,
                                                const FhnParams& params)
@@ -73,7 +17,7 @@ ReactionDiffusionModel::ReactionDiffusionModel(const ModelConfig& config,
 
   std::vector<double> u0;
   std::vector<double> v0;
-  FhnInitial(config, &u0, &v0);
+  lang::FhnStrips(config.rows, config.cols, config.seed, &u0, &v0);
 
   EquationDef u;
   u.var_name = "u";
@@ -152,7 +96,7 @@ GrayScottModel::GrayScottModel(const ModelConfig& config,
 
   std::vector<double> u0;
   std::vector<double> v0;
-  GrayScottInitial(config, &u0, &v0);
+  lang::GrayScottSeed(config.rows, config.cols, config.seed, &u0, &v0);
 
   EquationDef u;
   u.var_name = "u";

@@ -1,33 +1,9 @@
 #include "models/wave.h"
 
-#include <cmath>
-
+#include "lang/fieldgen.h"
 #include "models/ref_util.h"
-#include "util/rng.h"
 
 namespace cenn {
-namespace {
-
-/** A Gaussian displacement pulse off-center in the box. */
-std::vector<double>
-PulseInitial(const ModelConfig& config)
-{
-  Rng rng(config.seed);
-  std::vector<double> w(config.rows * config.cols, 0.0);
-  const double cr = rng.Uniform(0.3, 0.7) * static_cast<double>(config.rows);
-  const double cc = rng.Uniform(0.3, 0.7) * static_cast<double>(config.cols);
-  const double sigma = 0.06 * static_cast<double>(config.rows);
-  for (std::size_t r = 0; r < config.rows; ++r) {
-    for (std::size_t c = 0; c < config.cols; ++c) {
-      const double dr = (static_cast<double>(r) - cr) / sigma;
-      const double dc = (static_cast<double>(c) - cc) / sigma;
-      w[r * config.cols + c] = std::exp(-0.5 * (dr * dr + dc * dc));
-    }
-  }
-  return w;
-}
-
-}  // namespace
 
 WaveModel::WaveModel(const ModelConfig& config, const WaveParams& params)
     : config_(config), params_(params)
@@ -42,7 +18,8 @@ WaveModel::WaveModel(const ModelConfig& config, const WaveParams& params)
   EquationDef w;
   w.var_name = "w";
   w.terms.push_back(Term::Linear(1.0, SpatialOp::kIdentity, 1));
-  w.initial = PulseInitial(config);
+  w.initial = lang::GaussianPulse(config.rows, config.cols, config.seed, 0.3,
+                                  0.7, 0.06);
   system_.equations.push_back(std::move(w));
 
   EquationDef s;

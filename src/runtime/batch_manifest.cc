@@ -33,6 +33,31 @@ MakeBuilder(const JobSpec* defaults)
   return defaults != nullptr ? JobSpecBuilder(*defaults) : JobSpecBuilder{};
 }
 
+/** Default display/name stem for a job: the model id, the scenario
+ *  file's basename (extension stripped), or "scenario" for inline. */
+std::string
+JobModelStem(const JobSpec& job)
+{
+  if (!job.model.empty()) {
+    return job.model;
+  }
+  if (!job.model_file.empty()) {
+    std::string stem = job.model_file;
+    const std::size_t slash = stem.find_last_of("/\\");
+    if (slash != std::string::npos) {
+      stem.erase(0, slash + 1);
+    }
+    const std::size_t dot = stem.rfind('.');
+    if (dot != std::string::npos && dot > 0) {
+      stem.erase(dot);
+    }
+    if (!stem.empty()) {
+      return stem;
+    }
+  }
+  return "scenario";
+}
+
 /** Closes the in-flight job: validates, names and appends it. */
 void
 FinishJob(JobSpecBuilder* builder, bool job_open, int line_no,
@@ -45,7 +70,7 @@ FinishJob(JobSpecBuilder* builder, bool job_open, int line_no,
   ValidateJobSpec(builder->Spec(), errors, line_no);
   JobSpec job = builder->Spec();
   if (job.name.empty()) {
-    job.name = "job" + std::to_string(jobs->size()) + "_" + job.model;
+    job.name = "job" + std::to_string(jobs->size()) + "_" + JobModelStem(job);
   }
   jobs->push_back(std::move(job));
   *builder = MakeBuilder(defaults);
@@ -56,8 +81,9 @@ FinishJob(JobSpecBuilder* builder, bool job_open, int line_no,
 std::vector<JobSpec>
 ParseManifestCollect(const std::string& text,
                      std::vector<JobSpecError>* errors,
-                     const JobSpec* defaults)
+                     const JobSpec* defaults, const std::string& file)
 {
+  const std::size_t first_error = errors->size();
   std::vector<JobSpec> jobs;
   JobSpecBuilder builder = MakeBuilder(defaults);
   bool job_open = false;
@@ -110,14 +136,23 @@ ParseManifestCollect(const std::string& text,
       errors->push_back({0, "name", "duplicate job name '" + j.name + "'"});
     }
   }
+  if (!file.empty()) {
+    // Stamp the origin file on every error this parse produced so the
+    // caller's diagnostic reads "<file>:<line>: key ...".
+    for (std::size_t i = first_error; i < errors->size(); ++i) {
+      (*errors)[i].file = file;
+    }
+  }
   return jobs;
 }
 
 std::vector<BatchJobSpec>
-ParseManifest(const std::string& text, const JobSpec* defaults)
+ParseManifest(const std::string& text, const JobSpec* defaults,
+              const std::string& file)
 {
   std::vector<JobSpecError> errors;
-  std::vector<JobSpec> jobs = ParseManifestCollect(text, &errors, defaults);
+  std::vector<JobSpec> jobs =
+      ParseManifestCollect(text, &errors, defaults, file);
   if (!errors.empty()) {
     std::ostringstream out;
     out << "manifest: " << errors.size()
@@ -139,7 +174,7 @@ LoadManifestFile(const std::string& path, const JobSpec* defaults)
   }
   std::ostringstream text;
   text << in.rdbuf();
-  return ParseManifest(text.str(), defaults);
+  return ParseManifest(text.str(), defaults, path);
 }
 
 }  // namespace cenn

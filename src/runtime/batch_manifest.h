@@ -48,11 +48,13 @@ using BatchJobSpec = JobSpec;
  */
 std::vector<JobSpec> ParseManifestCollect(const std::string& text,
                                           std::vector<JobSpecError>* errors,
-                                          const JobSpec* defaults = nullptr);
+                                          const JobSpec* defaults = nullptr,
+                                          const std::string& file = "");
 
 /** Parses manifest text; fatal on malformed input (see file doc). */
 std::vector<BatchJobSpec> ParseManifest(const std::string& text,
-                                        const JobSpec* defaults = nullptr);
+                                        const JobSpec* defaults = nullptr,
+                                        const std::string& file = "");
 
 /** Reads and parses a manifest file; fatal when unreadable. */
 std::vector<BatchJobSpec> LoadManifestFile(const std::string& path,

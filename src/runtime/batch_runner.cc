@@ -11,6 +11,7 @@
 #include "models/benchmark_model.h"
 #include "obs/stat_registry.h"
 #include "runtime/engine_factory.h"
+#include "runtime/model_source.h"
 #include "runtime/solver_session.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
@@ -68,6 +69,19 @@ TryReadDoneMarker(const std::string& path, JobResult* result)
     }
   }
   return have_steps && have_checksum;
+}
+
+/** What the reports' `model` column shows for a job. */
+std::string
+JobDisplayModel(const JobSpec& job)
+{
+  if (!job.model.empty()) {
+    return job.model;
+  }
+  if (!job.model_file.empty()) {
+    return "file:" + job.model_file;
+  }
+  return "inline";
 }
 
 /** Why the latest attempt did not complete. */
@@ -136,7 +150,7 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
   const auto start = std::chrono::steady_clock::now();
   JobResult result;
   result.name = job.name;
-  result.model = job.model;
+  result.model = JobDisplayModel(job);
   result.exec = FormatExecPolicy(job.exec);
 
   const std::string base = options_.out_dir + "/" + job.name;
@@ -144,17 +158,25 @@ BatchRunner::RunOneJob(const BatchJobSpec& job, std::size_t index,
 
   // Unseeded jobs derive an independent stream from (base_seed,
   // manifest index) — stable across runs and across worker counts.
-  ModelConfig mc;
-  mc.rows = job.rows;
-  mc.cols = job.cols;
-  mc.seed = job.has_seed
-                ? job.seed
-                : Rng(options_.base_seed).Split(index).NextU64();
-  const auto model = MakeModel(job.model, mc);
+  const std::uint64_t seed =
+      job.has_seed ? job.seed : Rng(options_.base_seed).Split(index).NextU64();
+  // Resolution can fail for environmental reasons even on a validated
+  // spec (a scenario file edited or removed since parse); that fails
+  // this job, not the whole batch.
+  ResolvedModel resolved;
+  try {
+    resolved = ResolveModelSource(job, seed);
+  } catch (const std::exception& e) {
+    CENN_WARN("batch job '", job.name, "': ", e.what());
+    result.status = JobStatus::kFailed;
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return result;
+  }
   const std::uint64_t target =
-      job.steps > 0 ? job.steps
-                    : static_cast<std::uint64_t>(model->DefaultSteps());
-  const SolverProgram program = MakeProgram(*model);
+      job.steps > 0 ? job.steps : resolved.default_steps;
+  const SolverProgram& program = resolved.program;
 
   SessionConfig sc;
   sc.name = job.name;
@@ -330,7 +352,7 @@ BatchRunner::RunAll(StatRegistry* registry)
       if (TryReadDoneMarker(options_.out_dir + "/" + job.name + ".done",
                             &done)) {
         done.name = job.name;
-        done.model = job.model;
+        done.model = JobDisplayModel(job);
         done.exec = FormatExecPolicy(job.exec);
         done.status = JobStatus::kCached;
         results[i] = done;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "kernels/kernel_path.h"
+#include "lang/compiler.h"
 #include "models/benchmark_model.h"
 
 namespace cenn {
@@ -40,7 +41,13 @@ std::string
 FormatJobSpecError(const JobSpecError& error)
 {
   std::ostringstream out;
-  if (error.line > 0) {
+  if (!error.file.empty()) {
+    out << error.file << ":";
+    if (error.line > 0) {
+      out << error.line;
+    }
+    out << ": ";
+  } else if (error.line > 0) {
     out << "line " << error.line << ": ";
   }
   if (!error.key.empty()) {
@@ -67,9 +74,10 @@ bool
 JobSpecBuilder::IsKnownKey(const std::string& key)
 {
   static const char* kKeys[] = {
-      "model",  "name",      "rows",   "cols",        "steps",
-      "exec",   "engine",    "precision", "memory",   "kernel_path",
-      "shards", "priority",  "seed",   "checkpoint_every",
+      "model",  "model_file", "model_source", "name",  "rows",
+      "cols",   "steps",      "exec",         "engine", "precision",
+      "memory", "kernel_path", "shards",      "priority", "seed",
+      "checkpoint_every",
   };
   return std::find_if(std::begin(kKeys), std::end(kKeys),
                       [&key](const char* k) { return key == k; }) !=
@@ -104,6 +112,26 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
     spec_.model = value;
     return true;
   }
+  if (key == "model_file") {
+    if (!spec_.model_file.empty()) {
+      return fail("duplicate 'model_file' in one job");
+    }
+    if (value.empty()) {
+      return fail("empty scenario file path");
+    }
+    spec_.model_file = value;
+    return true;
+  }
+  if (key == "model_source") {
+    if (!spec_.model_source.empty()) {
+      return fail("duplicate 'model_source' in one job");
+    }
+    if (value.empty()) {
+      return fail("empty scenario source");
+    }
+    spec_.model_source = value;
+    return true;
+  }
   if (key == "name") {
     spec_.name = value;
     return true;
@@ -114,6 +142,7 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
       return false;
     }
     spec_.rows = static_cast<std::size_t>(v);
+    spec_.has_rows = true;
     return true;
   }
   if (key == "cols") {
@@ -122,6 +151,7 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
       return false;
     }
     spec_.cols = static_cast<std::size_t>(v);
+    spec_.has_cols = true;
     return true;
   }
   if (key == "steps") {
@@ -219,14 +249,74 @@ JobSpecBuilder::Apply(const std::string& key, const std::string& value,
   return fail("unknown key");
 }
 
+namespace {
+
+/**
+ * Compile-checks a scenario reference on a tiny grid. Structure-only:
+ * grammar, equations, generator bindings and luts are grid-independent,
+ * so an 8x8 trial run surfaces every rejection a later real-size
+ * compile would produce, without allocating real-size fields at
+ * submit/parse time.
+ */
+void
+CheckScenarioSpec(const JobSpec& spec, std::vector<JobSpecError>* errors,
+                  int line)
+{
+  const bool from_file = !spec.model_file.empty();
+  const std::string key = from_file ? "model_file" : "model_source";
+  std::string source;
+  std::string origin;
+  if (from_file) {
+    std::string io_error;
+    if (!lang::ReadScenarioFile(spec.model_file, &source, &io_error)) {
+      errors->push_back({line, key, io_error});
+      return;
+    }
+    origin = spec.model_file;
+  } else {
+    source = spec.model_source;
+    origin = "<inline>";
+  }
+  lang::ScenarioConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  const lang::CompileResult result = lang::CompileSource(source, cfg);
+  if (!result.ok()) {
+    std::string joined = lang::FormatDiags(origin, result.diags);
+    for (char& c : joined) {
+      if (c == '\n') {
+        c = ';';
+      }
+    }
+    errors->push_back({line, key, "scenario does not compile: " + joined});
+    return;
+  }
+  if (spec.steps == 0 && result.scenario.default_steps == 0) {
+    errors->push_back({line, "steps",
+                       "job has no 'steps=' and the scenario declares no "
+                       "'steps' statement"});
+  }
+}
+
+}  // namespace
+
 bool
 ValidateJobSpec(const JobSpec& spec, std::vector<JobSpecError>* errors,
                 int line)
 {
   const std::size_t before = errors->size();
-  if (spec.model.empty()) {
-    errors->push_back({line, "model", "job has no 'model=' line"});
-  } else {
+  const int sources = (spec.model.empty() ? 0 : 1) +
+                      (spec.model_file.empty() ? 0 : 1) +
+                      (spec.model_source.empty() ? 0 : 1);
+  if (sources == 0) {
+    errors->push_back({line, "model",
+                       "job has no 'model=', 'model_file=' or "
+                       "'model_source=' line"});
+  } else if (sources > 1) {
+    errors->push_back({line, "model",
+                       "job must name exactly one of 'model=', "
+                       "'model_file=', 'model_source='"});
+  } else if (!spec.model.empty()) {
     const auto& names = AllModelNames();
     if (std::find(names.begin(), names.end(), spec.model) == names.end()) {
       std::string known;
@@ -240,6 +330,8 @@ ValidateJobSpec(const JobSpec& spec, std::vector<JobSpecError>* errors,
           {line, "model", "unknown model '" + spec.model + "' (" + known +
                           ")"});
     }
+  } else {
+    CheckScenarioSpec(spec, errors, line);
   }
   if (spec.rows < 1 || spec.cols < 1) {
     errors->push_back({line, spec.rows < 1 ? "rows" : "cols",

@@ -43,11 +43,24 @@ struct JobSpec {
   /** Unique job name; defaults to "job<index>_<model>". */
   std::string name;
 
-  /** Benchmark model id (required; see AllModelNames()). */
+  /** Benchmark model id (see AllModelNames()). Exactly one of
+   *  `model`, `model_file`, `model_source` must be set. */
   std::string model;
+
+  /** Path to a scenario DSL file (src/lang) to compile and run. */
+  std::string model_file;
+
+  /** Inline scenario DSL text (`;` separates statements, so a whole
+   *  scenario fits on one manifest line). */
+  std::string model_source;
 
   std::size_t rows = 64;
   std::size_t cols = 64;
+
+  /** Whether rows=/cols= were given explicitly — scenario jobs fall
+   *  back to the file's `grid` statement when they were not. */
+  bool has_rows = false;
+  bool has_cols = false;
 
   /** Steps to run; 0 = the model's DefaultSteps(). */
   std::uint64_t steps = 0;
@@ -81,9 +94,24 @@ struct JobSpecError {
   std::string key;
 
   std::string message;
+
+  /** Manifest file the line refers to; empty when parsed from text
+   *  with no file context (wire submits, string manifests). */
+  std::string file;
+
+  JobSpecError() = default;
+  JobSpecError(int line_in, std::string key_in, std::string message_in,
+               std::string file_in = {})
+      : line(line_in),
+        key(std::move(key_in)),
+        message(std::move(message_in)),
+        file(std::move(file_in))
+  {
+  }
 };
 
-/** "line 3: key 'rows': ..." (or "key 'rows': ..." when line == 0). */
+/** "manifest.txt:3: key 'rows': ..." with file context, else
+ *  "line 3: key 'rows': ..." (or "key 'rows': ..." when line == 0). */
 std::string FormatJobSpecError(const JobSpecError& error);
 
 /** All errors joined with "; " — one aggregate diagnostic line. */

@@ -1,0 +1,61 @@
+#include "runtime/model_source.h"
+
+#include <stdexcept>
+
+#include "lang/compiler.h"
+#include "models/benchmark_model.h"
+
+namespace cenn {
+
+ResolvedModel
+ResolveModelSource(const JobSpec& spec, std::uint64_t seed)
+{
+  ResolvedModel out;
+  if (!spec.model.empty()) {
+    ModelConfig mc;
+    mc.rows = spec.rows;
+    mc.cols = spec.cols;
+    mc.seed = seed;
+    const auto model = MakeModel(spec.model, mc);
+    out.program = MakeProgram(*model);
+    out.default_steps = static_cast<std::uint64_t>(model->DefaultSteps());
+    out.label = model->Name();
+    return out;
+  }
+
+  std::string source;
+  std::string origin;
+  if (!spec.model_file.empty()) {
+    std::string error;
+    if (!lang::ReadScenarioFile(spec.model_file, &source, &error)) {
+      throw std::runtime_error(error);
+    }
+    origin = spec.model_file;
+  } else if (!spec.model_source.empty()) {
+    source = spec.model_source;
+    origin = "<inline>";
+  } else {
+    throw std::runtime_error("job names no model");
+  }
+
+  lang::ScenarioConfig cfg;
+  cfg.rows = spec.has_rows ? spec.rows : 0;
+  cfg.cols = spec.has_cols ? spec.cols : 0;
+  cfg.seed = seed;
+  lang::CompileResult result = lang::CompileSource(source, cfg);
+  if (!result.ok()) {
+    std::string joined = lang::FormatDiags(origin, result.diags);
+    for (char& c : joined) {
+      if (c == '\n') {
+        c = ';';
+      }
+    }
+    throw std::runtime_error("scenario does not compile: " + joined);
+  }
+  out.program = lang::MakeScenarioProgram(result.scenario);
+  out.default_steps = result.scenario.default_steps;
+  out.label = result.scenario.name;
+  return out;
+}
+
+}  // namespace cenn

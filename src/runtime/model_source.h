@@ -1,0 +1,50 @@
+#ifndef CENN_RUNTIME_MODEL_SOURCE_H_
+#define CENN_RUNTIME_MODEL_SOURCE_H_
+
+/**
+ * @file
+ * The one place the runtime turns a JobSpec's model reference — a
+ * hand-coded benchmark (`model=`), a scenario file (`model_file=`) or
+ * inline scenario text (`model_source=`) — into a SolverProgram. The
+ * batch runner and the serve worker both resolve through here, so a
+ * DSL scenario behaves identically to a C++ model on every execution
+ * path downstream of this call.
+ *
+ * Resolution throws std::runtime_error instead of CENN_FATAL: the
+ * serve job body is exception-fenced, and the batch runner converts
+ * the exception into a failed job. A spec that passed ValidateJobSpec
+ * only throws here for environmental reasons (the scenario file
+ * changed or disappeared between submit and run).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "program/solver_program.h"
+#include "runtime/job_spec.h"
+
+namespace cenn {
+
+/** A job's model reference, resolved and lowered. */
+struct ResolvedModel {
+  SolverProgram program;
+
+  /** Steps to run when the spec doesn't say (model DefaultSteps() or
+   *  the scenario's `steps` statement; 0 = neither provided one). */
+  std::uint64_t default_steps = 0;
+
+  /** Display label for reports: the model id or the scenario name. */
+  std::string label;
+};
+
+/**
+ * Builds the program for `spec` at initial-condition seed `seed`.
+ * For scenarios, spec rows/cols override the file's `grid` only when
+ * they were given explicitly (spec.has_rows / has_cols).
+ * Throws std::runtime_error with a formatted diagnostic on failure.
+ */
+ResolvedModel ResolveModelSource(const JobSpec& spec, std::uint64_t seed);
+
+}  // namespace cenn
+
+#endif  // CENN_RUNTIME_MODEL_SOURCE_H_

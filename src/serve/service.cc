@@ -8,6 +8,7 @@
 #include "lut/lut_store.h"
 #include "models/benchmark_model.h"
 #include "runtime/engine_factory.h"
+#include "runtime/model_source.h"
 #include "runtime/solver_session.h"
 #include "serve/json.h"
 #include "util/logging.h"
@@ -438,7 +439,11 @@ SolverService::HandleStatus(const JsonValue& request)
       .String("job", job->id)
       .String("tenant", job->tenant)
       .String("name", job->spec.name)
-      .String("model", job->spec.model)
+      .String("model", !job->spec.model.empty()
+                           ? job->spec.model
+                           : (!job->spec.model_file.empty()
+                                  ? "file:" + job->spec.model_file
+                                  : std::string("inline")))
       .String("exec", FormatExecPolicy(job->spec.exec))
       .String("status", ServeJobStatusName(job->status))
       .Bool("done", !ServeJobStatusIsLive(job->status))
@@ -752,17 +757,16 @@ SolverService::RunJob(ServeJob* job)
     // Unseeded jobs derive an independent stream from (base_seed,
     // submission index) — the same scheme as the batch runner, so a
     // seeded serve job and a seeded batch job are bit-identical.
-    ModelConfig mc;
-    mc.rows = spec.rows;
-    mc.cols = spec.cols;
-    mc.seed = spec.has_seed
-                  ? spec.seed
-                  : Rng(options_.base_seed).Split(job->index).NextU64();
-    const auto model = MakeModel(spec.model, mc);
+    // Scenario specs (model_file= / model_source=) compile here, on
+    // the worker; ResolveModelSource throws into this fence on
+    // environmental failures (e.g. the file vanished since submit).
+    const std::uint64_t seed =
+        spec.has_seed ? spec.seed
+                      : Rng(options_.base_seed).Split(job->index).NextU64();
+    const ResolvedModel resolved = ResolveModelSource(spec, seed);
     const std::uint64_t target =
-        spec.steps > 0 ? spec.steps
-                       : static_cast<std::uint64_t>(model->DefaultSteps());
-    const SolverProgram program = MakeProgram(*model);
+        spec.steps > 0 ? spec.steps : resolved.default_steps;
+    const SolverProgram& program = resolved.program;
 
     SessionConfig sc;
     sc.name = spec.name;

@@ -783,6 +783,121 @@ TEST(BatchManifestTest, CollectsEveryExecErrorWithLineNumbers)
   EXPECT_EQ(FormatExecPolicy(jobs[1].exec), "soa:float:shards=2");
 }
 
+TEST(BatchManifestTest, ErrorsCarryTheOriginFileWhenGiven)
+{
+  std::vector<JobSpecError> errors;
+  ParseManifestCollect("model=heat\nrows=zero\n", &errors, nullptr,
+                       "jobs/batch.txt");
+  ASSERT_GE(errors.size(), 1u);
+  EXPECT_EQ(errors[0].file, "jobs/batch.txt");
+  EXPECT_EQ(errors[0].line, 2);
+  EXPECT_EQ(errors[0].key, "rows");
+  // Formatted as "<file>:<line>: key ..." so editors can jump to it.
+  EXPECT_EQ(FormatJobSpecError(errors[0]).rfind("jobs/batch.txt:2: ", 0),
+            0u);
+
+  // Without an origin file the classic "line N:" form is preserved.
+  std::vector<JobSpecError> bare;
+  ParseManifestCollect("model=heat\nrows=zero\n", &bare);
+  ASSERT_GE(bare.size(), 1u);
+  EXPECT_EQ(FormatJobSpecError(bare[0]).rfind("line 2:", 0), 0u);
+}
+
+TEST(BatchManifestTest, ScenarioJobsValidateAtSubmitTime)
+{
+  // Naming both a model and a scenario source is one precise error.
+  std::vector<JobSpecError> errors;
+  ParseManifestCollect(
+      "model=heat\nmodel_source=scenario x; dt 0.1; steps 1; var u; "
+      "d u/dt = u\nsteps=5\n",
+      &errors);
+  bool saw_exclusive = false;
+  for (const JobSpecError& e : errors) {
+    if (e.message.find("exactly one") != std::string::npos) {
+      saw_exclusive = true;
+    }
+  }
+  EXPECT_TRUE(saw_exclusive) << FormatJobSpecErrors(errors);
+
+  // A scenario that does not compile is rejected at parse time, keyed
+  // to the source key so the client knows which line to fix.
+  errors.clear();
+  ParseManifestCollect("model_source=scenario x; var u\nsteps=5\n",
+                       &errors);
+  bool saw_compile = false;
+  for (const JobSpecError& e : errors) {
+    if (e.key == "model_source" &&
+        e.message.find("compile") != std::string::npos) {
+      saw_compile = true;
+    }
+  }
+  EXPECT_TRUE(saw_compile) << FormatJobSpecErrors(errors);
+
+  // A valid scenario with no step budget anywhere is caught up front,
+  // not after the job is admitted.
+  errors.clear();
+  ParseManifestCollect(
+      "model_source=scenario x; dt 0.1; var u; d u/dt = u\n", &errors);
+  bool saw_steps = false;
+  for (const JobSpecError& e : errors) {
+    if (e.key == "steps") {
+      saw_steps = true;
+    }
+  }
+  EXPECT_TRUE(saw_steps) << FormatJobSpecErrors(errors);
+}
+
+TEST(BatchRunnerTest, InlineScenarioJobMatchesItsHandCodedTwin)
+{
+  // The same physics submitted twice — once as the registered C++
+  // model, once as DSL text — must land on the same final checksum.
+  const auto manifest = ParseManifest(
+      "model=heat\nname=twin\nrows=12\ncols=12\nsteps=10\nseed=5\n"
+      "\n"
+      "model_source=scenario heat_text; dt 0.1; param kappa = 1.0; "
+      "var phi; d phi/dt = kappa * laplacian(phi); "
+      "init phi = gaussian_spots(spots=3)\n"
+      "name=text\nrows=12\ncols=12\nsteps=10\nseed=5\n");
+  BatchOptions options;
+  options.out_dir = ScratchDir("batch_scenario");
+  options.num_threads = 2;
+  const auto results = BatchRunner(manifest, options).RunAll();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, JobStatus::kOk);
+  EXPECT_EQ(results[1].status, JobStatus::kOk);
+  EXPECT_NE(results[0].checksum, 0u);
+  EXPECT_EQ(results[0].checksum, results[1].checksum);
+  // Scenario jobs display a stable placeholder in the results CSV.
+  const std::string csv = BatchRunner::ResultsCsv(results);
+  EXPECT_NE(csv.find("text,inline,"), std::string::npos);
+}
+
+TEST(BatchRunnerTest, ScenarioFileJobsRunFromDiskAndDefaultTheirName)
+{
+  const std::string dir = ScratchDir("batch_scenario_file");
+  const std::string path = dir + "/decay.cenn";
+  {
+    std::ofstream out(path);
+    out << "scenario decay\ngrid 10 10\ndt 0.1\nsteps 8\n"
+           "var u\nd u/dt = -u\ninit u = constant(value=1.0)\n";
+  }
+  const auto manifest =
+      ParseManifest("model_file=" + path + "\nseed=3\n");
+  ASSERT_EQ(manifest.size(), 1u);
+  // Unnamed jobs take their stem from the scenario file's basename.
+  EXPECT_EQ(manifest[0].name, "job0_decay");
+  BatchOptions options;
+  options.out_dir = dir;
+  options.num_threads = 1;
+  const auto results = BatchRunner(manifest, options).RunAll();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, JobStatus::kOk) << results[0].name;
+  // steps= was omitted: the scenario's own `steps 8` budget applies.
+  EXPECT_EQ(results[0].steps_done, 8u);
+  EXPECT_NE(BatchRunner::ResultsCsv(results).find("file:" + path),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // BatchRunner
 

@@ -15,6 +15,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <random>
 #include <string>
@@ -904,6 +905,98 @@ TEST(ServeManifest, CollectingParserReportsEveryProblemWithLines)
   const std::string joined = FormatJobSpecErrors(errors);
   EXPECT_NE(joined.find("line 2"), std::string::npos);
   EXPECT_NE(joined.find("line 3"), std::string::npos);
+}
+
+TEST(ServeManifest, FileOriginFlowsThroughToFormattedErrors)
+{
+  std::vector<JobSpecError> errors;
+  ParseManifestCollect("model=heat\nrows=zero\n", &errors, nullptr,
+                       "tenant/jobs.txt");
+  ASSERT_GE(errors.size(), 1u);
+  EXPECT_EQ(errors[0].file, "tenant/jobs.txt");
+  EXPECT_NE(FormatJobSpecErrors(errors).find("tenant/jobs.txt:2: "),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario DSL jobs over serve
+// ---------------------------------------------------------------------------
+
+TEST(ServeScenario, InlineScenarioMatchesHandCodedTwinChecksum)
+{
+  SolverService service(BaseOptions(TestDir("scenario_twin")));
+  const std::string src =
+      "scenario heat_text; dt 0.1; param kappa = 1.0; var phi; "
+      "d phi/dt = kappa * laplacian(phi); "
+      "init phi = gaussian_spots(spots=3)";
+  const std::string twin = MustSubmit(
+      service, "t",
+      SpecJson({{"name", "twin"}, {"model", "heat"}, {"rows", "12"},
+                {"cols", "12"}, {"steps", "10"}, {"seed", "5"}}));
+  const std::string text = MustSubmit(
+      service, "t",
+      SpecJson({{"name", "text"}, {"model_source", src}, {"rows", "12"},
+                {"cols", "12"}, {"steps", "10"}, {"seed", "5"}}));
+  const JsonValue a = WaitResult(service, twin);
+  const JsonValue b = WaitResult(service, text);
+  EXPECT_EQ(a.GetString("status"), "ok");
+  EXPECT_EQ(b.GetString("status"), "ok");
+  EXPECT_FALSE(a.GetString("checksum").empty());
+  EXPECT_EQ(a.GetString("checksum"), b.GetString("checksum"))
+      << "DSL text and C++ model diverged over the serve path";
+  // Status reports a stable placeholder for inline scenario jobs.
+  EXPECT_EQ(Status(service, text).GetString("model"), "inline");
+}
+
+TEST(ServeScenario, ScenarioFileJobsRunFromDisk)
+{
+  const std::string dir = TestDir("scenario_file");
+  const std::string path = dir + "/osc.cenn";
+  {
+    std::ofstream out(path);
+    out << "scenario osc\ngrid 10 10\ndt 0.1\nsteps 12\n"
+           "var u\nd u/dt = -u\ninit u = constant(value=1.0)\n";
+  }
+  SolverService service(BaseOptions(dir));
+  const std::string job = MustSubmit(
+      service, "t", SpecJson({{"name", "osc"}, {"model_file", path}}));
+  const JsonValue r = WaitResult(service, job);
+  EXPECT_EQ(r.GetString("status"), "ok");
+  // steps= was omitted: the file's own `steps 12` budget applies.
+  EXPECT_EQ(r.GetString("steps_done"), "12");
+  EXPECT_EQ(Status(service, job).GetString("model"), "file:" + path);
+}
+
+TEST(ServeScenario, BadScenariosAreRejectedAtSubmitNotAtRun)
+{
+  SolverService service(BaseOptions(TestDir("scenario_bad")));
+
+  // Does not compile: the reject names the spec key and the position.
+  JsonValue r = Call(
+      service,
+      SubmitLine("t", SpecJson({{"model_source", "scenario x; var u"},
+                                {"steps", "5"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_EQ(r.GetString("error"), "invalid");
+  EXPECT_NE(r.GetString("message").find("model_source"), std::string::npos);
+  EXPECT_NE(r.GetString("message").find("compile"), std::string::npos);
+
+  // Naming both a model and a scenario is ambiguous — rejected.
+  r = Call(service,
+           SubmitLine("t", SpecJson({{"model", "heat"},
+                                     {"model_source", "scenario x"},
+                                     {"steps", "5"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+
+  // Missing file: rejected with the I/O error, never a worker crash.
+  r = Call(service,
+           SubmitLine("t", SpecJson({{"model_file", "/nope/missing.cenn"},
+                                     {"steps", "5"}})));
+  EXPECT_FALSE(r.GetBool("ok", true));
+  EXPECT_NE(r.GetString("message").find("model_file"), std::string::npos);
+
+  // None of it was admitted.
+  EXPECT_EQ(service.Jobs().TotalCreated(), 0u);
 }
 
 // ---------------------------------------------------------------------------

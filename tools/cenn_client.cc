@@ -25,6 +25,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -50,7 +51,9 @@ PrintUsage()
       "ops and their options:\n"
       "  --op=ping                liveness + queue gauges (default op)\n"
       "  --op=submit              --tenant=NAME (default \"anon\")\n"
-      "                           --spec=\"key=value ...\" (manifest grammar)\n"
+      "                           --spec=\"key=value ...\" (manifest grammar;\n"
+      "                             quote values with spaces: "
+      "model_source='...')\n"
       "                           --name=JOB     optional job name\n"
       "                           --fault-inject=SPEC  e.g. crash@40x2\n"
       "                           --manifest=FILE  submit every line instead\n"
@@ -140,7 +143,11 @@ class Connection
 /**
  * Renders "key=value key=value ..." tokens as the nested "spec" JSON
  * object; all values travel as strings (the server's spec builder
- * parses the manifest grammar).
+ * parses the manifest grammar). A value may contain '- or "-quoted
+ * runs whose spaces are kept verbatim — that is how an inline
+ * scenario travels:
+ *
+ *   --spec="model_source='scenario x; dt 0.1; ...' rows=16 seed=7"
  */
 bool
 SpecTokensToJson(const std::string& tokens, const std::string& name,
@@ -150,16 +157,48 @@ SpecTokensToJson(const std::string& tokens, const std::string& name,
   if (!name.empty()) {
     spec.String("name", name);
   }
-  std::istringstream in(tokens);
-  std::string token;
+  const std::size_t n = tokens.size();
+  std::size_t i = 0;
   bool any = false;
-  while (in >> token) {
-    const std::size_t eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      *error = "bad spec token '" + token + "' (want key=value)";
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (i < n) {
+    while (i < n && is_space(tokens[i])) {
+      ++i;
+    }
+    if (i >= n) {
+      break;
+    }
+    const std::size_t start = i;
+    while (i < n && tokens[i] != '=' && !is_space(tokens[i])) {
+      ++i;
+    }
+    if (i == start || i >= n || tokens[i] != '=') {
+      *error = "bad spec token '" + tokens.substr(start, i - start) +
+               "' (want key=value)";
       return false;
     }
-    spec.String(token.substr(0, eq), token.substr(eq + 1));
+    const std::string key = tokens.substr(start, i - start);
+    ++i;
+    std::string value;
+    while (i < n && !is_space(tokens[i])) {
+      const char c = tokens[i];
+      if (c == '\'' || c == '"') {
+        const std::size_t close = tokens.find(c, i + 1);
+        if (close == std::string::npos) {
+          *error = std::string("unterminated ") + c + "-quoted value for '" +
+                   key + "'";
+          return false;
+        }
+        value.append(tokens, i + 1, close - i - 1);
+        i = close + 1;
+      } else {
+        value += c;
+        ++i;
+      }
+    }
+    spec.String(key, value);
     any = true;
   }
   if (!any) {

@@ -1,0 +1,178 @@
+# End-to-end smoke test for the scenario DSL front-end: the same
+# physics expressed as a registered C++ model and as a zoo DSL file
+# must finish on identical state checksums through BOTH production
+# drivers — cenn_batch (model_file= manifest key) and cenn_serve
+# (model_file= submit key) — and a text-only scenario with no C++
+# twin must run to completion alongside them.
+#
+# Invoked by ctest as:
+#   cmake -DCENN_BATCH=<exe> -DCENN_SERVE=<exe> -DCENN_CLIENT=<exe>
+#         -DZOO_DIR=<repo>/zoo -DWORK_DIR=<dir> -P cenn_lang_smoke.cmake
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# ---------------------------------------------------------------------------
+# Phase 1: cenn_batch — twin jobs plus a text-only scenario.
+# ---------------------------------------------------------------------------
+
+file(WRITE "${WORK_DIR}/manifest.txt"
+"# lang smoke: hand-coded twin vs DSL text, same seed and budget
+model=gray_scott
+name=twin
+rows=16
+cols=16
+steps=40
+seed=11
+
+model_file=${ZOO_DIR}/gray_scott.cenn
+name=text
+rows=16
+cols=16
+steps=40
+seed=11
+
+# no C++ model exists for this one — the file is the model
+model_file=${ZOO_DIR}/maxcut_grid.cenn
+name=maxcut
+steps=30
+seed=2
+")
+
+execute_process(
+    COMMAND "${CENN_BATCH}" --manifest=${WORK_DIR}/manifest.txt
+            --out=${WORK_DIR}/out --threads=2
+            --csv=${WORK_DIR}/results.csv
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out_batch
+    ERROR_VARIABLE err_batch)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "batch run failed (${rc}):\n${out_batch}\n${err_batch}")
+endif()
+
+# Extracts "checksum=<u64>" from a done marker into ${var}.
+function(read_checksum done_file var)
+  if(NOT EXISTS "${done_file}")
+    message(FATAL_ERROR "missing done marker ${done_file}")
+  endif()
+  file(READ "${done_file}" done)
+  if(NOT done MATCHES "checksum=([0-9]+)")
+    message(FATAL_ERROR "${done_file} has no checksum:\n${done}")
+  endif()
+  set(${var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+read_checksum("${WORK_DIR}/out/twin.done" twin_sum)
+read_checksum("${WORK_DIR}/out/text.done" text_sum)
+read_checksum("${WORK_DIR}/out/maxcut.done" maxcut_sum)
+if(NOT twin_sum STREQUAL text_sum)
+  message(FATAL_ERROR "DSL text diverged from the C++ twin over "
+                      "cenn_batch: ${text_sum} vs ${twin_sum}")
+endif()
+if(twin_sum STREQUAL "0")
+  message(FATAL_ERROR "twin checksum is zero — the jobs did not run")
+endif()
+message(STATUS "cenn_batch: DSL twin checksum ${text_sum} matches C++; "
+               "maxcut scenario finished (${maxcut_sum})")
+
+# ---------------------------------------------------------------------------
+# Phase 2: cenn_serve — the same twin pair over the wire.
+# ---------------------------------------------------------------------------
+
+function(wait_for_port port_file log_file)
+  set(port "")
+  foreach(i RANGE 150)
+    if(EXISTS "${port_file}")
+      file(READ "${port_file}" port)
+      string(STRIP "${port}" port)
+      if(port)
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(NOT port)
+    set(log "")
+    if(EXISTS "${log_file}")
+      file(READ "${log_file}" log)
+    endif()
+    message(FATAL_ERROR "server never wrote ${port_file}:\n${log}")
+  endif()
+  set(port "${port}" PARENT_SCOPE)
+endfunction()
+
+function(wait_for_exit pid_file log_file)
+  file(READ "${pid_file}" pid)
+  string(STRIP "${pid}" pid)
+  execute_process(
+      COMMAND bash -c "for i in $(seq 1 300); do \
+                         kill -0 ${pid} 2>/dev/null || exit 0; sleep 0.1; \
+                       done; kill -9 ${pid}; exit 1"
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    file(READ "${log_file}" log)
+    message(FATAL_ERROR "server ${pid} never exited; killed:\n${log}")
+  endif()
+endfunction()
+
+# Submits with --wait, asserts status "ok" and returns the checksum.
+function(submit_and_checksum var)
+  execute_process(
+      COMMAND "${CENN_CLIENT}" --port=${port} --op=submit --tenant=smoke
+              --wait ${ARGN}
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "submit ${ARGN} failed (${rc}):\n${out}\n${err}")
+  endif()
+  if(NOT out MATCHES "\"status\":\"ok\"")
+    message(FATAL_ERROR "job did not finish ok:\n${out}")
+  endif()
+  if(NOT out MATCHES "\"checksum\":\"([0-9]+)\"")
+    message(FATAL_ERROR "result carries no checksum:\n${out}")
+  endif()
+  set(${var} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+execute_process(
+    COMMAND bash -c "\"${CENN_SERVE}\" --work-dir=${WORK_DIR}/serve \
+        --port=0 --port-file=${WORK_DIR}/port --threads=2 \
+        > ${WORK_DIR}/server.log 2>&1 & echo $! > ${WORK_DIR}/server.pid"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cannot launch cenn_serve (${rc})")
+endif()
+wait_for_port("${WORK_DIR}/port" "${WORK_DIR}/server.log")
+message(STATUS "server listening on port ${port}")
+
+submit_and_checksum(serve_twin_sum
+    --spec=model=heat\ rows=12\ cols=12\ steps=30\ seed=7)
+submit_and_checksum(serve_text_sum
+    --spec=model_file=${ZOO_DIR}/heat.cenn\ rows=12\ cols=12\ steps=30\ seed=7)
+if(NOT serve_twin_sum STREQUAL serve_text_sum)
+  message(FATAL_ERROR "DSL text diverged from the C++ twin over "
+                      "cenn_serve: ${serve_text_sum} vs ${serve_twin_sum}")
+endif()
+
+# Inline model_source over the wire: the client's quoted-value spec
+# grammar carries a whole one-line scenario in one key.
+submit_and_checksum(serve_inline_sum
+    "--spec=model_source='scenario heat_text\; dt 0.1\; param kappa = 1.0\; var phi\; d phi/dt = kappa * laplacian(phi)\; init phi = gaussian_spots(spots=3)' rows=12 cols=12 steps=30 seed=7")
+if(NOT serve_inline_sum STREQUAL serve_twin_sum)
+  message(FATAL_ERROR "inline model_source diverged from the C++ twin over "
+                      "cenn_serve: ${serve_inline_sum} vs ${serve_twin_sum}")
+endif()
+
+execute_process(
+    COMMAND "${CENN_CLIENT}" --port=${port} --op=shutdown
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out_shut
+    ERROR_VARIABLE err_shut)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shutdown failed (${rc}):\n${out_shut}\n${err_shut}")
+endif()
+wait_for_exit("${WORK_DIR}/server.pid" "${WORK_DIR}/server.log")
+
+message(STATUS "SMOKE_PASS: DSL scenarios are checksum-identical to their "
+               "C++ twins over cenn_batch and cenn_serve")

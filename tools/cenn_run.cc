@@ -40,6 +40,8 @@
 #include "health/health_guard.h"
 #include "kernels/kernel_path.h"
 #include "kernels/soa_simd.h"
+#include "lang/compiler.h"
+#include "lang/spec_dump.h"
 #include "lut/lut_traffic.h"
 #include "mapping/mapper.h"
 #include "models/benchmark_model.h"
@@ -64,16 +66,24 @@ namespace {
 void
 PrintUsage()
 {
-  std::printf("usage: cenn_run --model=<name> [options]\n\nmodels:");
+  std::printf("usage: cenn_run --model=<name> [options]\n"
+              "       cenn_run --model-file=<scenario.cenn> [options]\n"
+              "\nmodels:");
   for (const auto& name : AllModelNames()) {
     std::printf(" %s", name.c_str());
   }
   std::printf(
       "\n\nshared options:\n%s"
       "\nrun options:\n"
-      "  --rows/--cols=N              grid size (default 64)\n"
-      "  --steps=N                    steps (default: model default)\n"
+      "  --model-file=FILE            compile a scenario DSL file instead "
+      "of a bundled model\n"
+      "  --rows/--cols=N              grid size (default 64, or the "
+      "scenario's own `grid`)\n"
+      "  --steps=N                    steps (default: model/scenario "
+      "default)\n"
       "  --seed=N                     RNG seed for initial conditions\n"
+      "  --dump-spec                  print the mapped network spec and "
+      "exit\n"
       "  --heun                       Heun integrator (functional only)\n"
       "  --steady                     run until steady state\n"
       "  --tolerance=X                steady-state tolerance (1e-6)\n"
@@ -156,19 +166,44 @@ RunMain(int argc, char** argv)
 {
   CliFlags flags(argc, argv);
   const std::string model_name = flags.GetString("model", "");
+  const std::string model_file = flags.GetString("model-file", "");
   const bool help = flags.GetBool("help", false);
-  if (help || model_name.empty()) {
+  if (help || (model_name.empty() && model_file.empty())) {
     PrintUsage();
-    return model_name.empty() && !help ? 1 : 0;
+    return !help ? 1 : 0;
+  }
+  if (!model_name.empty() && !model_file.empty()) {
+    CENN_FATAL("--model and --model-file are mutually exclusive");
   }
 
+  // A scenario file carries its own `grid`, so unset flags mean "defer
+  // to the file"; hand-coded models keep the historical 64x64 default.
   ModelConfig mc;
-  mc.rows = static_cast<std::size_t>(flags.GetInt("rows", 64));
-  mc.cols = static_cast<std::size_t>(flags.GetInt("cols", 64));
+  mc.rows = static_cast<std::size_t>(
+      flags.GetInt("rows", model_file.empty() ? 64 : 0));
+  mc.cols = static_cast<std::size_t>(
+      flags.GetInt("cols", model_file.empty() ? 64 : 0));
   mc.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
-  const auto model = MakeModel(model_name, mc);
-  const int steps =
-      static_cast<int>(flags.GetInt("steps", model->DefaultSteps()));
+
+  std::unique_ptr<BenchmarkModel> model;  // null when running a scenario
+  lang::CompiledScenario scenario;
+  std::string display_name = model_name;
+  std::int64_t default_steps = 0;
+  if (model_file.empty()) {
+    model = MakeModel(model_name, mc);
+    default_steps = model->DefaultSteps();
+  } else {
+    lang::ScenarioConfig cfg;
+    cfg.rows = mc.rows;
+    cfg.cols = mc.cols;
+    cfg.seed = mc.seed;
+    scenario = lang::CompileFileOrDie(model_file, cfg);
+    display_name = scenario.name;
+    default_steps = static_cast<std::int64_t>(scenario.default_steps);
+    mc.rows = scenario.system.rows;
+    mc.cols = scenario.system.cols;
+  }
+  const int steps = static_cast<int>(flags.GetInt("steps", default_steps));
 
   CommonOptions defaults;
   defaults.exec.precision = "fixed";
@@ -178,10 +213,20 @@ RunMain(int argc, char** argv)
   const bool steady = flags.GetBool("steady", false);
   const double tolerance = flags.GetDouble("tolerance", 1e-6);
   const bool compare = flags.GetBool("compare", false);
+  const bool dump_spec = flags.GetBool("dump-spec", false);
   const std::string pgm = flags.GetString("pgm", "");
   const std::string checkpoint = flags.GetString("checkpoint", "");
   const bool ascii = flags.GetBool("ascii", false);
   flags.Validate();
+
+  if (compare && model == nullptr) {
+    CENN_FATAL("--compare requires --model: scenarios have no reference "
+               "integrator to compare against");
+  }
+  if (steps <= 0 && !steady && !dump_spec) {
+    CENN_FATAL("scenario '", display_name, "' declares no 'steps' "
+               "statement; pass --steps=N");
+  }
 
   if (copts.self_profile) {
     Profiler::Instance().Enable(true);
@@ -204,8 +249,13 @@ RunMain(int argc, char** argv)
 
   MapperReport map_report;
   SolverProgram program;
-  program.spec = Mapper::MapWithReport(model->System(), &map_report);
-  program.lut_config = model->Luts();
+  const EquationSystem& system =
+      model != nullptr ? model->System() : scenario.system;
+  program.spec = Mapper::MapWithReport(system, &map_report);
+  program.lut_config = model != nullptr ? model->Luts() : scenario.luts;
+  program.description =
+      model != nullptr ? "benchmark model '" + model->Name() + "'"
+                       : "scenario '" + display_name + "'";
   if (heun) {
     if (normalized.engine != "functional") {
       CENN_FATAL("--heun applies to the functional engine only (the "
@@ -215,9 +265,18 @@ RunMain(int argc, char** argv)
     program.spec.integrator = Integrator::kHeun;
   }
 
+  if (dump_spec) {
+    std::printf("%s", lang::DumpSpec(program.spec, program.lut_config,
+                                     steps > 0
+                                         ? static_cast<std::uint64_t>(steps)
+                                         : 0)
+                          .c_str());
+    return 0;
+  }
+
   std::printf("model %s: %zux%zu, %d layers (%s), %d templates with "
               "real-time update\n",
-              model_name.c_str(), mc.rows, mc.cols, map_report.num_layers,
+              display_name.c_str(), mc.rows, mc.cols, map_report.num_layers,
               IntegratorName(program.spec.integrator),
               map_report.templates_needing_update);
   std::printf("exec policy: %s\n", FormatExecPolicy(exec).c_str());
@@ -276,8 +335,11 @@ RunMain(int argc, char** argv)
   ScopedLutTally lut_tally(engine->AttachedLutTraffic());
 
   if (steady) {
-    const auto result = RunUntilSteady(*engine, tolerance,
-                                       static_cast<std::uint64_t>(steps));
+    // A scenario without a `steps` statement still needs a search
+    // bound; 100k steps is far past convergence for every zoo model.
+    const std::uint64_t bound =
+        steps > 0 ? static_cast<std::uint64_t>(steps) : 100000;
+    const auto result = RunUntilSteady(*engine, tolerance, bound);
     std::printf("\nsteady-state search: %s after %llu steps "
                 "(delta %.3e, tolerance %.1e)\n",
                 result.converged ? "converged" : "NOT converged",
